@@ -1,0 +1,39 @@
+//! Market-wide backtesting of the canonical pair-trading strategy —
+//! Sections IV and V of the paper.
+//!
+//! * [`metrics`] — the performance measures, equations (1)–(9): daily and
+//!   total cumulative returns with their over-pairs / over-params
+//!   aggregations, both maximum-drawdown variants, and both win–loss
+//!   ratio variants.
+//! * [`approach`] — the paper's three computational approaches to the same
+//!   backtest: (1) materialise every correlation matrix, (2) recompute
+//!   every pair independently, (3) the integrated solution sharing one
+//!   correlation cube across all strategies. All three produce identical
+//!   trades; they differ in memory and compute — which is the paper's
+//!   point.
+//! * [`jobfarm`] — a Sun-Grid-Engine-flavoured independent-job scheduler
+//!   (the paper's interim scaling workaround for Approach 2).
+//! * [`runner`] — the full experiment: universe × days × 42 parameter
+//!   sets, streaming one day of market data at a time.
+//! * [`aggregate`] — per-pair averaging over the 14 non-treatment levels
+//!   for each correlation treatment: the sampling scheme behind Tables
+//!   III–V.
+//! * [`report`] — renders Tables III/IV/V and the Figure-2 box plots.
+//! * [`scaling`] — the paper's own scaling arithmetic (854 hours, 53
+//!   years) parameterised by a measured per-job cost.
+
+pub mod aggregate;
+pub mod approach;
+pub mod distributed;
+pub mod execution;
+pub mod jobfarm;
+pub mod metrics;
+pub mod optimize;
+pub mod portfolio;
+pub mod report;
+pub mod runner;
+pub mod scaling;
+
+pub use aggregate::{MeasureSamples, TreatmentSamples};
+pub use approach::Approach;
+pub use runner::{Experiment, ExperimentConfig, ExperimentResults};

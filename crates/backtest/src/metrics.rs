@@ -1,0 +1,184 @@
+//! Performance measures — equations (1)–(9) of the paper.
+//!
+//! Returns compose multiplicatively ("the strategy always reinvests the
+//! total available capital"): a day's cumulative return is
+//! `Π (1 + r_q) − 1` over its trades (eq. 2); the period return compounds
+//! the days (eq. 3); the over-pairs and over-params aggregations (eqs. 4,
+//! 5) compound across the respective axis. Maximum drawdown comes in a
+//! per-trade variant (eq. 6) and the daily variant used in Table IV
+//! (eq. 7); the win–loss ratio in per-pair (eq. 8) and over-pairs (eq. 9)
+//! variants.
+
+/// Eq. (2): cumulative return of one day's trade returns,
+/// `Π (1 + r) − 1`. Empty input → 0 (a flat day).
+///
+/// ```
+/// // Two +10% trades compound to +21%.
+/// let r = backtest::metrics::daily_cumulative(&[0.1, 0.1]);
+/// assert!((r - 0.21).abs() < 1e-12);
+/// ```
+pub fn daily_cumulative(returns: &[f64]) -> f64 {
+    compound(returns.iter().copied())
+}
+
+/// Eq. (3): total cumulative return over a period from per-day cumulative
+/// returns, `Π (1 + r_t) − 1`.
+pub fn total_cumulative(daily: &[f64]) -> f64 {
+    compound(daily.iter().copied())
+}
+
+/// Eq. (4) / (5): compound a set of cumulative returns across pairs (for
+/// a fixed parameter set) or across parameter sets (for a fixed pair).
+pub fn compound_across(returns: &[f64]) -> f64 {
+    compound(returns.iter().copied())
+}
+
+fn compound(returns: impl Iterator<Item = f64>) -> f64 {
+    returns.fold(1.0, |acc, r| acc * (1.0 + r)) - 1.0
+}
+
+/// Eq. (6): maximum drawdown over a *trade-indexed* cumulative return
+/// path: feed the per-trade returns; the path is their running compound.
+pub fn max_drawdown_trades(trade_returns: &[f64]) -> f64 {
+    let mut path = Vec::with_capacity(trade_returns.len() + 1);
+    let mut acc = 1.0;
+    path.push(acc);
+    for &r in trade_returns {
+        acc *= 1.0 + r;
+        path.push(acc);
+    }
+    stats::descriptive::max_drawdown(&path)
+}
+
+/// Eq. (7): maximum *daily* drawdown — the drawdown of the running
+/// compound of per-day cumulative returns. This is the Table-IV measure.
+pub fn max_drawdown_daily(daily_returns: &[f64]) -> f64 {
+    max_drawdown_trades(daily_returns)
+}
+
+/// Win–loss counts for eqs. (8) and (9). Zero returns count as neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WinLoss {
+    /// Strictly positive returns.
+    pub wins: u32,
+    /// Strictly negative returns.
+    pub losses: u32,
+}
+
+impl WinLoss {
+    /// Count a sample of returns.
+    pub fn of(returns: &[f64]) -> WinLoss {
+        let mut wl = WinLoss::default();
+        for &r in returns {
+            if r > 0.0 {
+                wl.wins += 1;
+            } else if r < 0.0 {
+                wl.losses += 1;
+            }
+        }
+        wl
+    }
+
+    /// Merge counts (eq. 9 aggregates over pairs by summing counts).
+    pub fn merge(self, other: WinLoss) -> WinLoss {
+        WinLoss {
+            wins: self.wins + other.wins,
+            losses: self.losses + other.losses,
+        }
+    }
+
+    /// The ratio `W / L`. Conventions for empty denominators: no trades at
+    /// all → 1 (no information, neutral); wins but no losses → `wins`
+    /// (treated as `wins / 1`, keeping the statistic finite — necessary
+    /// because per-pair samples with a handful of trades routinely have
+    /// zero losses).
+    pub fn ratio(self) -> f64 {
+        match (self.wins, self.losses) {
+            (0, 0) => 1.0,
+            (w, 0) => w as f64,
+            (w, l) => w as f64 / l as f64,
+        }
+    }
+
+    /// Total counted trades.
+    pub fn total(self) -> u32 {
+        self.wins + self.losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daily_cumulative_compounds() {
+        // Two +10% trades: (1.1)^2 - 1 = 21%.
+        assert!((daily_cumulative(&[0.1, 0.1]) - 0.21).abs() < 1e-12);
+        // A win then an equal-magnitude loss does not cancel.
+        let r = daily_cumulative(&[0.1, -0.1]);
+        assert!((r - (-0.01)).abs() < 1e-12);
+        assert_eq!(daily_cumulative(&[]), 0.0);
+    }
+
+    #[test]
+    fn total_cumulative_matches_flat_product() {
+        let days = [0.01, -0.02, 0.03];
+        let want = 1.01 * 0.98 * 1.03 - 1.0;
+        assert!((total_cumulative(&days) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_compounding_is_associative() {
+        // Eq. (3) over eq. (2) equals compounding all trades directly.
+        let day1 = [0.01, 0.02];
+        let day2 = [-0.005, 0.015];
+        let daily = [daily_cumulative(&day1), daily_cumulative(&day2)];
+        let total = total_cumulative(&daily);
+        let flat: Vec<f64> = day1.iter().chain(&day2).copied().collect();
+        assert!((total - daily_cumulative(&flat)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drawdown_of_monotone_path_is_zero() {
+        assert_eq!(max_drawdown_trades(&[0.01, 0.02, 0.0]), 0.0);
+        assert_eq!(max_drawdown_trades(&[]), 0.0);
+    }
+
+    #[test]
+    fn drawdown_catches_peak_to_valley() {
+        // Path: 1.0 -> 1.10 -> 0.99 -> 1.0879...: worst drop 1.10 - 0.99.
+        let dd = max_drawdown_trades(&[0.10, -0.10, 0.10]);
+        assert!((dd - 0.11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daily_drawdown_is_the_same_machinery() {
+        let daily = [0.02, -0.03, 0.01];
+        assert_eq!(max_drawdown_daily(&daily), max_drawdown_trades(&daily));
+    }
+
+    #[test]
+    fn win_loss_counting_and_ratio() {
+        let wl = WinLoss::of(&[0.1, -0.2, 0.3, 0.0, 0.4]);
+        assert_eq!(wl.wins, 3);
+        assert_eq!(wl.losses, 1);
+        assert_eq!(wl.ratio(), 3.0);
+        assert_eq!(wl.total(), 4);
+    }
+
+    #[test]
+    fn win_loss_edge_conventions() {
+        assert_eq!(WinLoss::default().ratio(), 1.0);
+        assert_eq!(WinLoss { wins: 4, losses: 0 }.ratio(), 4.0);
+        assert_eq!(WinLoss { wins: 0, losses: 5 }.ratio(), 0.0);
+    }
+
+    #[test]
+    fn win_loss_merge_is_eq9() {
+        let a = WinLoss { wins: 3, losses: 1 };
+        let b = WinLoss { wins: 2, losses: 2 };
+        let m = a.merge(b);
+        assert_eq!(m, WinLoss { wins: 5, losses: 3 });
+        assert!((m.ratio() - 5.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! Parameter-set optimisation — "identification of optimal parameter sets
+//! for a given correlation measure", the first item on the paper's
+//! further-experiments list (§VI).
+//!
+//! For each parameter set the optimiser builds the per-pair sample of a
+//! chosen objective and ranks the sets; grouping by treatment answers the
+//! paper's question directly ("which parameters are most effective" —
+//! §IV's reading of the over-pairs aggregation).
+
+use pairtrade_core::params::StrategyParams;
+use stats::correlation::CorrType;
+use stats::descriptive::Summary;
+
+use crate::metrics::WinLoss;
+use crate::runner::ExperimentResults;
+
+/// What to optimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Mean per-pair total cumulative return.
+    MeanReturn,
+    /// Sharpe ratio of the per-pair return sample (mean / std) — the
+    /// risk-adjusted choice, and Table III's headline statistic.
+    Sharpe,
+    /// Negative mean maximum daily drawdown (less drawdown is better).
+    MinDrawdown,
+    /// Market-wide win–loss ratio (eq. 9).
+    WinLossRatio,
+}
+
+impl Objective {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::MeanReturn => "mean return",
+            Objective::Sharpe => "Sharpe",
+            Objective::MinDrawdown => "min drawdown",
+            Objective::WinLossRatio => "win-loss ratio",
+        }
+    }
+}
+
+/// One parameter set's score card.
+#[derive(Debug, Clone)]
+pub struct ScoreCard {
+    /// Index into the experiment's parameter grid.
+    pub param_idx: usize,
+    /// The parameter vector.
+    pub params: StrategyParams,
+    /// Objective value (higher is better for every objective).
+    pub score: f64,
+    /// Supporting statistics of the per-pair return sample.
+    pub return_summary: Summary,
+    /// Mean per-pair max daily drawdown.
+    pub mean_drawdown: f64,
+    /// Market-wide win–loss counts.
+    pub wl: WinLoss,
+    /// Total trades under this parameter set.
+    pub trades: u32,
+}
+
+/// Score every parameter set of an experiment under an objective,
+/// best first.
+pub fn rank_parameter_sets(results: &ExperimentResults, objective: Objective) -> Vec<ScoreCard> {
+    let n_pairs = results.n_pairs();
+    let mut cards: Vec<ScoreCard> = results
+        .params
+        .iter()
+        .enumerate()
+        .map(|(idx, params)| {
+            let returns: Vec<f64> = (0..n_pairs)
+                .map(|r| results.total_cumulative(idx, r))
+                .collect();
+            let drawdowns: Vec<f64> = (0..n_pairs)
+                .map(|r| results.max_daily_drawdown(idx, r))
+                .collect();
+            let mut wl = WinLoss::default();
+            let mut trades = 0u32;
+            for r in 0..n_pairs {
+                let s = results.stats(idx, r);
+                wl = wl.merge(s.wl);
+                trades += s.n_trades;
+            }
+            let return_summary = Summary::of(&returns);
+            let mean_drawdown = drawdowns.iter().sum::<f64>() / n_pairs.max(1) as f64;
+            let score = match objective {
+                Objective::MeanReturn => return_summary.mean,
+                Objective::Sharpe => return_summary.sharpe,
+                Objective::MinDrawdown => -mean_drawdown,
+                Objective::WinLossRatio => wl.ratio(),
+            };
+            ScoreCard {
+                param_idx: idx,
+                params: *params,
+                score,
+                return_summary,
+                mean_drawdown,
+                wl,
+                trades,
+            }
+        })
+        .collect();
+    cards.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    cards
+}
+
+/// The best parameter set per correlation treatment, under an objective —
+/// the paper's "optimal parameter sets for a given correlation measure".
+pub fn best_per_treatment(
+    results: &ExperimentResults,
+    objective: Objective,
+) -> Vec<(CorrType, ScoreCard)> {
+    let ranked = rank_parameter_sets(results, objective);
+    let mut out: Vec<(CorrType, ScoreCard)> = Vec::new();
+    for card in ranked {
+        let ctype = card.params.ctype;
+        if !out.iter().any(|(c, _)| *c == ctype) {
+            out.push((ctype, card));
+        }
+    }
+    out
+}
+
+/// Render a leaderboard.
+pub fn render_leaderboard(cards: &[ScoreCard], objective: Objective, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "parameter-set leaderboard by {} (top {top}):\n",
+        objective.name()
+    ));
+    out.push_str(&format!(
+        "{:<5} {:>10} {:>10} {:>10} {:>8} {:>8}  params\n",
+        "rank", "score", "mean ret", "mean MDD", "W/L", "trades"
+    ));
+    for (k, c) in cards.iter().take(top).enumerate() {
+        out.push_str(&format!(
+            "{:<5} {:>10.4} {:>9.3}% {:>9.3}% {:>8.3} {:>8}  {}\n",
+            k + 1,
+            c.score,
+            c.return_summary.mean * 100.0,
+            c.mean_drawdown * 100.0,
+            c.wl.ratio(),
+            c.trades,
+            c.params.label()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Experiment, ExperimentConfig};
+
+    fn results() -> ExperimentResults {
+        let mut cfg = ExperimentConfig::small(5, 2, 17);
+        cfg.market.micro.quote_rate_hz = 0.05;
+        let base = StrategyParams {
+            corr_window: 30,
+            avg_window: 15,
+            div_window: 5,
+            divergence: 0.0005,
+            ..StrategyParams::paper_default()
+        };
+        cfg.params = vec![
+            base,
+            StrategyParams {
+                divergence: 0.002,
+                ..base
+            },
+            StrategyParams {
+                ctype: CorrType::Maronna,
+                ..base
+            },
+        ];
+        Experiment::new(cfg).run()
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let results = results();
+        for objective in [
+            Objective::MeanReturn,
+            Objective::Sharpe,
+            Objective::MinDrawdown,
+            Objective::WinLossRatio,
+        ] {
+            let cards = rank_parameter_sets(&results, objective);
+            assert_eq!(cards.len(), 3);
+            for w in cards.windows(2) {
+                assert!(w[0].score >= w[1].score, "{objective:?} unsorted");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_match_objective_definitions() {
+        let results = results();
+        let cards = rank_parameter_sets(&results, Objective::MinDrawdown);
+        for c in &cards {
+            assert!((c.score + c.mean_drawdown).abs() < 1e-12);
+        }
+        let cards = rank_parameter_sets(&results, Objective::WinLossRatio);
+        for c in &cards {
+            assert!((c.score - c.wl.ratio()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_per_treatment_covers_each_ctype_once() {
+        let results = results();
+        let best = best_per_treatment(&results, Objective::Sharpe);
+        let ctypes: Vec<CorrType> = best.iter().map(|(c, _)| *c).collect();
+        assert!(ctypes.contains(&CorrType::Pearson));
+        assert!(ctypes.contains(&CorrType::Maronna));
+        assert_eq!(ctypes.len(), 2, "one entry per treatment present");
+        // The Pearson winner must be the better of the two Pearson sets.
+        let ranked = rank_parameter_sets(&results, Objective::Sharpe);
+        let first_pearson = ranked
+            .iter()
+            .find(|c| c.params.ctype == CorrType::Pearson)
+            .unwrap();
+        let best_pearson = &best
+            .iter()
+            .find(|(c, _)| *c == CorrType::Pearson)
+            .unwrap()
+            .1;
+        assert_eq!(first_pearson.param_idx, best_pearson.param_idx);
+    }
+
+    #[test]
+    fn leaderboard_renders() {
+        let results = results();
+        let cards = rank_parameter_sets(&results, Objective::Sharpe);
+        let text = render_leaderboard(&cards, Objective::Sharpe, 2);
+        assert!(text.contains("leaderboard"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,242 @@
+//! Portfolio-level analysis: the over-pairs and over-params aggregations
+//! of equations (4) and (5), equity curves, and book-level risk.
+//!
+//! The per-pair statistics behind Tables III–V answer "which pairs / which
+//! parameters work"; this module answers the trader's question — "what
+//! does the whole book do day by day?" — using the same compounding
+//! algebra: the market-wide daily return for a parameter set is the
+//! compound of its pairs' daily returns (eq. 4), and a pair's
+//! across-parameters return compounds over `K` (eq. 5).
+
+use crate::metrics;
+use crate::runner::ExperimentResults;
+
+/// A daily equity curve (gross growth factors, starting at 1.0 before the
+/// first day).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquityCurve {
+    /// Equity after each day; `values[t]` is the growth factor through
+    /// day `t` (so `values.len() == n_days`).
+    pub values: Vec<f64>,
+}
+
+impl EquityCurve {
+    /// Build from per-day returns.
+    pub fn from_daily_returns(daily: &[f64]) -> Self {
+        let mut acc = 1.0;
+        EquityCurve {
+            values: daily
+                .iter()
+                .map(|r| {
+                    acc *= 1.0 + r;
+                    acc
+                })
+                .collect(),
+        }
+    }
+
+    /// Final growth factor (1.0 for an empty curve).
+    pub fn final_equity(&self) -> f64 {
+        self.values.last().copied().unwrap_or(1.0)
+    }
+
+    /// Total return over the period.
+    pub fn total_return(&self) -> f64 {
+        self.final_equity() - 1.0
+    }
+
+    /// Maximum drawdown of the curve (absolute equity units).
+    pub fn max_drawdown(&self) -> f64 {
+        let mut path = Vec::with_capacity(self.values.len() + 1);
+        path.push(1.0);
+        path.extend_from_slice(&self.values);
+        stats::descriptive::max_drawdown(&path)
+    }
+
+    /// One-line ASCII sparkline of the curve (for terminal reports).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.values.is_empty() {
+            return String::new();
+        }
+        let lo = self.values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        self.values
+            .iter()
+            .map(|v| {
+                let idx = (((v - lo) / span) * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            })
+            .collect()
+    }
+}
+
+/// Eq. (4): the market-wide daily return series for one parameter set —
+/// each day *compounds* that day's return across every pair, exactly as
+/// the paper defines `r^{t,k} = Π_p (r_p^{t,k} + 1) − 1`.
+///
+/// Note this is the paper's aggregation *statistic*, not an investable
+/// book: compounding across 1830 pairs means deploying the full bankroll
+/// into every pair simultaneously, so the series grows explosively. For
+/// a tradeable portfolio view use
+/// [`equal_weight_daily_returns`] (the 1/N book).
+pub fn marketwide_daily_returns(results: &ExperimentResults, param_idx: usize) -> Vec<f64> {
+    let n_pairs = results.n_pairs();
+    (0..results.n_days)
+        .map(|day| {
+            let day_returns: Vec<f64> = (0..n_pairs)
+                .map(|r| results.stats(param_idx, r).daily_returns[day])
+                .collect();
+            metrics::compound_across(&day_returns)
+        })
+        .collect()
+}
+
+/// The investable 1/N book: capital split equally across all pairs, so
+/// the book's daily return is the *mean* of the pairs' daily returns.
+pub fn equal_weight_daily_returns(results: &ExperimentResults, param_idx: usize) -> Vec<f64> {
+    let n_pairs = results.n_pairs().max(1);
+    (0..results.n_days)
+        .map(|day| {
+            (0..results.n_pairs())
+                .map(|r| results.stats(param_idx, r).daily_returns[day])
+                .sum::<f64>()
+                / n_pairs as f64
+        })
+        .collect()
+}
+
+/// The market-wide (eq. 4) equity curve for one parameter set. See the
+/// caveat on [`marketwide_daily_returns`].
+pub fn marketwide_equity(results: &ExperimentResults, param_idx: usize) -> EquityCurve {
+    EquityCurve::from_daily_returns(&marketwide_daily_returns(results, param_idx))
+}
+
+/// The equal-weight book's equity curve for one parameter set — the
+/// curve a trader would actually see.
+pub fn equal_weight_equity(results: &ExperimentResults, param_idx: usize) -> EquityCurve {
+    EquityCurve::from_daily_returns(&equal_weight_daily_returns(results, param_idx))
+}
+
+/// Eq. (5): a pair's total return across all parameter sets — the view
+/// that flags "the pair may be a particularly good candidate for pair
+/// trading and less sensitive to choice of parameters".
+pub fn pair_across_params_return(results: &ExperimentResults, pair_rank: usize) -> f64 {
+    let per_param: Vec<f64> = (0..results.params.len())
+        .map(|p| results.total_cumulative(p, pair_rank))
+        .collect();
+    metrics::compound_across(&per_param)
+}
+
+/// Rank pairs by their across-parameters return (eq. 5), best first.
+/// Returns `(pair_rank, return)` tuples.
+pub fn rank_pairs(results: &ExperimentResults) -> Vec<(usize, f64)> {
+    let mut ranked: Vec<(usize, f64)> = (0..results.n_pairs())
+        .map(|r| (r, pair_across_params_return(results, r)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Experiment, ExperimentConfig};
+    use pairtrade_core::params::StrategyParams;
+
+    fn results() -> ExperimentResults {
+        let mut cfg = ExperimentConfig::small(5, 3, 23);
+        cfg.market.micro.quote_rate_hz = 0.05;
+        let base = StrategyParams {
+            corr_window: 30,
+            avg_window: 15,
+            div_window: 5,
+            divergence: 0.0005,
+            ..StrategyParams::paper_default()
+        };
+        cfg.params = vec![
+            base,
+            StrategyParams {
+                divergence: 0.001,
+                ..base
+            },
+        ];
+        Experiment::new(cfg).run()
+    }
+
+    #[test]
+    fn equity_curve_compounds() {
+        let c = EquityCurve::from_daily_returns(&[0.1, -0.05, 0.02]);
+        assert_eq!(c.values.len(), 3);
+        assert!((c.values[0] - 1.1).abs() < 1e-12);
+        assert!((c.final_equity() - 1.1 * 0.95 * 1.02).abs() < 1e-12);
+        assert!((c.total_return() - (1.1 * 0.95 * 1.02 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equity_drawdown_is_peak_to_trough() {
+        let c = EquityCurve::from_daily_returns(&[0.2, -0.25, 0.1]);
+        // Peak 1.2, trough 0.9 -> dd 0.3.
+        assert!((c.max_drawdown() - 0.3).abs() < 1e-12);
+        let up_only = EquityCurve::from_daily_returns(&[0.1, 0.1]);
+        assert_eq!(up_only.max_drawdown(), 0.0);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let c = EquityCurve::from_daily_returns(&[0.1, 0.1, -0.3, 0.2]);
+        let s = c.sparkline();
+        assert_eq!(s.chars().count(), 4);
+        // Highest day maps to the tallest glyph, lowest to the shortest.
+        assert!(s.contains('█'));
+        assert!(s.contains('▁'));
+        assert_eq!(EquityCurve::from_daily_returns(&[]).sparkline(), "");
+    }
+
+    #[test]
+    fn marketwide_daily_matches_eq4_by_hand() {
+        let r = results();
+        let daily = marketwide_daily_returns(&r, 0);
+        assert_eq!(daily.len(), 3);
+        // Recompute day 1 by hand.
+        let hand: f64 = (0..r.n_pairs())
+            .map(|pr| 1.0 + r.stats(0, pr).daily_returns[1])
+            .product::<f64>()
+            - 1.0;
+        assert!((daily[1] - hand).abs() < 1e-12);
+        // Equity curve consistent with the daily series.
+        let eq = marketwide_equity(&r, 0);
+        let want: f64 = daily.iter().map(|d| 1.0 + d).product();
+        assert!((eq.final_equity() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_weight_is_the_mean_across_pairs() {
+        let r = results();
+        let ew = equal_weight_daily_returns(&r, 0);
+        assert_eq!(ew.len(), 3);
+        let hand: f64 = (0..r.n_pairs())
+            .map(|pr| r.stats(0, pr).daily_returns[2])
+            .sum::<f64>()
+            / r.n_pairs() as f64;
+        assert!((ew[2] - hand).abs() < 1e-12);
+        // The 1/N book moves far less than the compound aggregate.
+        let mw = marketwide_daily_returns(&r, 0);
+        assert!(ew[0].abs() <= mw[0].abs() + 1e-12);
+        let curve = equal_weight_equity(&r, 0);
+        assert_eq!(curve.values.len(), 3);
+    }
+
+    #[test]
+    fn pair_ranking_is_sorted_and_consistent() {
+        let r = results();
+        let ranked = rank_pairs(&r);
+        assert_eq!(ranked.len(), r.n_pairs());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let (best_pair, best_ret) = ranked[0];
+        assert!((pair_across_params_return(&r, best_pair) - best_ret).abs() < 1e-12);
+    }
+}

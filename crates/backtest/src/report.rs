@@ -1,0 +1,261 @@
+//! Rendering Tables III–V and the Figure-2 box plots.
+//!
+//! The renderers produce exactly the rows the paper reports, as aligned
+//! plain text, so `examples/reproduce_paper.rs` output can be compared
+//! against the paper side by side (EXPERIMENTS.md records that
+//! comparison).
+
+use stats::descriptive::{BoxPlot, Summary};
+
+use crate::aggregate::TreatmentSamples;
+
+/// Which measure a table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Table III: average cumulative monthly returns (with Sharpe row).
+    CumulativeReturn,
+    /// Table IV: average maximum daily drawdown (percent).
+    MaxDrawdown,
+    /// Table V: average win–loss ratio.
+    WinLoss,
+}
+
+impl Measure {
+    /// Paper table caption.
+    pub fn title(self) -> &'static str {
+        match self {
+            Measure::CumulativeReturn => "AVERAGE CUMULATIVE MONTHLY RETURNS (Table III)",
+            Measure::MaxDrawdown => "AVERAGE MAXIMUM DAILY DRAWDOWN (Table IV)",
+            Measure::WinLoss => "AVERAGE WIN-LOSS RATIO (Table V)",
+        }
+    }
+
+    /// Pull this measure's per-pair samples out of a treatment.
+    pub fn samples(self, t: &TreatmentSamples) -> &[f64] {
+        match self {
+            Measure::CumulativeReturn => &t.samples.cum_return,
+            Measure::MaxDrawdown => &t.samples.max_drawdown_pct,
+            Measure::WinLoss => &t.samples.win_loss,
+        }
+    }
+
+    /// Whether the table carries the Sharpe-ratio row (Table III only).
+    pub fn has_sharpe(self) -> bool {
+        matches!(self, Measure::CumulativeReturn)
+    }
+
+    /// Unit suffix for the mean/median/std rows.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Measure::MaxDrawdown => "%",
+            _ => "",
+        }
+    }
+}
+
+/// One rendered table: per-treatment summary statistics.
+#[derive(Debug, Clone)]
+pub struct TableReport {
+    /// The measure reported.
+    pub measure: Measure,
+    /// (treatment name, summary) per column, in paper order.
+    pub columns: Vec<(String, Summary)>,
+}
+
+impl TableReport {
+    /// Build the report for a measure across treatments.
+    pub fn build(measure: Measure, treatments: &[TreatmentSamples]) -> Self {
+        let columns = treatments
+            .iter()
+            .map(|t| (t.ctype.to_string(), Summary::of(measure.samples(t))))
+            .collect();
+        TableReport { measure, columns }
+    }
+
+    /// Render as aligned plain text in the paper's row order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let unit = self.measure.unit();
+        out.push_str(&format!("{}\n", self.measure.title()));
+        out.push_str(&format!("{:<22}", "Correlation type:"));
+        for (name, _) in &self.columns {
+            out.push_str(&format!("{name:>12}"));
+        }
+        out.push('\n');
+        let mut row = |label: &str, f: &dyn Fn(&Summary) -> f64, suffix: &str| {
+            out.push_str(&format!("{label:<22}"));
+            for (_, s) in &self.columns {
+                out.push_str(&format!("{:>11.4}{suffix}", f(s)));
+                if suffix.is_empty() {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        };
+        row("Mean", &|s| s.mean, unit);
+        row("Median", &|s| s.median, unit);
+        row("Standard Deviation", &|s| s.std_dev, unit);
+        if self.measure.has_sharpe() {
+            row("Sharpe Ratio", &|s| s.sharpe, "");
+        }
+        row("Skewness", &|s| s.skewness, "");
+        row("Kurtosis", &|s| s.kurtosis, "");
+        out
+    }
+}
+
+/// Render the Figure-2 box plots for a measure: one ASCII box per
+/// treatment on a shared axis, plus the quartile numbers.
+pub fn render_boxplots(measure: Measure, treatments: &[TreatmentSamples], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Figure 2 box plots — {}\n", self_title(measure)));
+    // Shared axis across treatments, whiskers included.
+    let plots: Vec<(String, BoxPlot)> = treatments
+        .iter()
+        .map(|t| (t.ctype.to_string(), BoxPlot::of(measure.samples(t))))
+        .collect();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, b) in &plots {
+        lo = lo.min(b.whisker_lo).min(b.outliers.iter().copied().fold(b.whisker_lo, f64::min));
+        hi = hi.max(b.whisker_hi).max(b.outliers.iter().copied().fold(b.whisker_hi, f64::max));
+    }
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    out.push_str(&format!(
+        "axis: [{lo:.4}, {hi:.4}]   ('[' Q1, '#' median, ']' Q3, '|' whisker, 'o' outlier)\n"
+    ));
+    for (name, b) in &plots {
+        out.push_str(&format!("{name:>9} {}\n", b.render_ascii(lo, hi, width)));
+        out.push_str(&format!(
+            "{:>9} q1={:.4} med={:.4} q3={:.4} whiskers=[{:.4},{:.4}] outliers={}\n",
+            "", b.q1, b.median, b.q3, b.whisker_lo, b.whisker_hi, b.outliers.len()
+        ));
+    }
+    out
+}
+
+fn self_title(measure: Measure) -> &'static str {
+    match measure {
+        Measure::CumulativeReturn => "(a) average cumulative monthly returns",
+        Measure::MaxDrawdown => "(b) average maximum daily drawdown",
+        Measure::WinLoss => "(c) average win-loss ratio",
+    }
+}
+
+/// Pairwise treatment-difference tests — the "simple inferential
+/// statistical tests" on the three populations that Section V defers to
+/// future studies. For every treatment pair: Welch's t (mean difference)
+/// and Mann–Whitney U (distribution shift, robust to Figure 2's
+/// outliers).
+pub fn render_significance(measure: Measure, treatments: &[TreatmentSamples]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "treatment-difference tests — {}\n",
+        measure.title()
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>9} {:>11} {:>9} {:>11}\n",
+        "comparison", "Welch t", "p (two-s.)", "MWU z", "p (two-s.)"
+    ));
+    for a in 0..treatments.len() {
+        for b in (a + 1)..treatments.len() {
+            let (ta, tb) = (&treatments[a], &treatments[b]);
+            let (sa, sb) = (measure.samples(ta), measure.samples(tb));
+            let label = format!("{} vs {}", ta.ctype, tb.ctype);
+            let welch = stats::inference::welch_t_test(sa, sb);
+            let mwu = stats::inference::mann_whitney_u(sa, sb);
+            let fmt = |r: Option<stats::inference::TestResult>| match r {
+                Some(r) => (format!("{:>9.3}", r.statistic), format!("{:>11.4}", r.p_value)),
+                None => ("      n/a".to_string(), "        n/a".to_string()),
+            };
+            let (wt, wp) = fmt(welch);
+            let (mz, mp) = fmt(mwu);
+            out.push_str(&format!("{label:<22} {wt} {wp} {mz} {mp}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::MeasureSamples;
+    use stats::correlation::CorrType;
+
+    fn fake_treatments() -> Vec<TreatmentSamples> {
+        let mk = |ctype, base: f64| TreatmentSamples {
+            ctype,
+            samples: MeasureSamples {
+                cum_return: (0..50).map(|k| base + k as f64 * 0.001).collect(),
+                max_drawdown_pct: (0..50).map(|k| 1.0 + (k % 7) as f64 * 0.1).collect(),
+                win_loss: (0..50).map(|k| 1.2 + (k % 5) as f64 * 0.02).collect(),
+            },
+        };
+        vec![
+            mk(CorrType::Maronna, 1.10),
+            mk(CorrType::Pearson, 1.12),
+            mk(CorrType::Combined, 1.08),
+        ]
+    }
+
+    #[test]
+    fn table_has_all_rows_and_columns() {
+        let t = TableReport::build(Measure::CumulativeReturn, &fake_treatments());
+        let text = t.render();
+        for needle in [
+            "Maronna", "Pearson", "Combined", "Mean", "Median",
+            "Standard Deviation", "Sharpe Ratio", "Skewness", "Kurtosis",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn sharpe_only_in_table_iii() {
+        let dd = TableReport::build(Measure::MaxDrawdown, &fake_treatments()).render();
+        assert!(!dd.contains("Sharpe"));
+        let wl = TableReport::build(Measure::WinLoss, &fake_treatments()).render();
+        assert!(!wl.contains("Sharpe"));
+    }
+
+    #[test]
+    fn table_values_match_summary() {
+        let treatments = fake_treatments();
+        let t = TableReport::build(Measure::WinLoss, &treatments);
+        let direct = Summary::of(&treatments[1].samples.win_loss);
+        let col = &t.columns[1];
+        assert_eq!(col.0, "Pearson");
+        assert_eq!(col.1.mean, direct.mean);
+    }
+
+    #[test]
+    fn boxplots_render_one_line_per_treatment() {
+        let text = render_boxplots(Measure::MaxDrawdown, &fake_treatments(), 50);
+        // One '#' per treatment row plus one in the legend.
+        assert_eq!(text.matches('#').count(), 4, "{text}");
+        assert!(text.contains("Maronna"));
+        assert!(text.contains("axis:"));
+    }
+
+    #[test]
+    fn significance_table_covers_all_pairs() {
+        let text = render_significance(Measure::CumulativeReturn, &fake_treatments());
+        assert!(text.contains("Maronna vs Pearson"));
+        assert!(text.contains("Maronna vs Combined"));
+        assert!(text.contains("Pearson vs Combined"));
+        assert!(text.contains("Welch t"));
+        // The fake samples differ by a clear location shift, so at least
+        // one comparison should be wildly significant.
+        assert!(text.contains("0.0000"), "{text}");
+    }
+
+    #[test]
+    fn drawdown_table_is_in_percent() {
+        let t = TableReport::build(Measure::MaxDrawdown, &fake_treatments());
+        let text = t.render();
+        assert!(text.contains('%'), "{text}");
+    }
+}

@@ -1,0 +1,342 @@
+//! The full experiment driver — Section V's workload.
+//!
+//! Streams one day of synthetic market data at a time (a month of raw
+//! ticks never sits in memory), and for each day:
+//!
+//! 1. builds the cleaned BAM price grid and log-return panel;
+//! 2. computes one correlation cube per **distinct** `(Ctype, M)`
+//!    combination appearing in the parameter grid — the Approach-3
+//!    insight: the 42 parameter sets share 9 distinct cubes, so the
+//!    expensive kernel runs 9 times per day, not 42 × 1830 times;
+//! 3. runs every (parameter set, pair) strategy off the shared cubes,
+//!    in parallel over pairs;
+//! 4. folds each pair-day's trades into compact per-`(param, pair)`
+//!    statistics: daily cumulative returns (eq. 2), win/loss counts, and
+//!    trade counts — exactly what Tables III–V need.
+
+use std::collections::HashMap;
+
+use pairtrade_core::engine::run_pair_day;
+use pairtrade_core::exec::ExecutionConfig;
+use pairtrade_core::params::StrategyParams;
+use pairtrade_core::trade::Trade;
+use rayon::prelude::*;
+use stats::correlation::CorrType;
+use stats::matrix::SymMatrix;
+use stats::parallel::ParallelCorrEngine;
+use taq::generator::{MarketConfig, MarketGenerator};
+use timeseries::bam::PriceGrid;
+use timeseries::clean::CleanConfig;
+use timeseries::returns::ReturnsPanel;
+
+use crate::metrics;
+use crate::metrics::WinLoss;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Synthetic market to generate.
+    pub market: MarketConfig,
+    /// Parameter grid (e.g. the paper's 42 vectors).
+    pub params: Vec<StrategyParams>,
+    /// Execution extensions (paper-faithful by default).
+    pub exec: ExecutionConfig,
+    /// Quote cleaning.
+    pub clean: CleanConfig,
+    /// Keep every trade (memory-hungry; tests and deep-dives only).
+    pub keep_trades: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's full workload: 61 stocks, 20 days, 42 parameter sets.
+    pub fn paper(seed: u64) -> Self {
+        ExperimentConfig {
+            market: MarketConfig::paper_scale(seed),
+            params: pairtrade_core::params::paper_parameter_grid(),
+            exec: ExecutionConfig::paper(),
+            clean: CleanConfig::default(),
+            keep_trades: false,
+        }
+    }
+
+    /// A scaled-down workload for tests and quick runs.
+    pub fn small(n_stocks: usize, days: u16, seed: u64) -> Self {
+        ExperimentConfig {
+            market: MarketConfig::small(n_stocks, days, seed),
+            ..Self::paper(seed)
+        }
+    }
+}
+
+/// Accumulated per-`(param, pair)` statistics.
+#[derive(Debug, Clone, Default)]
+pub struct PairParamStats {
+    /// Daily cumulative return (eq. 2) per day.
+    pub daily_returns: Vec<f64>,
+    /// Win/loss counts over the whole period.
+    pub wl: WinLoss,
+    /// Total trades.
+    pub n_trades: u32,
+}
+
+/// Everything the evaluation needs, in compact form.
+#[derive(Debug)]
+pub struct ExperimentResults {
+    /// Universe size.
+    pub n_stocks: usize,
+    /// Days simulated.
+    pub n_days: usize,
+    /// The parameter grid, in index order.
+    pub params: Vec<StrategyParams>,
+    /// `[param_idx * n_pairs + pair_rank]`.
+    data: Vec<PairParamStats>,
+    /// All trades when `keep_trades` was set: `(param_idx, day, trade)`.
+    pub trades: Vec<(usize, u16, Trade)>,
+    /// Total trades across the whole experiment.
+    pub total_trades: u64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+}
+
+impl ExperimentResults {
+    /// Number of unordered pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.n_stocks * (self.n_stocks - 1) / 2
+    }
+
+    /// Statistics for one (parameter set, pair).
+    pub fn stats(&self, param_idx: usize, pair_rank: usize) -> &PairParamStats {
+        &self.data[param_idx * self.n_pairs() + pair_rank]
+    }
+
+    /// Eq. (3): total cumulative return for (param, pair) over the period.
+    pub fn total_cumulative(&self, param_idx: usize, pair_rank: usize) -> f64 {
+        metrics::total_cumulative(&self.stats(param_idx, pair_rank).daily_returns)
+    }
+
+    /// Eq. (7): maximum daily drawdown for (param, pair).
+    pub fn max_daily_drawdown(&self, param_idx: usize, pair_rank: usize) -> f64 {
+        metrics::max_drawdown_daily(&self.stats(param_idx, pair_rank).daily_returns)
+    }
+
+    /// Parameter indices using the given correlation treatment.
+    pub fn params_with(&self, ctype: CorrType) -> Vec<usize> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.ctype == ctype)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The experiment runner.
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// New experiment from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the parameter grid is empty or any vector is invalid.
+    pub fn new(config: ExperimentConfig) -> Self {
+        assert!(!config.params.is_empty(), "parameter grid is empty");
+        for (i, p) in config.params.iter().enumerate() {
+            p.validate().unwrap_or_else(|e| panic!("params[{i}]: {e}"));
+        }
+        Experiment { config }
+    }
+
+    /// Run the full experiment.
+    pub fn run(&self) -> ExperimentResults {
+        let start = std::time::Instant::now();
+        let cfg = &self.config;
+        let n = cfg.market.n_stocks;
+        let n_pairs = n * (n - 1) / 2;
+        let mut data = vec![PairParamStats::default(); cfg.params.len() * n_pairs];
+        let mut kept_trades = Vec::new();
+        let mut total_trades = 0u64;
+
+        // Group parameter indices by (dt, ctype, M): one grid per dt, one
+        // cube per (dt, ctype, M).
+        let mut by_dt: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (idx, p) in cfg.params.iter().enumerate() {
+            by_dt.entry(p.dt_seconds).or_default().push(idx);
+        }
+        let mut dts: Vec<u32> = by_dt.keys().copied().collect();
+        dts.sort_unstable();
+
+        let mut generator = MarketGenerator::new(cfg.market.clone());
+        let mut day_idx: u16 = 0;
+        while let Some(day) = generator.next_day() {
+            for &dt in &dts {
+                let grid = PriceGrid::from_day(&day, n, dt, cfg.clean);
+                let panel = ReturnsPanel::from_grid(&grid);
+
+                let mut by_cube: HashMap<(CorrType, usize), Vec<usize>> = HashMap::new();
+                for &idx in &by_dt[&dt] {
+                    let p = &cfg.params[idx];
+                    by_cube.entry((p.ctype, p.corr_window)).or_default().push(idx);
+                }
+                let mut cube_keys: Vec<(CorrType, usize)> = by_cube.keys().copied().collect();
+                cube_keys.sort_by_key(|(c, m)| (c.name(), *m));
+
+                for key in cube_keys {
+                    let (ctype, m) = key;
+                    let engine = ParallelCorrEngine::new(ctype);
+                    let Some(cube) = engine.cube(panel.all(), m) else {
+                        continue;
+                    };
+                    let first_interval = cube.first_step() + 1;
+                    for &param_idx in &by_cube[&key] {
+                        let params = &cfg.params[param_idx];
+                        let day_trades: Vec<Vec<Trade>> = (0..n_pairs)
+                            .into_par_iter()
+                            .map(|rank| {
+                                let (i, j) = SymMatrix::pair_from_rank(rank);
+                                run_pair_day(
+                                    (i, j),
+                                    params,
+                                    &cfg.exec,
+                                    grid.series(i),
+                                    grid.series(j),
+                                    cube.series_by_rank(rank),
+                                    first_interval,
+                                )
+                            })
+                            .collect();
+                        for (rank, trades) in day_trades.into_iter().enumerate() {
+                            let slot = &mut data[param_idx * n_pairs + rank];
+                            let rets: Vec<f64> = trades.iter().map(|t| t.ret).collect();
+                            slot.daily_returns.push(metrics::daily_cumulative(&rets));
+                            slot.wl = slot.wl.merge(WinLoss::of(&rets));
+                            slot.n_trades += trades.len() as u32;
+                            total_trades += trades.len() as u64;
+                            if cfg.keep_trades {
+                                kept_trades
+                                    .extend(trades.into_iter().map(|t| (param_idx, day_idx, t)));
+                            }
+                        }
+                    }
+                }
+            }
+            day_idx += 1;
+        }
+
+        ExperimentResults {
+            n_stocks: n,
+            n_days: day_idx as usize,
+            params: cfg.params.clone(),
+            data,
+            trades: kept_trades,
+            total_trades,
+            elapsed_secs: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> Vec<StrategyParams> {
+        let base = StrategyParams {
+            corr_window: 20,
+            avg_window: 10,
+            div_window: 5,
+            divergence: 0.0005,
+            ..StrategyParams::paper_default()
+        };
+        vec![
+            base,
+            StrategyParams {
+                ctype: CorrType::Quadrant,
+                ..base
+            },
+            StrategyParams {
+                corr_window: 40,
+                ..base
+            },
+        ]
+    }
+
+    fn small_config() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::small(4, 2, 11);
+        cfg.market.micro.quote_rate_hz = 0.05;
+        cfg.params = small_grid();
+        cfg
+    }
+
+    #[test]
+    fn runs_and_accounts() {
+        let results = Experiment::new(small_config()).run();
+        assert_eq!(results.n_stocks, 4);
+        assert_eq!(results.n_days, 2);
+        assert_eq!(results.n_pairs(), 6);
+        assert!(results.total_trades > 0, "episodes must generate trades");
+        // Every (param, pair) slot has one daily return per day.
+        for p in 0..3 {
+            for r in 0..6 {
+                assert_eq!(results.stats(p, r).daily_returns.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Experiment::new(small_config()).run();
+        let b = Experiment::new(small_config()).run();
+        assert_eq!(a.total_trades, b.total_trades);
+        for p in 0..3 {
+            for r in 0..a.n_pairs() {
+                assert_eq!(
+                    a.stats(p, r).daily_returns,
+                    b.stats(p, r).daily_returns,
+                    "param {p} pair {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keep_trades_round_trips_counts() {
+        let mut cfg = small_config();
+        cfg.keep_trades = true;
+        let results = Experiment::new(cfg).run();
+        assert_eq!(results.trades.len() as u64, results.total_trades);
+        // Per-slot counts agree with the kept trades.
+        let mut counted = 0u32;
+        for p in 0..3 {
+            for r in 0..results.n_pairs() {
+                counted += results.stats(p, r).n_trades;
+            }
+        }
+        assert_eq!(counted as u64, results.total_trades);
+    }
+
+    #[test]
+    fn params_with_filters_by_treatment() {
+        let results = Experiment::new(small_config()).run();
+        assert_eq!(results.params_with(CorrType::Pearson), vec![0, 2]);
+        assert_eq!(results.params_with(CorrType::Quadrant), vec![1]);
+        assert!(results.params_with(CorrType::Maronna).is_empty());
+    }
+
+    #[test]
+    fn metrics_derive_from_daily_series() {
+        let results = Experiment::new(small_config()).run();
+        let s = results.stats(0, 0);
+        let want = metrics::total_cumulative(&s.daily_returns);
+        assert_eq!(results.total_cumulative(0, 0), want);
+        assert!(results.max_daily_drawdown(0, 0) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_grid_rejected() {
+        let mut cfg = small_config();
+        cfg.params.clear();
+        let _ = Experiment::new(cfg);
+    }
+}

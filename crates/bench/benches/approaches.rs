@@ -1,0 +1,123 @@
+//! The Section-IV performance comparison (P1 in DESIGN.md's experiment
+//! index): the three computational approaches on one (day, parameter-set)
+//! workload, plus the paper's extrapolation arithmetic evaluated at the
+//! costs measured here.
+//!
+//! Expected shape: Approach 2 (per-pair recompute) is the most expensive
+//! and Approach 3 (integrated, shared cube) the cheapest, by a factor
+//! that widens with the number of pairs; Approach 1 matches Approach 3 in
+//! compute but pays the full-matrix materialisation in memory
+//! (`ApproachStats::matrix_bytes`).
+
+use backtest::approach::{run_day, Approach};
+use backtest::scaling::Extrapolation;
+use criterion::{BenchmarkId, Criterion};
+use pairtrade_core::exec::ExecutionConfig;
+use pairtrade_core::params::StrategyParams;
+use stats::correlation::CorrType;
+use std::hint::black_box;
+
+fn params(ctype: CorrType) -> StrategyParams {
+    StrategyParams {
+        ctype,
+        ..StrategyParams::paper_default()
+    }
+}
+
+fn bench_approaches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approaches_day_param");
+    group.sample_size(10);
+    let (grid, panel) = bench::day_fixture(16, 9, 0.05);
+    let exec = ExecutionConfig::paper();
+    for ctype in [CorrType::Pearson, CorrType::Maronna] {
+        let p = params(ctype);
+        for approach in [
+            Approach::Integrated,
+            Approach::PrecomputedMatrices,
+            Approach::PerPairRecompute,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ctype}"), format!("{approach}")),
+                &approach,
+                |b, &approach| {
+                    b.iter(|| black_box(run_day(approach, &grid, &panel, &p, &exec)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Print the paper's scaling table with costs measured on this machine —
+/// the regeneration of the Section-IV estimates.
+fn print_extrapolation() {
+    let (grid, panel) = bench::day_fixture(16, 9, 0.05);
+    let exec = ExecutionConfig::paper();
+    let n_pairs = 16 * 15 / 2;
+    let p = params(CorrType::Maronna);
+
+    let time_one = |approach: Approach| -> f64 {
+        let start = std::time::Instant::now();
+        let _ = run_day(approach, &grid, &panel, &p, &exec);
+        start.elapsed().as_secs_f64() / n_pairs as f64
+    };
+    println!("\n=== Section IV scaling, measured on this machine (Maronna, M=100) ===");
+    println!("--- paper's Matlab figure (2 s/job) ---");
+    println!("{}", Extrapolation::paper_workload().render());
+    for (name, approach) in [
+        ("Approach 2 (per-pair recompute)", Approach::PerPairRecompute),
+        ("Approach 3 (integrated)", Approach::Integrated),
+    ] {
+        let spj = time_one(approach);
+        let e = Extrapolation {
+            secs_per_job: spj,
+            ..Extrapolation::paper_workload()
+        };
+        println!("--- {name}: {spj:.6} s/pair-day-param ---");
+        println!("{}", e.render());
+    }
+    let a1 = run_day(Approach::PrecomputedMatrices, &grid, &panel, &p, &exec);
+    println!(
+        "--- Approach 1 memory: {} matrices, {:.1} MiB per (day, measure, M) at n=16; \
+         at n=61 the same day costs {:.1} MiB ---\n",
+        a1.stats.matrices_materialized,
+        a1.stats.matrix_bytes as f64 / (1024.0 * 1024.0),
+        a1.stats.matrices_materialized as f64 * 61.0 * 61.0 * 8.0 / (1024.0 * 1024.0),
+    );
+
+    // The grid-level story — where the approaches actually diverge: a
+    // parameter grid shares only a few distinct (Ctype, M) combinations,
+    // which the integrated approach computes once.
+    let grid_params: Vec<StrategyParams> = [0.0001f64, 0.0002, 0.0003]
+        .iter()
+        .flat_map(|&d| {
+            [CorrType::Pearson, CorrType::Maronna].map(|ctype| StrategyParams {
+                ctype,
+                divergence: d,
+                ..StrategyParams::paper_default()
+            })
+        })
+        .collect();
+    println!(
+        "=== grid-level comparison: {} parameter sets sharing 2 distinct (Ctype, M) cubes ===",
+        grid_params.len()
+    );
+    for approach in [Approach::PerPairRecompute, Approach::Integrated] {
+        let start = std::time::Instant::now();
+        let (_, gstats) =
+            backtest::approach::run_day_grid(approach, &grid, &panel, &grid_params, &exec);
+        println!(
+            "{approach}: {:.3} s, {} kernel sweeps",
+            start.elapsed().as_secs_f64(),
+            gstats.kernel_sweeps
+        );
+    }
+    println!();
+}
+
+fn main() {
+    print_extrapolation();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_approaches(&mut criterion);
+    criterion.final_summary();
+}

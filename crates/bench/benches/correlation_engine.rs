@@ -1,0 +1,119 @@
+//! The all-pairs correlation engine: scaling with universe size and
+//! thread count (P2 in DESIGN.md's experiment index — the paper's claim
+//! that the parallel kernel is what makes market-wide search viable).
+//!
+//! Expected shape: cost grows with n(n-1)/2; the rayon engine scales
+//! near-linearly with cores on the Maronna kernel (compute-bound) and
+//! less so on Pearson (memory-bound).
+
+use bench::correlated_windows;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stats::correlation::CorrType;
+use stats::parallel::ParallelCorrEngine;
+use std::hint::black_box;
+
+fn universe_windows(n: usize, m: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| correlated_windows(m, 0.6, i as u64 + 10).0)
+        .collect()
+}
+
+fn bench_universe_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_by_universe");
+    group.sample_size(10);
+    let m = 100;
+    for &n in &[16usize, 32, 61] {
+        let series = universe_windows(n, m);
+        let windows: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        for ctype in [CorrType::Pearson, CorrType::Maronna, CorrType::Combined] {
+            let engine = ParallelCorrEngine::new(ctype);
+            group.bench_with_input(
+                BenchmarkId::new(ctype.name(), n),
+                &n,
+                |b, _| b.iter(|| black_box(engine.matrix(black_box(&windows)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_by_threads");
+    group.sample_size(10);
+    let m = 100;
+    let n = 61; // the paper's universe
+    let series = universe_windows(n, m);
+    let windows: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+    let engine = ParallelCorrEngine::new(CorrType::Maronna);
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, _| {
+                pool.install(|| b.iter(|| black_box(engine.matrix(black_box(&windows)))));
+            },
+        );
+    }
+    // The explicit sequential baseline.
+    group.bench_function("sequential_baseline", |b| {
+        b.iter(|| black_box(engine.matrix_seq(black_box(&windows))))
+    });
+    group.finish();
+}
+
+fn bench_day_cube(c: &mut Criterion) {
+    // The batch product: a full day's correlation cube for a small
+    // universe (what one backtest day costs per distinct (Ctype, M)).
+    let mut group = c.benchmark_group("day_cube");
+    group.sample_size(10);
+    let (_grid, panel) = bench::day_fixture(16, 5, 0.05);
+    for ctype in [CorrType::Pearson, CorrType::Maronna] {
+        let engine = ParallelCorrEngine::new(ctype);
+        group.bench_function(ctype.name(), |b| {
+            b.iter(|| black_box(engine.cube(black_box(panel.all()), 100)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_vs_recompute(c: &mut Criterion) {
+    // The "online fashion" ablation: pushing one return vector through the
+    // O(1)-per-pair online engine vs recomputing every pair's window.
+    let mut group = c.benchmark_group("online_matrix_step");
+    let n = 61;
+    let m = 100;
+    let series = universe_windows(n, m * 2);
+    let engine = ParallelCorrEngine::new(CorrType::Pearson);
+
+    group.bench_function("online_push", |b| {
+        let mut online = stats::sliding_matrix::OnlineCorrMatrix::new(n, m);
+        let mut t = 0usize;
+        for k in 0..m {
+            let vec: Vec<f64> = series.iter().map(|s| s[k]).collect();
+            online.push(&vec);
+        }
+        b.iter(|| {
+            let vec: Vec<f64> = series.iter().map(|s| s[t % (m * 2)]).collect();
+            online.push(black_box(&vec));
+            t += 1;
+        });
+    });
+    group.bench_function("recompute_matrix", |b| {
+        let windows: Vec<&[f64]> = series.iter().map(|s| &s[..m]).collect();
+        b.iter(|| black_box(engine.matrix(black_box(&windows))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_universe_scaling,
+    bench_thread_scaling,
+    bench_day_cube,
+    bench_online_vs_recompute
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 2 — the box plots of all three performance
+//! measures** (F2a/F2b/F2c in DESIGN.md's experiment index) at bench
+//! scale, and times the box-plot statistics at the paper's 1830-sample
+//! size.
+//!
+//! Expected shape versus the paper: distributions with a significant
+//! number of high outliers, most pronounced for Maronna returns (its
+//! right-skew/fat-tail signature).
+
+use backtest::aggregate;
+use backtest::report::{render_boxplots, Measure};
+use criterion::{BenchmarkId, Criterion};
+use stats::descriptive::BoxPlot;
+use std::hint::black_box;
+
+fn main() {
+    let results = bench::small_experiment(20080304);
+    let treatments = aggregate::all_treatments(&results);
+    println!("\n=== Regenerated at bench scale (10 stocks, 2 days, 6 param sets) ===");
+    for measure in [
+        Measure::CumulativeReturn,
+        Measure::MaxDrawdown,
+        Measure::WinLoss,
+    ] {
+        println!("{}", render_boxplots(measure, &treatments, 64));
+    }
+
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut group = criterion.benchmark_group("fig2/boxplot_stats");
+    for &n in &[45usize, 1830] {
+        // n = 1830 is the paper's per-treatment sample count.
+        let sample: Vec<f64> = (0..n)
+            .map(|k| 1.1 + ((k * 31 % 97) as f64 - 48.0) * 1e-3 + if k % 50 == 0 { 0.5 } else { 0.0 })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(BoxPlot::of(black_box(&sample))))
+        });
+    }
+    group.finish();
+    criterion.final_summary();
+}

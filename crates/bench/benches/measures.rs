@@ -1,0 +1,86 @@
+//! Per-window correlation kernel cost — the micro-economics behind the
+//! paper's performance claims (P2 in DESIGN.md's experiment index).
+//!
+//! Measures one windowed estimate for each measure across the Table-I
+//! window sizes M ∈ {50, 100, 200}, plus the O(1) sliding-Pearson update
+//! the integrated engine uses. Expected shape: Maronna costs roughly an
+//! order of magnitude more than batch Pearson per window; the sliding
+//! update costs nanoseconds; the Combined screen collapses to quadrant
+//! cost on uncorrelated pairs.
+
+use bench::correlated_windows;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stats::correlation::CorrType;
+use stats::maronna::MaronnaEstimator;
+use stats::pearson::SlidingPearson;
+use std::hint::black_box;
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_kernel");
+    for &m in &[50usize, 100, 200] {
+        let (x_hi, y_hi) = correlated_windows(m, 0.8, 1);
+        let (x_lo, y_lo) = correlated_windows(m, 0.0, 2);
+        for ctype in [
+            CorrType::Pearson,
+            CorrType::Quadrant,
+            CorrType::Spearman,
+            CorrType::Kendall,
+            CorrType::Maronna,
+            CorrType::Combined,
+        ] {
+            let est = ctype.estimator();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ctype}/correlated"), m),
+                &m,
+                |b, _| b.iter(|| black_box(est.correlation(black_box(&x_hi), black_box(&y_hi)))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ctype}/uncorrelated"), m),
+                &m,
+                |b, _| b.iter(|| black_box(est.correlation(black_box(&x_lo), black_box(&y_lo)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sliding_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliding_pearson_update");
+    for &m in &[50usize, 100, 200] {
+        let (x, y) = correlated_windows(m * 4, 0.7, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut sl = SlidingPearson::new(m);
+            for k in 0..m {
+                sl.push(x[k], y[k]);
+            }
+            let mut k = m;
+            b.iter(|| {
+                sl.push(x[k % (m * 4)], y[k % (m * 4)]);
+                k += 1;
+                black_box(sl.correlation())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_maronna_convergence(c: &mut Criterion) {
+    // Iteration-budget ablation: tighter tolerance costs more iterations.
+    let mut group = c.benchmark_group("maronna_tolerance");
+    let (x, y) = correlated_windows(100, 0.8, 4);
+    for &tol in &[1e-4f64, 1e-7, 1e-10] {
+        let est = MaronnaEstimator {
+            tol,
+            ..MaronnaEstimator::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tol:.0e}")),
+            &tol,
+            |b, _| b.iter(|| black_box(est.fit(black_box(&x), black_box(&y)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures, bench_sliding_update, bench_maronna_convergence);
+criterion_main!(benches);

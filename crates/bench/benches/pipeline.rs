@@ -1,0 +1,55 @@
+//! Figure-1 pipeline throughput (F1 in DESIGN.md's experiment index):
+//! quotes per second through the full DAG — collector, cleaning + bars,
+//! returns, all-pairs correlation, strategy host, risk, gateway.
+//!
+//! Expected shape: the correlation engine dominates; Pearson sustains a
+//! much higher tape rate than Maronna at the same (n, M); widening the
+//! snapshot stride buys Maronna back.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use marketminer::pipeline::{run_fig1_pipeline, Fig1Config};
+use pairtrade_core::params::StrategyParams;
+use stats::correlation::CorrType;
+use std::hint::black_box;
+use taq::generator::{MarketConfig, MarketGenerator};
+
+fn make_day(n: usize, seed: u64, rate: f64) -> taq::dataset::DayData {
+    let mut cfg = MarketConfig::small(n, 1, seed);
+    cfg.micro.quote_rate_hz = rate;
+    MarketGenerator::new(cfg).next_day().unwrap()
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut group = criterion.benchmark_group("fig1_pipeline");
+    group.sample_size(10);
+
+    let n = 8;
+    let day = make_day(n, 5, 0.05);
+    let quotes = day.len() as u64;
+    group.throughput(Throughput::Elements(quotes));
+
+    for ctype in [CorrType::Pearson, CorrType::Maronna] {
+        for &stride in &[1usize, 10] {
+            let params = StrategyParams {
+                ctype,
+                corr_window: 50,
+                ..StrategyParams::paper_default()
+            };
+            let mut cfg = Fig1Config::new(n, params);
+            cfg.corr_stride = stride;
+            group.bench_with_input(
+                BenchmarkId::new(ctype.name(), format!("stride{stride}")),
+                &stride,
+                |b, _| {
+                    b.iter_with_setup(
+                        || make_day(n, 5, 0.05),
+                        |day| black_box(run_fig1_pipeline(day, &cfg).unwrap()),
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+    criterion.final_summary();
+}

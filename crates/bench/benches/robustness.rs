@@ -1,0 +1,119 @@
+//! Ablations A1 and A2 (DESIGN.md's experiment index): what the robust
+//! machinery buys.
+//!
+//! * A1 — correlation recovery under injected data errors: Pearson vs the
+//!   robust measures, printed as an error table and timed per window.
+//! * A2 — the TCP-like cleaning filter: throughput on a quote tape, clean
+//!   vs heavily corrupted.
+//!
+//! Expected shape: Pearson's recovery error explodes with corruption
+//! while Maronna's stays near its clean level; the filter sustains
+//! millions of quotes per second, so cleaning is never the bottleneck.
+
+use criterion::{BenchmarkId, Criterion};
+use stats::correlation::CorrType;
+use std::hint::black_box;
+use taq::errors::{ErrorConfig, ErrorInjector};
+use taq::rng::MarketRng;
+use timeseries::clean::{CleanConfig, TcpFilter};
+
+fn corrupted_pair(m: usize, rho: f64, frac: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let (x, mut y) = bench::correlated_windows(m, rho, seed);
+    let mut rng = MarketRng::seed_from(seed ^ 0xBEEF);
+    for v in y.iter_mut() {
+        if rng.flip(frac) {
+            *v = if rng.flip(0.5) { 40.0 } else { -40.0 };
+        }
+    }
+    (x, y)
+}
+
+fn print_recovery_table() {
+    println!("\n=== A1: correlation recovery under corruption (true rho = 0.8, M = 200) ===");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "corruption", "Pearson", "Quadrant", "Maronna", "Combined"
+    );
+    for &frac in &[0.0, 0.01, 0.03, 0.10] {
+        let (x, y) = corrupted_pair(200, 0.8, frac, 7);
+        let vals: Vec<f64> = [
+            CorrType::Pearson,
+            CorrType::Quadrant,
+            CorrType::Maronna,
+            CorrType::Combined,
+        ]
+        .iter()
+        .map(|c| c.estimator().correlation(&x, &y))
+        .collect();
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            format!("{:.0}%", frac * 100.0),
+            vals[0],
+            vals[1],
+            vals[2],
+            vals[3]
+        );
+    }
+    println!();
+}
+
+fn bench_estimators_under_corruption(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("robustness/estimator_cost");
+    for &frac in &[0.0, 0.05] {
+        let (x, y) = corrupted_pair(100, 0.8, frac, 11);
+        for ctype in [CorrType::Pearson, CorrType::Maronna, CorrType::Combined] {
+            let est = ctype.estimator();
+            group.bench_with_input(
+                BenchmarkId::new(ctype.name(), format!("{:.0}%", frac * 100.0)),
+                &frac,
+                |b, _| b.iter(|| black_box(est.correlation(black_box(&x), black_box(&y)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cleaning_filter(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("robustness/tcp_filter");
+    for (label, errors) in [("clean", ErrorConfig::none()), ("heavy", ErrorConfig::heavy())] {
+        // Build a 100k-quote tape for one stock with the given error mix.
+        let mut rng = MarketRng::seed_from(3);
+        let mut injector = ErrorInjector::new(errors);
+        let quotes: Vec<taq::quote::Quote> = (0..100_000u32)
+            .map(|k| {
+                let wiggle = (k * 13) % 7;
+                let clean = taq::quote::Quote {
+                    ts: taq::time::Timestamp::new(0, (k % 23_000_000) / 4 * 4),
+                    symbol: taq::symbol::Symbol(0),
+                    bid_cents: 3998 + wiggle,
+                    ask_cents: 4002 + wiggle,
+                    bid_size: 5,
+                    ask_size: 5,
+                };
+                injector.process(clean, &mut rng).0
+            })
+            .collect();
+        group.throughput(criterion::Throughput::Elements(quotes.len() as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut filter = TcpFilter::new(CleanConfig::default());
+                let mut accepted = 0u64;
+                for q in &quotes {
+                    if filter.process(black_box(q)).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                black_box(accepted)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_recovery_table();
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_estimators_under_corruption(&mut criterion);
+    bench_cleaning_filter(&mut criterion);
+    criterion.final_summary();
+}

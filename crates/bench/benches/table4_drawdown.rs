@@ -1,0 +1,37 @@
+//! Regenerates **Table IV — average maximum daily drawdown** (T4 in
+//! DESIGN.md's experiment index) at bench scale, and times the drawdown
+//! computation itself (eq. 7) across series lengths.
+//!
+//! Expected shape versus the paper: Pearson strategies show the smallest
+//! average worst peak-to-valley drop, Maronna the largest.
+
+use backtest::aggregate;
+use backtest::metrics;
+use backtest::report::{Measure, TableReport};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn main() {
+    let results = bench::small_experiment(20080302);
+    let treatments = aggregate::all_treatments(&results);
+    println!("\n=== Regenerated at bench scale (10 stocks, 2 days, 6 param sets) ===");
+    println!(
+        "{}",
+        TableReport::build(Measure::MaxDrawdown, &treatments).render()
+    );
+    println!("paper: mean M 1.666% / P 1.543% / C 1.567%\n");
+
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut group = criterion.benchmark_group("table4/max_drawdown");
+    for &len in &[20usize, 250, 5000] {
+        // Daily-return series with drawdowns in them.
+        let series: Vec<f64> = (0..len)
+            .map(|k| 0.001 * ((k as f64 * 0.7).sin() - 0.2))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(metrics::max_drawdown_daily(black_box(&series))))
+        });
+    }
+    group.finish();
+    criterion.final_summary();
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table V — average win–loss ratio** (T5 in DESIGN.md's
+//! experiment index) at bench scale, and times win/loss counting and
+//! merging (eqs. 8–9) at tape scale.
+//!
+//! Expected shape versus the paper: the three treatments sit close
+//! together (~1.27), with a small Combined edge in mean and dispersion.
+
+use backtest::aggregate;
+use backtest::metrics::WinLoss;
+use backtest::report::{Measure, TableReport};
+use criterion::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn main() {
+    let results = bench::small_experiment(20080303);
+    let treatments = aggregate::all_treatments(&results);
+    println!("\n=== Regenerated at bench scale (10 stocks, 2 days, 6 param sets) ===");
+    println!(
+        "{}",
+        TableReport::build(Measure::WinLoss, &treatments).render()
+    );
+    println!("paper: mean M 1.2697 / P 1.2724 / C 1.2787\n");
+
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut group = criterion.benchmark_group("table5/win_loss");
+    for &n in &[100usize, 10_000] {
+        let returns: Vec<f64> = (0..n)
+            .map(|k| ((k * 37 % 19) as f64 - 9.0) * 1e-4)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("count", n), &n, |b, _| {
+            b.iter(|| black_box(WinLoss::of(black_box(&returns))))
+        });
+    }
+    // Eq. 9: merging 1830 per-pair counters into the market-wide ratio.
+    let per_pair: Vec<WinLoss> = (0..1830)
+        .map(|k| WinLoss {
+            wins: (k % 13) as u32,
+            losses: (k % 11) as u32,
+        })
+        .collect();
+    group.bench_function("merge_1830_pairs", |b| {
+        b.iter(|| {
+            black_box(
+                per_pair
+                    .iter()
+                    .fold(WinLoss::default(), |acc, &wl| acc.merge(wl))
+                    .ratio(),
+            )
+        })
+    });
+    group.finish();
+    criterion.final_summary();
+}

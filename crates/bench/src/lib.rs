@@ -1,0 +1,69 @@
+//! Shared fixtures for the criterion benches.
+//!
+//! Every bench regenerates a table or figure of the paper (see DESIGN.md's
+//! experiment index); the fixtures here keep workload construction
+//! consistent across them.
+
+use taq::generator::{MarketConfig, MarketGenerator};
+use timeseries::bam::PriceGrid;
+use timeseries::clean::CleanConfig;
+use timeseries::returns::ReturnsPanel;
+
+/// One synthetic trading day, cleaned and sampled at Δs = 30 s.
+pub fn day_fixture(n_stocks: usize, seed: u64, quote_rate_hz: f64) -> (PriceGrid, ReturnsPanel) {
+    let mut cfg = MarketConfig::small(n_stocks, 1, seed);
+    cfg.micro.quote_rate_hz = quote_rate_hz;
+    let mut generator = MarketGenerator::new(cfg);
+    let day = generator.next_day().expect("one day configured");
+    let grid = PriceGrid::from_day(&day, n_stocks, 30, CleanConfig::default());
+    let panel = ReturnsPanel::from_grid(&grid);
+    (grid, panel)
+}
+
+/// Deterministic correlated window pair for kernel benches.
+pub fn correlated_windows(m: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = taq::rng::MarketRng::seed_from(seed);
+    let b = (1.0 - rho * rho).sqrt();
+    let mut x = Vec::with_capacity(m);
+    let mut y = Vec::with_capacity(m);
+    for _ in 0..m {
+        let g1 = rng.gauss();
+        let g2 = rng.gauss();
+        x.push(g1);
+        y.push(rho * g1 + b * g2);
+    }
+    (x, y)
+}
+
+/// A reduced-scale instance of the paper's Section-V experiment (the full
+/// 61x20x42 workload lives in `examples/reproduce_paper.rs`): 10 stocks,
+/// 2 days, 2 non-treatment levels x 3 treatments. Used by the table- and
+/// figure-regeneration benches.
+pub fn small_experiment(seed: u64) -> backtest::runner::ExperimentResults {
+    use pairtrade_core::params::StrategyParams;
+    use stats::correlation::CorrType;
+
+    let mut cfg = backtest::runner::ExperimentConfig::small(10, 2, seed);
+    cfg.market.micro.quote_rate_hz = 0.05;
+    let base = StrategyParams {
+        corr_window: 50,
+        avg_window: 20,
+        div_window: 5,
+        divergence: 0.0005,
+        ..StrategyParams::paper_default()
+    };
+    cfg.params = CorrType::TREATMENTS
+        .into_iter()
+        .flat_map(|ctype| {
+            [
+                StrategyParams { ctype, ..base },
+                StrategyParams {
+                    ctype,
+                    divergence: 0.001,
+                    ..base
+                },
+            ]
+        })
+        .collect();
+    backtest::runner::Experiment::new(cfg).run()
+}

@@ -1,0 +1,355 @@
+//! The classical distance-method baseline — Gatev, Goetzmann &
+//! Rouwenhorst's "Pairs Trading: Performance of a Relative Value
+//! Arbitrage Rule" (the paper's reference \[1\], "widely used in the
+//! financial industry for over twenty years").
+//!
+//! The paper positions its correlation-divergence strategy against this
+//! canon; implementing the canon makes the comparison runnable:
+//!
+//! * **Formation**: over a formation window, normalise every stock's
+//!   price to a cumulative index starting at 1 and select the pairs with
+//!   the minimum sum of squared deviations (SSD) between their indices;
+//!   record the formation-period standard deviation σ of each selected
+//!   pair's index spread.
+//! * **Trading**: after formation, open when the index spread exceeds
+//!   `k σ` (classically k = 2) — long the cheap leg, short the rich leg —
+//!   and unwind when the indices next *cross* (spread returns through 0).
+//!   Everything closes at end of day.
+//!
+//! This adaptation runs the classic rule intra-day on the same Δs grid
+//! the correlation strategy uses, so `examples/baseline_comparison.rs`
+//! can race them on identical data. Differences in character are the
+//! point: the distance method trades far less often (a pair opens at
+//! most a handful of times a day) and holds until full convergence
+//! rather than a retracement fraction.
+
+use serde::{Deserialize, Serialize};
+use timeseries::bam::PriceGrid;
+
+use crate::position::PairPosition;
+use crate::trade::{ExitReason, Trade};
+
+/// Distance-method configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceConfig {
+    /// Formation window in Δs intervals.
+    pub formation_intervals: usize,
+    /// Number of lowest-SSD pairs to trade.
+    pub top_pairs: usize,
+    /// Opening threshold in formation-σ units (classically 2).
+    pub open_sigmas: f64,
+    /// Minimum intervals before the close to open (the ST fence, kept
+    /// identical to the correlation strategy for a fair comparison).
+    pub min_time_before_close: usize,
+}
+
+impl Default for DistanceConfig {
+    fn default() -> Self {
+        DistanceConfig {
+            formation_intervals: 260, // ~2 trading hours at Δs = 30 s
+            top_pairs: 20,
+            open_sigmas: 2.0,
+            min_time_before_close: 20,
+        }
+    }
+}
+
+/// A pair selected in formation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormedPair {
+    /// Canonical pair `(i, j)`, `i > j`.
+    pub pair: (usize, usize),
+    /// Sum of squared index deviations over formation.
+    pub ssd: f64,
+    /// Formation-period standard deviation of the index spread.
+    pub sigma: f64,
+}
+
+/// Run formation: rank all pairs by SSD of normalised prices over
+/// `[0, formation_intervals)` and keep the best `top_pairs` with usable
+/// spread volatility.
+///
+/// # Panics
+/// Panics if the formation window exceeds the day.
+pub fn form_pairs(grid: &PriceGrid, cfg: &DistanceConfig) -> Vec<FormedPair> {
+    let n = grid.n_stocks();
+    let f = cfg.formation_intervals;
+    assert!(f >= 2 && f <= grid.intervals(), "formation window invalid");
+
+    // Normalised index per stock: P(s) / P(0) over formation.
+    let index = |stock: usize, s: usize| -> f64 {
+        let p0 = grid.price(stock, 0);
+        if p0 > 0.0 {
+            grid.price(stock, s) / p0
+        } else {
+            f64::NAN
+        }
+    };
+
+    let mut formed = Vec::new();
+    for i in 1..n {
+        for j in 0..i {
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            let mut ok = true;
+            for s in 0..f {
+                let d = index(i, s) - index(j, s);
+                if !d.is_finite() {
+                    ok = false;
+                    break;
+                }
+                sum += d;
+                sum_sq += d * d;
+            }
+            if !ok {
+                continue;
+            }
+            let mean = sum / f as f64;
+            let var = (sum_sq / f as f64 - mean * mean).max(0.0);
+            let sigma = var.sqrt();
+            if sigma <= 0.0 {
+                continue; // no spread volatility, nothing to trade
+            }
+            formed.push(FormedPair {
+                pair: (i, j),
+                ssd: sum_sq,
+                sigma,
+            });
+        }
+    }
+    formed.sort_by(|a, b| a.ssd.partial_cmp(&b.ssd).unwrap());
+    formed.truncate(cfg.top_pairs);
+    formed
+}
+
+/// Trade the formed pairs over the remainder of the day. Returns all
+/// completed round trips (the `Trade` record is shared with the
+/// correlation strategy, so the metrics pipeline applies unchanged).
+pub fn trade_day(grid: &PriceGrid, cfg: &DistanceConfig) -> Vec<Trade> {
+    let formed = form_pairs(grid, cfg);
+    let smax = grid.intervals();
+    let f = cfg.formation_intervals;
+    let mut trades = Vec::new();
+
+    for fp in &formed {
+        let (i, j) = fp.pair;
+        let p0_i = grid.price(i, 0);
+        let p0_j = grid.price(j, 0);
+        let spread =
+            |s: usize| -> f64 { grid.price(i, s) / p0_i - grid.price(j, s) / p0_j };
+
+        let mut open: Option<(PairPosition, f64)> = None; // (position, entry spread sign)
+        for s in f..smax {
+            let sp = spread(s);
+            if !sp.is_finite() {
+                continue;
+            }
+            match &open {
+                Some((position, entry_sign)) => {
+                    // Unwind on crossing (sign flip or touch), or EOD.
+                    let crossed = sp == 0.0 || sp.signum() != *entry_sign;
+                    let eod = s + 1 >= smax;
+                    if crossed || eod {
+                        let (long_exit, short_exit) = exit_prices(position, grid, i, j, s);
+                        let gross = position.gross_entry_value();
+                        let pnl = position.pnl(long_exit, short_exit);
+                        trades.push(Trade {
+                            pair: (i, j),
+                            entry_interval: position.entry_interval,
+                            exit_interval: s,
+                            reason: if crossed {
+                                ExitReason::Retracement
+                            } else {
+                                ExitReason::EndOfDay
+                            },
+                            pnl,
+                            gross,
+                            ret: pnl / gross,
+                            position: *position,
+                        });
+                        open = None;
+                    }
+                }
+                None => {
+                    let remaining = smax - 1 - s;
+                    if remaining < cfg.min_time_before_close {
+                        continue;
+                    }
+                    if sp.abs() > cfg.open_sigmas * fp.sigma {
+                        // Long the cheap (low-index) leg, short the rich.
+                        let (pi, pj) = (grid.price(i, s), grid.price(j, s));
+                        if !(pi > 0.0 && pj > 0.0) {
+                            continue;
+                        }
+                        let position = if sp > 0.0 {
+                            PairPosition::open(s, j, pj, i, pi) // i rich
+                        } else {
+                            PairPosition::open(s, i, pi, j, pj) // j rich
+                        };
+                        open = Some((position, sp.signum()));
+                    }
+                }
+            }
+        }
+        // Safety net: close anything the loop left open at the last price.
+        if let Some((position, _)) = open {
+            let s = smax - 1;
+            let (long_exit, short_exit) = exit_prices(&position, grid, i, j, s);
+            let gross = position.gross_entry_value();
+            let pnl = position.pnl(long_exit, short_exit);
+            trades.push(Trade {
+                pair: (i, j),
+                entry_interval: position.entry_interval,
+                exit_interval: s,
+                reason: ExitReason::EndOfDay,
+                pnl,
+                gross,
+                ret: pnl / gross,
+                position,
+            });
+        }
+    }
+    trades.sort_by_key(|t| (t.entry_interval, t.pair));
+    trades
+}
+
+fn exit_prices(
+    position: &PairPosition,
+    grid: &PriceGrid,
+    i: usize,
+    j: usize,
+    s: usize,
+) -> (f64, f64) {
+    let price_of = |stock: usize| {
+        if stock == i {
+            grid.price(i, s)
+        } else {
+            grid.price(j, s)
+        }
+    };
+    (price_of(position.long.stock), price_of(position.short.stock))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::bam::PriceGrid;
+
+    /// Grid with one tightly-matched pair (0, 1), one loose pair member
+    /// (2), and a divergence-and-reconvergence episode on the matched
+    /// pair during the trading window.
+    fn episode_grid() -> PriceGrid {
+        let smax = 780;
+        let f = 260;
+        let mut a = vec![0.0; smax];
+        let mut b = vec![0.0; smax];
+        let mut c = vec![0.0; smax];
+        for s in 0..smax {
+            // A slow common factor plus, for b, a small idiosyncratic
+            // wobble (an exactly-zero spread σ has nothing to trade and is
+            // rightly excluded by formation).
+            let wave = (s as f64 * 0.01).sin();
+            a[s] = 100.0 + wave;
+            b[s] = 50.0 + 0.5 * wave + 0.1 * (s as f64 * 0.31).sin();
+            c[s] = 80.0 + 3.0 * (s as f64 * 0.013).cos(); // unrelated
+        }
+        // Episode: stock 0 runs 3% rich from interval 400, reconverges by
+        // 460.
+        for (s, v) in a.iter_mut().enumerate().take(431).skip(400) {
+            *v *= 1.0 + 0.03 * ((s - 400) as f64 / 30.0);
+        }
+        for (s, v) in a.iter_mut().enumerate().take(460).skip(431) {
+            *v *= 1.0 + 0.03 * (1.0 - (s - 430) as f64 / 29.0);
+        }
+        let _ = f;
+        PriceGrid::from_series(vec![a, b, c], 30)
+    }
+
+    fn cfg() -> DistanceConfig {
+        DistanceConfig {
+            formation_intervals: 260,
+            top_pairs: 1,
+            open_sigmas: 2.0,
+            min_time_before_close: 20,
+        }
+    }
+
+    #[test]
+    fn formation_selects_the_matched_pair() {
+        let grid = episode_grid();
+        let formed = form_pairs(&grid, &cfg());
+        assert_eq!(formed.len(), 1);
+        assert_eq!(formed[0].pair, (1, 0), "the index-identical pair wins");
+        assert!(formed[0].sigma > 0.0);
+        // With top_pairs = 3 the ranking keeps the matched pair first.
+        let all = form_pairs(
+            &grid,
+            &DistanceConfig {
+                top_pairs: 3,
+                ..cfg()
+            },
+        );
+        assert_eq!(all[0].pair, (1, 0));
+        assert!(all[0].ssd <= all[1].ssd);
+    }
+
+    #[test]
+    fn trades_the_divergence_and_wins_on_reconvergence() {
+        let grid = episode_grid();
+        let trades = trade_day(&grid, &cfg());
+        assert!(!trades.is_empty(), "the 2% episode must trigger at 2σ");
+        let t = &trades[0];
+        assert!((390..=440).contains(&t.entry_interval), "{t:?}");
+        // Stock 0 ran rich: short it, long stock 1.
+        assert_eq!(t.position.short.stock, 0);
+        assert_eq!(t.position.long.stock, 1);
+        // Reconvergence exit with profit.
+        assert_eq!(t.reason, ExitReason::Retracement);
+        assert!(t.pnl > 0.0, "convergence trade should profit: {t:?}");
+    }
+
+    #[test]
+    fn quiet_market_produces_no_trades() {
+        let smax = 780;
+        let a: Vec<f64> = (0..smax).map(|s| 100.0 + (s as f64 * 0.05).sin()).collect();
+        let b: Vec<f64> = (0..smax)
+            .map(|s| 50.0 + 0.5 * (s as f64 * 0.05).sin())
+            .collect();
+        let grid = PriceGrid::from_series(vec![a, b], 30);
+        let trades = trade_day(&grid, &cfg());
+        assert!(trades.is_empty(), "no divergence beyond 2σ -> no trades");
+    }
+
+    #[test]
+    fn respects_the_close_fence_and_eod() {
+        // Divergence that never reconverges: the position must be closed
+        // EndOfDay, and nothing may open inside the ST fence.
+        let smax = 780;
+        let mut a: Vec<f64> = (0..smax).map(|s| 100.0 + (s as f64 * 0.05).sin()).collect();
+        let b: Vec<f64> = (0..smax)
+            .map(|s| 50.0 + 0.5 * (s as f64 * 0.05).sin())
+            .collect();
+        for v in a.iter_mut().take(smax).skip(700) {
+            *v *= 1.05; // diverges inside the fence region, stays rich
+        }
+        let grid = PriceGrid::from_series(vec![a, b], 30);
+        let c = DistanceConfig {
+            min_time_before_close: 100,
+            ..cfg()
+        };
+        let trades = trade_day(&grid, &c);
+        for t in &trades {
+            assert!(smax - 1 - t.entry_interval >= 100, "{t:?}");
+            assert!(t.exit_interval < smax);
+        }
+    }
+
+    #[test]
+    fn baseline_trades_far_less_than_the_divergence_strategy_would() {
+        // Character check: the distance method opens once per big episode,
+        // not dozens of times per day.
+        let grid = episode_grid();
+        let trades = trade_day(&grid, &cfg());
+        assert!(trades.len() <= 4, "got {}", trades.len());
+    }
+}

@@ -1,0 +1,225 @@
+//! Divergence detection — steps 1–2 of the strategy pseudo-code.
+//!
+//! Per interval `s` the detector maintains the `W`-window average
+//! correlation
+//!
+//! ```text
+//! C̄(s) = (1/W) Σ_{σ = s-W+1}^{s} C(σ)
+//! ```
+//!
+//! and fires when **both** hold:
+//!
+//! * `C̄(s) > A` — the pair is correlated enough to be tradeable, and
+//! * within the last `Y` intervals the correlation dropped more than `d`
+//!   (relative) below the then-current average: for some
+//!   `σ ∈ (s-Y, s]`, `(C̄(σ) − C(σ)) / C̄(σ) > d`.
+//!
+//! The drop direction is deliberate: a pair trade is triggered by
+//! *deteriorating* co-movement (the spread has opened), not by correlation
+//! strengthening. With the paper's intra-day `d` of a few basis points the
+//! detector is sensitive — this is a high-turnover strategy by design.
+
+use timeseries::window::SlidingWindow;
+
+use crate::params::StrategyParams;
+
+/// Streaming divergence detector for one pair under one parameter vector.
+#[derive(Debug, Clone)]
+pub struct DivergenceDetector {
+    min_avg_corr: f64,
+    divergence: f64,
+    /// Correlations over the last `W` intervals.
+    corr_window: SlidingWindow<f64>,
+    /// Relative drops `(C̄ − C) / C̄` over the last `Y` intervals.
+    drop_window: SlidingWindow<f64>,
+    last_avg: f64,
+    last_corr: f64,
+}
+
+/// The detector's per-interval verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalState {
+    /// Current `W`-window average correlation `C̄(s)`.
+    pub avg_corr: f64,
+    /// Current correlation `C(s)`.
+    pub corr: f64,
+    /// True when the trade trigger fires this interval.
+    pub diverged: bool,
+}
+
+impl DivergenceDetector {
+    /// Detector configured from a parameter vector (uses `A`, `W`, `Y`,
+    /// `d`).
+    pub fn new(params: &StrategyParams) -> Self {
+        DivergenceDetector {
+            min_avg_corr: params.min_avg_corr,
+            divergence: params.divergence,
+            corr_window: SlidingWindow::new(params.avg_window),
+            drop_window: SlidingWindow::new(params.div_window),
+            last_avg: 0.0,
+            last_corr: 0.0,
+        }
+    }
+
+    /// Feed the correlation for the current interval; returns the verdict.
+    ///
+    /// The average uses however many correlations are available until the
+    /// `W` window fills (the strategy engine only acts after
+    /// `first_active_interval`, so a full window is guaranteed in
+    /// production use).
+    pub fn push(&mut self, corr: f64) -> SignalState {
+        self.corr_window.push(corr);
+        let avg = self.corr_window.mean();
+        self.last_avg = avg;
+        self.last_corr = corr;
+
+        let rel_drop = if avg.abs() > f64::EPSILON {
+            (avg - corr) / avg
+        } else {
+            0.0
+        };
+        self.drop_window.push(rel_drop);
+
+        let diverged = avg > self.min_avg_corr
+            && self.drop_window.iter().any(|dr| dr > self.divergence);
+        SignalState {
+            avg_corr: avg,
+            corr,
+            diverged,
+        }
+    }
+
+    /// Most recent average correlation `C̄`.
+    pub fn avg_corr(&self) -> f64 {
+        self.last_avg
+    }
+
+    /// True when the correlation has *reverted* into the band
+    /// `[C̄ (1 − d), C̄]` — the optional correlation-reversion exit the
+    /// paper sketches: "if the correlation returns within the average
+    /// range ... the prices may have adjusted to new levels".
+    pub fn corr_reverted(&self) -> bool {
+        let lo = self.last_avg * (1.0 - self.divergence);
+        self.last_corr >= lo && self.last_corr <= self.last_avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::StrategyParams;
+
+    fn detector(a: f64, w: usize, y: usize, d: f64) -> DivergenceDetector {
+        let p = StrategyParams {
+            min_avg_corr: a,
+            avg_window: w,
+            div_window: y,
+            divergence: d,
+            ..StrategyParams::paper_default()
+        };
+        DivergenceDetector::new(&p)
+    }
+
+    #[test]
+    fn no_signal_on_stable_high_correlation() {
+        let mut det = detector(0.1, 10, 5, 0.01);
+        for _ in 0..50 {
+            let s = det.push(0.8);
+            assert!(!s.diverged, "flat correlation must not trigger");
+        }
+    }
+
+    #[test]
+    fn no_signal_below_min_correlation() {
+        let mut det = detector(0.5, 10, 5, 0.001);
+        // Average stays ~0.3 < A even with a big drop.
+        for _ in 0..20 {
+            det.push(0.3);
+        }
+        let s = det.push(0.1);
+        assert!(s.avg_corr < 0.5);
+        assert!(!s.diverged, "below-A pairs are never traded");
+    }
+
+    #[test]
+    fn drop_triggers_signal() {
+        let mut det = detector(0.1, 10, 5, 0.01);
+        for _ in 0..20 {
+            det.push(0.8);
+        }
+        // 5% relative drop > 1% threshold.
+        let s = det.push(0.8 * 0.95);
+        assert!(s.diverged);
+        assert!((s.avg_corr - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn rise_does_not_trigger() {
+        let mut det = detector(0.1, 10, 5, 0.01);
+        for _ in 0..20 {
+            det.push(0.8);
+        }
+        let s = det.push(0.9); // strengthening co-movement
+        assert!(!s.diverged);
+    }
+
+    #[test]
+    fn divergence_memory_is_y_intervals() {
+        let mut det = detector(0.1, 50, 3, 0.01);
+        for _ in 0..50 {
+            det.push(0.8);
+        }
+        // One sharp drop...
+        let s = det.push(0.7);
+        assert!(s.diverged);
+        // ...stays armed while within the Y = 3 window...
+        let s = det.push(0.8);
+        assert!(s.diverged, "within Y of the drop");
+        let s = det.push(0.8);
+        assert!(s.diverged, "still within Y");
+        // ...and expires after Y intervals.
+        let s = det.push(0.8);
+        assert!(!s.diverged, "drop has left the Y window");
+    }
+
+    #[test]
+    fn threshold_is_relative_not_absolute() {
+        // A 0.004 absolute drop from 0.2 is 2% relative: fires at d=1%.
+        let mut det = detector(0.1, 10, 2, 0.01);
+        for _ in 0..20 {
+            det.push(0.2);
+        }
+        let s = det.push(0.2 - 0.004);
+        assert!(s.diverged);
+        // The same absolute drop from 0.8 is 0.5% relative: no fire.
+        let mut det = detector(0.1, 10, 2, 0.01);
+        for _ in 0..20 {
+            det.push(0.8);
+        }
+        let s = det.push(0.8 - 0.004);
+        assert!(!s.diverged);
+    }
+
+    #[test]
+    fn corr_reversion_band() {
+        let mut det = detector(0.1, 10, 5, 0.05);
+        for _ in 0..20 {
+            det.push(0.8);
+        }
+        det.push(0.6); // diverged well below the band
+        assert!(!det.corr_reverted());
+        // Push back inside [C̄(1-d), C̄].
+        let avg = det.avg_corr();
+        det.push(avg * 0.97);
+        assert!(det.corr_reverted());
+    }
+
+    #[test]
+    fn partial_window_average() {
+        let mut det = detector(0.1, 10, 5, 0.01);
+        let s = det.push(0.6);
+        assert_eq!(s.avg_corr, 0.6);
+        let s = det.push(0.8);
+        assert!((s.avg_corr - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,461 @@
+//! The per-pair strategy state machine — steps 1–6 assembled.
+//!
+//! A [`PairStrategy`] instance owns one pair under one parameter vector
+//! for one trading day. Per interval it ingests the pair's prices and
+//! correlation, updates the divergence detector and the rolling spread
+//! range, and transitions between *flat* and *open*:
+//!
+//! ```text
+//!            divergence & C̄ > A & enough time before close
+//!   FLAT ────────────────────────────────────────────────────▶ OPEN
+//!    ▲                                                           │
+//!    │   retracement | stop-loss | corr-reversion | HP | EOD     │
+//!    └───────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Invariants enforced here (and property-tested):
+//! * no position is ever opened within `ST` intervals of the close;
+//! * no position is held longer than `HP` intervals;
+//! * every position is closed by end of day;
+//! * every trade's entry book is cash-neutral-but-slightly-long.
+
+use timeseries::spread::SpreadTracker;
+
+use crate::exec::ExecutionConfig;
+use crate::params::StrategyParams;
+use crate::position::PairPosition;
+use crate::retracement::RetracementRule;
+use crate::signal::DivergenceDetector;
+use crate::trade::{ExitReason, Trade};
+
+/// Per-interval market inputs for one pair.
+///
+/// `price_i` / `w_return_i` belong to the pair's first (higher-index)
+/// stock, `price_j` / `w_return_j` to the second; the spread is
+/// `price_i − price_j`.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalInput {
+    /// Absolute interval index within the day.
+    pub s: usize,
+    /// Price of stock `i` at `s`.
+    pub price_i: f64,
+    /// Price of stock `j` at `s`.
+    pub price_j: f64,
+    /// Pair correlation `C(s)` (trailing `M` returns).
+    pub corr: f64,
+    /// `W`-interval trailing return of stock `i`.
+    pub w_return_i: f64,
+    /// `W`-interval trailing return of stock `j`.
+    pub w_return_j: f64,
+}
+
+#[derive(Debug, Clone)]
+struct OpenState {
+    position: PairPosition,
+    rule: RetracementRule,
+}
+
+/// The state machine for one pair under one parameter vector.
+#[derive(Debug, Clone)]
+pub struct PairStrategy {
+    pair: (usize, usize),
+    params: StrategyParams,
+    exec: ExecutionConfig,
+    detector: DivergenceDetector,
+    spread: SpreadTracker,
+    open: Option<OpenState>,
+    trades: Vec<Trade>,
+    last_prices: Option<(usize, f64, f64)>,
+    intervals: usize,
+}
+
+impl PairStrategy {
+    /// New strategy for a pair. `pair` is stored canonically as
+    /// `(max, min)`.
+    pub fn new(pair: (usize, usize), params: StrategyParams, exec: ExecutionConfig) -> Self {
+        let pair = if pair.0 > pair.1 {
+            pair
+        } else {
+            (pair.1, pair.0)
+        };
+        PairStrategy {
+            pair,
+            params,
+            exec,
+            detector: DivergenceDetector::new(&params),
+            spread: SpreadTracker::new(params.spread_window),
+            open: None,
+            trades: Vec::new(),
+            last_prices: None,
+            intervals: params.intervals_per_day(),
+        }
+    }
+
+    /// The pair being traded (canonical order).
+    pub fn pair(&self) -> (usize, usize) {
+        self.pair
+    }
+
+    /// True while a position is open.
+    pub fn is_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Trades completed so far today.
+    pub fn trades(&self) -> &[Trade] {
+        &self.trades
+    }
+
+    fn leg_exit_prices(&self, open: &OpenState, price_i: f64, price_j: f64) -> (f64, f64) {
+        let long_exit = if open.position.long.stock == self.pair.0 {
+            price_i
+        } else {
+            price_j
+        };
+        let short_exit = if open.position.short.stock == self.pair.0 {
+            price_i
+        } else {
+            price_j
+        };
+        (long_exit, short_exit)
+    }
+
+    fn close(&mut self, s: usize, price_i: f64, price_j: f64, reason: ExitReason) {
+        let open = self.open.take().expect("close requires an open position");
+        let (long_exit, short_exit) = self.leg_exit_prices(&open, price_i, price_j);
+        let gross = open.position.gross_entry_value();
+        let cost = self
+            .exec
+            .round_trip_cost(open.position.total_shares(), gross);
+        let pnl = open.position.pnl(long_exit, short_exit) - cost;
+        self.trades.push(Trade {
+            pair: self.pair,
+            entry_interval: open.position.entry_interval,
+            exit_interval: s,
+            reason,
+            pnl,
+            gross,
+            ret: pnl / gross,
+            position: open.position,
+        });
+    }
+
+    /// Process one interval. Inputs must arrive in increasing `s` order.
+    pub fn on_interval(&mut self, input: IntervalInput) {
+        let IntervalInput {
+            s,
+            price_i,
+            price_j,
+            corr,
+            w_return_i,
+            w_return_j,
+        } = input;
+        debug_assert!(s < self.intervals, "interval beyond the trading day");
+        self.last_prices = Some((s, price_i, price_j));
+
+        let spread = price_i - price_j;
+        let spread_stats = self.spread.push(spread);
+        let signal = self.detector.push(corr);
+
+        // --- exit logic -------------------------------------------------
+        if let Some(open) = &self.open {
+            let (long_exit, short_exit) = self.leg_exit_prices(open, price_i, price_j);
+            let unrealized = open.position.trade_return(long_exit, short_exit);
+            let holding = s - open.position.entry_interval;
+
+            let reason = if self
+                .exec
+                .stop_loss
+                .is_some_and(|stop| unrealized <= -stop)
+            {
+                Some(ExitReason::StopLoss)
+            } else if open.rule.reached(spread) {
+                Some(ExitReason::Retracement)
+            } else if self.exec.corr_reversion_exit && self.detector.corr_reverted() {
+                Some(ExitReason::CorrReversion)
+            } else if holding >= self.params.max_holding {
+                Some(ExitReason::MaxHolding)
+            } else if s + 1 >= self.intervals {
+                Some(ExitReason::EndOfDay)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                self.close(s, price_i, price_j, reason);
+            }
+            return; // one action per interval: never close-and-reopen at s
+        }
+
+        // --- entry logic ------------------------------------------------
+        if !signal.diverged {
+            return;
+        }
+        if s < self.params.first_active_interval() {
+            return; // correlation / averaging windows not yet warm
+        }
+        // ST: "minimum time before market close required to open a new
+        // position".
+        let remaining = self.intervals - 1 - s;
+        if remaining < self.params.min_time_before_close {
+            return;
+        }
+        if !(price_i > 0.0 && price_j > 0.0 && price_i.is_finite() && price_j.is_finite()) {
+            return;
+        }
+        // Over-performer = higher W-period return; long the under-performer.
+        let (long_stock, long_price, short_stock, short_price) = if w_return_i > w_return_j {
+            (self.pair.1, price_j, self.pair.0, price_i)
+        } else if w_return_j > w_return_i {
+            (self.pair.0, price_i, self.pair.1, price_j)
+        } else {
+            return; // no performance differential, no trade
+        };
+        let position = PairPosition::open(s, long_stock, long_price, short_stock, short_price);
+        let rule = RetracementRule::at_entry(spread_stats, spread, self.params.retracement);
+        self.open = Some(OpenState { position, rule });
+    }
+
+    /// End the day: any open position is reversed at the last seen prices
+    /// ("we should reverse all positions at the end of the trading day").
+    /// Returns all trades.
+    pub fn finish_day(mut self) -> Vec<Trade> {
+        if self.open.is_some() {
+            let (s, pi, pj) = self
+                .last_prices
+                .expect("an open position implies at least one interval");
+            self.close(s, pi, pj, ExitReason::EndOfDay);
+        }
+        self.trades
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::correlation::CorrType;
+
+    /// Small, fast parameter vector for driving the machine by hand.
+    fn test_params() -> StrategyParams {
+        StrategyParams {
+            dt_seconds: 30,
+            ctype: CorrType::Pearson,
+            min_avg_corr: 0.1,
+            corr_window: 4,
+            avg_window: 4,
+            div_window: 3,
+            divergence: 0.01,
+            retracement: 1.0 / 3.0,
+            spread_window: 4,
+            max_holding: 5,
+            min_time_before_close: 3,
+        }
+    }
+
+    fn input(s: usize, pi: f64, pj: f64, corr: f64, wi: f64, wj: f64) -> IntervalInput {
+        IntervalInput {
+            s,
+            price_i: pi,
+            price_j: pj,
+            corr,
+            w_return_i: wi,
+            w_return_j: wj,
+        }
+    }
+
+    /// Warm the detector with stable correlation from the first active
+    /// interval onward.
+    fn warmed(params: StrategyParams) -> (PairStrategy, usize) {
+        let mut st = PairStrategy::new((1, 0), params, ExecutionConfig::paper());
+        let start = params.first_active_interval();
+        for s in 0..start + 5 {
+            st.on_interval(input(s, 130.0, 30.0, 0.8, 0.0, 0.0));
+        }
+        (st, start + 5)
+    }
+
+    #[test]
+    fn canonical_pair_ordering() {
+        let st = PairStrategy::new((2, 7), test_params(), ExecutionConfig::paper());
+        assert_eq!(st.pair(), (7, 2));
+    }
+
+    #[test]
+    fn no_trade_without_divergence() {
+        let (st, _) = warmed(test_params());
+        assert!(!st.is_open());
+        assert!(st.finish_day().is_empty());
+    }
+
+    #[test]
+    fn divergence_opens_long_underperformer() {
+        let (mut st, s) = warmed(test_params());
+        // Correlation drops 5% (> 1% threshold); stock i over-performed.
+        st.on_interval(input(s, 131.0, 29.5, 0.76, 0.01, -0.01));
+        assert!(st.is_open());
+        let trades = st.finish_day();
+        assert_eq!(trades.len(), 1);
+        let pos = trades[0].position;
+        // i (stock 1, price 131) over-performed -> short it, long j.
+        assert_eq!(pos.short.stock, 1);
+        assert_eq!(pos.long.stock, 0);
+        // Ratio: long cheap at 29.5 vs short 131: ceil(131/29.5) = 5.
+        assert_eq!(pos.long.shares, 5);
+        assert_eq!(pos.short.shares, 1);
+        assert!(pos.net_entry_exposure() >= 0.0);
+    }
+
+    #[test]
+    fn max_holding_forces_exit() {
+        let (mut st, s) = warmed(test_params());
+        st.on_interval(input(s, 131.0, 29.5, 0.76, 0.01, -0.01));
+        assert!(st.is_open());
+        // Keep the spread glued so retracement never fires (rule was set
+        // from a rising-spread entry; hold spread exactly at entry).
+        let mut k = s + 1;
+        while st.is_open() {
+            st.on_interval(input(k, 131.0, 29.5, 0.76, 0.0, 0.0));
+            k += 1;
+            assert!(k < s + 20, "HP must have fired by now");
+        }
+        let trades = st.trades().to_vec();
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].reason, ExitReason::MaxHolding);
+        assert!(trades[0].holding_intervals() <= test_params().max_holding);
+    }
+
+    #[test]
+    fn retracement_exit_books_profit() {
+        let params = test_params();
+        let mut st = PairStrategy::new((1, 0), params, ExecutionConfig::paper());
+        let start = params.first_active_interval();
+        // Spread oscillates 98..102 during warmup so the range is wide.
+        for s in 0..start {
+            let wiggle = (s % 5) as f64; // 0..4
+            st.on_interval(input(s, 128.0 + wiggle, 30.0, 0.8, 0.0, 0.0));
+        }
+        // Divergence at the top of the range: i over-performed, spread 102.
+        st.on_interval(input(start, 132.0, 30.0, 0.7, 0.02, 0.0));
+        assert!(st.is_open());
+        // Spread falls back toward the mean -> retracement (exit_below).
+        let mut s = start + 1;
+        st.on_interval(input(s, 131.0, 30.0, 0.8, 0.0, 0.0));
+        if st.is_open() {
+            s += 1;
+            st.on_interval(input(s, 128.0, 30.0, 0.8, 0.0, 0.0));
+        }
+        assert!(!st.is_open(), "retracement should have fired");
+        let trades = st.finish_day();
+        assert_eq!(trades[0].reason, ExitReason::Retracement);
+        // Short i at 132, exit 131 or lower: profit.
+        assert!(trades[0].pnl > 0.0);
+        assert!(trades[0].is_win());
+    }
+
+    #[test]
+    fn no_entries_near_the_close() {
+        let params = test_params();
+        let intervals = params.intervals_per_day();
+        let mut st = PairStrategy::new((1, 0), params, ExecutionConfig::paper());
+        // Warm right up to the ST fence, then force a divergence inside it.
+        for s in 0..intervals {
+            let corr = if s >= intervals - 2 { 0.5 } else { 0.8 };
+            st.on_interval(input(s, 130.0, 30.0, corr, 0.01, -0.01));
+            if intervals - 1 - s < params.min_time_before_close {
+                assert!(!st.is_open(), "entered within ST of close at s={s}");
+            }
+        }
+        assert!(st.finish_day().is_empty());
+    }
+
+    #[test]
+    fn end_of_day_flattens() {
+        let params = test_params();
+        let intervals = params.intervals_per_day();
+        let mut st = PairStrategy::new((1, 0), params, ExecutionConfig::paper());
+        let start = params.first_active_interval();
+        for s in 0..start {
+            st.on_interval(input(s, 130.0, 30.0, 0.8, 0.0, 0.0));
+        }
+        // Enter, then feed flat prices with HP effectively infinite by
+        // re-opening whenever closed; final close must be EndOfDay or
+        // MaxHolding, and nothing may survive finish_day.
+        st.on_interval(input(start, 130.0, 29.0, 0.7, 0.01, -0.01));
+        for s in start + 1..intervals {
+            st.on_interval(input(s, 130.0, 29.0, 0.7, 0.0, 0.0));
+        }
+        let trades = st.finish_day();
+        assert!(!trades.is_empty());
+        // No trade may exit after the last interval.
+        assert!(trades.iter().all(|t| t.exit_interval < intervals));
+    }
+
+    #[test]
+    fn finish_day_closes_dangling_position() {
+        let (mut st, s) = warmed(test_params());
+        st.on_interval(input(s, 131.0, 29.5, 0.70, 0.01, -0.01));
+        assert!(st.is_open());
+        let trades = st.finish_day();
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].reason, ExitReason::EndOfDay);
+    }
+
+    #[test]
+    fn stop_loss_extension_fires_first() {
+        let params = test_params();
+        let exec = ExecutionConfig {
+            stop_loss: Some(0.005),
+            ..ExecutionConfig::paper()
+        };
+        let mut st = PairStrategy::new((1, 0), params, exec);
+        let start = params.first_active_interval();
+        for s in 0..start {
+            st.on_interval(input(s, 130.0, 30.0, 0.8, 0.0, 0.0));
+        }
+        st.on_interval(input(start, 130.0, 30.0, 0.7, -0.01, 0.01));
+        assert!(st.is_open(), "entered");
+        // The divergence widens violently against us: long i at 130
+        // collapses.
+        st.on_interval(input(start + 1, 120.0, 30.0, 0.7, 0.0, 0.0));
+        let trades = st.finish_day();
+        assert_eq!(trades[0].reason, ExitReason::StopLoss);
+        assert!(trades[0].ret < -0.005);
+    }
+
+    #[test]
+    fn transaction_costs_reduce_returns() {
+        let run = |exec: ExecutionConfig| -> f64 {
+            let params = test_params();
+            let start = params.first_active_interval() + 5;
+            let mut st = PairStrategy::new((1, 0), params, exec);
+            for k in 0..start {
+                st.on_interval(input(k, 130.0, 30.0, 0.8, 0.0, 0.0));
+            }
+            st.on_interval(input(start, 131.0, 29.5, 0.76, 0.01, -0.01));
+            st.on_interval(input(start + 1, 130.0, 30.0, 0.8, 0.0, 0.0));
+            let trades = st.finish_day();
+            assert!(!trades.is_empty());
+            trades[0].ret
+        };
+        let free = run(ExecutionConfig::paper());
+        let costly = run(ExecutionConfig::with_costs());
+        assert!(costly < free, "costs must eat into the return");
+    }
+
+    #[test]
+    fn one_action_per_interval() {
+        // A close at interval s must not be followed by an open at s.
+        let (mut st, s) = warmed(test_params());
+        st.on_interval(input(s, 131.0, 29.5, 0.70, 0.01, -0.01));
+        assert!(st.is_open());
+        // This interval both hits HP (if fed long enough) and diverges;
+        // drive to the forced exit and check the machine is flat at that s.
+        let mut k = s + 1;
+        while st.is_open() {
+            st.on_interval(input(k, 131.0, 29.5, 0.60, 0.01, -0.01));
+            k += 1;
+        }
+        let exit_s = st.trades().last().unwrap().exit_interval;
+        assert_eq!(exit_s, k - 1);
+        assert!(!st.is_open(), "no same-interval re-entry");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the strategy components.
+
+use proptest::prelude::*;
+
+use pairtrade_core::position::{share_ratio, PairPosition};
+use pairtrade_core::retracement::RetracementRule;
+use pairtrade_core::signal::DivergenceDetector;
+use pairtrade_core::params::StrategyParams;
+use timeseries::rolling::RangeStats;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn share_ratio_is_cash_neutral_slightly_long(
+        long_price in 0.5f64..500.0,
+        short_price in 0.5f64..500.0,
+    ) {
+        let (nl, ns) = share_ratio(long_price, short_price);
+        prop_assert!(nl >= 1 && ns >= 1);
+        let long_value = nl as f64 * long_price;
+        let short_value = ns as f64 * short_price;
+        // "as close to cash-neutral as possible, but just slightly on the
+        // long side"
+        prop_assert!(long_value >= short_value - 1e-9,
+            "short-heavy: {long_value} vs {short_value}");
+        // And not gratuitously long: the imbalance is less than one share
+        // of the larger-priced leg.
+        prop_assert!(long_value - short_value <= long_price.max(short_price) + 1e-9);
+    }
+
+    #[test]
+    fn position_return_is_pnl_over_gross(
+        lp in 1.0f64..300.0,
+        sp in 1.0f64..300.0,
+        move_l in -0.1f64..0.1,
+        move_s in -0.1f64..0.1,
+    ) {
+        let pos = PairPosition::open(0, 0, lp, 1, sp);
+        let (xl, xs) = (lp * (1.0 + move_l), sp * (1.0 + move_s));
+        let r = pos.trade_return(xl, xs);
+        prop_assert!((r * pos.gross_entry_value() - pos.pnl(xl, xs)).abs() < 1e-9);
+        // Zero move -> zero PnL.
+        prop_assert!(pos.pnl(lp, sp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retracement_level_lies_in_the_spread_range(
+        low in -100.0f64..100.0,
+        width in 0.0f64..50.0,
+        entry_frac in 0.0f64..1.0,
+        ell in 0.05f64..0.95,
+    ) {
+        let high = low + width;
+        let mean = low + width * 0.5;
+        let stats = RangeStats { low, high, mean, len: 60 };
+        let entry = low + width * entry_frac;
+        let rule = RetracementRule::at_entry(stats, entry, ell);
+        prop_assert!(rule.level >= low - 1e-9 && rule.level <= high + 1e-9,
+            "level {} outside [{low}, {high}]", rule.level);
+        // Direction: entries below the mean exit upward, above exit down.
+        prop_assert_eq!(rule.exit_above, entry <= mean);
+        // The boundary values always trigger.
+        prop_assert!(rule.reached(high) || rule.reached(low));
+    }
+
+    #[test]
+    fn detector_fires_iff_relative_drop_exceeds_d(
+        level in 0.2f64..0.95,
+        drop_frac in 0.0f64..0.2,
+        d in 0.001f64..0.05,
+    ) {
+        let params = StrategyParams {
+            min_avg_corr: 0.1,
+            avg_window: 20,
+            div_window: 3,
+            divergence: d,
+            ..StrategyParams::paper_default()
+        };
+        let mut det = DivergenceDetector::new(&params);
+        for _ in 0..40 {
+            det.push(level);
+        }
+        let dropped = level * (1.0 - drop_frac);
+        let state = det.push(dropped);
+        // The drop dilutes the average slightly; compute the actual
+        // relative drop against the updated average.
+        let rel = (state.avg_corr - dropped) / state.avg_corr;
+        prop_assert_eq!(
+            state.diverged,
+            rel > d,
+            "rel {} vs d {}: diverged = {}",
+            rel,
+            d,
+            state.diverged
+        );
+    }
+
+    #[test]
+    fn all_grid_vectors_validate(idx in 0usize..42) {
+        let grid = pairtrade_core::params::paper_parameter_grid();
+        prop_assert!(grid[idx].validate().is_ok());
+        prop_assert!(grid[idx].first_active_interval() < grid[idx].intervals_per_day());
+    }
+}

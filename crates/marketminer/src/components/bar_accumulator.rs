@@ -1,0 +1,188 @@
+//! The "OHLC Bar Accumulator (Δs)" node.
+//!
+//! Consumes the merged quote tape, pushes every quote through its stock's
+//! TCP-like cleaning filter, and — each time the tape's clock crosses a Δs
+//! boundary — emits a [`BarSet`]: the latest clean
+//! midpoint for every stock (forward-filled through quiet intervals) plus
+//! per-interval tick counts.
+
+use std::sync::Arc;
+
+use timeseries::clean::{CleanConfig, TcpFilter};
+
+use crate::messages::{BarSet, Message};
+use crate::node::{Component, Emit};
+
+/// Streaming bar accumulator for the whole universe.
+pub struct BarAccumulatorNode {
+    dt_seconds: u32,
+    n_stocks: usize,
+    filters: Vec<TcpFilter>,
+    /// Latest clean midpoint per stock (NaN until first clean quote).
+    closes: Vec<f64>,
+    /// Ticks accepted per stock in the current interval.
+    ticks: Vec<u32>,
+    current_interval: Option<usize>,
+    name: String,
+}
+
+impl BarAccumulatorNode {
+    /// Accumulator at interval width `dt_seconds` over `n_stocks` stocks.
+    pub fn new(n_stocks: usize, dt_seconds: u32, clean: CleanConfig) -> Self {
+        BarAccumulatorNode {
+            dt_seconds,
+            n_stocks,
+            filters: (0..n_stocks).map(|_| TcpFilter::new(clean)).collect(),
+            closes: vec![f64::NAN; n_stocks],
+            ticks: vec![0; n_stocks],
+            current_interval: None,
+            name: format!("ohlc-bars(ds={dt_seconds}s)"),
+        }
+    }
+
+    fn emit_bar_set(&mut self, interval: usize, out: &mut Emit<'_>) {
+        out(Message::Bars(Arc::new(BarSet {
+            interval,
+            closes: self.closes.clone(),
+            ticks: std::mem::replace(&mut self.ticks, vec![0; self.n_stocks]),
+        })));
+    }
+}
+
+impl Component for BarAccumulatorNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+        let Message::Quote(q) = msg else {
+            return; // bar accumulators only eat quotes
+        };
+        let interval = q.ts.interval(self.dt_seconds);
+        match self.current_interval {
+            None => self.current_interval = Some(interval),
+            Some(cur) if interval > cur => {
+                // Close the current interval and any quiet ones skipped.
+                self.emit_bar_set(cur, out);
+                for quiet in cur + 1..interval {
+                    self.emit_bar_set(quiet, out);
+                }
+                self.current_interval = Some(interval);
+            }
+            _ => {}
+        }
+        let stock = q.symbol.index();
+        if stock < self.n_stocks {
+            if let Ok(mid) = self.filters[stock].process(&q) {
+                self.closes[stock] = mid;
+                self.ticks[stock] += 1;
+            }
+        }
+    }
+
+    fn on_end(&mut self, out: &mut Emit<'_>) {
+        if let Some(cur) = self.current_interval.take() {
+            self.emit_bar_set(cur, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq::quote::Quote;
+    use taq::symbol::Symbol;
+    use taq::time::Timestamp;
+
+    fn quote(sec: u32, sym: u16, bid: u32, ask: u32) -> Message {
+        Message::Quote(Quote {
+            ts: Timestamp::new(0, sec * 1000),
+            symbol: Symbol(sym),
+            bid_cents: bid,
+            ask_cents: ask,
+            bid_size: 1,
+            ask_size: 1,
+        })
+    }
+
+    fn collect(node: &mut BarAccumulatorNode, msgs: Vec<Message>) -> Vec<Arc<BarSet>> {
+        let mut out_msgs = Vec::new();
+        {
+            let mut emit = |m: Message| out_msgs.push(m);
+            for m in msgs {
+                node.on_message(m, &mut emit);
+            }
+            node.on_end(&mut emit);
+        }
+        out_msgs
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::Bars(b) => Some(b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn emits_barset_per_interval_crossing() {
+        let mut node = BarAccumulatorNode::new(2, 30, CleanConfig::default());
+        let bars = collect(
+            &mut node,
+            vec![
+                quote(0, 0, 4000, 4002),
+                quote(10, 1, 2000, 2002),
+                quote(35, 0, 4010, 4012), // crosses into interval 1
+                quote(65, 1, 2010, 2012), // crosses into interval 2
+            ],
+        );
+        assert_eq!(bars.len(), 3, "intervals 0, 1 and the final flush");
+        assert_eq!(bars[0].interval, 0);
+        assert!((bars[0].closes[0] - 40.01).abs() < 1e-9);
+        assert!((bars[0].closes[1] - 20.01).abs() < 1e-9);
+        assert_eq!(bars[0].ticks, vec![1, 1]);
+        // Interval 1: stock 0 updated, stock 1 carries.
+        assert!((bars[1].closes[0] - 40.11).abs() < 1e-9);
+        assert!((bars[1].closes[1] - 20.01).abs() < 1e-9);
+        assert_eq!(bars[1].ticks, vec![1, 0]);
+        // Final flush (interval 2).
+        assert_eq!(bars[2].interval, 2);
+        assert!((bars[2].closes[1] - 20.11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiet_intervals_are_emitted_as_carries() {
+        let mut node = BarAccumulatorNode::new(1, 30, CleanConfig::default());
+        let bars = collect(
+            &mut node,
+            vec![quote(0, 0, 1000, 1002), quote(100, 0, 1010, 1012)],
+        );
+        // Quote at 100s = interval 3; intervals 0,1,2 emitted + flush of 3.
+        assert_eq!(bars.len(), 4);
+        assert_eq!(
+            bars.iter().map(|b| b.interval).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(bars[1].ticks, vec![0], "carry interval has no ticks");
+        assert_eq!(bars[1].closes, bars[0].closes);
+    }
+
+    #[test]
+    fn dirty_quotes_do_not_move_closes() {
+        let mut node = BarAccumulatorNode::new(1, 30, CleanConfig::default());
+        let mut msgs: Vec<Message> = (0..50).map(|k| quote(k, 0, 4000, 4002)).collect();
+        msgs.push(quote(50, 0, 1, 99_999)); // test-quote garbage
+        msgs.push(quote(61, 0, 4000, 4002));
+        let bars = collect(&mut node, msgs);
+        for b in &bars {
+            assert!((b.closes[0] - 40.01).abs() < 1e-9, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn unseen_stock_stays_nan() {
+        let mut node = BarAccumulatorNode::new(2, 30, CleanConfig::default());
+        let bars = collect(&mut node, vec![quote(0, 0, 1000, 1002)]);
+        assert!((bars[0].closes[0] - 10.01).abs() < 1e-9);
+        assert!(bars[0].closes[1].is_nan());
+    }
+}

@@ -1,0 +1,17 @@
+//! The analytics components of Figure 1.
+
+pub mod bar_accumulator;
+pub mod collector;
+pub mod correlation_engine;
+pub mod order_gateway;
+pub mod risk;
+pub mod strategy_node;
+pub mod technical;
+
+pub use bar_accumulator::BarAccumulatorNode;
+pub use collector::{FileCollector, ReplayCollector};
+pub use correlation_engine::CorrelationEngineNode;
+pub use order_gateway::OrderGatewayNode;
+pub use risk::RiskManagerNode;
+pub use strategy_node::StrategyHostNode;
+pub use technical::TechnicalAnalysisNode;

@@ -1,0 +1,151 @@
+//! The order gateway: basket aggregation and the two order paths of
+//! Figure 1.
+//!
+//! "Aggregating the results into a single basket, as opposed to many
+//! individual trade orders, allows the trading system to utilize a
+//! sophisticated list-based algorithm to optimize the actual execution."
+//! The gateway buffers order requests per interval and emits one
+//! [`Basket`] per interval boundary; Figure 1's
+//! "with human confirmation" vs "no human confirmation" paths are the
+//! per-order `needs_confirmation` flag, preserved through aggregation.
+
+use std::sync::Arc;
+
+use crate::messages::{Basket, Message, OrderRequest};
+use crate::node::{Component, Emit};
+
+/// Basket-aggregating order gateway.
+pub struct OrderGatewayNode {
+    current_interval: Option<usize>,
+    pending: Vec<OrderRequest>,
+    baskets_emitted: u64,
+    name: String,
+}
+
+impl OrderGatewayNode {
+    /// New gateway.
+    pub fn new() -> Self {
+        OrderGatewayNode {
+            current_interval: None,
+            pending: Vec::new(),
+            baskets_emitted: 0,
+            name: "order-gateway".to_string(),
+        }
+    }
+
+    /// Baskets emitted so far.
+    pub fn baskets_emitted(&self) -> u64 {
+        self.baskets_emitted
+    }
+
+    fn flush(&mut self, out: &mut Emit<'_>) {
+        if let Some(interval) = self.current_interval.take() {
+            if !self.pending.is_empty() {
+                self.baskets_emitted += 1;
+                out(Message::Basket(Arc::new(Basket {
+                    interval,
+                    orders: std::mem::take(&mut self.pending),
+                })));
+            }
+        }
+    }
+}
+
+impl Default for OrderGatewayNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Component for OrderGatewayNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+        match msg {
+            Message::Order(order) => {
+                if self.current_interval != Some(order.interval) {
+                    self.flush(out);
+                    self.current_interval = Some(order.interval);
+                }
+                self.pending.push((*order).clone());
+            }
+            other => out(other), // trade reports etc. pass through
+        }
+    }
+
+    fn on_end(&mut self, out: &mut Emit<'_>) {
+        self.flush(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::OrderSide;
+
+    fn order(interval: usize, stock: usize, confirm: bool) -> Message {
+        Message::Order(Arc::new(OrderRequest {
+            interval,
+            stock,
+            side: OrderSide::Buy,
+            shares: 1,
+            price: 10.0,
+            pair: (1, 0),
+            needs_confirmation: confirm,
+        }))
+    }
+
+    fn run(msgs: Vec<Message>) -> Vec<Arc<Basket>> {
+        let mut node = OrderGatewayNode::new();
+        let mut baskets = Vec::new();
+        {
+            let mut emit = |m: Message| {
+                if let Message::Basket(b) = m {
+                    baskets.push(b);
+                }
+            };
+            for m in msgs {
+                node.on_message(m, &mut emit);
+            }
+            node.on_end(&mut emit);
+        }
+        baskets
+    }
+
+    #[test]
+    fn groups_orders_by_interval() {
+        let baskets = run(vec![
+            order(5, 0, false),
+            order(5, 1, false),
+            order(7, 2, false),
+            order(7, 3, false),
+            order(7, 4, false),
+        ]);
+        assert_eq!(baskets.len(), 2);
+        assert_eq!(baskets[0].interval, 5);
+        assert_eq!(baskets[0].orders.len(), 2);
+        assert_eq!(baskets[1].interval, 7);
+        assert_eq!(baskets[1].orders.len(), 3);
+    }
+
+    #[test]
+    fn final_basket_flushed_at_end() {
+        let baskets = run(vec![order(3, 0, false)]);
+        assert_eq!(baskets.len(), 1);
+        assert_eq!(baskets[0].interval, 3);
+    }
+
+    #[test]
+    fn confirmation_flags_survive_aggregation() {
+        let baskets = run(vec![order(1, 0, true), order(1, 1, false)]);
+        assert!(baskets[0].orders[0].needs_confirmation);
+        assert!(!baskets[0].orders[1].needs_confirmation);
+    }
+
+    #[test]
+    fn no_orders_no_baskets() {
+        assert!(run(vec![]).is_empty());
+    }
+}

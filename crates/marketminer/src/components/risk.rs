@@ -1,0 +1,222 @@
+//! The "Risk Management" stage.
+//!
+//! The paper motivates the integrated design precisely because "the outputs
+//! from each strategy (trade decisions) can be gathered by a master process
+//! to perform additional tasks such as risk management and liquidity
+//! provisioning". This node sits between the strategy host and the order
+//! gateway and enforces book-level limits:
+//!
+//! * per-order share cap (fat-finger guard on the way *out*);
+//! * per-order notional cap;
+//! * a cap on concurrently open pairs (gross exposure proxy) — an entry
+//!   leg pair is rejected atomically (both legs) when the book is full.
+//!
+//! Non-order messages pass through untouched.
+
+use std::collections::HashSet;
+
+use crate::messages::{Message, OrderRequest, OrderSide};
+use crate::node::{Component, Emit};
+
+/// Risk limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskLimits {
+    /// Maximum shares per order.
+    pub max_shares_per_order: u32,
+    /// Maximum notional (price * shares) per order, dollars.
+    pub max_order_notional: f64,
+    /// Maximum concurrently open pairs.
+    pub max_open_pairs: usize,
+}
+
+impl Default for RiskLimits {
+    fn default() -> Self {
+        RiskLimits {
+            max_shares_per_order: 10_000,
+            max_order_notional: 1_000_000.0,
+            max_open_pairs: usize::MAX,
+        }
+    }
+}
+
+/// Rejection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RiskStats {
+    /// Orders passed through.
+    pub passed: u64,
+    /// Orders rejected for size or notional.
+    pub rejected_size: u64,
+    /// Entry orders rejected because the book was full.
+    pub rejected_book_full: u64,
+}
+
+/// The risk-manager node.
+pub struct RiskManagerNode {
+    limits: RiskLimits,
+    open_pairs: HashSet<(usize, usize)>,
+    stats: RiskStats,
+    name: String,
+}
+
+impl RiskManagerNode {
+    /// Node with the given limits.
+    pub fn new(limits: RiskLimits) -> Self {
+        RiskManagerNode {
+            limits,
+            open_pairs: HashSet::new(),
+            stats: RiskStats::default(),
+            name: "risk-manager".to_string(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RiskStats {
+        self.stats
+    }
+
+    fn order_within_size(&self, o: &OrderRequest) -> bool {
+        o.shares <= self.limits.max_shares_per_order
+            && (o.price * o.shares as f64) <= self.limits.max_order_notional
+    }
+}
+
+impl Component for RiskManagerNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+        let Message::Order(order) = msg else {
+            out(msg);
+            return;
+        };
+        if !self.order_within_size(&order) {
+            self.stats.rejected_size += 1;
+            return;
+        }
+        let pair = order.pair;
+        let is_entry = !self.open_pairs.contains(&pair);
+        if is_entry {
+            // Entry legs: Buy opens the long, Sell opens the short. Both
+            // legs of the same pair arrive with the same interval; admit
+            // the pair once, atomically.
+            if self.open_pairs.len() >= self.limits.max_open_pairs
+                && matches!(order.side, OrderSide::Buy | OrderSide::Sell)
+            {
+                self.stats.rejected_book_full += 1;
+                return;
+            }
+            self.open_pairs.insert(pair);
+        }
+        self.stats.passed += 1;
+        out(Message::Order(order));
+    }
+
+    fn on_end(&mut self, _out: &mut Emit<'_>) {
+        self.open_pairs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn order(
+        pair: (usize, usize),
+        stock: usize,
+        side: OrderSide,
+        shares: u32,
+        price: f64,
+    ) -> Message {
+        Message::Order(Arc::new(OrderRequest {
+            interval: 0,
+            stock,
+            side,
+            shares,
+            price,
+            pair,
+            needs_confirmation: false,
+        }))
+    }
+
+    fn run(node: &mut RiskManagerNode, msgs: Vec<Message>) -> usize {
+        let mut passed = 0;
+        for m in msgs {
+            node.on_message(m, &mut |out| {
+                if matches!(out, Message::Order(_)) {
+                    passed += 1;
+                }
+            });
+        }
+        passed
+    }
+
+    #[test]
+    fn passes_normal_orders() {
+        let mut node = RiskManagerNode::new(RiskLimits::default());
+        let passed = run(
+            &mut node,
+            vec![
+                order((1, 0), 0, OrderSide::Buy, 5, 30.0),
+                order((1, 0), 1, OrderSide::Sell, 1, 130.0),
+            ],
+        );
+        assert_eq!(passed, 2);
+        assert_eq!(node.stats().passed, 2);
+    }
+
+    #[test]
+    fn rejects_oversized_orders() {
+        let limits = RiskLimits {
+            max_shares_per_order: 100,
+            ..Default::default()
+        };
+        let mut node = RiskManagerNode::new(limits);
+        let passed = run(&mut node, vec![order((1, 0), 0, OrderSide::Buy, 101, 1.0)]);
+        assert_eq!(passed, 0);
+        assert_eq!(node.stats().rejected_size, 1);
+    }
+
+    #[test]
+    fn rejects_over_notional_orders() {
+        let limits = RiskLimits {
+            max_order_notional: 1000.0,
+            ..Default::default()
+        };
+        let mut node = RiskManagerNode::new(limits);
+        let passed = run(&mut node, vec![order((1, 0), 0, OrderSide::Buy, 11, 100.0)]);
+        assert_eq!(passed, 0);
+    }
+
+    #[test]
+    fn caps_concurrently_open_pairs() {
+        let limits = RiskLimits {
+            max_open_pairs: 1,
+            ..Default::default()
+        };
+        let mut node = RiskManagerNode::new(limits);
+        // First pair admitted (both legs), second pair rejected.
+        let passed = run(
+            &mut node,
+            vec![
+                order((1, 0), 0, OrderSide::Buy, 1, 10.0),
+                order((1, 0), 1, OrderSide::Sell, 1, 10.0),
+                order((2, 0), 0, OrderSide::Buy, 1, 10.0),
+            ],
+        );
+        assert_eq!(passed, 2);
+        assert_eq!(node.stats().rejected_book_full, 1);
+    }
+
+    #[test]
+    fn non_orders_pass_through() {
+        let mut node = RiskManagerNode::new(RiskLimits::default());
+        let mut kinds = Vec::new();
+        node.on_message(
+            Message::Trades(Arc::new(vec![])),
+            &mut |m| kinds.push(m.kind()),
+        );
+        assert_eq!(kinds, vec!["trades"]);
+    }
+}

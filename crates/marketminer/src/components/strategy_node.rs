@@ -1,0 +1,385 @@
+//! The "Pair Trading Strategy" host node.
+//!
+//! Hosts one [`PairStrategy`] per
+//! pair (all `n(n-1)/2` of them — the brute-force market-wide search) under
+//! a single parameter vector. Subscribes to both the bar stream (prices)
+//! and the correlation stream (signals); emits two
+//! [`OrderRequest`]s per position open and
+//! two per reversal, plus an end-of-day [`Message::Trades`] report.
+
+use std::sync::Arc;
+
+use pairtrade_core::exec::ExecutionConfig;
+use pairtrade_core::params::StrategyParams;
+use pairtrade_core::position::PairPosition;
+use pairtrade_core::strategy::{IntervalInput, PairStrategy};
+use pairtrade_core::trade::Trade;
+use stats::matrix::SymMatrix;
+
+use crate::messages::{Message, OrderRequest, OrderSide};
+use crate::node::{Component, Emit};
+
+/// The market-wide strategy host.
+pub struct StrategyHostNode {
+    params: StrategyParams,
+    n_stocks: usize,
+    strategies: Vec<PairStrategy>,
+    was_open: Vec<bool>,
+    trades_seen: Vec<usize>,
+    /// Per-stock price history on the interval grid (forward-filled).
+    history: Vec<Vec<f64>>,
+    needs_confirmation: bool,
+    name: String,
+}
+
+impl StrategyHostNode {
+    /// Host over all pairs of `n_stocks` under one parameter vector.
+    pub fn new(
+        n_stocks: usize,
+        params: StrategyParams,
+        exec: ExecutionConfig,
+        needs_confirmation: bool,
+    ) -> Self {
+        let n_pairs = n_stocks * (n_stocks - 1) / 2;
+        let strategies: Vec<PairStrategy> = (0..n_pairs)
+            .map(|rank| PairStrategy::new(SymMatrix::pair_from_rank(rank), params, exec))
+            .collect();
+        StrategyHostNode {
+            params,
+            n_stocks,
+            was_open: vec![false; strategies.len()],
+            trades_seen: vec![0; strategies.len()],
+            strategies,
+            history: vec![Vec::new(); n_stocks],
+            needs_confirmation,
+            name: format!("pair-strategy-host({})", params.label()),
+        }
+    }
+
+    fn record_bars(&mut self, interval: usize, closes: &[f64]) {
+        for (stock, hist) in self.history.iter_mut().enumerate() {
+            let price = closes.get(stock).copied().unwrap_or(f64::NAN);
+            // Forward-fill any intervals the bar stream skipped.
+            while hist.len() < interval {
+                let carry = hist.last().copied().unwrap_or(price);
+                hist.push(carry);
+            }
+            if hist.len() == interval {
+                hist.push(price);
+            } else {
+                hist[interval] = price;
+            }
+        }
+    }
+
+    fn price_at(&self, stock: usize, interval: usize) -> f64 {
+        let hist = &self.history[stock];
+        if hist.is_empty() {
+            return f64::NAN;
+        }
+        let idx = interval.min(hist.len() - 1);
+        hist[idx]
+    }
+
+    fn orders_for_open(
+        &self,
+        position: &PairPosition,
+        interval: usize,
+        pair: (usize, usize),
+    ) -> [OrderRequest; 2] {
+        let mk = |stock: usize, side: OrderSide, shares: u32, price: f64| OrderRequest {
+            interval,
+            stock,
+            side,
+            shares,
+            price,
+            pair,
+            needs_confirmation: self.needs_confirmation,
+        };
+        [
+            mk(
+                position.long.stock,
+                OrderSide::Buy,
+                position.long.shares,
+                position.long.entry_price,
+            ),
+            mk(
+                position.short.stock,
+                OrderSide::Sell,
+                position.short.shares,
+                position.short.entry_price,
+            ),
+        ]
+    }
+
+    fn orders_for_close(&self, trade: &Trade) -> [OrderRequest; 2] {
+        let p = &trade.position;
+        let mk = |stock: usize, side: OrderSide, shares: u32| OrderRequest {
+            interval: trade.exit_interval,
+            stock,
+            side,
+            shares,
+            price: self.price_at(stock, trade.exit_interval),
+            pair: trade.pair,
+            needs_confirmation: self.needs_confirmation,
+        };
+        [
+            mk(p.long.stock, OrderSide::Sell, p.long.shares),
+            mk(p.short.stock, OrderSide::Buy, p.short.shares),
+        ]
+    }
+}
+
+impl Component for StrategyHostNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+        match msg {
+            Message::Bars(bars) => {
+                self.record_bars(bars.interval, &bars.closes);
+            }
+            Message::Corr(snap) => {
+                let s = snap.interval;
+                // Collected inside the &mut strategies loop, turned into
+                // orders (which need &self) afterwards.
+                let mut opened: Vec<PairPosition> = Vec::new();
+                let mut closed: Vec<Trade> = Vec::new();
+                for (rank, strategy) in self.strategies.iter_mut().enumerate() {
+                    let (i, j) = strategy.pair();
+                    if i >= self.n_stocks {
+                        continue;
+                    }
+                    let price_i = {
+                        let hist = &self.history[i];
+                        if hist.is_empty() {
+                            f64::NAN
+                        } else {
+                            hist[s.min(hist.len() - 1)]
+                        }
+                    };
+                    let price_j = {
+                        let hist = &self.history[j];
+                        if hist.is_empty() {
+                            f64::NAN
+                        } else {
+                            hist[s.min(hist.len() - 1)]
+                        }
+                    };
+                    let w = self.params.avg_window;
+                    let w_ret = |hist: &Vec<f64>| -> f64 {
+                        if s < w || hist.is_empty() {
+                            return 0.0;
+                        }
+                        let now = hist[s.min(hist.len() - 1)];
+                        let then = hist[(s - w).min(hist.len() - 1)];
+                        if now > 0.0 && then > 0.0 {
+                            now / then - 1.0
+                        } else {
+                            0.0
+                        }
+                    };
+                    let input = IntervalInput {
+                        s,
+                        price_i,
+                        price_j,
+                        corr: snap.matrix.get(i, j),
+                        w_return_i: w_ret(&self.history[i]),
+                        w_return_j: w_ret(&self.history[j]),
+                    };
+                    strategy.on_interval(input);
+
+                    // Detect transitions to emit orders.
+                    let now_open = strategy.is_open();
+                    let trades_now = strategy.trades().len();
+                    if now_open && !self.was_open[rank] {
+                        // The strategy's open position is internal state;
+                        // rebuild an identical one (same deterministic
+                        // sizing rule on the same inputs) for order flow.
+                        let over_i = input.w_return_i > input.w_return_j;
+                        let (ls, lp, ss, sp) = if over_i {
+                            (j, price_j, i, price_i)
+                        } else {
+                            (i, price_i, j, price_j)
+                        };
+                        opened.push(PairPosition::open(s, ls, lp, ss, sp));
+                    }
+                    if trades_now > self.trades_seen[rank] {
+                        closed.extend(&strategy.trades()[self.trades_seen[rank]..]);
+                        self.trades_seen[rank] = trades_now;
+                    }
+                    self.was_open[rank] = now_open;
+                }
+                for position in opened {
+                    let pair = if position.long.stock > position.short.stock {
+                        (position.long.stock, position.short.stock)
+                    } else {
+                        (position.short.stock, position.long.stock)
+                    };
+                    for order in self.orders_for_open(&position, s, pair) {
+                        out(Message::Order(Arc::new(order)));
+                    }
+                }
+                for trade in closed {
+                    for order in self.orders_for_close(&trade) {
+                        out(Message::Order(Arc::new(order)));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_end(&mut self, out: &mut Emit<'_>) {
+        let mut all_trades: Vec<Trade> = Vec::new();
+        let mut closing_orders: Vec<OrderRequest> = Vec::new();
+        for (rank, strategy) in std::mem::take(&mut self.strategies).into_iter().enumerate() {
+            let seen = self.trades_seen[rank];
+            let trades = strategy.finish_day();
+            for t in &trades[seen.min(trades.len())..] {
+                closing_orders.extend(self.orders_for_close(t));
+            }
+            all_trades.extend(trades);
+        }
+        for order in closing_orders {
+            out(Message::Order(Arc::new(order)));
+        }
+        out(Message::Trades(Arc::new(all_trades)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{BarSet, CorrSnapshot};
+    use stats::correlation::CorrType;
+
+    fn params() -> StrategyParams {
+        StrategyParams {
+            dt_seconds: 30,
+            ctype: CorrType::Pearson,
+            min_avg_corr: 0.1,
+            corr_window: 4,
+            avg_window: 4,
+            div_window: 3,
+            divergence: 0.01,
+            retracement: 1.0 / 3.0,
+            spread_window: 4,
+            max_holding: 5,
+            min_time_before_close: 3,
+        }
+    }
+
+    fn bars(interval: usize, closes: Vec<f64>) -> Message {
+        let n = closes.len();
+        Message::Bars(Arc::new(BarSet {
+            interval,
+            closes,
+            ticks: vec![1; n],
+        }))
+    }
+
+    fn corr(interval: usize, rho: f64) -> Message {
+        let mut m = SymMatrix::identity(2);
+        m.set(1, 0, rho);
+        Message::Corr(Arc::new(CorrSnapshot {
+            interval,
+            matrix: m,
+        }))
+    }
+
+    #[test]
+    fn full_cycle_emits_orders_and_trades() {
+        use std::cell::RefCell;
+        let mut node = StrategyHostNode::new(2, params(), ExecutionConfig::paper(), false);
+        let orders: RefCell<Vec<Arc<OrderRequest>>> = RefCell::new(Vec::new());
+        let trades: RefCell<Option<Arc<Vec<Trade>>>> = RefCell::new(None);
+        let feed = |node: &mut StrategyHostNode, m: Message| {
+            node.on_message(m, &mut |out| match out {
+                Message::Order(o) => orders.borrow_mut().push(o),
+                Message::Trades(t) => *trades.borrow_mut() = Some(t),
+                _ => {}
+            });
+        };
+        let start = params().first_active_interval();
+        // Warm: flat prices, stable correlation.
+        for s in 0..=start {
+            feed(&mut node, bars(s, vec![30.0, 130.0]));
+            feed(&mut node, corr(s, 0.8));
+        }
+        // Divergence: stock 1 (price 130) over-performs; corr drops 5%.
+        feed(&mut node, bars(start + 1, vec![29.5, 131.0]));
+        feed(&mut node, corr(start + 1, 0.76));
+        {
+            let orders = orders.borrow();
+            assert_eq!(orders.len(), 2, "two entry legs: {orders:?}");
+            let buy = orders.iter().find(|o| o.side == OrderSide::Buy).unwrap();
+            let sell = orders.iter().find(|o| o.side == OrderSide::Sell).unwrap();
+            assert_eq!(buy.stock, 0, "long the under-performer");
+            assert_eq!(sell.stock, 1);
+            assert_eq!(buy.shares, 5, "ceil(131/29.5) = 5");
+            assert_eq!(sell.shares, 1);
+        }
+        node.on_end(&mut |out| match out {
+            Message::Order(o) => orders.borrow_mut().push(o),
+            Message::Trades(t) => *trades.borrow_mut() = Some(t),
+            _ => {}
+        });
+        // EOD close: two more orders + trade report.
+        assert_eq!(orders.borrow().len(), 4);
+        let trades = trades.into_inner().expect("trades report");
+        assert_eq!(trades.len(), 1);
+        assert_eq!(
+            trades[0].reason,
+            pairtrade_core::trade::ExitReason::EndOfDay
+        );
+    }
+
+    #[test]
+    fn quiet_market_emits_no_orders() {
+        let mut node =
+            StrategyHostNode::new(3, params(), ExecutionConfig::paper(), false);
+        let mut n_orders = 0;
+        let mut sink = |m: Message| {
+            if matches!(m, Message::Order(_)) {
+                n_orders += 1;
+            }
+        };
+        for s in 0..300 {
+            node.on_message(bars(s, vec![30.0, 60.0, 90.0]), &mut sink);
+            let mut m = SymMatrix::identity(3);
+            m.set(1, 0, 0.8);
+            m.set(2, 0, 0.8);
+            m.set(2, 1, 0.8);
+            node.on_message(
+                Message::Corr(Arc::new(CorrSnapshot {
+                    interval: s,
+                    matrix: m,
+                })),
+                &mut sink,
+            );
+        }
+        node.on_end(&mut sink);
+        assert_eq!(n_orders, 0);
+    }
+
+    #[test]
+    fn confirmation_flag_propagates() {
+        let mut node = StrategyHostNode::new(2, params(), ExecutionConfig::paper(), true);
+        let mut got_flag = None;
+        let mut sink = |m: Message| {
+            if let Message::Order(o) = m {
+                got_flag = Some(o.needs_confirmation);
+            }
+        };
+        let start = params().first_active_interval();
+        for s in 0..=start {
+            node.on_message(bars(s, vec![30.0, 130.0]), &mut sink);
+            node.on_message(corr(s, 0.8), &mut sink);
+        }
+        node.on_message(bars(start + 1, vec![29.5, 131.0]), &mut sink);
+        node.on_message(corr(start + 1, 0.76), &mut sink);
+        assert_eq!(got_flag, Some(true));
+    }
+}

@@ -1,0 +1,139 @@
+//! The "Technical Analysis" node: per-interval log returns (the
+//! correlation engine's food) plus streaming indicators.
+//!
+//! Figure 1 labels this stage "Technical Analysis (15 sec returns)". The
+//! primary product is the [`ReturnSet`]; the
+//! node also maintains per-stock EWMA volatility, which the risk manager
+//! could consume (and which keeps the component honest as a *technical
+//! analysis* stage rather than a bare differencer).
+
+use std::sync::Arc;
+
+use stats::online::Ewma;
+
+use crate::messages::{Message, ReturnSet};
+use crate::node::{Component, Emit};
+
+/// Streaming returns + indicators for the whole universe.
+pub struct TechnicalAnalysisNode {
+    prev_closes: Option<Vec<f64>>,
+    /// EWMA of squared returns per stock (a volatility proxy).
+    var_ewma: Vec<Ewma>,
+    name: String,
+}
+
+impl TechnicalAnalysisNode {
+    /// Node over `n_stocks` stocks; `vol_span` is the EWMA span (in
+    /// intervals) of the volatility estimate.
+    pub fn new(n_stocks: usize, vol_span: usize) -> Self {
+        TechnicalAnalysisNode {
+            prev_closes: None,
+            var_ewma: (0..n_stocks).map(|_| Ewma::with_span(vol_span)).collect(),
+            name: "technical-analysis".to_string(),
+        }
+    }
+
+    /// Latest volatility (EWMA std of returns) per stock.
+    pub fn volatility(&self, stock: usize) -> Option<f64> {
+        self.var_ewma[stock].value().map(f64::sqrt)
+    }
+}
+
+impl Component for TechnicalAnalysisNode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+        let Message::Bars(bars) = msg else {
+            return;
+        };
+        if let Some(prev) = &self.prev_closes {
+            let returns: Vec<f64> = bars
+                .closes
+                .iter()
+                .zip(prev)
+                .map(|(&c, &p)| {
+                    if c > 0.0 && p > 0.0 && c.is_finite() && p.is_finite() {
+                        (c / p).ln()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            for (k, &r) in returns.iter().enumerate() {
+                self.var_ewma[k].push(r * r);
+            }
+            out(Message::Returns(Arc::new(ReturnSet {
+                interval: bars.interval,
+                returns,
+            })));
+        }
+        self.prev_closes = Some(bars.closes.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::BarSet;
+
+    fn bars(interval: usize, closes: Vec<f64>) -> Message {
+        let n = closes.len();
+        Message::Bars(Arc::new(BarSet {
+            interval,
+            closes,
+            ticks: vec![1; n],
+        }))
+    }
+
+    fn returns_of(node: &mut TechnicalAnalysisNode, msg: Message) -> Option<Arc<ReturnSet>> {
+        let mut got = None;
+        node.on_message(msg, &mut |m| {
+            if let Message::Returns(r) = m {
+                got = Some(r);
+            }
+        });
+        got
+    }
+
+    #[test]
+    fn first_barset_produces_no_returns() {
+        let mut node = TechnicalAnalysisNode::new(2, 20);
+        assert!(returns_of(&mut node, bars(0, vec![10.0, 20.0])).is_none());
+    }
+
+    #[test]
+    fn log_returns_from_consecutive_bars() {
+        let mut node = TechnicalAnalysisNode::new(2, 20);
+        returns_of(&mut node, bars(0, vec![10.0, 20.0]));
+        let r = returns_of(&mut node, bars(1, vec![11.0, 19.0])).unwrap();
+        assert_eq!(r.interval, 1);
+        assert!((r.returns[0] - (1.1f64).ln()).abs() < 1e-12);
+        assert!((r.returns[1] - (0.95f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_closes_yield_zero_returns() {
+        let mut node = TechnicalAnalysisNode::new(2, 20);
+        returns_of(&mut node, bars(0, vec![10.0, f64::NAN]));
+        let r = returns_of(&mut node, bars(1, vec![10.5, f64::NAN])).unwrap();
+        assert!((r.returns[0] - (1.05f64).ln()).abs() < 1e-12);
+        assert_eq!(r.returns[1], 0.0);
+    }
+
+    #[test]
+    fn volatility_indicator_tracks_movement() {
+        let mut node = TechnicalAnalysisNode::new(1, 10);
+        assert_eq!(node.volatility(0), None);
+        let mut price = 100.0;
+        returns_of(&mut node, bars(0, vec![price]));
+        for k in 1..50 {
+            price *= if k % 2 == 0 { 1.01 } else { 0.99 };
+            returns_of(&mut node, bars(k, vec![price]));
+        }
+        let vol = node.volatility(0).unwrap();
+        // Per-interval |return| ~ 1%: the EWMA std should sit nearby.
+        assert!((0.005..0.02).contains(&vol), "vol {vol}");
+    }
+}

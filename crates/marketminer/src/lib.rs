@@ -1,0 +1,50 @@
+//! The MarketMiner analytics platform.
+//!
+//! "The original design of MarketMiner was a basic MPI-enabled pipeline for
+//! processing quote data, and has since been extended to support arbitrary
+//! directed acyclic graph (DAG) stream processing workflows."
+//!
+//! This crate is that platform: a DAG of components connected by bounded
+//! channels, one thread per component (the shared-memory realisation of
+//! MPI ranks — see the `mpisim` crate for the messaging substrate itself),
+//! with the analytics components of the paper's Figure 1:
+//!
+//! ```text
+//!  Live/File/DB Collector ──▶ OHLC Bar Accumulator (Δs)
+//!        │                           │
+//!        │                           ├──▶ Technical Analysis (returns)
+//!        │                           │            │
+//!        │                           │            ▼
+//!        │                           │    Parallel Correlation Engine (M)
+//!        │                           │            │
+//!        └──────────── quotes ───────┴────────────┼──▶ Pair Trading Strategy
+//!                                                 │            │
+//!                                                 │            ▼
+//!                                                 │      Risk Manager
+//!                                                 │            │
+//!                                                 │            ▼
+//!                                                 │      Order Gateway ──▶ order baskets
+//! ```
+//!
+//! * [`graph`] — DAG description and validation (acyclicity, connectivity).
+//! * [`messages`] — the typed stream vocabulary.
+//! * [`node`] — the [`node::Component`] and [`node::Source`] traits.
+//! * [`runtime`] — the threaded executor with bounded backpressure and
+//!   disconnect-cascade shutdown.
+//! * [`components`] — collectors, bar accumulator, technical analysis,
+//!   the parallel correlation engine node, the strategy host, the risk
+//!   manager and the order gateway.
+//! * [`pipeline`] — a prebuilt, runnable instance of Figure 1.
+
+pub mod components;
+pub mod graph;
+pub mod messages;
+pub mod node;
+pub mod pipeline;
+pub mod runtime;
+
+pub use graph::{Graph, GraphError, NodeId};
+pub use messages::Message;
+pub use node::{Component, Source};
+pub use pipeline::{run_fig1_pipeline, run_multi_pipeline, Fig1Config, Fig1Output, MultiConfig, MultiOutput};
+pub use runtime::Runtime;

@@ -1,0 +1,144 @@
+//! The typed message vocabulary flowing through the DAG.
+//!
+//! Large payloads (bar sets, matrices, baskets) travel as `Arc`s: fan-out
+//! to multiple subscribers clones a pointer, not the data — the same
+//! zero-copy discipline an MPI implementation would apply with shared
+//! windows on-node.
+
+use std::sync::Arc;
+
+use pairtrade_core::trade::Trade;
+use stats::matrix::SymMatrix;
+use taq::quote::Quote;
+
+/// One interval's closing prices for the whole universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarSet {
+    /// Interval index within the day.
+    pub interval: usize,
+    /// Close (BAM) per stock.
+    pub closes: Vec<f64>,
+    /// Ticks aggregated per stock this interval.
+    pub ticks: Vec<u32>,
+}
+
+/// One interval's log returns for the whole universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnSet {
+    /// Interval index the returns land on (return spans `interval-1 →
+    /// interval`).
+    pub interval: usize,
+    /// Log return per stock.
+    pub returns: Vec<f64>,
+}
+
+/// A correlation-matrix snapshot.
+#[derive(Debug, Clone)]
+pub struct CorrSnapshot {
+    /// Interval the trailing window ends at.
+    pub interval: usize,
+    /// The all-pairs correlation matrix.
+    pub matrix: SymMatrix,
+}
+
+/// Side of an order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderSide {
+    /// Buy.
+    Buy,
+    /// Sell (or sell short).
+    Sell,
+}
+
+/// An order request emitted by a strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderRequest {
+    /// Interval the order was generated at.
+    pub interval: usize,
+    /// Stock index.
+    pub stock: usize,
+    /// Buy or sell.
+    pub side: OrderSide,
+    /// Shares.
+    pub shares: u32,
+    /// Reference price (the BAM the decision was made at).
+    pub price: f64,
+    /// The pair that generated the order.
+    pub pair: (usize, usize),
+    /// True when this order requires human confirmation before release —
+    /// Figure 1 shows both confirmed and unconfirmed order paths.
+    pub needs_confirmation: bool,
+}
+
+/// An aggregated basket of orders for one interval — "aggregating the
+/// results into a single basket ... allows the trading system to utilize a
+/// sophisticated list-based algorithm to optimize the actual execution".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basket {
+    /// Interval the basket covers.
+    pub interval: usize,
+    /// The orders, in emission order.
+    pub orders: Vec<OrderRequest>,
+}
+
+/// Messages on DAG edges.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// A raw quote from a collector.
+    Quote(Quote),
+    /// A completed interval of bars.
+    Bars(Arc<BarSet>),
+    /// A completed interval of returns.
+    Returns(Arc<ReturnSet>),
+    /// A correlation-matrix snapshot.
+    Corr(Arc<CorrSnapshot>),
+    /// An order request.
+    Order(Arc<OrderRequest>),
+    /// An aggregated order basket.
+    Basket(Arc<Basket>),
+    /// End-of-day trade report from a strategy node.
+    Trades(Arc<Vec<Trade>>),
+}
+
+impl Message {
+    /// Short tag for debugging and sink filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Quote(_) => "quote",
+            Message::Bars(_) => "bars",
+            Message::Returns(_) => "returns",
+            Message::Corr(_) => "corr",
+            Message::Order(_) => "order",
+            Message::Basket(_) => "basket",
+            Message::Trades(_) => "trades",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let b = Arc::new(BarSet {
+            interval: 0,
+            closes: vec![],
+            ticks: vec![],
+        });
+        let msgs = [Message::Bars(b.clone()), Message::Bars(b)];
+        assert_eq!(msgs[0].kind(), "bars");
+    }
+
+    #[test]
+    fn fanout_is_pointer_cheap() {
+        let big = Arc::new(BarSet {
+            interval: 3,
+            closes: vec![1.0; 10_000],
+            ticks: vec![0; 10_000],
+        });
+        let m1 = Message::Bars(Arc::clone(&big));
+        let _m2 = m1.clone();
+        assert_eq!(Arc::strong_count(&big), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Component traits: what a box in the Figure-1 diagram is.
+
+use crate::messages::Message;
+
+/// Output callback handed to components; each emitted message is fanned
+/// out to all downstream subscribers.
+pub type Emit<'a> = dyn FnMut(Message) + 'a;
+
+/// A stream-processing component (a non-source node of the DAG).
+pub trait Component: Send {
+    /// Component name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Handle one inbound message, emitting any number of outputs.
+    fn on_message(&mut self, msg: Message, out: &mut Emit<'_>);
+
+    /// Called once after the upstream finishes (all inputs drained) and
+    /// before the node's own outputs close — flush buffered state here.
+    fn on_end(&mut self, _out: &mut Emit<'_>) {}
+}
+
+/// A source node: drives the DAG by emitting messages until done.
+pub trait Source: Send {
+    /// Source name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Produce the entire stream. Returning ends the stream and begins the
+    /// downstream shutdown cascade.
+    fn run(&mut self, out: &mut Emit<'_>);
+}
+
+/// A trivial pass-through component, useful in tests and as a junction.
+pub struct Passthrough {
+    name: String,
+}
+
+impl Passthrough {
+    /// Create a named pass-through.
+    pub fn new(name: impl Into<String>) -> Self {
+        Passthrough { name: name.into() }
+    }
+}
+
+impl Component for Passthrough {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+        out(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use crate::messages::BarSet;
+
+    #[test]
+    fn passthrough_forwards() {
+        let mut p = Passthrough::new("junction");
+        assert_eq!(p.name(), "junction");
+        let mut seen = Vec::new();
+        let msg = Message::Bars(Arc::new(BarSet {
+            interval: 1,
+            closes: vec![1.0],
+            ticks: vec![2],
+        }));
+        p.on_message(msg, &mut |m| seen.push(m.kind()));
+        assert_eq!(seen, vec!["bars"]);
+    }
+}

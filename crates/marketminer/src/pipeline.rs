@@ -1,0 +1,394 @@
+//! The prebuilt Figure-1 workflow.
+//!
+//! Collector → OHLC bars → technical analysis → parallel correlation
+//! engine → pair-trading strategy host → risk manager → order gateway,
+//! with the strategy host also subscribed to the bar stream (it needs
+//! prices, not just correlations) and a sink capturing baskets and the
+//! end-of-day trade report.
+
+use std::sync::Arc;
+
+use pairtrade_core::exec::ExecutionConfig;
+use pairtrade_core::params::StrategyParams;
+use pairtrade_core::trade::Trade;
+use taq::dataset::DayData;
+use timeseries::clean::CleanConfig;
+
+use crate::components::{
+    BarAccumulatorNode, CorrelationEngineNode, OrderGatewayNode, ReplayCollector,
+    RiskManagerNode, StrategyHostNode,
+};
+use crate::components::risk::RiskLimits;
+use crate::components::technical::TechnicalAnalysisNode;
+use crate::graph::{Graph, GraphError};
+use crate::messages::{Basket, Message};
+use crate::runtime::Runtime;
+
+/// Configuration of the Figure-1 pipeline run.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Universe size (symbols 0..n).
+    pub n_stocks: usize,
+    /// Strategy parameter vector (supplies Δs, M, Ctype, ...).
+    pub params: StrategyParams,
+    /// Execution extensions.
+    pub exec: ExecutionConfig,
+    /// Quote-cleaning configuration.
+    pub clean: CleanConfig,
+    /// Correlation snapshot stride, in intervals (1 = every interval).
+    pub corr_stride: usize,
+    /// Risk limits for the risk-manager stage.
+    pub limits: RiskLimits,
+    /// Whether emitted orders require human confirmation (Figure 1 shows
+    /// both paths).
+    pub needs_confirmation: bool,
+}
+
+impl Fig1Config {
+    /// Defaults from a parameter vector.
+    pub fn new(n_stocks: usize, params: StrategyParams) -> Self {
+        Fig1Config {
+            n_stocks,
+            params,
+            exec: ExecutionConfig::paper(),
+            clean: CleanConfig::default(),
+            corr_stride: 1,
+            limits: RiskLimits::default(),
+            needs_confirmation: false,
+        }
+    }
+}
+
+/// What a pipeline run produced.
+#[derive(Debug)]
+pub struct Fig1Output {
+    /// The end-of-day trade report from the strategy host.
+    pub trades: Vec<Trade>,
+    /// Order baskets, in emission order.
+    pub baskets: Vec<Arc<Basket>>,
+    /// Per-node throughput accounting.
+    pub node_stats: Vec<crate::runtime::NodeStats>,
+}
+
+impl Fig1Output {
+    /// Total orders across all baskets.
+    pub fn total_orders(&self) -> usize {
+        self.baskets.iter().map(|b| b.orders.len()).sum()
+    }
+}
+
+/// Build and run the Figure-1 DAG over one day of quotes.
+pub fn run_fig1_pipeline(day: DayData, cfg: &Fig1Config) -> Result<Fig1Output, GraphError> {
+    let mut g = Graph::new();
+    let collector = g.add_source(Box::new(ReplayCollector::new(day)));
+    let bars = g.add_component(Box::new(BarAccumulatorNode::new(
+        cfg.n_stocks,
+        cfg.params.dt_seconds,
+        cfg.clean,
+    )));
+    let technical = g.add_component(Box::new(TechnicalAnalysisNode::new(cfg.n_stocks, 20)));
+    let corr = g.add_component(Box::new(CorrelationEngineNode::new(
+        cfg.n_stocks,
+        cfg.params.corr_window,
+        cfg.corr_stride,
+        cfg.params.ctype,
+    )));
+    let strategy = g.add_component(Box::new(StrategyHostNode::new(
+        cfg.n_stocks,
+        cfg.params,
+        cfg.exec,
+        cfg.needs_confirmation,
+    )));
+    let risk = g.add_component(Box::new(RiskManagerNode::new(cfg.limits)));
+    let gateway = g.add_component(Box::new(OrderGatewayNode::new()));
+    let sink = g.add_sink("order-sink");
+
+    g.connect(collector, bars);
+    g.connect(bars, technical);
+    g.connect(technical, corr);
+    g.connect(bars, strategy); // prices
+    g.connect(corr, strategy); // signals
+    g.connect(strategy, risk);
+    g.connect(risk, gateway);
+    g.connect(gateway, sink);
+
+    let mut out = Runtime::new().run(g)?;
+    let mut trades = Vec::new();
+    let mut baskets = Vec::new();
+    for msg in out.take_sink(sink) {
+        match msg {
+            Message::Trades(t) => trades.extend(t.iter().copied()),
+            Message::Basket(b) => baskets.push(b),
+            _ => {}
+        }
+    }
+    Ok(Fig1Output {
+        trades,
+        baskets,
+        node_stats: out.node_stats,
+    })
+}
+
+/// Configuration for a multi-strategy pipeline: every parameter set runs
+/// as its own strategy host inside ONE DAG, sharing the collector, bar
+/// accumulator, technical analysis and (per distinct `(Ctype, M)`) the
+/// correlation engines — the integrated deployment Section IV argues for,
+/// where "the outputs from each strategy (trade decisions) can be
+/// gathered by a master process" for risk management and basket
+/// execution.
+#[derive(Debug, Clone)]
+pub struct MultiConfig {
+    /// Universe size.
+    pub n_stocks: usize,
+    /// One strategy host per parameter vector. All must share `Δs`.
+    pub params: Vec<StrategyParams>,
+    /// Execution extensions (shared).
+    pub exec: ExecutionConfig,
+    /// Quote cleaning.
+    pub clean: CleanConfig,
+    /// Correlation snapshot stride.
+    pub corr_stride: usize,
+    /// Risk limits for the shared risk manager.
+    pub limits: RiskLimits,
+}
+
+/// Output of a multi-strategy run.
+#[derive(Debug)]
+pub struct MultiOutput {
+    /// End-of-day trades per parameter set (index-aligned with
+    /// `MultiConfig::params`).
+    pub trades_per_param: Vec<Vec<Trade>>,
+    /// Order baskets from the shared gateway.
+    pub baskets: Vec<Arc<Basket>>,
+}
+
+/// Build and run the multi-strategy DAG over one day of quotes.
+///
+/// # Panics
+/// Panics if the parameter list is empty or mixes `Δs` values.
+pub fn run_multi_pipeline(day: DayData, cfg: &MultiConfig) -> Result<MultiOutput, GraphError> {
+    assert!(!cfg.params.is_empty(), "need at least one parameter set");
+    let dt = cfg.params[0].dt_seconds;
+    assert!(
+        cfg.params.iter().all(|p| p.dt_seconds == dt),
+        "all parameter sets must share Δs (one bar accumulator)"
+    );
+
+    let mut g = Graph::new();
+    let collector = g.add_source(Box::new(ReplayCollector::new(day)));
+    let bars = g.add_component(Box::new(BarAccumulatorNode::new(
+        cfg.n_stocks,
+        dt,
+        cfg.clean,
+    )));
+    let technical = g.add_component(Box::new(TechnicalAnalysisNode::new(cfg.n_stocks, 20)));
+    g.connect(collector, bars);
+    g.connect(bars, technical);
+
+    // One correlation engine per distinct (ctype, M).
+    let mut engines: Vec<((stats::correlation::CorrType, usize), crate::graph::NodeId)> =
+        Vec::new();
+    for p in &cfg.params {
+        let key = (p.ctype, p.corr_window);
+        if !engines.iter().any(|(k, _)| *k == key) {
+            let node = g.add_component(Box::new(CorrelationEngineNode::new(
+                cfg.n_stocks,
+                p.corr_window,
+                cfg.corr_stride,
+                p.ctype,
+            )));
+            g.connect(technical, node);
+            engines.push((key, node));
+        }
+    }
+
+    let risk = g.add_component(Box::new(RiskManagerNode::new(cfg.limits)));
+    let gateway = g.add_component(Box::new(OrderGatewayNode::new()));
+    let basket_sink = g.add_sink("basket-sink");
+    g.connect(risk, gateway);
+    g.connect(gateway, basket_sink);
+
+    // One strategy host per parameter set, plus a private trade sink for
+    // attribution.
+    let mut trade_sinks = Vec::with_capacity(cfg.params.len());
+    for (idx, p) in cfg.params.iter().enumerate() {
+        let host = g.add_component(Box::new(StrategyHostNode::new(
+            cfg.n_stocks,
+            *p,
+            cfg.exec,
+            false,
+        )));
+        let corr = engines
+            .iter()
+            .find(|(k, _)| *k == (p.ctype, p.corr_window))
+            .expect("engine exists")
+            .1;
+        g.connect(bars, host);
+        g.connect(corr, host);
+        g.connect(host, risk);
+        let sink = g.add_sink(format!("trades-{idx}"));
+        g.connect(host, sink);
+        trade_sinks.push(sink);
+    }
+
+    let mut out = Runtime::new().run(g)?;
+    let mut trades_per_param = Vec::with_capacity(cfg.params.len());
+    for sink in trade_sinks {
+        let mut trades = Vec::new();
+        for msg in out.take_sink(sink) {
+            if let Message::Trades(t) = msg {
+                trades.extend(t.iter().copied());
+            }
+        }
+        trades_per_param.push(trades);
+    }
+    let mut baskets = Vec::new();
+    for msg in out.take_sink(basket_sink) {
+        if let Message::Basket(b) = msg {
+            baskets.push(b);
+        }
+    }
+    Ok(MultiOutput {
+        trades_per_param,
+        baskets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::correlation::CorrType;
+    use taq::generator::{MarketConfig, MarketGenerator};
+
+    fn fast_params() -> StrategyParams {
+        StrategyParams {
+            dt_seconds: 30,
+            ctype: CorrType::Pearson,
+            corr_window: 20,
+            avg_window: 10,
+            div_window: 5,
+            divergence: 0.0005,
+            ..StrategyParams::paper_default()
+        }
+    }
+
+    fn small_day(seed: u64) -> (DayData, usize) {
+        let mut cfg = MarketConfig::small(4, 1, seed);
+        cfg.micro.quote_rate_hz = 0.05;
+        let mut g = MarketGenerator::new(cfg);
+        (g.next_day().unwrap(), 4)
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let (day, n) = small_day(31);
+        let cfg = Fig1Config::new(n, fast_params());
+        let out = run_fig1_pipeline(day, &cfg).unwrap();
+        // A day with divergence episodes should produce some activity.
+        assert!(
+            !out.trades.is_empty(),
+            "expected trades on an episode-rich synthetic day"
+        );
+        // Each round trip is 2 entry + 2 exit orders.
+        assert_eq!(out.total_orders() % 2, 0);
+        // Trade invariants.
+        let smax = cfg.params.intervals_per_day();
+        for t in &out.trades {
+            assert!(t.exit_interval < smax);
+            assert!(t.gross > 0.0);
+        }
+    }
+
+    #[test]
+    fn pipeline_deterministic_across_runs() {
+        let (day1, n) = small_day(77);
+        let (day2, _) = small_day(77);
+        let cfg = Fig1Config::new(n, fast_params());
+        let a = run_fig1_pipeline(day1, &cfg).unwrap();
+        let b = run_fig1_pipeline(day2, &cfg).unwrap();
+        assert_eq!(a.trades.len(), b.trades.len());
+        for (x, y) in a.trades.iter().zip(&b.trades) {
+            assert_eq!(x.pair, y.pair);
+            assert_eq!(x.entry_interval, y.entry_interval);
+            assert!((x.ret - y.ret).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn multi_pipeline_matches_per_param_single_runs() {
+        let (day, n) = small_day(57);
+        let p1 = fast_params();
+        let p2 = StrategyParams {
+            divergence: 0.001,
+            ..p1
+        };
+        let p3 = StrategyParams {
+            ctype: CorrType::Quadrant,
+            ..p1
+        };
+        let multi = MultiConfig {
+            n_stocks: n,
+            params: vec![p1, p2, p3],
+            exec: ExecutionConfig::paper(),
+            clean: CleanConfig::default(),
+            corr_stride: 1,
+            limits: RiskLimits::default(),
+        };
+        let out = run_multi_pipeline(day, &multi).unwrap();
+        assert_eq!(out.trades_per_param.len(), 3);
+
+        for (k, p) in [p1, p2, p3].iter().enumerate() {
+            let (day, _) = small_day(57);
+            let single = run_fig1_pipeline(day, &Fig1Config::new(n, *p)).unwrap();
+            let mut a: Vec<_> = out.trades_per_param[k]
+                .iter()
+                .map(|t| (t.pair, t.entry_interval, t.exit_interval))
+                .collect();
+            let mut b: Vec<_> = single
+                .trades
+                .iter()
+                .map(|t| (t.pair, t.entry_interval, t.exit_interval))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "param {k} diverged between multi and single");
+        }
+        // The shared gateway aggregated someone's orders.
+        let total_trades: usize = out.trades_per_param.iter().map(|t| t.len()).sum();
+        if total_trades > 0 {
+            assert!(!out.baskets.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn multi_pipeline_rejects_mixed_dt() {
+        let (day, n) = small_day(5);
+        let p1 = fast_params();
+        let p2 = StrategyParams {
+            dt_seconds: 60,
+            ..p1
+        };
+        let multi = MultiConfig {
+            n_stocks: n,
+            params: vec![p1, p2],
+            exec: ExecutionConfig::paper(),
+            clean: CleanConfig::default(),
+            corr_stride: 1,
+            limits: RiskLimits::default(),
+        };
+        let _ = run_multi_pipeline(day, &multi);
+    }
+
+    #[test]
+    fn risk_limits_throttle_the_book() {
+        let (day, n) = small_day(31);
+        let mut cfg = Fig1Config::new(n, fast_params());
+        let unlimited = run_fig1_pipeline(day, &cfg).unwrap();
+        let (day, _) = small_day(31);
+        cfg.limits.max_open_pairs = 0;
+        let choked = run_fig1_pipeline(day, &cfg).unwrap();
+        assert!(unlimited.total_orders() > 0);
+        assert_eq!(choked.total_orders(), 0, "risk manager must block all");
+    }
+}

@@ -1,0 +1,237 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! All collectives follow MPI's SPMD contract: every rank must call the
+//! same collective in the same order. Internal messages use tags above
+//! [`COLLECTIVE_BASE`], namespaced by a per-rank sequence number so that
+//! back-to-back collectives never cross-match.
+
+use crate::comm::{Comm, Tag};
+
+/// Base of the reserved collective tag space. User tags must stay below.
+pub const COLLECTIVE_BASE: Tag = 1 << 48;
+
+impl Comm {
+    fn next_collective_tag(&mut self) -> Tag {
+        let tag = COLLECTIVE_BASE + self.collective_seq;
+        self.collective_seq += 1;
+        tag
+    }
+
+    /// Synchronise all ranks: no rank leaves the barrier before every rank
+    /// has entered it. (Gather-to-root then broadcast.)
+    pub fn barrier(&mut self) {
+        let tag = self.next_collective_tag();
+        let root = 0;
+        if self.rank() == root {
+            for _ in 1..self.size() {
+                let (_src, ()) = self
+                    .recv_from::<()>(crate::comm::Source::Any, tag)
+                    .expect("barrier arrival");
+            }
+            for dst in 1..self.size() {
+                self.send(dst, tag, ());
+            }
+        } else {
+            self.send(root, tag, ());
+            let () = self.recv(root, tag).expect("barrier release");
+        }
+    }
+
+    /// Broadcast `value` from `root` to every rank; returns the value on
+    /// all ranks. Non-root ranks pass `None`.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let v = value.expect("root must supply the broadcast value");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(dst, tag, v.clone());
+                }
+            }
+            v
+        } else {
+            assert!(value.is_none(), "non-root rank supplied a broadcast value");
+            self.recv(root, tag).expect("broadcast value")
+        }
+    }
+
+    /// Gather every rank's `value` to `root`. The root receives
+    /// `Some(values)` in rank order; other ranks receive `None`.
+    pub fn gather<T: Send + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for _ in 1..self.size() {
+                let (src, v) = self
+                    .recv_from::<T>(crate::comm::Source::Any, tag)
+                    .expect("gather contribution");
+                out[src] = Some(v);
+            }
+            Some(out.into_iter().map(|v| v.expect("gather slot")).collect())
+        } else {
+            self.send(root, tag, value);
+            None
+        }
+    }
+
+    /// Scatter `items` (one per rank, rank order) from `root`; every rank
+    /// receives its item. Non-root ranks pass `None`.
+    ///
+    /// # Panics
+    /// Panics if the root's vector length differs from the world size.
+    pub fn scatter<T: Send + 'static>(&mut self, root: usize, items: Option<Vec<T>>) -> T {
+        let tag = self.next_collective_tag();
+        if self.rank() == root {
+            let items = items.expect("root must supply scatter items");
+            assert_eq!(items.len(), self.size(), "scatter length != world size");
+            let mut own = None;
+            for (dst, item) in items.into_iter().enumerate() {
+                if dst == root {
+                    own = Some(item);
+                } else {
+                    self.send(dst, tag, item);
+                }
+            }
+            own.expect("root item")
+        } else {
+            assert!(items.is_none(), "non-root rank supplied scatter items");
+            self.recv(root, tag).expect("scatter item")
+        }
+    }
+
+    /// Reduce every rank's `value` with `op` at `root` (rank order fold).
+    /// The root receives `Some(result)`; other ranks `None`.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.gather(root, value).map(|vs| {
+            let mut it = vs.into_iter();
+            let first = it.next().expect("non-empty world");
+            it.fold(first, &op)
+        })
+    }
+
+    /// All-reduce: every rank receives the reduction of all values
+    /// (reduce at rank 0 then broadcast).
+    pub fn all_reduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::World;
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let out = World::new(5).run(|mut comm| {
+            let v = if comm.rank() == 2 {
+                comm.broadcast(2, Some(vec![1, 2, 3]))
+            } else {
+                comm.broadcast::<Vec<i32>>(2, None)
+            };
+            v.iter().sum::<i32>()
+        });
+        assert_eq!(out, vec![6; 5]);
+    }
+
+    #[test]
+    fn gather_in_rank_order() {
+        let out = World::new(6).run(|mut comm| comm.gather(0, comm.rank() as u32 * 10));
+        assert_eq!(out[0], Some(vec![0, 10, 20, 30, 40, 50]));
+        assert!(out[1..].iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn scatter_distributes() {
+        let out = World::new(4).run(|mut comm| {
+            let items = if comm.rank() == 0 {
+                Some(vec!["a", "b", "c", "d"])
+            } else {
+                None
+            };
+            comm.scatter(0, items)
+        });
+        assert_eq!(out, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn reduce_and_all_reduce_sum() {
+        let out = World::new(8).run(|mut comm| {
+            let partial = comm.rank() as u64 + 1; // 1..=8
+            let total = comm.all_reduce(partial, |a, b| a + b);
+            let rooted = comm.reduce(3, partial, |a, b| a + b);
+            (total, rooted)
+        });
+        for (rank, (total, rooted)) in out.into_iter().enumerate() {
+            assert_eq!(total, 36);
+            assert_eq!(rooted, if rank == 3 { Some(36) } else { None });
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let violated = AtomicUsize::new(0);
+        World::new(8).run(|mut comm| {
+            // Stagger arrival.
+            std::thread::sleep(std::time::Duration::from_millis(comm.rank() as u64));
+            phase1.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank must see all 8 phase-1 entries.
+            if phase1.load(Ordering::SeqCst) != 8 {
+                violated.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violated.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross_match() {
+        let out = World::new(4).run(|mut comm| {
+            let a = comm.all_reduce(1u32, |x, y| x + y);
+            let b = comm.all_reduce(10u32, |x, y| x + y);
+            let c = comm.all_reduce(100u32, |x, y| x + y);
+            (a, b, c)
+        });
+        assert!(out.iter().all(|&t| t == (4, 40, 400)));
+    }
+
+    #[test]
+    fn monte_carlo_pi_spmd() {
+        // A miniature of the parallel-finance workloads MPI is used for.
+        let out = World::new(4).run(|mut comm| {
+            let n = 20_000u64;
+            let mut state = 0x9E3779B97F4A7C15u64 ^ (comm.rank() as u64 + 1);
+            let mut unif = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64) / ((1u64 << 53) as f64)
+            };
+            let hits = (0..n)
+                .filter(|_| {
+                    let (x, y) = (unif(), unif());
+                    x * x + y * y <= 1.0
+                })
+                .count() as u64;
+            let total = comm.all_reduce(hits, |a, b| a + b);
+            4.0 * total as f64 / (4.0 * n as f64)
+        });
+        for pi in out {
+            assert!((pi - std::f64::consts::PI).abs() < 0.05, "pi = {pi}");
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Point-to-point communication: tagged, typed send/recv with MPI matching
+//! semantics.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+/// Message tag. User tags should stay below `COLLECTIVE_BASE` (see `crate::collective`); the
+/// collectives reserve the space above it.
+pub type Tag = u64;
+
+/// Source selector for receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Match only messages from this rank.
+    Rank(usize),
+    /// Match messages from any rank (MPI_ANY_SOURCE).
+    Any,
+}
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: Tag,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Error from a receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// A matching `(source, tag)` message arrived but its payload type was
+    /// not the requested one. This is a protocol bug; the message is
+    /// consumed and reported.
+    TypeMismatch {
+        /// Sender rank of the offending message.
+        src: usize,
+        /// Its tag.
+        tag: Tag,
+    },
+    /// Timed out waiting (only from [`Comm::recv_timeout`]).
+    Timeout,
+    /// All senders disconnected; no matching message can ever arrive.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::TypeMismatch { src, tag } => {
+                write!(f, "type mismatch on message from rank {src} tag {tag}")
+            }
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "all peers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A rank's communicator: its identity plus channels to every peer.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched (MPI's unexpected-message
+    /// queue).
+    pending: VecDeque<Envelope>,
+    /// Per-rank collective sequence number; keeps successive collectives'
+    /// internal tags distinct.
+    pub(crate) collective_seq: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        inbox: Receiver<Envelope>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            senders,
+            inbox,
+            pending: VecDeque::new(),
+            collective_seq: 0,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Asynchronous tagged send. Never blocks (buffered channel).
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or the destination has been torn
+    /// down (a rank panicked).
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: Tag, value: T) {
+        assert!(dst < self.size, "destination rank {dst} out of range");
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("destination rank has shut down");
+    }
+
+    fn matches(env: &Envelope, source: Source, tag: Tag) -> bool {
+        env.tag == tag
+            && match source {
+                Source::Any => true,
+                Source::Rank(r) => env.src == r,
+            }
+    }
+
+    fn take_pending(&mut self, source: Source, tag: Tag) -> Option<Envelope> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|e| Self::matches(e, source, tag))?;
+        self.pending.remove(idx)
+    }
+
+    fn downcast<T: Send + 'static>(env: Envelope) -> Result<(usize, T), RecvError> {
+        let src = env.src;
+        let tag = env.tag;
+        match env.payload.downcast::<T>() {
+            Ok(v) => Ok((src, *v)),
+            Err(_) => Err(RecvError::TypeMismatch { src, tag }),
+        }
+    }
+
+    /// Blocking receive of a `T` from `source` with `tag`. Non-matching
+    /// messages that arrive meanwhile are buffered for later receives
+    /// (MPI matching semantics).
+    pub fn recv_from<T: Send + 'static>(
+        &mut self,
+        source: Source,
+        tag: Tag,
+    ) -> Result<(usize, T), RecvError> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Self::downcast(env);
+        }
+        loop {
+            match self.inbox.recv() {
+                Ok(env) => {
+                    if Self::matches(&env, source, tag) {
+                        return Self::downcast(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(_) => return Err(RecvError::Disconnected),
+            }
+        }
+    }
+
+    /// Blocking receive from a specific rank.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Result<T, RecvError> {
+        self.recv_from(Source::Rank(src), tag).map(|(_, v)| v)
+    }
+
+    /// Blocking receive from any rank, returning `(source, value)`.
+    pub fn recv_any<T: Send + 'static>(&mut self, tag: Tag) -> Result<(usize, T), RecvError> {
+        self.recv_from(Source::Any, tag)
+    }
+
+    /// Non-blocking receive: drain the inbox into the pending queue, then
+    /// return a matching message if one is already here (`MPI_Iprobe` +
+    /// receive). `Ok(None)` means "nothing yet".
+    pub fn try_recv<T: Send + 'static>(
+        &mut self,
+        source: Source,
+        tag: Tag,
+    ) -> Result<Option<(usize, T)>, RecvError> {
+        while let Ok(env) = self.inbox.try_recv() {
+            self.pending.push_back(env);
+        }
+        match self.take_pending(source, tag) {
+            Some(env) => Self::downcast(env).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Non-blocking probe: is a matching message waiting? Returns the
+    /// sender's rank without consuming the message (`MPI_Iprobe`).
+    pub fn probe(&mut self, source: Source, tag: Tag) -> Option<usize> {
+        while let Ok(env) = self.inbox.try_recv() {
+            self.pending.push_back(env);
+        }
+        self.pending
+            .iter()
+            .find(|e| Self::matches(e, source, tag))
+            .map(|e| e.src)
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout<T: Send + 'static>(
+        &mut self,
+        source: Source,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(usize, T), RecvError> {
+        if let Some(env) = self.take_pending(source, tag) {
+            return Self::downcast(env);
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.inbox.recv_timeout(left) {
+                Ok(env) => {
+                    if Self::matches(&env, source, tag) {
+                        return Self::downcast(env);
+                    }
+                    self.pending.push_back(env);
+                }
+                Err(RecvTimeoutError::Timeout) => return Err(RecvError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvError::Disconnected),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn ping_pong() {
+        let results = World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, 123u32);
+                comm.recv::<u32>(1, 8).unwrap()
+            } else {
+                let v: u32 = comm.recv(0, 7).unwrap();
+                comm.send(0, 8, v * 2);
+                v
+            }
+        });
+        assert_eq!(results, vec![246, 123]);
+    }
+
+    #[test]
+    fn out_of_order_tag_matching() {
+        let results = World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1.
+                comm.send(1, 2, "second".to_string());
+                comm.send(1, 1, "first".to_string());
+                String::new()
+            } else {
+                // Receive tag 1 first although it arrived second.
+                let a: String = comm.recv(0, 1).unwrap();
+                let b: String = comm.recv(0, 2).unwrap();
+                format!("{a},{b}")
+            }
+        });
+        assert_eq!(results[1], "first,second");
+    }
+
+    #[test]
+    fn any_source_receive() {
+        let results = World::new(4).run(|mut comm| {
+            if comm.rank() == 0 {
+                let mut sum = 0u64;
+                let mut sources = Vec::new();
+                for _ in 0..3 {
+                    let (src, v): (usize, u64) = comm.recv_any(5).unwrap();
+                    sum += v;
+                    sources.push(src);
+                }
+                sources.sort_unstable();
+                assert_eq!(sources, vec![1, 2, 3]);
+                sum
+            } else {
+                comm.send(0, 5, comm.rank() as u64 * 10);
+                0
+            }
+        });
+        assert_eq!(results[0], 60);
+    }
+
+    #[test]
+    fn type_mismatch_is_reported() {
+        let results = World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, 1.5f64);
+                true
+            } else {
+                matches!(
+                    comm.recv::<u32>(0, 9),
+                    Err(RecvError::TypeMismatch { src: 0, tag: 9 })
+                )
+            }
+        });
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn try_recv_and_probe_are_nonblocking() {
+        let results = World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                // Nothing sent yet: both must return immediately empty.
+                let empty: Option<(usize, u32)> = comm.try_recv(Source::Any, 4).unwrap();
+                let no_probe = comm.probe(Source::Any, 4).is_none();
+                // Tell rank 1 to send, then wait for it.
+                comm.send(1, 1, ());
+                // Spin briefly until the probe sees the message.
+                let mut probed = None;
+                for _ in 0..1000 {
+                    probed = comm.probe(Source::Rank(1), 4);
+                    if probed.is_some() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Probe must not have consumed it.
+                let got: Option<(usize, u32)> = comm.try_recv(Source::Rank(1), 4).unwrap();
+                (empty.is_none(), no_probe, probed == Some(1), got == Some((1, 77)))
+            } else {
+                let () = comm.recv(0, 1).unwrap();
+                comm.send(0, 4, 77u32);
+                (true, true, true, true)
+            }
+        });
+        assert_eq!(results[0], (true, true, true, true));
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let results = World::new(2).run(|mut comm| {
+            if comm.rank() == 1 {
+                matches!(
+                    comm.recv_timeout::<u8>(Source::Rank(0), 1, Duration::from_millis(20)),
+                    Err(RecvError::Timeout)
+                )
+            } else {
+                true
+            }
+        });
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn large_payloads_move_without_copy_drama() {
+        let results = World::new(2).run(|mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![1.0f64; 1_000_000]);
+                0.0
+            } else {
+                let v: Vec<f64> = comm.recv(0, 3).unwrap();
+                v.iter().sum::<f64>()
+            }
+        });
+        assert_eq!(results[1], 1_000_000.0);
+    }
+}

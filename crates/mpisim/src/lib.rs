@@ -1,0 +1,26 @@
+//! An MPI-flavoured message-passing substrate over threads and channels.
+//!
+//! MarketMiner is "a modular, MPI-based infrastructure"; its components are
+//! processes exchanging tagged messages. Rust's MPI bindings are immature,
+//! so this crate reproduces the messaging semantics the platform needs on a
+//! shared-memory node:
+//!
+//! * an SPMD [`World`] of `size` ranks, each a thread running
+//!   the same closure with its own [`Comm`];
+//! * tagged, typed point-to-point [`send`](comm::Comm::send) /
+//!   [`recv`](comm::Comm::recv) with MPI-style out-of-order tag matching;
+//! * the collectives the pipeline uses: barrier, broadcast, gather,
+//!   scatter, reduce, all-reduce.
+//!
+//! Semantics intentionally mirror MPI: `send` is asynchronous (buffered,
+//! never blocks), `recv` blocks until a matching `(source, tag)` message of
+//! the right type arrives, and collectives must be entered by every rank in
+//! the same order (SPMD discipline). Anything written against this crate
+//! would port to real MPI by substituting the communicator.
+
+pub mod collective;
+pub mod comm;
+pub mod world;
+
+pub use comm::{Comm, RecvError, Tag};
+pub use world::World;

@@ -1,0 +1,119 @@
+//! The SPMD world: spawn `size` ranks, run the same closure in each, and
+//! collect per-rank results in rank order.
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Comm, Envelope};
+
+/// A fixed-size SPMD world.
+#[derive(Debug, Clone, Copy)]
+pub struct World {
+    size: usize,
+}
+
+impl World {
+    /// World with `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size` is 0.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world must have at least one rank");
+        World { size }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run the SPMD program: every rank executes `f` with its own
+    /// communicator; results are returned in rank order.
+    ///
+    /// # Panics
+    /// Propagates the panic of any rank (after all threads are joined by
+    /// scope exit).
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(Comm) -> R + Sync,
+        R: Send,
+    {
+        let mut senders = Vec::with_capacity(self.size);
+        let mut receivers = Vec::with_capacity(self.size);
+        for _ in 0..self.size {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+
+        let mut results: Vec<Option<R>> = (0..self.size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.size);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let comm = Comm::new(rank, self.size, senders, inbox);
+                    f(comm)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results[rank] = Some(r),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("rank result")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let ranks = World::new(8).run(|comm| (comm.rank(), comm.size()));
+        for (i, &(r, s)) in ranks.iter().enumerate() {
+            assert_eq!(r, i);
+            assert_eq!(s, 8);
+        }
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::new(1).run(|comm| comm.rank() + 100);
+        assert_eq!(out, vec![100]);
+    }
+
+    #[test]
+    fn results_in_rank_order_regardless_of_finish_order() {
+        let out = World::new(4).run(|comm| {
+            // Later ranks finish first.
+            std::thread::sleep(std::time::Duration::from_millis(
+                (4 - comm.rank()) as u64 * 5,
+            ));
+            comm.rank() * 2
+        });
+        assert_eq!(out, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        World::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                panic!("rank 1 died");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_world_rejected() {
+        let _ = World::new(0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the message-passing substrate: collectives
+//! must agree with their sequential definitions for arbitrary payloads
+//! and world sizes.
+
+use proptest::prelude::*;
+
+use mpisim::World;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_reduce_sum_matches_sequential(
+        values in proptest::collection::vec(-1_000i64..1_000, 1..9),
+    ) {
+        let n = values.len();
+        let expected: i64 = values.iter().sum();
+        let vals = values.clone();
+        let out = World::new(n).run(move |mut comm| {
+            comm.all_reduce(vals[comm.rank()], |a, b| a + b)
+        });
+        prop_assert!(out.into_iter().all(|v| v == expected));
+    }
+
+    #[test]
+    fn gather_preserves_rank_order(
+        values in proptest::collection::vec(any::<u32>(), 1..9),
+        root_pick in any::<prop::sample::Index>(),
+    ) {
+        let n = values.len();
+        let root = root_pick.index(n);
+        let vals = values.clone();
+        let out = World::new(n).run(move |mut comm| {
+            comm.gather(root, vals[comm.rank()])
+        });
+        for (rank, res) in out.into_iter().enumerate() {
+            if rank == root {
+                prop_assert_eq!(res.as_ref(), Some(&values));
+            } else {
+                prop_assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_then_gather_is_identity(
+        values in proptest::collection::vec(any::<i16>(), 1..9),
+    ) {
+        let n = values.len();
+        let vals = values.clone();
+        let out = World::new(n).run(move |mut comm| {
+            let mine = if comm.rank() == 0 {
+                comm.scatter(0, Some(vals.clone()))
+            } else {
+                comm.scatter(0, None)
+            };
+            comm.gather(0, mine)
+        });
+        prop_assert_eq!(out[0].as_ref(), Some(&values));
+    }
+
+    #[test]
+    fn reduce_max_and_min(
+        values in proptest::collection::vec(-500i32..500, 2..8),
+    ) {
+        let n = values.len();
+        let vals = values.clone();
+        let out = World::new(n).run(move |mut comm| {
+            let hi = comm.all_reduce(vals[comm.rank()], i32::max);
+            let lo = comm.all_reduce(vals[comm.rank()], i32::min);
+            (hi, lo)
+        });
+        let want_hi = *values.iter().max().unwrap();
+        let want_lo = *values.iter().min().unwrap();
+        prop_assert!(out.into_iter().all(|(hi, lo)| hi == want_hi && lo == want_lo));
+    }
+
+    #[test]
+    fn broadcast_from_any_root(
+        payload in any::<u64>(),
+        n in 1usize..8,
+        root_pick in any::<prop::sample::Index>(),
+    ) {
+        let root = root_pick.index(n);
+        let out = World::new(n).run(move |mut comm| {
+            if comm.rank() == root {
+                comm.broadcast(root, Some(payload))
+            } else {
+                comm.broadcast::<u64>(root, None)
+            }
+        });
+        prop_assert!(out.into_iter().all(|v| v == payload));
+    }
+}

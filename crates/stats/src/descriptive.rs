@@ -1,0 +1,363 @@
+//! Descriptive statistics for the paper's evaluation tables and box plots.
+//!
+//! Tables III–V report, per correlation type: mean, median, standard
+//! deviation, Sharpe ratio (Table III only), skewness and kurtosis of a
+//! sample of per-pair averaged performance measures. Figure 2 shows box
+//! plots (median, quartiles, whiskers at the most extreme non-outlier
+//! points, and individually plotted outliers — Matlab's `boxplot`
+//! convention with whisker factor 1.5).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample, matching the rows of Tables III–V.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of middle two for even n).
+    pub median: f64,
+    /// Sample standard deviation (n - 1 denominator).
+    pub std_dev: f64,
+    /// Sharpe ratio as defined in the paper: `mean / std_dev`.
+    ///
+    /// The paper defines SR = r-bar / sigma-hat over the *excess* growth;
+    /// callers pass returns already net of the baseline (e.g. growth factors
+    /// minus 1) when that is the intended quantity.
+    pub sharpe: f64,
+    /// Sample skewness (third standardised moment, biased version
+    /// `m3 / m2^{3/2}` as Matlab's `skewness(x)` default, which the paper's
+    /// Matlab prototype would have produced).
+    pub skewness: f64,
+    /// Sample kurtosis (fourth standardised moment `m4 / m2^2`, *not*
+    /// excess; a normal distribution scores 3 — Matlab's `kurtosis(x)`
+    /// default, consistent with Table V values near 3).
+    pub kurtosis: f64,
+}
+
+impl Summary {
+    /// Compute all summary statistics for a sample.
+    ///
+    /// Returns a zeroed summary for an empty sample; `std_dev` is 0 for a
+    /// single observation and `sharpe` is 0 whenever `std_dev` is 0.
+    ///
+    /// ```
+    /// let s = stats::descriptive::Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+    /// assert_eq!(s.mean, 3.0);
+    /// assert_eq!(s.median, 3.0);
+    /// assert!((s.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+    /// ```
+    pub fn of(sample: &[f64]) -> Summary {
+        let n = sample.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                median: 0.0,
+                std_dev: 0.0,
+                sharpe: 0.0,
+                skewness: 0.0,
+                kurtosis: 0.0,
+            };
+        }
+        let nf = n as f64;
+        let mean = sample.iter().sum::<f64>() / nf;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        let mut m4 = 0.0;
+        for &x in sample {
+            let d = x - mean;
+            let d2 = d * d;
+            m2 += d2;
+            m3 += d2 * d;
+            m4 += d2 * d2;
+        }
+        m2 /= nf;
+        m3 /= nf;
+        m4 /= nf;
+        let std_dev = if n > 1 {
+            (m2 * nf / (nf - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        let skewness = if m2 > 0.0 { m3 / m2.powf(1.5) } else { 0.0 };
+        let kurtosis = if m2 > 0.0 { m4 / (m2 * m2) } else { 0.0 };
+        let sharpe = if std_dev > 0.0 { mean / std_dev } else { 0.0 };
+        Summary {
+            n,
+            mean,
+            median: median(sample),
+            std_dev,
+            sharpe,
+            skewness,
+            kurtosis,
+        }
+    }
+}
+
+/// Median of a sample (does not require sorted input). Returns 0 for empty.
+pub fn median(sample: &[f64]) -> f64 {
+    percentile(sample, 50.0)
+}
+
+/// Linear-interpolation percentile (Matlab / NIST convention: the `p`-th
+/// percentile of a sorted sample `x[0..n]` sits at fractional index
+/// `p/100 * (n - 1)`). `p` is clamped to `[0, 100]`. Returns 0 for empty.
+pub fn percentile(sample: &[f64], p: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted sample (ascending).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n == 1 {
+        return sorted[0];
+    }
+    let p = p.clamp(0.0, 100.0);
+    let pos = p / 100.0 * (n as f64 - 1.0);
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Box-plot statistics in the Matlab `boxplot` convention used by Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Lower whisker: smallest observation >= q1 - whisker_factor * IQR.
+    pub whisker_lo: f64,
+    /// Upper whisker: largest observation <= q3 + whisker_factor * IQR.
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers, "plotted individually".
+    pub outliers: Vec<f64>,
+}
+
+impl BoxPlot {
+    /// Compute box-plot statistics with the conventional whisker factor 1.5.
+    pub fn of(sample: &[f64]) -> BoxPlot {
+        Self::with_whisker(sample, 1.5)
+    }
+
+    /// Compute box-plot statistics with an explicit whisker factor.
+    pub fn with_whisker(sample: &[f64], factor: f64) -> BoxPlot {
+        let mut sorted: Vec<f64> = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q1 = percentile_sorted(&sorted, 25.0);
+        let med = percentile_sorted(&sorted, 50.0);
+        let q3 = percentile_sorted(&sorted, 75.0);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - factor * iqr;
+        let hi_fence = q3 + factor * iqr;
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(q3);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        BoxPlot {
+            q1,
+            median: med,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        }
+    }
+
+    /// Render a one-line ASCII box plot over `[axis_lo, axis_hi]` with the
+    /// given width; used by the Figure-2 report so the reproduction is
+    /// inspectable in a terminal.
+    pub fn render_ascii(&self, axis_lo: f64, axis_hi: f64, width: usize) -> String {
+        let width = width.max(10);
+        let span = (axis_hi - axis_lo).max(f64::MIN_POSITIVE);
+        let col = |x: f64| -> usize {
+            (((x - axis_lo) / span) * (width - 1) as f64)
+                .round()
+                .clamp(0.0, (width - 1) as f64) as usize
+        };
+        let mut row = vec![' '; width];
+        for o in &self.outliers {
+            if *o >= axis_lo && *o <= axis_hi {
+                row[col(*o)] = 'o';
+            }
+        }
+        let (wl, q1, md, q3, wh) = (
+            col(self.whisker_lo),
+            col(self.q1),
+            col(self.median),
+            col(self.q3),
+            col(self.whisker_hi),
+        );
+        for c in row.iter_mut().take(q1).skip(wl) {
+            if *c == ' ' {
+                *c = '-';
+            }
+        }
+        for c in row.iter_mut().take(wh + 1).skip(q3 + 1) {
+            if *c == ' ' {
+                *c = '-';
+            }
+        }
+        for c in row.iter_mut().take(q3 + 1).skip(q1) {
+            *c = '=';
+        }
+        row[wl] = '|';
+        row[wh] = '|';
+        row[q1] = '[';
+        row[q3] = ']';
+        row[md] = '#';
+        row.into_iter().collect()
+    }
+}
+
+/// Maximum drawdown of a cumulative series: the largest peak-to-trough drop
+/// `max(peak - later value)` over the series. Zero for monotone increasing
+/// or empty input.
+pub fn max_drawdown(cumulative: &[f64]) -> f64 {
+    let mut peak = f64::NEG_INFINITY;
+    let mut mdd: f64 = 0.0;
+    for &x in cumulative {
+        if x > peak {
+            peak = x;
+        }
+        mdd = mdd.max(peak - x);
+    }
+    if cumulative.is_empty() {
+        0.0
+    } else {
+        mdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_constant_sample() {
+        let s = Summary::of(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.sharpe, 0.0);
+        assert_eq!(s.skewness, 0.0);
+        assert_eq!(s.kurtosis, 0.0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        // Sample 1..=5: mean 3, median 3, var (n-1) = 2.5.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+        assert!((s.sharpe - 3.0 / 2.5f64.sqrt()).abs() < 1e-12);
+        assert!(s.skewness.abs() < 1e-12, "symmetric sample");
+        // m2 = 2, m4 = (16+1+0+1+16)/5 = 6.8 -> kurtosis 1.7.
+        assert!((s.kurtosis - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_skew_sign() {
+        let right = Summary::of(&[1.0, 1.0, 1.0, 10.0]);
+        assert!(right.skewness > 1.0);
+        let left = Summary::of(&[-10.0, 1.0, 1.0, 1.0]);
+        assert!(left.skewness < -1.0);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let x = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&x, 0.0), 10.0);
+        assert_eq!(percentile(&x, 100.0), 40.0);
+        // pos = 0.25 * 3 = 0.75 -> 10 + 0.75*10 = 17.5
+        assert!((percentile(&x, 25.0) - 17.5).abs() < 1e-12);
+        assert!((percentile(&x, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let x: Vec<f64> = (1..=11).map(|v| v as f64).collect();
+        let b = BoxPlot::of(&x);
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.q1, 3.5);
+        assert_eq!(b.q3, 8.5);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+    }
+
+    #[test]
+    fn boxplot_flags_outliers() {
+        let mut x: Vec<f64> = (1..=11).map(|v| v as f64).collect();
+        x.push(100.0);
+        let b = BoxPlot::of(&x);
+        assert_eq!(b.outliers, vec![100.0]);
+        assert!(b.whisker_hi <= 11.0);
+    }
+
+    #[test]
+    fn boxplot_ascii_renders_markers() {
+        let x: Vec<f64> = (1..=11).map(|v| v as f64).collect();
+        let b = BoxPlot::of(&x);
+        let s = b.render_ascii(0.0, 12.0, 40);
+        assert_eq!(s.len(), 40);
+        assert!(s.contains('['));
+        assert!(s.contains(']'));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn max_drawdown_basic() {
+        // Peak 1.3, trough after peak 0.9 -> MDD 0.4.
+        let c = [1.0, 1.3, 1.1, 0.9, 1.2];
+        assert!((max_drawdown(&c) - 0.4).abs() < 1e-12);
+        assert_eq!(max_drawdown(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(max_drawdown(&[]), 0.0);
+    }
+}

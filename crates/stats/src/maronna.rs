@@ -1,0 +1,383 @@
+//! Maronna's robust bivariate M-estimator of location and scatter.
+//!
+//! Classical (Pearson) correlation is notoriously sensitive to the data
+//! errors that pollute raw high-frequency quote streams. MarketMiner's
+//! answer — following Maronna (1976) and the parallel formulation of
+//! Chilson, Ng, Wagner and Zamar (*Algorithmica* 45(3), 2006) — is an
+//! iteratively re-weighted estimate of the bivariate location `m` and
+//! 2x2 scatter `S` of the paired series, from which the correlation is read
+//! off as `rho = S12 / sqrt(S11 * S22)`.
+//!
+//! The iteration, for data `z_t = (x_t, y_t)`:
+//!
+//! 1. initialise `m` with coordinate-wise medians and `S` with squared
+//!    normalised MADs;
+//! 2. compute squared Mahalanobis distances `d_t = (z_t - m)' S^-1 (z_t - m)`;
+//! 3. down-weight distant points with a Huber-type weight
+//!    `u(d) = min(1, K / d)` (K = chi-square(2 df) 0.95 quantile);
+//! 4. re-estimate `m` as the weighted mean and `S` as the weighted scatter
+//!    about the new `m`;
+//! 5. repeat until the relative change in `S` falls below tolerance.
+//!
+//! Because the correlation is scale-free, no consistency constant is needed:
+//! any global scaling of `S` cancels in `rho`.
+//!
+//! Cost: O(iterations * M) per pair, roughly an order of magnitude more than
+//! the O(1) sliding Pearson update — exactly the expense the paper's
+//! Combined measure (see [`crate::combined`]) is designed to amortise, and
+//! the reason the engine parallelises over pairs.
+
+use crate::correlation::{clamp_corr, CorrelationMeasure};
+
+/// chi-square(2 df) 0.95 quantile — the conventional Huber cut-off for
+/// bivariate Mahalanobis distances.
+pub const DEFAULT_HUBER_CUTOFF: f64 = 5.991_464_547_107_979;
+
+/// Configuration for the Maronna iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct MaronnaEstimator {
+    /// Huber cut-off `K` on squared Mahalanobis distance.
+    pub cutoff: f64,
+    /// Maximum number of re-weighting iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on the relative Frobenius change of `S`.
+    pub tol: f64,
+}
+
+impl Default for MaronnaEstimator {
+    fn default() -> Self {
+        MaronnaEstimator {
+            cutoff: DEFAULT_HUBER_CUTOFF,
+            max_iter: 50,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// A warm-start seed: `(location (mx, my), scatter (s11, s12, s22))`,
+/// as produced by a previous [`MaronnaFit`].
+pub type MaronnaSeed = ((f64, f64), (f64, f64, f64));
+
+/// Result of a full Maronna fit: robust location, scatter and correlation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaronnaFit {
+    /// Robust location estimate (mx, my).
+    pub location: (f64, f64),
+    /// Robust scatter matrix entries (s11, s12, s22).
+    pub scatter: (f64, f64, f64),
+    /// Robust correlation in [-1, 1].
+    pub correlation: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the scatter iteration converged within tolerance.
+    pub converged: bool,
+}
+
+fn median_of(mut v: Vec<f64>) -> f64 {
+    let n = v.len();
+    debug_assert!(n > 0);
+    let mid = n / 2;
+    let (_, &mut hi, _) = v.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+    if n % 2 == 1 {
+        hi
+    } else {
+        let lo = v[..mid].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lo + hi)
+    }
+}
+
+/// Normalised median absolute deviation (consistent for the Gaussian
+/// standard deviation: MAD / 0.6745).
+fn mad(values: &[f64], center: f64) -> f64 {
+    let devs: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+    median_of(devs) / 0.674_489_750_196_081_7
+}
+
+impl MaronnaEstimator {
+    /// Huber weight on a squared Mahalanobis distance.
+    #[inline]
+    fn weight(&self, d: f64) -> f64 {
+        if d <= self.cutoff {
+            1.0
+        } else {
+            self.cutoff / d
+        }
+    }
+
+    /// Run the full iteration and return location, scatter and correlation.
+    ///
+    /// Degenerate inputs (length < 2, zero robust spread in either margin)
+    /// yield a zero-correlation fit — consistent with the other estimators'
+    /// "no evidence" convention.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn fit(&self, x: &[f64], y: &[f64]) -> MaronnaFit {
+        self.fit_with_init(x, y, None)
+    }
+
+    /// [`MaronnaEstimator::fit`] with an optional warm start.
+    ///
+    /// Sliding-window sweeps re-estimate almost the same sample every
+    /// step; seeding the iteration with the previous window's
+    /// `(location, scatter)` typically converges in 2–3 iterations instead
+    /// of 10–20. The fixed point is the same M-estimating equation, so a
+    /// warm fit agrees with a cold fit to within the convergence
+    /// tolerance.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn fit_with_init(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        init: Option<MaronnaSeed>,
+    ) -> MaronnaFit {
+        assert_eq!(x.len(), y.len(), "maronna: length mismatch");
+        let n = x.len();
+        let degenerate = |mx: f64, my: f64| MaronnaFit {
+            location: (mx, my),
+            scatter: (0.0, 0.0, 0.0),
+            correlation: 0.0,
+            iterations: 0,
+            converged: false,
+        };
+        if n < 2 {
+            return degenerate(0.0, 0.0);
+        }
+
+        let med_x = median_of(x.to_vec());
+        let med_y = median_of(y.to_vec());
+        let sx = mad(x, med_x);
+        let sy = mad(y, med_y);
+        if sx <= 0.0 || sy <= 0.0 {
+            // More than half the observations are identical in one margin;
+            // there is no robust notion of co-movement to estimate.
+            return degenerate(med_x, med_y);
+        }
+        // Warm start when the seed scatter is usable; otherwise the
+        // classical median/MAD initialisation.
+        let (mut mx, mut my, mut s11, mut s12, mut s22) = match init {
+            Some(((imx, imy), (i11, i12, i22)))
+                if i11 > 0.0 && i22 > 0.0 && (i11 * i22 - i12 * i12) > 0.0 =>
+            {
+                (imx, imy, i11, i12, i22)
+            }
+            _ => (med_x, med_y, sx * sx, 0.0, sy * sy),
+        };
+
+        let nf = n as f64;
+        let mut converged = false;
+        let mut iterations = 0;
+        for _ in 0..self.max_iter {
+            iterations += 1;
+            // Invert the 2x2 scatter.
+            let det = s11 * s22 - s12 * s12;
+            if det <= 1e-300 || !det.is_finite() {
+                break;
+            }
+            let (i11, i12, i22) = (s22 / det, -s12 / det, s11 / det);
+
+            // Weighted location update.
+            let mut wsum = 0.0;
+            let mut wx = 0.0;
+            let mut wy = 0.0;
+            for k in 0..n {
+                let dx = x[k] - mx;
+                let dy = y[k] - my;
+                let d = i11 * dx * dx + 2.0 * i12 * dx * dy + i22 * dy * dy;
+                let w = self.weight(d.max(0.0));
+                wsum += w;
+                wx += w * x[k];
+                wy += w * y[k];
+            }
+            if wsum <= 0.0 {
+                break;
+            }
+            let new_mx = wx / wsum;
+            let new_my = wy / wsum;
+
+            // Weighted scatter about the new location (distances re-use the
+            // current scatter inverse, as in the classical IRLS scheme).
+            let mut t11 = 0.0;
+            let mut t12 = 0.0;
+            let mut t22 = 0.0;
+            for k in 0..n {
+                let dx0 = x[k] - mx;
+                let dy0 = y[k] - my;
+                let d = i11 * dx0 * dx0 + 2.0 * i12 * dx0 * dy0 + i22 * dy0 * dy0;
+                let w = self.weight(d.max(0.0));
+                let dx = x[k] - new_mx;
+                let dy = y[k] - new_my;
+                t11 += w * dx * dx;
+                t12 += w * dx * dy;
+                t22 += w * dy * dy;
+            }
+            t11 /= nf;
+            t12 /= nf;
+            t22 /= nf;
+
+            // Relative Frobenius change of S.
+            let num = ((t11 - s11).powi(2) + 2.0 * (t12 - s12).powi(2) + (t22 - s22).powi(2))
+                .sqrt();
+            let den = (s11 * s11 + 2.0 * s12 * s12 + s22 * s22).sqrt().max(1e-300);
+            mx = new_mx;
+            my = new_my;
+            s11 = t11;
+            s12 = t12;
+            s22 = t22;
+            if num / den < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let correlation = if s11 > 0.0 && s22 > 0.0 {
+            clamp_corr(s12 / (s11 * s22).sqrt())
+        } else {
+            0.0
+        };
+        MaronnaFit {
+            location: (mx, my),
+            scatter: (s11, s12, s22),
+            correlation,
+            iterations,
+            converged,
+        }
+    }
+}
+
+impl CorrelationMeasure for MaronnaEstimator {
+    fn correlation(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.fit(x, y).correlation
+    }
+
+    fn name(&self) -> &'static str {
+        "Maronna"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pearson::pearson;
+
+    /// Deterministic correlated pseudo-Gaussian pairs via a fixed LCG +
+    /// Box-Muller, so the test needs no RNG dependency.
+    fn correlated_sample(n: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed.max(1);
+        let mut unif = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let mut gauss = move || {
+            let u1: f64 = unif().max(1e-12);
+            let u2: f64 = unif();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let b = (1.0 - rho * rho).sqrt();
+        for _ in 0..n {
+            let g1 = gauss();
+            let g2 = gauss();
+            x.push(g1);
+            y.push(rho * g1 + b * g2);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn agrees_with_pearson_on_clean_data() {
+        for &rho in &[0.0, 0.3, 0.7, 0.95, -0.6] {
+            let (x, y) = correlated_sample(4000, rho, 42);
+            let m = MaronnaEstimator::default().fit(&x, &y);
+            let p = pearson(&x, &y);
+            assert!(m.converged, "rho={rho}");
+            assert!(
+                (m.correlation - p).abs() < 0.05,
+                "rho={rho}: maronna {} vs pearson {p}",
+                m.correlation
+            );
+        }
+    }
+
+    #[test]
+    fn robust_to_outliers_where_pearson_breaks() {
+        let (x, mut y) = correlated_sample(500, 0.9, 7);
+        let clean = MaronnaEstimator::default().fit(&x, &y).correlation;
+        // Corrupt 5% of the y-values with gross errors (fat-finger quotes).
+        for k in (0..y.len()).step_by(20) {
+            y[k] = 1e4 * if k % 40 == 0 { 1.0 } else { -1.0 };
+        }
+        let robust = MaronnaEstimator::default().fit(&x, &y).correlation;
+        let classical = pearson(&x, &y);
+        assert!(
+            (robust - clean).abs() < 0.1,
+            "maronna holds: clean {clean} corrupted {robust}"
+        );
+        assert!(
+            classical.abs() < 0.3,
+            "pearson collapses under corruption: {classical}"
+        );
+    }
+
+    #[test]
+    fn location_is_robust() {
+        let (x, mut y) = correlated_sample(301, 0.5, 99);
+        y[0] = 1e8;
+        let fit = MaronnaEstimator::default().fit(&x, &y);
+        assert!(fit.location.1.abs() < 1.0, "location {:?}", fit.location);
+    }
+
+    #[test]
+    fn affine_equivariance_of_correlation() {
+        let (x, y) = correlated_sample(1000, 0.6, 5);
+        let base = MaronnaEstimator::default().fit(&x, &y).correlation;
+        let x2: Vec<f64> = x.iter().map(|v| 250.0 * v - 37.0).collect();
+        let y2: Vec<f64> = y.iter().map(|v| 0.01 * v + 5.0).collect();
+        let scaled = MaronnaEstimator::default().fit(&x2, &y2).correlation;
+        assert!((base - scaled).abs() < 1e-6, "{base} vs {scaled}");
+        let y3: Vec<f64> = y.iter().map(|v| -v).collect();
+        let flipped = MaronnaEstimator::default().fit(&x, &y3).correlation;
+        assert!((base + flipped).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let est = MaronnaEstimator::default();
+        assert_eq!(est.correlation(&[], &[]), 0.0);
+        assert_eq!(est.correlation(&[1.0], &[2.0]), 0.0);
+        let flat = vec![2.0; 64];
+        let ramp: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        assert_eq!(est.correlation(&flat, &ramp), 0.0);
+    }
+
+    #[test]
+    fn perfectly_collinear_data() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 * 0.5 - 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 2.0).collect();
+        let fit = MaronnaEstimator::default().fit(&x, &y);
+        assert!(fit.correlation > 0.999, "rho = {}", fit.correlation);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let est = MaronnaEstimator {
+            max_iter: 3,
+            ..Default::default()
+        };
+        let (x, y) = correlated_sample(500, 0.4, 11);
+        let fit = est.fit(&x, &y);
+        assert!(fit.iterations <= 3);
+    }
+
+    #[test]
+    fn weight_function_shape() {
+        let est = MaronnaEstimator::default();
+        assert_eq!(est.weight(0.0), 1.0);
+        assert_eq!(est.weight(est.cutoff), 1.0);
+        assert!((est.weight(2.0 * est.cutoff) - 0.5).abs() < 1e-12);
+        assert!(est.weight(1e9) < 1e-8);
+    }
+}

@@ -1,0 +1,305 @@
+//! Streaming and rolling moment computations.
+//!
+//! The live half of MarketMiner never sees a complete sample: quotes arrive
+//! one at a time, and the cleaning filter, technical-analysis node and
+//! sliding-window Pearson engine all need running means/variances that can
+//! be updated in O(1).
+
+/// Welford's online algorithm for mean and variance.
+///
+/// Numerically stable for long streams (a full trading day of quotes for a
+/// liquid stock is easily 10^5–10^6 updates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Incorporate an observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (denominator n).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (denominator n - 1; 0 for fewer than 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Rolling mean/variance over a fixed-size window, with O(1) push.
+///
+/// Used by the TCP-like data-cleaning filter of the paper ("eliminate prices
+/// that are more than a few standard deviations from their corresponding
+/// moving average and deviation"). Sums are kept in compensated form and
+/// periodically refreshed to bound floating-point drift over a full day.
+#[derive(Debug, Clone)]
+pub struct RollingMoments {
+    window: Vec<f64>,
+    head: usize,
+    len: usize,
+    sum: f64,
+    sum_sq: f64,
+    pushes_since_refresh: usize,
+}
+
+impl RollingMoments {
+    /// Create a rolling window of the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rolling window must have capacity > 0");
+        RollingMoments {
+            window: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            pushes_since_refresh: 0,
+        }
+    }
+
+    /// Window capacity.
+    pub fn capacity(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Number of observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once the window has been filled at least once.
+    pub fn is_full(&self) -> bool {
+        self.len == self.window.len()
+    }
+
+    /// Push an observation, evicting the oldest when full. Returns the
+    /// evicted value if any.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let cap = self.window.len();
+        let evicted = if self.len == cap {
+            let old = self.window[self.head];
+            self.sum -= old;
+            self.sum_sq -= old * old;
+            Some(old)
+        } else {
+            self.len += 1;
+            None
+        };
+        self.window[self.head] = x;
+        self.head = (self.head + 1) % cap;
+        self.sum += x;
+        self.sum_sq += x * x;
+
+        // Refresh the running sums from scratch occasionally; subtraction
+        // cancellation over ~10^6 pushes can otherwise drift the variance.
+        self.pushes_since_refresh += 1;
+        if self.pushes_since_refresh >= 65_536 {
+            self.refresh();
+        }
+        evicted
+    }
+
+    fn refresh(&mut self) {
+        self.pushes_since_refresh = 0;
+        let mut s = 0.0;
+        let mut s2 = 0.0;
+        for &v in self.iter_raw() {
+            s += v;
+            s2 += v * v;
+        }
+        self.sum = s;
+        self.sum_sq = s2;
+    }
+
+    fn iter_raw(&self) -> impl Iterator<Item = &f64> {
+        let cap = self.window.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |k| &self.window[(start + k) % cap])
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.sum / self.len as f64
+        }
+    }
+
+    /// Current population variance, clamped at 0 against rounding.
+    pub fn variance(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let n = self.len as f64;
+        let mean = self.sum / n;
+        (self.sum_sq / n - mean * mean).max(0.0)
+    }
+
+    /// Current population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Exponentially-weighted moving average, the smoother used by the
+/// technical-analysis component.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with smoothing factor `alpha` in (0, 1].
+    ///
+    /// # Panics
+    /// Panics if alpha is outside (0, 1].
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// EWMA with the span convention `alpha = 2 / (span + 1)`.
+    pub fn with_span(span: usize) -> Self {
+        Self::new(2.0 / (span as f64 + 1.0))
+    }
+
+    /// Update with an observation and return the new smoothed value.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, if any observation has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.0, 4.0, 9.0, 16.0, 25.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn rolling_window_evicts() {
+        let mut r = RollingMoments::new(3);
+        assert_eq!(r.push(1.0), None);
+        assert_eq!(r.push(2.0), None);
+        assert_eq!(r.push(3.0), None);
+        assert!(r.is_full());
+        assert!((r.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(r.push(4.0), Some(1.0));
+        assert!((r.mean() - 3.0).abs() < 1e-12);
+        let var = ((2.0f64 - 3.0).powi(2) + 0.0 + (4.0f64 - 3.0).powi(2)) / 3.0;
+        assert!((r.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rolling_long_stream_stays_accurate() {
+        let mut r = RollingMoments::new(100);
+        // Long stream with an offset that would amplify cancellation error.
+        for i in 0..200_000u64 {
+            r.push(1e6 + (i % 7) as f64);
+        }
+        // Window now holds values 1e6 + (i % 7) for the last 100 i's.
+        let tail: Vec<f64> = (199_900..200_000u64).map(|i| 1e6 + (i % 7) as f64).collect();
+        let mean = tail.iter().sum::<f64>() / 100.0;
+        let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 100.0;
+        assert!((r.mean() - mean).abs() < 1e-6);
+        assert!((r.variance() - var).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.push(10.0), 10.0);
+        assert_eq!(e.push(0.0), 5.0);
+        assert_eq!(e.push(0.0), 2.5);
+    }
+
+    #[test]
+    fn ewma_span_convention() {
+        let e = Ewma::with_span(9);
+        assert!((e.alpha - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rolling_zero_capacity_panics() {
+        let _ = RollingMoments::new(0);
+    }
+}

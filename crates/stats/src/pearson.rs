@@ -1,0 +1,298 @@
+//! Pearson product-moment correlation: batch and O(1) sliding-window forms.
+//!
+//! The sliding form is what makes Approach 3 viable: at each interval `s` the
+//! engine needs the correlation of the last `M` log-returns for every pair.
+//! Recomputing from scratch costs O(M) per pair per step; maintaining the
+//! five running sums (Σx, Σy, Σx², Σy², Σxy) costs O(1) per step per pair.
+
+use crate::correlation::{clamp_corr, CorrelationMeasure};
+
+/// Stateless batch Pearson estimator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PearsonEstimator;
+
+/// Batch Pearson correlation of two equal-length slices.
+///
+/// Returns 0 for degenerate inputs (length < 2 or zero variance in either
+/// series). Result is clamped to `[-1, 1]`.
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+/// assert!((stats::pearson::pearson(&x, &y) - 0.8).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean_x = x.iter().sum::<f64>() / nf;
+    let mean_y = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for k in 0..n {
+        let dx = x[k] - mean_x;
+        let dy = y[k] - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    clamp_corr(sxy / (sxx * syy).sqrt())
+}
+
+impl CorrelationMeasure for PearsonEstimator {
+    fn correlation(&self, x: &[f64], y: &[f64]) -> f64 {
+        pearson(x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "Pearson"
+    }
+}
+
+/// Sliding-window Pearson over a fixed window of `M` paired observations.
+///
+/// `push` is O(1); `correlation()` reads the current window estimate.
+/// Running sums are refreshed from the retained window periodically to bound
+/// cancellation drift across a full trading day.
+#[derive(Debug, Clone)]
+pub struct SlidingPearson {
+    m: usize,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    head: usize,
+    len: usize,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_yy: f64,
+    sum_xy: f64,
+    pushes_since_refresh: usize,
+}
+
+impl SlidingPearson {
+    /// Create a sliding estimator over windows of `m` observations.
+    ///
+    /// # Panics
+    /// Panics if `m < 2` (a correlation needs at least two points).
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 2, "sliding window must hold at least 2 observations");
+        SlidingPearson {
+            m,
+            xs: vec![0.0; m],
+            ys: vec![0.0; m],
+            head: 0,
+            len: 0,
+            sum_x: 0.0,
+            sum_y: 0.0,
+            sum_xx: 0.0,
+            sum_yy: 0.0,
+            sum_xy: 0.0,
+            pushes_since_refresh: 0,
+        }
+    }
+
+    /// Window size `M`.
+    pub fn window(&self) -> usize {
+        self.m
+    }
+
+    /// Number of paired observations currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once a full window of `M` observations is held.
+    pub fn is_full(&self) -> bool {
+        self.len == self.m
+    }
+
+    /// Push a paired observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if self.len == self.m {
+            let ox = self.xs[self.head];
+            let oy = self.ys[self.head];
+            self.sum_x -= ox;
+            self.sum_y -= oy;
+            self.sum_xx -= ox * ox;
+            self.sum_yy -= oy * oy;
+            self.sum_xy -= ox * oy;
+        } else {
+            self.len += 1;
+        }
+        self.xs[self.head] = x;
+        self.ys[self.head] = y;
+        self.head = (self.head + 1) % self.m;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_yy += y * y;
+        self.sum_xy += x * y;
+
+        self.pushes_since_refresh += 1;
+        if self.pushes_since_refresh >= 65_536 {
+            self.refresh();
+        }
+    }
+
+    fn refresh(&mut self) {
+        self.pushes_since_refresh = 0;
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let start = (self.head + self.m - self.len) % self.m;
+        for k in 0..self.len {
+            let i = (start + k) % self.m;
+            let (x, y) = (self.xs[i], self.ys[i]);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        self.sum_x = sx;
+        self.sum_y = sy;
+        self.sum_xx = sxx;
+        self.sum_yy = syy;
+        self.sum_xy = sxy;
+    }
+
+    /// Current window correlation (0 until at least 2 observations, or on
+    /// zero variance).
+    pub fn correlation(&self) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        let n = self.len as f64;
+        let cov = self.sum_xy - self.sum_x * self.sum_y / n;
+        let vx = self.sum_xx - self.sum_x * self.sum_x / n;
+        let vy = self.sum_yy - self.sum_y * self.sum_y / n;
+        if vx <= 0.0 || vy <= 0.0 {
+            return 0.0;
+        }
+        clamp_corr(cov / (vx * vy).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_perfect_positive_negative() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y_pos: Vec<f64> = x.iter().map(|v| 2.0 * v - 5.0).collect();
+        let y_neg: Vec<f64> = x.iter().map(|v| -0.5 * v + 3.0).collect();
+        assert!((pearson(&x, &y_pos) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_known_value() {
+        // Hand-computed example.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 1.0, 4.0, 3.0, 5.0];
+        // mean_x = 3, mean_y = 3; sxy = 8, sxx = 10, syy = 10 -> r = 0.8
+        assert!((pearson(&x, &y) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_symmetry_and_invariance() {
+        let x = [0.3, -1.2, 2.5, 0.1, -0.7, 1.9];
+        let y = [1.1, -0.4, 1.7, 0.2, -1.5, 0.8];
+        let r = pearson(&x, &y);
+        assert!((pearson(&y, &x) - r).abs() < 1e-12, "symmetric");
+        // Affine invariance with positive scale.
+        let x2: Vec<f64> = x.iter().map(|v| 7.0 * v + 100.0).collect();
+        assert!((pearson(&x2, &y) - r).abs() < 1e-12, "affine invariant");
+        // Negative scale flips the sign.
+        let x3: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x3, &y) + r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_matches_batch_at_every_step() {
+        // Deterministic pseudo-random-ish sequences.
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 37 % 101) as f64).sin()).collect();
+        let ys: Vec<f64> = (0..200)
+            .map(|i| ((i * 53 % 97) as f64).cos() + 0.3 * ((i * 37 % 101) as f64).sin())
+            .collect();
+        let m = 30;
+        let mut sl = SlidingPearson::new(m);
+        for k in 0..xs.len() {
+            sl.push(xs[k], ys[k]);
+            let lo = k + 1 - sl.len();
+            let want = pearson(&xs[lo..=k], &ys[lo..=k]);
+            assert!(
+                (sl.correlation() - want).abs() < 1e-9,
+                "step {k}: sliding {} vs batch {want}",
+                sl.correlation()
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_partial_window() {
+        let mut sl = SlidingPearson::new(10);
+        assert_eq!(sl.correlation(), 0.0);
+        sl.push(1.0, 1.0);
+        assert_eq!(sl.correlation(), 0.0, "single point has no correlation");
+        sl.push(2.0, 2.0);
+        assert!((sl.correlation() - 1.0).abs() < 1e-12);
+        assert!(!sl.is_full());
+        assert_eq!(sl.len(), 2);
+    }
+
+    #[test]
+    fn sliding_long_stream_no_drift() {
+        let mut sl = SlidingPearson::new(50);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..150_000usize {
+            // Offset stresses cancellation in the running sums.
+            let x = 1e3 + ((i * 29 % 83) as f64) * 0.01;
+            let y = 1e3 + ((i * 31 % 89) as f64) * 0.01 + 0.002 * x;
+            xs.push(x);
+            ys.push(y);
+            sl.push(x, y);
+        }
+        let k = xs.len() - 1;
+        let want = pearson(&xs[k - 49..=k], &ys[k - 49..=k]);
+        assert!(
+            (sl.correlation() - want).abs() < 1e-6,
+            "drifted: {} vs {}",
+            sl.correlation(),
+            want
+        );
+    }
+
+    #[test]
+    fn zero_variance_returns_zero() {
+        let flat = vec![5.0; 10];
+        let ramp: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&flat, &ramp), 0.0);
+        let mut sl = SlidingPearson::new(5);
+        for i in 0..5 {
+            sl.push(5.0, i as f64);
+        }
+        assert_eq!(sl.correlation(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = pearson(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Data-quality error injection.
+//!
+//! "Raw tick TAQ data contains every raw quote, not just the best offer, so
+//! there can be many spurious ticks originating from various sources, some
+//! human typing errors but mainly from electronic trading systems
+//! generating test quotes ... or far-out limit orders which have little
+//! probability of getting filled."
+//!
+//! This module corrupts a clean synthetic quote stream with exactly those
+//! artefact classes, so the cleaning filter (`timeseries::clean`) and the
+//! robust correlation measures have something real to earn their keep on.
+//! Every corruption is tagged so tests can measure filter precision/recall
+//! against ground truth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quote::Quote;
+use crate::rng::MarketRng;
+
+/// Per-quote probabilities of each corruption class. Disjoint events,
+/// evaluated in declaration order; probabilities should sum to < 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorConfig {
+    /// Electronic test quote: both sides replaced by absurd levels.
+    pub test_quote: f64,
+    /// Human fat-finger: one side off by a factor of 10.
+    pub fat_finger: f64,
+    /// Far-out limit order: one side pushed 20-50% away from the market.
+    pub far_out: f64,
+    /// Stale repeat: the previous quote's prices re-sent at a new time.
+    pub stale: f64,
+    /// Mid-price jitter: the whole quote displaced by a few tenths of a
+    /// percent — *small enough to pass the TCP-like cleaning filter*, so
+    /// it lands in the correlation inputs. This is the error class that
+    /// separates robust from classical correlation in practice: "the
+    /// remaining outliers will be gracefully down-weighted by the robust
+    /// correlation method".
+    pub jitter: f64,
+    /// Peak jitter displacement as a fraction of the midpoint (each hit
+    /// draws uniformly in `[0.25, 1.0] x` this, signed).
+    pub jitter_magnitude: f64,
+}
+
+impl ErrorConfig {
+    /// Paper-flavoured default: roughly 1 in 250 quotes grossly bad, plus
+    /// a few percent of filter-surviving jitter.
+    pub fn realistic() -> Self {
+        ErrorConfig {
+            test_quote: 0.0005,
+            fat_finger: 0.001,
+            far_out: 0.002,
+            stale: 0.0005,
+            jitter: 0.03,
+            jitter_magnitude: 0.004,
+        }
+    }
+
+    /// No corruption (clean-data ablation).
+    pub fn none() -> Self {
+        ErrorConfig {
+            test_quote: 0.0,
+            fat_finger: 0.0,
+            far_out: 0.0,
+            stale: 0.0,
+            jitter: 0.0,
+            jitter_magnitude: 0.0,
+        }
+    }
+
+    /// Heavy corruption (robustness stress ablation): ~5% gross bad ticks
+    /// plus 10% jitter.
+    pub fn heavy() -> Self {
+        ErrorConfig {
+            test_quote: 0.005,
+            fat_finger: 0.02,
+            far_out: 0.02,
+            stale: 0.005,
+            jitter: 0.10,
+            jitter_magnitude: 0.006,
+        }
+    }
+
+    /// Total probability that a quote is corrupted (any class).
+    pub fn total(&self) -> f64 {
+        self.test_quote + self.fat_finger + self.far_out + self.stale + self.jitter
+    }
+}
+
+impl Default for ErrorConfig {
+    fn default() -> Self {
+        Self::realistic()
+    }
+}
+
+/// The corruption applied to a quote, for ground-truth bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Electronic test quote.
+    TestQuote,
+    /// Fat-finger digit error.
+    FatFinger,
+    /// Far-out limit order.
+    FarOut,
+    /// Stale repeat of the previous quote.
+    Stale,
+    /// Small mid-price displacement that survives cleaning.
+    Jitter,
+}
+
+/// Stateful injector (remembers the previous clean quote per call site to
+/// implement stale repeats).
+#[derive(Debug, Clone)]
+pub struct ErrorInjector {
+    cfg: ErrorConfig,
+    prev: Option<Quote>,
+}
+
+impl ErrorInjector {
+    /// New injector with the given configuration.
+    pub fn new(cfg: ErrorConfig) -> Self {
+        ErrorInjector { cfg, prev: None }
+    }
+
+    /// Possibly corrupt a quote. Returns the (possibly modified) quote and
+    /// the corruption tag, if any. The *clean* quote is remembered for
+    /// stale-repeat generation regardless of outcome.
+    pub fn process(&mut self, quote: Quote, rng: &mut MarketRng) -> (Quote, Option<ErrorKind>) {
+        let prev = self.prev.replace(quote);
+        let u = rng.uniform();
+        let c = &self.cfg;
+
+        let mut lo = 0.0;
+        let mut band = |p: f64, u: f64| {
+            let hit = u >= lo && u < lo + p;
+            lo += p;
+            hit
+        };
+
+        if band(c.test_quote, u) {
+            let mut q = quote;
+            // Exchange test pattern: penny bid, far ask.
+            q.bid_cents = 1;
+            q.ask_cents = 99_999;
+            q.bid_size = 1;
+            q.ask_size = 1;
+            return (q, Some(ErrorKind::TestQuote));
+        }
+        if band(c.fat_finger, u) {
+            let mut q = quote;
+            // Shift one side by a decimal place, direction at random.
+            let up = rng.flip(0.5);
+            if rng.flip(0.5) {
+                q.bid_cents = if up {
+                    q.bid_cents.saturating_mul(10)
+                } else {
+                    (q.bid_cents / 10).max(1)
+                };
+            } else {
+                q.ask_cents = if up {
+                    q.ask_cents.saturating_mul(10)
+                } else {
+                    (q.ask_cents / 10).max(2)
+                };
+            }
+            return (q, Some(ErrorKind::FatFinger));
+        }
+        if band(c.far_out, u) {
+            let mut q = quote;
+            let frac = 0.2 + 0.3 * rng.uniform();
+            if rng.flip(0.5) {
+                q.bid_cents = ((q.bid_cents as f64) * (1.0 - frac)) as u32;
+                q.bid_cents = q.bid_cents.max(1);
+            } else {
+                q.ask_cents = ((q.ask_cents as f64) * (1.0 + frac)) as u32;
+            }
+            return (q, Some(ErrorKind::FarOut));
+        }
+        if band(c.stale, u) {
+            if let Some(p) = prev {
+                let mut q = quote;
+                q.bid_cents = p.bid_cents;
+                q.ask_cents = p.ask_cents;
+                q.bid_size = p.bid_size;
+                q.ask_size = p.ask_size;
+                return (q, Some(ErrorKind::Stale));
+            }
+        }
+        if band(c.jitter, u) {
+            let mut q = quote;
+            let sign = if rng.flip(0.5) { 1.0 } else { -1.0 };
+            let frac = sign * c.jitter_magnitude * (0.25 + 0.75 * rng.uniform());
+            let shift = |cents: u32| -> u32 {
+                ((cents as f64 * (1.0 + frac)).round() as u32).max(1)
+            };
+            q.bid_cents = shift(q.bid_cents);
+            q.ask_cents = shift(q.ask_cents).max(q.bid_cents + 1);
+            return (q, Some(ErrorKind::Jitter));
+        }
+        (quote, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+    use crate::time::Timestamp;
+
+    fn clean_quote(millis: u32, bid: u32, ask: u32) -> Quote {
+        Quote {
+            ts: Timestamp::new(0, millis),
+            symbol: Symbol(0),
+            bid_cents: bid,
+            ask_cents: ask,
+            bid_size: 5,
+            ask_size: 5,
+        }
+    }
+
+    #[test]
+    fn no_corruption_when_disabled() {
+        let mut inj = ErrorInjector::new(ErrorConfig::none());
+        let mut rng = MarketRng::seed_from(1);
+        for k in 0..1000 {
+            let q = clean_quote(k, 4000, 4002);
+            let (out, kind) = inj.process(q, &mut rng);
+            assert_eq!(out, q);
+            assert_eq!(kind, None);
+        }
+    }
+
+    #[test]
+    fn corruption_rate_matches_config() {
+        let cfg = ErrorConfig::heavy();
+        let mut inj = ErrorInjector::new(cfg);
+        let mut rng = MarketRng::seed_from(2);
+        let n = 200_000;
+        let mut corrupted = 0;
+        for k in 0..n {
+            let q = clean_quote(k % 23_000_000, 4000, 4002);
+            let (_, kind) = inj.process(q, &mut rng);
+            if kind.is_some() {
+                corrupted += 1;
+            }
+        }
+        let rate = corrupted as f64 / n as f64;
+        assert!(
+            (rate - cfg.total()).abs() < 0.005,
+            "rate {rate} vs config {}",
+            cfg.total()
+        );
+    }
+
+    #[test]
+    fn test_quotes_are_absurd() {
+        let cfg = ErrorConfig {
+            test_quote: 1.0,
+            fat_finger: 0.0,
+            far_out: 0.0,
+            stale: 0.0,
+            jitter: 0.0,
+            jitter_magnitude: 0.0,
+        };
+        let mut inj = ErrorInjector::new(cfg);
+        let mut rng = MarketRng::seed_from(3);
+        let (q, kind) = inj.process(clean_quote(0, 4000, 4002), &mut rng);
+        assert_eq!(kind, Some(ErrorKind::TestQuote));
+        assert_eq!(q.bid_cents, 1);
+        assert_eq!(q.ask_cents, 99_999);
+    }
+
+    #[test]
+    fn fat_finger_moves_a_decimal_place() {
+        let cfg = ErrorConfig {
+            test_quote: 0.0,
+            fat_finger: 1.0,
+            far_out: 0.0,
+            stale: 0.0,
+            jitter: 0.0,
+            jitter_magnitude: 0.0,
+        };
+        let mut inj = ErrorInjector::new(cfg);
+        let mut rng = MarketRng::seed_from(4);
+        for k in 0..100 {
+            let (q, kind) = inj.process(clean_quote(k, 4000, 4002), &mut rng);
+            assert_eq!(kind, Some(ErrorKind::FatFinger));
+            let moved_bid = q.bid_cents == 40_000 || q.bid_cents == 400;
+            let moved_ask = q.ask_cents == 40_020 || q.ask_cents == 400;
+            assert!(moved_bid || moved_ask, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn stale_repeats_previous_prices() {
+        let cfg = ErrorConfig {
+            test_quote: 0.0,
+            fat_finger: 0.0,
+            far_out: 0.0,
+            stale: 1.0,
+            jitter: 0.0,
+            jitter_magnitude: 0.0,
+        };
+        let mut inj = ErrorInjector::new(cfg);
+        let mut rng = MarketRng::seed_from(5);
+        // First quote: no previous, passes clean.
+        let (q0, k0) = inj.process(clean_quote(0, 4000, 4002), &mut rng);
+        assert_eq!(k0, None);
+        assert_eq!(q0.bid_cents, 4000);
+        // Second quote: repeats first's prices but keeps its own timestamp.
+        let (q1, k1) = inj.process(clean_quote(1000, 5000, 5002), &mut rng);
+        assert_eq!(k1, Some(ErrorKind::Stale));
+        assert_eq!(q1.bid_cents, 4000);
+        assert_eq!(q1.ts.millis, 1000);
+    }
+
+    #[test]
+    fn jitter_is_small_and_survives_well_formedness() {
+        let cfg = ErrorConfig {
+            test_quote: 0.0,
+            fat_finger: 0.0,
+            far_out: 0.0,
+            stale: 0.0,
+            jitter: 1.0,
+            jitter_magnitude: 0.004,
+        };
+        let mut inj = ErrorInjector::new(cfg);
+        let mut rng = MarketRng::seed_from(8);
+        for k in 0..500 {
+            let (q, kind) = inj.process(clean_quote(k, 10_000, 10_004), &mut rng);
+            assert_eq!(kind, Some(ErrorKind::Jitter));
+            assert!(q.is_well_formed(), "{q:?}");
+            let displacement = (q.midpoint() - 100.02) / 100.02;
+            assert!(
+                displacement.abs() <= 0.0041,
+                "jitter too large: {displacement}"
+            );
+            assert!(
+                displacement.abs() >= 0.0008,
+                "jitter too small to matter: {displacement}"
+            );
+        }
+    }
+
+    #[test]
+    fn far_out_pushes_one_side() {
+        let cfg = ErrorConfig {
+            test_quote: 0.0,
+            fat_finger: 0.0,
+            far_out: 1.0,
+            stale: 0.0,
+            jitter: 0.0,
+            jitter_magnitude: 0.0,
+        };
+        let mut inj = ErrorInjector::new(cfg);
+        let mut rng = MarketRng::seed_from(6);
+        for k in 0..100 {
+            let (q, kind) = inj.process(clean_quote(k, 10_000, 10_004), &mut rng);
+            assert_eq!(kind, Some(ErrorKind::FarOut));
+            let bid_out = q.bid_cents <= 8_000;
+            let ask_out = q.ask_cents >= 12_000;
+            assert!(bid_out ^ ask_out, "{q:?}");
+        }
+    }
+}

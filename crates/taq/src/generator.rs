@@ -1,0 +1,341 @@
+//! The market generator: latent model + microstructure + error injection
+//! assembled into a reproducible quote tape.
+//!
+//! Quote arrival per stock is a Poisson process; at each arrival the quote
+//! brackets the latent fair midpoint with a jittered half-spread, rounds to
+//! cents, and passes through the [`crate::errors::ErrorInjector`]. The whole
+//! market is a pure function of `(MarketConfig, seed)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{DayData, TickDataset};
+use crate::errors::{ErrorConfig, ErrorInjector};
+use crate::model::{DivergenceConfig, LatentModel, SectorStructure, StressParams};
+use crate::quote::Quote;
+use crate::rng::MarketRng;
+use crate::symbol::{Symbol, SymbolTable};
+use crate::time::{Timestamp, SECONDS_PER_SESSION};
+
+/// Quote microstructure parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroConfig {
+    /// Mean quote arrivals per second per stock.
+    pub quote_rate_hz: f64,
+    /// Half-spread in basis points of the midpoint.
+    pub half_spread_bps: f64,
+    /// Multiplicative jitter on the half-spread, in [0, 1): each quote's
+    /// half-spread is scaled by `1 + jitter * U(-1, 1)`.
+    pub spread_jitter: f64,
+    /// Maximum displayed size (round lots); sizes are uniform in [1, max].
+    pub max_size: u16,
+}
+
+impl Default for MicroConfig {
+    fn default() -> Self {
+        MicroConfig {
+            quote_rate_hz: 0.2,
+            half_spread_bps: 3.0,
+            spread_jitter: 0.5,
+            max_size: 50,
+        }
+    }
+}
+
+/// A stress window: days `[from_day, to_day]` run under the given
+/// stressed regime (crisis volatility + correlation compression).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StressWindow {
+    /// First stressed day (inclusive).
+    pub from_day: u16,
+    /// Last stressed day (inclusive).
+    pub to_day: u16,
+    /// The regime.
+    pub params: StressParams,
+}
+
+/// Full market configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketConfig {
+    /// Universe size. When `<= 61` the liquid-US roster supplies tickers;
+    /// larger universes get synthetic names.
+    pub n_stocks: usize,
+    /// Number of trading days to generate.
+    pub days: u16,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Daily log-return volatility (same for all stocks; per-stock
+    /// variation comes from price levels and episodes).
+    pub daily_vol: f64,
+    /// Range initial prices are drawn from, uniformly (dollars).
+    pub price_range: (f64, f64),
+    /// Sector correlation structure; `None` uses the default blocks of ~8.
+    pub sectors: Option<SectorStructure>,
+    /// Divergence-episode process.
+    pub divergence: DivergenceConfig,
+    /// Quote microstructure.
+    pub micro: MicroConfig,
+    /// Data-error injection.
+    pub errors: ErrorConfig,
+    /// Optional crisis window (March 2008 had one mid-month).
+    pub stress: Option<StressWindow>,
+}
+
+impl MarketConfig {
+    /// The paper's evaluation scale: 61 stocks, 20 trading days
+    /// ("March 2008"), realistic error rates.
+    pub fn paper_scale(seed: u64) -> Self {
+        MarketConfig {
+            n_stocks: 61,
+            days: 20,
+            seed,
+            daily_vol: 0.02,
+            price_range: (15.0, 150.0),
+            sectors: None,
+            divergence: DivergenceConfig::default(),
+            micro: MicroConfig::default(),
+            errors: ErrorConfig::realistic(),
+            stress: None,
+        }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn small(n_stocks: usize, days: u16, seed: u64) -> Self {
+        MarketConfig {
+            n_stocks,
+            days,
+            ..Self::paper_scale(seed)
+        }
+    }
+}
+
+/// Stateful day-by-day generator.
+///
+/// Days must be generated in order (the latent model's close carries into
+/// the next open); [`MarketGenerator::generate`] produces a whole dataset,
+/// while [`MarketGenerator::next_day`] streams one day at a time so a
+/// month-long backtest never holds more than a day of ticks.
+#[derive(Debug)]
+pub struct MarketGenerator {
+    config: MarketConfig,
+    model: LatentModel,
+    table: SymbolTable,
+    next_day: u16,
+}
+
+impl MarketGenerator {
+    /// Build a generator from a configuration.
+    ///
+    /// # Panics
+    /// Panics if `n_stocks < 2` or the configured sector structure size
+    /// does not match `n_stocks`.
+    pub fn new(config: MarketConfig) -> Self {
+        assert!(config.n_stocks >= 2, "need at least two stocks to pair");
+        let table = if config.n_stocks <= 61 {
+            let full = SymbolTable::liquid_us_roster();
+            let mut t = SymbolTable::new();
+            for name in full.names().iter().take(config.n_stocks) {
+                t.intern(name);
+            }
+            t
+        } else {
+            SymbolTable::synthetic(config.n_stocks)
+        };
+        let sectors = config
+            .sectors
+            .clone()
+            .unwrap_or_else(|| SectorStructure::default_for(config.n_stocks));
+        let mut seed_rng = MarketRng::seed_from(config.seed);
+        let prices: Vec<f64> = (0..config.n_stocks)
+            .map(|_| {
+                config.price_range.0
+                    + seed_rng.uniform() * (config.price_range.1 - config.price_range.0)
+            })
+            .collect();
+        let vols = vec![config.daily_vol; config.n_stocks];
+        let model = LatentModel::new(&prices, &vols, &sectors, config.divergence);
+        MarketGenerator {
+            config,
+            model,
+            table,
+            next_day: 0,
+        }
+    }
+
+    /// The symbol table backing generated quotes.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// Generate the next trading day. Returns `None` once `config.days`
+    /// days have been produced.
+    pub fn next_day(&mut self) -> Option<DayData> {
+        if self.next_day >= self.config.days {
+            return None;
+        }
+        let day = self.next_day;
+        self.next_day += 1;
+
+        let base = MarketRng::seed_from(self.config.seed);
+        let mut model_rng = base.derive((u64::from(day) << 32) | 0x0001);
+        let stress = self
+            .config
+            .stress
+            .filter(|w| day >= w.from_day && day <= w.to_day)
+            .map(|w| w.params);
+        let latent = self.model.simulate_day_with(&mut model_rng, stress);
+
+        let n = self.config.n_stocks;
+        let mut quotes: Vec<Quote> = Vec::new();
+        for stock in 0..n {
+            let mut rng = base.derive((u64::from(day) << 32) | 0x1000 | stock as u64);
+            let mut injector = ErrorInjector::new(self.config.errors);
+            let rate = self.config.micro.quote_rate_hz;
+            let mut t = rng.exponential(rate);
+            while t < SECONDS_PER_SESSION as f64 {
+                let sec = t as u32;
+                let mid = latent.mid(stock, sec);
+                let jitter =
+                    1.0 + self.config.micro.spread_jitter * (2.0 * rng.uniform() - 1.0);
+                let hs = (mid * self.config.micro.half_spread_bps * 1e-4 * jitter).max(0.005);
+                let bid_cents = (((mid - hs) * 100.0).round() as u32).max(1);
+                let ask_cents = (((mid + hs) * 100.0).round() as u32).max(bid_cents + 1);
+                let clean = Quote {
+                    ts: Timestamp::new(day, (t * 1000.0) as u32),
+                    symbol: Symbol(stock as u16),
+                    bid_cents,
+                    ask_cents,
+                    bid_size: rng.uniform_int(1, self.config.micro.max_size as u32) as u16,
+                    ask_size: rng.uniform_int(1, self.config.micro.max_size as u32) as u16,
+                };
+                let (q, _kind) = injector.process(clean, &mut rng);
+                quotes.push(q);
+                t += rng.exponential(rate);
+            }
+        }
+        Some(DayData::new(day, quotes, n, latent.episodes))
+    }
+
+    /// Generate the full configured span as one dataset (convenient for
+    /// small universes; month-scale runs should stream with
+    /// [`MarketGenerator::next_day`]).
+    pub fn generate(mut self) -> TickDataset {
+        let mut ds = TickDataset::new(self.table.clone());
+        while let Some(day) = self.next_day() {
+            ds.days.push(day);
+        }
+        ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MarketConfig {
+        let mut c = MarketConfig::small(4, 2, 42);
+        c.micro.quote_rate_hz = 0.02; // keep tests fast
+        c
+    }
+
+    #[test]
+    fn generates_configured_span() {
+        let ds = MarketGenerator::new(tiny()).generate();
+        assert_eq!(ds.n_days(), 2);
+        assert_eq!(ds.n_stocks(), 4);
+        assert!(ds.total_quotes() > 0);
+    }
+
+    #[test]
+    fn quote_rate_is_roughly_poisson() {
+        let ds = MarketGenerator::new(tiny()).generate();
+        // Expected quotes per stock-day = 0.02 * 23400 = 468.
+        let per_stock_day = ds.total_quotes() as f64 / (4.0 * 2.0);
+        assert!(
+            (300.0..650.0).contains(&per_stock_day),
+            "quotes/stock/day = {per_stock_day}"
+        );
+    }
+
+    #[test]
+    fn tape_is_time_sorted_within_day() {
+        let ds = MarketGenerator::new(tiny()).generate();
+        for day in &ds.days {
+            assert!(day.quotes().windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = MarketGenerator::new(tiny()).generate();
+        let b = MarketGenerator::new(tiny()).generate();
+        assert_eq!(a.total_quotes(), b.total_quotes());
+        assert_eq!(a.days[0].quotes()[..50], b.days[0].quotes()[..50]);
+        let mut other = tiny();
+        other.seed = 43;
+        let c = MarketGenerator::new(other).generate();
+        assert_ne!(a.days[0].quotes()[..50], c.days[0].quotes()[..50]);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let mut g = MarketGenerator::new(tiny());
+        let d0 = g.next_day().unwrap();
+        let d1 = g.next_day().unwrap();
+        assert!(g.next_day().is_none());
+        let batch = MarketGenerator::new(tiny()).generate();
+        assert_eq!(d0.quotes(), batch.days[0].quotes());
+        assert_eq!(d1.quotes(), batch.days[1].quotes());
+    }
+
+    #[test]
+    fn uses_real_roster_tickers() {
+        let g = MarketGenerator::new(tiny());
+        assert_eq!(g.symbols().name(Symbol(0)), "MSFT");
+        let mut big = tiny();
+        big.n_stocks = 80;
+        let g = MarketGenerator::new(big);
+        assert_eq!(g.symbols().name(Symbol(70)), "S70");
+    }
+
+    #[test]
+    fn clean_config_produces_well_formed_quotes() {
+        let mut c = tiny();
+        c.errors = ErrorConfig::none();
+        let ds = MarketGenerator::new(c).generate();
+        for day in &ds.days {
+            for q in day.quotes() {
+                assert!(q.is_well_formed(), "{q:?}");
+                // Spread should be a few bps of the mid, not pathological.
+                assert!(q.spread() / q.midpoint() < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn error_injection_produces_malformed_quotes_sometimes() {
+        let mut c = tiny();
+        c.micro.quote_rate_hz = 0.05;
+        c.errors = ErrorConfig::heavy();
+        let ds = MarketGenerator::new(c).generate();
+        let bad = ds
+            .days
+            .iter()
+            .flat_map(|d| d.quotes())
+            .filter(|q| !q.is_well_formed() || q.spread() / q.midpoint() > 0.05)
+            .count();
+        assert!(bad > 0, "heavy error config must corrupt something");
+    }
+
+    #[test]
+    fn episodes_recorded_as_ground_truth() {
+        let ds = MarketGenerator::new(tiny()).generate();
+        let total: usize = ds.days.iter().map(|d| d.episodes.len()).sum();
+        // 4 stocks * 6/day * 2 days = 48 expected.
+        assert!(total > 10, "episodes {total}");
+    }
+}

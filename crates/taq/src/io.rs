@@ -1,0 +1,363 @@
+//! Tick-data I/O: Table-II-style CSV and a compact binary codec.
+//!
+//! The CSV form mirrors the paper's Table II (timestamp, symbol, bid price,
+//! ask price, bid size, ask size) and is the human-inspectable interchange
+//! format; the binary form (via `bytes`) is what a 50-GB-per-day feed would
+//! actually be stored in — 16 bytes per quote, ~20x smaller than the text.
+
+use std::io::{self, BufRead, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::dataset::DayData;
+use crate::quote::Quote;
+use crate::symbol::{Symbol, SymbolTable};
+use crate::time::Timestamp;
+
+/// CSV header matching Table II's columns.
+pub const CSV_HEADER: &str = "Timestamp,Symbol,BidPrice,AskPrice,BidSize,AskSize";
+
+/// Write a day of quotes as CSV (with header).
+pub fn write_csv<W: Write>(day: &DayData, symbols: &SymbolTable, out: &mut W) -> io::Result<()> {
+    writeln!(out, "{CSV_HEADER}")?;
+    for q in day.quotes() {
+        writeln!(
+            out,
+            "{},{},{:.2},{:.2},{},{}",
+            q.ts.wall_clock(),
+            symbols.name(q.symbol),
+            q.bid(),
+            q.ask(),
+            q.bid_size,
+            q.ask_size
+        )?;
+    }
+    Ok(())
+}
+
+/// Error from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row, with its line number (1-based) and reason.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse(line, why) => write!(f, "line {line}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Read a day of quotes from CSV. Unknown symbols are interned into
+/// `symbols`. `day` stamps the parsed timestamps.
+pub fn read_csv<R: BufRead>(
+    day: u16,
+    symbols: &mut SymbolTable,
+    input: R,
+) -> Result<DayData, CsvError> {
+    let mut quotes = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || lineno == 0 && line.starts_with("Timestamp") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            return Err(CsvError::Parse(
+                lineno + 1,
+                format!("expected 6 fields, got {}", fields.len()),
+            ));
+        }
+        let wall: Vec<&str> = fields[0].split(':').collect();
+        if wall.len() != 3 {
+            return Err(CsvError::Parse(lineno + 1, "bad timestamp".into()));
+        }
+        let parse_u32 = |s: &str, what: &str, lineno: usize| -> Result<u32, CsvError> {
+            s.parse::<u32>()
+                .map_err(|_| CsvError::Parse(lineno + 1, format!("bad {what}: {s}")))
+        };
+        let h = parse_u32(wall[0], "hour", lineno)?;
+        let m = parse_u32(wall[1], "minute", lineno)?;
+        let s = parse_u32(wall[2], "second", lineno)?;
+        let since_open = (h * 3600 + m * 60 + s)
+            .checked_sub(crate::time::OPEN_SECONDS_SINCE_MIDNIGHT)
+            .ok_or_else(|| CsvError::Parse(lineno + 1, "timestamp before open".into()))?;
+        let parse_price = |s: &str, lineno: usize| -> Result<u32, CsvError> {
+            let v: f64 = s
+                .parse()
+                .map_err(|_| CsvError::Parse(lineno + 1, format!("bad price: {s}")))?;
+            Ok((v * 100.0).round() as u32)
+        };
+        quotes.push(Quote {
+            ts: Timestamp::new(day, since_open * 1000),
+            symbol: symbols.intern(fields[1]),
+            bid_cents: parse_price(fields[2], lineno)?,
+            ask_cents: parse_price(fields[3], lineno)?,
+            bid_size: parse_u32(fields[4], "bid size", lineno)? as u16,
+            ask_size: parse_u32(fields[5], "ask size", lineno)? as u16,
+        });
+    }
+    Ok(DayData::new(day, quotes, symbols.len(), Vec::new()))
+}
+
+/// Binary codec magic bytes ("TAQ1").
+pub const BINARY_MAGIC: u32 = 0x5441_5131;
+
+/// Encode a day of quotes into the compact binary form.
+pub fn encode_binary(day: &DayData) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(16 + day.len() * 16);
+    buf.put_u32(BINARY_MAGIC);
+    buf.put_u16(day.day);
+    buf.put_u16(0); // reserved
+    buf.put_u64(day.len() as u64);
+    for q in day.quotes() {
+        buf.put_u32(q.ts.millis);
+        buf.put_u16(q.symbol.0);
+        buf.put_u32(q.bid_cents);
+        buf.put_u32(q.ask_cents);
+        buf.put_u16(q.bid_size);
+        buf.put_u16(q.ask_size);
+    }
+    buf
+}
+
+/// Binary decoding error.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BinaryError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Buffer ended early.
+    Truncated,
+}
+
+impl std::fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinaryError::BadMagic => write!(f, "bad magic"),
+            BinaryError::Truncated => write!(f, "truncated buffer"),
+        }
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+/// Decode a day of quotes from the binary form. `n_symbols` sizes the
+/// per-symbol index of the resulting [`DayData`].
+pub fn decode_binary(mut buf: &[u8], n_symbols: usize) -> Result<DayData, BinaryError> {
+    if buf.remaining() < 16 {
+        return Err(BinaryError::Truncated);
+    }
+    if buf.get_u32() != BINARY_MAGIC {
+        return Err(BinaryError::BadMagic);
+    }
+    let day = buf.get_u16();
+    let _reserved = buf.get_u16();
+    let count = buf.get_u64() as usize;
+    if buf.remaining() < count * 18 {
+        return Err(BinaryError::Truncated);
+    }
+    let mut quotes = Vec::with_capacity(count);
+    for _ in 0..count {
+        quotes.push(Quote {
+            ts: Timestamp::new(day, buf.get_u32()),
+            symbol: Symbol(buf.get_u16()),
+            bid_cents: buf.get_u32(),
+            ask_cents: buf.get_u32(),
+            bid_size: buf.get_u16(),
+            ask_size: buf.get_u16(),
+        });
+    }
+    Ok(DayData::new(day, quotes, n_symbols, Vec::new()))
+}
+
+/// Write a day of quotes to a binary file.
+pub fn write_binary_file(day: &DayData, path: &std::path::Path) -> io::Result<()> {
+    std::fs::write(path, encode_binary(day))
+}
+
+/// Read a day of quotes from a binary file.
+pub fn read_binary_file(
+    path: &std::path::Path,
+    n_symbols: usize,
+) -> Result<DayData, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path)?;
+    Ok(decode_binary(&bytes, n_symbols)?)
+}
+
+/// Persist a whole dataset to a directory: `symbols.txt` (one ticker per
+/// line, interning order) plus `day_NNN.taq` binary files. This is the
+/// on-disk layout the File Collector (Figure 1's "Custom TAQ Files"
+/// adapter) replays from.
+pub fn save_dataset(
+    ds: &crate::dataset::TickDataset,
+    dir: &std::path::Path,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("symbols.txt"), ds.symbols.names().join("\n"))?;
+    for day in &ds.days {
+        write_binary_file(day, &dir.join(format!("day_{:03}.taq", day.day)))?;
+    }
+    Ok(())
+}
+
+/// Load a dataset saved by [`save_dataset`]. Days load in filename order.
+pub fn load_dataset(
+    dir: &std::path::Path,
+) -> Result<crate::dataset::TickDataset, Box<dyn std::error::Error>> {
+    let names = std::fs::read_to_string(dir.join("symbols.txt"))?;
+    let mut symbols = SymbolTable::new();
+    for name in names.lines().filter(|l| !l.is_empty()) {
+        symbols.intern(name);
+    }
+    let mut day_files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|e| e == "taq")
+                && p.file_name()
+                    .and_then(|f| f.to_str())
+                    .is_some_and(|f| f.starts_with("day_"))
+        })
+        .collect();
+    day_files.sort();
+    let n = symbols.len();
+    let mut ds = crate::dataset::TickDataset::new(symbols);
+    for path in day_files {
+        ds.days.push(read_binary_file(&path, n)?);
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{MarketConfig, MarketGenerator};
+
+    fn sample_day() -> (DayData, SymbolTable) {
+        let mut cfg = MarketConfig::small(3, 1, 9);
+        cfg.micro.quote_rate_hz = 0.01;
+        let mut g = MarketGenerator::new(cfg);
+        let table = g.symbols().clone();
+        (g.next_day().unwrap(), table)
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let (day, table) = sample_day();
+        let mut out = Vec::new();
+        write_csv(&day, &table, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with(CSV_HEADER));
+
+        let mut table2 = SymbolTable::new();
+        let parsed = read_csv(0, &mut table2, text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), day.len());
+        // Millisecond precision is lost in the HH:MM:SS text form; prices,
+        // sizes, symbols and second-level times must survive.
+        for (a, b) in day.quotes().iter().zip(parsed.quotes()) {
+            assert_eq!(a.ts.seconds(), b.ts.seconds());
+            assert_eq!(a.bid_cents, b.bid_cents);
+            assert_eq!(a.ask_cents, b.ask_cents);
+            assert_eq!(a.bid_size, b.bid_size);
+            assert_eq!(a.ask_size, b.ask_size);
+            assert_eq!(table.name(a.symbol), table2.name(b.symbol));
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        let mut t = SymbolTable::new();
+        let bad = "09:30:00,MSFT,30.00,30.02,1\n";
+        assert!(matches!(
+            read_csv(0, &mut t, bad.as_bytes()),
+            Err(CsvError::Parse(1, _))
+        ));
+        let bad_time = "xx:30:00,MSFT,30.00,30.02,1,1\n";
+        assert!(read_csv(0, &mut t, bad_time.as_bytes()).is_err());
+        let before_open = "09:29:59,MSFT,30.00,30.02,1,1\n";
+        assert!(read_csv(0, &mut t, before_open.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let (day, table) = sample_day();
+        let buf = encode_binary(&day);
+        let parsed = decode_binary(&buf, table.len()).unwrap();
+        assert_eq!(parsed.day, day.day);
+        assert_eq!(parsed.quotes(), day.quotes());
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(matches!(
+            decode_binary(&[1, 2, 3], 1),
+            Err(BinaryError::Truncated)
+        ));
+        let mut buf = BytesMut::new();
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        buf.put_u64(0);
+        assert!(matches!(decode_binary(&buf, 1), Err(BinaryError::BadMagic)));
+        // Claimed count larger than the payload.
+        let mut buf = BytesMut::new();
+        buf.put_u32(BINARY_MAGIC);
+        buf.put_u16(0);
+        buf.put_u16(0);
+        buf.put_u64(100);
+        assert!(matches!(
+            decode_binary(&buf, 1),
+            Err(BinaryError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn dataset_directory_round_trip() {
+        let mut cfg = MarketConfig::small(3, 2, 77);
+        cfg.micro.quote_rate_hz = 0.005;
+        let ds = MarketGenerator::new(cfg).generate();
+
+        let dir = std::env::temp_dir().join(format!("taq_io_test_{}", std::process::id()));
+        save_dataset(&ds, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(loaded.n_stocks(), ds.n_stocks());
+        assert_eq!(loaded.n_days(), ds.n_days());
+        assert_eq!(loaded.symbols.names(), ds.symbols.names());
+        for (a, b) in ds.days.iter().zip(&loaded.days) {
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.quotes(), b.quotes());
+        }
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let (day, table) = sample_day();
+        let path = std::env::temp_dir().join(format!("taq_day_test_{}.taq", std::process::id()));
+        write_binary_file(&day, &path).unwrap();
+        let loaded = read_binary_file(&path, table.len()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.quotes(), day.quotes());
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let (day, _) = sample_day();
+        let buf = encode_binary(&day);
+        assert_eq!(buf.len(), 16 + day.len() * 18);
+    }
+}

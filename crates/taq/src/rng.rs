@@ -1,0 +1,167 @@
+//! Deterministic random sampling primitives.
+//!
+//! The offline dependency set does not include `rand_distr`, so the normal
+//! and exponential variates the market model needs are implemented here:
+//! Box–Muller for the Gaussian and inverse-CDF for the exponential.
+//! Everything is seeded, so a whole month of market data is a pure function
+//! of `(config, seed)` — the reproducibility guarantee the backtester's
+//! determinism tests rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random source with the distribution helpers the market model
+/// needs.
+#[derive(Debug, Clone)]
+pub struct MarketRng {
+    rng: StdRng,
+    /// Box–Muller produces pairs; the spare is cached.
+    spare_gauss: Option<f64>,
+}
+
+impl MarketRng {
+    /// Create from a seed.
+    pub fn seed_from(seed: u64) -> Self {
+        MarketRng {
+            rng: StdRng::seed_from_u64(seed),
+            spare_gauss: None,
+        }
+    }
+
+    /// Derive an independent stream for a sub-component (stock index, day,
+    /// purpose tag), so adding quotes for one stock never perturbs another.
+    pub fn derive(&self, tag: u64) -> Self {
+        // SplitMix-style mixing of the tag into a fresh seed.
+        let mut z = tag.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        MarketRng {
+            rng: StdRng::seed_from_u64(z),
+            spare_gauss: None,
+        }
+    }
+
+    /// Uniform in [0, 1).
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    #[inline]
+    pub fn uniform_int(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Standard normal via Box–Muller (with spare caching).
+    pub fn gauss(&mut self) -> f64 {
+        if let Some(z) = self.spare_gauss.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1: f64 = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_gauss = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Exponential with the given rate (inverse-CDF). Mean is `1 / rate`.
+    ///
+    /// # Panics
+    /// Panics if `rate <= 0`.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = loop {
+            let u = self.uniform();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        -u.ln() / rate
+    }
+
+    /// Bernoulli trial.
+    #[inline]
+    pub fn flip(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = MarketRng::seed_from(7);
+        let mut b = MarketRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.gauss(), b.gauss());
+            assert_eq!(a.uniform(), b.uniform());
+        }
+        let mut c = MarketRng::seed_from(8);
+        assert_ne!(a.uniform(), c.uniform());
+    }
+
+    #[test]
+    fn derived_streams_are_independent_and_stable() {
+        let base = MarketRng::seed_from(1);
+        let mut d1 = base.derive(10);
+        let mut d1_again = base.derive(10);
+        let mut d2 = base.derive(11);
+        let x = d1.gauss();
+        assert_eq!(x, d1_again.gauss());
+        assert_ne!(x, d2.gauss());
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut rng = MarketRng::seed_from(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let z = rng.gauss();
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = MarketRng::seed_from(5);
+        let rate = 2.5;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn flip_probability() {
+        let mut rng = MarketRng::seed_from(9);
+        let hits = (0..100_000).filter(|_| rng.flip(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn uniform_int_bounds() {
+        let mut rng = MarketRng::seed_from(3);
+        for _ in 0..1000 {
+            let v = rng.uniform_int(1, 6);
+            assert!((1..=6).contains(&v));
+        }
+    }
+}

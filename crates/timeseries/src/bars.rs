@@ -1,0 +1,171 @@
+//! OHLC bar accumulation — the "OHLC Bar Accumulator (Δs)" component of
+//! Figure 1.
+//!
+//! Streams midpoints in, emits one bar per Δs interval out. Quiet
+//! intervals emit carry-forward bars (O=H=L=C=previous close, zero ticks)
+//! so downstream consumers always see a dense grid.
+
+/// One OHLC bar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bar {
+    /// Interval index within the day.
+    pub interval: usize,
+    /// First price in the interval.
+    pub open: f64,
+    /// Highest price in the interval.
+    pub high: f64,
+    /// Lowest price in the interval.
+    pub low: f64,
+    /// Last price in the interval.
+    pub close: f64,
+    /// Number of ticks aggregated.
+    pub ticks: u32,
+}
+
+impl Bar {
+    fn carry(interval: usize, price: f64) -> Bar {
+        Bar {
+            interval,
+            open: price,
+            high: price,
+            low: price,
+            close: price,
+            ticks: 0,
+        }
+    }
+}
+
+/// Streaming OHLC accumulator for one instrument.
+#[derive(Debug, Clone)]
+pub struct BarAccumulator {
+    dt_seconds: u32,
+    current: Option<Bar>,
+    last_close: Option<f64>,
+}
+
+impl BarAccumulator {
+    /// Accumulator with interval width Δs.
+    ///
+    /// # Panics
+    /// Panics if `dt_seconds` is 0.
+    pub fn new(dt_seconds: u32) -> Self {
+        assert!(dt_seconds > 0);
+        BarAccumulator {
+            dt_seconds,
+            current: None,
+            last_close: None,
+        }
+    }
+
+    /// Push a tick at `second` (since open) with the given price. Returns
+    /// the bars completed by this tick: zero or more carry bars for skipped
+    /// intervals followed by the closed bar, in order.
+    ///
+    /// Ticks must arrive in non-decreasing time order.
+    pub fn push(&mut self, second: u32, price: f64) -> Vec<Bar> {
+        let interval = (second / self.dt_seconds) as usize;
+        let mut completed = Vec::new();
+        match &mut self.current {
+            None => {
+                self.current = Some(Bar {
+                    interval,
+                    open: price,
+                    high: price,
+                    low: price,
+                    close: price,
+                    ticks: 1,
+                });
+            }
+            Some(bar) if bar.interval == interval => {
+                bar.high = bar.high.max(price);
+                bar.low = bar.low.min(price);
+                bar.close = price;
+                bar.ticks += 1;
+            }
+            Some(bar) => {
+                assert!(
+                    interval > bar.interval,
+                    "ticks must arrive in time order (interval {} after {})",
+                    interval,
+                    bar.interval
+                );
+                let closed = *bar;
+                completed.push(closed);
+                self.last_close = Some(closed.close);
+                // Carry bars for fully quiet intervals in between.
+                for quiet in (closed.interval + 1)..interval {
+                    completed.push(Bar::carry(quiet, closed.close));
+                }
+                self.current = Some(Bar {
+                    interval,
+                    open: price,
+                    high: price,
+                    low: price,
+                    close: price,
+                    ticks: 1,
+                });
+            }
+        }
+        completed
+    }
+
+    /// Close out the in-progress bar (end of day).
+    pub fn flush(&mut self) -> Option<Bar> {
+        let bar = self.current.take();
+        if let Some(b) = bar {
+            self.last_close = Some(b.close);
+        }
+        bar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_ohlc_within_interval() {
+        let mut acc = BarAccumulator::new(30);
+        assert!(acc.push(0, 10.0).is_empty());
+        assert!(acc.push(10, 12.0).is_empty());
+        assert!(acc.push(20, 9.0).is_empty());
+        assert!(acc.push(29, 11.0).is_empty());
+        let bars = acc.push(30, 20.0);
+        assert_eq!(bars.len(), 1);
+        let b = bars[0];
+        assert_eq!(
+            (b.interval, b.open, b.high, b.low, b.close, b.ticks),
+            (0, 10.0, 12.0, 9.0, 11.0, 4)
+        );
+    }
+
+    #[test]
+    fn quiet_intervals_emit_carry_bars() {
+        let mut acc = BarAccumulator::new(30);
+        acc.push(0, 10.0);
+        // Next tick three intervals later.
+        let bars = acc.push(95, 11.0);
+        assert_eq!(bars.len(), 3);
+        assert_eq!(bars[0].interval, 0);
+        assert_eq!(bars[1], Bar::carry(1, 10.0));
+        assert_eq!(bars[2], Bar::carry(2, 10.0));
+        assert_eq!(bars[1].ticks, 0);
+    }
+
+    #[test]
+    fn flush_closes_final_bar() {
+        let mut acc = BarAccumulator::new(30);
+        acc.push(5, 7.0);
+        let b = acc.flush().unwrap();
+        assert_eq!(b.close, 7.0);
+        assert!(acc.flush().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_ticks_rejected() {
+        let mut acc = BarAccumulator::new(30);
+        acc.push(60, 1.0);
+        acc.push(0, 1.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The paper's "TCP-like" data-cleaning filter.
+//!
+//! "Our approach is to use a very simple but effective TCP-like filter to
+//! eliminate prices that are more than a few standard deviations from
+//! their corresponding moving average and deviation. The remaining
+//! outliers will be gracefully down-weighted by the robust correlation
+//! method."
+//!
+//! The analogy is to TCP's RTT estimation: a smoothed mean and a smoothed
+//! deviation, with observations far outside `mean ± k·dev` treated as
+//! losses (rejected) rather than signal. Per-symbol state, two structural
+//! pre-checks (well-formedness, spread sanity), then the statistical gate.
+//!
+//! Rejected quotes are *dropped*, not corrected — the paper's design is
+//! explicitly "filter the obvious, let Maronna absorb the rest", which the
+//! robustness ablation bench quantifies.
+
+use taq::quote::Quote;
+
+/// Filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CleanConfig {
+    /// Gate half-width in standard deviations ("a few").
+    pub k_sigma: f64,
+    /// Window (quote count) for the rolling midpoint moments.
+    pub window: usize,
+    /// Quotes to observe per symbol before the statistical gate engages
+    /// (the moments are meaningless on two points).
+    pub warmup: usize,
+    /// Maximum allowed relative spread (ask-bid)/mid; wider quotes are
+    /// structurally suspect (test quotes, far-out limits).
+    pub max_rel_spread: f64,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        CleanConfig {
+            k_sigma: 4.0,
+            window: 200,
+            warmup: 20,
+            max_rel_spread: 0.02,
+        }
+    }
+}
+
+/// Why a quote was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Crossed/locked book or zero price.
+    Malformed,
+    /// Relative spread above the structural limit.
+    WideSpread,
+    /// Midpoint outside the rolling `mean ± k·sigma` gate.
+    Outlier,
+}
+
+/// Acceptance counters, for filter precision/recall studies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanStats {
+    /// Quotes accepted.
+    pub accepted: u64,
+    /// Rejected: malformed book.
+    pub malformed: u64,
+    /// Rejected: spread too wide.
+    pub wide_spread: u64,
+    /// Rejected: statistical outlier.
+    pub outlier: u64,
+}
+
+impl CleanStats {
+    /// Total rejected.
+    pub fn rejected(&self) -> u64 {
+        self.malformed + self.wide_spread + self.outlier
+    }
+
+    /// Total processed.
+    pub fn total(&self) -> u64 {
+        self.accepted + self.rejected()
+    }
+}
+
+/// Per-symbol cleaning filter.
+///
+/// One instance per symbol (the rolling moments are price-level specific).
+#[derive(Debug, Clone)]
+pub struct TcpFilter {
+    cfg: CleanConfig,
+    moments: stats::online::RollingMoments,
+    seen: usize,
+    stats: CleanStats,
+}
+
+impl TcpFilter {
+    /// New filter with the given configuration.
+    pub fn new(cfg: CleanConfig) -> Self {
+        TcpFilter {
+            cfg,
+            moments: stats::online::RollingMoments::new(cfg.window),
+            seen: 0,
+            stats: CleanStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CleanStats {
+        self.stats
+    }
+
+    /// Process a quote: `Ok(mid)` if accepted (returning its midpoint),
+    /// `Err(reason)` if rejected. Accepted midpoints update the rolling
+    /// moments; rejected quotes do not (a burst of bad ticks must not drag
+    /// the gate toward itself).
+    pub fn process(&mut self, q: &Quote) -> Result<f64, RejectReason> {
+        if !q.is_well_formed() {
+            self.stats.malformed += 1;
+            return Err(RejectReason::Malformed);
+        }
+        let mid = q.midpoint();
+        if q.spread() / mid > self.cfg.max_rel_spread {
+            self.stats.wide_spread += 1;
+            return Err(RejectReason::WideSpread);
+        }
+        if self.seen >= self.cfg.warmup {
+            let mean = self.moments.mean();
+            let dev = self.moments.std_dev();
+            // Absolute floor on the gate width: on an ultra-quiet tape the
+            // rolling deviation can collapse to ~0 and reject everything.
+            let gate = (self.cfg.k_sigma * dev).max(mean * 1e-4);
+            if (mid - mean).abs() > gate {
+                self.stats.outlier += 1;
+                return Err(RejectReason::Outlier);
+            }
+        }
+        self.moments.push(mid);
+        self.seen += 1;
+        self.stats.accepted += 1;
+        Ok(mid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taq::symbol::Symbol;
+    use taq::time::Timestamp;
+
+    fn q(millis: u32, bid: u32, ask: u32) -> Quote {
+        Quote {
+            ts: Timestamp::new(0, millis),
+            symbol: Symbol(0),
+            bid_cents: bid,
+            ask_cents: ask,
+            bid_size: 1,
+            ask_size: 1,
+        }
+    }
+
+    /// A calm tape around $40.00 with ~1-cent wiggle.
+    fn calm_tape(n: usize) -> Vec<Quote> {
+        (0..n)
+            .map(|k| {
+                let wiggle = ((k * 7) % 3) as u32; // 0..2 cents
+                q(k as u32 * 1000, 3999 + wiggle, 4001 + wiggle)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_calm_tape() {
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for quote in calm_tape(500) {
+            assert!(f.process(&quote).is_ok());
+        }
+        assert_eq!(f.stats().rejected(), 0);
+        assert_eq!(f.stats().accepted, 500);
+    }
+
+    #[test]
+    fn rejects_malformed_and_wide() {
+        let mut f = TcpFilter::new(CleanConfig::default());
+        assert_eq!(f.process(&q(0, 100, 100)), Err(RejectReason::Malformed));
+        // 1 -> 99999 test-quote pattern: enormous relative spread.
+        assert_eq!(f.process(&q(1, 1, 99_999)), Err(RejectReason::WideSpread));
+        assert_eq!(f.stats().malformed, 1);
+        assert_eq!(f.stats().wide_spread, 1);
+    }
+
+    #[test]
+    fn rejects_fat_finger_after_warmup() {
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for quote in calm_tape(100) {
+            f.process(&quote).unwrap();
+        }
+        // Fat finger: $40 -> $4.00 (narrow spread, well-formed, wrong level).
+        let bad = q(200_000, 399, 401);
+        assert_eq!(f.process(&bad), Err(RejectReason::Outlier));
+        // The gate state must be unpolluted: the next good quote passes.
+        assert!(f.process(&q(201_000, 4000, 4002)).is_ok());
+    }
+
+    #[test]
+    fn warmup_lets_early_quotes_through() {
+        let cfg = CleanConfig {
+            warmup: 10,
+            ..Default::default()
+        };
+        let mut f = TcpFilter::new(cfg);
+        // During warmup even a jumpy tape is accepted (structurally valid).
+        for k in 0..10u32 {
+            let base = 4000 + k * 10;
+            assert!(f.process(&q(k * 1000, base, base + 2)).is_ok());
+        }
+    }
+
+    #[test]
+    fn burst_of_bad_ticks_does_not_move_the_gate() {
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for quote in calm_tape(100) {
+            f.process(&quote).unwrap();
+        }
+        // 50 consecutive fat fingers at the same wrong level.
+        for k in 0..50u32 {
+            assert_eq!(
+                f.process(&q(300_000 + k * 10, 39_990, 40_010)),
+                Err(RejectReason::Outlier),
+                "bad tick {k} must stay rejected"
+            );
+        }
+        assert!(f.process(&q(400_000, 4000, 4002)).is_ok());
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for quote in calm_tape(30) {
+            f.process(&quote).unwrap();
+        }
+        let _ = f.process(&q(31_000, 100, 100));
+        assert_eq!(f.stats().total(), 31);
+        assert_eq!(f.stats().accepted, 30);
+        assert_eq!(f.stats().rejected(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! High-frequency time-series primitives.
+//!
+//! This crate is the bridge between the raw quote tape (`taq`) and the
+//! statistics (`stats`): it turns a day of quotes into the aligned,
+//! cleaned, log-return panel the correlation engine and the strategy
+//! consume.
+//!
+//! * [`window`] — a generic fixed-capacity ring buffer.
+//! * [`rolling`] — rolling extrema (monotonic deque) and a combined
+//!   rolling min/max/mean tracker for spread retracement levels.
+//! * [`clean`] — the paper's "TCP-like" data filter: a rolling mean ±
+//!   k·sigma gate on bid-ask midpoints, plus structural well-formedness
+//!   checks.
+//! * [`bam`] — bid-ask-midpoint sampling onto the Δs interval grid
+//!   (last quote at or before each interval end, forward-filled).
+//! * [`bars`] — OHLC bar accumulation (the "OHLC Bar Accumulator"
+//!   component of Figure 1).
+//! * [`returns`] — 1-period log returns and the per-stock return panel.
+//! * [`spread`] — pair spread series and the rolling spread statistics
+//!   (`Sl`, `Sh`, `S̄`) the retracement rule needs.
+
+pub mod bam;
+pub mod bars;
+pub mod clean;
+pub mod returns;
+pub mod rolling;
+pub mod spread;
+pub mod window;
+
+pub use bam::PriceGrid;
+pub use bars::{Bar, BarAccumulator};
+pub use clean::{CleanConfig, CleanStats, TcpFilter};
+pub use returns::ReturnsPanel;
+pub use spread::SpreadTracker;
+pub use window::SlidingWindow;

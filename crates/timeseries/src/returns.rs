@@ -1,0 +1,151 @@
+//! 1-period log returns and the per-stock return panel.
+//!
+//! The paper defines the correlation inputs as vectors of the last `M`
+//! log-returns, `x_i = log(r_i(s))` with `r_i(s) = P_i(s) / P_i(s-1)`
+//! the 1-period gross return — i.e. the log of the price *ratio*. (Taking
+//! differences of log-prices yields a stationary series; logging makes the
+//! distribution approximately normal — both assumptions the correlation
+//! statistics need.)
+
+use crate::bam::PriceGrid;
+
+/// A day's log-return series for every stock, aligned on the Δs grid.
+///
+/// `series[i][k]` is the log return of stock `i` over interval `k+1`
+/// relative to interval `k`; every series has `intervals - 1` entries.
+/// This is exactly the input shape `stats::ParallelCorrEngine::cube`
+/// expects.
+#[derive(Debug, Clone)]
+pub struct ReturnsPanel {
+    series: Vec<Vec<f64>>,
+    dt_seconds: u32,
+}
+
+impl ReturnsPanel {
+    /// Compute log returns from a price grid.
+    ///
+    /// Degenerate prices (NaN for an entirely quote-less stock, or a zero)
+    /// produce zero returns, keeping the panel rectangular; such stocks
+    /// have zero variance and therefore zero correlation with everything,
+    /// so they can never trigger a trade.
+    pub fn from_grid(grid: &PriceGrid) -> Self {
+        let n = grid.n_stocks();
+        let mut series = Vec::with_capacity(n);
+        for stock in 0..n {
+            let p = grid.series(stock);
+            let mut r = Vec::with_capacity(p.len().saturating_sub(1));
+            for w in p.windows(2) {
+                let ret = if w[0] > 0.0 && w[1] > 0.0 && w[0].is_finite() && w[1].is_finite() {
+                    (w[1] / w[0]).ln()
+                } else {
+                    0.0
+                };
+                r.push(ret);
+            }
+            series.push(r);
+        }
+        ReturnsPanel {
+            series,
+            dt_seconds: grid.dt_seconds(),
+        }
+    }
+
+    /// Number of stocks.
+    pub fn n_stocks(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Length of each return series.
+    pub fn len(&self) -> usize {
+        self.series.first().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// True if the panel holds no returns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Interval width the panel was sampled at.
+    pub fn dt_seconds(&self) -> u32 {
+        self.dt_seconds
+    }
+
+    /// Return series for one stock.
+    pub fn series(&self, stock: usize) -> &[f64] {
+        &self.series[stock]
+    }
+
+    /// All series, in the shape `stats::ParallelCorrEngine::cube` takes.
+    pub fn all(&self) -> &[Vec<f64>] {
+        &self.series
+    }
+
+    /// Total (gross) return of a stock over intervals `[from, to]`,
+    /// computed from the log returns: `exp(sum) - 1`. Used by the strategy
+    /// to rank over/under-performers over the `W` window.
+    pub fn window_return(&self, stock: usize, from: usize, to: usize) -> f64 {
+        let s = &self.series[stock];
+        let hi = to.min(s.len());
+        let lo = from.min(hi);
+        s[lo..hi].iter().sum::<f64>().exp() - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bam::PriceGrid;
+
+    #[test]
+    fn log_return_definition() {
+        let grid = PriceGrid::from_series(vec![vec![100.0, 110.0, 99.0]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert_eq!(panel.len(), 2);
+        assert!((panel.series(0)[0] - (110.0f64 / 100.0).ln()).abs() < 1e-12);
+        assert!((panel.series(0)[1] - (99.0f64 / 110.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_prices_yield_zero_returns() {
+        let grid = PriceGrid::from_series(vec![vec![f64::NAN, f64::NAN, f64::NAN]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert_eq!(panel.series(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn flat_prices_yield_zero_returns() {
+        let grid = PriceGrid::from_series(vec![vec![50.0; 10]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert!(panel.series(0).iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn window_return_compounds() {
+        // Prices 100 -> 110 -> 121: two +10% periods.
+        let grid = PriceGrid::from_series(vec![vec![100.0, 110.0, 121.0]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert!((panel.window_return(0, 0, 2) - 0.21).abs() < 1e-12);
+        assert!((panel.window_return(0, 1, 2) - 0.10).abs() < 1e-12);
+        assert_eq!(panel.window_return(0, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn window_return_clamps_bounds() {
+        let grid = PriceGrid::from_series(vec![vec![100.0, 110.0]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        // Out-of-range indices are clamped rather than panicking.
+        assert!((panel.window_return(0, 0, 99) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panel_is_rectangular() {
+        let grid = PriceGrid::from_series(
+            vec![vec![10.0, 11.0, 12.0], vec![20.0, 19.0, 21.0]],
+            30,
+        );
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert_eq!(panel.n_stocks(), 2);
+        assert_eq!(panel.all().len(), 2);
+        assert!(panel.all().iter().all(|s| s.len() == 2));
+    }
+}

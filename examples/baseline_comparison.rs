@@ -1,0 +1,95 @@
+//! Race the paper's correlation-divergence strategy against the
+//! classical Gatev distance method (the paper's reference [1]) on the
+//! same synthetic market days.
+//!
+//! The comparison highlights the papers' design trade-off: the
+//! correlation strategy is a high-turnover machine harvesting many small
+//! retracements; the distance method waits for 2σ dislocations and rides
+//! them to full convergence.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use backtest::approach::{run_day, Approach};
+use backtest::metrics::{self, WinLoss};
+use pairtrade_core::baseline::{trade_day, DistanceConfig};
+use pairtrade_core::exec::ExecutionConfig;
+use pairtrade_core::params::StrategyParams;
+use pairtrade_core::trade::Trade;
+use taq::generator::{MarketConfig, MarketGenerator};
+use timeseries::bam::PriceGrid;
+use timeseries::clean::CleanConfig;
+use timeseries::returns::ReturnsPanel;
+
+fn summarise(name: &str, all_trades: &[Trade]) {
+    let rets: Vec<f64> = all_trades.iter().map(|t| t.ret).collect();
+    let wl = WinLoss::of(&rets);
+    let total = metrics::daily_cumulative(&rets);
+    let mean_hold = if all_trades.is_empty() {
+        0.0
+    } else {
+        all_trades
+            .iter()
+            .map(|t| t.holding_intervals() as f64)
+            .sum::<f64>()
+            / all_trades.len() as f64
+    };
+    let pnl: f64 = all_trades.iter().map(|t| t.pnl).sum();
+    println!(
+        "{:<28} {:>7} {:>8.3} {:>10.2} {:>11.4}% {:>10.1}",
+        name,
+        all_trades.len(),
+        wl.ratio(),
+        pnl,
+        total * 100.0,
+        mean_hold
+    );
+}
+
+fn main() {
+    let n = 12;
+    let days = 3;
+    let mut market = MarketConfig::small(n, days, 8);
+    market.micro.quote_rate_hz = 0.1;
+    let mut generator = MarketGenerator::new(market);
+
+    println!(
+        "correlation strategy vs Gatev distance method: {} stocks, {} days\n",
+        n, days
+    );
+    println!(
+        "{:<28} {:>7} {:>8} {:>10} {:>12} {:>10}",
+        "strategy", "trades", "W/L", "PnL ($)", "compounded", "avg hold"
+    );
+    println!("{}", "-".repeat(80));
+
+    let corr_params = StrategyParams::paper_default();
+    let dist_cfg = DistanceConfig::default();
+    let mut corr_all: Vec<Trade> = Vec::new();
+    let mut dist_all: Vec<Trade> = Vec::new();
+
+    while let Some(day) = generator.next_day() {
+        let grid = PriceGrid::from_day(&day, n, corr_params.dt_seconds, CleanConfig::default());
+        let panel = ReturnsPanel::from_grid(&grid);
+        let run = run_day(
+            Approach::Integrated,
+            &grid,
+            &panel,
+            &corr_params,
+            &ExecutionConfig::paper(),
+        );
+        corr_all.extend(run.trades.into_iter().flatten());
+        dist_all.extend(trade_day(&grid, &dist_cfg));
+    }
+
+    summarise("correlation (paper, Pearson)", &corr_all);
+    summarise("distance method (Gatev)", &dist_all);
+
+    println!("\nreadings:");
+    println!("  * turnover: the correlation strategy trades orders of magnitude");
+    println!("    more often (d is a few bps; the distance method waits for 2σ);");
+    println!("  * holding: distance trades ride to convergence, correlation");
+    println!("    trades cap out at HP = {} intervals;", corr_params.max_holding);
+    println!("  * both books are cash-neutral-but-slightly-long by construction.");
+}

@@ -1,0 +1,106 @@
+//! Compare the four correlation measures on clean vs error-injected data
+//! — the ablation behind the paper's central design choice ("traditional
+//! correlation measures are quite sensitive to outliers").
+//!
+//! For a range of true correlations, draws a correlated sample, corrupts
+//! a fraction of it the way raw TAQ feeds are corrupted, and reports each
+//! estimator's recovery error with and without the TCP-like cleaning
+//! filter in front.
+//!
+//! ```sh
+//! cargo run --release --example correlation_comparison
+//! ```
+
+use stats::correlation::CorrType;
+use taq::rng::MarketRng;
+
+fn correlated_sample(rng: &mut MarketRng, n: usize, rho: f64) -> (Vec<f64>, Vec<f64>) {
+    let b = (1.0 - rho * rho).sqrt();
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let g1 = rng.gauss();
+        let g2 = rng.gauss();
+        x.push(g1);
+        y.push(rho * g1 + b * g2);
+    }
+    (x, y)
+}
+
+/// Corrupt a fraction of observations with fat-finger-scale errors.
+fn corrupt(rng: &mut MarketRng, series: &mut [f64], fraction: f64) {
+    for v in series.iter_mut() {
+        if rng.flip(fraction) {
+            *v = if rng.flip(0.5) { 50.0 } else { -50.0 } * (1.0 + rng.uniform());
+        }
+    }
+}
+
+/// The cleaning stand-in at the returns level: drop observations more
+/// than k sigma from the sample median (pairs removed jointly).
+fn clean(x: &[f64], y: &[f64], k: f64) -> (Vec<f64>, Vec<f64>) {
+    let bound = |s: &[f64]| {
+        let mut v = s.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = v[v.len() / 2];
+        let dev: f64 = (s.iter().map(|a| (a - med) * (a - med)).sum::<f64>() / s.len() as f64)
+            .sqrt();
+        (med, k * dev.max(1e-12))
+    };
+    let (mx, gx) = bound(x);
+    let (my, gy) = bound(y);
+    x.iter()
+        .zip(y)
+        .filter(|(a, b)| (**a - mx).abs() <= gx && (**b - my).abs() <= gy)
+        .map(|(a, b)| (*a, *b))
+        .unzip()
+}
+
+fn main() {
+    let n = 2_000;
+    let corruption = 0.03; // 3% bad ticks
+    let measures = [
+        CorrType::Pearson,
+        CorrType::Quadrant,
+        CorrType::Maronna,
+        CorrType::Combined,
+    ];
+
+    println!("Correlation recovery under data errors ({:.0}% corruption, n = {n})\n", corruption * 100.0);
+    println!(
+        "{:<8} | {:<11} {:>9} {:>9} {:>9} {:>9}",
+        "true rho", "condition", "Pearson", "Quadrant", "Maronna", "Combined"
+    );
+    println!("{}", "-".repeat(64));
+
+    let mut rng = MarketRng::seed_from(99);
+    for &rho in &[0.0, 0.3, 0.6, 0.8, 0.95] {
+        let (x, y_clean) = correlated_sample(&mut rng, n, rho);
+        let mut y_dirty = y_clean.clone();
+        corrupt(&mut rng, &mut y_dirty, corruption);
+
+        let row = |label: &str, xs: &[f64], ys: &[f64]| {
+            let vals: Vec<f64> = measures
+                .iter()
+                .map(|c| c.estimator().correlation(xs, ys))
+                .collect();
+            println!(
+                "{:<8.2} | {:<11} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+                rho, label, vals[0], vals[1], vals[2], vals[3]
+            );
+        };
+        row("clean", &x, &y_clean);
+        row("corrupted", &x, &y_dirty);
+        let (xf, yf) = clean(&x, &y_dirty, 4.0);
+        row("filtered", &xf, &yf);
+        println!();
+    }
+
+    println!("readings:");
+    println!("  * Pearson collapses under 3% corruption; the robust measures hold.");
+    println!("  * The TCP-like filter rescues Pearson most of the way — the paper's");
+    println!("    point that filtering helps but robust estimation removes the");
+    println!("    filter-choice bias entirely.");
+    println!("  * Combined tracks Maronna on correlated pairs and the cheap quadrant");
+    println!("    screen elsewhere (cost ablation: benches/robustness.rs).");
+}

@@ -1,0 +1,73 @@
+//! Sweep the divergence threshold `d` and retracement parameter `ℓ` over
+//! a small universe — the "which configuration of parameters results in
+//! the best performance" question of Section IV, on two of the most
+//! sensitive knobs.
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep
+//! ```
+
+use backtest::metrics;
+use backtest::runner::{Experiment, ExperimentConfig};
+use pairtrade_core::params::StrategyParams;
+
+fn main() {
+    let d_values = [0.0001, 0.0002, 0.0005, 0.001, 0.002];
+    let ell_values = [1.0 / 3.0, 1.0 / 2.0, 2.0 / 3.0];
+
+    let base = StrategyParams::paper_default();
+    let mut grid = Vec::new();
+    for &d in &d_values {
+        for &ell in &ell_values {
+            grid.push(StrategyParams {
+                divergence: d,
+                retracement: ell,
+                ..base
+            });
+        }
+    }
+
+    let mut config = ExperimentConfig::small(10, 3, 7);
+    config.params = grid.clone();
+    println!(
+        "parameter sweep: {} stocks, {} days, {} configurations (d x ell)\n",
+        config.market.n_stocks, config.market.days, grid.len()
+    );
+
+    let results = Experiment::new(config).run();
+    let n_pairs = results.n_pairs();
+
+    println!(
+        "{:>9} {:>6} | {:>9} {:>12} {:>10} {:>10}",
+        "d", "ell", "trades", "mean return", "mean MDD", "win-loss"
+    );
+    println!("{}", "-".repeat(64));
+    for (idx, p) in grid.iter().enumerate() {
+        let mut trades = 0u32;
+        let mut sum_ret = 0.0;
+        let mut sum_mdd = 0.0;
+        let mut wl = metrics::WinLoss::default();
+        for pair in 0..n_pairs {
+            let s = results.stats(idx, pair);
+            trades += s.n_trades;
+            sum_ret += results.total_cumulative(idx, pair);
+            sum_mdd += results.max_daily_drawdown(idx, pair);
+            wl = wl.merge(s.wl);
+        }
+        println!(
+            "{:>8.3}% {:>6.2} | {:>9} {:>11.4}% {:>9.4}% {:>10.3}",
+            p.divergence * 100.0,
+            p.retracement,
+            trades,
+            sum_ret / n_pairs as f64 * 100.0,
+            sum_mdd / n_pairs as f64 * 100.0,
+            wl.ratio()
+        );
+    }
+
+    println!("\nreadings:");
+    println!("  * smaller d -> more (and noisier) triggers: trade count falls");
+    println!("    monotonically as the divergence threshold rises;");
+    println!("  * larger ell waits for deeper retracement: fewer retracement");
+    println!("    exits, more HP timeouts, fatter per-trade tails.");
+}

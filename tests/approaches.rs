@@ -1,0 +1,116 @@
+//! Cross-crate integration: the paper's three computational approaches
+//! must be trade-for-trade equivalent on a realistic synthetic day, and
+//! the SGE-style job farm must reproduce the in-process Approach-2 run.
+
+use backtest::approach::{run_day, Approach};
+use backtest::jobfarm;
+use pairtrade_core::exec::ExecutionConfig;
+use pairtrade_core::params::StrategyParams;
+use pairtrade_core::trade::Trade;
+use stats::correlation::CorrType;
+use stats::matrix::SymMatrix;
+use taq::generator::{MarketConfig, MarketGenerator};
+use timeseries::bam::PriceGrid;
+use timeseries::clean::CleanConfig;
+use timeseries::returns::ReturnsPanel;
+
+fn fixture(n: usize, seed: u64) -> (PriceGrid, ReturnsPanel) {
+    let mut cfg = MarketConfig::small(n, 1, seed);
+    cfg.micro.quote_rate_hz = 0.1;
+    let mut generator = MarketGenerator::new(cfg);
+    let day = generator.next_day().unwrap();
+    let grid = PriceGrid::from_day(&day, n, 30, CleanConfig::default());
+    let panel = ReturnsPanel::from_grid(&grid);
+    (grid, panel)
+}
+
+fn keyed(trades: &[Vec<Trade>]) -> Vec<(usize, usize, usize, usize, String)> {
+    trades
+        .iter()
+        .flatten()
+        .map(|t| {
+            (
+                t.pair.0,
+                t.pair.1,
+                t.entry_interval,
+                t.exit_interval,
+                format!("{:?}", t.reason),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn three_approaches_equivalent_on_a_realistic_day() {
+    let (grid, panel) = fixture(8, 20080301);
+    for ctype in [CorrType::Pearson, CorrType::Maronna, CorrType::Combined] {
+        let params = StrategyParams {
+            ctype,
+            ..StrategyParams::paper_default()
+        };
+        let exec = ExecutionConfig::paper();
+        let a1 = run_day(Approach::PrecomputedMatrices, &grid, &panel, &params, &exec);
+        let a2 = run_day(Approach::PerPairRecompute, &grid, &panel, &params, &exec);
+        let a3 = run_day(Approach::Integrated, &grid, &panel, &params, &exec);
+        assert_eq!(keyed(&a1.trades), keyed(&a3.trades), "{ctype}: A1 != A3");
+        assert_eq!(keyed(&a2.trades), keyed(&a3.trades), "{ctype}: A2 != A3");
+    }
+}
+
+#[test]
+fn job_farm_reproduces_approach_two() {
+    let (grid, panel) = fixture(6, 7);
+    let params = StrategyParams::paper_default();
+    let exec = ExecutionConfig::paper();
+    let m = params.corr_window;
+    let n_pairs = 15;
+
+    let reference = run_day(Approach::PerPairRecompute, &grid, &panel, &params, &exec);
+
+    // The same jobs through the SGE-flavoured farm with 4 workers.
+    let jobs: Vec<usize> = (0..n_pairs).collect();
+    let farmed: Vec<Vec<Trade>> = jobfarm::run_jobs(jobs, 4, |rank| {
+        let (i, j) = SymMatrix::pair_from_rank(rank);
+        let steps = panel.len() - m + 1;
+        let mut series = vec![0.0; steps];
+        stats::parallel::pair_series(params.ctype, panel.series(i), panel.series(j), m, &mut series);
+        pairtrade_core::engine::run_pair_day(
+            (i, j),
+            &params,
+            &exec,
+            grid.series(i),
+            grid.series(j),
+            &series,
+            m,
+        )
+    });
+    assert_eq!(keyed(&reference.trades), keyed(&farmed));
+}
+
+#[test]
+fn trades_respect_strategy_invariants_at_scale() {
+    let (grid, panel) = fixture(10, 99);
+    let params = StrategyParams::paper_default();
+    let run = run_day(
+        Approach::Integrated,
+        &grid,
+        &panel,
+        &params,
+        &ExecutionConfig::paper(),
+    );
+    let smax = params.intervals_per_day();
+    let mut total = 0;
+    for trades in &run.trades {
+        for t in trades {
+            total += 1;
+            assert!(t.entry_interval >= params.first_active_interval());
+            assert!(t.exit_interval < smax);
+            assert!(t.holding_intervals() <= params.max_holding);
+            assert!(smax - 1 - t.entry_interval >= params.min_time_before_close);
+            assert!(t.position.net_entry_exposure() >= -1e-9);
+            assert!(t.gross > 0.0);
+            assert!((t.ret - t.pnl / t.gross).abs() < 1e-12);
+        }
+    }
+    assert!(total > 0, "episode-rich day must trade");
+}

@@ -1,0 +1,138 @@
+//! Integration: the full Section-V experiment at reduced scale — the
+//! whole chain from synthetic market to Tables III–V — plus determinism
+//! across thread counts.
+
+use backtest::aggregate;
+use backtest::report::{render_boxplots, Measure, TableReport};
+use backtest::runner::{Experiment, ExperimentConfig};
+use pairtrade_core::params::StrategyParams;
+use stats::correlation::CorrType;
+
+fn mini_grid() -> Vec<StrategyParams> {
+    // 2 levels x 3 treatments = 6 parameter sets.
+    let base = StrategyParams {
+        corr_window: 30,
+        avg_window: 15,
+        div_window: 5,
+        divergence: 0.0005,
+        ..StrategyParams::paper_default()
+    };
+    let mut grid = Vec::new();
+    for ctype in CorrType::TREATMENTS {
+        grid.push(StrategyParams { ctype, ..base });
+        grid.push(StrategyParams {
+            ctype,
+            divergence: 0.001,
+            ..base
+        });
+    }
+    grid
+}
+
+fn mini_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::small(6, 2, seed);
+    cfg.market.micro.quote_rate_hz = 0.05;
+    cfg.params = mini_grid();
+    cfg
+}
+
+#[test]
+fn full_chain_produces_all_three_tables_and_figure() {
+    let results = Experiment::new(mini_config(1)).run();
+    assert_eq!(results.n_days, 2);
+    assert!(results.total_trades > 0);
+
+    let treatments = aggregate::all_treatments(&results);
+    assert_eq!(treatments.len(), 3, "Maronna, Pearson, Combined");
+    assert_eq!(treatments[0].ctype, CorrType::Maronna);
+    assert_eq!(treatments[1].ctype, CorrType::Pearson);
+    assert_eq!(treatments[2].ctype, CorrType::Combined);
+
+    for t in &treatments {
+        assert_eq!(t.samples.cum_return.len(), 15, "C(6,2) samples");
+        // Growth factors near 1, drawdowns >= 0, ratios >= 0: sanity of
+        // units in the three measures.
+        for &g in &t.samples.cum_return {
+            assert!((0.2..5.0).contains(&g), "{}: growth {g}", t.ctype);
+        }
+        assert!(t.samples.max_drawdown_pct.iter().all(|&d| d >= 0.0));
+        assert!(t.samples.win_loss.iter().all(|&w| w >= 0.0));
+    }
+
+    for measure in [
+        Measure::CumulativeReturn,
+        Measure::MaxDrawdown,
+        Measure::WinLoss,
+    ] {
+        let table = TableReport::build(measure, &treatments).render();
+        assert!(table.contains("Maronna") && table.contains("Combined"));
+        let fig = render_boxplots(measure, &treatments, 60);
+        assert!(fig.contains("axis:"));
+    }
+}
+
+#[test]
+fn experiment_deterministic_across_thread_counts() {
+    let full = Experiment::new(mini_config(5)).run();
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| Experiment::new(mini_config(5)).run());
+    assert_eq!(full.total_trades, single.total_trades);
+    for p in 0..full.params.len() {
+        for r in 0..full.n_pairs() {
+            assert_eq!(
+                full.stats(p, r).daily_returns,
+                single.stats(p, r).daily_returns,
+                "param {p} pair {r}: thread count changed results"
+            );
+        }
+    }
+}
+
+#[test]
+fn divergence_threshold_monotonically_reduces_trades() {
+    // Within each treatment, the looser level (d = 0.05%) must trade at
+    // least as often as the tighter one (d = 0.1%).
+    let results = Experiment::new(mini_config(9)).run();
+    for ct in CorrType::TREATMENTS {
+        let idxs = results.params_with(ct);
+        assert_eq!(idxs.len(), 2);
+        let trades =
+            |idx: usize| -> u32 { (0..results.n_pairs()).map(|r| results.stats(idx, r).n_trades).sum() };
+        let loose = trades(idxs[0]); // d = 0.0005
+        let tight = trades(idxs[1]); // d = 0.001
+        assert!(
+            loose >= tight,
+            "{ct}: loose {loose} < tight {tight} — threshold not monotone"
+        );
+    }
+}
+
+#[test]
+fn keep_trades_mode_agrees_with_summaries() {
+    let mut cfg = mini_config(13);
+    cfg.keep_trades = true;
+    let results = Experiment::new(cfg).run();
+    assert_eq!(results.trades.len() as u64, results.total_trades);
+    // Rebuild win/loss from the raw trades for one parameter set and
+    // compare with the accumulated counters.
+    let param = 0usize;
+    let mut wins = 0u32;
+    let mut losses = 0u32;
+    for (p, _, t) in &results.trades {
+        if *p == param {
+            if t.ret > 0.0 {
+                wins += 1;
+            } else if t.ret < 0.0 {
+                losses += 1;
+            }
+        }
+    }
+    let mut acc = backtest::metrics::WinLoss::default();
+    for r in 0..results.n_pairs() {
+        acc = acc.merge(results.stats(param, r).wl);
+    }
+    assert_eq!((acc.wins, acc.losses), (wins, losses));
+}

@@ -1,0 +1,127 @@
+//! Integration: the Figure-1 streaming pipeline versus the batch
+//! backtester, and pipeline-level invariants.
+
+use marketminer::pipeline::{run_fig1_pipeline, Fig1Config};
+use pairtrade_core::params::StrategyParams;
+use taq::generator::{MarketConfig, MarketGenerator};
+
+fn make_day(n: usize, seed: u64) -> taq::dataset::DayData {
+    let mut cfg = MarketConfig::small(n, 1, seed);
+    cfg.micro.quote_rate_hz = 0.1;
+    MarketGenerator::new(cfg).next_day().unwrap()
+}
+
+fn fast_params() -> StrategyParams {
+    StrategyParams {
+        corr_window: 30,
+        avg_window: 15,
+        div_window: 5,
+        divergence: 0.0005,
+        ..StrategyParams::paper_default()
+    }
+}
+
+#[test]
+fn pipeline_trades_obey_strategy_invariants() {
+    let n = 6;
+    let params = fast_params();
+    let config = Fig1Config::new(n, params);
+    let out = run_fig1_pipeline(make_day(n, 11), &config).unwrap();
+    assert!(!out.trades.is_empty(), "synthetic day should trade");
+    let smax = params.intervals_per_day();
+    for t in &out.trades {
+        assert!(t.exit_interval < smax);
+        assert!(t.holding_intervals() <= params.max_holding);
+        assert!(t.position.net_entry_exposure() >= -1e-9);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let n = 5;
+    let config = Fig1Config::new(n, fast_params());
+    let a = run_fig1_pipeline(make_day(n, 3), &config).unwrap();
+    let b = run_fig1_pipeline(make_day(n, 3), &config).unwrap();
+    assert_eq!(a.trades.len(), b.trades.len());
+    assert_eq!(a.baskets.len(), b.baskets.len());
+    for (x, y) in a.trades.iter().zip(&b.trades) {
+        assert_eq!(x.pair, y.pair);
+        assert_eq!(x.entry_interval, y.entry_interval);
+        assert_eq!(x.exit_interval, y.exit_interval);
+        assert_eq!(x.ret, y.ret);
+    }
+}
+
+#[test]
+fn every_trade_produces_four_order_legs() {
+    // Each round trip is 2 entry + 2 exit orders; the gateway must carry
+    // them all (with no risk limits in the way).
+    let n = 5;
+    let config = Fig1Config::new(n, fast_params());
+    let out = run_fig1_pipeline(make_day(n, 17), &config).unwrap();
+    assert_eq!(
+        out.total_orders(),
+        4 * out.trades.len(),
+        "orders {} vs trades {}",
+        out.total_orders(),
+        out.trades.len()
+    );
+}
+
+#[test]
+fn baskets_are_interval_ordered_and_nonempty() {
+    let n = 6;
+    let config = Fig1Config::new(n, fast_params());
+    let out = run_fig1_pipeline(make_day(n, 23), &config).unwrap();
+    for basket in &out.baskets {
+        assert!(!basket.orders.is_empty());
+        assert!(basket.orders.iter().all(|o| o.interval == basket.interval));
+    }
+    // Basket intervals are non-decreasing.
+    for pair in out.baskets.windows(2) {
+        assert!(pair[0].interval <= pair[1].interval);
+    }
+}
+
+#[test]
+fn streaming_matches_batch_backtester() {
+    // The pipeline computes the same strategy over the same data as the
+    // batch Approach-3 path; with a dense quote tape the BAM grids agree
+    // and the trade sets must match.
+    let n = 5;
+    let params = fast_params();
+    let day = make_day(n, 31);
+    let day_copy = make_day(n, 31);
+
+    let pipeline_out = run_fig1_pipeline(day, &Fig1Config::new(n, params)).unwrap();
+
+    let grid = timeseries::bam::PriceGrid::from_day(
+        &day_copy,
+        n,
+        params.dt_seconds,
+        timeseries::clean::CleanConfig::default(),
+    );
+    let panel = timeseries::returns::ReturnsPanel::from_grid(&grid);
+    let batch = backtest::approach::run_day(
+        backtest::approach::Approach::Integrated,
+        &grid,
+        &panel,
+        &params,
+        &pairtrade_core::exec::ExecutionConfig::paper(),
+    );
+
+    let mut stream_keys: Vec<_> = pipeline_out
+        .trades
+        .iter()
+        .map(|t| (t.pair, t.entry_interval, t.exit_interval))
+        .collect();
+    stream_keys.sort();
+    let mut batch_keys: Vec<_> = batch
+        .trades
+        .iter()
+        .flatten()
+        .map(|t| (t.pair, t.entry_interval, t.exit_interval))
+        .collect();
+    batch_keys.sort();
+    assert_eq!(stream_keys, batch_keys);
+}
