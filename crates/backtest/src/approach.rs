@@ -135,8 +135,7 @@ pub fn run_day(
                         .map(|k| cube.matrix_at(cube.first_step() + k))
                         .collect();
                     stats.matrices_materialized = snapshots.len();
-                    stats.matrix_bytes =
-                        snapshots.len() * n * n * std::mem::size_of::<f64>();
+                    stats.matrix_bytes = snapshots.len() * n * n * std::mem::size_of::<f64>();
                     let first_interval = cube.first_step() + 1;
                     (0..n_pairs)
                         .into_par_iter()
@@ -424,16 +423,31 @@ mod tests {
 
         let (t3, s3) = run_day_grid(Approach::Integrated, &grid, &panel, &params, &exec);
         let (t2, s2) = run_day_grid(Approach::PerPairRecompute, &grid, &panel, &params, &exec);
-        let (t1, s1) =
-            run_day_grid(Approach::PrecomputedMatrices, &grid, &panel, &params, &exec);
+        let (t1, s1) = run_day_grid(Approach::PrecomputedMatrices, &grid, &panel, &params, &exec);
 
         for k in 0..4 {
-            assert_eq!(flat(&DayRun { trades: t3[k].clone(), stats: Default::default() }),
-                       flat(&DayRun { trades: t2[k].clone(), stats: Default::default() }),
-                       "param {k}: A2 vs A3");
-            assert_eq!(flat(&DayRun { trades: t3[k].clone(), stats: Default::default() }),
-                       flat(&DayRun { trades: t1[k].clone(), stats: Default::default() }),
-                       "param {k}: A1 vs A3");
+            assert_eq!(
+                flat(&DayRun {
+                    trades: t3[k].clone(),
+                    stats: Default::default()
+                }),
+                flat(&DayRun {
+                    trades: t2[k].clone(),
+                    stats: Default::default()
+                }),
+                "param {k}: A2 vs A3"
+            );
+            assert_eq!(
+                flat(&DayRun {
+                    trades: t3[k].clone(),
+                    stats: Default::default()
+                }),
+                flat(&DayRun {
+                    trades: t1[k].clone(),
+                    stats: Default::default()
+                }),
+                "param {k}: A1 vs A3"
+            );
         }
         // Sharing: 2 distinct cubes x 10 pairs vs 4 param sets x 10 pairs.
         assert_eq!(s3.kernel_sweeps, 2 * 10);

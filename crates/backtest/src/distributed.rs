@@ -188,8 +188,7 @@ mod tests {
     fn short_day_yields_empty_trades() {
         let grid = PriceGrid::from_series(vec![vec![10.0; 5], vec![20.0; 5]], 30);
         let panel = ReturnsPanel::from_grid(&grid);
-        let trades =
-            run_day_distributed(2, &grid, &panel, &params(), &ExecutionConfig::paper());
+        let trades = run_day_distributed(2, &grid, &panel, &params(), &ExecutionConfig::paper());
         assert_eq!(trades.len(), 1);
         assert!(trades[0].is_empty());
     }

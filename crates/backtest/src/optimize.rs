@@ -100,7 +100,11 @@ pub fn rank_parameter_sets(results: &ExperimentResults, objective: Objective) ->
             }
         })
         .collect();
-    cards.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    cards.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     cards
 }
 

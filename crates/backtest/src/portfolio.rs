@@ -60,7 +60,11 @@ impl EquityCurve {
             return String::new();
         }
         let lo = self.values.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let hi = self
+            .values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         self.values
             .iter()

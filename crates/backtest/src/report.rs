@@ -117,8 +117,12 @@ pub fn render_boxplots(measure: Measure, treatments: &[TreatmentSamples], width:
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for (_, b) in &plots {
-        lo = lo.min(b.whisker_lo).min(b.outliers.iter().copied().fold(b.whisker_lo, f64::min));
-        hi = hi.max(b.whisker_hi).max(b.outliers.iter().copied().fold(b.whisker_hi, f64::max));
+        lo = lo
+            .min(b.whisker_lo)
+            .min(b.outliers.iter().copied().fold(b.whisker_lo, f64::min));
+        hi = hi
+            .max(b.whisker_hi)
+            .max(b.outliers.iter().copied().fold(b.whisker_hi, f64::max));
     }
     if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
         lo = 0.0;
@@ -131,7 +135,13 @@ pub fn render_boxplots(measure: Measure, treatments: &[TreatmentSamples], width:
         out.push_str(&format!("{name:>9} {}\n", b.render_ascii(lo, hi, width)));
         out.push_str(&format!(
             "{:>9} q1={:.4} med={:.4} q3={:.4} whiskers=[{:.4},{:.4}] outliers={}\n",
-            "", b.q1, b.median, b.q3, b.whisker_lo, b.whisker_hi, b.outliers.len()
+            "",
+            b.q1,
+            b.median,
+            b.q3,
+            b.whisker_lo,
+            b.whisker_hi,
+            b.outliers.len()
         ));
     }
     out
@@ -168,7 +178,10 @@ pub fn render_significance(measure: Measure, treatments: &[TreatmentSamples]) ->
             let welch = stats::inference::welch_t_test(sa, sb);
             let mwu = stats::inference::mann_whitney_u(sa, sb);
             let fmt = |r: Option<stats::inference::TestResult>| match r {
-                Some(r) => (format!("{:>9.3}", r.statistic), format!("{:>11.4}", r.p_value)),
+                Some(r) => (
+                    format!("{:>9.3}", r.statistic),
+                    format!("{:>11.4}", r.p_value),
+                ),
                 None => ("      n/a".to_string(), "        n/a".to_string()),
             };
             let (wt, wp) = fmt(welch);
@@ -206,8 +219,15 @@ mod tests {
         let t = TableReport::build(Measure::CumulativeReturn, &fake_treatments());
         let text = t.render();
         for needle in [
-            "Maronna", "Pearson", "Combined", "Mean", "Median",
-            "Standard Deviation", "Sharpe Ratio", "Skewness", "Kurtosis",
+            "Maronna",
+            "Pearson",
+            "Combined",
+            "Mean",
+            "Median",
+            "Standard Deviation",
+            "Sharpe Ratio",
+            "Skewness",
+            "Kurtosis",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

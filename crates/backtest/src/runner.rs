@@ -177,7 +177,10 @@ impl Experiment {
                 let mut by_cube: HashMap<(CorrType, usize), Vec<usize>> = HashMap::new();
                 for &idx in &by_dt[&dt] {
                     let p = &cfg.params[idx];
-                    by_cube.entry((p.ctype, p.corr_window)).or_default().push(idx);
+                    by_cube
+                        .entry((p.ctype, p.corr_window))
+                        .or_default()
+                        .push(idx);
                 }
                 let mut cube_keys: Vec<(CorrType, usize)> = by_cube.keys().copied().collect();
                 cube_keys.sort_by_key(|(c, m)| (c.name(), *m));

@@ -39,9 +39,7 @@ fn bench_approaches(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{ctype}"), format!("{approach}")),
                 &approach,
-                |b, &approach| {
-                    b.iter(|| black_box(run_day(approach, &grid, &panel, &p, &exec)))
-                },
+                |b, &approach| b.iter(|| black_box(run_day(approach, &grid, &panel, &p, &exec))),
             );
         }
     }
@@ -65,7 +63,10 @@ fn print_extrapolation() {
     println!("--- paper's Matlab figure (2 s/job) ---");
     println!("{}", Extrapolation::paper_workload().render());
     for (name, approach) in [
-        ("Approach 2 (per-pair recompute)", Approach::PerPairRecompute),
+        (
+            "Approach 2 (per-pair recompute)",
+            Approach::PerPairRecompute,
+        ),
         ("Approach 3 (integrated)", Approach::Integrated),
     ] {
         let spj = time_one(approach);

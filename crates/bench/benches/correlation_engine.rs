@@ -27,11 +27,9 @@ fn bench_universe_scaling(c: &mut Criterion) {
         let windows: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
         for ctype in [CorrType::Pearson, CorrType::Maronna, CorrType::Combined] {
             let engine = ParallelCorrEngine::new(ctype);
-            group.bench_with_input(
-                BenchmarkId::new(ctype.name(), n),
-                &n,
-                |b, _| b.iter(|| black_box(engine.matrix(black_box(&windows)))),
-            );
+            group.bench_with_input(BenchmarkId::new(ctype.name(), n), &n, |b, _| {
+                b.iter(|| black_box(engine.matrix(black_box(&windows))))
+            });
         }
     }
     group.finish();
@@ -50,13 +48,9 @@ fn bench_thread_scaling(c: &mut Criterion) {
             .num_threads(threads)
             .build()
             .expect("pool");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, _| {
-                pool.install(|| b.iter(|| black_box(engine.matrix(black_box(&windows)))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            pool.install(|| b.iter(|| black_box(engine.matrix(black_box(&windows)))));
+        });
     }
     // The explicit sequential baseline.
     group.bench_function("sequential_baseline", |b| {

@@ -30,7 +30,9 @@ fn main() {
     for &n in &[45usize, 1830] {
         // n = 1830 is the paper's per-treatment sample count.
         let sample: Vec<f64> = (0..n)
-            .map(|k| 1.1 + ((k * 31 % 97) as f64 - 48.0) * 1e-3 + if k % 50 == 0 { 0.5 } else { 0.0 })
+            .map(|k| {
+                1.1 + ((k * 31 % 97) as f64 - 48.0) * 1e-3 + if k % 50 == 0 { 0.5 } else { 0.0 }
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(BoxPlot::of(black_box(&sample))))

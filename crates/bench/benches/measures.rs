@@ -82,5 +82,10 @@ fn bench_maronna_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_measures, bench_sliding_update, bench_maronna_convergence);
+criterion_group!(
+    benches,
+    bench_measures,
+    bench_sliding_update,
+    bench_maronna_convergence
+);
 criterion_main!(benches);

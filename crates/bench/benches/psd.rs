@@ -34,7 +34,11 @@ fn main() {
         let min_eig = psd::min_eigenvalue(&matrix);
         println!(
             "n = {n}: min eigenvalue {min_eig:+.6} -> {}",
-            if min_eig < 0.0 { "NOT PSD (repair needed)" } else { "PSD" }
+            if min_eig < 0.0 {
+                "NOT PSD (repair needed)"
+            } else {
+                "PSD"
+            }
         );
     }
     println!();
@@ -53,13 +57,19 @@ fn main() {
         group.bench_with_input(BenchmarkId::new("repair", n), &n, |b, _| {
             b.iter(|| {
                 let mut m = matrix.clone();
-                black_box(psd::repair_correlation(&mut m, psd::RepairConfig::default()))
+                black_box(psd::repair_correlation(
+                    &mut m,
+                    psd::RepairConfig::default(),
+                ))
             })
         });
         group.bench_with_input(BenchmarkId::new("higham_nearest", n), &n, |b, _| {
             b.iter(|| {
                 let mut m = matrix.clone();
-                black_box(psd::nearest_correlation(&mut m, psd::RepairConfig::default()))
+                black_box(psd::nearest_correlation(
+                    &mut m,
+                    psd::RepairConfig::default(),
+                ))
             })
         });
     }

@@ -75,7 +75,10 @@ fn bench_estimators_under_corruption(criterion: &mut Criterion) {
 
 fn bench_cleaning_filter(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("robustness/tcp_filter");
-    for (label, errors) in [("clean", ErrorConfig::none()), ("heavy", ErrorConfig::heavy())] {
+    for (label, errors) in [
+        ("clean", ErrorConfig::none()),
+        ("heavy", ErrorConfig::heavy()),
+    ] {
         // Build a 100k-quote tape for one stock with the given error mix.
         let mut rng = MarketRng::seed_from(3);
         let mut injector = ErrorInjector::new(errors);

@@ -135,8 +135,7 @@ pub fn trade_day(grid: &PriceGrid, cfg: &DistanceConfig) -> Vec<Trade> {
         let (i, j) = fp.pair;
         let p0_i = grid.price(i, 0);
         let p0_j = grid.price(j, 0);
-        let spread =
-            |s: usize| -> f64 { grid.price(i, s) / p0_i - grid.price(j, s) / p0_j };
+        let spread = |s: usize| -> f64 { grid.price(i, s) / p0_i - grid.price(j, s) / p0_j };
 
         let mut open: Option<(PairPosition, f64)> = None; // (position, entry spread sign)
         for s in f..smax {
@@ -227,7 +226,10 @@ fn exit_prices(
             grid.price(j, s)
         }
     };
-    (price_of(position.long.stock), price_of(position.short.stock))
+    (
+        price_of(position.long.stock),
+        price_of(position.short.stock),
+    )
 }
 
 #[cfg(test)]

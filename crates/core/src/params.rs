@@ -254,10 +254,7 @@ mod tests {
         }
         let grid = paper_parameter_grid();
         assert_eq!(grid.len(), 42, "paper: 42 parameter sets");
-        let pearson = grid
-            .iter()
-            .filter(|p| p.ctype == CorrType::Pearson)
-            .count();
+        let pearson = grid.iter().filter(|p| p.ctype == CorrType::Pearson).count();
         assert_eq!(pearson, 14);
     }
 
@@ -283,16 +280,47 @@ mod tests {
     fn validation_rejects_nonsense() {
         let base = StrategyParams::paper_default();
         let bad = [
-            StrategyParams { dt_seconds: 0, ..base },
-            StrategyParams { dt_seconds: 7, ..base },
-            StrategyParams { min_avg_corr: 1.5, ..base },
-            StrategyParams { corr_window: 1, ..base },
-            StrategyParams { avg_window: 0, ..base },
-            StrategyParams { divergence: 0.0, ..base },
-            StrategyParams { retracement: 0.0, ..base },
-            StrategyParams { retracement: 1.0, ..base },
-            StrategyParams { max_holding: 0, ..base },
-            StrategyParams { corr_window: 700, avg_window: 100, ..base },
+            StrategyParams {
+                dt_seconds: 0,
+                ..base
+            },
+            StrategyParams {
+                dt_seconds: 7,
+                ..base
+            },
+            StrategyParams {
+                min_avg_corr: 1.5,
+                ..base
+            },
+            StrategyParams {
+                corr_window: 1,
+                ..base
+            },
+            StrategyParams {
+                avg_window: 0,
+                ..base
+            },
+            StrategyParams {
+                divergence: 0.0,
+                ..base
+            },
+            StrategyParams {
+                retracement: 0.0,
+                ..base
+            },
+            StrategyParams {
+                retracement: 1.0,
+                ..base
+            },
+            StrategyParams {
+                max_holding: 0,
+                ..base
+            },
+            StrategyParams {
+                corr_window: 700,
+                avg_window: 100,
+                ..base
+            },
         ];
         for (i, p) in bad.iter().enumerate() {
             assert!(p.validate().is_err(), "case {i} should fail");

@@ -80,8 +80,8 @@ impl DivergenceDetector {
         };
         self.drop_window.push(rel_drop);
 
-        let diverged = avg > self.min_avg_corr
-            && self.drop_window.iter().any(|dr| dr > self.divergence);
+        let diverged =
+            avg > self.min_avg_corr && self.drop_window.iter().any(|dr| dr > self.divergence);
         SignalState {
             avg_corr: avg,
             corr,

@@ -163,11 +163,7 @@ impl PairStrategy {
             let unrealized = open.position.trade_return(long_exit, short_exit);
             let holding = s - open.position.entry_interval;
 
-            let reason = if self
-                .exec
-                .stop_loss
-                .is_some_and(|stop| unrealized <= -stop)
-            {
+            let reason = if self.exec.stop_loss.is_some_and(|stop| unrealized <= -stop) {
                 Some(ExitReason::StopLoss)
             } else if open.rule.reached(spread) {
                 Some(ExitReason::Retracement)

@@ -2,10 +2,10 @@
 
 use proptest::prelude::*;
 
+use pairtrade_core::params::StrategyParams;
 use pairtrade_core::position::{share_ratio, PairPosition};
 use pairtrade_core::retracement::RetracementRule;
 use pairtrade_core::signal::DivergenceDetector;
-use pairtrade_core::params::StrategyParams;
 use timeseries::rolling::RangeStats;
 
 proptest! {

@@ -35,6 +35,9 @@ enum EngineKind {
 /// Streaming all-pairs correlation node.
 pub struct CorrelationEngineNode {
     stride: usize,
+    /// Warm intervals seen since the last emission. Starts at `stride` so
+    /// the very first warm interval emits immediately instead of waiting
+    /// a full extra stride.
     since_last: usize,
     m: usize,
     kind: EngineKind,
@@ -61,7 +64,7 @@ impl CorrelationEngineNode {
         };
         CorrelationEngineNode {
             stride,
-            since_last: 0,
+            since_last: stride,
             m,
             kind,
             name: format!("corr-engine({ctype}, M={m})"),
@@ -145,7 +148,11 @@ mod tests {
     use crate::messages::ReturnSet;
     use stats::pearson::pearson;
 
-    fn feed(node: &mut CorrelationEngineNode, interval: usize, returns: Vec<f64>) -> Vec<Arc<CorrSnapshot>> {
+    fn feed(
+        node: &mut CorrelationEngineNode,
+        interval: usize,
+        returns: Vec<f64>,
+    ) -> Vec<Arc<CorrSnapshot>> {
         let mut got = Vec::new();
         node.on_message(
             Message::Returns(Arc::new(ReturnSet { interval, returns })),
@@ -203,14 +210,14 @@ mod tests {
         for k in 0..40 {
             count += feed(&mut node, k, vec![ret(0, k), ret(1, k)]).len();
         }
-        // Windows full from k=3; 37 eligible intervals / stride 5 = 7.
-        assert_eq!(count, 7);
+        // Windows full from k=3: emit immediately on warm, then every
+        // stride — snapshots at k = 3, 8, 13, 18, 23, 28, 33, 38.
+        assert_eq!(count, 8);
     }
 
     #[test]
     fn quadrant_engine_with_repair_stays_psd() {
-        let mut node =
-            CorrelationEngineNode::new(6, 6, 3, CorrType::Quadrant).with_psd_repair();
+        let mut node = CorrelationEngineNode::new(6, 6, 3, CorrType::Quadrant).with_psd_repair();
         let mut checked = 0;
         for k in 0..30 {
             let rs: Vec<f64> = (0..6).map(|i| ret(i, k)).collect();

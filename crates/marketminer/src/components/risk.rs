@@ -213,10 +213,9 @@ mod tests {
     fn non_orders_pass_through() {
         let mut node = RiskManagerNode::new(RiskLimits::default());
         let mut kinds = Vec::new();
-        node.on_message(
-            Message::Trades(Arc::new(vec![])),
-            &mut |m| kinds.push(m.kind()),
-        );
+        node.on_message(Message::Trades(Arc::new(vec![])), &mut |m| {
+            kinds.push(m.kind())
+        });
         assert_eq!(kinds, vec!["trades"]);
     }
 }

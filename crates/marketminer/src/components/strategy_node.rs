@@ -7,6 +7,7 @@
 //! [`OrderRequest`]s per position open and
 //! two per reversal, plus an end-of-day [`Message::Trades`] report.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use pairtrade_core::exec::ExecutionConfig;
@@ -16,7 +17,7 @@ use pairtrade_core::strategy::{IntervalInput, PairStrategy};
 use pairtrade_core::trade::Trade;
 use stats::matrix::SymMatrix;
 
-use crate::messages::{Message, OrderRequest, OrderSide};
+use crate::messages::{CorrSnapshot, Message, OrderRequest, OrderSide};
 use crate::node::{Component, Emit};
 
 /// The market-wide strategy host.
@@ -28,6 +29,17 @@ pub struct StrategyHostNode {
     trades_seen: Vec<usize>,
     /// Per-stock price history on the interval grid (forward-filled).
     history: Vec<Vec<f64>>,
+    /// Highest bar interval recorded so far (None until the first bar).
+    bars_through: Option<usize>,
+    /// Correlation snapshots that arrived before their interval's bar.
+    ///
+    /// The host fans in two streams: bars directly from the accumulator,
+    /// and correlations via technical analysis → correlation engine. The
+    /// two edges race, so `Corr(s)` can beat `Bars(s)` into the inbox;
+    /// pricing interval `s` off stale history would make trade decisions
+    /// depend on thread scheduling. Snapshots are therefore held here
+    /// until the bar stream has caught up to their interval.
+    pending_corr: VecDeque<Arc<CorrSnapshot>>,
     needs_confirmation: bool,
     name: String,
 }
@@ -51,6 +63,8 @@ impl StrategyHostNode {
             trades_seen: vec![0; strategies.len()],
             strategies,
             history: vec![Vec::new(); n_stocks],
+            bars_through: None,
+            pending_corr: VecDeque::new(),
             needs_confirmation,
             name: format!("pair-strategy-host({})", params.label()),
         }
@@ -139,92 +153,25 @@ impl Component for StrategyHostNode {
         match msg {
             Message::Bars(bars) => {
                 self.record_bars(bars.interval, &bars.closes);
+                self.bars_through = Some(match self.bars_through {
+                    Some(t) => t.max(bars.interval),
+                    None => bars.interval,
+                });
+                // Bars caught up: release any snapshots that were waiting.
+                while self
+                    .pending_corr
+                    .front()
+                    .is_some_and(|snap| Some(snap.interval) <= self.bars_through)
+                {
+                    let snap = self.pending_corr.pop_front().expect("front checked");
+                    self.process_corr(&snap, out);
+                }
             }
             Message::Corr(snap) => {
-                let s = snap.interval;
-                // Collected inside the &mut strategies loop, turned into
-                // orders (which need &self) afterwards.
-                let mut opened: Vec<PairPosition> = Vec::new();
-                let mut closed: Vec<Trade> = Vec::new();
-                for (rank, strategy) in self.strategies.iter_mut().enumerate() {
-                    let (i, j) = strategy.pair();
-                    if i >= self.n_stocks {
-                        continue;
-                    }
-                    let price_i = {
-                        let hist = &self.history[i];
-                        if hist.is_empty() {
-                            f64::NAN
-                        } else {
-                            hist[s.min(hist.len() - 1)]
-                        }
-                    };
-                    let price_j = {
-                        let hist = &self.history[j];
-                        if hist.is_empty() {
-                            f64::NAN
-                        } else {
-                            hist[s.min(hist.len() - 1)]
-                        }
-                    };
-                    let w = self.params.avg_window;
-                    let w_ret = |hist: &Vec<f64>| -> f64 {
-                        if s < w || hist.is_empty() {
-                            return 0.0;
-                        }
-                        let now = hist[s.min(hist.len() - 1)];
-                        let then = hist[(s - w).min(hist.len() - 1)];
-                        if now > 0.0 && then > 0.0 {
-                            now / then - 1.0
-                        } else {
-                            0.0
-                        }
-                    };
-                    let input = IntervalInput {
-                        s,
-                        price_i,
-                        price_j,
-                        corr: snap.matrix.get(i, j),
-                        w_return_i: w_ret(&self.history[i]),
-                        w_return_j: w_ret(&self.history[j]),
-                    };
-                    strategy.on_interval(input);
-
-                    // Detect transitions to emit orders.
-                    let now_open = strategy.is_open();
-                    let trades_now = strategy.trades().len();
-                    if now_open && !self.was_open[rank] {
-                        // The strategy's open position is internal state;
-                        // rebuild an identical one (same deterministic
-                        // sizing rule on the same inputs) for order flow.
-                        let over_i = input.w_return_i > input.w_return_j;
-                        let (ls, lp, ss, sp) = if over_i {
-                            (j, price_j, i, price_i)
-                        } else {
-                            (i, price_i, j, price_j)
-                        };
-                        opened.push(PairPosition::open(s, ls, lp, ss, sp));
-                    }
-                    if trades_now > self.trades_seen[rank] {
-                        closed.extend(&strategy.trades()[self.trades_seen[rank]..]);
-                        self.trades_seen[rank] = trades_now;
-                    }
-                    self.was_open[rank] = now_open;
-                }
-                for position in opened {
-                    let pair = if position.long.stock > position.short.stock {
-                        (position.long.stock, position.short.stock)
-                    } else {
-                        (position.short.stock, position.long.stock)
-                    };
-                    for order in self.orders_for_open(&position, s, pair) {
-                        out(Message::Order(Arc::new(order)));
-                    }
-                }
-                for trade in closed {
-                    for order in self.orders_for_close(&trade) {
-                        out(Message::Order(Arc::new(order)));
-                    }
+                if Some(snap.interval) > self.bars_through {
+                    self.pending_corr.push_back(snap);
+                } else {
+                    self.process_corr(&snap, out);
                 }
             }
             _ => {}
@@ -232,6 +179,11 @@ impl Component for StrategyHostNode {
     }
 
     fn on_end(&mut self, out: &mut Emit<'_>) {
+        // The bar stream has ended; whatever snapshots are still queued
+        // will never see a newer bar, so price them off the final history.
+        while let Some(snap) = self.pending_corr.pop_front() {
+            self.process_corr(&snap, out);
+        }
         let mut all_trades: Vec<Trade> = Vec::new();
         let mut closing_orders: Vec<OrderRequest> = Vec::new();
         for (rank, strategy) in std::mem::take(&mut self.strategies).into_iter().enumerate() {
@@ -246,6 +198,96 @@ impl Component for StrategyHostNode {
             out(Message::Order(Arc::new(order)));
         }
         out(Message::Trades(Arc::new(all_trades)));
+    }
+}
+
+impl StrategyHostNode {
+    fn process_corr(&mut self, snap: &CorrSnapshot, out: &mut Emit<'_>) {
+        let s = snap.interval;
+        // Collected inside the &mut strategies loop, turned into
+        // orders (which need &self) afterwards.
+        let mut opened: Vec<PairPosition> = Vec::new();
+        let mut closed: Vec<Trade> = Vec::new();
+        for (rank, strategy) in self.strategies.iter_mut().enumerate() {
+            let (i, j) = strategy.pair();
+            if i >= self.n_stocks {
+                continue;
+            }
+            let price_i = {
+                let hist = &self.history[i];
+                if hist.is_empty() {
+                    f64::NAN
+                } else {
+                    hist[s.min(hist.len() - 1)]
+                }
+            };
+            let price_j = {
+                let hist = &self.history[j];
+                if hist.is_empty() {
+                    f64::NAN
+                } else {
+                    hist[s.min(hist.len() - 1)]
+                }
+            };
+            let w = self.params.avg_window;
+            let w_ret = |hist: &Vec<f64>| -> f64 {
+                if s < w || hist.is_empty() {
+                    return 0.0;
+                }
+                let now = hist[s.min(hist.len() - 1)];
+                let then = hist[(s - w).min(hist.len() - 1)];
+                if now > 0.0 && then > 0.0 {
+                    now / then - 1.0
+                } else {
+                    0.0
+                }
+            };
+            let input = IntervalInput {
+                s,
+                price_i,
+                price_j,
+                corr: snap.matrix.get(i, j),
+                w_return_i: w_ret(&self.history[i]),
+                w_return_j: w_ret(&self.history[j]),
+            };
+            strategy.on_interval(input);
+
+            // Detect transitions to emit orders.
+            let now_open = strategy.is_open();
+            let trades_now = strategy.trades().len();
+            if now_open && !self.was_open[rank] {
+                // The strategy's open position is internal state;
+                // rebuild an identical one (same deterministic
+                // sizing rule on the same inputs) for order flow.
+                let over_i = input.w_return_i > input.w_return_j;
+                let (ls, lp, ss, sp) = if over_i {
+                    (j, price_j, i, price_i)
+                } else {
+                    (i, price_i, j, price_j)
+                };
+                opened.push(PairPosition::open(s, ls, lp, ss, sp));
+            }
+            if trades_now > self.trades_seen[rank] {
+                closed.extend(&strategy.trades()[self.trades_seen[rank]..]);
+                self.trades_seen[rank] = trades_now;
+            }
+            self.was_open[rank] = now_open;
+        }
+        for position in opened {
+            let pair = if position.long.stock > position.short.stock {
+                (position.long.stock, position.short.stock)
+            } else {
+                (position.short.stock, position.long.stock)
+            };
+            for order in self.orders_for_open(&position, s, pair) {
+                out(Message::Order(Arc::new(order)));
+            }
+        }
+        for trade in closed {
+            for order in self.orders_for_close(&trade) {
+                out(Message::Order(Arc::new(order)));
+            }
+        }
     }
 }
 
@@ -338,8 +380,7 @@ mod tests {
 
     #[test]
     fn quiet_market_emits_no_orders() {
-        let mut node =
-            StrategyHostNode::new(3, params(), ExecutionConfig::paper(), false);
+        let mut node = StrategyHostNode::new(3, params(), ExecutionConfig::paper(), false);
         let mut n_orders = 0;
         let mut sink = |m: Message| {
             if matches!(m, Message::Order(_)) {

@@ -230,10 +230,7 @@ mod tests {
         let mut g = Graph::new();
         let _src = g.add_source(Box::new(NullSource));
         let _orphan = g.add_component(Box::new(Passthrough::new("orphan")));
-        assert_eq!(
-            g.validate(),
-            Err(GraphError::Unreachable("orphan".into()))
-        );
+        assert_eq!(g.validate(), Err(GraphError::Unreachable("orphan".into())));
     }
 
     #[test]

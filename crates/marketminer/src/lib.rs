@@ -46,5 +46,7 @@ pub mod runtime;
 pub use graph::{Graph, GraphError, NodeId};
 pub use messages::Message;
 pub use node::{Component, Source};
-pub use pipeline::{run_fig1_pipeline, run_multi_pipeline, Fig1Config, Fig1Output, MultiConfig, MultiOutput};
+pub use pipeline::{
+    run_fig1_pipeline, run_multi_pipeline, Fig1Config, Fig1Output, MultiConfig, MultiOutput,
+};
 pub use runtime::Runtime;

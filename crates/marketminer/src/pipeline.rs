@@ -14,12 +14,12 @@ use pairtrade_core::trade::Trade;
 use taq::dataset::DayData;
 use timeseries::clean::CleanConfig;
 
-use crate::components::{
-    BarAccumulatorNode, CorrelationEngineNode, OrderGatewayNode, ReplayCollector,
-    RiskManagerNode, StrategyHostNode,
-};
 use crate::components::risk::RiskLimits;
 use crate::components::technical::TechnicalAnalysisNode;
+use crate::components::{
+    BarAccumulatorNode, CorrelationEngineNode, OrderGatewayNode, ReplayCollector, RiskManagerNode,
+    StrategyHostNode,
+};
 use crate::graph::{Graph, GraphError};
 use crate::messages::{Basket, Message};
 use crate::runtime::Runtime;

@@ -68,7 +68,8 @@ impl RunOutput {
 
     /// Render the throughput table (diagnostics).
     pub fn render_node_stats(&self) -> String {
-        let mut out = String::from("node                                      msgs in   msgs out\n");
+        let mut out =
+            String::from("node                                      msgs in   msgs out\n");
         for s in &self.node_stats {
             out.push_str(&format!(
                 "{:<40} {:>9} {:>10}\n",
@@ -180,19 +181,22 @@ impl Runtime {
                     }
                     NodeKind::Sink => {
                         let name = entry.name.clone();
-                        sink_handles.push((idx, scope.spawn(move || {
-                            drop(my_outs); // sinks have no outputs
-                            let msgs: Vec<Message> = my_rx.iter().collect();
-                            let _ = stats_tx.send((
-                                idx,
-                                NodeStats {
-                                    name,
-                                    messages_in: msgs.len() as u64,
-                                    messages_out: 0,
-                                },
-                            ));
-                            msgs
-                        })));
+                        sink_handles.push((
+                            idx,
+                            scope.spawn(move || {
+                                drop(my_outs); // sinks have no outputs
+                                let msgs: Vec<Message> = my_rx.iter().collect();
+                                let _ = stats_tx.send((
+                                    idx,
+                                    NodeStats {
+                                        name,
+                                        messages_in: msgs.len() as u64,
+                                        messages_out: 0,
+                                    },
+                                ));
+                                msgs
+                            }),
+                        ));
                     }
                 }
             }

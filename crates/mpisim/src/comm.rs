@@ -327,7 +327,12 @@ mod tests {
                 }
                 // Probe must not have consumed it.
                 let got: Option<(usize, u32)> = comm.try_recv(Source::Rank(1), 4).unwrap();
-                (empty.is_none(), no_probe, probed == Some(1), got == Some((1, 77)))
+                (
+                    empty.is_none(),
+                    no_probe,
+                    probed == Some(1),
+                    got == Some((1, 77)),
+                )
             } else {
                 let () = comm.recv(0, 1).unwrap();
                 comm.send(0, 4, 77u32);

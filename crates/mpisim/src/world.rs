@@ -66,7 +66,10 @@ impl World {
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("rank result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank result"))
+            .collect()
     }
 }
 

@@ -1,0 +1,225 @@
+//! Cache-blocked all-pairs Pearson: standardize, then tiled `Z·Zᵀ`.
+//!
+//! The per-pair formulation of an all-pairs correlation matrix re-derives
+//! each stock's mean and variance `n-1` times and streams both windows
+//! through the FPU with five running sums per pair. This kernel instead
+//! z-scores each stock's window **once** into an `n×m` buffer `Z` scaled so
+//! that `corr(i, j) = z_i · z_j`, then computes the matrix as a symmetric
+//! product `Z·Zᵀ` over cache-sized row-block pairs: a tile keeps two small
+//! groups of standardized rows hot in L1/L2 while every pair inside the
+//! tile reduces to a single fused dot product.
+//!
+//! Parallelism is over row blocks (each owns a contiguous slice of the
+//! packed lower-triangular output), so results are bit-identical at any
+//! thread count — the tiling changes *where* work happens, never the
+//! per-entry arithmetic.
+
+use rayon::prelude::*;
+
+use crate::correlation::clamp_corr;
+use crate::matrix::SymMatrix;
+use crate::pearson::standardize_into;
+
+/// Rows per block. Two blocks of standardized windows (`2 × 32 × M × 8`
+/// bytes ≈ 50 KiB at the paper's M=100) sit comfortably in L2 while the
+/// inner pair loop reuses each row `block` times from L1.
+pub const DEFAULT_BLOCK: usize = 32;
+
+#[inline]
+fn tri(k: usize) -> usize {
+    k * (k + 1) / 2
+}
+
+/// Fused dot product with four independent accumulators (keeps the FPU
+/// pipeline full; the split changes summation order deterministically,
+/// identically on every call).
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let quads = a.len() / 4;
+    let mut acc = [0.0f64; 4];
+    for q in 0..quads {
+        let k = 4 * q;
+        acc[0] += a[k] * b[k];
+        acc[1] += a[k + 1] * b[k + 1];
+        acc[2] += a[k + 2] * b[k + 2];
+        acc[3] += a[k + 3] * b[k + 3];
+    }
+    let mut tail = 0.0;
+    for k in 4 * quads..a.len() {
+        tail += a[k] * b[k];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// All-pairs Pearson matrix of the given windows via the blocked kernel,
+/// with the default tile size.
+///
+/// Degenerate (zero-variance) windows standardize to zero rows, so their
+/// correlations come out 0 — the same convention as the per-pair path.
+///
+/// # Panics
+/// Panics if windows have unequal lengths.
+pub fn corr_matrix_blocked(windows: &[&[f64]], parallel: bool) -> SymMatrix {
+    corr_matrix_blocked_with(windows, DEFAULT_BLOCK, parallel)
+}
+
+/// [`corr_matrix_blocked`] with an explicit row-block size.
+///
+/// # Panics
+/// Panics if `block == 0` or windows have unequal lengths.
+pub fn corr_matrix_blocked_with(windows: &[&[f64]], block: usize, parallel: bool) -> SymMatrix {
+    assert!(block > 0, "block size must be positive");
+    let n = windows.len();
+    let m = windows.first().map(|w| w.len()).unwrap_or(0);
+    assert!(
+        windows.iter().all(|w| w.len() == m),
+        "all stock windows must have equal length"
+    );
+    if n == 0 || m == 0 {
+        return SymMatrix::identity(n);
+    }
+
+    // Phase 1: z-score every row once. After this, correlation is a plain
+    // dot product of rows of `z`.
+    let mut z = vec![0.0f64; n * m];
+    if parallel {
+        z.par_chunks_mut(m).enumerate().for_each(|(i, row)| {
+            standardize_into(windows[i], row);
+        });
+    } else {
+        for (i, row) in z.chunks_mut(m).enumerate() {
+            standardize_into(windows[i], row);
+        }
+    }
+
+    // Phase 2: tiled symmetric product into packed lower-triangular
+    // storage. Row block b owns packed rows [b·block, (b+1)·block), a
+    // contiguous slice, so blocks can fill in parallel without overlap.
+    let mut out = SymMatrix::zeros(n);
+    let n_blocks = n.div_ceil(block);
+    {
+        let mut rest = out.packed_mut();
+        let mut row_chunks: Vec<(usize, &mut [f64])> = Vec::with_capacity(n_blocks);
+        for b in 0..n_blocks {
+            let r0 = b * block;
+            let r1 = (r0 + block).min(n);
+            let take = tri(r1) - tri(r0);
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            row_chunks.push((b, head));
+            rest = tail;
+        }
+        let fill = |(b, chunk): (usize, &mut [f64])| {
+            let r0 = b * block;
+            let r1 = (r0 + block).min(n);
+            let base = tri(r0);
+            for cb in 0..=b {
+                let c0 = cb * block;
+                let c1 = (c0 + block).min(n);
+                for i in r0..r1 {
+                    let zi = &z[i * m..(i + 1) * m];
+                    let row_off = tri(i) - base;
+                    for j in c0..c1.min(i + 1) {
+                        chunk[row_off + j] = if j == i {
+                            1.0
+                        } else {
+                            clamp_corr(dot(zi, &z[j * m..(j + 1) * m]))
+                        };
+                    }
+                }
+            }
+        };
+        if parallel {
+            row_chunks.into_par_iter().for_each(fill);
+        } else {
+            for item in row_chunks {
+                fill(item);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pearson::pearson;
+
+    fn windows(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|k| {
+                        ((k as f64) * 0.83).sin() * 0.4
+                            + (((k * (i + 2) * 17) % 23) as f64 - 11.0) * 0.04
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_direct_pearson() {
+        for (n, m) in [(5, 7), (13, 32), (61, 100)] {
+            let w = windows(n, m);
+            let views: Vec<&[f64]> = w.iter().map(|v| v.as_slice()).collect();
+            let got = corr_matrix_blocked(&views, true);
+            for i in 1..n {
+                for j in 0..i {
+                    let want = pearson(&w[i], &w[j]);
+                    assert!(
+                        (got.get(i, j) - want).abs() < 1e-12,
+                        "n={n} m={m} pair=({i},{j})"
+                    );
+                }
+            }
+            assert!(got.has_unit_diagonal(0.0));
+        }
+    }
+
+    #[test]
+    fn every_block_size_gives_identical_entries() {
+        let w = windows(23, 40);
+        let views: Vec<&[f64]> = w.iter().map(|v| v.as_slice()).collect();
+        let reference = corr_matrix_blocked_with(&views, 1, false);
+        for block in [2, 3, 7, 16, 23, 64] {
+            let got = corr_matrix_blocked_with(&views, block, false);
+            // Tiling only reorders the tile schedule, never the per-entry
+            // arithmetic, so any block size is bit-identical.
+            assert_eq!(got.packed(), reference.packed(), "block={block}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let w = windows(37, 64);
+        let views: Vec<&[f64]> = w.iter().map(|v| v.as_slice()).collect();
+        let par = corr_matrix_blocked(&views, true);
+        let seq = corr_matrix_blocked(&views, false);
+        assert_eq!(par.packed(), seq.packed());
+    }
+
+    #[test]
+    fn degenerate_rows_correlate_to_zero() {
+        let mut w = windows(4, 12);
+        w[2] = vec![3.25; 12]; // zero variance
+        let views: Vec<&[f64]> = w.iter().map(|v| v.as_slice()).collect();
+        let got = corr_matrix_blocked(&views, false);
+        for j in 0..4 {
+            if j != 2 {
+                assert_eq!(got.get(2, j), 0.0);
+            }
+        }
+        assert_eq!(got.get(2, 2), 1.0, "diagonal stays exactly 1");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let none: Vec<&[f64]> = Vec::new();
+        assert_eq!(corr_matrix_blocked(&none, false).n(), 0);
+        let one = [[1.0, 2.0, 3.0]];
+        let views: Vec<&[f64]> = one.iter().map(|v| v.as_slice()).collect();
+        let m = corr_matrix_blocked(&views, false);
+        assert_eq!(m.n(), 1);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+}

@@ -57,10 +57,7 @@ impl CombinedEstimator {
     pub fn correlation_staged(&self, x: &[f64], y: &[f64]) -> (f64, CombinedStage) {
         let q = quadrant(x, y);
         if q.abs() >= self.screen_threshold {
-            (
-                self.maronna.fit(x, y).correlation,
-                CombinedStage::Refined,
-            )
+            (self.maronna.fit(x, y).correlation, CombinedStage::Refined)
         } else {
             (q, CombinedStage::Screened)
         }
@@ -84,7 +81,9 @@ mod tests {
     fn correlated_sample(n: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
         let mut state = seed.max(1);
         let mut unif = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let mut gauss = move || {

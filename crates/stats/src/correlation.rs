@@ -34,7 +34,8 @@ pub enum CorrType {
 
 impl CorrType {
     /// The three treatments evaluated in Tables III–V, in paper order.
-    pub const TREATMENTS: [CorrType; 3] = [CorrType::Maronna, CorrType::Pearson, CorrType::Combined];
+    pub const TREATMENTS: [CorrType; 3] =
+        [CorrType::Maronna, CorrType::Pearson, CorrType::Combined];
 
     /// Instantiate the estimator for this type with default settings.
     pub fn estimator(self) -> Box<dyn CorrelationMeasure> {

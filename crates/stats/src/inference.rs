@@ -30,7 +30,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -77,8 +78,7 @@ fn ln_gamma(x: f64) -> f64 {
     ];
     if x < 0.5 {
         // Reflection formula.
-        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
-            - ln_gamma(1.0 - x);
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
     let mut a = COEFFS[0];
@@ -128,8 +128,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TestResult> {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p = 2.0 * (1.0 - students_t_cdf(t.abs(), df));
     Some(TestResult {
         statistic: t,
@@ -180,8 +179,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<TestResult> {
     let (naf, nbf, nf) = (na as f64, nb as f64, n as f64);
     let u = rank_sum_a - naf * (naf + 1.0) / 2.0;
     let mean_u = naf * nbf / 2.0;
-    let var_u =
-        naf * nbf / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    let var_u = naf * nbf / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
     if var_u <= 0.0 {
         return None;
     }
@@ -266,7 +264,10 @@ mod tests {
         let base = mann_whitney_u(&a, &b).unwrap().p_value;
         b[0] = 1e9;
         let with_outlier = mann_whitney_u(&a, &b).unwrap().p_value;
-        assert!((base.ln() - with_outlier.ln()).abs() < 2.0, "{base} vs {with_outlier}");
+        assert!(
+            (base.ln() - with_outlier.ln()).abs() < 2.0,
+            "{base} vs {with_outlier}"
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@ fn count_inversions(v: &mut [f64], buf: &mut [f64]) -> u64 {
     }
     let mid = n / 2;
     let (left, right) = v.split_at_mut(mid);
-    let mut inv = count_inversions(left, &mut buf[..mid])
-        + count_inversions(right, &mut buf[mid..]);
+    let mut inv =
+        count_inversions(left, &mut buf[..mid]) + count_inversions(right, &mut buf[mid..]);
 
     // Merge, counting right-before-left exchanges.
     let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);

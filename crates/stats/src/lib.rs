@@ -12,8 +12,12 @@
 //!   paper: mean, median, standard deviation, Sharpe ratio, skewness,
 //!   kurtosis, quartiles and full box-plot statistics (Figure 2).
 //! * [`online`] — Welford-style streaming moments and rolling-window moments.
-//! * [`pearson`] — classical product-moment correlation, in batch form and as
-//!   an O(1)-per-step sliding-window engine.
+//! * [`pearson`] — classical product-moment correlation: batch form, an
+//!   O(1)-per-step sliding-window engine, and the shared incremental
+//!   machinery (per-stock window moments + running cross products) behind
+//!   the all-pairs sweeps.
+//! * [`blocked`] — the cache-blocked all-pairs Pearson kernel: z-score every
+//!   window once, then compute the matrix as a tiled `Z·Zᵀ`.
 //! * [`quadrant`] — quadrant (sign) correlation, the cheap robust screen.
 //! * [`maronna`] — the robust bivariate M-estimator of Maronna (1976) as
 //!   parallelised by Chilson, Ng, Wagner and Zamar (2006).
@@ -33,6 +37,7 @@
 //!   "simple inferential statistical tests" Section V defers to future
 //!   work.
 
+pub mod blocked;
 pub mod combined;
 pub mod correlation;
 pub mod descriptive;
@@ -52,6 +57,7 @@ pub mod spearman;
 pub use combined::CombinedEstimator;
 pub use correlation::{CorrType, CorrelationMeasure};
 pub use descriptive::{BoxPlot, Summary};
+pub use kendall::KendallEstimator;
 pub use maronna::MaronnaEstimator;
 pub use matrix::SymMatrix;
 pub use parallel::ParallelCorrEngine;
@@ -59,4 +65,3 @@ pub use pearson::PearsonEstimator;
 pub use quadrant::QuadrantEstimator;
 pub use sliding_matrix::OnlineCorrMatrix;
 pub use spearman::SpearmanEstimator;
-pub use kendall::KendallEstimator;

@@ -236,11 +236,7 @@ pub fn jacobi_eigen(a: &SymMatrix, max_sweeps: usize) -> Eigen {
             vectors[i * n + new_k] = v[i * n + old_k];
         }
     }
-    Eigen {
-        values,
-        vectors,
-        n,
-    }
+    Eigen { values, vectors, n }
 }
 
 #[cfg(test)]

@@ -127,12 +127,7 @@ impl MaronnaEstimator {
     ///
     /// # Panics
     /// Panics if `x.len() != y.len()`.
-    pub fn fit_with_init(
-        &self,
-        x: &[f64],
-        y: &[f64],
-        init: Option<MaronnaSeed>,
-    ) -> MaronnaFit {
+    pub fn fit_with_init(&self, x: &[f64], y: &[f64], init: Option<MaronnaSeed>) -> MaronnaFit {
         assert_eq!(x.len(), y.len(), "maronna: length mismatch");
         let n = x.len();
         let degenerate = |mx: f64, my: f64| MaronnaFit {
@@ -218,8 +213,8 @@ impl MaronnaEstimator {
             t22 /= nf;
 
             // Relative Frobenius change of S.
-            let num = ((t11 - s11).powi(2) + 2.0 * (t12 - s12).powi(2) + (t22 - s22).powi(2))
-                .sqrt();
+            let num =
+                ((t11 - s11).powi(2) + 2.0 * (t12 - s12).powi(2) + (t22 - s22).powi(2)).sqrt();
             let den = (s11 * s11 + 2.0 * s12 * s12 + s22 * s22).sqrt().max(1e-300);
             mx = new_mx;
             my = new_my;
@@ -267,7 +262,9 @@ mod tests {
     fn correlated_sample(n: usize, rho: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
         let mut state = seed.max(1);
         let mut unif = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let mut gauss = move || {

@@ -275,7 +275,9 @@ mod tests {
             r.push(1e6 + (i % 7) as f64);
         }
         // Window now holds values 1e6 + (i % 7) for the last 100 i's.
-        let tail: Vec<f64> = (199_900..200_000u64).map(|i| 1e6 + (i % 7) as f64).collect();
+        let tail: Vec<f64> = (199_900..200_000u64)
+            .map(|i| 1e6 + (i % 7) as f64)
+            .collect();
         let mean = tail.iter().sum::<f64>() / 100.0;
         let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 100.0;
         assert!((r.mean() - mean).abs() < 1e-6);

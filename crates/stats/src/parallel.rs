@@ -51,15 +51,13 @@ pub fn pair_series(ctype: CorrType, x: &[f64], y: &[f64], m: usize, out: &mut [f
     assert_eq!(out.len(), x.len() - m + 1, "output length mismatch");
     match ctype {
         CorrType::Pearson => {
-            let mut sl = crate::pearson::SlidingPearson::new(m);
-            for k in 0..m - 1 {
-                sl.push(x[k], y[k]);
-            }
-            for (step, o) in out.iter_mut().enumerate() {
-                let k = m - 1 + step;
-                sl.push(x[k], y[k]);
-                *o = sl.correlation();
-            }
+            // Shared incremental arithmetic: per-stock window moments plus
+            // a running cross product. `cube` uses the same kernel with
+            // the moments computed once per stock, so the two paths are
+            // bit-identical.
+            let mx = crate::pearson::WindowMoments::new(x, m);
+            let my = crate::pearson::WindowMoments::new(y, m);
+            crate::pearson::cross_series(x, y, m, &mx, &my, out);
         }
         CorrType::Quadrant => {
             for (step, o) in out.iter_mut().enumerate() {
@@ -80,8 +78,7 @@ pub fn pair_series(ctype: CorrType, x: &[f64], y: &[f64], m: usize, out: &mut [f
             let est = MaronnaEstimator::default();
             let mut warm = None;
             for (step, o) in out.iter_mut().enumerate() {
-                let fit =
-                    est.fit_with_init(&x[step..step + m], &y[step..step + m], warm);
+                let fit = est.fit_with_init(&x[step..step + m], &y[step..step + m], warm);
                 warm = fit.converged.then_some((fit.location, fit.scatter));
                 *o = fit.correlation;
             }
@@ -225,7 +222,20 @@ impl ParallelCorrEngine {
         self.matrix_impl(windows, false)
     }
 
-    fn matrix_impl(&self, windows: &[&[f64]], parallel: bool) -> SymMatrix {
+    /// The per-pair enumeration baseline: every pair is an independent
+    /// batch estimate over its two windows. This is the path robust
+    /// measures always take; for Pearson it exists as the reference the
+    /// blocked kernel is equivalence-tested (and benchmarked) against.
+    pub fn matrix_per_pair(&self, windows: &[&[f64]]) -> SymMatrix {
+        self.matrix_per_pair_impl(windows, true)
+    }
+
+    /// Sequential [`Self::matrix_per_pair`].
+    pub fn matrix_per_pair_seq(&self, windows: &[&[f64]]) -> SymMatrix {
+        self.matrix_per_pair_impl(windows, false)
+    }
+
+    fn matrix_per_pair_impl(&self, windows: &[&[f64]], parallel: bool) -> SymMatrix {
         let n = windows.len();
         if n > 1 {
             let len0 = windows[0].len();
@@ -256,6 +266,28 @@ impl ParallelCorrEngine {
         m
     }
 
+    fn matrix_impl(&self, windows: &[&[f64]], parallel: bool) -> SymMatrix {
+        let n = windows.len();
+        if n > 1 {
+            let len0 = windows[0].len();
+            assert!(
+                windows.iter().all(|w| w.len() == len0),
+                "all stock windows must have equal length"
+            );
+        }
+        if self.ctype == CorrType::Pearson {
+            // Pearson factors through standardization, so the whole matrix
+            // is one tiled Z·Zᵀ (see crate::blocked). Robust measures have
+            // no such factorization and keep the per-pair enumeration.
+            let mut m = crate::blocked::corr_matrix_blocked(windows, parallel);
+            if self.repair_psd {
+                psd::repair_correlation(&mut m, psd::RepairConfig::default());
+            }
+            return m;
+        }
+        self.matrix_per_pair_impl(windows, parallel)
+    }
+
     /// Compute a full day's correlation cube: for every pair and every
     /// interval `s >= m - 1`, the correlation of the trailing `m` returns.
     ///
@@ -284,12 +316,48 @@ impl ParallelCorrEngine {
         let mut data = vec![0.0; n_pairs * steps];
         let ctype = self.ctype;
 
-        data.par_chunks_mut(steps)
-            .enumerate()
-            .for_each(|(rank, out)| {
-                let (i, j) = SymMatrix::pair_from_rank(rank);
-                pair_series(ctype, &series[i], &series[j], m, out);
-            });
+        if ctype == CorrType::Pearson {
+            // Incremental all-pairs sweep: the per-stock half of the
+            // five-sums state (Σx, Σx², and the derived inverse-sqrt
+            // variance) is computed ONCE per stock here and shared across
+            // its n-1 pairs; each pair then only slides its running cross
+            // product Σxy — one subtract for the leaving observation, one
+            // add for the entering one, per step. Same arithmetic as
+            // `pair_series`'s Pearson arm, so Approaches 2 and 3 stay
+            // bit-identical.
+            let moments: Vec<crate::pearson::WindowMoments> = if series.len() >= 8 {
+                let mut slots: Vec<Option<crate::pearson::WindowMoments>> = vec![None; n];
+                slots.par_iter_mut().enumerate().for_each(|(i, slot)| {
+                    *slot = Some(crate::pearson::WindowMoments::new(&series[i], m));
+                });
+                slots.into_iter().map(|s| s.expect("filled")).collect()
+            } else {
+                series
+                    .iter()
+                    .map(|s| crate::pearson::WindowMoments::new(s, m))
+                    .collect()
+            };
+            data.par_chunks_mut(steps)
+                .enumerate()
+                .for_each(|(rank, out)| {
+                    let (i, j) = SymMatrix::pair_from_rank(rank);
+                    crate::pearson::cross_series(
+                        &series[i],
+                        &series[j],
+                        m,
+                        &moments[i],
+                        &moments[j],
+                        out,
+                    );
+                });
+        } else {
+            data.par_chunks_mut(steps)
+                .enumerate()
+                .for_each(|(rank, out)| {
+                    let (i, j) = SymMatrix::pair_from_rank(rank);
+                    pair_series(ctype, &series[i], &series[j], m, out);
+                });
+        }
 
         Some(CorrCube {
             n,

@@ -7,6 +7,11 @@
 
 use crate::correlation::{clamp_corr, CorrelationMeasure};
 
+/// How many sliding updates the incremental kernels absorb before
+/// re-deriving their running sums from the retained window, bounding
+/// cancellation drift over unboundedly long streams.
+pub(crate) const REFRESH_EVERY: usize = 65_536;
+
 /// Stateless batch Pearson estimator.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PearsonEstimator;
@@ -47,6 +52,173 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
         return 0.0;
     }
     clamp_corr(sxy / (sxx * syy).sqrt())
+}
+
+/// Standardize a window into `out` so that the plain dot product of two
+/// standardized windows *is* their Pearson correlation:
+/// `out[k] = (x[k] - mean) / sqrt(Σ (x - mean)²)`.
+///
+/// This is the preprocessing step of the blocked all-pairs kernel
+/// (`crate::blocked`): z-scoring each stock once turns the `n(n-1)/2`
+/// correlations into one symmetric matrix product `Z·Zᵀ`.
+///
+/// Degenerate windows (length < 2 or zero variance) are zero-filled and
+/// reported by returning `false`, so their dot product with anything is 0 —
+/// the same convention as [`pearson`].
+///
+/// # Panics
+/// Panics if `out.len() != x.len()`.
+pub fn standardize_into(x: &[f64], out: &mut [f64]) -> bool {
+    assert_eq!(x.len(), out.len(), "standardize: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        out.fill(0.0);
+        return false;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let mut sxx = 0.0;
+    for &v in x {
+        let d = v - mean;
+        sxx += d * d;
+    }
+    if sxx <= 0.0 {
+        out.fill(0.0);
+        return false;
+    }
+    let inv = 1.0 / sxx.sqrt();
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = (v - mean) * inv;
+    }
+    true
+}
+
+/// Per-stock sliding-window first and second moments over a full series:
+/// for every step `k` (window `x[k..k+m]`), the windowed sum and the
+/// inverse square root of the windowed sum of squared deviations.
+///
+/// These are the stock-indexed half of the incremental all-pairs sweep:
+/// a correlation needs `(Σx, Σy, Σx², Σy², Σxy)`, and only the cross term
+/// `Σxy` is pair-specific. Computing the four per-stock terms once turns
+/// the per-pair cost of a sliding step into two multiply-adds
+/// ([`cross_series`]), which is what lets [`crate::parallel`] build a
+/// day's cube in O(n·S + n²·S) instead of O(n²·S) *with a ~5× larger
+/// constant* plus per-pair window bookkeeping.
+#[derive(Debug, Clone)]
+pub struct WindowMoments {
+    /// Windowed sum `Σ x` at each step.
+    sx: Vec<f64>,
+    /// `1 / sqrt(Σx² - (Σx)²/m)` at each step, or 0 for a degenerate
+    /// (zero-variance) window — the same "correlation is 0" convention as
+    /// [`pearson`].
+    isv: Vec<f64>,
+}
+
+impl WindowMoments {
+    /// Sliding moments of every length-`m` window of `x`.
+    ///
+    /// # Panics
+    /// Panics if `m < 2` or `x.len() < m`.
+    pub fn new(x: &[f64], m: usize) -> Self {
+        assert!(m >= 2 && x.len() >= m, "window larger than series");
+        let steps = x.len() - m + 1;
+        let inv_m = 1.0 / m as f64;
+        let mut sx = Vec::with_capacity(steps);
+        let mut isv = Vec::with_capacity(steps);
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        let mut since_refresh = 0usize;
+        for k in 0..x.len() {
+            if k >= m {
+                let old = x[k - m];
+                sum -= old;
+                sumsq -= old * old;
+            }
+            let v = x[k];
+            sum += v;
+            sumsq += v * v;
+            since_refresh += 1;
+            if since_refresh >= REFRESH_EVERY {
+                since_refresh = 0;
+                sum = 0.0;
+                sumsq = 0.0;
+                for &w in &x[k + 1 - m..=k] {
+                    sum += w;
+                    sumsq += w * w;
+                }
+            }
+            if k + 1 >= m {
+                let var = sumsq - sum * sum * inv_m;
+                sx.push(sum);
+                isv.push(if var > 0.0 { 1.0 / var.sqrt() } else { 0.0 });
+            }
+        }
+        WindowMoments { sx, isv }
+    }
+
+    /// Number of steps (full windows) covered.
+    pub fn steps(&self) -> usize {
+        self.sx.len()
+    }
+
+    /// Windowed sum at a step.
+    #[inline]
+    pub fn sum(&self, step: usize) -> f64 {
+        self.sx[step]
+    }
+
+    /// Inverse-sqrt windowed variance mass at a step (0 when degenerate).
+    #[inline]
+    pub fn inv_sqrt_var(&self, step: usize) -> f64 {
+        self.isv[step]
+    }
+}
+
+/// One pair's full sliding correlation series from precomputed per-stock
+/// moments: maintains the running cross-product `Σ x·y` with one
+/// subtract (leaving observation) and one add (entering observation) per
+/// step, and combines it with the shared moments.
+///
+/// This is THE Pearson arithmetic for batch sweeps: both
+/// [`crate::parallel::pair_series`] (Approach 2, one pair at a time) and
+/// [`crate::parallel::ParallelCorrEngine::cube`] (Approach 3, shared
+/// moments) call it, so the two produce bit-identical series.
+///
+/// # Panics
+/// Panics if lengths mismatch or the moments don't match `out.len()`.
+pub fn cross_series(
+    x: &[f64],
+    y: &[f64],
+    m: usize,
+    mx: &WindowMoments,
+    my: &WindowMoments,
+    out: &mut [f64],
+) {
+    assert_eq!(x.len(), y.len(), "pair series length mismatch");
+    assert!(m >= 2 && x.len() >= m, "window larger than series");
+    assert_eq!(out.len(), x.len() - m + 1, "output length mismatch");
+    assert_eq!(mx.steps(), out.len(), "x moments mismatch");
+    assert_eq!(my.steps(), out.len(), "y moments mismatch");
+    let inv_m = 1.0 / m as f64;
+    let mut c = 0.0;
+    let mut since_refresh = 0usize;
+    for k in 0..x.len() {
+        if k >= m {
+            c -= x[k - m] * y[k - m];
+        }
+        c += x[k] * y[k];
+        since_refresh += 1;
+        if since_refresh >= REFRESH_EVERY {
+            since_refresh = 0;
+            c = 0.0;
+            for (xv, yv) in x[k + 1 - m..=k].iter().zip(&y[k + 1 - m..=k]) {
+                c += xv * yv;
+            }
+        }
+        if k + 1 >= m {
+            let step = k + 1 - m;
+            let cov = c - mx.sx[step] * my.sx[step] * inv_m;
+            out[step] = clamp_corr(cov * mx.isv[step] * my.isv[step]);
+        }
+    }
 }
 
 impl CorrelationMeasure for PearsonEstimator {
@@ -144,7 +316,7 @@ impl SlidingPearson {
         self.sum_xy += x * y;
 
         self.pushes_since_refresh += 1;
-        if self.pushes_since_refresh >= 65_536 {
+        if self.pushes_since_refresh >= REFRESH_EVERY {
             self.refresh();
         }
     }

@@ -25,8 +25,7 @@ fn median_select(values: &mut [f64]) -> f64 {
     let n = values.len();
     debug_assert!(n > 0);
     let mid = n / 2;
-    let (_, &mut hi, _) =
-        values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+    let (_, &mut hi, _) = values.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
     if n % 2 == 1 {
         hi
     } else {

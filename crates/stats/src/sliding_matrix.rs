@@ -2,10 +2,20 @@
 //!
 //! The paper's enabling feature is producing "large correlation matrices
 //! in an online fashion". For Pearson this can be done *incrementally*:
-//! each pair keeps its five running sums, so pushing one new return vector
-//! (one value per stock) costs O(n²) constant-time updates instead of the
-//! O(n² · M) of re-estimating every window — the difference between a
-//! per-tick and a per-minute refresh cadence at market scale.
+//! the engine keeps one shared `m × n` ring of the last `m` return
+//! vectors, per-stock running sums `Σx` and `Σx²`, and a packed
+//! strict-lower-triangular matrix of running cross products `Σ x_i x_j`.
+//! Pushing one interval's return vector is a rank-1 subtract of the
+//! leaving vector and a rank-1 add of the entering vector against that
+//! cross-product matrix — 2 multiply-adds per pair — and a snapshot costs
+//! O(n²) arithmetic with **no** dependence on the window length `m`.
+//!
+//! Compare the previous formulation (one `SlidingPearson` per pair):
+//! that duplicated both stocks' windows into every pair — O(n²·m) memory
+//! — and pushed five sums plus ring bookkeeping per pair per step. The
+//! shared-state layout stores each window once (O(n·m) + O(n²)) and does
+//! the minimum per-pair work, which is what lets a snapshot cadence of
+//! "every interval" survive market scale.
 //!
 //! (Maronna has no exact O(1) update — its weights depend on the whole
 //! window — which is precisely why the Combined measure screens before
@@ -13,8 +23,12 @@
 
 use rayon::prelude::*;
 
+use crate::correlation::clamp_corr;
 use crate::matrix::SymMatrix;
-use crate::pearson::SlidingPearson;
+
+/// Below this pair count the rank-1 update runs serially: fanning a few
+/// thousand multiply-adds across threads costs more than the flops.
+const PAR_PAIR_THRESHOLD: usize = 16_384;
 
 /// Incrementally-maintained all-pairs Pearson matrix over trailing
 /// windows of `m` returns.
@@ -22,8 +36,24 @@ use crate::pearson::SlidingPearson;
 pub struct OnlineCorrMatrix {
     n: usize,
     m: usize,
-    pairs: Vec<SlidingPearson>,
+    /// Ring of the last `m` return vectors, time-major: slot `t` holds one
+    /// full cross-section at `ring[t*n .. (t+1)*n]`.
+    ring: Vec<f64>,
+    /// Slot that the next push overwrites (the oldest when full).
+    head: usize,
+    /// Number of vectors currently held (≤ m).
+    len: usize,
+    /// Per-stock running `Σx` over the window.
+    sum: Vec<f64>,
+    /// Per-stock running `Σx²` over the window.
+    sumsq: Vec<f64>,
+    /// Per-pair running `Σ x_i x_j`, packed strict lower triangle in
+    /// canonical rank order.
+    cross: Vec<f64>,
+    /// Scratch copy of the evicted vector during a push.
+    evicted: Vec<f64>,
     pushed: usize,
+    pushes_since_refresh: usize,
 }
 
 impl OnlineCorrMatrix {
@@ -37,8 +67,15 @@ impl OnlineCorrMatrix {
         OnlineCorrMatrix {
             n,
             m,
-            pairs: (0..n * (n - 1) / 2).map(|_| SlidingPearson::new(m)).collect(),
+            ring: vec![0.0; n * m],
+            head: 0,
+            len: 0,
+            sum: vec![0.0; n],
+            sumsq: vec![0.0; n],
+            cross: vec![0.0; n * (n - 1) / 2],
+            evicted: vec![0.0; n],
             pushed: 0,
+            pushes_since_refresh: 0,
         }
     }
 
@@ -62,37 +99,145 @@ impl OnlineCorrMatrix {
         self.pushed >= self.m
     }
 
-    /// Push one interval's return vector (one value per stock); O(1) per
-    /// pair, parallel over pairs.
+    /// Push one interval's return vector (one value per stock): rank-1
+    /// subtract of the leaving vector, rank-1 add of the entering one.
     ///
     /// # Panics
     /// Panics if `returns.len() != n`.
     pub fn push(&mut self, returns: &[f64]) {
         assert_eq!(returns.len(), self.n, "return vector length mismatch");
-        self.pushed += 1;
-        self.pairs.par_iter_mut().enumerate().for_each(|(rank, sl)| {
-            let (i, j) = SymMatrix::pair_from_rank(rank);
-            sl.push(returns[i], returns[j]);
-        });
-    }
-
-    /// Correlation of one pair right now.
-    pub fn correlation(&self, i: usize, j: usize) -> f64 {
-        self.pairs[SymMatrix::pair_rank(i, j)].correlation()
-    }
-
-    /// Materialise the current matrix (unit diagonal).
-    pub fn matrix(&self) -> SymMatrix {
-        let mut m = SymMatrix::identity(self.n);
-        for (rank, sl) in self.pairs.iter().enumerate() {
-            let (i, j) = SymMatrix::pair_from_rank(rank);
-            m.set(i, j, sl.correlation());
+        let n = self.n;
+        let full = self.len == self.m;
+        if full {
+            self.evicted
+                .copy_from_slice(&self.ring[self.head * n..(self.head + 1) * n]);
+            for (i, &old) in self.evicted.iter().enumerate() {
+                self.sum[i] -= old;
+                self.sumsq[i] -= old * old;
+            }
+        } else {
+            self.len += 1;
         }
-        m
+        for (i, &v) in returns.iter().enumerate() {
+            self.sum[i] += v;
+            self.sumsq[i] += v * v;
+        }
+        // The rank-1 cross-product update, parallel over pair chunks only
+        // when the matrix is big enough for the fan-out to pay off.
+        let old = full.then_some(self.evicted.as_slice());
+        if self.cross.len() >= PAR_PAIR_THRESHOLD {
+            let chunk = self.cross.len().div_ceil(64).max(1);
+            self.cross
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(c, slab)| {
+                    let (mut i, mut j) = SymMatrix::pair_from_rank(c * chunk);
+                    for v in slab.iter_mut() {
+                        if let Some(old) = old {
+                            *v -= old[i] * old[j];
+                        }
+                        *v += returns[i] * returns[j];
+                        j += 1;
+                        if j == i {
+                            i += 1;
+                            j = 0;
+                        }
+                    }
+                });
+        } else {
+            let mut rank = 0;
+            for i in 1..n {
+                for j in 0..i {
+                    if let Some(old) = old {
+                        self.cross[rank] -= old[i] * old[j];
+                    }
+                    self.cross[rank] += returns[i] * returns[j];
+                    rank += 1;
+                }
+            }
+        }
+        self.ring[self.head * n..(self.head + 1) * n].copy_from_slice(returns);
+        self.head = (self.head + 1) % self.m;
+        self.pushed += 1;
+        self.pushes_since_refresh += 1;
+        if self.pushes_since_refresh >= crate::pearson::REFRESH_EVERY {
+            self.refresh();
+        }
+    }
+
+    /// Re-derive all running sums from the retained window, bounding
+    /// cancellation drift on unboundedly long streams.
+    fn refresh(&mut self) {
+        self.pushes_since_refresh = 0;
+        self.sum.fill(0.0);
+        self.sumsq.fill(0.0);
+        self.cross.fill(0.0);
+        let n = self.n;
+        let start = (self.head + self.m - self.len) % self.m;
+        for k in 0..self.len {
+            let slot = (start + k) % self.m;
+            let vec = &self.ring[slot * n..(slot + 1) * n];
+            for (i, &v) in vec.iter().enumerate() {
+                self.sum[i] += v;
+                self.sumsq[i] += v * v;
+            }
+            let mut rank = 0;
+            for i in 1..n {
+                for j in 0..i {
+                    self.cross[rank] += vec[i] * vec[j];
+                    rank += 1;
+                }
+            }
+        }
+    }
+
+    /// Inverse-sqrt variance mass of one stock (0 when degenerate),
+    /// mirroring `crate::pearson::WindowMoments`.
+    #[inline]
+    fn inv_sqrt_var(&self, i: usize, inv_len: f64) -> f64 {
+        let var = self.sumsq[i] - self.sum[i] * self.sum[i] * inv_len;
+        if var > 0.0 {
+            1.0 / var.sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Correlation of one pair right now (0 until at least 2 vectors, or
+    /// on zero variance).
+    pub fn correlation(&self, i: usize, j: usize) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        let inv_len = 1.0 / self.len as f64;
+        let c = self.cross[SymMatrix::pair_rank(i, j)];
+        let cov = c - self.sum[i.max(j)] * self.sum[i.min(j)] * inv_len;
+        clamp_corr(cov * self.inv_sqrt_var(i, inv_len) * self.inv_sqrt_var(j, inv_len))
+    }
+
+    /// Materialise the current matrix (unit diagonal): O(n²), independent
+    /// of the window length.
+    pub fn matrix(&self) -> SymMatrix {
+        let mut out = SymMatrix::identity(self.n);
+        if self.len < 2 {
+            return out;
+        }
+        let inv_len = 1.0 / self.len as f64;
+        let isv: Vec<f64> = (0..self.n).map(|i| self.inv_sqrt_var(i, inv_len)).collect();
+        let mut rank = 0;
+        for i in 1..self.n {
+            for j in 0..i {
+                let cov = self.cross[rank] - self.sum[i] * self.sum[j] * inv_len;
+                out.set(i, j, clamp_corr(cov * isv[i] * isv[j]));
+                rank += 1;
+            }
+        }
+        out
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-driven loops mirror the math
 mod tests {
     use super::*;
     use crate::correlation::CorrType;
@@ -116,16 +261,44 @@ mod tests {
             }
             online.push(&vec);
             if online.is_warm() {
-                let windows: Vec<&[f64]> = history
-                    .iter()
-                    .map(|h| &h[h.len() - m..])
-                    .collect();
+                let windows: Vec<&[f64]> = history.iter().map(|h| &h[h.len() - m..]).collect();
                 let batch = engine.matrix(&windows);
                 let mine = online.matrix();
                 assert!(
                     batch.frobenius_distance(&mine) < 1e-9,
                     "diverged at t = {t}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_cube_column_bit_for_bit() {
+        // The streaming engine and the batch cube share their update
+        // arithmetic (evict-then-add sums, shared inverse-sqrt variance),
+        // so a warm snapshot must equal the cube's column exactly — this
+        // is what keeps the Figure-1 pipeline and the batch backtester
+        // trade-for-trade identical.
+        let n = 6;
+        let m = 10;
+        let total = 35;
+        let series: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..total).map(|t| ret(i, t)).collect())
+            .collect();
+        let cube = ParallelCorrEngine::new(CorrType::Pearson)
+            .cube(&series, m)
+            .unwrap();
+        let mut online = OnlineCorrMatrix::new(n, m);
+        for t in 0..total {
+            let vec: Vec<f64> = (0..n).map(|i| series[i][t]).collect();
+            online.push(&vec);
+            if t >= m - 1 {
+                let snap = online.matrix();
+                for i in 1..n {
+                    for j in 0..i {
+                        assert_eq!(snap.get(i, j), cube.at(t, i, j), "t={t} pair=({i},{j})");
+                    }
+                }
             }
         }
     }
@@ -152,6 +325,30 @@ mod tests {
         assert!(m.has_unit_diagonal(0.0));
         assert!(m.entries_in_range(1e-12));
         assert_eq!(online.correlation(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn long_stream_refresh_does_not_drift() {
+        // Push past the refresh threshold; the snapshot must still match
+        // a batch recompute of the trailing window.
+        let n = 3;
+        let m = 6;
+        let mut online = OnlineCorrMatrix::new(n, m);
+        let mut history: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let total = crate::pearson::REFRESH_EVERY + 50;
+        for t in 0..total {
+            let vec: Vec<f64> = (0..n).map(|i| 1e2 + ret(i, t % 9973) * 0.01).collect();
+            for (i, h) in history.iter_mut().enumerate() {
+                h.push(vec[i]);
+            }
+            online.push(&vec);
+        }
+        let windows: Vec<&[f64]> = history.iter().map(|h| &h[h.len() - m..]).collect();
+        let batch = ParallelCorrEngine::new(CorrType::Pearson).matrix(&windows);
+        assert!(
+            batch.frobenius_distance(&online.matrix()) < 1e-6,
+            "drifted after {total} pushes"
+        );
     }
 
     #[test]

@@ -106,6 +106,10 @@ mod tests {
         assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
         let flat = vec![7.0; 10];
         let ramp: Vec<f64> = (0..10).map(|k| k as f64).collect();
-        assert_eq!(spearman(&flat, &ramp), 0.0, "all-tied ranks have no variance");
+        assert_eq!(
+            spearman(&flat, &ramp),
+            0.0,
+            "all-tied ranks have no variance"
+        );
     }
 }

@@ -150,7 +150,8 @@ mod tests {
     fn dataset_accounting() {
         let mut ds = TickDataset::new(SymbolTable::synthetic(4));
         assert_eq!(ds.n_pairs(), 6);
-        ds.days.push(DayData::new(0, vec![q(1, 0), q(2, 1)], 4, vec![]));
+        ds.days
+            .push(DayData::new(0, vec![q(1, 0), q(2, 1)], 4, vec![]));
         ds.days.push(DayData::new(1, vec![q(3, 2)], 4, vec![]));
         assert_eq!(ds.n_days(), 2);
         assert_eq!(ds.total_quotes(), 3);

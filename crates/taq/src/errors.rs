@@ -189,9 +189,8 @@ impl ErrorInjector {
             let mut q = quote;
             let sign = if rng.flip(0.5) { 1.0 } else { -1.0 };
             let frac = sign * c.jitter_magnitude * (0.25 + 0.75 * rng.uniform());
-            let shift = |cents: u32| -> u32 {
-                ((cents as f64 * (1.0 + frac)).round() as u32).max(1)
-            };
+            let shift =
+                |cents: u32| -> u32 { ((cents as f64 * (1.0 + frac)).round() as u32).max(1) };
             q.bid_cents = shift(q.bid_cents);
             q.ask_cents = shift(q.ask_cents).max(q.bid_cents + 1);
             return (q, Some(ErrorKind::Jitter));

@@ -199,8 +199,7 @@ impl MarketGenerator {
             while t < SECONDS_PER_SESSION as f64 {
                 let sec = t as u32;
                 let mid = latent.mid(stock, sec);
-                let jitter =
-                    1.0 + self.config.micro.spread_jitter * (2.0 * rng.uniform() - 1.0);
+                let jitter = 1.0 + self.config.micro.spread_jitter * (2.0 * rng.uniform() - 1.0);
                 let hs = (mid * self.config.micro.half_spread_bps * 1e-4 * jitter).max(0.005);
                 let bid_cents = (((mid - hs) * 100.0).round() as u32).max(1);
                 let ask_cents = (((mid + hs) * 100.0).round() as u32).max(bid_cents + 1);

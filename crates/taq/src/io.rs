@@ -202,10 +202,7 @@ pub fn read_binary_file(
 /// line, interning order) plus `day_NNN.taq` binary files. This is the
 /// on-disk layout the File Collector (Figure 1's "Custom TAQ Files"
 /// adapter) replays from.
-pub fn save_dataset(
-    ds: &crate::dataset::TickDataset,
-    dir: &std::path::Path,
-) -> io::Result<()> {
+pub fn save_dataset(ds: &crate::dataset::TickDataset, dir: &std::path::Path) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("symbols.txt"), ds.symbols.names().join("\n"))?;
     for day in &ds.days {

@@ -415,7 +415,10 @@ mod tests {
         assert_eq!(e.displacement_at(100), 0.0);
         assert!((e.displacement_at(125) - 0.005).abs() < 1e-12, "mid-ramp");
         assert!((e.displacement_at(150) - 0.01).abs() < 1e-12, "peak");
-        assert!((e.displacement_at(250) - 0.005).abs() < 1e-9, "one half-life");
+        assert!(
+            (e.displacement_at(250) - 0.005).abs() < 1e-9,
+            "one half-life"
+        );
         assert!(e.displacement_at(2000) < 1e-5, "decayed away");
     }
 
@@ -495,7 +498,10 @@ mod tests {
         let stressed = model.simulate_day_with(&mut rng, Some(StressParams::default()));
 
         let rets = |day: &LatentDay, stock: usize| -> Vec<f64> {
-            day.series(stock).windows(2).map(|w| (w[1] / w[0]).ln()).collect()
+            day.series(stock)
+                .windows(2)
+                .map(|w| (w[1] / w[0]).ln())
+                .collect()
         };
         let vol_of = |r: &[f64]| -> f64 {
             let m = r.iter().sum::<f64>() / r.len() as f64;

@@ -1,20 +1,59 @@
 //! Deterministic random sampling primitives.
 //!
-//! The offline dependency set does not include `rand_distr`, so the normal
-//! and exponential variates the market model needs are implemented here:
-//! Box–Muller for the Gaussian and inverse-CDF for the exponential.
-//! Everything is seeded, so a whole month of market data is a pure function
-//! of `(config, seed)` — the reproducibility guarantee the backtester's
-//! determinism tests rely on.
+//! The offline dependency set includes no `rand` family crates at all, so
+//! both the generator (xoshiro256++ seeded via SplitMix64) and the variate
+//! samplers the market model needs are implemented here: Box–Muller for the
+//! Gaussian and inverse-CDF for the exponential. Everything is seeded, so a
+//! whole month of market data is a pure function of `(config, seed)` — the
+//! reproducibility guarantee the backtester's determinism tests rely on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// xoshiro256++ — the same generator family the real `rand::StdRng` family
+/// draws on: 256 bits of state, fast, and statistically strong enough for
+/// market simulation (this is test data, not cryptography).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Expand a 64-bit seed into full state with SplitMix64 (the canonical
+    /// seeding recipe, which guarantees a non-zero state).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
 
 /// Seeded random source with the distribution helpers the market model
 /// needs.
 #[derive(Debug, Clone)]
 pub struct MarketRng {
-    rng: StdRng,
+    rng: Xoshiro256,
     /// Box–Muller produces pairs; the spare is cached.
     spare_gauss: Option<f64>,
 }
@@ -23,7 +62,7 @@ impl MarketRng {
     /// Create from a seed.
     pub fn seed_from(seed: u64) -> Self {
         MarketRng {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
             spare_gauss: None,
         }
     }
@@ -37,21 +76,26 @@ impl MarketRng {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         MarketRng {
-            rng: StdRng::seed_from_u64(z),
+            rng: Xoshiro256::seed_from_u64(z),
             spare_gauss: None,
         }
     }
 
-    /// Uniform in [0, 1).
+    /// Uniform in [0, 1): the top 53 bits scaled by 2⁻⁵³.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.rng.random::<f64>()
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in [lo, hi] inclusive.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
     #[inline]
     pub fn uniform_int(&mut self, lo: u32, hi: u32) -> u32 {
-        self.rng.random_range(lo..=hi)
+        assert!(lo <= hi, "uniform_int: lo > hi");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.rng.next_u64() % span) as u32
     }
 
     /// Standard normal via Box–Muller (with spare caching).

@@ -109,18 +109,14 @@ impl SymbolTable {
 pub const LIQUID_61: [&str; 61] = [
     // Technology
     "MSFT", "IBM", "NVDA", "ORCL", "INTC", "AMD", "CSCO", "HPQ", "DELL", "AAPL", "GOOG", "EBAY",
-    "YHOO", "TXN", "MU",
-    // Energy
-    "XOM", "CVX", "SLB", "COP", "HAL", "OXY", "DVN", "APA", "VLO",
-    // Financials
+    "YHOO", "TXN", "MU", // Energy
+    "XOM", "CVX", "SLB", "COP", "HAL", "OXY", "DVN", "APA", "VLO", // Financials
     "BK", "C", "BAC", "JPM", "WFC", "GS", "MS", "MER", "AXP", "USB",
     // Consumer / retail
     "WMT", "TGT", "HD", "LOW", "COST", "MCD", "SBUX", "KO", "PEP", "PG",
     // Transport / industrial
-    "UPS", "FDX", "GE", "BA", "CAT", "DE", "HON", "UTX",
-    // Media / telecom
-    "TWX", "DIS", "CMCSA", "T", "VZ", "S",
-    // Healthcare
+    "UPS", "FDX", "GE", "BA", "CAT", "DE", "HON", "UTX", // Media / telecom
+    "TWX", "DIS", "CMCSA", "T", "VZ", "S", // Healthcare
     "PFE", "MRK", "JNJ",
 ];
 
@@ -143,7 +139,10 @@ mod tests {
     #[test]
     fn paper_tickers_present() {
         let t = SymbolTable::liquid_us_roster();
-        for name in ["NVDA", "ORCL", "SLB", "TWX", "BK", "MSFT", "IBM", "XOM", "CVX", "UPS", "FDX", "WMT", "TGT"] {
+        for name in [
+            "NVDA", "ORCL", "SLB", "TWX", "BK", "MSFT", "IBM", "XOM", "CVX", "UPS", "FDX", "WMT",
+            "TGT",
+        ] {
             assert!(t.get(name).is_some(), "missing {name}");
         }
     }

@@ -181,7 +181,11 @@ mod tests {
         // Two quotes in interval 0 (Δs = 30): the later one wins.
         let day = DayData::new(
             0,
-            vec![q(3, 0, 4000, 4002), q(20, 0, 4100, 4102), q(40, 0, 4200, 4202)],
+            vec![
+                q(3, 0, 4000, 4002),
+                q(20, 0, 4100, 4102),
+                q(40, 0, 4200, 4202),
+            ],
             1,
             vec![],
         );
@@ -224,9 +228,7 @@ mod tests {
     #[test]
     fn dirty_quotes_are_excluded_from_grid() {
         // A calm tape plus one fat-finger; the grid must never show $4.
-        let mut quotes: Vec<Quote> = (0..100)
-            .map(|k| q(k * 30, 0, 4000, 4002))
-            .collect();
+        let mut quotes: Vec<Quote> = (0..100).map(|k| q(k * 30, 0, 4000, 4002)).collect();
         quotes.push(q(1510, 0, 399, 401)); // inside interval 50
         let day = DayData::new(0, quotes, 1, vec![]);
         let grid = PriceGrid::from_day(&day, 1, 30, CleanConfig::default());

@@ -28,19 +28,30 @@ impl ReturnsPanel {
     /// produce zero returns, keeping the panel rectangular; such stocks
     /// have zero variance and therefore zero correlation with everything,
     /// so they can never trigger a trade.
+    ///
+    /// A bad price *mid-series* is treated as a gap, not a reset: the last
+    /// good price is carried across it, so the first valid return after the
+    /// gap is the log ratio to the price before the gap. (Zeroing both
+    /// adjacent returns would silently swallow the real move across the
+    /// gap and bias every correlation window spanning it.)
     pub fn from_grid(grid: &PriceGrid) -> Self {
         let n = grid.n_stocks();
         let mut series = Vec::with_capacity(n);
         for stock in 0..n {
             let p = grid.series(stock);
             let mut r = Vec::with_capacity(p.len().saturating_sub(1));
-            for w in p.windows(2) {
-                let ret = if w[0] > 0.0 && w[1] > 0.0 && w[0].is_finite() && w[1].is_finite() {
-                    (w[1] / w[0]).ln()
+            let mut last_good: Option<f64> =
+                p.first().copied().filter(|&v| v > 0.0 && v.is_finite());
+            for &price in p.iter().skip(1) {
+                if price > 0.0 && price.is_finite() {
+                    r.push(match last_good {
+                        Some(prev) => (price / prev).ln(),
+                        None => 0.0,
+                    });
+                    last_good = Some(price);
                 } else {
-                    0.0
-                };
-                r.push(ret);
+                    r.push(0.0);
+                }
             }
             series.push(r);
         }
@@ -113,6 +124,41 @@ mod tests {
     }
 
     #[test]
+    fn gap_carries_last_good_price() {
+        // 100 -> NaN -> 110: the move across the gap is real. The interval
+        // ending at the bad price contributes nothing; the first valid
+        // return after the gap is the full log ratio to the pre-gap price.
+        let grid = PriceGrid::from_series(vec![vec![100.0, f64::NAN, 110.0]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert_eq!(panel.series(0)[0], 0.0);
+        assert!((panel.series(0)[1] - (110.0f64 / 100.0).ln()).abs() < 1e-12);
+        // The day's total return survives the gap.
+        assert!((panel.window_return(0, 0, 2) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_interval_gap_carries_across() {
+        // Two consecutive bad prices (one NaN, one zero) still resolve to
+        // the true ratio once a valid print returns.
+        let grid = PriceGrid::from_series(vec![vec![50.0, f64::NAN, 0.0, 55.0, 56.0]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert_eq!(panel.series(0)[0], 0.0);
+        assert_eq!(panel.series(0)[1], 0.0);
+        assert!((panel.series(0)[2] - (55.0f64 / 50.0).ln()).abs() < 1e-12);
+        assert!((panel.series(0)[3] - (56.0f64 / 55.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leading_bad_prices_yield_zero_until_first_print() {
+        // No pre-gap anchor exists: returns stay zero until two valid
+        // prices have been seen.
+        let grid = PriceGrid::from_series(vec![vec![f64::NAN, 100.0, 103.0]], 30);
+        let panel = ReturnsPanel::from_grid(&grid);
+        assert_eq!(panel.series(0)[0], 0.0);
+        assert!((panel.series(0)[1] - (103.0f64 / 100.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
     fn flat_prices_yield_zero_returns() {
         let grid = PriceGrid::from_series(vec![vec![50.0; 10]], 30);
         let panel = ReturnsPanel::from_grid(&grid);
@@ -139,10 +185,7 @@ mod tests {
 
     #[test]
     fn panel_is_rectangular() {
-        let grid = PriceGrid::from_series(
-            vec![vec![10.0, 11.0, 12.0], vec![20.0, 19.0, 21.0]],
-            30,
-        );
+        let grid = PriceGrid::from_series(vec![vec![10.0, 11.0, 12.0], vec![20.0, 19.0, 21.0]], 30);
         let panel = ReturnsPanel::from_grid(&grid);
         assert_eq!(panel.n_stocks(), 2);
         assert_eq!(panel.all().len(), 2);

@@ -58,10 +58,8 @@ mod tests {
 
     #[test]
     fn spread_series_is_price_difference() {
-        let grid = PriceGrid::from_series(
-            vec![vec![30.0, 31.0, 32.0], vec![130.0, 129.0, 131.0]],
-            30,
-        );
+        let grid =
+            PriceGrid::from_series(vec![vec![30.0, 31.0, 32.0], vec![130.0, 129.0, 131.0]], 30);
         assert_eq!(spread_series(&grid, 0, 1), vec![-100.0, -98.0, -99.0]);
         assert_eq!(spread_series(&grid, 1, 0), vec![100.0, 98.0, 99.0]);
     }

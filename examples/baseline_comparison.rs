@@ -90,6 +90,9 @@ fn main() {
     println!("  * turnover: the correlation strategy trades orders of magnitude");
     println!("    more often (d is a few bps; the distance method waits for 2σ);");
     println!("  * holding: distance trades ride to convergence, correlation");
-    println!("    trades cap out at HP = {} intervals;", corr_params.max_holding);
+    println!(
+        "    trades cap out at HP = {} intervals;",
+        corr_params.max_holding
+    );
     println!("  * both books are cash-neutral-but-slightly-long by construction.");
 }

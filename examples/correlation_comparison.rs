@@ -43,8 +43,8 @@ fn clean(x: &[f64], y: &[f64], k: f64) -> (Vec<f64>, Vec<f64>) {
         let mut v = s.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = v[v.len() / 2];
-        let dev: f64 = (s.iter().map(|a| (a - med) * (a - med)).sum::<f64>() / s.len() as f64)
-            .sqrt();
+        let dev: f64 =
+            (s.iter().map(|a| (a - med) * (a - med)).sum::<f64>() / s.len() as f64).sqrt();
         (med, k * dev.max(1e-12))
     };
     let (mx, gx) = bound(x);
@@ -66,7 +66,10 @@ fn main() {
         CorrType::Combined,
     ];
 
-    println!("Correlation recovery under data errors ({:.0}% corruption, n = {n})\n", corruption * 100.0);
+    println!(
+        "Correlation recovery under data errors ({:.0}% corruption, n = {n})\n",
+        corruption * 100.0
+    );
     println!(
         "{:<8} | {:<11} {:>9} {:>9} {:>9} {:>9}",
         "true rho", "condition", "Pearson", "Quadrant", "Maronna", "Combined"

@@ -52,7 +52,11 @@ fn main() {
 
     println!("\nfirst baskets (list-based execution input):");
     for basket in output.baskets.iter().take(5) {
-        println!("  basket @ interval {}: {} orders", basket.interval, basket.orders.len());
+        println!(
+            "  basket @ interval {}: {} orders",
+            basket.interval,
+            basket.orders.len()
+        );
         for o in &basket.orders {
             println!(
                 "    {:?} {} x{} @ {:.2} (pair {}/{}{})",
@@ -62,7 +66,11 @@ fn main() {
                 o.price,
                 o.pair.0,
                 o.pair.1,
-                if o.needs_confirmation { ", needs confirmation" } else { "" }
+                if o.needs_confirmation {
+                    ", needs confirmation"
+                } else {
+                    ""
+                }
             );
         }
     }
@@ -84,7 +92,10 @@ fn main() {
     print!("{}", {
         let mut t = String::new();
         for s in &output.node_stats {
-            t.push_str(&format!("  {:<40} in {:>7}  out {:>7}\n", s.name, s.messages_in, s.messages_out));
+            t.push_str(&format!(
+                "  {:<40} in {:>7}  out {:>7}\n",
+                s.name, s.messages_in, s.messages_out
+            ));
         }
         t
     });

@@ -61,10 +61,8 @@ fn main() {
         n_stocks * (n_stocks - 1) / 2,
         quotes
     );
-    let distinct: std::collections::HashSet<_> = params
-        .iter()
-        .map(|p| (p.ctype, p.corr_window))
-        .collect();
+    let distinct: std::collections::HashSet<_> =
+        params.iter().map(|p| (p.ctype, p.corr_window)).collect();
     println!(
         "sharing: {} correlation engines serve {} strategy hosts\n",
         distinct.len(),

@@ -31,7 +31,9 @@ fn main() {
     config.params = grid.clone();
     println!(
         "parameter sweep: {} stocks, {} days, {} configurations (d x ell)\n",
-        config.market.n_stocks, config.market.days, grid.len()
+        config.market.n_stocks,
+        config.market.days,
+        grid.len()
     );
 
     let results = Experiment::new(config).run();

@@ -77,7 +77,10 @@ fn main() {
     for (k, p) in config.params.iter().enumerate().take(14) {
         println!("  level {:>2}: {}", k, p.label());
     }
-    println!("  (x3 correlation treatments = {} vectors)\n", config.params.len());
+    println!(
+        "  (x3 correlation treatments = {} vectors)\n",
+        config.params.len()
+    );
 
     let start = std::time::Instant::now();
     let results = Experiment::new(config).run();
@@ -118,7 +121,10 @@ fn main() {
 
     // The paper's future-work item: optimal parameter sets per measure.
     let ranked = optimize::rank_parameter_sets(&results, Objective::Sharpe);
-    println!("{}", optimize::render_leaderboard(&ranked, Objective::Sharpe, 5));
+    println!(
+        "{}",
+        optimize::render_leaderboard(&ranked, Objective::Sharpe, 5)
+    );
     println!("best parameter set per correlation measure (by Sharpe):");
     for (ctype, card) in optimize::best_per_treatment(&results, Objective::Sharpe) {
         println!(

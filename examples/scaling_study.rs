@@ -69,7 +69,10 @@ fn main() {
     });
     let secs_per_job_a2 = start.elapsed().as_secs_f64() / n_pairs as f64;
     println!("=== Approach 2 on this machine (single worker, Maronna) ===");
-    println!("measured: {:.5} s per (pair, day, param) job", secs_per_job_a2);
+    println!(
+        "measured: {:.5} s per (pair, day, param) job",
+        secs_per_job_a2
+    );
     let a2 = Extrapolation {
         secs_per_job: secs_per_job_a2,
         ..Extrapolation::paper_workload()
@@ -105,12 +108,15 @@ fn main() {
     let grid_params: Vec<StrategyParams> = [0.0001f64, 0.0002, 0.0003]
         .iter()
         .flat_map(|&d| {
-            [stats::correlation::CorrType::Pearson, stats::correlation::CorrType::Maronna]
-                .map(|ctype| StrategyParams {
-                    ctype,
-                    divergence: d,
-                    ..params
-                })
+            [
+                stats::correlation::CorrType::Pearson,
+                stats::correlation::CorrType::Maronna,
+            ]
+            .map(|ctype| StrategyParams {
+                ctype,
+                divergence: d,
+                ..params
+            })
         })
         .collect();
     println!(
@@ -119,13 +125,8 @@ fn main() {
     );
     for approach in [Approach::PerPairRecompute, Approach::Integrated] {
         let start = std::time::Instant::now();
-        let (_, gstats) = backtest::approach::run_day_grid(
-            approach,
-            &grid,
-            &panel,
-            &grid_params,
-            &exec,
-        );
+        let (_, gstats) =
+            backtest::approach::run_day_grid(approach, &grid, &panel, &grid_params, &exec);
         println!(
             "  {approach}: {:.3} s ({} kernel sweeps)",
             start.elapsed().as_secs_f64(),

@@ -1,0 +1,22 @@
+//! Offline stand-in for [serde](https://docs.rs/serde).
+//!
+//! The build container cannot reach crates.io, so the real serde cannot be
+//! fetched. The workspace only uses serde as `#[derive(Serialize,
+//! Deserialize)]` annotations (there is no serializer in the dependency
+//! tree), so this shim provides marker traits and no-op derives: the
+//! annotations keep compiling and the types stay documented as wire-ready,
+//! without any codegen.
+
+/// Marker for types annotated `#[derive(Serialize)]`.
+///
+/// The no-op derive does not implement this trait; nothing in the
+/// workspace takes a `Serialize` bound.
+pub trait Serialize {}
+
+/// Marker for types annotated `#[derive(Deserialize)]`.
+///
+/// The no-op derive does not implement this trait; nothing in the
+/// workspace takes a `Deserialize` bound.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace annotates message and config types with
+//! `#[derive(Serialize, Deserialize)]` so they are wire-ready once the real
+//! serde is available. In the offline build these derives expand to nothing:
+//! no serializer exists to call them, so no impls are needed — the
+//! attributes only have to parse.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

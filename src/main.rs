@@ -181,7 +181,12 @@ fn cmd_backtest(args: &Args) {
     let mut wl_total = WinLoss::default();
     let mut pnl_total = 0.0;
     for day in &ds.days {
-        let grid = PriceGrid::from_day(day, ds.n_stocks(), params.dt_seconds, CleanConfig::default());
+        let grid = PriceGrid::from_day(
+            day,
+            ds.n_stocks(),
+            params.dt_seconds,
+            CleanConfig::default(),
+        );
         let panel = ReturnsPanel::from_grid(&grid);
         let run = run_day(Approach::Integrated, &grid, &panel, &params, &exec);
         let trades: Vec<_> = run.trades.into_iter().flatten().collect();
@@ -221,11 +226,10 @@ fn cmd_pipeline(args: &Args) {
     let params = StrategyParams::paper_default();
     let pipeline_cfg = marketminer::pipeline::Fig1Config::new(n, params);
     let start = std::time::Instant::now();
-    let out = marketminer::pipeline::run_fig1_pipeline(day, &pipeline_cfg)
-        .unwrap_or_else(|e| {
-            eprintln!("pipeline error: {e}");
-            std::process::exit(1)
-        });
+    let out = marketminer::pipeline::run_fig1_pipeline(day, &pipeline_cfg).unwrap_or_else(|e| {
+        eprintln!("pipeline error: {e}");
+        std::process::exit(1)
+    });
     println!(
         "Figure-1 pipeline: {} quotes -> {} trades, {} baskets ({} orders) in {:.2} s",
         quotes,

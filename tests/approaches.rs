@@ -73,7 +73,13 @@ fn job_farm_reproduces_approach_two() {
         let (i, j) = SymMatrix::pair_from_rank(rank);
         let steps = panel.len() - m + 1;
         let mut series = vec![0.0; steps];
-        stats::parallel::pair_series(params.ctype, panel.series(i), panel.series(j), m, &mut series);
+        stats::parallel::pair_series(
+            params.ctype,
+            panel.series(i),
+            panel.series(j),
+            m,
+            &mut series,
+        );
         pairtrade_core::engine::run_pair_day(
             (i, j),
             &params,

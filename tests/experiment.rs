@@ -99,8 +99,11 @@ fn divergence_threshold_monotonically_reduces_trades() {
     for ct in CorrType::TREATMENTS {
         let idxs = results.params_with(ct);
         assert_eq!(idxs.len(), 2);
-        let trades =
-            |idx: usize| -> u32 { (0..results.n_pairs()).map(|r| results.stats(idx, r).n_trades).sum() };
+        let trades = |idx: usize| -> u32 {
+            (0..results.n_pairs())
+                .map(|r| results.stats(idx, r).n_trades)
+                .sum()
+        };
         let loose = trades(idxs[0]); // d = 0.0005
         let tight = trades(idxs[1]); // d = 0.001
         assert!(
