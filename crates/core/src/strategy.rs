@@ -211,6 +211,19 @@ impl PairStrategy {
         self.open = Some(OpenState { position, rule });
     }
 
+    /// Force-close any open position at the last seen prices with the
+    /// given reason (defensive flattening when a leg's symbol is marked
+    /// degraded). No-op while flat or before the first interval.
+    pub fn force_close(&mut self, reason: ExitReason) {
+        if self.open.is_none() {
+            return;
+        }
+        let (s, pi, pj) = self
+            .last_prices
+            .expect("an open position implies at least one interval");
+        self.close(s, pi, pj, reason);
+    }
+
     /// End the day: any open position is reversed at the last seen prices
     /// ("we should reverse all positions at the end of the trading day").
     /// Returns all trades.
@@ -435,6 +448,21 @@ mod tests {
         let free = run(ExecutionConfig::paper());
         let costly = run(ExecutionConfig::with_costs());
         assert!(costly < free, "costs must eat into the return");
+    }
+
+    #[test]
+    fn force_close_flattens_with_given_reason() {
+        let (mut st, s) = warmed(test_params());
+        st.on_interval(input(s, 131.0, 29.5, 0.70, 0.01, -0.01));
+        assert!(st.is_open());
+        st.force_close(ExitReason::Degraded);
+        assert!(!st.is_open());
+        assert_eq!(st.trades().len(), 1);
+        assert_eq!(st.trades()[0].reason, ExitReason::Degraded);
+        assert_eq!(st.trades()[0].exit_interval, s);
+        // Idempotent while flat.
+        st.force_close(ExitReason::Degraded);
+        assert_eq!(st.trades().len(), 1);
     }
 
     #[test]

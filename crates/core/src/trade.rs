@@ -19,6 +19,9 @@ pub enum ExitReason {
     StopLoss,
     /// Extension: correlation reverted into the average band.
     CorrReversion,
+    /// Extension: a leg's symbol was marked degraded (outage, halt, or
+    /// quarantine) and the position was flattened defensively.
+    Degraded,
 }
 
 /// One completed round trip on a pair.

@@ -5,15 +5,49 @@
 //! boundary — emits a [`BarSet`]: the latest clean
 //! midpoint for every stock (forward-filled through quiet intervals) plus
 //! per-interval tick counts.
+//!
+//! With a [`HealthPolicy`] attached the node doubles as the degradation
+//! control plane's *producer*: at every interval close it inspects each
+//! symbol's tick flow and cleaning filter and emits
+//! [`Message::Health`] transitions — [`DegradeReason::Outage`] after too
+//! many consecutive quiet intervals, [`DegradeReason::Halt`] when the
+//! whole universe goes quiet together, and
+//! [`DegradeReason::Quarantine`] when the filter's reject-rate tripwire
+//! fires. Each event carries the first interval the new status applies
+//! to and is emitted *before* that interval's [`BarSet`], so downstream
+//! consumers always update their degraded sets before pricing.
 
 use std::sync::Arc;
 
 use timeseries::clean::{CleanConfig, TcpFilter};
 
-use crate::messages::{BarSet, Message};
-use crate::node::{Component, Emit};
+use crate::messages::{BarSet, DegradeReason, HealthEvent, HealthStatus, Message};
+use crate::node::{Component, Emit, NodeState};
+
+/// Feed-health detection thresholds, in intervals of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive tickless intervals (after a symbol's first tick)
+    /// before the symbol is declared in outage.
+    pub outage_intervals: usize,
+    /// Consecutive intervals with *every* active symbol tickless before
+    /// the universe is declared halted. Smaller than `outage_intervals`:
+    /// a synchronized silence is suspicious much sooner than a
+    /// single-name one.
+    pub halt_intervals: usize,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            outage_intervals: 10,
+            halt_intervals: 4,
+        }
+    }
+}
 
 /// Streaming bar accumulator for the whole universe.
+#[derive(Clone)]
 pub struct BarAccumulatorNode {
     dt_seconds: u32,
     n_stocks: usize,
@@ -23,6 +57,19 @@ pub struct BarAccumulatorNode {
     /// Ticks accepted per stock in the current interval.
     ticks: Vec<u32>,
     current_interval: Option<usize>,
+    /// Health production (None = control plane disabled).
+    health: Option<HealthPolicy>,
+    /// Whether each symbol has ever ticked (outage needs a baseline).
+    seen_tick: Vec<bool>,
+    /// Consecutive closed intervals without an accepted tick.
+    quiet: Vec<usize>,
+    /// Last published status per symbol.
+    status: Vec<HealthStatus>,
+    /// Quotes for already-closed intervals (out-of-order arrivals),
+    /// dropped rather than smeared into the wrong bar.
+    late_quotes: u64,
+    /// Non-quote messages received.
+    dropped: u64,
     name: String,
 }
 
@@ -36,8 +83,25 @@ impl BarAccumulatorNode {
             closes: vec![f64::NAN; n_stocks],
             ticks: vec![0; n_stocks],
             current_interval: None,
+            health: None,
+            seen_tick: vec![false; n_stocks],
+            quiet: vec![0; n_stocks],
+            status: vec![HealthStatus::Healthy; n_stocks],
+            late_quotes: 0,
+            dropped: 0,
             name: format!("ohlc-bars(ds={dt_seconds}s)"),
         }
+    }
+
+    /// Enable health production with the given thresholds.
+    pub fn with_health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+
+    /// Late (out-of-order) quotes dropped so far.
+    pub fn late_quotes(&self) -> u64 {
+        self.late_quotes
     }
 
     fn emit_bar_set(&mut self, interval: usize, out: &mut Emit<'_>) {
@@ -46,6 +110,63 @@ impl BarAccumulatorNode {
             closes: self.closes.clone(),
             ticks: std::mem::replace(&mut self.ticks, vec![0; self.n_stocks]),
         })));
+    }
+
+    /// Fold the closing interval's tick counts into the quiet streaks.
+    fn update_streaks(&mut self) {
+        for s in 0..self.n_stocks {
+            if self.ticks[s] > 0 {
+                self.seen_tick[s] = true;
+                self.quiet[s] = 0;
+            } else if self.seen_tick[s] {
+                self.quiet[s] += 1;
+            }
+        }
+    }
+
+    /// Publish status transitions taking effect at `effective`.
+    fn publish_health(&mut self, effective: usize, out: &mut Emit<'_>) {
+        let Some(policy) = self.health else {
+            return;
+        };
+        let active = self.seen_tick.iter().filter(|&&s| s).count();
+        let halted = active > 0
+            && self
+                .quiet
+                .iter()
+                .zip(&self.seen_tick)
+                .filter(|(_, &seen)| seen)
+                .all(|(&q, _)| q >= policy.halt_intervals);
+        for s in 0..self.n_stocks {
+            let next = if self.filters[s].quarantined() {
+                HealthStatus::Degraded(DegradeReason::Quarantine)
+            } else if halted && self.seen_tick[s] {
+                HealthStatus::Degraded(DegradeReason::Halt)
+            } else if self.seen_tick[s] && self.quiet[s] >= policy.outage_intervals {
+                HealthStatus::Degraded(DegradeReason::Outage)
+            } else {
+                HealthStatus::Healthy
+            };
+            if next != self.status[s] {
+                self.status[s] = next;
+                out(Message::Health(Arc::new(HealthEvent {
+                    interval: effective,
+                    symbol: s,
+                    status: next,
+                })));
+            }
+        }
+    }
+
+    /// Close interval `interval`: emit its bar set, then any health
+    /// transitions effective from the *next* interval (so they precede
+    /// that interval's bars on the wire).
+    fn close_interval(&mut self, interval: usize, out: &mut Emit<'_>) {
+        if self.health.is_some() {
+            self.update_streaks();
+        }
+        self.emit_bar_set(interval, out);
+        self.publish_health(interval + 1, out);
     }
 }
 
@@ -56,18 +177,26 @@ impl Component for BarAccumulatorNode {
 
     fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
         let Message::Quote(q) = msg else {
-            return; // bar accumulators only eat quotes
+            self.dropped += 1; // bar accumulators only eat quotes
+            return;
         };
         let interval = q.ts.interval(self.dt_seconds);
         match self.current_interval {
             None => self.current_interval = Some(interval),
             Some(cur) if interval > cur => {
                 // Close the current interval and any quiet ones skipped.
-                self.emit_bar_set(cur, out);
+                self.close_interval(cur, out);
                 for quiet in cur + 1..interval {
-                    self.emit_bar_set(quiet, out);
+                    self.close_interval(quiet, out);
                 }
                 self.current_interval = Some(interval);
+            }
+            Some(cur) if interval < cur => {
+                // A bounded-reorder straggler for a closed interval:
+                // folding it into the current bar would smear prices
+                // across the Δs grid, so count it and move on.
+                self.late_quotes += 1;
+                return;
             }
             _ => {}
         }
@@ -84,6 +213,18 @@ impl Component for BarAccumulatorNode {
         if let Some(cur) = self.current_interval.take() {
             self.emit_bar_set(cur, out);
         }
+    }
+
+    fn snapshot(&self) -> Option<NodeState> {
+        crate::node::snapshot_of(self)
+    }
+
+    fn restore(&mut self, state: NodeState) -> bool {
+        crate::node::restore_into(self, state)
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -106,6 +247,16 @@ mod tests {
     }
 
     fn collect(node: &mut BarAccumulatorNode, msgs: Vec<Message>) -> Vec<Arc<BarSet>> {
+        collect_all(node, msgs)
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::Bars(b) => Some(b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn collect_all(node: &mut BarAccumulatorNode, msgs: Vec<Message>) -> Vec<Message> {
         let mut out_msgs = Vec::new();
         {
             let mut emit = |m: Message| out_msgs.push(m);
@@ -115,12 +266,6 @@ mod tests {
             node.on_end(&mut emit);
         }
         out_msgs
-            .into_iter()
-            .filter_map(|m| match m {
-                Message::Bars(b) => Some(b),
-                _ => None,
-            })
-            .collect()
     }
 
     #[test]
@@ -184,5 +329,175 @@ mod tests {
         let bars = collect(&mut node, vec![quote(0, 0, 1000, 1002)]);
         assert!((bars[0].closes[0] - 10.01).abs() < 1e-9);
         assert!(bars[0].closes[1].is_nan());
+    }
+
+    #[test]
+    fn late_quotes_are_dropped_not_smeared() {
+        let mut node = BarAccumulatorNode::new(1, 30, CleanConfig::default());
+        let bars = collect(
+            &mut node,
+            vec![
+                quote(0, 0, 1000, 1002),
+                quote(35, 0, 1010, 1012),
+                quote(5, 0, 5000, 5002), // straggler from interval 0
+                quote(40, 0, 1010, 1012),
+            ],
+        );
+        assert_eq!(node.late_quotes(), 1);
+        // Interval 1's close reflects only in-order quotes.
+        assert!((bars[1].closes[0] - 10.11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_quote_messages_count_as_dropped() {
+        let mut node = BarAccumulatorNode::new(1, 30, CleanConfig::default());
+        node.on_message(Message::Trades(Arc::new(vec![])), &mut |_| {});
+        assert_eq!(node.messages_dropped(), 1);
+    }
+
+    fn health_events(msgs: &[Message]) -> Vec<(usize, usize, HealthStatus)> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                Message::Health(h) => Some((h.interval, h.symbol, h.status)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outage_degrades_then_recovers() {
+        let policy = HealthPolicy {
+            outage_intervals: 3,
+            halt_intervals: 100,
+        };
+        let mut node = BarAccumulatorNode::new(2, 30, CleanConfig::default()).with_health(policy);
+        let mut msgs = Vec::new();
+        // Both symbols tick in intervals 0..=1; symbol 1 goes dark for
+        // intervals 2..=6 while symbol 0 keeps ticking; symbol 1 returns
+        // in interval 7 (interval 8 exists so 7 gets closed).
+        for k in 0..9u32 {
+            msgs.push(quote(k * 30, 0, 1000, 1002));
+            if !(2..7).contains(&k) {
+                msgs.push(quote(k * 30 + 1, 1, 2000, 2002));
+            }
+        }
+        let all = collect_all(&mut node, msgs);
+        let events = health_events(&all);
+        // Quiet streak hits 3 at the close of interval 4 -> degraded from 5.
+        assert!(
+            events.contains(&(5, 1, HealthStatus::Degraded(DegradeReason::Outage))),
+            "{events:?}"
+        );
+        // Tick in interval 7 -> healthy again from 8.
+        assert!(
+            events.contains(&(8, 1, HealthStatus::Healthy)),
+            "{events:?}"
+        );
+        // Symbol 0 never transitions.
+        assert!(events.iter().all(|&(_, s, _)| s == 1), "{events:?}");
+    }
+
+    #[test]
+    fn health_events_precede_their_effective_barset() {
+        let policy = HealthPolicy {
+            outage_intervals: 2,
+            halt_intervals: 100,
+        };
+        let mut node = BarAccumulatorNode::new(2, 30, CleanConfig::default()).with_health(policy);
+        let mut msgs = Vec::new();
+        for k in 0..8u32 {
+            msgs.push(quote(k * 30, 0, 1000, 1002));
+            if k < 2 {
+                msgs.push(quote(k * 30 + 1, 1, 2000, 2002));
+            }
+        }
+        let all = collect_all(&mut node, msgs);
+        for (pos, m) in all.iter().enumerate() {
+            if let Message::Health(h) = m {
+                let bar_pos = all
+                    .iter()
+                    .position(|x| matches!(x, Message::Bars(b) if b.interval == h.interval));
+                if let Some(bp) = bar_pos {
+                    assert!(pos < bp, "health for {} emitted after its bars", h.interval);
+                }
+            }
+        }
+        assert!(!health_events(&all).is_empty());
+    }
+
+    #[test]
+    fn universe_wide_silence_is_a_halt() {
+        let policy = HealthPolicy {
+            outage_intervals: 50,
+            halt_intervals: 2,
+        };
+        let mut node = BarAccumulatorNode::new(2, 30, CleanConfig::default()).with_health(policy);
+        let mut msgs = Vec::new();
+        for k in 0..3u32 {
+            msgs.push(quote(k * 30, 0, 1000, 1002));
+            msgs.push(quote(k * 30 + 1, 1, 2000, 2002));
+        }
+        // Everyone silent for intervals 3..=7; one tape-clock carrier quote
+        // would defeat the halt, so drive the clock with a later quote.
+        msgs.push(quote(8 * 30, 0, 1000, 1002));
+        let all = collect_all(&mut node, msgs);
+        let events = health_events(&all);
+        assert!(
+            events
+                .iter()
+                .any(|&(_, s, st)| s == 0 && st == HealthStatus::Degraded(DegradeReason::Halt)),
+            "{events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|&(_, s, st)| s == 1 && st == HealthStatus::Degraded(DegradeReason::Halt)),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn reject_storm_quarantines_via_the_filter_tripwire() {
+        let clean = CleanConfig {
+            gate_window: 16,
+            min_gate_samples: 8,
+            trip_rate: 0.5,
+            untrip_rate: 0.1,
+            ..CleanConfig::default()
+        };
+        let policy = HealthPolicy::default();
+        let mut node = BarAccumulatorNode::new(1, 30, clean).with_health(policy);
+        let mut msgs = Vec::new();
+        // 20 good quotes, then a storm of wide-spread garbage.
+        for k in 0..20u32 {
+            msgs.push(quote(k, 0, 1000, 1002));
+        }
+        for k in 20..60u32 {
+            msgs.push(quote(k, 0, 1, 99_999));
+        }
+        msgs.push(quote(95, 0, 1000, 1002)); // close interval 0 via the clock
+        let all = collect_all(&mut node, msgs);
+        let events = health_events(&all);
+        assert!(
+            events
+                .iter()
+                .any(|&(_, _, st)| st == HealthStatus::Degraded(DegradeReason::Quarantine)),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut node = BarAccumulatorNode::new(1, 30, CleanConfig::default());
+        node.on_message(quote(0, 0, 1000, 1002), &mut |_| {});
+        let snap = node.snapshot().unwrap();
+        node.on_message(quote(40, 0, 2000, 2002), &mut |_| {});
+        assert!(node.restore(snap));
+        // Restored to the pre-second-quote state: replaying the second
+        // quote reproduces the same bar.
+        let bars = collect(&mut node, vec![quote(40, 0, 2000, 2002)]);
+        assert_eq!(bars.len(), 2, "interval 0 close + final flush");
+        assert!((bars[0].closes[0] - 10.01).abs() < 1e-9);
+        assert!((bars[1].closes[0] - 20.01).abs() < 1e-9);
     }
 }

@@ -76,6 +76,54 @@ impl Source for FileCollector {
     }
 }
 
+/// Replays a day's tape through a [`taq::StreamFaultPlan`] — the chaos
+/// harness's front door.
+///
+/// Faults are applied at *emission* time rather than baked into the
+/// [`DayData`]: `DayData::new` re-sorts its tape, which would silently
+/// undo the bounded out-of-order delivery the reorder windows inject.
+/// The ground-truth [`taq::StreamFaultLog`] is published through a shared
+/// handle so tests can assert their fault schedules actually bit.
+pub struct FaultedCollector {
+    name: String,
+    day: Option<DayData>,
+    plan: taq::StreamFaultPlan,
+    log: std::sync::Arc<std::sync::Mutex<Option<taq::StreamFaultLog>>>,
+}
+
+impl FaultedCollector {
+    /// Collector replaying `day` under `plan`.
+    pub fn new(day: DayData, plan: taq::StreamFaultPlan) -> Self {
+        FaultedCollector {
+            name: format!("faulted-collector(day {})", day.day),
+            day: Some(day),
+            plan,
+            log: std::sync::Arc::new(std::sync::Mutex::new(None)),
+        }
+    }
+
+    /// Handle that receives the ground-truth fault log once the source
+    /// has run (None until then).
+    pub fn log_handle(&self) -> std::sync::Arc<std::sync::Mutex<Option<taq::StreamFaultLog>>> {
+        std::sync::Arc::clone(&self.log)
+    }
+}
+
+impl Source for FaultedCollector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, out: &mut Emit<'_>) {
+        let day = self.day.take().expect("collector runs once");
+        let (quotes, log) = taq::apply_stream_faults(day.quotes(), &self.plan);
+        *self.log.lock().expect("fault log poisoned") = Some(log);
+        for q in quotes {
+            out(Message::Quote(q));
+        }
+    }
+}
+
 /// Emits a fixed vector of quotes — the unit-test adapter.
 pub struct QuoteVecSource {
     quotes: Vec<taq::quote::Quote>,
@@ -125,6 +173,35 @@ mod tests {
         });
         std::fs::remove_file(&path).ok();
         assert_eq!(count, expect);
+    }
+
+    #[test]
+    fn faulted_collector_publishes_ground_truth() {
+        let mut cfg = MarketConfig::small(2, 1, 13);
+        cfg.micro.quote_rate_hz = 0.01;
+        let day = MarketGenerator::new(cfg).next_day().unwrap();
+        let expect = day.len();
+        let plan = taq::StreamFaultPlan {
+            outages: vec![taq::OutageWindow {
+                symbol: 0,
+                start_s: 0,
+                end_s: 23_400,
+            }],
+            ..taq::StreamFaultPlan::none()
+        };
+        let mut collector = FaultedCollector::new(day, plan);
+        let log = collector.log_handle();
+        assert!(log.lock().unwrap().is_none(), "no log before the run");
+        let mut count = 0;
+        collector.run(&mut |m| {
+            if let Message::Quote(q) = m {
+                assert_ne!(q.symbol.index(), 0, "symbol 0 is in outage all day");
+                count += 1;
+            }
+        });
+        let log = log.lock().unwrap().expect("log published");
+        assert!(log.dropped > 0);
+        assert_eq!(count + log.dropped as usize, expect);
     }
 
     #[test]

@@ -15,9 +15,10 @@ use stats::sliding_matrix::OnlineCorrMatrix;
 use timeseries::window::SlidingWindow;
 
 use crate::messages::{CorrSnapshot, Message};
-use crate::node::{Component, Emit};
+use crate::node::{Component, Emit, NodeState};
 
 /// How the node maintains pair state.
+#[derive(Clone)]
 enum EngineKind {
     /// O(1)-per-step incremental updates (Pearson without PSD repair).
     Online(OnlineCorrMatrix),
@@ -33,6 +34,7 @@ enum EngineKind {
 }
 
 /// Streaming all-pairs correlation node.
+#[derive(Clone)]
 pub struct CorrelationEngineNode {
     stride: usize,
     /// Warm intervals seen since the last emission. Starts at `stride` so
@@ -41,6 +43,11 @@ pub struct CorrelationEngineNode {
     since_last: usize,
     m: usize,
     kind: EngineKind,
+    /// Symbols currently marked degraded by the health control plane;
+    /// their rows and columns are masked to 0.0 in emitted snapshots.
+    degraded: Vec<bool>,
+    /// Messages neither consumed nor forwarded.
+    dropped: u64,
     name: String,
 }
 
@@ -67,6 +74,8 @@ impl CorrelationEngineNode {
             since_last: stride,
             m,
             kind,
+            degraded: vec![false; n_stocks],
+            dropped: 0,
             name: format!("corr-engine({ctype}, M={m})"),
         }
     }
@@ -97,8 +106,20 @@ impl Component for CorrelationEngineNode {
     }
 
     fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
-        let Message::Returns(rs) = msg else {
-            return;
+        let rs = match msg {
+            Message::Returns(rs) => rs,
+            // Terminal consumer of health on this branch: the strategy
+            // host gets its own copy straight from the bar accumulator.
+            Message::Health(h) => {
+                if let Some(flag) = self.degraded.get_mut(h.symbol) {
+                    *flag = h.is_degraded();
+                }
+                return;
+            }
+            _ => {
+                self.dropped += 1;
+                return;
+            }
         };
         let warm = match &mut self.kind {
             EngineKind::Online(online) => {
@@ -120,7 +141,7 @@ impl Component for CorrelationEngineNode {
             return;
         }
         self.since_last = 0;
-        let matrix = match &mut self.kind {
+        let mut matrix = match &mut self.kind {
             EngineKind::Online(online) => online.matrix(),
             EngineKind::Windowed {
                 engine,
@@ -135,10 +156,35 @@ impl Component for CorrelationEngineNode {
                 engine.matrix(&views)
             }
         };
+        // Degraded symbols: a window polluted by an outage or a reject
+        // storm is not a correlation estimate. Mask the whole row/column
+        // to 0.0 so no downstream signal can fire on it.
+        if self.degraded.iter().any(|&d| d) {
+            let n = matrix.n();
+            for i in 1..n {
+                for j in 0..i {
+                    if self.degraded[i] || self.degraded[j] {
+                        matrix.set(i, j, 0.0);
+                    }
+                }
+            }
+        }
         out(Message::Corr(Arc::new(CorrSnapshot {
             interval: rs.interval,
             matrix,
         })));
+    }
+
+    fn snapshot(&self) -> Option<NodeState> {
+        crate::node::snapshot_of(self)
+    }
+
+    fn restore(&mut self, state: NodeState) -> bool {
+        crate::node::restore_into(self, state)
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -213,6 +259,62 @@ mod tests {
         // Windows full from k=3: emit immediately on warm, then every
         // stride — snapshots at k = 3, 8, 13, 18, 23, 28, 33, 38.
         assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn degraded_symbols_are_masked_to_zero() {
+        use crate::messages::{DegradeReason, HealthEvent, HealthStatus};
+        let mut node = CorrelationEngineNode::new(3, 4, 1, CorrType::Pearson);
+        for k in 0..4 {
+            feed(&mut node, k, vec![ret(0, k), ret(1, k), ret(2, k)]);
+        }
+        node.on_message(
+            Message::Health(Arc::new(HealthEvent {
+                interval: 4,
+                symbol: 1,
+                status: HealthStatus::Degraded(DegradeReason::Outage),
+            })),
+            &mut |_| {},
+        );
+        let snaps = feed(&mut node, 4, vec![ret(0, 4), ret(1, 4), ret(2, 4)]);
+        assert_eq!(snaps.len(), 1);
+        let m = &snaps[0].matrix;
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.get(2, 1), 0.0);
+        assert_ne!(m.get(2, 0), 0.0, "healthy pair untouched");
+        // Recovery unmasks.
+        node.on_message(
+            Message::Health(Arc::new(HealthEvent {
+                interval: 5,
+                symbol: 1,
+                status: HealthStatus::Healthy,
+            })),
+            &mut |_| {},
+        );
+        let snaps = feed(&mut node, 5, vec![ret(0, 5), ret(1, 5), ret(2, 5)]);
+        assert_ne!(snaps[0].matrix.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mut a = CorrelationEngineNode::new(2, 4, 1, CorrType::Pearson);
+        let mut b = CorrelationEngineNode::new(2, 4, 1, CorrType::Pearson);
+        for k in 0..6 {
+            feed(&mut a, k, vec![ret(0, k), ret(1, k)]);
+            feed(&mut b, k, vec![ret(0, k), ret(1, k)]);
+        }
+        let snap = a.snapshot().unwrap();
+        // Wreck `a`, restore, and check it re-converges with `b`.
+        feed(&mut a, 99, vec![1.0, -1.0]);
+        assert!(a.restore(snap));
+        for k in 6..10 {
+            let sa = feed(&mut a, k, vec![ret(0, k), ret(1, k)]);
+            let sb = feed(&mut b, k, vec![ret(0, k), ret(1, k)]);
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(&sb) {
+                assert_eq!(x.matrix.get(1, 0).to_bits(), y.matrix.get(1, 0).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -3,14 +3,16 @@
 pub mod bar_accumulator;
 pub mod collector;
 pub mod correlation_engine;
+pub mod faults;
 pub mod order_gateway;
 pub mod risk;
 pub mod strategy_node;
 pub mod technical;
 
-pub use bar_accumulator::BarAccumulatorNode;
-pub use collector::{FileCollector, ReplayCollector};
+pub use bar_accumulator::{BarAccumulatorNode, HealthPolicy};
+pub use collector::{FaultedCollector, FileCollector, ReplayCollector};
 pub use correlation_engine::CorrelationEngineNode;
+pub use faults::{PanicInjector, WedgeInjector};
 pub use order_gateway::OrderGatewayNode;
 pub use risk::RiskManagerNode;
 pub use strategy_node::StrategyHostNode;

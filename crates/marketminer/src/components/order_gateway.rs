@@ -12,9 +12,10 @@
 use std::sync::Arc;
 
 use crate::messages::{Basket, Message, OrderRequest};
-use crate::node::{Component, Emit};
+use crate::node::{Component, Emit, NodeState};
 
 /// Basket-aggregating order gateway.
+#[derive(Clone)]
 pub struct OrderGatewayNode {
     current_interval: Option<usize>,
     pending: Vec<OrderRequest>,
@@ -77,6 +78,14 @@ impl Component for OrderGatewayNode {
 
     fn on_end(&mut self, out: &mut Emit<'_>) {
         self.flush(out);
+    }
+
+    fn snapshot(&self) -> Option<NodeState> {
+        crate::node::snapshot_of(self)
+    }
+
+    fn restore(&mut self, state: NodeState) -> bool {
+        crate::node::restore_into(self, state)
     }
 }
 

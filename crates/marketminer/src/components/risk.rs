@@ -16,7 +16,7 @@
 use std::collections::HashSet;
 
 use crate::messages::{Message, OrderRequest, OrderSide};
-use crate::node::{Component, Emit};
+use crate::node::{Component, Emit, NodeState};
 
 /// Risk limits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,12 +48,20 @@ pub struct RiskStats {
     pub rejected_size: u64,
     /// Entry orders rejected because the book was full.
     pub rejected_book_full: u64,
+    /// Entry orders rejected because a leg's symbol was degraded.
+    pub rejected_degraded: u64,
 }
 
 /// The risk-manager node.
+#[derive(Clone)]
 pub struct RiskManagerNode {
     limits: RiskLimits,
     open_pairs: HashSet<(usize, usize)>,
+    /// Symbols the health control plane has marked degraded: entry legs
+    /// touching them are refused as a backstop behind the strategy host's
+    /// own refusal (defence in depth — a restarted or buggy strategy must
+    /// not be able to open exposure on a dead feed).
+    degraded: HashSet<usize>,
     stats: RiskStats,
     name: String,
 }
@@ -64,6 +72,7 @@ impl RiskManagerNode {
         RiskManagerNode {
             limits,
             open_pairs: HashSet::new(),
+            degraded: HashSet::new(),
             stats: RiskStats::default(),
             name: "risk-manager".to_string(),
         }
@@ -86,9 +95,21 @@ impl Component for RiskManagerNode {
     }
 
     fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
-        let Message::Order(order) = msg else {
-            out(msg);
-            return;
+        let order = match msg {
+            Message::Order(order) => order,
+            Message::Health(h) => {
+                if h.is_degraded() {
+                    self.degraded.insert(h.symbol);
+                } else {
+                    self.degraded.remove(&h.symbol);
+                }
+                out(Message::Health(h));
+                return;
+            }
+            other => {
+                out(other);
+                return;
+            }
         };
         if !self.order_within_size(&order) {
             self.stats.rejected_size += 1;
@@ -97,6 +118,13 @@ impl Component for RiskManagerNode {
         let pair = order.pair;
         let is_entry = !self.open_pairs.contains(&pair);
         if is_entry {
+            // Entry legs touching a degraded symbol are refused outright;
+            // exits (pair already on the book) always pass so defensive
+            // flattening can complete.
+            if self.degraded.contains(&pair.0) || self.degraded.contains(&pair.1) {
+                self.stats.rejected_degraded += 1;
+                return;
+            }
             // Entry legs: Buy opens the long, Sell opens the short. Both
             // legs of the same pair arrive with the same interval; admit
             // the pair once, atomically.
@@ -114,6 +142,14 @@ impl Component for RiskManagerNode {
 
     fn on_end(&mut self, _out: &mut Emit<'_>) {
         self.open_pairs.clear();
+    }
+
+    fn snapshot(&self) -> Option<NodeState> {
+        crate::node::snapshot_of(self)
+    }
+
+    fn restore(&mut self, state: NodeState) -> bool {
+        crate::node::restore_into(self, state)
     }
 }
 
@@ -207,6 +243,60 @@ mod tests {
         );
         assert_eq!(passed, 2);
         assert_eq!(node.stats().rejected_book_full, 1);
+    }
+
+    #[test]
+    fn degraded_symbols_block_entries_but_not_exits() {
+        use crate::messages::{DegradeReason, HealthEvent, HealthStatus};
+        let mut node = RiskManagerNode::new(RiskLimits::default());
+        // Pair (1,0) enters while healthy.
+        let passed = run(
+            &mut node,
+            vec![
+                order((1, 0), 0, OrderSide::Buy, 1, 10.0),
+                order((1, 0), 1, OrderSide::Sell, 1, 10.0),
+            ],
+        );
+        assert_eq!(passed, 2);
+        // Symbol 1 degrades.
+        let mut forwarded = 0;
+        node.on_message(
+            Message::Health(Arc::new(HealthEvent {
+                interval: 5,
+                symbol: 1,
+                status: HealthStatus::Degraded(DegradeReason::Quarantine),
+            })),
+            &mut |m| {
+                if matches!(m, Message::Health(_)) {
+                    forwarded += 1;
+                }
+            },
+        );
+        assert_eq!(forwarded, 1, "health forwarded downstream");
+        // Exits for the open pair still pass; new entries touching the
+        // degraded symbol are refused.
+        let passed = run(
+            &mut node,
+            vec![
+                order((1, 0), 0, OrderSide::Sell, 1, 10.0),
+                order((1, 0), 1, OrderSide::Buy, 1, 10.0),
+                order((2, 1), 2, OrderSide::Buy, 1, 10.0),
+                order((3, 2), 3, OrderSide::Buy, 1, 10.0),
+            ],
+        );
+        assert_eq!(passed, 3, "exits + unrelated entry pass");
+        assert_eq!(node.stats().rejected_degraded, 1);
+        // Recovery lifts the block.
+        node.on_message(
+            Message::Health(Arc::new(HealthEvent {
+                interval: 9,
+                symbol: 1,
+                status: HealthStatus::Healthy,
+            })),
+            &mut |_| {},
+        );
+        let passed = run(&mut node, vec![order((4, 1), 1, OrderSide::Buy, 1, 10.0)]);
+        assert_eq!(passed, 1);
     }
 
     #[test]

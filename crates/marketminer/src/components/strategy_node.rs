@@ -14,13 +14,14 @@ use pairtrade_core::exec::ExecutionConfig;
 use pairtrade_core::params::StrategyParams;
 use pairtrade_core::position::PairPosition;
 use pairtrade_core::strategy::{IntervalInput, PairStrategy};
-use pairtrade_core::trade::Trade;
+use pairtrade_core::trade::{ExitReason, Trade};
 use stats::matrix::SymMatrix;
 
 use crate::messages::{CorrSnapshot, Message, OrderRequest, OrderSide};
-use crate::node::{Component, Emit};
+use crate::node::{Component, Emit, NodeState};
 
 /// The market-wide strategy host.
+#[derive(Clone)]
 pub struct StrategyHostNode {
     params: StrategyParams,
     n_stocks: usize,
@@ -40,6 +41,22 @@ pub struct StrategyHostNode {
     /// depend on thread scheduling. Snapshots are therefore held here
     /// until the bar stream has caught up to their interval.
     pending_corr: VecDeque<Arc<CorrSnapshot>>,
+    /// Health transitions awaiting their effective interval.
+    ///
+    /// Health rides the bar edge while trading decisions happen on the
+    /// (lagging) correlation edge. Applying a transition the moment it
+    /// arrives would let it bleed into however many earlier-interval
+    /// snapshots happened to still be in flight — a thread-scheduling
+    /// artifact. Transitions are therefore queued and applied (and
+    /// forwarded downstream) only when the correlation stream reaches
+    /// their effective interval, which makes the host a deterministic
+    /// function of its two input streams.
+    pending_health: VecDeque<Arc<crate::messages::HealthEvent>>,
+    /// Symbols currently marked degraded: positions touching them are
+    /// flattened on transition and no pair touching them may open.
+    degraded: Vec<bool>,
+    /// Messages neither consumed nor forwarded.
+    dropped: u64,
     needs_confirmation: bool,
     name: String,
 }
@@ -65,6 +82,9 @@ impl StrategyHostNode {
             history: vec![Vec::new(); n_stocks],
             bars_through: None,
             pending_corr: VecDeque::new(),
+            pending_health: VecDeque::new(),
+            degraded: vec![false; n_stocks],
+            dropped: 0,
             needs_confirmation,
             name: format!("pair-strategy-host({})", params.label()),
         }
@@ -174,7 +194,8 @@ impl Component for StrategyHostNode {
                     self.process_corr(&snap, out);
                 }
             }
-            _ => {}
+            Message::Health(h) => self.pending_health.push_back(h),
+            _ => self.dropped += 1,
         }
     }
 
@@ -184,6 +205,9 @@ impl Component for StrategyHostNode {
         while let Some(snap) = self.pending_corr.pop_front() {
             self.process_corr(&snap, out);
         }
+        // Transitions the correlation stream never reached still flatten
+        // and still reach risk management before the day's report.
+        self.apply_health_through(usize::MAX, out);
         let mut all_trades: Vec<Trade> = Vec::new();
         let mut closing_orders: Vec<OrderRequest> = Vec::new();
         for (rank, strategy) in std::mem::take(&mut self.strategies).into_iter().enumerate() {
@@ -199,11 +223,61 @@ impl Component for StrategyHostNode {
         }
         out(Message::Trades(Arc::new(all_trades)));
     }
+
+    fn snapshot(&self) -> Option<NodeState> {
+        crate::node::snapshot_of(self)
+    }
+
+    fn restore(&mut self, state: NodeState) -> bool {
+        crate::node::restore_into(self, state)
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 impl StrategyHostNode {
+    /// Apply (and forward) every queued health transition effective at or
+    /// before interval `s`, in arrival order.
+    fn apply_health_through(&mut self, s: usize, out: &mut Emit<'_>) {
+        while self.pending_health.front().is_some_and(|h| h.interval <= s) {
+            let h = self.pending_health.pop_front().expect("front checked");
+            if h.symbol < self.n_stocks {
+                let now = h.is_degraded();
+                let was = self.degraded[h.symbol];
+                self.degraded[h.symbol] = now;
+                if now && !was {
+                    self.flatten_touching(h.symbol, out);
+                }
+            }
+            out(Message::Health(h)); // ride on to risk management
+        }
+    }
+
+    /// A symbol just went degraded: flatten every open position touching
+    /// it at the last seen prices and emit the closing legs.
+    fn flatten_touching(&mut self, symbol: usize, out: &mut Emit<'_>) {
+        let mut closed: Vec<Trade> = Vec::new();
+        for (rank, strategy) in self.strategies.iter_mut().enumerate() {
+            let (i, j) = strategy.pair();
+            if (i == symbol || j == symbol) && strategy.is_open() {
+                strategy.force_close(ExitReason::Degraded);
+                closed.extend(&strategy.trades()[self.trades_seen[rank]..]);
+                self.trades_seen[rank] = strategy.trades().len();
+                self.was_open[rank] = false;
+            }
+        }
+        for trade in closed {
+            for order in self.orders_for_close(&trade) {
+                out(Message::Order(Arc::new(order)));
+            }
+        }
+    }
+
     fn process_corr(&mut self, snap: &CorrSnapshot, out: &mut Emit<'_>) {
         let s = snap.interval;
+        self.apply_health_through(s, out);
         // Collected inside the &mut strategies loop, turned into
         // orders (which need &self) afterwards.
         let mut opened: Vec<PairPosition> = Vec::new();
@@ -211,6 +285,12 @@ impl StrategyHostNode {
         for (rank, strategy) in self.strategies.iter_mut().enumerate() {
             let (i, j) = strategy.pair();
             if i >= self.n_stocks {
+                continue;
+            }
+            // Pairs touching a degraded symbol sit the interval out: the
+            // position (if any) was already flattened on the transition,
+            // and a masked/stale signal must not open a new one.
+            if self.degraded[i] || self.degraded[j] {
                 continue;
             }
             let price_i = {
@@ -376,6 +456,102 @@ mod tests {
             trades[0].reason,
             pairtrade_core::trade::ExitReason::EndOfDay
         );
+    }
+
+    #[test]
+    fn degradation_flattens_and_blocks_reentry() {
+        use crate::messages::{DegradeReason, HealthEvent, HealthStatus};
+        let mut node = StrategyHostNode::new(2, params(), ExecutionConfig::paper(), false);
+        let mut forwarded_health = 0;
+        let mut orders: Vec<Arc<OrderRequest>> = Vec::new();
+        let mut trades: Vec<Trade> = Vec::new();
+        macro_rules! feed {
+            ($m:expr) => {
+                node.on_message($m, &mut |out| match out {
+                    Message::Order(o) => orders.push(o),
+                    Message::Trades(t) => trades.extend(t.iter().copied()),
+                    Message::Health(_) => forwarded_health += 1,
+                    _ => {}
+                })
+            };
+        }
+        let start = params().first_active_interval();
+        for s in 0..=start {
+            feed!(bars(s, vec![30.0, 130.0]));
+            feed!(corr(s, 0.8));
+        }
+        feed!(bars(start + 1, vec![29.5, 131.0]));
+        feed!(corr(start + 1, 0.76));
+        assert_eq!(orders.len(), 2, "position opened");
+
+        // Symbol 1 degrades effective at `start + 2`. The transition is
+        // held until the correlation stream reaches that interval, so the
+        // flatten cannot race ahead of in-flight snapshots.
+        feed!(Message::Health(Arc::new(HealthEvent {
+            interval: start + 2,
+            symbol: 1,
+            status: HealthStatus::Degraded(DegradeReason::Outage),
+        })));
+        assert_eq!(forwarded_health, 0, "held until its effective interval");
+        assert_eq!(orders.len(), 2, "no flatten before the interval");
+
+        // A fresh divergence at the effective interval: the transition
+        // applies first (two closing legs), and no new entry may open.
+        feed!(bars(start + 2, vec![29.0, 132.0]));
+        feed!(corr(start + 2, 0.70));
+        assert_eq!(forwarded_health, 1, "health rides on to risk");
+        assert_eq!(orders.len(), 4, "closing legs only, no re-entry");
+
+        node.on_end(&mut |out| match out {
+            Message::Order(o) => orders.push(o),
+            Message::Trades(t) => trades.extend(t.iter().copied()),
+            _ => {}
+        });
+        assert_eq!(trades.len(), 1);
+        assert_eq!(
+            trades[0].reason,
+            pairtrade_core::trade::ExitReason::Degraded
+        );
+        assert_eq!(orders.len(), 4, "EOD emits no extra legs: already flat");
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_open_positions() {
+        let mut node = StrategyHostNode::new(2, params(), ExecutionConfig::paper(), false);
+        let mut sink = |_: Message| {};
+        let start = params().first_active_interval();
+        for s in 0..=start {
+            node.on_message(bars(s, vec![30.0, 130.0]), &mut sink);
+            node.on_message(corr(s, 0.8), &mut sink);
+        }
+        node.on_message(bars(start + 1, vec![29.5, 131.0]), &mut sink);
+        node.on_message(corr(start + 1, 0.76), &mut sink);
+        let snap = node.snapshot().unwrap();
+        // Run the survivor and a restored twin to the end of day.
+        let mut twin = StrategyHostNode::new(2, params(), ExecutionConfig::paper(), false);
+        assert!(twin.restore(snap));
+        let run_out = |n: &mut StrategyHostNode| {
+            let mut trades: Vec<Trade> = Vec::new();
+            for s in start + 2..start + 6 {
+                n.on_message(bars(s, vec![30.0, 130.0]), &mut |_| {});
+                n.on_message(corr(s, 0.8), &mut |_| {});
+            }
+            n.on_end(&mut |m| {
+                if let Message::Trades(t) = m {
+                    trades.extend(t.iter().copied());
+                }
+            });
+            trades
+        };
+        let a = run_out(&mut node);
+        let b = run_out(&mut twin);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pair, y.pair);
+            assert_eq!(x.entry_interval, y.entry_interval);
+            assert_eq!(x.exit_interval, y.exit_interval);
+            assert_eq!(x.pnl.to_bits(), y.pnl.to_bits());
+        }
     }
 
     #[test]

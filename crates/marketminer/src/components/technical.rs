@@ -12,13 +12,16 @@ use std::sync::Arc;
 use stats::online::Ewma;
 
 use crate::messages::{Message, ReturnSet};
-use crate::node::{Component, Emit};
+use crate::node::{Component, Emit, NodeState};
 
 /// Streaming returns + indicators for the whole universe.
+#[derive(Clone)]
 pub struct TechnicalAnalysisNode {
     prev_closes: Option<Vec<f64>>,
     /// EWMA of squared returns per stock (a volatility proxy).
     var_ewma: Vec<Ewma>,
+    /// Messages neither consumed nor forwarded.
+    dropped: u64,
     name: String,
 }
 
@@ -29,6 +32,7 @@ impl TechnicalAnalysisNode {
         TechnicalAnalysisNode {
             prev_closes: None,
             var_ewma: (0..n_stocks).map(|_| Ewma::with_span(vol_span)).collect(),
+            dropped: 0,
             name: "technical-analysis".to_string(),
         }
     }
@@ -45,8 +49,17 @@ impl Component for TechnicalAnalysisNode {
     }
 
     fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
-        let Message::Bars(bars) = msg else {
-            return;
+        let bars = match msg {
+            Message::Bars(bars) => bars,
+            // Health rides the bar stream down to the correlation engine.
+            health @ Message::Health(_) => {
+                out(health);
+                return;
+            }
+            _ => {
+                self.dropped += 1;
+                return;
+            }
         };
         if let Some(prev) = &self.prev_closes {
             let returns: Vec<f64> = bars
@@ -70,6 +83,18 @@ impl Component for TechnicalAnalysisNode {
             })));
         }
         self.prev_closes = Some(bars.closes.clone());
+    }
+
+    fn snapshot(&self) -> Option<NodeState> {
+        crate::node::snapshot_of(self)
+    }
+
+    fn restore(&mut self, state: NodeState) -> bool {
+        crate::node::restore_into(self, state)
+    }
+
+    fn messages_dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -120,6 +145,24 @@ mod tests {
         let r = returns_of(&mut node, bars(1, vec![10.5, f64::NAN])).unwrap();
         assert!((r.returns[0] - (1.05f64).ln()).abs() < 1e-12);
         assert_eq!(r.returns[1], 0.0);
+    }
+
+    #[test]
+    fn health_forwards_and_unknowns_drop() {
+        use crate::messages::{HealthEvent, HealthStatus};
+        let mut node = TechnicalAnalysisNode::new(2, 20);
+        let mut kinds = Vec::new();
+        node.on_message(
+            Message::Health(Arc::new(HealthEvent {
+                interval: 3,
+                symbol: 1,
+                status: HealthStatus::Healthy,
+            })),
+            &mut |m| kinds.push(m.kind()),
+        );
+        assert_eq!(kinds, vec!["health"]);
+        node.on_message(Message::Trades(Arc::new(vec![])), &mut |_| {});
+        assert_eq!(node.messages_dropped(), 1);
     }
 
     #[test]

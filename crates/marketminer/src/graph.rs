@@ -11,6 +11,14 @@ use crate::node::{Component, Source};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub(crate) usize);
 
+impl NodeId {
+    /// Position in graph insertion order — the index into
+    /// [`crate::runtime::RunOutput::node_stats`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 pub(crate) enum NodeKind {
     Source(Box<dyn Source>),
     Component(Box<dyn Component>),

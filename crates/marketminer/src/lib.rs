@@ -29,8 +29,10 @@
 //! * [`graph`] — DAG description and validation (acyclicity, connectivity).
 //! * [`messages`] — the typed stream vocabulary.
 //! * [`node`] — the [`node::Component`] and [`node::Source`] traits.
-//! * [`runtime`] — the threaded executor with bounded backpressure and
-//!   disconnect-cascade shutdown.
+//! * [`runtime`] — the threaded executor with bounded backpressure,
+//!   EOF-counted shutdown and supervised fault recovery.
+//! * [`supervisor`] — restart policies, failure modes and the stall
+//!   watchdog configuration.
 //! * [`components`] — collectors, bar accumulator, technical analysis,
 //!   the parallel correlation engine node, the strategy host, the risk
 //!   manager and the order gateway.
@@ -42,11 +44,17 @@ pub mod messages;
 pub mod node;
 pub mod pipeline;
 pub mod runtime;
+pub mod supervisor;
 
+pub use components::{FaultedCollector, HealthPolicy, PanicInjector, WedgeInjector};
 pub use graph::{Graph, GraphError, NodeId};
-pub use messages::Message;
-pub use node::{Component, Source};
+pub use messages::{DegradeReason, HealthEvent, HealthStatus, Message};
+pub use node::{Component, NodeState, Source};
 pub use pipeline::{
-    run_fig1_pipeline, run_multi_pipeline, Fig1Config, Fig1Output, MultiConfig, MultiOutput,
+    run_fig1_pipeline, run_fig1_pipeline_with, run_multi_pipeline, Fig1Config, Fig1Output,
+    MultiConfig, MultiOutput,
 };
-pub use runtime::Runtime;
+pub use runtime::{NodeOutcome, NodeStats, RunOutput, Runtime};
+pub use supervisor::{
+    FailureMode, NodeFailure, RestartPolicy, StallEvent, SupervisionConfig, WatchdogConfig,
+};

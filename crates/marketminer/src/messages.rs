@@ -81,6 +81,49 @@ pub struct Basket {
     pub orders: Vec<OrderRequest>,
 }
 
+/// Why a symbol was marked degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The symbol's feed went quiet for too many consecutive intervals.
+    Outage,
+    /// The whole universe went quiet together (exchange-wide halt).
+    Halt,
+    /// The cleaning filter's reject-rate tripwire fired for the symbol.
+    Quarantine,
+}
+
+/// Per-symbol health state carried by a [`Message::Health`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// The symbol's feed is trustworthy again.
+    Healthy,
+    /// The symbol is degraded: downstream must mask it, flatten positions
+    /// touching it and refuse new entries until a `Healthy` event.
+    Degraded(DegradeReason),
+}
+
+/// A per-symbol health transition flowing through the existing DAG edges.
+///
+/// Emitted by the bar accumulator *before* the [`BarSet`] of the interval
+/// the transition takes effect at, so every consumer updates its degraded
+/// set before it prices or correlates that interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// First interval the new status applies to.
+    pub interval: usize,
+    /// Stock index.
+    pub symbol: usize,
+    /// The new status.
+    pub status: HealthStatus,
+}
+
+impl HealthEvent {
+    /// True when the event marks the symbol degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.status, HealthStatus::Degraded(_))
+    }
+}
+
 /// Messages on DAG edges.
 #[derive(Debug, Clone)]
 pub enum Message {
@@ -98,6 +141,11 @@ pub enum Message {
     Basket(Arc<Basket>),
     /// End-of-day trade report from a strategy node.
     Trades(Arc<Vec<Trade>>),
+    /// A per-symbol health transition (degradation control plane).
+    Health(Arc<HealthEvent>),
+    /// Runtime-internal end-of-stream marker: one per inbound edge. Never
+    /// delivered to components and never recorded by sinks.
+    Eof,
 }
 
 impl Message {
@@ -111,6 +159,8 @@ impl Message {
             Message::Order(_) => "order",
             Message::Basket(_) => "basket",
             Message::Trades(_) => "trades",
+            Message::Health(_) => "health",
+            Message::Eof => "eof",
         }
     }
 }

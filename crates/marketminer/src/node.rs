@@ -6,6 +6,50 @@ use crate::messages::Message;
 /// out to all downstream subscribers.
 pub type Emit<'a> = dyn FnMut(Message) + 'a;
 
+/// An opaque checkpoint of a component's state, taken by the supervised
+/// runtime between messages and handed back on restart after a panic.
+///
+/// The payload is a `Box<dyn Any>` so the trait stays object-safe; the
+/// conventional implementation snapshots a `Clone` of the whole component
+/// via [`snapshot_of`] / [`restore_into`].
+pub struct NodeState(Box<dyn std::any::Any + Send>);
+
+impl NodeState {
+    /// Wrap a concrete state value.
+    pub fn new<T: Send + 'static>(value: T) -> Self {
+        NodeState(Box::new(value))
+    }
+
+    /// Recover the concrete state, if the type matches.
+    pub fn downcast<T: 'static>(self) -> Option<Box<T>> {
+        self.0.downcast().ok()
+    }
+}
+
+impl std::fmt::Debug for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("NodeState(..)")
+    }
+}
+
+/// Snapshot a `Clone`-able component wholesale.
+pub fn snapshot_of<T: Clone + Send + 'static>(component: &T) -> Option<NodeState> {
+    Some(NodeState::new(component.clone()))
+}
+
+/// Restore a component from a whole-struct snapshot taken by
+/// [`snapshot_of`]. Returns false (leaving the component untouched) on a
+/// type mismatch.
+pub fn restore_into<T: 'static>(component: &mut T, state: NodeState) -> bool {
+    match state.downcast::<T>() {
+        Some(prev) => {
+            *component = *prev;
+            true
+        }
+        None => false,
+    }
+}
+
 /// A stream-processing component (a non-source node of the DAG).
 pub trait Component: Send {
     /// Component name for diagnostics.
@@ -17,6 +61,27 @@ pub trait Component: Send {
     /// Called once after the upstream finishes (all inputs drained) and
     /// before the node's own outputs close — flush buffered state here.
     fn on_end(&mut self, _out: &mut Emit<'_>) {}
+
+    /// Checkpoint support: capture the component's state. The supervised
+    /// runtime calls this periodically; a component returning `None`
+    /// (the default) cannot be restarted after a panic.
+    fn snapshot(&self) -> Option<NodeState> {
+        None
+    }
+
+    /// Restore state captured by [`Component::snapshot`]. Returns true on
+    /// success; false leaves the component unchanged and makes the
+    /// supervisor give up on the node.
+    fn restore(&mut self, _state: NodeState) -> bool {
+        false
+    }
+
+    /// Messages this component received but did not understand (neither
+    /// consumed nor forwarded). Surfaced in
+    /// [`crate::runtime::NodeStats::messages_dropped`].
+    fn messages_dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// A source node: drives the DAG by emitting messages until done.

@@ -17,12 +17,14 @@ use timeseries::clean::CleanConfig;
 use crate::components::risk::RiskLimits;
 use crate::components::technical::TechnicalAnalysisNode;
 use crate::components::{
-    BarAccumulatorNode, CorrelationEngineNode, OrderGatewayNode, ReplayCollector, RiskManagerNode,
-    StrategyHostNode,
+    BarAccumulatorNode, CorrelationEngineNode, HealthPolicy, OrderGatewayNode, ReplayCollector,
+    RiskManagerNode, StrategyHostNode,
 };
 use crate::graph::{Graph, GraphError};
-use crate::messages::{Basket, Message};
+use crate::messages::{Basket, HealthEvent, Message};
+use crate::node::Source;
 use crate::runtime::Runtime;
+use crate::supervisor::{NodeFailure, StallEvent};
 
 /// Configuration of the Figure-1 pipeline run.
 #[derive(Debug, Clone)]
@@ -42,6 +44,10 @@ pub struct Fig1Config {
     /// Whether emitted orders require human confirmation (Figure 1 shows
     /// both paths).
     pub needs_confirmation: bool,
+    /// Feed-health detection thresholds; `None` (the default) disables
+    /// the degradation control plane entirely, which keeps the byte
+    /// layout of every emitted message identical to previous releases.
+    pub health: Option<HealthPolicy>,
 }
 
 impl Fig1Config {
@@ -55,7 +61,14 @@ impl Fig1Config {
             corr_stride: 1,
             limits: RiskLimits::default(),
             needs_confirmation: false,
+            health: None,
         }
+    }
+
+    /// Enable the health/degradation control plane.
+    pub fn with_health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
     }
 }
 
@@ -66,8 +79,16 @@ pub struct Fig1Output {
     pub trades: Vec<Trade>,
     /// Order baskets, in emission order.
     pub baskets: Vec<Arc<Basket>>,
+    /// Health transitions that reached the sink (empty unless
+    /// [`Fig1Config::health`] is set).
+    pub health_events: Vec<Arc<HealthEvent>>,
     /// Per-node throughput accounting.
     pub node_stats: Vec<crate::runtime::NodeStats>,
+    /// Nodes that panicked (non-empty only under a supervised runtime in
+    /// degrade mode, or after successful restarts).
+    pub failures: Vec<NodeFailure>,
+    /// Nodes the watchdog severed as wedged.
+    pub stalls: Vec<StallEvent>,
 }
 
 impl Fig1Output {
@@ -79,13 +100,24 @@ impl Fig1Output {
 
 /// Build and run the Figure-1 DAG over one day of quotes.
 pub fn run_fig1_pipeline(day: DayData, cfg: &Fig1Config) -> Result<Fig1Output, GraphError> {
+    run_fig1_pipeline_with(Runtime::new(), Box::new(ReplayCollector::new(day)), cfg)
+}
+
+/// Build and run the Figure-1 DAG with an explicit runtime (e.g. a
+/// supervised one) and an arbitrary quote source (e.g. a
+/// [`crate::components::FaultedCollector`]).
+pub fn run_fig1_pipeline_with(
+    runtime: Runtime,
+    source: Box<dyn Source>,
+    cfg: &Fig1Config,
+) -> Result<Fig1Output, GraphError> {
     let mut g = Graph::new();
-    let collector = g.add_source(Box::new(ReplayCollector::new(day)));
-    let bars = g.add_component(Box::new(BarAccumulatorNode::new(
-        cfg.n_stocks,
-        cfg.params.dt_seconds,
-        cfg.clean,
-    )));
+    let collector = g.add_source(source);
+    let mut accumulator = BarAccumulatorNode::new(cfg.n_stocks, cfg.params.dt_seconds, cfg.clean);
+    if let Some(policy) = cfg.health {
+        accumulator = accumulator.with_health(policy);
+    }
+    let bars = g.add_component(Box::new(accumulator));
     let technical = g.add_component(Box::new(TechnicalAnalysisNode::new(cfg.n_stocks, 20)));
     let corr = g.add_component(Box::new(CorrelationEngineNode::new(
         cfg.n_stocks,
@@ -106,26 +138,31 @@ pub fn run_fig1_pipeline(day: DayData, cfg: &Fig1Config) -> Result<Fig1Output, G
     g.connect(collector, bars);
     g.connect(bars, technical);
     g.connect(technical, corr);
-    g.connect(bars, strategy); // prices
+    g.connect(bars, strategy); // prices (and health)
     g.connect(corr, strategy); // signals
     g.connect(strategy, risk);
     g.connect(risk, gateway);
     g.connect(gateway, sink);
 
-    let mut out = Runtime::new().run(g)?;
+    let mut out = runtime.run(g)?;
     let mut trades = Vec::new();
     let mut baskets = Vec::new();
+    let mut health_events = Vec::new();
     for msg in out.take_sink(sink) {
         match msg {
             Message::Trades(t) => trades.extend(t.iter().copied()),
             Message::Basket(b) => baskets.push(b),
+            Message::Health(h) => health_events.push(h),
             _ => {}
         }
     }
     Ok(Fig1Output {
         trades,
         baskets,
+        health_events,
         node_stats: out.node_stats,
+        failures: out.failures,
+        stalls: out.stalls,
     })
 }
 

@@ -1,4 +1,4 @@
-//! The threaded DAG executor.
+//! The threaded, supervised DAG executor.
 //!
 //! One OS thread per node — the shared-memory analogue of one MPI rank per
 //! pipeline stage. Edges are bounded crossbeam channels, so a slow stage
@@ -6,17 +6,62 @@
 //! ticks; acyclicity (checked by [`crate::graph::Graph::validate`])
 //! guarantees backpressure can't deadlock.
 //!
-//! Shutdown is a disconnect cascade: a source returns → its senders drop →
-//! downstream inboxes drain and close → components run
-//! [`crate::node::Component::on_end`], drop their own senders, and the
-//! wave reaches the sinks. No sentinel messages, no lost data.
+//! # Shutdown: per-edge EOF counting
+//!
+//! A finishing node sends one [`Message::Eof`] down every outgoing edge;
+//! a node stops reading once it has seen as many Eofs as it has inbound
+//! edges. Eofs are runtime-internal: never delivered to components, never
+//! recorded by sinks, never counted in stats. (A pure disconnect cascade
+//! is not enough once the watchdog exists — it holds channel clones to
+//! drain wedged nodes, which pins channels open.)
+//!
+//! # Supervision
+//!
+//! Every node body runs under `catch_unwind`. A panic is routed to the
+//! [`Supervisor`], whose per-node [`crate::supervisor::RestartPolicy`]
+//! (evaluated in *simulated time* — message counts — so runs are
+//! deterministic) answers restart-or-fail. A restartable node (policy ≠
+//! `Never` and [`crate::node::Component::snapshot`] supported) keeps a
+//! periodic checkpoint plus an in-memory log of messages processed since,
+//! each tagged with how many emissions it produced. Recovery restores the
+//! checkpoint, replays the log while suppressing exactly the recorded
+//! emissions (exactly-once emission downstream), then reprocesses the
+//! failing message, suppressing whatever partial output already escaped.
+//! A deterministic component therefore resumes in a bit-identical state,
+//! as if the panic never happened. A node that exhausts its budget fails:
+//! it drains its inbox (counting Eofs so upstream is never blocked),
+//! propagates Eofs downstream, and the run either completes without it
+//! ([`FailureMode::Degrade`]) or re-raises the first panic after draining
+//! ([`FailureMode::AbortRun`], the default — the pre-supervision
+//! semantics).
+//!
+//! # Stall detection
+//!
+//! With a [`crate::supervisor::WatchdogConfig`], each component heartbeats
+//! a `busy-since` timestamp at message start and before every
+//! (potentially blocking) emission — backpressure refreshes the
+//! heartbeat, so only a node stuck *inside* user code goes quiet. The
+//! watchdog severs a node busy past the quiet interval: it records a
+//! [`StallEvent`], injects Eofs on the node's outgoing edges, and drains
+//! its inbox from a receiver clone so neighbours finish normally. The
+//! wedged thread itself is abandoned, never joined.
 
+use std::any::Any;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::graph::{Graph, GraphError, NodeId, NodeKind};
 use crate::messages::Message;
+use crate::node::{Component, NodeState, Source};
+use crate::supervisor::{
+    panic_message, Directive, FailureMode, NodeFailure, StallEvent, SupervisionConfig, Supervisor,
+};
 
 /// Default per-edge channel capacity. Large enough to decouple stage
 /// jitter, small enough that a day of quotes never sits in memory.
@@ -25,14 +70,28 @@ pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 /// The DAG executor.
 pub struct Runtime {
     capacity: usize,
+    supervision: SupervisionConfig,
 }
 
 impl Default for Runtime {
     fn default() -> Self {
         Runtime {
             capacity: DEFAULT_CHANNEL_CAPACITY,
+            supervision: SupervisionConfig::default(),
         }
     }
+}
+
+/// How a node's run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeOutcome {
+    /// Processed its whole stream (possibly after supervised restarts).
+    #[default]
+    Completed,
+    /// Panicked past its restart budget; the stream continued without it.
+    Failed,
+    /// Declared wedged by the watchdog and severed from the graph.
+    Wedged,
 }
 
 /// Per-node throughput accounting for a completed run.
@@ -40,19 +99,30 @@ impl Default for Runtime {
 pub struct NodeStats {
     /// Node name (as reported by the component/source).
     pub name: String,
-    /// Messages consumed from the inbox.
+    /// Messages consumed from the inbox (Eofs excluded).
     pub messages_in: u64,
-    /// Messages emitted downstream (before fan-out duplication).
+    /// Messages emitted downstream (before fan-out duplication, Eofs and
+    /// replay-suppressed re-emissions excluded).
     pub messages_out: u64,
+    /// Messages the component received but neither consumed nor forwarded.
+    pub messages_dropped: u64,
+    /// Supervised restarts granted to the node.
+    pub restarts: u32,
+    /// How the node's run ended.
+    pub outcome: NodeOutcome,
 }
 
 /// What the run produced: every sink's collected messages plus per-node
-/// throughput statistics.
+/// throughput statistics and the supervision ledgers.
 #[derive(Debug, Default)]
 pub struct RunOutput {
     sinks: HashMap<usize, Vec<Message>>,
     /// Per-node stats in node-id order.
     pub node_stats: Vec<NodeStats>,
+    /// Nodes that failed for good, in node-id order.
+    pub failures: Vec<NodeFailure>,
+    /// Nodes the watchdog severed, in node-id order.
+    pub stalls: Vec<StallEvent>,
 }
 
 impl RunOutput {
@@ -66,22 +136,530 @@ impl RunOutput {
         self.sinks.remove(&id.0).unwrap_or_default()
     }
 
+    /// True when every node completed without failure or stall.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.stalls.is_empty()
+    }
+
     /// Render the throughput table (diagnostics).
     pub fn render_node_stats(&self) -> String {
-        let mut out =
-            String::from("node                                      msgs in   msgs out\n");
+        let mut out = String::from(
+            "node                                      msgs in   msgs out    dropped restarts outcome\n",
+        );
         for s in &self.node_stats {
             out.push_str(&format!(
-                "{:<40} {:>9} {:>10}\n",
-                s.name, s.messages_in, s.messages_out
+                "{:<40} {:>9} {:>10} {:>10} {:>8} {:?}\n",
+                s.name, s.messages_in, s.messages_out, s.messages_dropped, s.restarts, s.outcome
             ));
         }
         out
     }
 }
 
+// Node lifecycle states (NodeHealth::state). The CAS between FINISHING
+// (the node owns its epilogue) and SEVERED (the watchdog owns it) is what
+// guarantees exactly one party sends the node's Eofs.
+const RUNNING: u8 = 0;
+const FINISHING: u8 = 1;
+const SEVERED: u8 = 2;
+
+/// Shared per-node liveness/accounting record (written by the node
+/// thread, read by the watchdog and the collection loop).
+struct NodeHealth {
+    /// Wall-clock ms (since run start, +1 so 0 means idle) when the node
+    /// entered user code or last emitted. 0 between messages.
+    busy_since_ms: AtomicU64,
+    state: AtomicU8,
+    received: AtomicU64,
+    sent: AtomicU64,
+    restarts: AtomicU32,
+}
+
+impl NodeHealth {
+    fn new() -> Self {
+        NodeHealth {
+            busy_since_ms: AtomicU64::new(0),
+            state: AtomicU8::new(RUNNING),
+            received: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            restarts: AtomicU32::new(0),
+        }
+    }
+
+    fn severed(&self) -> bool {
+        self.state.load(Ordering::Acquire) == SEVERED
+    }
+}
+
+/// State shared between node threads, the watchdog and the collector.
+struct Shared {
+    health: Vec<NodeHealth>,
+    supervisor: Supervisor,
+    run_done: AtomicBool,
+    /// First fatal panic payload, re-raised under `FailureMode::AbortRun`.
+    panic_slot: Mutex<Option<Box<dyn Any + Send>>>,
+    results: Mutex<Vec<(usize, Vec<Message>)>>,
+    start: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64 + 1
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic_slot.lock().expect("panic slot");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+enum Event {
+    Msg(Message),
+    End,
+}
+
+/// Run one component callback under `catch_unwind`, counting logical
+/// emissions and suppressing the first `skip` of them (already delivered
+/// before a panic, or during a previous incarnation being replayed).
+/// Returns the logical emission count, or the partial count plus the
+/// panic payload.
+fn deliver(
+    component: &mut dyn Component,
+    event: Event,
+    skip: u64,
+    outs: &[Sender<Message>],
+    h: &NodeHealth,
+    shared: &Shared,
+) -> Result<u64, (u64, Box<dyn Any + Send>)> {
+    let emitted = Cell::new(0u64);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut emit = |msg: Message| {
+            let k = emitted.get();
+            emitted.set(k + 1);
+            if k < skip {
+                return;
+            }
+            // A blocked send is backpressure, not a wedge: refresh the
+            // heartbeat before every potentially blocking send.
+            h.busy_since_ms.store(shared.now_ms(), Ordering::Relaxed);
+            if h.severed() {
+                return;
+            }
+            fan_out(outs, msg);
+            h.sent.fetch_add(1, Ordering::Relaxed);
+        };
+        match event {
+            Event::Msg(m) => component.on_message(m, &mut emit),
+            Event::End => component.on_end(&mut emit),
+        }
+    }));
+    match result {
+        Ok(()) => Ok(emitted.get()),
+        Err(payload) => Err((emitted.get(), payload)),
+    }
+}
+
+/// Restore the last checkpoint and replay the since-checkpoint log with
+/// all recorded emissions suppressed. False means recovery is impossible
+/// (no checkpoint, restore refused, or the replay itself panicked) and
+/// the node must fail.
+fn restore_and_replay(
+    component: &mut dyn Component,
+    checkpoint: &mut Option<NodeState>,
+    log: &[(Message, u64)],
+    outs: &[Sender<Message>],
+    h: &NodeHealth,
+    shared: &Shared,
+) -> bool {
+    let Some(state) = checkpoint.take() else {
+        return false;
+    };
+    if !component.restore(state) {
+        return false;
+    }
+    // restore() consumed the checkpoint; immediately re-snapshot the same
+    // state so a later panic can recover again.
+    *checkpoint = component.snapshot();
+    for (msg, emissions) in log {
+        if deliver(
+            component,
+            Event::Msg(msg.clone()),
+            *emissions,
+            outs,
+            h,
+            shared,
+        )
+        .is_err()
+        {
+            return false;
+        }
+    }
+    true
+}
+
+struct ComponentCtx {
+    idx: usize,
+    in_degree: usize,
+    rx: Receiver<Message>,
+    outs: Vec<Sender<Message>>,
+    restart_allowed: bool,
+    snapshot_every: u64,
+    stats_tx: Sender<(usize, NodeStats)>,
+    shared: Arc<Shared>,
+}
+
+fn run_component(mut component: Box<dyn Component>, ctx: ComponentCtx) {
+    let ComponentCtx {
+        idx,
+        in_degree,
+        rx,
+        outs,
+        restart_allowed,
+        snapshot_every,
+        stats_tx,
+        shared,
+    } = ctx;
+    let h = &shared.health[idx];
+
+    let mut checkpoint: Option<NodeState> = if restart_allowed {
+        component.snapshot()
+    } else {
+        None
+    };
+    // Restartable = policy allows it AND the component supports snapshots.
+    // Non-restartable nodes pay zero overhead: no clones, no replay log.
+    let restartable = checkpoint.is_some();
+    let mut log: Vec<(Message, u64)> = Vec::new();
+    let mut processed = 0u64;
+    let mut failed: Option<Box<dyn Any + Send>> = None;
+    let mut eofs = 0usize;
+
+    while eofs < in_degree {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => break,
+        };
+        if matches!(msg, Message::Eof) {
+            eofs += 1;
+            continue;
+        }
+        processed += 1;
+        h.received.fetch_add(1, Ordering::Relaxed);
+        h.busy_since_ms.store(shared.now_ms(), Ordering::Relaxed);
+
+        let outcome: Result<(), Box<dyn Any + Send>> = if !restartable {
+            deliver(&mut *component, Event::Msg(msg), 0, &outs, h, &shared)
+                .map(|_| ())
+                .map_err(|(_, p)| p)
+        } else {
+            // Suppress emissions that already escaped in failed attempts
+            // of this same message, so a retry emits each output once.
+            let mut skip = 0u64;
+            loop {
+                match deliver(
+                    &mut *component,
+                    Event::Msg(msg.clone()),
+                    skip,
+                    &outs,
+                    h,
+                    &shared,
+                ) {
+                    Ok(emissions) => {
+                        log.push((msg, emissions));
+                        break Ok(());
+                    }
+                    Err((done, payload)) => {
+                        skip = skip.max(done);
+                        if shared.supervisor.on_panic(idx, processed) == Directive::Restart {
+                            h.restarts.fetch_add(1, Ordering::Relaxed);
+                            if !restore_and_replay(
+                                &mut *component,
+                                &mut checkpoint,
+                                &log,
+                                &outs,
+                                h,
+                                &shared,
+                            ) {
+                                break Err(payload);
+                            }
+                        } else {
+                            break Err(payload);
+                        }
+                    }
+                }
+            }
+        };
+        h.busy_since_ms.store(0, Ordering::Relaxed);
+        if h.severed() {
+            // The watchdog already injected our Eofs and is draining our
+            // inbox; vanish without an epilogue.
+            return;
+        }
+        match outcome {
+            Ok(()) => {
+                if restartable && processed.is_multiple_of(snapshot_every) {
+                    if let Some(state) = component.snapshot() {
+                        checkpoint = Some(state);
+                        log.clear();
+                    }
+                }
+            }
+            Err(payload) => {
+                failed = Some(payload);
+                break;
+            }
+        }
+    }
+
+    if failed.is_none() {
+        // End-of-stream flush, under the same supervision discipline.
+        h.busy_since_ms.store(shared.now_ms(), Ordering::Relaxed);
+        let end_outcome: Result<(), Box<dyn Any + Send>> = if !restartable {
+            deliver(&mut *component, Event::End, 0, &outs, h, &shared)
+                .map(|_| ())
+                .map_err(|(_, p)| p)
+        } else {
+            let mut skip = 0u64;
+            loop {
+                match deliver(&mut *component, Event::End, skip, &outs, h, &shared) {
+                    Ok(_) => break Ok(()),
+                    Err((done, payload)) => {
+                        skip = skip.max(done);
+                        if shared.supervisor.on_panic(idx, processed) == Directive::Restart {
+                            h.restarts.fetch_add(1, Ordering::Relaxed);
+                            if !restore_and_replay(
+                                &mut *component,
+                                &mut checkpoint,
+                                &log,
+                                &outs,
+                                h,
+                                &shared,
+                            ) {
+                                break Err(payload);
+                            }
+                        } else {
+                            break Err(payload);
+                        }
+                    }
+                }
+            }
+        };
+        h.busy_since_ms.store(0, Ordering::Relaxed);
+        if h.severed() {
+            return;
+        }
+        if let Err(payload) = end_outcome {
+            failed = Some(payload);
+        }
+    }
+
+    let node_failed = failed.is_some();
+    if let Some(payload) = failed {
+        shared.supervisor.record_failure(NodeFailure {
+            node: idx,
+            name: component.name().to_string(),
+            error: panic_message(payload.as_ref()),
+            restarts: h.restarts.load(Ordering::Relaxed),
+        });
+        shared.record_panic(payload);
+        // Keep draining so upstream backpressure can't deadlock the run;
+        // count Eofs because disconnect may never come (the watchdog holds
+        // receiver clones).
+        while eofs < in_degree {
+            match rx.recv() {
+                Ok(Message::Eof) => eofs += 1,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    // Exactly one party runs the epilogue: us (FINISHING) or, if the
+    // watchdog severed us in the meantime, nobody — its injector already
+    // sent our Eofs and duplicating them would make a downstream fan-in
+    // stop before its other upstreams finish.
+    if h.state
+        .compare_exchange(RUNNING, FINISHING, Ordering::AcqRel, Ordering::Acquire)
+        .is_err()
+    {
+        return;
+    }
+    drop(rx);
+    for tx in &outs {
+        let _ = tx.send(Message::Eof);
+    }
+    let stats = NodeStats {
+        name: component.name().to_string(),
+        messages_in: processed,
+        messages_out: h.sent.load(Ordering::Relaxed),
+        messages_dropped: component.messages_dropped(),
+        restarts: h.restarts.load(Ordering::Relaxed),
+        outcome: if node_failed {
+            NodeOutcome::Failed
+        } else {
+            NodeOutcome::Completed
+        },
+    };
+    let _ = stats_tx.send((idx, stats));
+}
+
+fn run_source(
+    mut source: Box<dyn Source>,
+    idx: usize,
+    outs: Vec<Sender<Message>>,
+    stats_tx: Sender<(usize, NodeStats)>,
+    shared: Arc<Shared>,
+) {
+    let h = &shared.health[idx];
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut emit = |msg: Message| {
+            fan_out(&outs, msg);
+            h.sent.fetch_add(1, Ordering::Relaxed);
+        };
+        source.run(&mut emit);
+    }));
+    let failed = result.is_err();
+    if let Err(payload) = result {
+        // Sources have no inbox to replay from; a source panic always
+        // fails the node (its partial stream still flows downstream).
+        shared.supervisor.record_failure(NodeFailure {
+            node: idx,
+            name: source.name().to_string(),
+            error: panic_message(payload.as_ref()),
+            restarts: 0,
+        });
+        shared.record_panic(payload);
+    }
+    for tx in &outs {
+        let _ = tx.send(Message::Eof);
+    }
+    let _ = stats_tx.send((
+        idx,
+        NodeStats {
+            name: source.name().to_string(),
+            messages_in: 0,
+            messages_out: h.sent.load(Ordering::Relaxed),
+            messages_dropped: 0,
+            restarts: 0,
+            outcome: if failed {
+                NodeOutcome::Failed
+            } else {
+                NodeOutcome::Completed
+            },
+        },
+    ));
+}
+
+fn run_sink(
+    name: String,
+    idx: usize,
+    in_degree: usize,
+    rx: Receiver<Message>,
+    stats_tx: Sender<(usize, NodeStats)>,
+    shared: Arc<Shared>,
+) {
+    let mut msgs: Vec<Message> = Vec::new();
+    let mut eofs = 0usize;
+    while eofs < in_degree {
+        match rx.recv() {
+            Ok(Message::Eof) => eofs += 1,
+            Ok(m) => msgs.push(m),
+            Err(_) => break,
+        }
+    }
+    let count = msgs.len() as u64;
+    // Results before stats: the collection loop treats a node's stats as
+    // its completion signal.
+    shared
+        .results
+        .lock()
+        .expect("sink results")
+        .push((idx, msgs));
+    let _ = stats_tx.send((
+        idx,
+        NodeStats {
+            name,
+            messages_in: count,
+            messages_out: 0,
+            messages_dropped: 0,
+            restarts: 0,
+            outcome: NodeOutcome::Completed,
+        },
+    ));
+}
+
+/// Everything the watchdog needs to sever a wedged node.
+struct WatchdogRig {
+    shared: Arc<Shared>,
+    quiet_ms: u64,
+    poll: std::time::Duration,
+    /// Per node: sender clones for its outgoing edges (Eof injection).
+    outs: Vec<Vec<Sender<Message>>>,
+    /// Per node: a receiver clone of its inbox (drain after sever).
+    inboxes: Vec<Option<Receiver<Message>>>,
+    in_degree: Vec<usize>,
+    names: Vec<String>,
+}
+
+fn run_watchdog(mut rig: WatchdogRig) {
+    while !rig.shared.run_done.load(Ordering::Acquire) {
+        std::thread::sleep(rig.poll);
+        let now = rig.shared.now_ms();
+        for idx in 0..rig.names.len() {
+            let h = &rig.shared.health[idx];
+            let busy = h.busy_since_ms.load(Ordering::Relaxed);
+            if busy == 0 || now.saturating_sub(busy) <= rig.quiet_ms {
+                continue;
+            }
+            // The CAS races the node's own FINISHING transition: if the
+            // node beat us it finished honestly and we must not sever.
+            if h.state
+                .compare_exchange(RUNNING, SEVERED, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            rig.shared.supervisor.record_stall(StallEvent {
+                node: idx,
+                name: rig.names[idx].clone(),
+            });
+            // Inject the severed node's Eofs from a helper thread — the
+            // sends may block on full downstream channels and the
+            // watchdog must keep scanning.
+            let outs = std::mem::take(&mut rig.outs[idx]);
+            std::thread::spawn(move || {
+                for tx in &outs {
+                    let _ = tx.send(Message::Eof);
+                }
+            });
+            // Drain the severed node's inbox so its upstreams never block
+            // on backpressure; stop once every inbound edge delivered its
+            // Eof (or the run ends).
+            if let Some(drain_rx) = rig.inboxes[idx].take() {
+                let need = rig.in_degree[idx];
+                let shared = Arc::clone(&rig.shared);
+                let poll = rig.poll;
+                std::thread::spawn(move || {
+                    let mut eofs = 0usize;
+                    while eofs < need && !shared.run_done.load(Ordering::Acquire) {
+                        match drain_rx.recv_timeout(poll) {
+                            Ok(Message::Eof) => eofs += 1,
+                            Ok(_) => {}
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
 impl Runtime {
-    /// Runtime with the default channel capacity.
+    /// Runtime with the default channel capacity and no supervision
+    /// (panics abort the run, as a bare thread panic would).
     pub fn new() -> Self {
         Self::default()
     }
@@ -89,13 +667,28 @@ impl Runtime {
     /// Override the per-edge channel capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "channel capacity must be positive");
-        Runtime { capacity }
+        Runtime {
+            capacity,
+            supervision: SupervisionConfig::default(),
+        }
+    }
+
+    /// Attach a supervision configuration (restart policies, failure
+    /// mode, stall watchdog).
+    pub fn supervised(mut self, supervision: SupervisionConfig) -> Self {
+        self.supervision = supervision;
+        self
     }
 
     /// Validate and execute the graph to completion.
     pub fn run(&self, graph: Graph) -> Result<RunOutput, GraphError> {
         graph.validate()?;
         let n = graph.nodes.len();
+        let names: Vec<String> = graph.nodes.iter().map(|e| e.name.clone()).collect();
+        let mut in_degree = vec![0usize; n];
+        for &(_, to) in &graph.edges {
+            in_degree[to] += 1;
+        }
 
         // Build one inbox per node; fan-in shares the inbox sender.
         let mut inbox_tx: Vec<Option<Sender<Message>>> = Vec::with_capacity(n);
@@ -116,106 +709,148 @@ impl Runtime {
                     .clone(),
             );
         }
-        // Drop the original inbox senders: only edge clones remain, so a
-        // node's inbox closes exactly when all upstream nodes finish.
+        // Drop the original inbox senders: only edge clones remain.
         for tx in inbox_tx.iter_mut() {
             tx.take();
         }
 
-        let mut sink_results: Vec<Option<(usize, Vec<Message>)>> = Vec::new();
-        let (stats_tx, stats_rx) = bounded::<(usize, NodeStats)>(n);
-        std::thread::scope(|scope| {
-            let mut sink_handles = Vec::new();
-            for (idx, entry) in graph.nodes.into_iter().enumerate() {
-                let my_outs = std::mem::take(&mut outs[idx]);
-                let my_rx = inbox_rx[idx].take().expect("inbox receiver");
-                let stats_tx = stats_tx.clone();
-                match entry.kind {
-                    NodeKind::Source(mut source) => {
-                        // Sources ignore their (closed) inbox.
-                        drop(my_rx);
-                        scope.spawn(move || {
-                            let mut sent = 0u64;
-                            {
-                                let mut emit = |msg: Message| {
-                                    sent += 1;
-                                    fan_out(&my_outs, msg)
-                                };
-                                source.run(&mut emit);
-                            }
-                            let _ = stats_tx.send((
-                                idx,
-                                NodeStats {
-                                    name: source.name().to_string(),
-                                    messages_in: 0,
-                                    messages_out: sent,
-                                },
-                            ));
-                            // Senders drop here: downstream begins closing.
-                        });
-                    }
-                    NodeKind::Component(mut component) => {
-                        scope.spawn(move || {
-                            let mut received = 0u64;
-                            let mut sent = 0u64;
-                            {
-                                let mut emit = |msg: Message| {
-                                    sent += 1;
-                                    fan_out(&my_outs, msg)
-                                };
-                                for msg in my_rx.iter() {
-                                    received += 1;
-                                    component.on_message(msg, &mut emit);
-                                }
-                                component.on_end(&mut emit);
-                            }
-                            let _ = stats_tx.send((
-                                idx,
-                                NodeStats {
-                                    name: component.name().to_string(),
-                                    messages_in: received,
-                                    messages_out: sent,
-                                },
-                            ));
-                        });
-                    }
-                    NodeKind::Sink => {
-                        let name = entry.name.clone();
-                        sink_handles.push((
-                            idx,
-                            scope.spawn(move || {
-                                drop(my_outs); // sinks have no outputs
-                                let msgs: Vec<Message> = my_rx.iter().collect();
-                                let _ = stats_tx.send((
-                                    idx,
-                                    NodeStats {
-                                        name,
-                                        messages_in: msgs.len() as u64,
-                                        messages_out: 0,
-                                    },
-                                ));
-                                msgs
-                            }),
-                        ));
-                    }
-                }
-            }
-            drop(stats_tx);
-            for (idx, h) in sink_handles {
-                match h.join() {
-                    Ok(msgs) => sink_results.push(Some((idx, msgs))),
-                    Err(p) => std::panic::resume_unwind(p),
-                }
-            }
+        let shared = Arc::new(Shared {
+            health: (0..n).map(|_| NodeHealth::new()).collect(),
+            supervisor: Supervisor::new((0..n).map(|i| self.supervision.policy_for(i)).collect()),
+            run_done: AtomicBool::new(false),
+            panic_slot: Mutex::new(None),
+            results: Mutex::new(Vec::new()),
+            start: Instant::now(),
         });
 
-        let mut output = RunOutput::default();
-        for entry in sink_results.into_iter().flatten() {
-            output.sinks.insert(entry.0, entry.1);
+        // The watchdog needs its own channel handles, cloned before the
+        // node threads take ownership of the originals.
+        let watchdog = self.supervision.watchdog;
+        let watchdog_handle = watchdog.map(|cfg| {
+            let rig = WatchdogRig {
+                shared: Arc::clone(&shared),
+                quiet_ms: cfg.quiet.as_millis() as u64,
+                poll: cfg.poll,
+                outs: outs.clone(),
+                inboxes: inbox_rx.clone(),
+                in_degree: in_degree.clone(),
+                names: names.clone(),
+            };
+            std::thread::spawn(move || run_watchdog(rig))
+        });
+
+        let (stats_tx, stats_rx) = bounded::<(usize, NodeStats)>(n.max(1));
+        let snapshot_every = self.supervision.snapshot_cadence();
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::with_capacity(n);
+        for (idx, entry) in graph.nodes.into_iter().enumerate() {
+            let node_outs = std::mem::take(&mut outs[idx]);
+            let node_rx = inbox_rx[idx].take().expect("inbox receiver");
+            let stats_tx = stats_tx.clone();
+            let shared = Arc::clone(&shared);
+            let handle = match entry.kind {
+                NodeKind::Source(source) => {
+                    drop(node_rx); // sources ignore their (empty) inbox
+                    std::thread::spawn(move || run_source(source, idx, node_outs, stats_tx, shared))
+                }
+                NodeKind::Component(component) => {
+                    let ctx = ComponentCtx {
+                        idx,
+                        in_degree: in_degree[idx],
+                        rx: node_rx,
+                        outs: node_outs,
+                        restart_allowed: self.supervision.policy_for(idx)
+                            != crate::supervisor::RestartPolicy::Never,
+                        snapshot_every,
+                        stats_tx,
+                        shared,
+                    };
+                    std::thread::spawn(move || run_component(component, ctx))
+                }
+                NodeKind::Sink => {
+                    drop(node_outs); // sinks have no outputs
+                    let name = entry.name;
+                    let deg = in_degree[idx];
+                    std::thread::spawn(move || run_sink(name, idx, deg, node_rx, stats_tx, shared))
+                }
+            };
+            handles.push(handle);
         }
-        let mut stats: Vec<(usize, NodeStats)> = stats_rx.iter().collect();
-        stats.sort_by_key(|(idx, _)| *idx);
-        output.node_stats = stats.into_iter().map(|(_, s)| s).collect();
+        drop(stats_tx);
+
+        // Collect until every node is accounted for: a stats message for
+        // completed/failed nodes, the severed flag for wedged ones (their
+        // threads never report).
+        let mut stats_slots: Vec<Option<NodeStats>> = (0..n).map(|_| None).collect();
+        let mut done = vec![false; n];
+        let mut completed = 0usize;
+        while completed < n {
+            let received = if let Some(cfg) = watchdog {
+                match stats_rx.recv_timeout(cfg.poll) {
+                    Ok(pair) => Some(pair),
+                    Err(RecvTimeoutError::Timeout) => {
+                        for idx in 0..n {
+                            if !done[idx] && shared.health[idx].severed() {
+                                done[idx] = true;
+                                completed += 1;
+                                let h = &shared.health[idx];
+                                stats_slots[idx] = Some(NodeStats {
+                                    name: names[idx].clone(),
+                                    messages_in: h.received.load(Ordering::Relaxed),
+                                    messages_out: h.sent.load(Ordering::Relaxed),
+                                    messages_dropped: 0,
+                                    restarts: h.restarts.load(Ordering::Relaxed),
+                                    outcome: NodeOutcome::Wedged,
+                                });
+                            }
+                        }
+                        None
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            } else {
+                match stats_rx.recv() {
+                    Ok(pair) => Some(pair),
+                    Err(_) => break,
+                }
+            };
+            if let Some((idx, stats)) = received {
+                // Guard against the sever-vs-finish race double counting.
+                if !done[idx] {
+                    done[idx] = true;
+                    completed += 1;
+                    stats_slots[idx] = Some(stats);
+                }
+            }
+        }
+
+        shared.run_done.store(true, Ordering::Release);
+        if let Some(handle) = watchdog_handle {
+            let _ = handle.join();
+        }
+        for (idx, handle) in handles.into_iter().enumerate() {
+            // Wedged threads are stuck in user code forever; abandon them.
+            if !shared.health[idx].severed() {
+                let _ = handle.join();
+            }
+        }
+
+        let mut output = RunOutput {
+            node_stats: stats_slots.into_iter().flatten().collect(),
+            ..RunOutput::default()
+        };
+        for (idx, msgs) in std::mem::take(&mut *shared.results.lock().expect("sink results")) {
+            output.sinks.insert(idx, msgs);
+        }
+        let (failures, stalls) = shared.supervisor.take_ledgers();
+        output.failures = failures;
+        output.stalls = stalls;
+
+        if self.supervision.failure_mode == FailureMode::AbortRun {
+            let payload = shared.panic_slot.lock().expect("panic slot").take();
+            if let Some(payload) = payload {
+                std::panic::resume_unwind(payload);
+            }
+        }
         Ok(output)
     }
 }
@@ -243,7 +878,8 @@ mod tests {
     use std::sync::Arc;
 
     use crate::messages::{BarSet, Message};
-    use crate::node::{Component, Emit, Passthrough, Source};
+    use crate::node::{self, Component, Emit, Passthrough, Source};
+    use crate::supervisor::{RestartPolicy, WatchdogConfig};
 
     struct CountSource {
         n: usize,
@@ -388,6 +1024,7 @@ mod tests {
         assert_eq!((s.messages_in, s.messages_out), (0, 25));
         let d = by_name("doubler");
         assert_eq!((d.messages_in, d.messages_out), (25, 26), "25 bars + flush");
+        assert_eq!(d.outcome, NodeOutcome::Completed);
         let k = by_name("sink");
         assert_eq!((k.messages_in, k.messages_out), (26, 0));
         let table = out.render_node_stats();
@@ -420,5 +1057,324 @@ mod tests {
         assert!(other.is_empty());
         let mut out = Runtime::new().run(g).unwrap();
         assert_eq!(out.take_sink(sink).len(), 3);
+    }
+
+    // ---- supervision ----
+
+    /// A doubler with full checkpoint support that panics once, the first
+    /// time it sees message `panic_at`. The trigger lives behind an `Arc`
+    /// shared across snapshots, so a restore does NOT rearm it — the
+    /// retry after recovery succeeds (a transient fault, not a poison
+    /// pill).
+    #[derive(Clone)]
+    struct FlakyDoubler {
+        seen: u64,
+        panic_at: u64,
+        fired: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl FlakyDoubler {
+        fn new(panic_at: u64) -> Self {
+            FlakyDoubler {
+                seen: 0,
+                panic_at,
+                fired: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            }
+        }
+    }
+
+    impl Component for FlakyDoubler {
+        fn name(&self) -> &str {
+            "flaky-doubler"
+        }
+
+        fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+            if let Message::Bars(b) = msg {
+                self.seen += 1;
+                if self.seen == self.panic_at && !self.fired.swap(true, Ordering::SeqCst) {
+                    panic!("transient fault at message {}", self.seen);
+                }
+                out(Message::Bars(Arc::new(BarSet {
+                    interval: b.interval,
+                    closes: b.closes.iter().map(|c| c * 2.0).collect(),
+                    ticks: b.ticks.clone(),
+                })));
+            }
+        }
+
+        fn snapshot(&self) -> Option<NodeState> {
+            node::snapshot_of(self)
+        }
+
+        fn restore(&mut self, state: NodeState) -> bool {
+            node::restore_into(self, state)
+        }
+    }
+
+    fn closes_of(msgs: &[Message]) -> Vec<(usize, Vec<f64>)> {
+        msgs.iter()
+            .map(|m| match m {
+                Message::Bars(b) => (b.interval, b.closes.clone()),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn restarted_node_produces_identical_output() {
+        let run = |panic_at: u64| {
+            let mut g = Graph::new();
+            let src = g.add_source(Box::new(CountSource { n: 40 }));
+            let mid = g.add_component(Box::new(FlakyDoubler::new(panic_at)));
+            let sink = g.add_sink("sink");
+            g.connect(src, mid);
+            g.connect(mid, sink);
+            let cfg = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 3 }, 8);
+            let mut out = Runtime::new().supervised(cfg).run(g).unwrap();
+            (out.take_sink(sink), out)
+        };
+        let (clean, clean_out) = run(u64::MAX);
+        // Panic at message 21: checkpoint at 16, replay 17..20, retry 21.
+        let (flaky, flaky_out) = run(21);
+        assert!(clean_out.is_clean());
+        assert!(flaky_out.is_clean(), "restart absorbed the panic");
+        assert_eq!(
+            closes_of(&flaky),
+            closes_of(&clean),
+            "exactly-once, bit-identical output after restart"
+        );
+        let mid_stats = flaky_out
+            .node_stats
+            .iter()
+            .find(|s| s.name == "flaky-doubler")
+            .unwrap();
+        assert_eq!(mid_stats.restarts, 1);
+        assert_eq!(mid_stats.outcome, NodeOutcome::Completed);
+    }
+
+    /// Panics every time it sees message `panic_at` — restore rearms it
+    /// (the trigger is part of the snapshot), so it exhausts any budget.
+    #[derive(Clone)]
+    struct PoisonPill {
+        seen: u64,
+        panic_at: u64,
+    }
+
+    impl Component for PoisonPill {
+        fn name(&self) -> &str {
+            "poison-pill"
+        }
+
+        fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+            if let Message::Bars(_) = &msg {
+                self.seen += 1;
+                if self.seen == self.panic_at {
+                    panic!("poison pill at message {}", self.seen);
+                }
+                out(msg);
+            }
+        }
+
+        fn snapshot(&self) -> Option<NodeState> {
+            node::snapshot_of(self)
+        }
+
+        fn restore(&mut self, state: NodeState) -> bool {
+            node::restore_into(self, state)
+        }
+    }
+
+    #[test]
+    fn poison_pill_exhausts_budget_and_degrades() {
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(CountSource { n: 10 }));
+        let mid = g.add_component(Box::new(PoisonPill {
+            seen: 0,
+            panic_at: 5,
+        }));
+        let sink = g.add_sink("sink");
+        g.connect(src, mid);
+        g.connect(mid, sink);
+        let cfg = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 2 }, 2)
+            .with_failure_mode(FailureMode::Degrade);
+        let mut out = Runtime::new().supervised(cfg).run(g).unwrap();
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].restarts, 2);
+        assert!(out.failures[0].error.contains("poison pill"));
+        let msgs = out.take_sink(sink);
+        assert_eq!(msgs.len(), 4, "messages 1..=4 passed before the pill");
+        let stats = out
+            .node_stats
+            .iter()
+            .find(|s| s.name == "poison-pill")
+            .unwrap();
+        assert_eq!(stats.outcome, NodeOutcome::Failed);
+    }
+
+    #[test]
+    #[should_panic(expected = "poison pill")]
+    fn abort_run_propagates_the_panic() {
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(CountSource { n: 10 }));
+        let mid = g.add_component(Box::new(PoisonPill {
+            seen: 0,
+            panic_at: 5,
+        }));
+        let sink = g.add_sink("sink");
+        g.connect(src, mid);
+        g.connect(mid, sink);
+        // Default supervision: RestartPolicy::Never + FailureMode::AbortRun.
+        let _ = Runtime::new().run(g);
+    }
+
+    #[test]
+    fn degrade_mode_completes_around_an_unrestartable_node() {
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(CountSource { n: 10 }));
+        let mid = g.add_component(Box::new(PoisonPill {
+            seen: 0,
+            panic_at: 3,
+        }));
+        let sink = g.add_sink("sink");
+        g.connect(src, mid);
+        g.connect(mid, sink);
+        let cfg = SupervisionConfig::default().with_failure_mode(FailureMode::Degrade);
+        let mut out = Runtime::new().supervised(cfg).run(g).unwrap();
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].restarts, 0, "Never grants no restarts");
+        assert_eq!(out.take_sink(sink).len(), 2);
+    }
+
+    /// Counts unknown message kinds instead of aborting.
+    struct BarsOnly {
+        dropped: u64,
+    }
+
+    impl Component for BarsOnly {
+        fn name(&self) -> &str {
+            "bars-only"
+        }
+
+        fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+            match msg {
+                Message::Bars(_) => out(msg),
+                _ => self.dropped += 1,
+            }
+        }
+
+        fn messages_dropped(&self) -> u64 {
+            self.dropped
+        }
+    }
+
+    struct MixedSource;
+
+    impl Source for MixedSource {
+        fn name(&self) -> &str {
+            "mixed-source"
+        }
+
+        fn run(&mut self, out: &mut Emit<'_>) {
+            for k in 0..6 {
+                out(Message::Bars(Arc::new(BarSet {
+                    interval: k,
+                    closes: vec![1.0],
+                    ticks: vec![1],
+                })));
+                out(Message::Trades(Arc::new(Vec::new())));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_messages_count_as_dropped_not_fatal() {
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(MixedSource));
+        let mid = g.add_component(Box::new(BarsOnly { dropped: 0 }));
+        let sink = g.add_sink("sink");
+        g.connect(src, mid);
+        g.connect(mid, sink);
+        let mut out = Runtime::new().run(g).unwrap();
+        assert_eq!(out.take_sink(sink).len(), 6);
+        let stats = out
+            .node_stats
+            .iter()
+            .find(|s| s.name == "bars-only")
+            .unwrap();
+        assert_eq!(stats.messages_dropped, 6);
+        assert_eq!(stats.messages_in, 12);
+    }
+
+    /// Wedges forever on message `wedge_at` (stands in for a deadlocked
+    /// or livelocked stage).
+    struct Wedger {
+        seen: u64,
+        wedge_at: u64,
+    }
+
+    impl Component for Wedger {
+        fn name(&self) -> &str {
+            "wedger"
+        }
+
+        fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
+            self.seen += 1;
+            if self.seen == self.wedge_at {
+                loop {
+                    std::thread::park();
+                }
+            }
+            out(msg);
+        }
+    }
+
+    #[test]
+    fn watchdog_severs_a_wedged_node_and_the_run_completes() {
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(CountSource { n: 10 }));
+        let mid = g.add_component(Box::new(Wedger {
+            seen: 0,
+            wedge_at: 3,
+        }));
+        let sink = g.add_sink("sink");
+        g.connect(src, mid);
+        g.connect(mid, sink);
+        let cfg = SupervisionConfig::default()
+            .with_failure_mode(FailureMode::Degrade)
+            .with_watchdog(WatchdogConfig {
+                quiet: std::time::Duration::from_millis(100),
+                poll: std::time::Duration::from_millis(10),
+            });
+        let mut out = Runtime::new().supervised(cfg).run(g).unwrap();
+        assert_eq!(out.stalls.len(), 1);
+        assert_eq!(out.stalls[0].name, "wedger");
+        assert_eq!(
+            out.take_sink(sink).len(),
+            2,
+            "messages forwarded before the wedge"
+        );
+        let stats = out.node_stats.iter().find(|s| s.name == "wedger").unwrap();
+        assert_eq!(stats.outcome, NodeOutcome::Wedged);
+    }
+
+    #[test]
+    fn watchdog_leaves_honest_backpressure_alone() {
+        // Slow-ish consumer + tiny channels: constant backpressure, but
+        // emissions refresh the heartbeat so nothing is severed.
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(CountSource { n: 2_000 }));
+        let a = g.add_component(Box::new(Passthrough::new("a")));
+        let b = g.add_component(Box::new(Passthrough::new("b")));
+        let sink = g.add_sink("sink");
+        g.connect(src, a);
+        g.connect(a, b);
+        g.connect(b, sink);
+        let cfg = SupervisionConfig::default().with_watchdog(WatchdogConfig {
+            quiet: std::time::Duration::from_millis(200),
+            poll: std::time::Duration::from_millis(10),
+        });
+        let mut out = Runtime::with_capacity(2).supervised(cfg).run(g).unwrap();
+        assert!(out.stalls.is_empty());
+        assert_eq!(out.take_sink(sink).len(), 2_000);
     }
 }

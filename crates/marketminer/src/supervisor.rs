@@ -1,0 +1,402 @@
+//! Supervision policy for the fault-tolerant runtime.
+//!
+//! Every node thread body runs under `catch_unwind`; a panic is routed
+//! here and answered with a [`Directive`]: restart the node from its last
+//! checkpoint, or give up and degrade. Restart budgets are measured in
+//! *simulated time* — the node's processed-message count — so supervised
+//! runs are deterministic: the same tape produces the same decisions on
+//! any machine, loaded or not.
+//!
+//! Stall detection (the watchdog) reports through the same supervisor, so
+//! a run's failure record is a single ledger: panics that were absorbed by
+//! restart, panics that exhausted their budget, and nodes declared wedged.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::graph::NodeId;
+
+/// Per-node restart policy, evaluated on every panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Never restart: the first panic fails the node (the default — it
+    /// preserves the pre-supervision fail-stop semantics).
+    #[default]
+    Never,
+    /// Restart up to `max_restarts` times over the node's lifetime.
+    Limited {
+        /// Total restarts granted before giving up.
+        max_restarts: u32,
+    },
+    /// Bounded exponential backoff in simulated time: each restart in a
+    /// row demands exponentially more *quiet* (messages processed without
+    /// a panic) before the streak forgives. A node that panics faster
+    /// than its growing quiet requirement exhausts `max_restarts` and
+    /// fails; a node whose panics are genuinely sporadic keeps running
+    /// forever.
+    Backoff {
+        /// Consecutive (unforgiven) restarts granted before giving up.
+        max_restarts: u32,
+        /// Quiet messages required to forgive the first panic.
+        base_quiet: u64,
+        /// Multiplier applied per unforgiven panic in the streak.
+        factor: u64,
+        /// Upper bound on the quiet requirement.
+        max_quiet: u64,
+    },
+}
+
+/// What the supervisor tells a panicked node to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Restore the last checkpoint, replay, and continue.
+    Restart,
+    /// Give up: the node fails and the run degrades (or aborts, per
+    /// [`FailureMode`]).
+    Fail,
+}
+
+/// What the runtime does with a node that exhausted its restart budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureMode {
+    /// Re-raise the panic after the run drains — the pre-supervision
+    /// behaviour, and the default.
+    #[default]
+    AbortRun,
+    /// Complete the run without the failed node; failures are recorded in
+    /// [`crate::runtime::RunOutput::failures`].
+    Degrade,
+}
+
+/// Stall-detection (watchdog) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How long a node may sit inside one `on_message` call before it is
+    /// declared wedged. Must comfortably exceed the worst-case honest
+    /// stage latency (including backpressure waits).
+    pub quiet: Duration,
+    /// Watchdog scan period.
+    pub poll: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            quiet: Duration::from_secs(30),
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Supervision configuration for a [`crate::runtime::Runtime`].
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Policy for nodes without an explicit override.
+    pub default_policy: RestartPolicy,
+    /// Messages between periodic checkpoints on restartable nodes.
+    pub snapshot_every: u64,
+    /// Abort or degrade when a node fails for good.
+    pub failure_mode: FailureMode,
+    /// Enable the stall watchdog.
+    pub watchdog: Option<WatchdogConfig>,
+    policies: HashMap<usize, RestartPolicy>,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig::new(RestartPolicy::Never, 256)
+    }
+}
+
+impl SupervisionConfig {
+    /// Configuration with a default policy and checkpoint cadence.
+    pub fn new(default_policy: RestartPolicy, snapshot_every: u64) -> Self {
+        SupervisionConfig {
+            default_policy,
+            snapshot_every: snapshot_every.max(1),
+            failure_mode: FailureMode::AbortRun,
+            watchdog: None,
+            policies: HashMap::new(),
+        }
+    }
+
+    /// Override the policy for one node.
+    pub fn with_policy(mut self, node: NodeId, policy: RestartPolicy) -> Self {
+        self.policies.insert(node.0, policy);
+        self
+    }
+
+    /// Set the failure mode.
+    pub fn with_failure_mode(mut self, mode: FailureMode) -> Self {
+        self.failure_mode = mode;
+        self
+    }
+
+    /// Enable the stall watchdog.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Effective policy for a node index.
+    pub(crate) fn policy_for(&self, node: usize) -> RestartPolicy {
+        self.policies
+            .get(&node)
+            .copied()
+            .unwrap_or(self.default_policy)
+    }
+
+    /// Effective checkpoint cadence (always at least 1).
+    pub(crate) fn snapshot_cadence(&self) -> u64 {
+        self.snapshot_every.max(1)
+    }
+}
+
+/// A node that failed for good (panic budget exhausted, or a panic on a
+/// node with no checkpoint support).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFailure {
+    /// Node index in graph order.
+    pub node: usize,
+    /// Node name.
+    pub name: String,
+    /// Rendered panic payload.
+    pub error: String,
+    /// Restarts that were granted before giving up.
+    pub restarts: u32,
+}
+
+/// A node the watchdog declared wedged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallEvent {
+    /// Node index in graph order.
+    pub node: usize,
+    /// Node name.
+    pub name: String,
+}
+
+#[derive(Debug, Default)]
+struct RestartState {
+    /// Total restarts granted over the node's lifetime.
+    total: u32,
+    /// Consecutive unforgiven restarts (backoff streak).
+    streak: u32,
+    /// Simulated time (messages processed) at the previous panic.
+    last_panic_at: u64,
+    /// True once the node has panicked at least once.
+    panicked: bool,
+}
+
+/// The shared supervisor: answers panics with directives and keeps the
+/// run's failure/stall ledger.
+#[derive(Debug)]
+pub struct Supervisor {
+    policies: Vec<RestartPolicy>,
+    states: Vec<Mutex<RestartState>>,
+    failures: Mutex<Vec<NodeFailure>>,
+    stalls: Mutex<Vec<StallEvent>>,
+}
+
+impl Supervisor {
+    /// Supervisor over `n` nodes with resolved per-node policies.
+    pub(crate) fn new(policies: Vec<RestartPolicy>) -> Self {
+        let n = policies.len();
+        Supervisor {
+            policies,
+            states: (0..n)
+                .map(|_| Mutex::new(RestartState::default()))
+                .collect(),
+            failures: Mutex::new(Vec::new()),
+            stalls: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Decide what a panicked node does next. `processed` is the node's
+    /// simulated clock: how many messages it has consumed so far.
+    pub fn on_panic(&self, node: usize, processed: u64) -> Directive {
+        let mut st = self.states[node].lock().expect("supervisor state");
+        match self.policies[node] {
+            RestartPolicy::Never => Directive::Fail,
+            RestartPolicy::Limited { max_restarts } => {
+                if st.total < max_restarts {
+                    st.total += 1;
+                    st.panicked = true;
+                    st.last_panic_at = processed;
+                    Directive::Restart
+                } else {
+                    Directive::Fail
+                }
+            }
+            RestartPolicy::Backoff {
+                max_restarts,
+                base_quiet,
+                factor,
+                max_quiet,
+            } => {
+                // Quiet demanded by the current streak; enough quiet since
+                // the previous panic forgives the whole streak.
+                let required = base_quiet
+                    .saturating_mul(factor.saturating_pow(st.streak))
+                    .min(max_quiet.max(base_quiet));
+                if st.panicked && processed.saturating_sub(st.last_panic_at) >= required {
+                    st.streak = 0;
+                }
+                if st.streak < max_restarts {
+                    st.streak += 1;
+                    st.total += 1;
+                    st.panicked = true;
+                    st.last_panic_at = processed;
+                    Directive::Restart
+                } else {
+                    Directive::Fail
+                }
+            }
+        }
+    }
+
+    /// Record a node that failed for good.
+    pub fn record_failure(&self, failure: NodeFailure) {
+        self.failures.lock().expect("failure ledger").push(failure);
+    }
+
+    /// Record a node the watchdog declared wedged.
+    pub fn record_stall(&self, stall: StallEvent) {
+        self.stalls.lock().expect("stall ledger").push(stall);
+    }
+
+    /// Drain the ledgers (called once by the runtime at the end of a run).
+    /// Both are sorted by node index so concurrent failures report
+    /// deterministically.
+    pub(crate) fn take_ledgers(&self) -> (Vec<NodeFailure>, Vec<StallEvent>) {
+        let mut failures = std::mem::take(&mut *self.failures.lock().expect("failure ledger"));
+        failures.sort_by_key(|f| f.node);
+        let mut stalls: Vec<StallEvent> =
+            std::mem::take(&mut *self.stalls.lock().expect("stall ledger"));
+        stalls.sort_by_key(|s| s.node);
+        (failures, stalls)
+    }
+}
+
+/// Render a panic payload for the failure ledger.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lone(policy: RestartPolicy) -> Supervisor {
+        Supervisor::new(vec![policy])
+    }
+
+    #[test]
+    fn never_fails_immediately() {
+        let s = lone(RestartPolicy::Never);
+        assert_eq!(s.on_panic(0, 10), Directive::Fail);
+    }
+
+    #[test]
+    fn limited_grants_exactly_the_budget() {
+        let s = lone(RestartPolicy::Limited { max_restarts: 2 });
+        assert_eq!(s.on_panic(0, 5), Directive::Restart);
+        assert_eq!(s.on_panic(0, 6), Directive::Restart);
+        assert_eq!(s.on_panic(0, 7), Directive::Fail);
+        assert_eq!(s.on_panic(0, 1000), Directive::Fail, "budget is lifetime");
+    }
+
+    #[test]
+    fn backoff_exhausts_under_rapid_panics() {
+        let s = lone(RestartPolicy::Backoff {
+            max_restarts: 2,
+            base_quiet: 100,
+            factor: 2,
+            max_quiet: 10_000,
+        });
+        assert_eq!(s.on_panic(0, 50), Directive::Restart);
+        assert_eq!(s.on_panic(0, 60), Directive::Restart);
+        assert_eq!(s.on_panic(0, 70), Directive::Fail, "streak exhausted");
+    }
+
+    #[test]
+    fn backoff_forgives_after_enough_quiet() {
+        let s = lone(RestartPolicy::Backoff {
+            max_restarts: 1,
+            base_quiet: 100,
+            factor: 2,
+            max_quiet: 10_000,
+        });
+        assert_eq!(s.on_panic(0, 1_000), Directive::Restart);
+        // 200 quiet messages (base * factor^1) forgive the streak.
+        assert_eq!(s.on_panic(0, 1_250), Directive::Restart);
+        assert_eq!(s.on_panic(0, 1_500), Directive::Restart);
+    }
+
+    #[test]
+    fn backoff_quiet_requirement_grows() {
+        let s = lone(RestartPolicy::Backoff {
+            max_restarts: 2,
+            base_quiet: 100,
+            factor: 10,
+            max_quiet: 100_000,
+        });
+        assert_eq!(s.on_panic(0, 0), Directive::Restart);
+        // 150 quiet < 100 * 10^1: streak not forgiven, second slot burns.
+        assert_eq!(s.on_panic(0, 150), Directive::Restart);
+        // 900 quiet < 100 * 10^2: third rapid panic fails.
+        assert_eq!(s.on_panic(0, 1_050), Directive::Fail);
+    }
+
+    #[test]
+    fn backoff_requirement_is_capped() {
+        let s = lone(RestartPolicy::Backoff {
+            max_restarts: 3,
+            base_quiet: 100,
+            factor: 1_000,
+            max_quiet: 500,
+        });
+        assert_eq!(s.on_panic(0, 0), Directive::Restart);
+        assert_eq!(s.on_panic(0, 100), Directive::Restart);
+        // Requirement is capped at 500; 600 quiet forgives everything.
+        assert_eq!(s.on_panic(0, 700), Directive::Restart);
+        assert_eq!(s.on_panic(0, 1_300), Directive::Restart);
+    }
+
+    #[test]
+    fn config_resolves_overrides() {
+        let cfg = SupervisionConfig::new(RestartPolicy::Never, 64)
+            .with_policy(NodeId(2), RestartPolicy::Limited { max_restarts: 1 });
+        assert_eq!(cfg.policy_for(0), RestartPolicy::Never);
+        assert_eq!(
+            cfg.policy_for(2),
+            RestartPolicy::Limited { max_restarts: 1 }
+        );
+    }
+
+    #[test]
+    fn ledgers_accumulate_and_drain() {
+        let s = lone(RestartPolicy::Never);
+        s.record_failure(NodeFailure {
+            node: 0,
+            name: "x".into(),
+            error: "boom".into(),
+            restarts: 0,
+        });
+        s.record_stall(StallEvent {
+            node: 0,
+            name: "x".into(),
+        });
+        let (f, w) = s.take_ledgers();
+        assert_eq!(f.len(), 1);
+        assert_eq!(w.len(), 1);
+        let (f2, w2) = s.take_ledgers();
+        assert!(f2.is_empty() && w2.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Supervised-runtime integration tests on the full Figure-1 pipeline:
+//! the kill-test (panic a node mid-day, restart from checkpoint, demand
+//! bit-identical output), equivalence of supervised and plain runs on a
+//! healthy day, and watchdog recovery from a wedged node.
+
+use marketminer::components::risk::RiskLimits;
+use marketminer::components::technical::TechnicalAnalysisNode;
+use marketminer::components::{
+    BarAccumulatorNode, CorrelationEngineNode, OrderGatewayNode, PanicInjector, ReplayCollector,
+    RiskManagerNode, StrategyHostNode, WedgeInjector,
+};
+use marketminer::{
+    Component, Fig1Config, Graph, Message, NodeOutcome, RestartPolicy, Runtime, SupervisionConfig,
+    WatchdogConfig,
+};
+use pairtrade_core::exec::ExecutionConfig;
+use pairtrade_core::params::StrategyParams;
+use stats::correlation::CorrType;
+use taq::dataset::DayData;
+use taq::generator::{MarketConfig, MarketGenerator};
+use timeseries::clean::CleanConfig;
+
+fn fast_params() -> StrategyParams {
+    StrategyParams {
+        dt_seconds: 30,
+        ctype: CorrType::Pearson,
+        corr_window: 20,
+        avg_window: 10,
+        div_window: 5,
+        divergence: 0.0005,
+        ..StrategyParams::paper_default()
+    }
+}
+
+fn small_day(seed: u64) -> (DayData, usize) {
+    let mut cfg = MarketConfig::small(4, 1, seed);
+    cfg.micro.quote_rate_hz = 0.05;
+    (MarketGenerator::new(cfg).next_day().unwrap(), 4)
+}
+
+/// What a fault injected into the correlation engine should look like.
+enum CorrFault {
+    None,
+    PanicAt(u64),
+    WedgeAt(u64),
+}
+
+/// Figure-1 graph with an extra sink on the correlation stream and an
+/// optional fault injector wrapped around the correlation engine.
+/// Returns (graph, corr-node id, corr sink id, order sink id).
+fn fig1_with_corr_tap(
+    day: DayData,
+    n: usize,
+    fault: CorrFault,
+) -> (
+    Graph,
+    marketminer::NodeId,
+    marketminer::NodeId,
+    marketminer::NodeId,
+) {
+    let params = fast_params();
+    let mut g = Graph::new();
+    let collector = g.add_source(Box::new(ReplayCollector::new(day)));
+    let bars = g.add_component(Box::new(BarAccumulatorNode::new(
+        n,
+        params.dt_seconds,
+        CleanConfig::default(),
+    )));
+    let technical = g.add_component(Box::new(TechnicalAnalysisNode::new(n, 20)));
+    let engine = CorrelationEngineNode::new(n, params.corr_window, 1, params.ctype);
+    let corr_component: Box<dyn Component> = match fault {
+        CorrFault::None => Box::new(engine),
+        CorrFault::PanicAt(k) => Box::new(PanicInjector::new(Box::new(engine), k)),
+        CorrFault::WedgeAt(k) => Box::new(WedgeInjector::new(Box::new(engine), k)),
+    };
+    let corr = g.add_component(corr_component);
+    let strategy = g.add_component(Box::new(StrategyHostNode::new(
+        n,
+        params,
+        ExecutionConfig::paper(),
+        false,
+    )));
+    let risk = g.add_component(Box::new(RiskManagerNode::new(RiskLimits::default())));
+    let gateway = g.add_component(Box::new(OrderGatewayNode::new()));
+    let order_sink = g.add_sink("order-sink");
+    let corr_sink = g.add_sink("corr-sink");
+
+    g.connect(collector, bars);
+    g.connect(bars, technical);
+    g.connect(technical, corr);
+    g.connect(bars, strategy);
+    g.connect(corr, strategy);
+    g.connect(strategy, risk);
+    g.connect(risk, gateway);
+    g.connect(gateway, order_sink);
+    g.connect(corr, corr_sink);
+    (g, corr, corr_sink, order_sink)
+}
+
+fn corr_fingerprint(msgs: &[Message]) -> Vec<(usize, Vec<u64>)> {
+    msgs.iter()
+        .filter_map(|m| match m {
+            Message::Corr(s) => {
+                let n = s.matrix.n();
+                let mut bits = Vec::new();
+                for i in 1..n {
+                    for j in 0..i {
+                        bits.push(s.matrix.get(i, j).to_bits());
+                    }
+                }
+                Some((s.interval, bits))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// The kill-test: panic the correlation engine mid-day under supervision
+/// and demand the run completes with every published snapshot — before
+/// and after the restart — bit-identical to a never-killed run.
+#[test]
+fn killed_corr_engine_restarts_bit_identically() {
+    let (day, n) = small_day(31);
+    let (g, _, corr_sink, order_sink) = fig1_with_corr_tap(day, n, CorrFault::None);
+    let mut baseline = Runtime::new().run(g).unwrap();
+    let base_corr = corr_fingerprint(&baseline.take_sink(corr_sink));
+    let base_orders = baseline.take_sink(order_sink).len();
+    assert!(!base_corr.is_empty());
+
+    let (day, n) = small_day(31);
+    let (g, corr_id, corr_sink, order_sink) = fig1_with_corr_tap(day, n, CorrFault::PanicAt(300));
+    let supervision = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 2 }, 32);
+    let mut out = Runtime::new().supervised(supervision).run(g).unwrap();
+    assert!(out.is_clean(), "failures: {:?}", out.failures);
+
+    let stats = &out.node_stats[corr_id.index()];
+    assert_eq!(stats.restarts, 1, "exactly one restart: {stats:?}");
+    assert_eq!(stats.outcome, NodeOutcome::Completed);
+
+    let killed_corr = corr_fingerprint(&out.take_sink(corr_sink));
+    assert_eq!(base_corr.len(), killed_corr.len(), "snapshot count differs");
+    for (k, (a, b)) in base_corr.iter().zip(&killed_corr).enumerate() {
+        assert_eq!(a.0, b.0, "snapshot {k} interval differs");
+        assert_eq!(a.1, b.1, "snapshot {k} not bit-identical after restart");
+    }
+    assert_eq!(base_orders, out.take_sink(order_sink).len());
+}
+
+/// A supervised run of a healthy day must be trade-for-trade identical
+/// to the plain runtime (supervision is pure overhead, not behaviour).
+#[test]
+fn supervised_run_matches_plain_run_when_healthy() {
+    let (day, n) = small_day(77);
+    let cfg = Fig1Config::new(n, fast_params());
+    let plain = marketminer::run_fig1_pipeline(day, &cfg).unwrap();
+
+    let (day, _) = small_day(77);
+    let supervision = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 3 }, 64)
+        .with_watchdog(WatchdogConfig {
+            quiet: std::time::Duration::from_secs(30),
+            poll: std::time::Duration::from_millis(50),
+        });
+    let supervised = marketminer::run_fig1_pipeline_with(
+        Runtime::new().supervised(supervision),
+        Box::new(ReplayCollector::new(day)),
+        &cfg,
+    )
+    .unwrap();
+
+    assert!(supervised.failures.is_empty());
+    assert!(supervised.stalls.is_empty());
+    assert!(!plain.trades.is_empty());
+    assert_eq!(plain.trades.len(), supervised.trades.len());
+    for (a, b) in plain.trades.iter().zip(&supervised.trades) {
+        assert_eq!(a.pair, b.pair);
+        assert_eq!(a.entry_interval, b.entry_interval);
+        assert_eq!(a.exit_interval, b.exit_interval);
+        assert_eq!(a.pnl.to_bits(), b.pnl.to_bits());
+    }
+    assert_eq!(plain.total_orders(), supervised.total_orders());
+}
+
+/// A wedged correlation engine must not hang the run: the watchdog severs
+/// it and the rest of the pipeline finishes the day (prices still flow to
+/// the strategy host via the bar edge).
+#[test]
+fn wedged_corr_engine_is_severed_and_the_day_completes() {
+    let (day, n) = small_day(31);
+    let (g, corr_id, _, order_sink) = fig1_with_corr_tap(day, n, CorrFault::WedgeAt(100));
+    let supervision =
+        SupervisionConfig::new(RestartPolicy::Never, 64).with_watchdog(WatchdogConfig {
+            quiet: std::time::Duration::from_millis(300),
+            poll: std::time::Duration::from_millis(20),
+        });
+    let mut out = Runtime::new().supervised(supervision).run(g).unwrap();
+    assert_eq!(out.stalls.len(), 1, "stalls: {:?}", out.stalls);
+    assert_eq!(out.stalls[0].node, corr_id.index());
+    assert_eq!(out.node_stats[corr_id.index()].outcome, NodeOutcome::Wedged);
+    // The trade report still arrives: the strategy host finished the day
+    // on bar data alone.
+    let trades_reported = out
+        .take_sink(order_sink)
+        .iter()
+        .any(|m| matches!(m, Message::Trades(_)));
+    assert!(trades_reported, "strategy host must still close the day");
+}
+
+/// Checkpoint cadence sanity: a panic landing right after a snapshot
+/// boundary still replays correctly (regression guard for off-by-one in
+/// the replay-log window).
+#[test]
+fn restart_on_snapshot_boundary_is_seamless() {
+    let (day, n) = small_day(57);
+    let (g, _, corr_sink, _) = fig1_with_corr_tap(day, n, CorrFault::None);
+    let mut baseline = Runtime::new().run(g).unwrap();
+    let base_corr = corr_fingerprint(&baseline.take_sink(corr_sink));
+
+    for panic_at in [64, 65] {
+        let (day, n) = small_day(57);
+        let (g, _, corr_sink, _) = fig1_with_corr_tap(day, n, CorrFault::PanicAt(panic_at));
+        let supervision = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 1 }, 64);
+        let mut out = Runtime::new().supervised(supervision).run(g).unwrap();
+        assert!(out.is_clean(), "panic_at={panic_at}: {:?}", out.failures);
+        let killed = corr_fingerprint(&out.take_sink(corr_sink));
+        assert_eq!(base_corr, killed, "panic_at={panic_at} diverged");
+    }
+}

@@ -84,7 +84,70 @@ impl ErrorConfig {
     pub fn total(&self) -> f64 {
         self.test_quote + self.fat_finger + self.far_out + self.stale + self.jitter
     }
+
+    /// Validate the configuration. The classes are disjoint bands over a
+    /// single uniform draw, so each probability must lie in `[0, 1]` and
+    /// the sum must stay below 1 — otherwise later bands are silently
+    /// truncated and class frequencies skew.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let fields = [
+            ("test_quote", self.test_quote),
+            ("fat_finger", self.fat_finger),
+            ("far_out", self.far_out),
+            ("stale", self.stale),
+            ("jitter", self.jitter),
+        ];
+        for (field, value) in fields {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        if !self.jitter_magnitude.is_finite() || self.jitter_magnitude < 0.0 {
+            return Err(ConfigError::ProbabilityOutOfRange {
+                field: "jitter_magnitude",
+                value: self.jitter_magnitude,
+            });
+        }
+        let total = self.total();
+        if total >= 1.0 {
+            return Err(ConfigError::ProbabilitiesSumTooHigh { total });
+        }
+        Ok(())
+    }
 }
+
+/// An invalid error-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A class probability (or magnitude) outside its legal range.
+    ProbabilityOutOfRange {
+        /// Offending field name.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The class probabilities sum to ≥ 1, which would skew the band
+    /// decomposition over the single uniform draw.
+    ProbabilitiesSumTooHigh {
+        /// The offending sum.
+        total: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "error probability `{field}` = {value} outside [0, 1]")
+            }
+            ConfigError::ProbabilitiesSumTooHigh { total } => {
+                write!(f, "error probabilities sum to {total} (must be < 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl Default for ErrorConfig {
     fn default() -> Self {
@@ -197,6 +260,219 @@ impl ErrorInjector {
         }
         (quote, None)
     }
+}
+
+// ---------------------------------------------------------------------------
+// Stream-level faults
+// ---------------------------------------------------------------------------
+//
+// The per-quote [`ErrorInjector`] models *content* corruption. The types
+// below model *delivery* faults — the feed itself misbehaving: a symbol
+// going silent, the whole exchange halting, quotes arriving late and out
+// of timestamp order, or a burst of duplicates. They are applied to an
+// already-generated tape, and every mutation is counted in a
+// [`StreamFaultLog`] so chaos tests can assert against ground truth.
+
+/// One symbol's feed goes silent for a window (seconds into the session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Affected stock index.
+    pub symbol: u16,
+    /// First silent second (inclusive).
+    pub start_s: u32,
+    /// Last silent second (inclusive).
+    pub end_s: u32,
+}
+
+/// Every symbol's feed goes silent for a window (exchange-wide halt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HaltWindow {
+    /// First silent second (inclusive).
+    pub start_s: u32,
+    /// Last silent second (inclusive).
+    pub end_s: u32,
+}
+
+/// A burst of garbage on one symbol: quotes in the window are replaced by
+/// the exchange test-quote pattern with probability `intensity`, which a
+/// downstream cleaning filter will reject — driving its reject-rate
+/// tripwire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionBurst {
+    /// Affected stock index.
+    pub symbol: u16,
+    /// First corrupted second (inclusive).
+    pub start_s: u32,
+    /// Last corrupted second (inclusive).
+    pub end_s: u32,
+    /// Per-quote corruption probability within the window.
+    pub intensity: f64,
+}
+
+/// Bounded out-of-order delivery: quotes of one symbol in the window are
+/// delivered up to `max_delay_ms` late (timestamps unchanged — the
+/// *stream order* becomes non-monotonic, as a congested feed handler
+/// would produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorderWindow {
+    /// Affected stock index.
+    pub symbol: u16,
+    /// First affected second (inclusive).
+    pub start_s: u32,
+    /// Last affected second (inclusive).
+    pub end_s: u32,
+    /// Upper bound on the delivery delay, in milliseconds.
+    pub max_delay_ms: u32,
+}
+
+/// Burst duplication: every quote of one symbol in the window is
+/// delivered `1 + copies` times (a retransmitting feed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DuplicationBurst {
+    /// Affected stock index.
+    pub symbol: u16,
+    /// First affected second (inclusive).
+    pub start_s: u32,
+    /// Last affected second (inclusive).
+    pub end_s: u32,
+    /// Extra copies per quote.
+    pub copies: u32,
+}
+
+/// A complete stream-fault schedule for one session.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamFaultPlan {
+    /// Per-symbol outage windows.
+    pub outages: Vec<OutageWindow>,
+    /// Exchange-wide halts.
+    pub halts: Vec<HaltWindow>,
+    /// Reject-storm bursts.
+    pub bursts: Vec<CorruptionBurst>,
+    /// Out-of-order delivery windows.
+    pub reorders: Vec<ReorderWindow>,
+    /// Duplication bursts.
+    pub duplications: Vec<DuplicationBurst>,
+    /// Seed for the plan's own randomness (burst coin flips, delays).
+    pub seed: u64,
+}
+
+impl StreamFaultPlan {
+    /// The empty plan (a faithful feed).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.halts.is_empty()
+            && self.bursts.is_empty()
+            && self.reorders.is_empty()
+            && self.duplications.is_empty()
+    }
+
+    /// Every stock index named by any fault (halts affect all symbols and
+    /// are not included here — they are universe-wide by construction).
+    pub fn targeted_symbols(&self) -> std::collections::BTreeSet<u16> {
+        let mut set = std::collections::BTreeSet::new();
+        set.extend(self.outages.iter().map(|w| w.symbol));
+        set.extend(self.bursts.iter().map(|w| w.symbol));
+        set.extend(self.reorders.iter().map(|w| w.symbol));
+        set.extend(self.duplications.iter().map(|w| w.symbol));
+        set
+    }
+}
+
+/// Ground-truth accounting for one [`apply_stream_faults`] application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamFaultLog {
+    /// Quotes removed by outages or halts.
+    pub dropped: u64,
+    /// Quotes replaced by the test-quote pattern.
+    pub corrupted: u64,
+    /// Quotes delivered late (timestamp unchanged).
+    pub delayed: u64,
+    /// Extra copies inserted.
+    pub duplicated: u64,
+}
+
+fn in_window(sec: u32, start_s: u32, end_s: u32) -> bool {
+    sec >= start_s && sec <= end_s
+}
+
+/// Apply a fault schedule to a time-sorted tape, returning the delivered
+/// stream (possibly out of timestamp order) and the ground-truth log.
+/// Deterministic in `(quotes, plan)`.
+pub fn apply_stream_faults(
+    quotes: &[Quote],
+    plan: &StreamFaultPlan,
+) -> (Vec<Quote>, StreamFaultLog) {
+    let mut log = StreamFaultLog::default();
+    let mut rng = MarketRng::seed_from(plan.seed).derive(0x5fau64 << 32);
+
+    // Pass 1: drops (outage/halt) and in-place corruption; compute each
+    // surviving quote's delivery time (timestamp + any reorder delay).
+    let mut delivered: Vec<(u64, usize, Quote)> = Vec::with_capacity(quotes.len());
+    'quotes: for (pos, q) in quotes.iter().enumerate() {
+        let sec = q.ts.seconds();
+        for h in &plan.halts {
+            if in_window(sec, h.start_s, h.end_s) {
+                log.dropped += 1;
+                continue 'quotes;
+            }
+        }
+        for o in &plan.outages {
+            if o.symbol == q.symbol.0 && in_window(sec, o.start_s, o.end_s) {
+                log.dropped += 1;
+                continue 'quotes;
+            }
+        }
+        let mut q = *q;
+        for b in &plan.bursts {
+            if b.symbol == q.symbol.0 && in_window(sec, b.start_s, b.end_s) && rng.flip(b.intensity)
+            {
+                q.bid_cents = 1;
+                q.ask_cents = 99_999;
+                q.bid_size = 1;
+                q.ask_size = 1;
+                log.corrupted += 1;
+                break;
+            }
+        }
+        let mut delivery_ms = u64::from(q.ts.millis);
+        for r in &plan.reorders {
+            if r.symbol == q.symbol.0 && in_window(sec, r.start_s, r.end_s) && r.max_delay_ms > 0 {
+                delivery_ms += u64::from(rng.uniform_int(1, r.max_delay_ms));
+                log.delayed += 1;
+                break;
+            }
+        }
+        delivered.push((delivery_ms, pos, q));
+    }
+
+    // Pass 2: sort by delivery time (original position breaks ties, so
+    // undelayed quotes keep their relative order). Timestamps are left
+    // untouched: a delayed quote now sits *behind* younger quotes.
+    delivered.sort_by_key(|&(ms, pos, _)| (ms, pos));
+
+    // Pass 3: duplication bursts on the delivered stream (copies arrive
+    // back-to-back, as a retransmitting feed emits them).
+    let mut out: Vec<Quote> = Vec::with_capacity(delivered.len());
+    for (_, _, q) in delivered {
+        let sec = q.ts.seconds();
+        let mut copies = 0u32;
+        for d in &plan.duplications {
+            if d.symbol == q.symbol.0 && in_window(sec, d.start_s, d.end_s) {
+                copies = copies.max(d.copies);
+            }
+        }
+        out.push(q);
+        for _ in 0..copies {
+            out.push(q);
+            log.duplicated += 1;
+        }
+    }
+    (out, log)
 }
 
 #[cfg(test)]
@@ -338,6 +614,246 @@ mod tests {
                 "jitter too small to matter: {displacement}"
             );
         }
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        assert!(ErrorConfig::none().validate().is_ok());
+        assert!(ErrorConfig::realistic().validate().is_ok());
+        assert!(ErrorConfig::heavy().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_band_overflow() {
+        let cfg = ErrorConfig {
+            jitter: 0.6,
+            far_out: 0.5,
+            ..ErrorConfig::none()
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ProbabilitiesSumTooHigh { total: 1.1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_probability() {
+        let cfg = ErrorConfig {
+            stale: -0.1,
+            ..ErrorConfig::none()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ProbabilityOutOfRange { field: "stale", .. })
+        ));
+        let nan = ErrorConfig {
+            jitter: f64::NAN,
+            ..ErrorConfig::none()
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    /// Two-symbol tape: one quote per symbol per second.
+    fn two_symbol_tape(seconds: u32) -> Vec<Quote> {
+        let mut quotes = Vec::new();
+        for s in 0..seconds {
+            for sym in 0..2u16 {
+                quotes.push(Quote {
+                    ts: Timestamp::new(0, s * 1000 + u32::from(sym)),
+                    symbol: Symbol(sym),
+                    bid_cents: 4000,
+                    ask_cents: 4002,
+                    bid_size: 5,
+                    ask_size: 5,
+                });
+            }
+        }
+        quotes
+    }
+
+    #[test]
+    fn outage_drops_only_target_symbol_in_window() {
+        let tape = two_symbol_tape(100);
+        let plan = StreamFaultPlan {
+            outages: vec![OutageWindow {
+                symbol: 0,
+                start_s: 20,
+                end_s: 39,
+            }],
+            seed: 7,
+            ..StreamFaultPlan::none()
+        };
+        let (out, log) = apply_stream_faults(&tape, &plan);
+        assert_eq!(log.dropped, 20, "20 seconds x 1 quote of symbol 0");
+        assert_eq!(out.len(), tape.len() - 20);
+        assert!(out
+            .iter()
+            .all(|q| q.symbol != Symbol(0) || !(20..=39).contains(&q.ts.seconds())));
+        // Symbol 1 is untouched, quote for quote.
+        let s1_in: Vec<_> = tape.iter().filter(|q| q.symbol == Symbol(1)).collect();
+        let s1_out: Vec<_> = out.iter().filter(|q| q.symbol == Symbol(1)).collect();
+        assert_eq!(s1_in.len(), s1_out.len());
+        assert!(s1_in.iter().zip(&s1_out).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn halt_drops_every_symbol() {
+        let tape = two_symbol_tape(50);
+        let plan = StreamFaultPlan {
+            halts: vec![HaltWindow {
+                start_s: 10,
+                end_s: 19,
+            }],
+            seed: 7,
+            ..StreamFaultPlan::none()
+        };
+        let (out, log) = apply_stream_faults(&tape, &plan);
+        assert_eq!(log.dropped, 20, "10 seconds x 2 symbols");
+        assert!(out.iter().all(|q| !(10..=19).contains(&q.ts.seconds())));
+    }
+
+    #[test]
+    fn corruption_burst_injects_rejectable_quotes() {
+        let tape = two_symbol_tape(100);
+        let plan = StreamFaultPlan {
+            bursts: vec![CorruptionBurst {
+                symbol: 1,
+                start_s: 0,
+                end_s: 99,
+                intensity: 1.0,
+            }],
+            seed: 7,
+            ..StreamFaultPlan::none()
+        };
+        let (out, log) = apply_stream_faults(&tape, &plan);
+        assert_eq!(log.corrupted, 100);
+        for q in out.iter().filter(|q| q.symbol == Symbol(1)) {
+            assert_eq!((q.bid_cents, q.ask_cents), (1, 99_999));
+        }
+        assert!(out
+            .iter()
+            .filter(|q| q.symbol == Symbol(0))
+            .all(|q| q.bid_cents == 4000));
+    }
+
+    #[test]
+    fn reorder_is_out_of_order_but_bounded() {
+        let tape = two_symbol_tape(200);
+        let plan = StreamFaultPlan {
+            reorders: vec![ReorderWindow {
+                symbol: 0,
+                start_s: 50,
+                end_s: 149,
+                max_delay_ms: 5_000,
+            }],
+            seed: 11,
+            ..StreamFaultPlan::none()
+        };
+        let (out, log) = apply_stream_faults(&tape, &plan);
+        assert_eq!(log.delayed, 100);
+        assert_eq!(out.len(), tape.len(), "reorder never loses quotes");
+        // The delivered stream must actually be out of timestamp order...
+        let inversions = out.windows(2).filter(|w| w[0].ts > w[1].ts).count();
+        assert!(inversions > 0, "delays must produce visible inversions");
+        // ...but boundedly so: a quote can only be passed by quotes at
+        // most max_delay_ms younger.
+        let mut max_seen = 0u32;
+        for q in &out {
+            max_seen = max_seen.max(q.ts.millis);
+            assert!(
+                u64::from(q.ts.millis) + 5_000 >= u64::from(max_seen),
+                "displacement beyond the delay bound"
+            );
+        }
+    }
+
+    #[test]
+    fn duplication_inserts_adjacent_copies() {
+        let tape = two_symbol_tape(30);
+        let plan = StreamFaultPlan {
+            duplications: vec![DuplicationBurst {
+                symbol: 1,
+                start_s: 10,
+                end_s: 19,
+                copies: 2,
+            }],
+            seed: 3,
+            ..StreamFaultPlan::none()
+        };
+        let (out, log) = apply_stream_faults(&tape, &plan);
+        assert_eq!(log.duplicated, 20, "10 quotes x 2 extra copies");
+        assert_eq!(out.len(), tape.len() + 20);
+        // Copies arrive back-to-back.
+        for w in out.windows(3) {
+            if w[0].symbol == Symbol(1) && (10..=19).contains(&w[0].ts.seconds()) {
+                assert_eq!(w[0], w[1]);
+                assert_eq!(w[1], w[2]);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn stream_faults_are_deterministic() {
+        let tape = two_symbol_tape(100);
+        let plan = StreamFaultPlan {
+            bursts: vec![CorruptionBurst {
+                symbol: 0,
+                start_s: 0,
+                end_s: 99,
+                intensity: 0.5,
+            }],
+            reorders: vec![ReorderWindow {
+                symbol: 1,
+                start_s: 0,
+                end_s: 99,
+                max_delay_ms: 2_000,
+            }],
+            seed: 99,
+            ..StreamFaultPlan::none()
+        };
+        let (a, la) = apply_stream_faults(&tape, &plan);
+        let (b, lb) = apply_stream_faults(&tape, &plan);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert!(
+            la.corrupted > 10 && la.corrupted < 90,
+            "coin actually flips"
+        );
+    }
+
+    #[test]
+    fn targeted_symbols_cover_every_fault_class() {
+        let plan = StreamFaultPlan {
+            outages: vec![OutageWindow {
+                symbol: 1,
+                start_s: 0,
+                end_s: 1,
+            }],
+            bursts: vec![CorruptionBurst {
+                symbol: 2,
+                start_s: 0,
+                end_s: 1,
+                intensity: 1.0,
+            }],
+            reorders: vec![ReorderWindow {
+                symbol: 3,
+                start_s: 0,
+                end_s: 1,
+                max_delay_ms: 10,
+            }],
+            duplications: vec![DuplicationBurst {
+                symbol: 4,
+                start_s: 0,
+                end_s: 1,
+                copies: 1,
+            }],
+            ..StreamFaultPlan::none()
+        };
+        let t: Vec<u16> = plan.targeted_symbols().into_iter().collect();
+        assert_eq!(t, vec![1, 2, 3, 4]);
+        assert!(!plan.is_empty());
+        assert!(StreamFaultPlan::none().is_empty());
     }
 
     #[test]

@@ -126,9 +126,21 @@ impl MarketGenerator {
     /// Build a generator from a configuration.
     ///
     /// # Panics
-    /// Panics if `n_stocks < 2` or the configured sector structure size
-    /// does not match `n_stocks`.
+    /// Panics if `n_stocks < 2`, the configured sector structure size
+    /// does not match `n_stocks`, or the error configuration is invalid
+    /// (see [`MarketGenerator::try_new`] for the non-panicking form).
     pub fn new(config: MarketConfig) -> Self {
+        match Self::try_new(config) {
+            Ok(generator) => generator,
+            Err(e) => panic!("invalid market config: {e}"),
+        }
+    }
+
+    /// Build a generator, rejecting an invalid [`ErrorConfig`] instead of
+    /// silently skewing corruption-class frequencies (band probabilities
+    /// summing to ≥ 1 truncate whichever classes are checked last).
+    pub fn try_new(config: MarketConfig) -> Result<Self, crate::errors::ConfigError> {
+        config.errors.validate()?;
         assert!(config.n_stocks >= 2, "need at least two stocks to pair");
         let table = if config.n_stocks <= 61 {
             let full = SymbolTable::liquid_us_roster();
@@ -153,12 +165,12 @@ impl MarketGenerator {
             .collect();
         let vols = vec![config.daily_vol; config.n_stocks];
         let model = LatentModel::new(&prices, &vols, &sectors, config.divergence);
-        MarketGenerator {
+        Ok(MarketGenerator {
             config,
             model,
             table,
             next_day: 0,
-        }
+        })
     }
 
     /// The symbol table backing generated quotes.
@@ -239,6 +251,25 @@ mod tests {
         let mut c = MarketConfig::small(4, 2, 42);
         c.micro.quote_rate_hz = 0.02; // keep tests fast
         c
+    }
+
+    #[test]
+    fn try_new_rejects_overflowing_error_bands() {
+        let mut c = tiny();
+        c.errors.jitter = 0.7;
+        c.errors.far_out = 0.4; // sums past 1: bands would truncate
+        assert!(matches!(
+            MarketGenerator::try_new(c),
+            Err(crate::errors::ConfigError::ProbabilitiesSumTooHigh { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid market config")]
+    fn new_panics_on_invalid_error_config() {
+        let mut c = tiny();
+        c.errors.stale = 1.5;
+        let _ = MarketGenerator::new(c);
     }
 
     #[test]

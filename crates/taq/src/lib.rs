@@ -40,6 +40,10 @@ pub mod symbol;
 pub mod time;
 
 pub use dataset::{DayData, TickDataset};
+pub use errors::{
+    apply_stream_faults, ConfigError, CorruptionBurst, DuplicationBurst, ErrorConfig, HaltWindow,
+    OutageWindow, ReorderWindow, StreamFaultLog, StreamFaultPlan,
+};
 pub use generator::{MarketConfig, MarketGenerator};
 pub use quote::Quote;
 pub use symbol::{Symbol, SymbolTable};

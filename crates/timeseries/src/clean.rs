@@ -15,6 +15,8 @@
 //! explicitly "filter the obvious, let Maronna absorb the rest", which the
 //! robustness ablation bench quantifies.
 
+use std::collections::VecDeque;
+
 use taq::quote::Quote;
 
 /// Filter configuration.
@@ -30,6 +32,19 @@ pub struct CleanConfig {
     /// Maximum allowed relative spread (ask-bid)/mid; wider quotes are
     /// structurally suspect (test quotes, far-out limits).
     pub max_rel_spread: f64,
+    /// Window (quote count) for the rolling reject-rate tripwire.
+    pub gate_window: usize,
+    /// Reject rate over the gate window at or above which the symbol is
+    /// quarantined: when this many quotes are being discarded, the
+    /// survivors are no longer a trustworthy sample of the symbol.
+    pub trip_rate: f64,
+    /// Reject rate at or below which a quarantined symbol recovers.
+    /// Strictly below `trip_rate` so the flag can't chatter when the
+    /// rate hovers near the threshold (hysteresis).
+    pub untrip_rate: f64,
+    /// Minimum observations in the gate window before the tripwire may
+    /// fire (a 2-for-3 start must not quarantine anyone).
+    pub min_gate_samples: usize,
 }
 
 impl Default for CleanConfig {
@@ -39,6 +54,10 @@ impl Default for CleanConfig {
             window: 200,
             warmup: 20,
             max_rel_spread: 0.02,
+            gate_window: 64,
+            trip_rate: 0.5,
+            untrip_rate: 0.15,
+            min_gate_samples: 32,
         }
     }
 }
@@ -88,6 +107,10 @@ pub struct TcpFilter {
     moments: stats::online::RollingMoments,
     seen: usize,
     stats: CleanStats,
+    /// Rolling outcome window for the tripwire (true = rejected).
+    outcomes: VecDeque<bool>,
+    recent_rejects: usize,
+    quarantined: bool,
 }
 
 impl TcpFilter {
@@ -98,6 +121,9 @@ impl TcpFilter {
             moments: stats::online::RollingMoments::new(cfg.window),
             seen: 0,
             stats: CleanStats::default(),
+            outcomes: VecDeque::with_capacity(cfg.gate_window.max(1)),
+            recent_rejects: 0,
+            quarantined: false,
         }
     }
 
@@ -106,11 +132,55 @@ impl TcpFilter {
         self.stats
     }
 
+    /// True while the reject-rate tripwire is tripped: the symbol's feed
+    /// is rejecting so much that the accepted residue should not be
+    /// trusted either. Clears with hysteresis once the rolling rate falls
+    /// back to [`CleanConfig::untrip_rate`].
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Rejected fraction of the rolling gate window.
+    pub fn reject_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.recent_rejects as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Record one outcome in the tripwire window and update the
+    /// quarantine flag with trip/untrip hysteresis.
+    fn record_outcome(&mut self, rejected: bool) {
+        let window = self.cfg.gate_window.max(1);
+        if self.outcomes.len() == window && self.outcomes.pop_front() == Some(true) {
+            self.recent_rejects -= 1;
+        }
+        self.outcomes.push_back(rejected);
+        if rejected {
+            self.recent_rejects += 1;
+        }
+        let rate = self.reject_rate();
+        if !self.quarantined {
+            if self.outcomes.len() >= self.cfg.min_gate_samples && rate >= self.cfg.trip_rate {
+                self.quarantined = true;
+            }
+        } else if rate <= self.cfg.untrip_rate {
+            self.quarantined = false;
+        }
+    }
+
     /// Process a quote: `Ok(mid)` if accepted (returning its midpoint),
     /// `Err(reason)` if rejected. Accepted midpoints update the rolling
     /// moments; rejected quotes do not (a burst of bad ticks must not drag
     /// the gate toward itself).
     pub fn process(&mut self, q: &Quote) -> Result<f64, RejectReason> {
+        let result = self.gate(q);
+        self.record_outcome(result.is_err());
+        result
+    }
+
+    fn gate(&mut self, q: &Quote) -> Result<f64, RejectReason> {
         if !q.is_well_formed() {
             self.stats.malformed += 1;
             return Err(RejectReason::Malformed);
@@ -227,6 +297,86 @@ mod tests {
             );
         }
         assert!(f.process(&q(400_000, 4000, 4002)).is_ok());
+    }
+
+    #[test]
+    fn tripwire_fires_under_a_reject_storm() {
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for quote in calm_tape(100) {
+            f.process(&quote).unwrap();
+        }
+        assert!(!f.quarantined());
+        // Corrupted feed: every quote a fat finger. With gate_window 64
+        // and trip_rate 0.5, 32 consecutive rejects trip the wire.
+        for k in 0..32u32 {
+            let _ = f.process(&q(200_000 + k * 10, 399, 401));
+        }
+        assert!(f.quarantined(), "50% rolling rejects must quarantine");
+        assert!(f.reject_rate() >= 0.5);
+    }
+
+    #[test]
+    fn tripwire_needs_minimum_samples() {
+        // A fresh filter fed only garbage: 100% reject rate, but the
+        // tripwire must wait for min_gate_samples observations.
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for k in 0..31u32 {
+            let _ = f.process(&q(k * 10, 100, 100));
+            assert!(!f.quarantined(), "below min_gate_samples after {k}");
+        }
+        let _ = f.process(&q(1_000, 100, 100));
+        assert!(f.quarantined(), "32nd all-reject sample trips");
+    }
+
+    #[test]
+    fn tripwire_untrips_with_hysteresis() {
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for quote in calm_tape(100) {
+            f.process(&quote).unwrap();
+        }
+        for k in 0..32u32 {
+            let _ = f.process(&q(200_000 + k * 10, 399, 401));
+        }
+        assert!(f.quarantined());
+        // Feed recovers. The rolling rate decays below trip_rate (0.5)
+        // quickly, but the flag must hold until it reaches untrip_rate
+        // (0.15): hysteresis, not a single-threshold flap.
+        let mut cleared_at = None;
+        for k in 0..64u32 {
+            f.process(&q(300_000 + k * 1000, 4000, 4002)).unwrap();
+            let rate = f.reject_rate();
+            if f.quarantined() {
+                assert!(rate > 0.15, "still flagged only while above untrip");
+            } else if cleared_at.is_none() {
+                cleared_at = Some((k, rate));
+            }
+        }
+        let (k, rate) = cleared_at.expect("quarantine must eventually clear");
+        assert!(rate <= 0.15, "cleared only at/below untrip_rate");
+        assert!(
+            k > 22,
+            "32 rejects in a 64-window need >22 clean quotes to decay"
+        );
+    }
+
+    #[test]
+    fn tripwire_does_not_chatter_between_thresholds() {
+        // Hold the rolling rate in the dead band (between untrip 0.15 and
+        // trip 0.5): an untripped filter must stay untripped.
+        let mut f = TcpFilter::new(CleanConfig::default());
+        for quote in calm_tape(100) {
+            f.process(&quote).unwrap();
+        }
+        // Alternate 1 bad : 2 good => rate ~0.33, inside the dead band.
+        for k in 0..90u32 {
+            let t = 200_000 + k * 100;
+            if k % 3 == 0 {
+                let _ = f.process(&q(t, 399, 401));
+            } else {
+                f.process(&q(t, 4000, 4002)).unwrap();
+            }
+            assert!(!f.quarantined(), "dead-band rate must not trip");
+        }
     }
 
     #[test]
