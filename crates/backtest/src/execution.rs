@@ -170,6 +170,7 @@ mod tests {
     fn order(stock: usize, side: OrderSide, shares: u32, price: f64) -> OrderRequest {
         OrderRequest {
             interval: 100,
+            param_set: 0,
             stock,
             side,
             shares,

@@ -1,0 +1,93 @@
+//! Shared-stream sweep vs 42 independent single-parameter graphs (P2 in
+//! DESIGN.md's experiment index): the paper's Approach-3 dedup measured on
+//! the streaming path. One synthetic day, n = 61 stocks (the paper's
+//! universe size), the full 42-vector parameter grid.
+//!
+//! The 42-singles side builds and runs 42 Figure-1 graphs, each computing
+//! its own correlation stream; the sweep side runs ONE graph where the 9
+//! distinct `(Ctype, M)` cubes are each computed once and fanned out to
+//! the 42 strategy hosts. Expected shape: the sweep wins by roughly the
+//! redundancy factor of the correlation work (42/9), shrinking toward the
+//! non-correlation floor as other stages grow.
+//!
+//! Writes the measured numbers to `BENCH_stream_sweep.json` at the
+//! workspace root (override iterations with `STREAM_SWEEP_ITERS`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use marketminer::pipeline::{run_fig1_pipeline, run_sweep_pipeline, Fig1Config, SweepConfig};
+use taq::dataset::DayData;
+use taq::generator::{MarketConfig, MarketGenerator};
+
+const N_STOCKS: usize = 61;
+const SEED: u64 = 2009;
+const QUOTE_RATE_HZ: f64 = 0.05;
+
+fn make_day() -> DayData {
+    let mut cfg = MarketConfig::small(N_STOCKS, 1, SEED);
+    cfg.micro.quote_rate_hz = QUOTE_RATE_HZ;
+    MarketGenerator::new(cfg).next_day().unwrap()
+}
+
+/// Mean seconds per invocation: one warmup (skip with
+/// `STREAM_SWEEP_WARMUP=0`), `iters` measured.
+fn time_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    if std::env::var("STREAM_SWEEP_WARMUP").map_or(true, |v| v != "0") {
+        black_box(&mut f)();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(&mut f)();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let iters: usize = std::env::var("STREAM_SWEEP_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2);
+
+    let day = make_day();
+    let quotes = day.len();
+    let cfg = SweepConfig::paper(N_STOCKS);
+    let n_params = cfg.params.len();
+    let n_streams = cfg.distinct_streams().len();
+    println!("\n== stream_sweep ==");
+    println!(
+        "n={N_STOCKS}, quotes={quotes}, params={n_params}, distinct corr streams={n_streams}, iters={iters}"
+    );
+
+    let singles_secs = time_secs(iters, || {
+        let mut total = 0usize;
+        for p in &cfg.params {
+            let single = run_fig1_pipeline(day.clone(), &Fig1Config::new(N_STOCKS, *p)).unwrap();
+            total += single.trades.len();
+        }
+        black_box(total);
+    });
+    println!("42 single-param graphs: {singles_secs:>10.3} s/day");
+
+    let sweep_secs = time_secs(iters, || {
+        let out = run_sweep_pipeline(day.clone(), &cfg).unwrap();
+        black_box(out.trades_per_param.len());
+    });
+    println!("shared-stream sweep:    {sweep_secs:>10.3} s/day");
+    let speedup = singles_secs / sweep_secs;
+    println!(
+        "speedup:                {speedup:>10.2}x (corr redundancy bound: {:.2}x)",
+        n_params as f64 / n_streams as f64
+    );
+
+    let workers = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"workers\": {workers},\n  \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n  \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n  \"speedup\": {speedup:.4}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream_sweep.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}\n{json}"),
+    }
+}

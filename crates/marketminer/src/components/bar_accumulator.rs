@@ -351,7 +351,13 @@ mod tests {
     #[test]
     fn non_quote_messages_count_as_dropped() {
         let mut node = BarAccumulatorNode::new(1, 30, CleanConfig::default());
-        node.on_message(Message::Trades(Arc::new(vec![])), &mut |_| {});
+        node.on_message(
+            Message::Trades(Arc::new(crate::messages::TradeReport {
+                param_set: 0,
+                trades: vec![],
+            })),
+            &mut |_| {},
+        );
         assert_eq!(node.messages_dropped(), 1);
     }
 

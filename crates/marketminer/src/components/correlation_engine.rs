@@ -37,6 +37,10 @@ enum EngineKind {
 #[derive(Clone)]
 pub struct CorrelationEngineNode {
     stride: usize,
+    /// Stream id stamped on every emitted snapshot. In a sweep graph each
+    /// distinct `(Ctype, M)` engine owns one id so fanned-in consumers can
+    /// tell the cubes apart; single-engine pipelines leave it 0.
+    stream: usize,
     /// Warm intervals seen since the last emission. Starts at `stride` so
     /// the very first warm interval emits immediately instead of waiting
     /// a full extra stride.
@@ -71,6 +75,7 @@ impl CorrelationEngineNode {
         };
         CorrelationEngineNode {
             stride,
+            stream: 0,
             since_last: stride,
             m,
             kind,
@@ -78,6 +83,13 @@ impl CorrelationEngineNode {
             dropped: 0,
             name: format!("corr-engine({ctype}, M={m})"),
         }
+    }
+
+    /// Stamp emitted snapshots with a correlation-stream id (sweep graphs
+    /// run one engine per distinct `(Ctype, M)` and tag each cube).
+    pub fn with_stream(mut self, stream: usize) -> Self {
+        self.stream = stream;
+        self
     }
 
     /// Enable PSD repair on emitted matrices (forces the windowed path
@@ -171,6 +183,7 @@ impl Component for CorrelationEngineNode {
         }
         out(Message::Corr(Arc::new(CorrSnapshot {
             interval: rs.interval,
+            stream: self.stream,
             matrix,
         })));
     }

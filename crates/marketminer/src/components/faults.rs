@@ -133,7 +133,10 @@ mod tests {
     use crate::node::Passthrough;
 
     fn msg() -> Message {
-        Message::Trades(Arc::new(vec![]))
+        Message::Trades(Arc::new(crate::messages::TradeReport {
+            param_set: 0,
+            trades: vec![],
+        }))
     }
 
     #[test]

@@ -8,30 +8,86 @@
 //! [`Basket`] per interval boundary; Figure 1's
 //! "with human confirmation" vs "no human confirmation" paths are the
 //! per-order `needs_confirmation` flag, preserved through aggregation.
+//!
+//! Two aggregation modes:
+//!
+//! * **Streaming** (default): orders arrive in interval order from a single
+//!   strategy host, so an interval change is a flush boundary. Baskets are
+//!   emitted as soon as the next interval begins.
+//! * **Bucketed** ([`OrderGatewayNode::bucketed`]): a sweep graph fans many
+//!   hosts into the gateway, so orders for interval 30 can arrive after
+//!   orders for interval 40. The gateway buckets orders by interval,
+//!   flushes every basket at end-of-day in interval order, and sorts each
+//!   basket into a canonical order — the output is bit-identical no matter
+//!   how the fan-in interleaved.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::messages::{Basket, Message, OrderRequest};
 use crate::node::{Component, Emit, NodeState};
 
+#[derive(Clone)]
+enum Mode {
+    /// Flush on interval change; orders keep emission order.
+    Streaming {
+        current_interval: Option<usize>,
+        pending: Vec<OrderRequest>,
+    },
+    /// Bucket by interval, flush all at end-of-day, canonical sort.
+    Bucketed {
+        buckets: BTreeMap<usize, Vec<OrderRequest>>,
+    },
+}
+
 /// Basket-aggregating order gateway.
 #[derive(Clone)]
 pub struct OrderGatewayNode {
-    current_interval: Option<usize>,
-    pending: Vec<OrderRequest>,
+    mode: Mode,
     baskets_emitted: u64,
     name: String,
 }
 
+/// Canonical intra-basket order: `(param_set, pair, stock, side, shares,
+/// price-bits)`. A total order over every field that distinguishes two
+/// orders, so sorting is deterministic and independent of arrival order.
+fn canonical_key(o: &OrderRequest) -> (usize, (usize, usize), usize, u8, u32, u64) {
+    let side = match o.side {
+        crate::messages::OrderSide::Buy => 0u8,
+        crate::messages::OrderSide::Sell => 1u8,
+    };
+    (
+        o.param_set,
+        o.pair,
+        o.stock,
+        side,
+        o.shares,
+        o.price.to_bits(),
+    )
+}
+
 impl OrderGatewayNode {
-    /// New gateway.
+    /// New streaming gateway.
     pub fn new() -> Self {
         OrderGatewayNode {
-            current_interval: None,
-            pending: Vec::new(),
+            mode: Mode::Streaming {
+                current_interval: None,
+                pending: Vec::new(),
+            },
             baskets_emitted: 0,
             name: "order-gateway".to_string(),
         }
+    }
+
+    /// Switch to bucketed (fan-in-deterministic) aggregation: orders are
+    /// bucketed by interval regardless of arrival order, each basket is
+    /// sorted canonically, and all baskets flush at end-of-day in interval
+    /// order. Use this when multiple strategy hosts feed one gateway.
+    pub fn bucketed(mut self) -> Self {
+        self.mode = Mode::Bucketed {
+            buckets: BTreeMap::new(),
+        };
+        self
     }
 
     /// Baskets emitted so far.
@@ -39,14 +95,20 @@ impl OrderGatewayNode {
         self.baskets_emitted
     }
 
-    fn flush(&mut self, out: &mut Emit<'_>) {
-        if let Some(interval) = self.current_interval.take() {
-            if !self.pending.is_empty() {
-                self.baskets_emitted += 1;
-                out(Message::Basket(Arc::new(Basket {
-                    interval,
-                    orders: std::mem::take(&mut self.pending),
-                })));
+    fn flush_streaming(&mut self, out: &mut Emit<'_>) {
+        if let Mode::Streaming {
+            current_interval,
+            pending,
+        } = &mut self.mode
+        {
+            if let Some(interval) = current_interval.take() {
+                if !pending.is_empty() {
+                    self.baskets_emitted += 1;
+                    out(Message::Basket(Arc::new(Basket {
+                        interval,
+                        orders: std::mem::take(pending),
+                    })));
+                }
             }
         }
     }
@@ -64,20 +126,49 @@ impl Component for OrderGatewayNode {
     }
 
     fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
-        match msg {
-            Message::Order(order) => {
-                if self.current_interval != Some(order.interval) {
-                    self.flush(out);
-                    self.current_interval = Some(order.interval);
-                }
-                self.pending.push((*order).clone());
+        let order = match msg {
+            Message::Order(order) => order,
+            other => {
+                out(other); // trade reports etc. pass through
+                return;
             }
-            other => out(other), // trade reports etc. pass through
+        };
+        if let Mode::Bucketed { buckets } = &mut self.mode {
+            buckets
+                .entry(order.interval)
+                .or_default()
+                .push((*order).clone());
+            return;
+        }
+        let boundary = matches!(
+            &self.mode,
+            Mode::Streaming { current_interval, .. }
+                if *current_interval != Some(order.interval)
+        );
+        if boundary {
+            self.flush_streaming(out);
+        }
+        if let Mode::Streaming {
+            current_interval,
+            pending,
+        } = &mut self.mode
+        {
+            *current_interval = Some(order.interval);
+            pending.push((*order).clone());
         }
     }
 
     fn on_end(&mut self, out: &mut Emit<'_>) {
-        self.flush(out);
+        match &mut self.mode {
+            Mode::Streaming { .. } => self.flush_streaming(out),
+            Mode::Bucketed { buckets } => {
+                for (interval, mut orders) in std::mem::take(buckets) {
+                    orders.sort_by_key(canonical_key);
+                    self.baskets_emitted += 1;
+                    out(Message::Basket(Arc::new(Basket { interval, orders })));
+                }
+            }
+        }
     }
 
     fn snapshot(&self) -> Option<NodeState> {
@@ -95,8 +186,13 @@ mod tests {
     use crate::messages::OrderSide;
 
     fn order(interval: usize, stock: usize, confirm: bool) -> Message {
+        order_for(interval, 0, stock, confirm)
+    }
+
+    fn order_for(interval: usize, param_set: usize, stock: usize, confirm: bool) -> Message {
         Message::Order(Arc::new(OrderRequest {
             interval,
+            param_set,
             stock,
             side: OrderSide::Buy,
             shares: 1,
@@ -106,8 +202,7 @@ mod tests {
         }))
     }
 
-    fn run(msgs: Vec<Message>) -> Vec<Arc<Basket>> {
-        let mut node = OrderGatewayNode::new();
+    fn run_node(mut node: OrderGatewayNode, msgs: Vec<Message>) -> Vec<Arc<Basket>> {
         let mut baskets = Vec::new();
         {
             let mut emit = |m: Message| {
@@ -121,6 +216,10 @@ mod tests {
             node.on_end(&mut emit);
         }
         baskets
+    }
+
+    fn run(msgs: Vec<Message>) -> Vec<Arc<Basket>> {
+        run_node(OrderGatewayNode::new(), msgs)
     }
 
     #[test]
@@ -156,5 +255,58 @@ mod tests {
     #[test]
     fn no_orders_no_baskets() {
         assert!(run(vec![]).is_empty());
+    }
+
+    #[test]
+    fn bucketed_mode_is_arrival_order_insensitive() {
+        // Two interleavings of the same orders (as a sweep fan-in would
+        // produce) must yield identical baskets.
+        let a = run_node(
+            OrderGatewayNode::new().bucketed(),
+            vec![
+                order_for(5, 0, 0, false),
+                order_for(7, 0, 1, false),
+                order_for(5, 1, 2, false),
+                order_for(7, 1, 3, true),
+            ],
+        );
+        let b = run_node(
+            OrderGatewayNode::new().bucketed(),
+            vec![
+                order_for(7, 1, 3, true),
+                order_for(5, 1, 2, false),
+                order_for(5, 0, 0, false),
+                order_for(7, 0, 1, false),
+            ],
+        );
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.interval, y.interval);
+            assert_eq!(x.orders, y.orders);
+        }
+        // Baskets come out in interval order with canonically sorted rows.
+        assert_eq!(a[0].interval, 5);
+        assert_eq!(a[1].interval, 7);
+        assert!(a[0]
+            .orders
+            .windows(2)
+            .all(|w| w[0].param_set <= w[1].param_set));
+    }
+
+    #[test]
+    fn bucketed_mode_flushes_out_of_order_intervals_sorted() {
+        let baskets = run_node(
+            OrderGatewayNode::new().bucketed(),
+            vec![
+                order_for(9, 0, 0, false),
+                order_for(2, 0, 1, false),
+                order_for(9, 2, 2, false),
+            ],
+        );
+        assert_eq!(baskets.len(), 2);
+        assert_eq!(baskets[0].interval, 2);
+        assert_eq!(baskets[1].interval, 9);
+        assert_eq!(baskets[1].orders.len(), 2);
     }
 }

@@ -3,7 +3,7 @@
 //! The paper motivates the integrated design precisely because "the outputs
 //! from each strategy (trade decisions) can be gathered by a master process
 //! to perform additional tasks such as risk management and liquidity
-//! provisioning". This node sits between the strategy host and the order
+//! provisioning". This node sits between the strategy host(s) and the order
 //! gateway and enforces book-level limits:
 //!
 //! * per-order share cap (fat-finger guard on the way *out*);
@@ -11,9 +11,21 @@
 //! * a cap on concurrently open pairs (gross exposure proxy) — an entry
 //!   leg pair is rejected atomically (both legs) when the book is full.
 //!
+//! In a sweep graph one risk manager serves every strategy host, so the
+//! open-pairs book is keyed by `(param_set, pair)`: each parameter set gets
+//! its own exposure budget and one strategy's book never blocks another's.
+//!
+//! Health is order-insensitive: when many hosts fan into one risk node,
+//! a fast host's orders for interval 40 can arrive before a slow host's
+//! orders for interval 30, interleaved with `Health` events. The node
+//! therefore keeps a per-symbol *timeline* of health transitions stamped
+//! with the interval they take effect at, and judges each order against the
+//! symbol's status *as of the order's own interval* — the verdict is the
+//! same no matter how the fan-in interleaves.
+//!
 //! Non-order messages pass through untouched.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::messages::{Message, OrderRequest, OrderSide};
 use crate::node::{Component, Emit, NodeState};
@@ -25,7 +37,7 @@ pub struct RiskLimits {
     pub max_shares_per_order: u32,
     /// Maximum notional (price * shares) per order, dollars.
     pub max_order_notional: f64,
-    /// Maximum concurrently open pairs.
+    /// Maximum concurrently open pairs *per parameter set*.
     pub max_open_pairs: usize,
 }
 
@@ -52,16 +64,65 @@ pub struct RiskStats {
     pub rejected_degraded: u64,
 }
 
+/// Per-symbol health timeline: transitions `(first interval the status
+/// applies to, is_degraded)`, kept sorted by interval.
+///
+/// The sweep graph fans many strategy hosts into one risk manager, so the
+/// same `HealthEvent` (forwarded by every host) arrives multiple times and
+/// orders from different hosts arrive at unrelated paces. Recording
+/// transitions by *event* interval and resolving each order against the
+/// timeline at the *order's* interval makes the degraded check a pure
+/// function of simulated time — independent of arrival order.
+#[derive(Debug, Clone, Default)]
+struct HealthTimeline {
+    transitions: HashMap<usize, Vec<(usize, bool)>>,
+}
+
+impl HealthTimeline {
+    /// Record a transition; duplicates (same symbol, interval, status) are
+    /// idempotent, as required when every host forwards the same event.
+    fn record(&mut self, symbol: usize, interval: usize, degraded: bool) {
+        let line = self.transitions.entry(symbol).or_default();
+        match line.binary_search_by_key(&interval, |&(at, _)| at) {
+            Ok(pos) => line[pos].1 = degraded,
+            Err(pos) => line.insert(pos, (interval, degraded)),
+        }
+    }
+
+    /// Status of `symbol` as of `interval`: the latest transition taking
+    /// effect at or before it. No transition means healthy.
+    fn degraded_at(&self, symbol: usize, interval: usize) -> bool {
+        let Some(line) = self.transitions.get(&symbol) else {
+            return false;
+        };
+        match line.binary_search_by_key(&interval, |&(at, _)| at) {
+            Ok(pos) => line[pos].1,
+            Err(0) => false,
+            Err(pos) => line[pos - 1].1,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.transitions.clear();
+    }
+}
+
 /// The risk-manager node.
 #[derive(Clone)]
 pub struct RiskManagerNode {
     limits: RiskLimits,
-    open_pairs: HashSet<(usize, usize)>,
-    /// Symbols the health control plane has marked degraded: entry legs
-    /// touching them are refused as a backstop behind the strategy host's
-    /// own refusal (defence in depth — a restarted or buggy strategy must
-    /// not be able to open exposure on a dead feed).
-    degraded: HashSet<usize>,
+    /// Open-pairs book per parameter set. Keyed so a merged sweep graph
+    /// keeps one independent exposure budget per strategy host.
+    books: HashMap<usize, HashSet<(usize, usize)>>,
+    /// Per-symbol health transition timeline (degradation control plane).
+    /// Entry legs touching a symbol degraded *at the order's interval* are
+    /// refused as a backstop behind the strategy host's own refusal
+    /// (defence in depth — a restarted or buggy strategy must not be able
+    /// to open exposure on a dead feed).
+    health: HealthTimeline,
+    /// Health events already forwarded downstream, so the fan-in of many
+    /// hosts forwarding the same event emits it exactly once.
+    forwarded_health: HashSet<(usize, usize)>,
     stats: RiskStats,
     name: String,
 }
@@ -71,8 +132,9 @@ impl RiskManagerNode {
     pub fn new(limits: RiskLimits) -> Self {
         RiskManagerNode {
             limits,
-            open_pairs: HashSet::new(),
-            degraded: HashSet::new(),
+            books: HashMap::new(),
+            health: HealthTimeline::default(),
+            forwarded_health: HashSet::new(),
             stats: RiskStats::default(),
             name: "risk-manager".to_string(),
         }
@@ -98,12 +160,11 @@ impl Component for RiskManagerNode {
         let order = match msg {
             Message::Order(order) => order,
             Message::Health(h) => {
-                if h.is_degraded() {
-                    self.degraded.insert(h.symbol);
-                } else {
-                    self.degraded.remove(&h.symbol);
+                self.health.record(h.symbol, h.interval, h.is_degraded());
+                // Fan-in dedup: forward each distinct transition once.
+                if self.forwarded_health.insert((h.symbol, h.interval)) {
+                    out(Message::Health(h));
                 }
-                out(Message::Health(h));
                 return;
             }
             other => {
@@ -116,32 +177,37 @@ impl Component for RiskManagerNode {
             return;
         }
         let pair = order.pair;
-        let is_entry = !self.open_pairs.contains(&pair);
+        let book = self.books.entry(order.param_set).or_default();
+        let is_entry = !book.contains(&pair);
         if is_entry {
-            // Entry legs touching a degraded symbol are refused outright;
-            // exits (pair already on the book) always pass so defensive
-            // flattening can complete.
-            if self.degraded.contains(&pair.0) || self.degraded.contains(&pair.1) {
+            // Entry legs touching a symbol degraded as of the order's own
+            // interval are refused outright; exits (pair already on the
+            // book) always pass so defensive flattening can complete.
+            if self.health.degraded_at(pair.0, order.interval)
+                || self.health.degraded_at(pair.1, order.interval)
+            {
                 self.stats.rejected_degraded += 1;
                 return;
             }
             // Entry legs: Buy opens the long, Sell opens the short. Both
             // legs of the same pair arrive with the same interval; admit
-            // the pair once, atomically.
-            if self.open_pairs.len() >= self.limits.max_open_pairs
+            // the pair once, atomically, against its own param set's book.
+            if book.len() >= self.limits.max_open_pairs
                 && matches!(order.side, OrderSide::Buy | OrderSide::Sell)
             {
                 self.stats.rejected_book_full += 1;
                 return;
             }
-            self.open_pairs.insert(pair);
+            book.insert(pair);
         }
         self.stats.passed += 1;
         out(Message::Order(order));
     }
 
     fn on_end(&mut self, _out: &mut Emit<'_>) {
-        self.open_pairs.clear();
+        self.books.clear();
+        self.health.clear();
+        self.forwarded_health.clear();
     }
 
     fn snapshot(&self) -> Option<NodeState> {
@@ -156,7 +222,29 @@ impl Component for RiskManagerNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::messages::TradeReport;
     use std::sync::Arc;
+
+    fn order_at(
+        interval: usize,
+        param_set: usize,
+        pair: (usize, usize),
+        stock: usize,
+        side: OrderSide,
+        shares: u32,
+        price: f64,
+    ) -> Message {
+        Message::Order(Arc::new(OrderRequest {
+            interval,
+            param_set,
+            stock,
+            side,
+            shares,
+            price,
+            pair,
+            needs_confirmation: false,
+        }))
+    }
 
     fn order(
         pair: (usize, usize),
@@ -165,15 +253,7 @@ mod tests {
         shares: u32,
         price: f64,
     ) -> Message {
-        Message::Order(Arc::new(OrderRequest {
-            interval: 0,
-            stock,
-            side,
-            shares,
-            price,
-            pair,
-            needs_confirmation: false,
-        }))
+        order_at(0, 0, pair, stock, side, shares, price)
     }
 
     fn run(node: &mut RiskManagerNode, msgs: Vec<Message>) -> usize {
@@ -246,6 +326,27 @@ mod tests {
     }
 
     #[test]
+    fn open_pairs_cap_is_per_param_set() {
+        let limits = RiskLimits {
+            max_open_pairs: 1,
+            ..Default::default()
+        };
+        let mut node = RiskManagerNode::new(limits);
+        // Param set 0 fills its book; param set 1's entry still passes,
+        // while param set 0's second pair is refused.
+        let passed = run(
+            &mut node,
+            vec![
+                order_at(0, 0, (1, 0), 0, OrderSide::Buy, 1, 10.0),
+                order_at(0, 1, (2, 0), 2, OrderSide::Buy, 1, 10.0),
+                order_at(1, 0, (2, 0), 2, OrderSide::Buy, 1, 10.0),
+            ],
+        );
+        assert_eq!(passed, 2);
+        assert_eq!(node.stats().rejected_book_full, 1);
+    }
+
+    #[test]
     fn degraded_symbols_block_entries_but_not_exits() {
         use crate::messages::{DegradeReason, HealthEvent, HealthStatus};
         let mut node = RiskManagerNode::new(RiskLimits::default());
@@ -253,12 +354,12 @@ mod tests {
         let passed = run(
             &mut node,
             vec![
-                order((1, 0), 0, OrderSide::Buy, 1, 10.0),
-                order((1, 0), 1, OrderSide::Sell, 1, 10.0),
+                order_at(1, 0, (1, 0), 0, OrderSide::Buy, 1, 10.0),
+                order_at(1, 0, (1, 0), 1, OrderSide::Sell, 1, 10.0),
             ],
         );
         assert_eq!(passed, 2);
-        // Symbol 1 degrades.
+        // Symbol 1 degrades from interval 5.
         let mut forwarded = 0;
         node.on_message(
             Message::Health(Arc::new(HealthEvent {
@@ -278,15 +379,15 @@ mod tests {
         let passed = run(
             &mut node,
             vec![
-                order((1, 0), 0, OrderSide::Sell, 1, 10.0),
-                order((1, 0), 1, OrderSide::Buy, 1, 10.0),
-                order((2, 1), 2, OrderSide::Buy, 1, 10.0),
-                order((3, 2), 3, OrderSide::Buy, 1, 10.0),
+                order_at(6, 0, (1, 0), 0, OrderSide::Sell, 1, 10.0),
+                order_at(6, 0, (1, 0), 1, OrderSide::Buy, 1, 10.0),
+                order_at(6, 0, (2, 1), 2, OrderSide::Buy, 1, 10.0),
+                order_at(6, 0, (3, 2), 3, OrderSide::Buy, 1, 10.0),
             ],
         );
         assert_eq!(passed, 3, "exits + unrelated entry pass");
         assert_eq!(node.stats().rejected_degraded, 1);
-        // Recovery lifts the block.
+        // Recovery lifts the block from interval 9.
         node.on_message(
             Message::Health(Arc::new(HealthEvent {
                 interval: 9,
@@ -295,17 +396,73 @@ mod tests {
             })),
             &mut |_| {},
         );
-        let passed = run(&mut node, vec![order((4, 1), 1, OrderSide::Buy, 1, 10.0)]);
+        let passed = run(
+            &mut node,
+            vec![order_at(9, 0, (4, 1), 1, OrderSide::Buy, 1, 10.0)],
+        );
         assert_eq!(passed, 1);
+    }
+
+    #[test]
+    fn degraded_check_is_arrival_order_insensitive() {
+        use crate::messages::{DegradeReason, HealthEvent, HealthStatus};
+        // A slow host's order for interval 3 arrives *after* the health
+        // event taking effect at interval 5 — it must still pass, because
+        // the symbol was healthy at the order's own interval.
+        let mut node = RiskManagerNode::new(RiskLimits::default());
+        node.on_message(
+            Message::Health(Arc::new(HealthEvent {
+                interval: 5,
+                symbol: 1,
+                status: HealthStatus::Degraded(DegradeReason::Outage),
+            })),
+            &mut |_| {},
+        );
+        let passed = run(
+            &mut node,
+            vec![
+                order_at(3, 0, (1, 0), 0, OrderSide::Buy, 1, 10.0),
+                order_at(5, 1, (1, 0), 0, OrderSide::Buy, 1, 10.0),
+            ],
+        );
+        assert_eq!(
+            passed, 1,
+            "pre-degradation entry passes, at-or-after is refused"
+        );
+        assert_eq!(node.stats().rejected_degraded, 1);
+    }
+
+    #[test]
+    fn duplicate_health_events_forward_once() {
+        use crate::messages::{DegradeReason, HealthEvent, HealthStatus};
+        let mut node = RiskManagerNode::new(RiskLimits::default());
+        let ev = Arc::new(HealthEvent {
+            interval: 7,
+            symbol: 2,
+            status: HealthStatus::Degraded(DegradeReason::Halt),
+        });
+        let mut forwarded = 0;
+        for _ in 0..3 {
+            node.on_message(Message::Health(ev.clone()), &mut |m| {
+                if matches!(m, Message::Health(_)) {
+                    forwarded += 1;
+                }
+            });
+        }
+        assert_eq!(forwarded, 1, "fan-in duplicates are swallowed");
     }
 
     #[test]
     fn non_orders_pass_through() {
         let mut node = RiskManagerNode::new(RiskLimits::default());
         let mut kinds = Vec::new();
-        node.on_message(Message::Trades(Arc::new(vec![])), &mut |m| {
-            kinds.push(m.kind())
-        });
+        node.on_message(
+            Message::Trades(Arc::new(TradeReport {
+                param_set: 0,
+                trades: vec![],
+            })),
+            &mut |m| kinds.push(m.kind()),
+        );
         assert_eq!(kinds, vec!["trades"]);
     }
 }

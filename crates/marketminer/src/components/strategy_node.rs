@@ -17,7 +17,7 @@ use pairtrade_core::strategy::{IntervalInput, PairStrategy};
 use pairtrade_core::trade::{ExitReason, Trade};
 use stats::matrix::SymMatrix;
 
-use crate::messages::{CorrSnapshot, Message, OrderRequest, OrderSide};
+use crate::messages::{CorrSnapshot, Message, OrderRequest, OrderSide, TradeReport};
 use crate::node::{Component, Emit, NodeState};
 
 /// The market-wide strategy host.
@@ -25,6 +25,10 @@ use crate::node::{Component, Emit, NodeState};
 pub struct StrategyHostNode {
     params: StrategyParams,
     n_stocks: usize,
+    /// Parameter-set identity stamped on every order and on the EOD trade
+    /// report, so the merged risk/gateway/sink stages of a sweep graph can
+    /// attribute flow per strategy. Single-host pipelines leave it 0.
+    param_set: usize,
     strategies: Vec<PairStrategy>,
     was_open: Vec<bool>,
     trades_seen: Vec<usize>,
@@ -76,6 +80,7 @@ impl StrategyHostNode {
         StrategyHostNode {
             params,
             n_stocks,
+            param_set: 0,
             was_open: vec![false; strategies.len()],
             trades_seen: vec![0; strategies.len()],
             strategies,
@@ -88,6 +93,16 @@ impl StrategyHostNode {
             needs_confirmation,
             name: format!("pair-strategy-host({})", params.label()),
         }
+    }
+
+    /// Tag emitted orders and the EOD trade report with a parameter-set
+    /// index (sweep graphs run one host per parameter set). Also folds the
+    /// index into the node name so hosts with identical labels stay
+    /// distinguishable in stats tables.
+    pub fn with_param_set(mut self, param_set: usize) -> Self {
+        self.param_set = param_set;
+        self.name = format!("pair-strategy-host(#{param_set}, {})", self.params.label());
+        self
     }
 
     fn record_bars(&mut self, interval: usize, closes: &[f64]) {
@@ -123,6 +138,7 @@ impl StrategyHostNode {
     ) -> [OrderRequest; 2] {
         let mk = |stock: usize, side: OrderSide, shares: u32, price: f64| OrderRequest {
             interval,
+            param_set: self.param_set,
             stock,
             side,
             shares,
@@ -150,6 +166,7 @@ impl StrategyHostNode {
         let p = &trade.position;
         let mk = |stock: usize, side: OrderSide, shares: u32| OrderRequest {
             interval: trade.exit_interval,
+            param_set: self.param_set,
             stock,
             side,
             shares,
@@ -221,7 +238,10 @@ impl Component for StrategyHostNode {
         for order in closing_orders {
             out(Message::Order(Arc::new(order)));
         }
-        out(Message::Trades(Arc::new(all_trades)));
+        out(Message::Trades(Arc::new(TradeReport {
+            param_set: self.param_set,
+            trades: all_trades,
+        })));
     }
 
     fn snapshot(&self) -> Option<NodeState> {
@@ -407,6 +427,7 @@ mod tests {
         m.set(1, 0, rho);
         Message::Corr(Arc::new(CorrSnapshot {
             interval,
+            stream: 0,
             matrix: m,
         }))
     }
@@ -416,7 +437,7 @@ mod tests {
         use std::cell::RefCell;
         let mut node = StrategyHostNode::new(2, params(), ExecutionConfig::paper(), false);
         let orders: RefCell<Vec<Arc<OrderRequest>>> = RefCell::new(Vec::new());
-        let trades: RefCell<Option<Arc<Vec<Trade>>>> = RefCell::new(None);
+        let trades: RefCell<Option<Arc<TradeReport>>> = RefCell::new(None);
         let feed = |node: &mut StrategyHostNode, m: Message| {
             node.on_message(m, &mut |out| match out {
                 Message::Order(o) => orders.borrow_mut().push(o),
@@ -572,6 +593,7 @@ mod tests {
             node.on_message(
                 Message::Corr(Arc::new(CorrSnapshot {
                     interval: s,
+                    stream: 0,
                     matrix: m,
                 })),
                 &mut sink,

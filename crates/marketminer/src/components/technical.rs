@@ -161,7 +161,13 @@ mod tests {
             &mut |m| kinds.push(m.kind()),
         );
         assert_eq!(kinds, vec!["health"]);
-        node.on_message(Message::Trades(Arc::new(vec![])), &mut |_| {});
+        node.on_message(
+            Message::Trades(Arc::new(crate::messages::TradeReport {
+                param_set: 0,
+                trades: vec![],
+            })),
+            &mut |_| {},
+        );
         assert_eq!(node.messages_dropped(), 1);
     }
 

@@ -5,9 +5,12 @@
 //! directed acyclic graph (DAG) stream processing workflows."
 //!
 //! This crate is that platform: a DAG of components connected by bounded
-//! channels, one thread per component (the shared-memory realisation of
-//! MPI ranks — see the `mpisim` crate for the messaging substrate itself),
-//! with the analytics components of the paper's Figure 1:
+//! inboxes, executed by a fixed-size pool of cooperatively scheduled
+//! workers (the shared-memory realisation of MPI ranks — see the `mpisim`
+//! crate for the messaging substrate itself). The OS thread count is set
+//! by [`runtime::RuntimeConfig::workers`], independent of graph size, so
+//! the full 42-parameter sweep graph runs on a handful of threads. The
+//! analytics components are the paper's Figure 1:
 //!
 //! ```text
 //!  Live/File/DB Collector ──▶ OHLC Bar Accumulator (Δs)
@@ -29,14 +32,15 @@
 //! * [`graph`] — DAG description and validation (acyclicity, connectivity).
 //! * [`messages`] — the typed stream vocabulary.
 //! * [`node`] — the [`node::Component`] and [`node::Source`] traits.
-//! * [`runtime`] — the threaded executor with bounded backpressure,
-//!   EOF-counted shutdown and supervised fault recovery.
+//! * [`runtime`] — the pooled work-stealing executor with bounded
+//!   backpressure, EOF-counted shutdown and supervised fault recovery.
 //! * [`supervisor`] — restart policies, failure modes and the stall
 //!   watchdog configuration.
 //! * [`components`] — collectors, bar accumulator, technical analysis,
 //!   the parallel correlation engine node, the strategy host, the risk
 //!   manager and the order gateway.
-//! * [`pipeline`] — a prebuilt, runnable instance of Figure 1.
+//! * [`pipeline`] — a prebuilt, runnable instance of Figure 1, and the
+//!   shared-stream parameter-sweep graph ([`pipeline::SweepConfig`]).
 
 pub mod components;
 pub mod graph;
@@ -48,13 +52,14 @@ pub mod supervisor;
 
 pub use components::{FaultedCollector, HealthPolicy, PanicInjector, WedgeInjector};
 pub use graph::{Graph, GraphError, NodeId};
-pub use messages::{DegradeReason, HealthEvent, HealthStatus, Message};
+pub use messages::{DegradeReason, HealthEvent, HealthStatus, Message, TradeReport};
 pub use node::{Component, NodeState, Source};
 pub use pipeline::{
-    run_fig1_pipeline, run_fig1_pipeline_with, run_multi_pipeline, Fig1Config, Fig1Output,
-    MultiConfig, MultiOutput,
+    run_fig1_pipeline, run_fig1_pipeline_with, run_multi_pipeline, run_sweep_pipeline,
+    run_sweep_pipeline_with, Fig1Config, Fig1Output, MultiConfig, MultiOutput, SweepConfig,
+    SweepOutput,
 };
-pub use runtime::{NodeOutcome, NodeStats, RunOutput, Runtime};
+pub use runtime::{NodeOutcome, NodeStats, RunOutput, Runtime, RuntimeConfig};
 pub use supervisor::{
     FailureMode, NodeFailure, RestartPolicy, StallEvent, SupervisionConfig, WatchdogConfig,
 };

@@ -37,6 +37,11 @@ pub struct ReturnSet {
 pub struct CorrSnapshot {
     /// Interval the trailing window ends at.
     pub interval: usize,
+    /// Which correlation stream the snapshot belongs to. In a sweep graph
+    /// each distinct `(Ctype, M)` engine owns one stream id, so consumers
+    /// fed by several engines can tell the cubes apart; single-engine
+    /// pipelines leave it 0.
+    pub stream: usize,
     /// The all-pairs correlation matrix.
     pub matrix: SymMatrix,
 }
@@ -55,6 +60,10 @@ pub enum OrderSide {
 pub struct OrderRequest {
     /// Interval the order was generated at.
     pub interval: usize,
+    /// Which parameter set (strategy host) generated the order. Lets the
+    /// merged risk/gateway stages of a sweep graph keep per-strategy books
+    /// and attribute orders; single-strategy pipelines leave it 0.
+    pub param_set: usize,
     /// Stock index.
     pub stock: usize,
     /// Buy or sell.
@@ -79,6 +88,24 @@ pub struct Basket {
     pub interval: usize,
     /// The orders, in emission order.
     pub orders: Vec<OrderRequest>,
+}
+
+/// The end-of-day trade report of one strategy host, tagged with the
+/// parameter set that produced it so a merged sink can attribute trades.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeReport {
+    /// Index of the parameter set (strategy host) the trades belong to.
+    pub param_set: usize,
+    /// The day's completed trades, in strategy order.
+    pub trades: Vec<Trade>,
+}
+
+impl std::ops::Deref for TradeReport {
+    type Target = Vec<Trade>;
+
+    fn deref(&self) -> &Vec<Trade> {
+        &self.trades
+    }
 }
 
 /// Why a symbol was marked degraded.
@@ -140,7 +167,7 @@ pub enum Message {
     /// An aggregated order basket.
     Basket(Arc<Basket>),
     /// End-of-day trade report from a strategy node.
-    Trades(Arc<Vec<Trade>>),
+    Trades(Arc<TradeReport>),
     /// A per-symbol health transition (degradation control plane).
     Health(Arc<HealthEvent>),
     /// Runtime-internal end-of-stream marker: one per inbound edge. Never

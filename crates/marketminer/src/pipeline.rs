@@ -166,6 +166,215 @@ pub fn run_fig1_pipeline_with(
     })
 }
 
+/// Configuration for the shared-stream parameter-sweep pipeline: the full
+/// parameter grid runs as ONE graph on the pooled runtime. The quote
+/// stream is collected, barred and cleaned once; each distinct
+/// `(Ctype, M)` correlation cube is computed once by a stream-tagged
+/// engine and fanned out to every strategy host that consumes it; all
+/// hosts merge into one shared risk manager, one bucketed order gateway
+/// and one sink. This is the paper's "Approach 3" deployment: 42
+/// parameter sets share 9 correlation streams instead of running 42
+/// independent pipelines.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Universe size.
+    pub n_stocks: usize,
+    /// One strategy host per parameter vector. All must share `Δs`.
+    pub params: Vec<StrategyParams>,
+    /// Execution extensions (shared).
+    pub exec: ExecutionConfig,
+    /// Quote cleaning.
+    pub clean: CleanConfig,
+    /// Correlation snapshot stride.
+    pub corr_stride: usize,
+    /// Risk limits for the shared risk manager (per parameter set).
+    pub limits: RiskLimits,
+    /// Whether emitted orders require human confirmation.
+    pub needs_confirmation: bool,
+    /// Feed-health detection thresholds (`None` disables the control
+    /// plane).
+    pub health: Option<HealthPolicy>,
+}
+
+impl SweepConfig {
+    /// Defaults from a list of parameter vectors.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or mixes `Δs` values (the sweep shares
+    /// one bar accumulator).
+    pub fn new(n_stocks: usize, params: Vec<StrategyParams>) -> Self {
+        assert!(!params.is_empty(), "need at least one parameter set");
+        let dt = params[0].dt_seconds;
+        assert!(
+            params.iter().all(|p| p.dt_seconds == dt),
+            "all parameter sets must share Δs (one bar accumulator)"
+        );
+        SweepConfig {
+            n_stocks,
+            params,
+            exec: ExecutionConfig::paper(),
+            clean: CleanConfig::default(),
+            corr_stride: 1,
+            limits: RiskLimits::default(),
+            needs_confirmation: false,
+            health: None,
+        }
+    }
+
+    /// The paper's full 42-combination parameter grid.
+    pub fn paper(n_stocks: usize) -> Self {
+        SweepConfig::new(n_stocks, pairtrade_core::params::paper_parameter_grid())
+    }
+
+    /// Enable the health/degradation control plane.
+    pub fn with_health(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
+        self
+    }
+
+    /// The distinct `(Ctype, M)` correlation streams, in stream-id order.
+    pub fn distinct_streams(&self) -> Vec<(stats::correlation::CorrType, usize)> {
+        let mut keys = Vec::new();
+        for p in &self.params {
+            let key = (p.ctype, p.corr_window);
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
+}
+
+/// Output of a shared-stream sweep run.
+#[derive(Debug)]
+pub struct SweepOutput {
+    /// End-of-day trades per parameter set (index-aligned with
+    /// `SweepConfig::params`), attributed via `TradeReport::param_set`.
+    pub trades_per_param: Vec<Vec<Trade>>,
+    /// Order baskets from the shared bucketed gateway, in interval order
+    /// with canonically sorted rows.
+    pub baskets: Vec<Arc<Basket>>,
+    /// Health transitions that reached the sink, in canonical
+    /// `(interval, symbol)` order (fan-in arrival order is not
+    /// deterministic; the content is).
+    pub health_events: Vec<Arc<HealthEvent>>,
+    /// Stream id consumed by each parameter set (index-aligned with
+    /// `SweepConfig::params`) — which `(Ctype, M)` cube fed host `k`.
+    pub streams: Vec<usize>,
+    /// Per-node throughput accounting, in node-id order.
+    pub node_stats: Vec<crate::runtime::NodeStats>,
+    /// Nodes that panicked.
+    pub failures: Vec<NodeFailure>,
+    /// Nodes the watchdog severed as wedged.
+    pub stalls: Vec<StallEvent>,
+}
+
+/// Build and run the shared-stream sweep DAG over one day of quotes.
+pub fn run_sweep_pipeline(day: DayData, cfg: &SweepConfig) -> Result<SweepOutput, GraphError> {
+    run_sweep_pipeline_with(Runtime::new(), Box::new(ReplayCollector::new(day)), cfg)
+}
+
+/// Build and run the sweep DAG with an explicit runtime (worker count,
+/// supervision) and quote source.
+///
+/// # Panics
+/// Panics if the parameter list is empty or mixes `Δs` values.
+pub fn run_sweep_pipeline_with(
+    runtime: Runtime,
+    source: Box<dyn Source>,
+    cfg: &SweepConfig,
+) -> Result<SweepOutput, GraphError> {
+    assert!(!cfg.params.is_empty(), "need at least one parameter set");
+    let dt = cfg.params[0].dt_seconds;
+    assert!(
+        cfg.params.iter().all(|p| p.dt_seconds == dt),
+        "all parameter sets must share Δs (one bar accumulator)"
+    );
+
+    let mut g = Graph::new();
+    let collector = g.add_source(source);
+    let mut accumulator = BarAccumulatorNode::new(cfg.n_stocks, dt, cfg.clean);
+    if let Some(policy) = cfg.health {
+        accumulator = accumulator.with_health(policy);
+    }
+    let bars = g.add_component(Box::new(accumulator));
+    let technical = g.add_component(Box::new(TechnicalAnalysisNode::new(cfg.n_stocks, 20)));
+    g.connect(collector, bars);
+    g.connect(bars, technical);
+
+    // One correlation engine per distinct (Ctype, M), tagged with its
+    // stream id so the cubes stay distinguishable after fan-in; each
+    // distinct stream is computed exactly once.
+    let mut engines: Vec<((stats::correlation::CorrType, usize), crate::graph::NodeId)> =
+        Vec::new();
+    let mut streams = Vec::with_capacity(cfg.params.len());
+    for p in &cfg.params {
+        let key = (p.ctype, p.corr_window);
+        let j = match engines.iter().position(|(k, _)| *k == key) {
+            Some(j) => j,
+            None => {
+                let node = g.add_component(Box::new(
+                    CorrelationEngineNode::new(
+                        cfg.n_stocks,
+                        p.corr_window,
+                        cfg.corr_stride,
+                        p.ctype,
+                    )
+                    .with_stream(engines.len()),
+                ));
+                g.connect(technical, node);
+                engines.push((key, node));
+                engines.len() - 1
+            }
+        };
+        streams.push(j);
+    }
+
+    // Shared back-end: one risk manager (per-param-set books), one
+    // bucketed gateway (fan-in-deterministic baskets), one sink.
+    let risk = g.add_component(Box::new(RiskManagerNode::new(cfg.limits)));
+    let gateway = g.add_component(Box::new(OrderGatewayNode::new().bucketed()));
+    let sink = g.add_sink("order-sink");
+    g.connect(risk, gateway);
+    g.connect(gateway, sink);
+
+    // One strategy host per parameter set, tagged for attribution.
+    for (k, p) in cfg.params.iter().enumerate() {
+        let host = g.add_component(Box::new(
+            StrategyHostNode::new(cfg.n_stocks, *p, cfg.exec, cfg.needs_confirmation)
+                .with_param_set(k),
+        ));
+        g.connect(bars, host); // prices (and health)
+        g.connect(engines[streams[k]].1, host); // signals
+        g.connect(host, risk);
+    }
+
+    let mut out = runtime.run(g)?;
+    let mut trades_per_param = vec![Vec::new(); cfg.params.len()];
+    let mut baskets = Vec::new();
+    let mut health_events = Vec::new();
+    for msg in out.take_sink(sink) {
+        match msg {
+            Message::Trades(t) => trades_per_param[t.param_set].extend(t.iter().copied()),
+            Message::Basket(b) => baskets.push(b),
+            Message::Health(h) => health_events.push(h),
+            _ => {}
+        }
+    }
+    // Fan-in makes health *arrival* order at the sink nondeterministic;
+    // the set of transitions is not. Canonicalise.
+    health_events.sort_by_key(|h| (h.interval, h.symbol));
+    Ok(SweepOutput {
+        trades_per_param,
+        baskets,
+        health_events,
+        streams,
+        node_stats: out.node_stats,
+        failures: out.failures,
+        stalls: out.stalls,
+    })
+}
+
 /// Configuration for a multi-strategy pipeline: every parameter set runs
 /// as its own strategy host inside ONE DAG, sharing the collector, bar
 /// accumulator, technical analysis and (per distinct `(Ctype, M)`) the
@@ -201,93 +410,22 @@ pub struct MultiOutput {
 
 /// Build and run the multi-strategy DAG over one day of quotes.
 ///
+/// Thin wrapper over [`run_sweep_pipeline`]: the sweep graph *is* the
+/// multi-strategy graph, with per-param-set attribution carried in
+/// messages instead of private per-host sinks.
+///
 /// # Panics
 /// Panics if the parameter list is empty or mixes `Δs` values.
 pub fn run_multi_pipeline(day: DayData, cfg: &MultiConfig) -> Result<MultiOutput, GraphError> {
-    assert!(!cfg.params.is_empty(), "need at least one parameter set");
-    let dt = cfg.params[0].dt_seconds;
-    assert!(
-        cfg.params.iter().all(|p| p.dt_seconds == dt),
-        "all parameter sets must share Δs (one bar accumulator)"
-    );
-
-    let mut g = Graph::new();
-    let collector = g.add_source(Box::new(ReplayCollector::new(day)));
-    let bars = g.add_component(Box::new(BarAccumulatorNode::new(
-        cfg.n_stocks,
-        dt,
-        cfg.clean,
-    )));
-    let technical = g.add_component(Box::new(TechnicalAnalysisNode::new(cfg.n_stocks, 20)));
-    g.connect(collector, bars);
-    g.connect(bars, technical);
-
-    // One correlation engine per distinct (ctype, M).
-    let mut engines: Vec<((stats::correlation::CorrType, usize), crate::graph::NodeId)> =
-        Vec::new();
-    for p in &cfg.params {
-        let key = (p.ctype, p.corr_window);
-        if !engines.iter().any(|(k, _)| *k == key) {
-            let node = g.add_component(Box::new(CorrelationEngineNode::new(
-                cfg.n_stocks,
-                p.corr_window,
-                cfg.corr_stride,
-                p.ctype,
-            )));
-            g.connect(technical, node);
-            engines.push((key, node));
-        }
-    }
-
-    let risk = g.add_component(Box::new(RiskManagerNode::new(cfg.limits)));
-    let gateway = g.add_component(Box::new(OrderGatewayNode::new()));
-    let basket_sink = g.add_sink("basket-sink");
-    g.connect(risk, gateway);
-    g.connect(gateway, basket_sink);
-
-    // One strategy host per parameter set, plus a private trade sink for
-    // attribution.
-    let mut trade_sinks = Vec::with_capacity(cfg.params.len());
-    for (idx, p) in cfg.params.iter().enumerate() {
-        let host = g.add_component(Box::new(StrategyHostNode::new(
-            cfg.n_stocks,
-            *p,
-            cfg.exec,
-            false,
-        )));
-        let corr = engines
-            .iter()
-            .find(|(k, _)| *k == (p.ctype, p.corr_window))
-            .expect("engine exists")
-            .1;
-        g.connect(bars, host);
-        g.connect(corr, host);
-        g.connect(host, risk);
-        let sink = g.add_sink(format!("trades-{idx}"));
-        g.connect(host, sink);
-        trade_sinks.push(sink);
-    }
-
-    let mut out = Runtime::new().run(g)?;
-    let mut trades_per_param = Vec::with_capacity(cfg.params.len());
-    for sink in trade_sinks {
-        let mut trades = Vec::new();
-        for msg in out.take_sink(sink) {
-            if let Message::Trades(t) = msg {
-                trades.extend(t.iter().copied());
-            }
-        }
-        trades_per_param.push(trades);
-    }
-    let mut baskets = Vec::new();
-    for msg in out.take_sink(basket_sink) {
-        if let Message::Basket(b) = msg {
-            baskets.push(b);
-        }
-    }
+    let mut sweep = SweepConfig::new(cfg.n_stocks, cfg.params.clone());
+    sweep.exec = cfg.exec;
+    sweep.clean = cfg.clean;
+    sweep.corr_stride = cfg.corr_stride;
+    sweep.limits = cfg.limits;
+    let out = run_sweep_pipeline(day, &sweep)?;
     Ok(MultiOutput {
-        trades_per_param,
-        baskets,
+        trades_per_param: out.trades_per_param,
+        baskets: out.baskets,
     })
 }
 
@@ -394,6 +532,46 @@ mod tests {
         let total_trades: usize = out.trades_per_param.iter().map(|t| t.len()).sum();
         if total_trades > 0 {
             assert!(!out.baskets.is_empty());
+        }
+    }
+
+    #[test]
+    fn sweep_pipeline_shares_correlation_streams() {
+        let (day, n) = small_day(57);
+        let p1 = fast_params();
+        let p2 = StrategyParams {
+            divergence: 0.001,
+            ..p1
+        };
+        let p3 = StrategyParams {
+            ctype: CorrType::Quadrant,
+            ..p1
+        };
+        let cfg = SweepConfig::new(n, vec![p1, p2, p3]);
+        let out = run_sweep_pipeline(day, &cfg).unwrap();
+        // p1 and p2 share (Pearson, 20); p3 gets its own stream.
+        assert_eq!(out.streams, vec![0, 0, 1]);
+        assert_eq!(cfg.distinct_streams().len(), 2);
+        let engines = out
+            .node_stats
+            .iter()
+            .filter(|s| s.name.starts_with("corr-engine"))
+            .count();
+        assert_eq!(engines, 2, "each distinct (Ctype, M) computed once");
+        let hosts = out
+            .node_stats
+            .iter()
+            .filter(|s| s.name.starts_with("pair-strategy-host"))
+            .count();
+        assert_eq!(hosts, 3, "one host per parameter set");
+        // Attribution matches independent single-parameter runs.
+        for (k, p) in [p1, p2, p3].iter().enumerate() {
+            let (day, _) = small_day(57);
+            let single = run_fig1_pipeline(day, &Fig1Config::new(n, *p)).unwrap();
+            assert_eq!(
+                out.trades_per_param[k], single.trades,
+                "param {k} diverged between sweep and single"
+            );
         }
     }
 

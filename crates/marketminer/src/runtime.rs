@@ -1,60 +1,73 @@
-//! The threaded, supervised DAG executor.
+//! The pooled, supervised DAG executor.
 //!
-//! One OS thread per node — the shared-memory analogue of one MPI rank per
-//! pipeline stage. Edges are bounded crossbeam channels, so a slow stage
-//! exerts backpressure on its producers instead of buffering a day of
-//! ticks; acyclicity (checked by [`crate::graph::Graph::validate`])
-//! guarantees backpressure can't deadlock.
+//! Nodes are cooperatively scheduled tasks on a fixed-size worker pool —
+//! the shared-memory analogue of scheduling many pipeline stages onto a
+//! bounded MPI rank count. A node is *runnable* when its inbox is
+//! non-empty (or its upstreams have all finished and its end-of-stream
+//! flush is pending) **and** every downstream inbox is below capacity;
+//! runnable nodes sit in a shared run queue that workers pull from, so
+//! the OS thread count is [`RuntimeConfig::workers`] plus a small
+//! constant (sources + watchdog), independent of graph size.
+//!
+//! Sources stay on dedicated threads: a [`crate::node::Source`] is a
+//! blocking generator (the paper's collector is I/O-bound), so it pushes
+//! into the scheduler with a capacity-aware blocking send instead of
+//! occupying a pool worker for the whole day.
+//!
+//! # Backpressure without deadlock
+//!
+//! Inboxes are soft-bounded: a producer is only *scheduled* while every
+//! consumer inbox is below `capacity`, and it re-checks that gate before
+//! each message of a batch, but the emissions of one `on_message`/`on_end`
+//! call are never split — so an inbox can transiently overshoot by at
+//! most one event's emissions. Every inbox pop that crosses back below
+//! capacity re-evaluates the producers, and sinks are always runnable
+//! when they have input, so by induction over the (acyclic, validated)
+//! graph the pool always has runnable work until the run drains.
 //!
 //! # Shutdown: per-edge EOF counting
 //!
-//! A finishing node sends one [`Message::Eof`] down every outgoing edge;
-//! a node stops reading once it has seen as many Eofs as it has inbound
-//! edges. Eofs are runtime-internal: never delivered to components, never
-//! recorded by sinks, never counted in stats. (A pure disconnect cascade
-//! is not enough once the watchdog exists — it holds channel clones to
-//! drain wedged nodes, which pins channels open.)
+//! A finishing node records one EOF per outgoing edge; a node's end-of-
+//! stream flush becomes runnable once its EOF count equals its in-degree
+//! and its inbox is empty. EOFs are scheduler-internal: never queued,
+//! never delivered to components, never counted in stats.
 //!
 //! # Supervision
 //!
-//! Every node body runs under `catch_unwind`. A panic is routed to the
-//! [`Supervisor`], whose per-node [`crate::supervisor::RestartPolicy`]
-//! (evaluated in *simulated time* — message counts — so runs are
-//! deterministic) answers restart-or-fail. A restartable node (policy ≠
-//! `Never` and [`crate::node::Component::snapshot`] supported) keeps a
-//! periodic checkpoint plus an in-memory log of messages processed since,
-//! each tagged with how many emissions it produced. Recovery restores the
-//! checkpoint, replays the log while suppressing exactly the recorded
-//! emissions (exactly-once emission downstream), then reprocesses the
-//! failing message, suppressing whatever partial output already escaped.
-//! A deterministic component therefore resumes in a bit-identical state,
-//! as if the panic never happened. A node that exhausts its budget fails:
-//! it drains its inbox (counting Eofs so upstream is never blocked),
-//! propagates Eofs downstream, and the run either completes without it
-//! ([`FailureMode::Degrade`]) or re-raises the first panic after draining
-//! ([`FailureMode::AbortRun`], the default — the pre-supervision
-//! semantics).
+//! Every component callback runs under `catch_unwind` at task-step
+//! granularity. A panic is routed to the [`Supervisor`], whose per-node
+//! [`crate::supervisor::RestartPolicy`] (evaluated in *simulated time* —
+//! message counts — so runs are deterministic) answers restart-or-fail.
+//! A restartable node keeps a periodic checkpoint plus an in-memory log
+//! of messages processed since, each tagged with how many emissions it
+//! produced. Recovery restores the checkpoint, replays the log while
+//! suppressing exactly the recorded emissions (exactly-once emission
+//! downstream), then reprocesses the failing message, suppressing
+//! whatever partial output already escaped. A node that exhausts its
+//! budget fails: its inbox is cleared, EOFs propagate downstream at once,
+//! and the run either completes without it ([`FailureMode::Degrade`]) or
+//! re-raises the first panic after draining ([`FailureMode::AbortRun`],
+//! the default).
 //!
-//! # Stall detection
+//! # Stall detection over scheduler state
 //!
-//! With a [`crate::supervisor::WatchdogConfig`], each component heartbeats
-//! a `busy-since` timestamp at message start and before every
-//! (potentially blocking) emission — backpressure refreshes the
-//! heartbeat, so only a node stuck *inside* user code goes quiet. The
-//! watchdog severs a node busy past the quiet interval: it records a
-//! [`StallEvent`], injects Eofs on the node's outgoing edges, and drains
-//! its inbox from a receiver clone so neighbours finish normally. The
-//! wedged thread itself is abandoned, never joined.
+//! With a [`crate::supervisor::WatchdogConfig`], each component
+//! heartbeats a `busy-since` timestamp at step start and before every
+//! emission. Only a node stuck *inside* user code goes quiet — a node
+//! parked in the run queue, idle, or backpressured is not busy. The
+//! watchdog severs a quiet-too-long node by marking it done in the
+//! scheduler: its inbox is cleared, EOFs are injected downstream, and it
+//! is simply never rescheduled — no helper threads, no leaked channels.
+//! The worker thread wedged inside the node's user code is abandoned and
+//! replaced so the pool keeps its size.
 
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::graph::{Graph, GraphError, NodeId, NodeKind};
 use crate::messages::Message;
@@ -63,23 +76,70 @@ use crate::supervisor::{
     panic_message, Directive, FailureMode, NodeFailure, StallEvent, SupervisionConfig, Supervisor,
 };
 
-/// Default per-edge channel capacity. Large enough to decouple stage
-/// jitter, small enough that a day of quotes never sits in memory.
+/// Default per-inbox capacity (backpressure threshold). Large enough to
+/// decouple stage jitter, small enough that a day of quotes never sits
+/// in memory.
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 1024;
 
-/// The DAG executor.
-pub struct Runtime {
-    capacity: usize,
-    supervision: SupervisionConfig,
+/// Events a worker processes per scheduling turn before re-queuing the
+/// node, so one hot node cannot starve the rest of the graph.
+const BATCH: usize = 128;
+
+/// Worker-pool sizing and backpressure configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads in the pool. `0` means "use
+    /// `available_parallelism`". The default honours the
+    /// `MARKETMINER_WORKERS` environment variable (`"max"` or a positive
+    /// integer) so CI can pin the pool size without code changes.
+    pub workers: usize,
+    /// Per-inbox soft capacity bound.
+    pub capacity: usize,
 }
 
-impl Default for Runtime {
+impl Default for RuntimeConfig {
     fn default() -> Self {
-        Runtime {
+        RuntimeConfig {
+            workers: default_workers(),
             capacity: DEFAULT_CHANNEL_CAPACITY,
-            supervision: SupervisionConfig::default(),
         }
     }
+}
+
+impl RuntimeConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            available_workers()
+        } else {
+            self.workers
+        }
+    }
+}
+
+fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn default_workers() -> usize {
+    match std::env::var("MARKETMINER_WORKERS") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("max") => available_workers(),
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&w| w > 0)
+            .unwrap_or_else(available_workers),
+        Err(_) => available_workers(),
+    }
+}
+
+/// The DAG executor.
+#[derive(Default)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    supervision: SupervisionConfig,
 }
 
 /// How a node's run ended.
@@ -113,15 +173,17 @@ pub struct NodeStats {
 }
 
 /// What the run produced: every sink's collected messages plus per-node
-/// throughput statistics and the supervision ledgers.
+/// throughput statistics and the supervision ledgers. All three listings
+/// are in canonical order — node-id for stats, `(node, simulated-time)`
+/// for the ledgers — regardless of worker interleaving.
 #[derive(Debug, Default)]
 pub struct RunOutput {
     sinks: HashMap<usize, Vec<Message>>,
-    /// Per-node stats in node-id order.
+    /// Per-node stats in node-id order (dense: one entry per graph node).
     pub node_stats: Vec<NodeStats>,
-    /// Nodes that failed for good, in node-id order.
+    /// Nodes that failed for good, in `(node, at)` order.
     pub failures: Vec<NodeFailure>,
-    /// Nodes the watchdog severed, in node-id order.
+    /// Nodes the watchdog severed, in `(node, at)` order.
     pub stalls: Vec<StallEvent>,
 }
 
@@ -158,16 +220,16 @@ impl RunOutput {
 
 // Node lifecycle states (NodeHealth::state). The CAS between FINISHING
 // (the node owns its epilogue) and SEVERED (the watchdog owns it) is what
-// guarantees exactly one party sends the node's Eofs.
+// guarantees exactly one party sends the node's Eofs and fills its stats.
 const RUNNING: u8 = 0;
 const FINISHING: u8 = 1;
 const SEVERED: u8 = 2;
 
-/// Shared per-node liveness/accounting record (written by the node
-/// thread, read by the watchdog and the collection loop).
+/// Shared per-node liveness/accounting record (written by the executing
+/// worker, read by the watchdog).
 struct NodeHealth {
     /// Wall-clock ms (since run start, +1 so 0 means idle) when the node
-    /// entered user code or last emitted. 0 between messages.
+    /// entered user code or last emitted. 0 between steps.
     busy_since_ms: AtomicU64,
     state: AtomicU8,
     received: AtomicU64,
@@ -191,18 +253,97 @@ impl NodeHealth {
     }
 }
 
-/// State shared between node threads, the watchdog and the collector.
-struct Shared {
+/// Scheduling status of a node. Exactly one worker runs a node at a time
+/// (`Running`); `Done` nodes are never rescheduled and pushes to them are
+/// dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Idle,
+    Queued,
+    Running,
+    Done,
+}
+
+/// The mutable heart of the scheduler, behind one mutex: per-node
+/// mailboxes, EOF counts, statuses and the shared run queue.
+struct SchedState {
+    inbox: Vec<VecDeque<Message>>,
+    eofs_seen: Vec<usize>,
+    status: Vec<Status>,
+    run_queue: VecDeque<usize>,
+    /// Nodes not yet `Done`; 0 means the run has drained.
+    live: usize,
+    shutdown: bool,
+}
+
+/// The per-node task body a worker locks while running the node. The
+/// `Running` status makes the lock uncontended; it exists so the borrow
+/// checker and the watchdog agree on ownership.
+enum NodeBody {
+    /// Sources run on dedicated threads; placeholder to keep indices dense.
+    Source,
+    Component(CompBody),
+    Sink {
+        msgs: Vec<Message>,
+    },
+}
+
+struct CompBody {
+    component: Box<dyn Component>,
+    checkpoint: Option<NodeState>,
+    /// Policy allows restarts AND the component supports snapshots.
+    /// Non-restartable nodes pay zero overhead: no clones, no replay log.
+    restartable: bool,
+    /// Messages since the last checkpoint, tagged with emission counts.
+    log: Vec<(Message, u64)>,
+    /// Simulated time: messages consumed so far.
+    processed: u64,
+}
+
+/// A pool worker's handle plus the markers the watchdog uses to replace
+/// it if it wedges inside a node.
+struct WorkerSlot {
+    /// Node index the worker is currently executing (`usize::MAX` = none).
+    current: Arc<AtomicUsize>,
+    /// Set by the watchdog when the worker is presumed wedged and a
+    /// replacement has been spawned; the handle is then never joined.
+    abandoned: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Everything a run shares between workers, sources, the watchdog and
+/// the main thread.
+struct Exec {
+    state: Mutex<SchedState>,
+    /// Workers wait here for the run queue.
+    work_cv: Condvar,
+    /// The main thread waits here for `shutdown`.
+    done_cv: Condvar,
+    /// Sources wait here for downstream inbox capacity.
+    cap_cv: Condvar,
+    capacity: usize,
+    snapshot_every: u64,
+    /// `succs[u]` = targets of every edge `(u, v)`, in edge order.
+    succs: Vec<Vec<usize>>,
+    /// `preds[v]` = origins of every edge `(u, v)`.
+    preds: Vec<Vec<usize>>,
+    in_degree: Vec<usize>,
+    /// False for sources (they are never pool-scheduled).
+    schedulable: Vec<bool>,
+    names: Vec<String>,
+    bodies: Vec<Mutex<NodeBody>>,
     health: Vec<NodeHealth>,
     supervisor: Supervisor,
     run_done: AtomicBool,
     /// First fatal panic payload, re-raised under `FailureMode::AbortRun`.
     panic_slot: Mutex<Option<Box<dyn Any + Send>>>,
     results: Mutex<Vec<(usize, Vec<Message>)>>,
+    stats: Mutex<Vec<Option<NodeStats>>>,
     start: Instant,
+    workers: Mutex<Vec<WorkerSlot>>,
 }
 
-impl Shared {
+impl Exec {
     fn now_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64 + 1
     }
@@ -211,6 +352,134 @@ impl Shared {
         let mut slot = self.panic_slot.lock().expect("panic slot");
         if slot.is_none() {
             *slot = Some(payload);
+        }
+    }
+
+    fn fill_stats(&self, idx: usize, stats: NodeStats) {
+        let mut slots = self.stats.lock().expect("stats slots");
+        if slots[idx].is_none() {
+            slots[idx] = Some(stats);
+        }
+    }
+
+    /// Every downstream inbox below capacity (or its node done)?
+    fn outputs_clear(&self, st: &SchedState, idx: usize) -> bool {
+        self.succs[idx]
+            .iter()
+            .all(|&t| st.status[t] == Status::Done || st.inbox[t].len() < self.capacity)
+    }
+
+    /// Inbox non-empty, or all upstreams finished (end-flush pending)?
+    fn has_input(&self, st: &SchedState, idx: usize) -> bool {
+        !st.inbox[idx].is_empty() || st.eofs_seen[idx] >= self.in_degree[idx]
+    }
+
+    /// Queue the node if it is idle and runnable. Every state change that
+    /// could make a node runnable funnels through here, under the state
+    /// lock, so there are no lost wakeups.
+    fn try_schedule(&self, st: &mut SchedState, idx: usize) {
+        if self.schedulable[idx]
+            && st.status[idx] == Status::Idle
+            && self.has_input(st, idx)
+            && self.outputs_clear(st, idx)
+        {
+            st.status[idx] = Status::Queued;
+            st.run_queue.push_back(idx);
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// Non-blocking push (worker emissions; the producer was gated on
+    /// `outputs_clear`, transient overshoot within one event is allowed).
+    fn push(&self, st: &mut SchedState, to: usize, msg: Message) {
+        if st.status[to] == Status::Done {
+            // The consumer is gone; dropping is the stream semantics.
+            return;
+        }
+        st.inbox[to].push_back(msg);
+        self.try_schedule(st, to);
+    }
+
+    /// EOFs bypass the capacity gate entirely: they are a counter, not a
+    /// queued message, so shutdown can never be backpressured.
+    fn push_eof(&self, st: &mut SchedState, to: usize) {
+        if st.status[to] == Status::Done {
+            return;
+        }
+        st.eofs_seen[to] += 1;
+        self.try_schedule(st, to);
+    }
+
+    fn fan_out(&self, st: &mut SchedState, from: usize, msg: Message) {
+        let succs = &self.succs[from];
+        match succs.len() {
+            0 => {}
+            1 => self.push(st, succs[0], msg),
+            _ => {
+                for &t in &succs[..succs.len() - 1] {
+                    self.push(st, t, msg.clone());
+                }
+                self.push(st, succs[succs.len() - 1], msg);
+            }
+        }
+    }
+
+    /// Blocking capacity-aware fan-out for source threads.
+    fn blocking_fan_out(&self, from: usize, msg: Message) {
+        let succs = &self.succs[from];
+        if succs.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock().expect("scheduler state");
+        let mut payload = Some(msg);
+        for (k, &t) in succs.iter().enumerate() {
+            let m = if k + 1 == succs.len() {
+                payload.take().expect("fan-out payload")
+            } else {
+                payload.as_ref().expect("fan-out payload").clone()
+            };
+            loop {
+                if st.status[t] == Status::Done {
+                    break;
+                }
+                if st.inbox[t].len() < self.capacity {
+                    st.inbox[t].push_back(m);
+                    self.try_schedule(&mut st, t);
+                    break;
+                }
+                st = self.cap_cv.wait(st).expect("capacity condvar");
+            }
+        }
+    }
+
+    /// An inbox pop just crossed back below capacity: producers blocked
+    /// on this node may be runnable again.
+    fn wake_producers(&self, st: &mut SchedState, of: usize) {
+        for k in 0..self.preds[of].len() {
+            let p = self.preds[of][k];
+            self.try_schedule(st, p);
+        }
+        self.cap_cv.notify_all();
+    }
+
+    /// Retire a node: clear its inbox, unblock its producers, and if it
+    /// was the last live node, begin shutdown.
+    fn mark_done(&self, st: &mut SchedState, idx: usize) {
+        if st.status[idx] == Status::Done {
+            return;
+        }
+        st.status[idx] = Status::Done;
+        st.inbox[idx].clear();
+        st.live -= 1;
+        for k in 0..self.preds[idx].len() {
+            let p = self.preds[idx][k];
+            self.try_schedule(st, p);
+        }
+        self.cap_cv.notify_all();
+        if st.live == 0 {
+            st.shutdown = true;
+            self.work_cv.notify_all();
+            self.done_cv.notify_all();
         }
     }
 }
@@ -229,10 +498,10 @@ fn deliver(
     component: &mut dyn Component,
     event: Event,
     skip: u64,
-    outs: &[Sender<Message>],
-    h: &NodeHealth,
-    shared: &Shared,
+    exec: &Exec,
+    idx: usize,
 ) -> Result<u64, (u64, Box<dyn Any + Send>)> {
+    let h = &exec.health[idx];
     let emitted = Cell::new(0u64);
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut emit = |msg: Message| {
@@ -241,13 +510,15 @@ fn deliver(
             if k < skip {
                 return;
             }
-            // A blocked send is backpressure, not a wedge: refresh the
-            // heartbeat before every potentially blocking send.
-            h.busy_since_ms.store(shared.now_ms(), Ordering::Relaxed);
+            // An emission is progress, not a wedge: refresh the heartbeat.
+            h.busy_since_ms.store(exec.now_ms(), Ordering::Relaxed);
             if h.severed() {
                 return;
             }
-            fan_out(outs, msg);
+            {
+                let mut st = exec.state.lock().expect("scheduler state");
+                exec.fan_out(&mut st, idx, msg);
+            }
             h.sent.fetch_add(1, Ordering::Relaxed);
         };
         match event {
@@ -265,257 +536,320 @@ fn deliver(
 /// all recorded emissions suppressed. False means recovery is impossible
 /// (no checkpoint, restore refused, or the replay itself panicked) and
 /// the node must fail.
-fn restore_and_replay(
-    component: &mut dyn Component,
-    checkpoint: &mut Option<NodeState>,
-    log: &[(Message, u64)],
-    outs: &[Sender<Message>],
-    h: &NodeHealth,
-    shared: &Shared,
-) -> bool {
-    let Some(state) = checkpoint.take() else {
+fn restore_and_replay(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
+    let Some(state) = body.checkpoint.take() else {
         return false;
     };
-    if !component.restore(state) {
+    if !body.component.restore(state) {
         return false;
     }
     // restore() consumed the checkpoint; immediately re-snapshot the same
     // state so a later panic can recover again.
-    *checkpoint = component.snapshot();
-    for (msg, emissions) in log {
-        if deliver(
-            component,
-            Event::Msg(msg.clone()),
-            *emissions,
-            outs,
-            h,
-            shared,
-        )
-        .is_err()
-        {
+    body.checkpoint = body.component.snapshot();
+    for k in 0..body.log.len() {
+        let (msg, emissions) = body.log[k].clone();
+        if deliver(&mut *body.component, Event::Msg(msg), emissions, exec, idx).is_err() {
             return false;
         }
     }
     true
 }
 
-struct ComponentCtx {
+/// Deliver one event under the node's restart policy: retry with
+/// checkpoint/replay recovery while the supervisor grants restarts,
+/// suppressing emissions that already escaped so each output is emitted
+/// exactly once.
+fn deliver_supervised(
+    exec: &Exec,
     idx: usize,
-    in_degree: usize,
-    rx: Receiver<Message>,
-    outs: Vec<Sender<Message>>,
-    restart_allowed: bool,
-    snapshot_every: u64,
-    stats_tx: Sender<(usize, NodeStats)>,
-    shared: Arc<Shared>,
-}
-
-fn run_component(mut component: Box<dyn Component>, ctx: ComponentCtx) {
-    let ComponentCtx {
-        idx,
-        in_degree,
-        rx,
-        outs,
-        restart_allowed,
-        snapshot_every,
-        stats_tx,
-        shared,
-    } = ctx;
-    let h = &shared.health[idx];
-
-    let mut checkpoint: Option<NodeState> = if restart_allowed {
-        component.snapshot()
-    } else {
-        None
-    };
-    // Restartable = policy allows it AND the component supports snapshots.
-    // Non-restartable nodes pay zero overhead: no clones, no replay log.
-    let restartable = checkpoint.is_some();
-    let mut log: Vec<(Message, u64)> = Vec::new();
-    let mut processed = 0u64;
-    let mut failed: Option<Box<dyn Any + Send>> = None;
-    let mut eofs = 0usize;
-
-    while eofs < in_degree {
-        let msg = match rx.recv() {
-            Ok(m) => m,
-            Err(_) => break,
-        };
-        if matches!(msg, Message::Eof) {
-            eofs += 1;
-            continue;
-        }
-        processed += 1;
-        h.received.fetch_add(1, Ordering::Relaxed);
-        h.busy_since_ms.store(shared.now_ms(), Ordering::Relaxed);
-
-        let outcome: Result<(), Box<dyn Any + Send>> = if !restartable {
-            deliver(&mut *component, Event::Msg(msg), 0, &outs, h, &shared)
-                .map(|_| ())
-                .map_err(|(_, p)| p)
-        } else {
-            // Suppress emissions that already escaped in failed attempts
-            // of this same message, so a retry emits each output once.
+    body: &mut CompBody,
+    event: Event,
+) -> Result<(), Box<dyn Any + Send>> {
+    let h = &exec.health[idx];
+    if !body.restartable {
+        return deliver(&mut *body.component, event, 0, exec, idx)
+            .map(|_| ())
+            .map_err(|(_, p)| p);
+    }
+    match event {
+        Event::Msg(msg) => {
             let mut skip = 0u64;
             loop {
                 match deliver(
-                    &mut *component,
+                    &mut *body.component,
                     Event::Msg(msg.clone()),
                     skip,
-                    &outs,
-                    h,
-                    &shared,
+                    exec,
+                    idx,
                 ) {
                     Ok(emissions) => {
-                        log.push((msg, emissions));
-                        break Ok(());
+                        body.log.push((msg, emissions));
+                        return Ok(());
                     }
                     Err((done, payload)) => {
                         skip = skip.max(done);
-                        if shared.supervisor.on_panic(idx, processed) == Directive::Restart {
+                        if exec.supervisor.on_panic(idx, body.processed) == Directive::Restart {
                             h.restarts.fetch_add(1, Ordering::Relaxed);
-                            if !restore_and_replay(
-                                &mut *component,
-                                &mut checkpoint,
-                                &log,
-                                &outs,
-                                h,
-                                &shared,
-                            ) {
-                                break Err(payload);
+                            if !restore_and_replay(exec, idx, body) {
+                                return Err(payload);
                             }
                         } else {
-                            break Err(payload);
+                            return Err(payload);
                         }
                     }
                 }
             }
-        };
-        h.busy_since_ms.store(0, Ordering::Relaxed);
-        if h.severed() {
-            // The watchdog already injected our Eofs and is draining our
-            // inbox; vanish without an epilogue.
-            return;
         }
-        match outcome {
-            Ok(()) => {
-                if restartable && processed.is_multiple_of(snapshot_every) {
-                    if let Some(state) = component.snapshot() {
-                        checkpoint = Some(state);
-                        log.clear();
-                    }
-                }
-            }
-            Err(payload) => {
-                failed = Some(payload);
-                break;
-            }
-        }
-    }
-
-    if failed.is_none() {
-        // End-of-stream flush, under the same supervision discipline.
-        h.busy_since_ms.store(shared.now_ms(), Ordering::Relaxed);
-        let end_outcome: Result<(), Box<dyn Any + Send>> = if !restartable {
-            deliver(&mut *component, Event::End, 0, &outs, h, &shared)
-                .map(|_| ())
-                .map_err(|(_, p)| p)
-        } else {
+        Event::End => {
             let mut skip = 0u64;
             loop {
-                match deliver(&mut *component, Event::End, skip, &outs, h, &shared) {
-                    Ok(_) => break Ok(()),
+                match deliver(&mut *body.component, Event::End, skip, exec, idx) {
+                    Ok(_) => return Ok(()),
                     Err((done, payload)) => {
                         skip = skip.max(done);
-                        if shared.supervisor.on_panic(idx, processed) == Directive::Restart {
+                        if exec.supervisor.on_panic(idx, body.processed) == Directive::Restart {
                             h.restarts.fetch_add(1, Ordering::Relaxed);
-                            if !restore_and_replay(
-                                &mut *component,
-                                &mut checkpoint,
-                                &log,
-                                &outs,
-                                h,
-                                &shared,
-                            ) {
-                                break Err(payload);
+                            if !restore_and_replay(exec, idx, body) {
+                                return Err(payload);
                             }
                         } else {
-                            break Err(payload);
+                            return Err(payload);
                         }
                     }
                 }
             }
-        };
-        h.busy_since_ms.store(0, Ordering::Relaxed);
-        if h.severed() {
-            return;
-        }
-        if let Err(payload) = end_outcome {
-            failed = Some(payload);
         }
     }
+}
 
-    let node_failed = failed.is_some();
-    if let Some(payload) = failed {
-        shared.supervisor.record_failure(NodeFailure {
-            node: idx,
-            name: component.name().to_string(),
-            error: panic_message(payload.as_ref()),
-            restarts: h.restarts.load(Ordering::Relaxed),
-        });
-        shared.record_panic(payload);
-        // Keep draining so upstream backpressure can't deadlock the run;
-        // count Eofs because disconnect may never come (the watchdog holds
-        // receiver clones).
-        while eofs < in_degree {
-            match rx.recv() {
-                Ok(Message::Eof) => eofs += 1,
-                Ok(_) => {}
-                Err(_) => break,
-            }
-        }
-    }
-
-    // Exactly one party runs the epilogue: us (FINISHING) or, if the
-    // watchdog severed us in the meantime, nobody — its injector already
-    // sent our Eofs and duplicating them would make a downstream fan-in
-    // stop before its other upstreams finish.
+/// Node epilogue, run by exactly one party (worker via FINISHING, or the
+/// watchdog via SEVERED): stats, downstream EOFs, retire from scheduler.
+fn finish_component(exec: &Exec, idx: usize, body: &mut CompBody, outcome: NodeOutcome) {
+    let h = &exec.health[idx];
     if h.state
         .compare_exchange(RUNNING, FINISHING, Ordering::AcqRel, Ordering::Acquire)
         .is_err()
     {
-        return;
+        return; // the watchdog severed us and owns the epilogue
     }
-    drop(rx);
-    for tx in &outs {
-        let _ = tx.send(Message::Eof);
-    }
-    let stats = NodeStats {
-        name: component.name().to_string(),
-        messages_in: processed,
-        messages_out: h.sent.load(Ordering::Relaxed),
-        messages_dropped: component.messages_dropped(),
-        restarts: h.restarts.load(Ordering::Relaxed),
-        outcome: if node_failed {
-            NodeOutcome::Failed
-        } else {
-            NodeOutcome::Completed
+    exec.fill_stats(
+        idx,
+        NodeStats {
+            name: exec.names[idx].clone(),
+            messages_in: body.processed,
+            messages_out: h.sent.load(Ordering::Relaxed),
+            messages_dropped: body.component.messages_dropped(),
+            restarts: h.restarts.load(Ordering::Relaxed),
+            outcome,
         },
-    };
-    let _ = stats_tx.send((idx, stats));
+    );
+    let mut st = exec.state.lock().expect("scheduler state");
+    for k in 0..exec.succs[idx].len() {
+        let t = exec.succs[idx][k];
+        exec.push_eof(&mut st, t);
+    }
+    exec.mark_done(&mut st, idx);
 }
 
-fn run_source(
-    mut source: Box<dyn Source>,
-    idx: usize,
-    outs: Vec<Sender<Message>>,
-    stats_tx: Sender<(usize, NodeStats)>,
-    shared: Arc<Shared>,
-) {
-    let h = &shared.health[idx];
+/// One scheduling turn of a component node: up to [`BATCH`] events, each
+/// gated on downstream capacity, under full supervision. Returns true if
+/// the node was severed mid-step (the worker must abandon it without an
+/// epilogue).
+fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
+    let h = &exec.health[idx];
+    for _ in 0..BATCH {
+        let event = {
+            let mut st = exec.state.lock().expect("scheduler state");
+            if st.status[idx] == Status::Done {
+                return false;
+            }
+            if !exec.outputs_clear(&st, idx) {
+                None
+            } else if let Some(m) = st.inbox[idx].pop_front() {
+                if st.inbox[idx].len() + 1 == exec.capacity {
+                    exec.wake_producers(&mut st, idx);
+                }
+                Some(Event::Msg(m))
+            } else if st.eofs_seen[idx] >= exec.in_degree[idx] {
+                Some(Event::End)
+            } else {
+                None
+            }
+        };
+        let Some(event) = event else {
+            break;
+        };
+        let is_end = matches!(event, Event::End);
+        if !is_end {
+            body.processed += 1;
+            h.received.fetch_add(1, Ordering::Relaxed);
+        }
+        h.busy_since_ms.store(exec.now_ms(), Ordering::Relaxed);
+        let outcome = deliver_supervised(exec, idx, body, event);
+        h.busy_since_ms.store(0, Ordering::Relaxed);
+        if h.severed() {
+            // The watchdog already injected our Eofs and retired us;
+            // vanish without an epilogue.
+            return true;
+        }
+        match outcome {
+            Ok(()) => {
+                if is_end {
+                    finish_component(exec, idx, body, NodeOutcome::Completed);
+                    return false;
+                }
+                if body.restartable && body.processed.is_multiple_of(exec.snapshot_every) {
+                    if let Some(state) = body.component.snapshot() {
+                        body.checkpoint = Some(state);
+                        body.log.clear();
+                    }
+                }
+            }
+            Err(payload) => {
+                exec.supervisor.record_failure(NodeFailure {
+                    node: idx,
+                    name: exec.names[idx].clone(),
+                    error: panic_message(payload.as_ref()),
+                    restarts: h.restarts.load(Ordering::Relaxed),
+                    at: body.processed,
+                });
+                exec.record_panic(payload);
+                finish_component(exec, idx, body, NodeOutcome::Failed);
+                return false;
+            }
+        }
+    }
+    // Batch exhausted or not currently runnable: requeue or go idle. The
+    // decision happens under the state lock, so a concurrent push cannot
+    // slip between "inbox empty" and "status = Idle".
+    let mut st = exec.state.lock().expect("scheduler state");
+    if st.status[idx] == Status::Running {
+        if exec.has_input(&st, idx) && exec.outputs_clear(&st, idx) {
+            st.status[idx] = Status::Queued;
+            st.run_queue.push_back(idx);
+            exec.work_cv.notify_one();
+        } else {
+            st.status[idx] = Status::Idle;
+        }
+    }
+    false
+}
+
+/// One scheduling turn of a sink node: drain the inbox into the result
+/// buffer; on end-of-stream, publish results and stats and retire.
+fn run_sink_node(exec: &Exec, idx: usize, msgs: &mut Vec<Message>) {
+    for _ in 0..BATCH {
+        let event = {
+            let mut st = exec.state.lock().expect("scheduler state");
+            if st.status[idx] == Status::Done {
+                return;
+            }
+            if let Some(m) = st.inbox[idx].pop_front() {
+                if st.inbox[idx].len() + 1 == exec.capacity {
+                    exec.wake_producers(&mut st, idx);
+                }
+                Some(m)
+            } else if st.eofs_seen[idx] >= exec.in_degree[idx] {
+                let count = msgs.len() as u64;
+                drop(st);
+                exec.results
+                    .lock()
+                    .expect("sink results")
+                    .push((idx, std::mem::take(msgs)));
+                exec.fill_stats(
+                    idx,
+                    NodeStats {
+                        name: exec.names[idx].clone(),
+                        messages_in: count,
+                        messages_out: 0,
+                        messages_dropped: 0,
+                        restarts: 0,
+                        outcome: NodeOutcome::Completed,
+                    },
+                );
+                let mut st = exec.state.lock().expect("scheduler state");
+                exec.mark_done(&mut st, idx);
+                return;
+            } else {
+                None
+            }
+        };
+        match event {
+            Some(m) => msgs.push(m),
+            None => break,
+        }
+    }
+    let mut st = exec.state.lock().expect("scheduler state");
+    if st.status[idx] == Status::Running {
+        if exec.has_input(&st, idx) {
+            st.status[idx] = Status::Queued;
+            st.run_queue.push_back(idx);
+            exec.work_cv.notify_one();
+        } else {
+            st.status[idx] = Status::Idle;
+        }
+    }
+}
+
+fn run_node(exec: &Exec, idx: usize) -> bool {
+    let mut body = exec.bodies[idx].lock().expect("node body");
+    match &mut *body {
+        NodeBody::Component(cb) => run_component_node(exec, idx, cb),
+        NodeBody::Sink { msgs } => {
+            run_sink_node(exec, idx, msgs);
+            false
+        }
+        NodeBody::Source => false, // sources are never pool-scheduled
+    }
+}
+
+fn worker_loop(exec: Arc<Exec>, current: Arc<AtomicUsize>, abandoned: Arc<AtomicBool>) {
+    loop {
+        // A replacement was spawned for us after a presumed wedge we in
+        // fact survived; bow out so the pool keeps its size.
+        if abandoned.load(Ordering::Acquire) {
+            return;
+        }
+        let idx = {
+            let mut st = exec.state.lock().expect("scheduler state");
+            loop {
+                if let Some(i) = st.run_queue.pop_front() {
+                    st.status[i] = Status::Running;
+                    break i;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = exec.work_cv.wait(st).expect("work condvar");
+            }
+        };
+        current.store(idx, Ordering::Release);
+        let _severed = run_node(&exec, idx);
+        current.store(usize::MAX, Ordering::Release);
+    }
+}
+
+fn spawn_worker(exec: &Arc<Exec>) {
+    let current = Arc::new(AtomicUsize::new(usize::MAX));
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let e = Arc::clone(exec);
+    let (c, a) = (Arc::clone(&current), Arc::clone(&abandoned));
+    let handle = std::thread::spawn(move || worker_loop(e, c, a));
+    exec.workers
+        .lock()
+        .expect("worker registry")
+        .push(WorkerSlot {
+            current,
+            abandoned,
+            handle: Some(handle),
+        });
+}
+
+fn run_source(exec: Arc<Exec>, idx: usize, mut source: Box<dyn Source>) {
+    let h = &exec.health[idx];
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut emit = |msg: Message| {
-            fan_out(&outs, msg);
+            exec.blocking_fan_out(idx, msg);
             h.sent.fetch_add(1, Ordering::Relaxed);
         };
         source.run(&mut emit);
@@ -524,18 +858,16 @@ fn run_source(
     if let Err(payload) = result {
         // Sources have no inbox to replay from; a source panic always
         // fails the node (its partial stream still flows downstream).
-        shared.supervisor.record_failure(NodeFailure {
+        exec.supervisor.record_failure(NodeFailure {
             node: idx,
             name: source.name().to_string(),
             error: panic_message(payload.as_ref()),
             restarts: 0,
+            at: h.sent.load(Ordering::Relaxed),
         });
-        shared.record_panic(payload);
+        exec.record_panic(payload);
     }
-    for tx in &outs {
-        let _ = tx.send(Message::Eof);
-    }
-    let _ = stats_tx.send((
+    exec.fill_stats(
         idx,
         NodeStats {
             name: source.name().to_string(),
@@ -549,68 +881,23 @@ fn run_source(
                 NodeOutcome::Completed
             },
         },
-    ));
-}
-
-fn run_sink(
-    name: String,
-    idx: usize,
-    in_degree: usize,
-    rx: Receiver<Message>,
-    stats_tx: Sender<(usize, NodeStats)>,
-    shared: Arc<Shared>,
-) {
-    let mut msgs: Vec<Message> = Vec::new();
-    let mut eofs = 0usize;
-    while eofs < in_degree {
-        match rx.recv() {
-            Ok(Message::Eof) => eofs += 1,
-            Ok(m) => msgs.push(m),
-            Err(_) => break,
-        }
+    );
+    let mut st = exec.state.lock().expect("scheduler state");
+    for k in 0..exec.succs[idx].len() {
+        let t = exec.succs[idx][k];
+        exec.push_eof(&mut st, t);
     }
-    let count = msgs.len() as u64;
-    // Results before stats: the collection loop treats a node's stats as
-    // its completion signal.
-    shared
-        .results
-        .lock()
-        .expect("sink results")
-        .push((idx, msgs));
-    let _ = stats_tx.send((
-        idx,
-        NodeStats {
-            name,
-            messages_in: count,
-            messages_out: 0,
-            messages_dropped: 0,
-            restarts: 0,
-            outcome: NodeOutcome::Completed,
-        },
-    ));
+    exec.mark_done(&mut st, idx);
 }
 
-/// Everything the watchdog needs to sever a wedged node.
-struct WatchdogRig {
-    shared: Arc<Shared>,
-    quiet_ms: u64,
-    poll: std::time::Duration,
-    /// Per node: sender clones for its outgoing edges (Eof injection).
-    outs: Vec<Vec<Sender<Message>>>,
-    /// Per node: a receiver clone of its inbox (drain after sever).
-    inboxes: Vec<Option<Receiver<Message>>>,
-    in_degree: Vec<usize>,
-    names: Vec<String>,
-}
-
-fn run_watchdog(mut rig: WatchdogRig) {
-    while !rig.shared.run_done.load(Ordering::Acquire) {
-        std::thread::sleep(rig.poll);
-        let now = rig.shared.now_ms();
-        for idx in 0..rig.names.len() {
-            let h = &rig.shared.health[idx];
+fn run_watchdog(exec: Arc<Exec>, quiet_ms: u64, poll: std::time::Duration) {
+    while !exec.run_done.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        let now = exec.now_ms();
+        for idx in 0..exec.names.len() {
+            let h = &exec.health[idx];
             let busy = h.busy_since_ms.load(Ordering::Relaxed);
-            if busy == 0 || now.saturating_sub(busy) <= rig.quiet_ms {
+            if busy == 0 || now.saturating_sub(busy) <= quiet_ms {
                 continue;
             }
             // The CAS races the node's own FINISHING transition: if the
@@ -621,54 +908,88 @@ fn run_watchdog(mut rig: WatchdogRig) {
             {
                 continue;
             }
-            rig.shared.supervisor.record_stall(StallEvent {
+            exec.supervisor.record_stall(StallEvent {
                 node: idx,
-                name: rig.names[idx].clone(),
+                name: exec.names[idx].clone(),
+                at: h.received.load(Ordering::Relaxed),
             });
-            // Inject the severed node's Eofs from a helper thread — the
-            // sends may block on full downstream channels and the
-            // watchdog must keep scanning.
-            let outs = std::mem::take(&mut rig.outs[idx]);
-            std::thread::spawn(move || {
-                for tx in &outs {
-                    let _ = tx.send(Message::Eof);
+            exec.fill_stats(
+                idx,
+                NodeStats {
+                    name: exec.names[idx].clone(),
+                    messages_in: h.received.load(Ordering::Relaxed),
+                    messages_out: h.sent.load(Ordering::Relaxed),
+                    messages_dropped: 0,
+                    restarts: h.restarts.load(Ordering::Relaxed),
+                    outcome: NodeOutcome::Wedged,
+                },
+            );
+            // Take the node over in the scheduler: EOFs downstream, inbox
+            // cleared, never rescheduled. No helper threads needed — the
+            // EOF counters bypass capacity and mark_done unblocks
+            // producers.
+            {
+                let mut st = exec.state.lock().expect("scheduler state");
+                for k in 0..exec.succs[idx].len() {
+                    let t = exec.succs[idx][k];
+                    exec.push_eof(&mut st, t);
                 }
-            });
-            // Drain the severed node's inbox so its upstreams never block
-            // on backpressure; stop once every inbound edge delivered its
-            // Eof (or the run ends).
-            if let Some(drain_rx) = rig.inboxes[idx].take() {
-                let need = rig.in_degree[idx];
-                let shared = Arc::clone(&rig.shared);
-                let poll = rig.poll;
-                std::thread::spawn(move || {
-                    let mut eofs = 0usize;
-                    while eofs < need && !shared.run_done.load(Ordering::Acquire) {
-                        match drain_rx.recv_timeout(poll) {
-                            Ok(Message::Eof) => eofs += 1,
-                            Ok(_) => {}
-                            Err(RecvTimeoutError::Timeout) => {}
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                });
+                exec.mark_done(&mut st, idx);
+            }
+            // The worker executing the node is presumed stuck inside user
+            // code: abandon its handle and spawn a replacement so the pool
+            // keeps its size. (If it in fact survives, it exits on the
+            // `abandoned` flag.)
+            let lost = {
+                let ws = exec.workers.lock().expect("worker registry");
+                ws.iter()
+                    .find(|w| w.current.load(Ordering::Acquire) == idx)
+                    .map(|w| {
+                        w.abandoned.store(true, Ordering::Release);
+                    })
+            };
+            if lost.is_some() {
+                spawn_worker(&exec);
             }
         }
     }
 }
 
 impl Runtime {
-    /// Runtime with the default channel capacity and no supervision
+    /// Runtime with the default pool size and capacity and no supervision
     /// (panics abort the run, as a bare thread panic would).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Override the per-edge channel capacity.
+    /// Override the per-inbox capacity (backpressure threshold).
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "channel capacity must be positive");
         Runtime {
-            capacity,
+            config: RuntimeConfig {
+                capacity,
+                ..RuntimeConfig::default()
+            },
+            supervision: SupervisionConfig::default(),
+        }
+    }
+
+    /// Override the worker-pool size (0 = `available_parallelism`).
+    pub fn with_workers(workers: usize) -> Self {
+        Runtime {
+            config: RuntimeConfig {
+                workers,
+                ..RuntimeConfig::default()
+            },
+            supervision: SupervisionConfig::default(),
+        }
+    }
+
+    /// Full control over pool size and capacity.
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        assert!(config.capacity > 0, "channel capacity must be positive");
+        Runtime {
+            config,
             supervision: SupervisionConfig::default(),
         }
     }
@@ -680,173 +1001,137 @@ impl Runtime {
         self
     }
 
-    /// Validate and execute the graph to completion.
+    /// Validate and execute the graph to completion on the worker pool.
     pub fn run(&self, graph: Graph) -> Result<RunOutput, GraphError> {
         graph.validate()?;
         let n = graph.nodes.len();
         let names: Vec<String> = graph.nodes.iter().map(|e| e.name.clone()).collect();
         let mut in_degree = vec![0usize; n];
-        for &(_, to) in &graph.edges {
-            in_degree[to] += 1;
-        }
-
-        // Build one inbox per node; fan-in shares the inbox sender.
-        let mut inbox_tx: Vec<Option<Sender<Message>>> = Vec::with_capacity(n);
-        let mut inbox_rx: Vec<Option<Receiver<Message>>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = bounded::<Message>(self.capacity);
-            inbox_tx.push(Some(tx));
-            inbox_rx.push(Some(rx));
-        }
-
-        // Subscriber lists: outs[u] = senders to every v with edge (u, v).
-        let mut outs: Vec<Vec<Sender<Message>>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(from, to) in &graph.edges {
-            outs[from].push(
-                inbox_tx[to]
-                    .as_ref()
-                    .expect("inbox sender present during wiring")
-                    .clone(),
-            );
-        }
-        // Drop the original inbox senders: only edge clones remain.
-        for tx in inbox_tx.iter_mut() {
-            tx.take();
+            in_degree[to] += 1;
+            succs[from].push(to);
+            preds[to].push(from);
         }
 
-        let shared = Arc::new(Shared {
+        let mut schedulable = vec![true; n];
+        let mut bodies: Vec<Mutex<NodeBody>> = Vec::with_capacity(n);
+        let mut sources: Vec<(usize, Box<dyn Source>)> = Vec::new();
+        for (idx, entry) in graph.nodes.into_iter().enumerate() {
+            match entry.kind {
+                NodeKind::Source(s) => {
+                    schedulable[idx] = false;
+                    sources.push((idx, s));
+                    bodies.push(Mutex::new(NodeBody::Source));
+                }
+                NodeKind::Component(c) => {
+                    let restart_allowed =
+                        self.supervision.policy_for(idx) != crate::supervisor::RestartPolicy::Never;
+                    let checkpoint = if restart_allowed { c.snapshot() } else { None };
+                    let restartable = checkpoint.is_some();
+                    bodies.push(Mutex::new(NodeBody::Component(CompBody {
+                        component: c,
+                        checkpoint,
+                        restartable,
+                        log: Vec::new(),
+                        processed: 0,
+                    })));
+                }
+                NodeKind::Sink => bodies.push(Mutex::new(NodeBody::Sink { msgs: Vec::new() })),
+            }
+        }
+
+        let exec = Arc::new(Exec {
+            state: Mutex::new(SchedState {
+                inbox: (0..n).map(|_| VecDeque::new()).collect(),
+                eofs_seen: vec![0; n],
+                status: vec![Status::Idle; n],
+                run_queue: VecDeque::new(),
+                live: n,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cap_cv: Condvar::new(),
+            capacity: self.config.capacity,
+            snapshot_every: self.supervision.snapshot_cadence(),
+            succs,
+            preds,
+            in_degree,
+            schedulable,
+            names,
+            bodies,
             health: (0..n).map(|_| NodeHealth::new()).collect(),
             supervisor: Supervisor::new((0..n).map(|i| self.supervision.policy_for(i)).collect()),
             run_done: AtomicBool::new(false),
             panic_slot: Mutex::new(None),
             results: Mutex::new(Vec::new()),
+            stats: Mutex::new((0..n).map(|_| None).collect()),
             start: Instant::now(),
+            workers: Mutex::new(Vec::new()),
         });
 
-        // The watchdog needs its own channel handles, cloned before the
-        // node threads take ownership of the originals.
-        let watchdog = self.supervision.watchdog;
-        let watchdog_handle = watchdog.map(|cfg| {
-            let rig = WatchdogRig {
-                shared: Arc::clone(&shared),
-                quiet_ms: cfg.quiet.as_millis() as u64,
-                poll: cfg.poll,
-                outs: outs.clone(),
-                inboxes: inbox_rx.clone(),
-                in_degree: in_degree.clone(),
-                names: names.clone(),
-            };
-            std::thread::spawn(move || run_watchdog(rig))
-        });
-
-        let (stats_tx, stats_rx) = bounded::<(usize, NodeStats)>(n.max(1));
-        let snapshot_every = self.supervision.snapshot_cadence();
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::with_capacity(n);
-        for (idx, entry) in graph.nodes.into_iter().enumerate() {
-            let node_outs = std::mem::take(&mut outs[idx]);
-            let node_rx = inbox_rx[idx].take().expect("inbox receiver");
-            let stats_tx = stats_tx.clone();
-            let shared = Arc::clone(&shared);
-            let handle = match entry.kind {
-                NodeKind::Source(source) => {
-                    drop(node_rx); // sources ignore their (empty) inbox
-                    std::thread::spawn(move || run_source(source, idx, node_outs, stats_tx, shared))
-                }
-                NodeKind::Component(component) => {
-                    let ctx = ComponentCtx {
-                        idx,
-                        in_degree: in_degree[idx],
-                        rx: node_rx,
-                        outs: node_outs,
-                        restart_allowed: self.supervision.policy_for(idx)
-                            != crate::supervisor::RestartPolicy::Never,
-                        snapshot_every,
-                        stats_tx,
-                        shared,
-                    };
-                    std::thread::spawn(move || run_component(component, ctx))
-                }
-                NodeKind::Sink => {
-                    drop(node_outs); // sinks have no outputs
-                    let name = entry.name;
-                    let deg = in_degree[idx];
-                    std::thread::spawn(move || run_sink(name, idx, deg, node_rx, stats_tx, shared))
-                }
-            };
-            handles.push(handle);
+        let pool = self.config.resolved_workers().max(1);
+        for _ in 0..pool {
+            spawn_worker(&exec);
         }
-        drop(stats_tx);
+        let watchdog_handle = self.supervision.watchdog.map(|cfg| {
+            let e = Arc::clone(&exec);
+            let quiet_ms = cfg.quiet.as_millis() as u64;
+            std::thread::spawn(move || run_watchdog(e, quiet_ms, cfg.poll))
+        });
+        let source_handles: Vec<_> = sources
+            .into_iter()
+            .map(|(idx, s)| {
+                let e = Arc::clone(&exec);
+                std::thread::spawn(move || run_source(e, idx, s))
+            })
+            .collect();
 
-        // Collect until every node is accounted for: a stats message for
-        // completed/failed nodes, the severed flag for wedged ones (their
-        // threads never report).
-        let mut stats_slots: Vec<Option<NodeStats>> = (0..n).map(|_| None).collect();
-        let mut done = vec![false; n];
-        let mut completed = 0usize;
-        while completed < n {
-            let received = if let Some(cfg) = watchdog {
-                match stats_rx.recv_timeout(cfg.poll) {
-                    Ok(pair) => Some(pair),
-                    Err(RecvTimeoutError::Timeout) => {
-                        for idx in 0..n {
-                            if !done[idx] && shared.health[idx].severed() {
-                                done[idx] = true;
-                                completed += 1;
-                                let h = &shared.health[idx];
-                                stats_slots[idx] = Some(NodeStats {
-                                    name: names[idx].clone(),
-                                    messages_in: h.received.load(Ordering::Relaxed),
-                                    messages_out: h.sent.load(Ordering::Relaxed),
-                                    messages_dropped: 0,
-                                    restarts: h.restarts.load(Ordering::Relaxed),
-                                    outcome: NodeOutcome::Wedged,
-                                });
-                            }
-                        }
-                        None
-                    }
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            } else {
-                match stats_rx.recv() {
-                    Ok(pair) => Some(pair),
-                    Err(_) => break,
-                }
-            };
-            if let Some((idx, stats)) = received {
-                // Guard against the sever-vs-finish race double counting.
-                if !done[idx] {
-                    done[idx] = true;
-                    completed += 1;
-                    stats_slots[idx] = Some(stats);
-                }
+        // Wait for the graph to drain (every node Done).
+        {
+            let mut st = exec.state.lock().expect("scheduler state");
+            while !st.shutdown {
+                st = exec.done_cv.wait(st).expect("done condvar");
             }
         }
-
-        shared.run_done.store(true, Ordering::Release);
+        exec.run_done.store(true, Ordering::Release);
+        exec.work_cv.notify_all();
+        exec.cap_cv.notify_all();
         if let Some(handle) = watchdog_handle {
             let _ = handle.join();
         }
-        for (idx, handle) in handles.into_iter().enumerate() {
-            // Wedged threads are stuck in user code forever; abandon them.
-            if !shared.health[idx].severed() {
-                let _ = handle.join();
+        for handle in source_handles {
+            let _ = handle.join();
+        }
+        let slots = std::mem::take(&mut *exec.workers.lock().expect("worker registry"));
+        for mut w in slots {
+            // Abandoned workers are wedged inside user code forever;
+            // joining them would hang the run.
+            if !w.abandoned.load(Ordering::Acquire) {
+                if let Some(handle) = w.handle.take() {
+                    let _ = handle.join();
+                }
             }
         }
 
         let mut output = RunOutput {
-            node_stats: stats_slots.into_iter().flatten().collect(),
+            node_stats: std::mem::take(&mut *exec.stats.lock().expect("stats slots"))
+                .into_iter()
+                .flatten()
+                .collect(),
             ..RunOutput::default()
         };
-        for (idx, msgs) in std::mem::take(&mut *shared.results.lock().expect("sink results")) {
+        for (idx, msgs) in std::mem::take(&mut *exec.results.lock().expect("sink results")) {
             output.sinks.insert(idx, msgs);
         }
-        let (failures, stalls) = shared.supervisor.take_ledgers();
+        let (failures, stalls) = exec.supervisor.take_ledgers();
         output.failures = failures;
         output.stalls = stalls;
 
         if self.supervision.failure_mode == FailureMode::AbortRun {
-            let payload = shared.panic_slot.lock().expect("panic slot").take();
+            let payload = exec.panic_slot.lock().expect("panic slot").take();
             if let Some(payload) = payload {
                 std::panic::resume_unwind(payload);
             }
@@ -855,29 +1140,12 @@ impl Runtime {
     }
 }
 
-fn fan_out(outs: &[Sender<Message>], msg: Message) {
-    match outs.len() {
-        0 => {}
-        1 => {
-            // A receiver that has shut down just means the consumer is
-            // gone; dropping the message is the correct stream semantics.
-            let _ = outs[0].send(msg);
-        }
-        _ => {
-            for tx in &outs[..outs.len() - 1] {
-                let _ = tx.send(msg.clone());
-            }
-            let _ = outs[outs.len() - 1].send(msg);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
 
-    use crate::messages::{BarSet, Message};
+    use crate::messages::{BarSet, Message, TradeReport};
     use crate::node::{self, Component, Emit, Passthrough, Source};
     use crate::supervisor::{RestartPolicy, WatchdogConfig};
 
@@ -990,7 +1258,7 @@ mod tests {
 
     #[test]
     fn backpressure_does_not_deadlock() {
-        // Tiny channels, many messages: bounded channels + DAG = progress.
+        // Tiny inboxes, many messages: bounded capacity + DAG = progress.
         let mut g = Graph::new();
         let src = g.add_source(Box::new(CountSource { n: 50_000 }));
         let a = g.add_component(Box::new(Passthrough::new("a")));
@@ -1001,6 +1269,52 @@ mod tests {
         g.connect(b, sink);
         let mut out = Runtime::with_capacity(2).run(g).unwrap();
         assert_eq!(out.take_sink(sink).len(), 50_000);
+    }
+
+    #[test]
+    fn single_worker_runs_the_whole_graph() {
+        // One pool thread must still drain a multi-stage graph under
+        // backpressure: cooperative batching, not thread-per-node.
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(CountSource { n: 20_000 }));
+        let a = g.add_component(Box::new(Passthrough::new("a")));
+        let b = g.add_component(Box::new(Passthrough::new("b")));
+        let sink = g.add_sink("sink");
+        g.connect(src, a);
+        g.connect(a, b);
+        g.connect(b, sink);
+        let mut out = Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            capacity: 4,
+        })
+        .run(g)
+        .unwrap();
+        assert_eq!(out.take_sink(sink).len(), 20_000);
+    }
+
+    #[test]
+    fn pool_smaller_than_graph_completes_wide_fanout() {
+        // 24 parallel branches on a 2-worker pool: node count is
+        // decoupled from thread count.
+        let mut g = Graph::new();
+        let src = g.add_source(Box::new(CountSource { n: 500 }));
+        let mut sinks = Vec::new();
+        for k in 0..24 {
+            let c = g.add_component(Box::new(Passthrough::new(format!("branch-{k}"))));
+            let s = g.add_sink(format!("sink-{k}"));
+            g.connect(src, c);
+            g.connect(c, s);
+            sinks.push(s);
+        }
+        let mut out = Runtime::with_config(RuntimeConfig {
+            workers: 2,
+            capacity: 8,
+        })
+        .run(g)
+        .unwrap();
+        for s in sinks {
+            assert_eq!(out.take_sink(s).len(), 500);
+        }
     }
 
     #[test]
@@ -1200,6 +1514,7 @@ mod tests {
         let mut out = Runtime::new().supervised(cfg).run(g).unwrap();
         assert_eq!(out.failures.len(), 1);
         assert_eq!(out.failures[0].restarts, 2);
+        assert_eq!(out.failures[0].at, 5, "failed at simulated time 5");
         assert!(out.failures[0].error.contains("poison pill"));
         let msgs = out.take_sink(sink);
         assert_eq!(msgs.len(), 4, "messages 1..=4 passed before the pill");
@@ -1281,7 +1596,10 @@ mod tests {
                     closes: vec![1.0],
                     ticks: vec![1],
                 })));
-                out(Message::Trades(Arc::new(Vec::new())));
+                out(Message::Trades(Arc::new(TradeReport {
+                    param_set: 0,
+                    trades: Vec::new(),
+                })));
             }
         }
     }
@@ -1348,6 +1666,7 @@ mod tests {
         let mut out = Runtime::new().supervised(cfg).run(g).unwrap();
         assert_eq!(out.stalls.len(), 1);
         assert_eq!(out.stalls[0].name, "wedger");
+        assert_eq!(out.stalls[0].at, 3, "severed at simulated time 3");
         assert_eq!(
             out.take_sink(sink).len(),
             2,
@@ -1359,8 +1678,8 @@ mod tests {
 
     #[test]
     fn watchdog_leaves_honest_backpressure_alone() {
-        // Slow-ish consumer + tiny channels: constant backpressure, but
-        // emissions refresh the heartbeat so nothing is severed.
+        // Constant backpressure on tiny inboxes: nodes spend their time
+        // gated on capacity (not busy), so nothing is severed.
         let mut g = Graph::new();
         let src = g.add_source(Box::new(CountSource { n: 2_000 }));
         let a = g.add_component(Box::new(Passthrough::new("a")));

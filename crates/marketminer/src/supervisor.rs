@@ -165,6 +165,10 @@ pub struct NodeFailure {
     pub error: String,
     /// Restarts that were granted before giving up.
     pub restarts: u32,
+    /// Simulated time of the failure: messages the node had consumed when
+    /// it gave up. Part of the ledger's canonical `(node, at)` sort key so
+    /// reports are stable under any worker interleaving.
+    pub at: u64,
 }
 
 /// A node the watchdog declared wedged.
@@ -174,6 +178,9 @@ pub struct StallEvent {
     pub node: usize,
     /// Node name.
     pub name: String,
+    /// Simulated time of the sever: messages the node had consumed when
+    /// the watchdog cut it loose.
+    pub at: u64,
 }
 
 #[derive(Debug, Default)]
@@ -266,14 +273,15 @@ impl Supervisor {
     }
 
     /// Drain the ledgers (called once by the runtime at the end of a run).
-    /// Both are sorted by node index so concurrent failures report
-    /// deterministically.
+    /// Both are sorted by the canonical `(node, simulated-time)` key so
+    /// concurrent failures report deterministically regardless of which
+    /// worker recorded them first.
     pub(crate) fn take_ledgers(&self) -> (Vec<NodeFailure>, Vec<StallEvent>) {
         let mut failures = std::mem::take(&mut *self.failures.lock().expect("failure ledger"));
-        failures.sort_by_key(|f| f.node);
+        failures.sort_by_key(|f| (f.node, f.at));
         let mut stalls: Vec<StallEvent> =
             std::mem::take(&mut *self.stalls.lock().expect("stall ledger"));
-        stalls.sort_by_key(|s| s.node);
+        stalls.sort_by_key(|s| (s.node, s.at));
         (failures, stalls)
     }
 }
@@ -388,15 +396,41 @@ mod tests {
             name: "x".into(),
             error: "boom".into(),
             restarts: 0,
+            at: 7,
         });
         s.record_stall(StallEvent {
             node: 0,
             name: "x".into(),
+            at: 9,
         });
         let (f, w) = s.take_ledgers();
         assert_eq!(f.len(), 1);
         assert_eq!(w.len(), 1);
         let (f2, w2) = s.take_ledgers();
         assert!(f2.is_empty() && w2.is_empty());
+    }
+
+    #[test]
+    fn ledgers_sort_by_node_then_simulated_time() {
+        let s = Supervisor::new(vec![RestartPolicy::Never; 3]);
+        for (node, at) in [(2usize, 5u64), (0, 9), (2, 1), (0, 3)] {
+            s.record_failure(NodeFailure {
+                node,
+                name: format!("n{node}"),
+                error: "boom".into(),
+                restarts: 0,
+                at,
+            });
+            s.record_stall(StallEvent {
+                node,
+                name: format!("n{node}"),
+                at,
+            });
+        }
+        let (f, w) = s.take_ledgers();
+        let fk: Vec<_> = f.iter().map(|x| (x.node, x.at)).collect();
+        let wk: Vec<_> = w.iter().map(|x| (x.node, x.at)).collect();
+        assert_eq!(fk, vec![(0, 3), (0, 9), (2, 1), (2, 5)]);
+        assert_eq!(wk, fk);
     }
 }

@@ -1,0 +1,170 @@
+//! Shared-stream sweep-graph integration tests: determinism across worker
+//! counts, bit-identical equivalence to independent single-parameter runs,
+//! exactly-once computation of each distinct correlation stream, and the
+//! bounded-thread-pool guarantee.
+
+use std::sync::Mutex;
+
+use marketminer::components::ReplayCollector;
+use marketminer::pipeline::{run_sweep_pipeline_with, SweepConfig, SweepOutput};
+use marketminer::{run_fig1_pipeline, Fig1Config, Runtime, RuntimeConfig};
+use taq::dataset::DayData;
+use taq::generator::{MarketConfig, MarketGenerator};
+
+/// Serialises tests that measure or depend on process-wide state (the
+/// thread census counts every thread in the process, so concurrent
+/// worker pools from sibling tests would pollute it).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock_serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn small_day(seed: u64) -> (DayData, usize) {
+    let mut cfg = MarketConfig::small(4, 1, seed);
+    cfg.micro.quote_rate_hz = 0.05;
+    (MarketGenerator::new(cfg).next_day().unwrap(), 4)
+}
+
+fn run_sweep(day: DayData, cfg: &SweepConfig, workers: usize) -> SweepOutput {
+    let runtime = Runtime::with_config(RuntimeConfig {
+        workers,
+        capacity: 256,
+    });
+    run_sweep_pipeline_with(runtime, Box::new(ReplayCollector::new(day)), cfg).unwrap()
+}
+
+/// The whole 42-parameter sweep must produce bit-identical output no
+/// matter how many workers execute the graph: 1, 2, and
+/// `available_parallelism` (workers = 0).
+#[test]
+fn sweep_output_is_identical_across_worker_counts() {
+    let _guard = lock_serial();
+    let (day, n) = small_day(91);
+    let cfg = SweepConfig::paper(n);
+    let base = run_sweep(day.clone(), &cfg, 1);
+    for workers in [2usize, 0] {
+        let other = run_sweep(day.clone(), &cfg, workers);
+        assert_eq!(
+            base.trades_per_param, other.trades_per_param,
+            "trades diverged at workers={workers}"
+        );
+        assert_eq!(
+            base.baskets, other.baskets,
+            "baskets diverged at workers={workers}"
+        );
+        assert_eq!(
+            base.health_events, other.health_events,
+            "health diverged at workers={workers}"
+        );
+        assert_eq!(base.streams, other.streams);
+    }
+}
+
+/// Per-parameter-set trades from the shared-stream graph must be
+/// bit-identical to 42 independent single-parameter Figure-1 runs over
+/// the same `DayData`.
+#[test]
+fn sweep_trades_match_independent_single_param_runs() {
+    let _guard = lock_serial();
+    let (day, n) = small_day(91);
+    let cfg = SweepConfig::paper(n);
+    assert_eq!(cfg.params.len(), 42, "the paper's full grid");
+    let sweep = run_sweep(day.clone(), &cfg, 0);
+
+    let mut total = 0usize;
+    for (k, p) in cfg.params.iter().enumerate() {
+        let single = run_fig1_pipeline(day.clone(), &Fig1Config::new(n, *p)).unwrap();
+        assert_eq!(
+            sweep.trades_per_param[k],
+            single.trades,
+            "param set {k} ({}) diverged between sweep and single run",
+            p.label()
+        );
+        total += single.trades.len();
+    }
+    assert!(
+        total > 0,
+        "equivalence is vacuous: no parameter set traded on this day"
+    );
+}
+
+/// Each distinct `(Ctype, M)` correlation stream is computed exactly once
+/// — the paper grid's 42 parameter sets collapse onto 9 engines — and
+/// every parameter set gets its own strategy host.
+#[test]
+fn sweep_computes_each_correlation_stream_once() {
+    let _guard = lock_serial();
+    let (day, n) = small_day(13);
+    let cfg = SweepConfig::paper(n);
+    let distinct = cfg.distinct_streams();
+    assert_eq!(distinct.len(), 9, "3 treatments x 3 window lengths");
+    let out = run_sweep(day, &cfg, 0);
+
+    let engines = out
+        .node_stats
+        .iter()
+        .filter(|s| s.name.starts_with("corr-engine"))
+        .count();
+    assert_eq!(engines, distinct.len());
+    let hosts = out
+        .node_stats
+        .iter()
+        .filter(|s| s.name.starts_with("pair-strategy-host"))
+        .count();
+    assert_eq!(hosts, 42);
+    // Every stream id is consumed by at least one host.
+    for j in 0..distinct.len() {
+        assert!(out.streams.contains(&j), "stream {j} unused");
+    }
+}
+
+/// Count this process's OS threads (Linux).
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map_or(0, |d| d.count())
+}
+
+/// The pool bounds the OS thread count: a 50+-node sweep graph on
+/// `workers = 2` must never use more than `workers` + one thread per
+/// source + a small constant — node count must not leak into thread
+/// count.
+#[cfg(target_os = "linux")]
+#[test]
+fn sweep_thread_count_is_bounded_by_the_pool() {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let _guard = lock_serial();
+    let (day, n) = small_day(7);
+    let cfg = SweepConfig::paper(n);
+
+    let baseline = os_thread_count();
+    let stop = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicUsize::new(0));
+    let census = {
+        let stop = Arc::clone(&stop);
+        let peak = Arc::clone(&peak);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                peak.fetch_max(os_thread_count(), Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+
+    let workers = 2;
+    let out = run_sweep(day, &cfg, workers);
+    stop.store(true, Ordering::Relaxed);
+    census.join().unwrap();
+    assert_eq!(out.trades_per_param.len(), 42);
+
+    // Graph: 50+ nodes. Threads: the pool, one source (the collector),
+    // the census thread itself, plus slack for the test harness.
+    let peak = peak.load(Ordering::Relaxed);
+    let budget = workers + 1 /* source */ + 1 /* census */ + 2 /* slack */;
+    assert!(
+        peak <= baseline + budget,
+        "thread count leaked: baseline {baseline}, peak {peak}, budget +{budget}"
+    );
+}

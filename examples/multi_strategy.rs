@@ -1,20 +1,21 @@
-//! Run many parameter sets as ONE MarketMiner deployment: every strategy
-//! host shares the collector, bar accumulator, technical analysis and the
-//! per-(Ctype, M) correlation engines, and a single master risk manager +
-//! order gateway collects every strategy's trade decisions — the
-//! integrated architecture Section IV argues for.
+//! Run the paper's full 42-parameter sweep as ONE MarketMiner deployment
+//! on the pooled scheduler: every strategy host shares the collector, bar
+//! accumulator, technical analysis and the 9 distinct per-(Ctype, M)
+//! correlation engines, and a single master risk manager + bucketed order
+//! gateway collects every strategy's trade decisions — the integrated
+//! Approach-3 architecture Section IV argues for, on a thread pool whose
+//! size is independent of the ~50-node graph.
 //!
 //! ```sh
 //! cargo run --release --example multi_strategy
+//! # pin the pool: MARKETMINER_WORKERS=2 cargo run --release --example multi_strategy
 //! ```
 
 use marketminer::components::risk::RiskLimits;
-use marketminer::pipeline::{run_multi_pipeline, MultiConfig};
-use pairtrade_core::exec::ExecutionConfig;
-use pairtrade_core::params::StrategyParams;
-use stats::correlation::CorrType;
+use marketminer::components::ReplayCollector;
+use marketminer::pipeline::{run_sweep_pipeline_with, SweepConfig};
+use marketminer::{Runtime, RuntimeConfig};
 use taq::generator::{MarketConfig, MarketGenerator};
-use timeseries::clean::CleanConfig;
 
 fn main() {
     let n_stocks = 10;
@@ -24,53 +25,37 @@ fn main() {
     let day = generator.next_day().expect("one day");
     let quotes = day.len();
 
-    // Six strategies: the three treatments at two divergence levels.
-    let base = StrategyParams {
-        corr_window: 60,
-        ..StrategyParams::paper_default()
-    };
-    let params: Vec<StrategyParams> = CorrType::TREATMENTS
-        .into_iter()
-        .flat_map(|ctype| {
-            [
-                StrategyParams { ctype, ..base },
-                StrategyParams {
-                    ctype,
-                    divergence: 0.0005,
-                    ..base
-                },
-            ]
-        })
-        .collect();
-
-    let config = MultiConfig {
-        n_stocks,
-        params: params.clone(),
-        exec: ExecutionConfig::paper(),
-        clean: CleanConfig::default(),
-        corr_stride: 1,
-        limits: RiskLimits {
-            max_open_pairs: 200,
-            ..RiskLimits::default()
-        },
+    let mut config = SweepConfig::paper(n_stocks);
+    config.limits = RiskLimits {
+        max_open_pairs: 200,
+        ..RiskLimits::default()
     };
 
+    let runtime_cfg = RuntimeConfig::default();
     println!(
-        "multi-strategy deployment: {} strategies x {} pairs over {} quotes",
-        params.len(),
+        "shared-stream sweep: {} strategies x {} pairs over {} quotes",
+        config.params.len(),
         n_stocks * (n_stocks - 1) / 2,
         quotes
     );
-    let distinct: std::collections::HashSet<_> =
-        params.iter().map(|p| (p.ctype, p.corr_window)).collect();
     println!(
-        "sharing: {} correlation engines serve {} strategy hosts\n",
-        distinct.len(),
-        params.len()
+        "sharing: {} correlation engines serve {} strategy hosts",
+        config.distinct_streams().len(),
+        config.params.len()
+    );
+    println!(
+        "pool: {} worker threads for a {}-node graph\n",
+        runtime_cfg.workers,
+        config.params.len() + config.distinct_streams().len() + 6
     );
 
     let start = std::time::Instant::now();
-    let out = run_multi_pipeline(day, &config).expect("valid DAG");
+    let out = run_sweep_pipeline_with(
+        Runtime::with_config(runtime_cfg),
+        Box::new(ReplayCollector::new(day)),
+        &config,
+    )
+    .expect("valid DAG");
     println!(
         "drained in {:.2} s; {} baskets through the master gateway\n",
         start.elapsed().as_secs_f64(),
@@ -81,7 +66,7 @@ fn main() {
         "{:<44} {:>7} {:>8} {:>9}",
         "strategy", "trades", "wins", "PnL ($)"
     );
-    for (p, trades) in params.iter().zip(&out.trades_per_param) {
+    for (p, trades) in config.params.iter().zip(&out.trades_per_param) {
         let wins = trades.iter().filter(|t| t.is_win()).count();
         let pnl: f64 = trades.iter().map(|t| t.pnl).sum();
         println!(
