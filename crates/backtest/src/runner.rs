@@ -15,6 +15,7 @@
 //!    trade counts — exactly what Tables III–V need.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pairtrade_core::engine::run_pair_day;
 use pairtrade_core::exec::ExecutionConfig;
@@ -25,6 +26,9 @@ use stats::correlation::CorrType;
 use stats::matrix::SymMatrix;
 use stats::parallel::ParallelCorrEngine;
 use taq::generator::{MarketConfig, MarketGenerator};
+use telemetry::recorder::FlightKind;
+use telemetry::trace::TrackId;
+use telemetry::{Telemetry, TelemetryLevel, TelemetryReport};
 use timeseries::bam::PriceGrid;
 use timeseries::clean::CleanConfig;
 use timeseries::returns::ReturnsPanel;
@@ -96,6 +100,8 @@ pub struct ExperimentResults {
     pub total_trades: u64,
     /// Wall-clock seconds.
     pub elapsed_secs: f64,
+    /// Per-phase timing report (`None` at `TelemetryLevel::Off`).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ExperimentResults {
@@ -133,6 +139,7 @@ impl ExperimentResults {
 /// The experiment runner.
 pub struct Experiment {
     config: ExperimentConfig,
+    telemetry: TelemetryLevel,
 }
 
 impl Experiment {
@@ -145,12 +152,32 @@ impl Experiment {
         for (i, p) in config.params.iter().enumerate() {
             p.validate().unwrap_or_else(|e| panic!("params[{i}]: {e}"));
         }
-        Experiment { config }
+        Experiment {
+            config,
+            telemetry: TelemetryLevel::Off,
+        }
+    }
+
+    /// Collect per-phase timing histograms (grid build, cube computation,
+    /// strategy fan-out) into [`ExperimentResults::telemetry`].
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
+        self
     }
 
     /// Run the full experiment.
     pub fn run(&self) -> ExperimentResults {
         let start = std::time::Instant::now();
+        let tel = self
+            .telemetry
+            .enabled()
+            .then(|| Telemetry::new(self.telemetry));
+        // Phase timings are wall-clock micros observed into log2-bucketed
+        // histograms, one sample per (day, phase) execution.
+        let phase = tel
+            .as_ref()
+            .map(|t| t.probe("experiment", TrackId::node(0)))
+            .unwrap_or_default();
         let cfg = &self.config;
         let n = cfg.market.n_stocks;
         let n_pairs = n * (n - 1) / 2;
@@ -169,10 +196,17 @@ impl Experiment {
 
         let mut generator = MarketGenerator::new(cfg.market.clone());
         let mut day_idx: u16 = 0;
-        while let Some(day) = generator.next_day() {
+        loop {
+            let t0 = std::time::Instant::now();
+            let Some(day) = generator.next_day() else {
+                break;
+            };
+            phase.observe("generate.us", t0.elapsed().as_micros() as u64);
             for &dt in &dts {
+                let t0 = std::time::Instant::now();
                 let grid = PriceGrid::from_day(&day, n, dt, cfg.clean);
                 let panel = ReturnsPanel::from_grid(&grid);
+                phase.observe("grid.us", t0.elapsed().as_micros() as u64);
 
                 let mut by_cube: HashMap<(CorrType, usize), Vec<usize>> = HashMap::new();
                 for &idx in &by_dt[&dt] {
@@ -187,13 +221,16 @@ impl Experiment {
 
                 for key in cube_keys {
                     let (ctype, m) = key;
+                    let t0 = std::time::Instant::now();
                     let engine = ParallelCorrEngine::new(ctype);
                     let Some(cube) = engine.cube(panel.all(), m) else {
                         continue;
                     };
+                    phase.observe("cube.us", t0.elapsed().as_micros() as u64);
                     let first_interval = cube.first_step() + 1;
                     for &param_idx in &by_cube[&key] {
                         let params = &cfg.params[param_idx];
+                        let t0 = std::time::Instant::now();
                         let day_trades: Vec<Vec<Trade>> = (0..n_pairs)
                             .into_par_iter()
                             .map(|rank| {
@@ -209,6 +246,7 @@ impl Experiment {
                                 )
                             })
                             .collect();
+                        phase.observe("strategy.us", t0.elapsed().as_micros() as u64);
                         for (rank, trades) in day_trades.into_iter().enumerate() {
                             let slot = &mut data[param_idx * n_pairs + rank];
                             let rets: Vec<f64> = trades.iter().map(|t| t.ret).collect();
@@ -224,9 +262,16 @@ impl Experiment {
                     }
                 }
             }
+            phase.count("days", 1);
             day_idx += 1;
         }
 
+        let telemetry = tel.map(|t: Arc<Telemetry>| {
+            t.flight(FlightKind::Phase, "experiment", None, {
+                format!("{day_idx} days, {total_trades} trades")
+            });
+            t.finish()
+        });
         ExperimentResults {
             n_stocks: n,
             n_days: day_idx as usize,
@@ -235,6 +280,7 @@ impl Experiment {
             trades: kept_trades,
             total_trades,
             elapsed_secs: start.elapsed().as_secs_f64(),
+            telemetry,
         }
     }
 }

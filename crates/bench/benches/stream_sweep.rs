@@ -17,6 +17,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use marketminer::pipeline::{run_fig1_pipeline, run_sweep_pipeline, Fig1Config, SweepConfig};
+use marketminer::RuntimeConfig;
 use taq::dataset::DayData;
 use taq::generator::{MarketConfig, MarketGenerator};
 
@@ -50,6 +51,7 @@ fn main() {
         .filter(|&n| n > 0)
         .unwrap_or(2);
 
+    let bench_start = Instant::now();
     let day = make_day();
     let quotes = day.len();
     let cfg = SweepConfig::paper(N_STOCKS);
@@ -81,9 +83,20 @@ fn main() {
         n_params as f64 / n_streams as f64
     );
 
+    // Environment metadata: the pool size the runs actually used (after
+    // MARKETMINER_WORKERS / available_parallelism resolution), the
+    // telemetry level inherited from MARKETMINER_TELEMETRY, and when the
+    // measurement was taken — so saved baselines are comparable.
+    let runtime_cfg = RuntimeConfig::default();
     let workers = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let resolved_workers = runtime_cfg.resolved_workers();
+    let telemetry_level = runtime_cfg.telemetry.as_str();
+    let measured_at_epoch_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let wall_clock_secs = bench_start.elapsed().as_secs_f64();
     let json = format!(
-        "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"workers\": {workers},\n  \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n  \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n  \"speedup\": {speedup:.4}\n}}\n"
+        "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"workers\": {workers},\n  \"resolved_workers\": {resolved_workers},\n  \"telemetry_level\": \"{telemetry_level}\",\n  \"measured_at_epoch_secs\": {measured_at_epoch_secs},\n  \"wall_clock_secs\": {wall_clock_secs:.3},\n  \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n  \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n  \"speedup\": {speedup:.4}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream_sweep.json");
     match std::fs::write(path, &json) {

@@ -19,6 +19,8 @@
 
 use std::sync::Arc;
 
+use telemetry::recorder::FlightKind;
+use telemetry::Probe;
 use timeseries::clean::{CleanConfig, TcpFilter};
 
 use crate::messages::{BarSet, DegradeReason, HealthEvent, HealthStatus, Message};
@@ -71,6 +73,7 @@ pub struct BarAccumulatorNode {
     /// Non-quote messages received.
     dropped: u64,
     name: String,
+    probe: Probe,
 }
 
 impl BarAccumulatorNode {
@@ -90,6 +93,7 @@ impl BarAccumulatorNode {
             late_quotes: 0,
             dropped: 0,
             name: format!("ohlc-bars(ds={dt_seconds}s)"),
+            probe: Probe::off(),
         }
     }
 
@@ -105,6 +109,7 @@ impl BarAccumulatorNode {
     }
 
     fn emit_bar_set(&mut self, interval: usize, out: &mut Emit<'_>) {
+        self.probe.count("bars.emitted", 1);
         out(Message::Bars(Arc::new(BarSet {
             interval,
             closes: self.closes.clone(),
@@ -149,6 +154,13 @@ impl BarAccumulatorNode {
             };
             if next != self.status[s] {
                 self.status[s] = next;
+                let kind = match next {
+                    HealthStatus::Degraded(DegradeReason::Quarantine) => FlightKind::Quarantine,
+                    _ => FlightKind::Health,
+                };
+                self.probe.flight(kind, Some(effective as u64), || {
+                    format!("symbol {s}: {next:?}")
+                });
                 out(Message::Health(Arc::new(HealthEvent {
                     interval: effective,
                     symbol: s,
@@ -196,15 +208,19 @@ impl Component for BarAccumulatorNode {
                 // folding it into the current bar would smear prices
                 // across the Δs grid, so count it and move on.
                 self.late_quotes += 1;
+                self.probe.count("quotes.late", 1);
                 return;
             }
             _ => {}
         }
         let stock = q.symbol.index();
         if stock < self.n_stocks {
-            if let Ok(mid) = self.filters[stock].process(&q) {
-                self.closes[stock] = mid;
-                self.ticks[stock] += 1;
+            match self.filters[stock].process(&q) {
+                Ok(mid) => {
+                    self.closes[stock] = mid;
+                    self.ticks[stock] += 1;
+                }
+                Err(_) => self.probe.count("quotes.rejected", 1),
             }
         }
     }
@@ -225,6 +241,10 @@ impl Component for BarAccumulatorNode {
 
     fn messages_dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

@@ -7,6 +7,8 @@
 //! first via `taq::io`), preserving tape order.
 
 use taq::dataset::DayData;
+use telemetry::recorder::FlightKind;
+use telemetry::Probe;
 
 use crate::messages::Message;
 use crate::node::{Emit, Source};
@@ -15,6 +17,7 @@ use crate::node::{Emit, Source};
 pub struct ReplayCollector {
     name: String,
     day: Option<DayData>,
+    probe: Probe,
 }
 
 impl ReplayCollector {
@@ -23,6 +26,7 @@ impl ReplayCollector {
         ReplayCollector {
             name: format!("replay-collector(day {})", day.day),
             day: Some(day),
+            probe: Probe::off(),
         }
     }
 }
@@ -34,9 +38,14 @@ impl Source for ReplayCollector {
 
     fn run(&mut self, out: &mut Emit<'_>) {
         let day = self.day.take().expect("collector runs once");
+        self.probe.count("quotes.replayed", day.len() as u64);
         for &q in day.quotes() {
             out(Message::Quote(q));
         }
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 
@@ -89,6 +98,7 @@ pub struct FaultedCollector {
     day: Option<DayData>,
     plan: taq::StreamFaultPlan,
     log: std::sync::Arc<std::sync::Mutex<Option<taq::StreamFaultLog>>>,
+    probe: Probe,
 }
 
 impl FaultedCollector {
@@ -99,6 +109,7 @@ impl FaultedCollector {
             day: Some(day),
             plan,
             log: std::sync::Arc::new(std::sync::Mutex::new(None)),
+            probe: Probe::off(),
         }
     }
 
@@ -117,10 +128,22 @@ impl Source for FaultedCollector {
     fn run(&mut self, out: &mut Emit<'_>) {
         let day = self.day.take().expect("collector runs once");
         let (quotes, log) = taq::apply_stream_faults(day.quotes(), &self.plan);
+        self.probe.count("quotes.dropped_by_faults", log.dropped);
+        self.probe.flight(FlightKind::Fault, None, || {
+            format!(
+                "stream faults applied: {} quotes dropped, {} survive",
+                log.dropped,
+                quotes.len()
+            )
+        });
         *self.log.lock().expect("fault log poisoned") = Some(log);
         for q in quotes {
             out(Message::Quote(q));
         }
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

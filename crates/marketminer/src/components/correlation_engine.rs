@@ -12,6 +12,7 @@ use std::sync::Arc;
 use stats::correlation::CorrType;
 use stats::parallel::ParallelCorrEngine;
 use stats::sliding_matrix::OnlineCorrMatrix;
+use telemetry::Probe;
 use timeseries::window::SlidingWindow;
 
 use crate::messages::{CorrSnapshot, Message};
@@ -53,6 +54,7 @@ pub struct CorrelationEngineNode {
     /// Messages neither consumed nor forwarded.
     dropped: u64,
     name: String,
+    probe: Probe,
 }
 
 impl CorrelationEngineNode {
@@ -82,6 +84,7 @@ impl CorrelationEngineNode {
             degraded: vec![false; n_stocks],
             dropped: 0,
             name: format!("corr-engine({ctype}, M={m})"),
+            probe: Probe::off(),
         }
     }
 
@@ -153,6 +156,7 @@ impl Component for CorrelationEngineNode {
             return;
         }
         self.since_last = 0;
+        let _span = self.probe.span("corr.snapshot", Some(rs.interval as u64));
         let mut matrix = match &mut self.kind {
             EngineKind::Online(online) => online.matrix(),
             EngineKind::Windowed {
@@ -181,6 +185,7 @@ impl Component for CorrelationEngineNode {
                 }
             }
         }
+        self.probe.count("snapshots.emitted", 1);
         out(Message::Corr(Arc::new(CorrSnapshot {
             interval: rs.interval,
             stream: self.stream,
@@ -198,6 +203,10 @@ impl Component for CorrelationEngineNode {
 
     fn messages_dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

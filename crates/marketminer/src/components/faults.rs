@@ -11,6 +11,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use telemetry::recorder::FlightKind;
+use telemetry::Probe;
+
 use crate::messages::Message;
 use crate::node::{Component, Emit, NodeState};
 
@@ -26,6 +29,7 @@ pub struct PanicInjector {
     seen: u64,
     fired: Arc<AtomicBool>,
     name: String,
+    probe: Probe,
 }
 
 impl PanicInjector {
@@ -38,6 +42,7 @@ impl PanicInjector {
             seen: 0,
             fired: Arc::new(AtomicBool::new(false)),
             name,
+            probe: Probe::off(),
         }
     }
 
@@ -56,6 +61,9 @@ impl Component for PanicInjector {
         let k = self.seen;
         self.seen += 1;
         if k == self.panic_at && !self.fired.swap(true, Ordering::SeqCst) {
+            self.probe.flight(FlightKind::Fault, None, || {
+                format!("injected panic at message {k}")
+            });
             panic!("injected fault at message {k}");
         }
         self.inner.on_message(msg, out);
@@ -75,6 +83,11 @@ impl Component for PanicInjector {
 
     fn messages_dropped(&self) -> u64 {
         self.inner.messages_dropped()
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe.clone();
+        self.inner.attach_telemetry(probe);
     }
 }
 
@@ -124,6 +137,10 @@ impl Component for WedgeInjector {
 
     fn messages_dropped(&self) -> u64 {
         self.inner.messages_dropped()
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.inner.attach_telemetry(probe);
     }
 }
 

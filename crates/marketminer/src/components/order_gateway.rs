@@ -24,6 +24,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use telemetry::Probe;
+
 use crate::messages::{Basket, Message, OrderRequest};
 use crate::node::{Component, Emit, NodeState};
 
@@ -46,6 +48,7 @@ pub struct OrderGatewayNode {
     mode: Mode,
     baskets_emitted: u64,
     name: String,
+    probe: Probe,
 }
 
 /// Canonical intra-basket order: `(param_set, pair, stock, side, shares,
@@ -76,6 +79,7 @@ impl OrderGatewayNode {
             },
             baskets_emitted: 0,
             name: "order-gateway".to_string(),
+            probe: Probe::off(),
         }
     }
 
@@ -104,6 +108,8 @@ impl OrderGatewayNode {
             if let Some(interval) = current_interval.take() {
                 if !pending.is_empty() {
                     self.baskets_emitted += 1;
+                    self.probe.count("baskets.emitted", 1);
+                    self.probe.observe("basket.orders", pending.len() as u64);
                     out(Message::Basket(Arc::new(Basket {
                         interval,
                         orders: std::mem::take(pending),
@@ -165,6 +171,8 @@ impl Component for OrderGatewayNode {
                 for (interval, mut orders) in std::mem::take(buckets) {
                     orders.sort_by_key(canonical_key);
                     self.baskets_emitted += 1;
+                    self.probe.count("baskets.emitted", 1);
+                    self.probe.observe("basket.orders", orders.len() as u64);
                     out(Message::Basket(Arc::new(Basket { interval, orders })));
                 }
             }
@@ -177,6 +185,10 @@ impl Component for OrderGatewayNode {
 
     fn restore(&mut self, state: NodeState) -> bool {
         crate::node::restore_into(self, state)
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

@@ -27,6 +27,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use telemetry::Probe;
+
 use crate::messages::{Message, OrderRequest, OrderSide};
 use crate::node::{Component, Emit, NodeState};
 
@@ -125,6 +127,7 @@ pub struct RiskManagerNode {
     forwarded_health: HashSet<(usize, usize)>,
     stats: RiskStats,
     name: String,
+    probe: Probe,
 }
 
 impl RiskManagerNode {
@@ -137,6 +140,7 @@ impl RiskManagerNode {
             forwarded_health: HashSet::new(),
             stats: RiskStats::default(),
             name: "risk-manager".to_string(),
+            probe: Probe::off(),
         }
     }
 
@@ -174,6 +178,7 @@ impl Component for RiskManagerNode {
         };
         if !self.order_within_size(&order) {
             self.stats.rejected_size += 1;
+            self.probe.count("orders.rejected_size", 1);
             return;
         }
         let pair = order.pair;
@@ -187,6 +192,7 @@ impl Component for RiskManagerNode {
                 || self.health.degraded_at(pair.1, order.interval)
             {
                 self.stats.rejected_degraded += 1;
+                self.probe.count("orders.rejected_degraded", 1);
                 return;
             }
             // Entry legs: Buy opens the long, Sell opens the short. Both
@@ -196,11 +202,13 @@ impl Component for RiskManagerNode {
                 && matches!(order.side, OrderSide::Buy | OrderSide::Sell)
             {
                 self.stats.rejected_book_full += 1;
+                self.probe.count("orders.rejected_book_full", 1);
                 return;
             }
             book.insert(pair);
         }
         self.stats.passed += 1;
+        self.probe.count("orders.passed", 1);
         out(Message::Order(order));
     }
 
@@ -216,6 +224,10 @@ impl Component for RiskManagerNode {
 
     fn restore(&mut self, state: NodeState) -> bool {
         crate::node::restore_into(self, state)
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

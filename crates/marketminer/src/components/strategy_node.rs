@@ -16,6 +16,7 @@ use pairtrade_core::position::PairPosition;
 use pairtrade_core::strategy::{IntervalInput, PairStrategy};
 use pairtrade_core::trade::{ExitReason, Trade};
 use stats::matrix::SymMatrix;
+use telemetry::Probe;
 
 use crate::messages::{CorrSnapshot, Message, OrderRequest, OrderSide, TradeReport};
 use crate::node::{Component, Emit, NodeState};
@@ -63,6 +64,7 @@ pub struct StrategyHostNode {
     dropped: u64,
     needs_confirmation: bool,
     name: String,
+    probe: Probe,
 }
 
 impl StrategyHostNode {
@@ -92,6 +94,7 @@ impl StrategyHostNode {
             dropped: 0,
             needs_confirmation,
             name: format!("pair-strategy-host({})", params.label()),
+            probe: Probe::off(),
         }
     }
 
@@ -207,6 +210,8 @@ impl Component for StrategyHostNode {
             Message::Corr(snap) => {
                 if Some(snap.interval) > self.bars_through {
                     self.pending_corr.push_back(snap);
+                    self.probe
+                        .gauge_max("pending_corr.peak", self.pending_corr.len() as u64);
                 } else {
                     self.process_corr(&snap, out);
                 }
@@ -227,14 +232,17 @@ impl Component for StrategyHostNode {
         self.apply_health_through(usize::MAX, out);
         let mut all_trades: Vec<Trade> = Vec::new();
         let mut closing_orders: Vec<OrderRequest> = Vec::new();
+        let mut eod_closed = 0u64;
         for (rank, strategy) in std::mem::take(&mut self.strategies).into_iter().enumerate() {
             let seen = self.trades_seen[rank];
             let trades = strategy.finish_day();
             for t in &trades[seen.min(trades.len())..] {
                 closing_orders.extend(self.orders_for_close(t));
+                eod_closed += 1;
             }
             all_trades.extend(trades);
         }
+        self.probe.count("positions.eod_closed", eod_closed);
         for order in closing_orders {
             out(Message::Order(Arc::new(order)));
         }
@@ -254,6 +262,10 @@ impl Component for StrategyHostNode {
 
     fn messages_dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 
@@ -288,6 +300,7 @@ impl StrategyHostNode {
                 self.was_open[rank] = false;
             }
         }
+        self.probe.count("positions.flattened", closed.len() as u64);
         for trade in closed {
             for order in self.orders_for_close(&trade) {
                 out(Message::Order(Arc::new(order)));
@@ -373,6 +386,8 @@ impl StrategyHostNode {
             }
             self.was_open[rank] = now_open;
         }
+        self.probe.count("positions.opened", opened.len() as u64);
+        self.probe.count("positions.closed", closed.len() as u64);
         for position in opened {
             let pair = if position.long.stock > position.short.stock {
                 (position.long.stock, position.short.stock)

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use stats::online::Ewma;
+use telemetry::Probe;
 
 use crate::messages::{Message, ReturnSet};
 use crate::node::{Component, Emit, NodeState};
@@ -23,6 +24,7 @@ pub struct TechnicalAnalysisNode {
     /// Messages neither consumed nor forwarded.
     dropped: u64,
     name: String,
+    probe: Probe,
 }
 
 impl TechnicalAnalysisNode {
@@ -34,6 +36,7 @@ impl TechnicalAnalysisNode {
             var_ewma: (0..n_stocks).map(|_| Ewma::with_span(vol_span)).collect(),
             dropped: 0,
             name: "technical-analysis".to_string(),
+            probe: Probe::off(),
         }
     }
 
@@ -77,6 +80,7 @@ impl Component for TechnicalAnalysisNode {
             for (k, &r) in returns.iter().enumerate() {
                 self.var_ewma[k].push(r * r);
             }
+            self.probe.count("returns.emitted", 1);
             out(Message::Returns(Arc::new(ReturnSet {
                 interval: bars.interval,
                 returns,
@@ -95,6 +99,10 @@ impl Component for TechnicalAnalysisNode {
 
     fn messages_dropped(&self) -> u64 {
         self.dropped
+    }
+
+    fn attach_telemetry(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 }
 

@@ -63,3 +63,4 @@ pub use runtime::{NodeOutcome, NodeStats, RunOutput, Runtime, RuntimeConfig};
 pub use supervisor::{
     FailureMode, NodeFailure, RestartPolicy, StallEvent, SupervisionConfig, WatchdogConfig,
 };
+pub use telemetry::{Probe, TelemetryLevel, TelemetryReport};

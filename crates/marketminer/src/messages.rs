@@ -176,6 +176,23 @@ pub enum Message {
 }
 
 impl Message {
+    /// The simulated-time coordinate the message carries, when it has
+    /// one: the trading interval the payload belongs to. Quotes, trade
+    /// reports and Eofs have no single interval. Telemetry uses this as
+    /// the second axis on spans, so a wall-clock latency spike can be
+    /// attributed to a point in the trading day.
+    pub fn interval(&self) -> Option<u64> {
+        match self {
+            Message::Bars(b) => Some(b.interval as u64),
+            Message::Returns(r) => Some(r.interval as u64),
+            Message::Corr(c) => Some(c.interval as u64),
+            Message::Order(o) => Some(o.interval as u64),
+            Message::Basket(b) => Some(b.interval as u64),
+            Message::Health(h) => Some(h.interval as u64),
+            Message::Quote(_) | Message::Trades(_) | Message::Eof => None,
+        }
+    }
+
     /// Short tag for debugging and sink filtering.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -1,5 +1,7 @@
 //! Component traits: what a box in the Figure-1 diagram is.
 
+use telemetry::Probe;
+
 use crate::messages::Message;
 
 /// Output callback handed to components; each emitted message is fanned
@@ -23,6 +25,13 @@ impl NodeState {
     /// Recover the concrete state, if the type matches.
     pub fn downcast<T: 'static>(self) -> Option<Box<T>> {
         self.0.downcast().ok()
+    }
+
+    /// Shallow size of the checkpointed value in bytes (the struct
+    /// itself, not heap payloads behind it) — a cheap lower bound the
+    /// runtime reports as the checkpoint size.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(&*self.0)
     }
 }
 
@@ -82,6 +91,15 @@ pub trait Component: Send {
     fn messages_dropped(&self) -> u64 {
         0
     }
+
+    /// Hand the component its telemetry probe. The runtime calls this
+    /// once per run, before the first message; the default drops the
+    /// probe, so uninstrumented components cost nothing. A component
+    /// that keeps the probe must store it in a field that survives
+    /// snapshot/restore (a `Probe` clone shares its shard, so the
+    /// conventional whole-struct-`Clone` checkpoint does the right
+    /// thing).
+    fn attach_telemetry(&mut self, _probe: Probe) {}
 }
 
 /// A source node: drives the DAG by emitting messages until done.
@@ -92,6 +110,10 @@ pub trait Source: Send {
     /// Produce the entire stream. Returning ends the stream and begins the
     /// downstream shutdown cascade.
     fn run(&mut self, out: &mut Emit<'_>);
+
+    /// Hand the source its telemetry probe (see
+    /// [`Component::attach_telemetry`]).
+    fn attach_telemetry(&mut self, _probe: Probe) {}
 }
 
 /// A trivial pass-through component, useful in tests and as a junction.

@@ -25,6 +25,7 @@ use crate::messages::{Basket, HealthEvent, Message};
 use crate::node::Source;
 use crate::runtime::Runtime;
 use crate::supervisor::{NodeFailure, StallEvent};
+use telemetry::TelemetryReport;
 
 /// Configuration of the Figure-1 pipeline run.
 #[derive(Debug, Clone)]
@@ -89,6 +90,8 @@ pub struct Fig1Output {
     pub failures: Vec<NodeFailure>,
     /// Nodes the watchdog severed as wedged.
     pub stalls: Vec<StallEvent>,
+    /// The run's telemetry report (`None` at `TelemetryLevel::Off`).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl Fig1Output {
@@ -163,6 +166,7 @@ pub fn run_fig1_pipeline_with(
         node_stats: out.node_stats,
         failures: out.failures,
         stalls: out.stalls,
+        telemetry: out.telemetry,
     })
 }
 
@@ -267,6 +271,8 @@ pub struct SweepOutput {
     pub failures: Vec<NodeFailure>,
     /// Nodes the watchdog severed as wedged.
     pub stalls: Vec<StallEvent>,
+    /// The run's telemetry report (`None` at `TelemetryLevel::Off`).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Build and run the shared-stream sweep DAG over one day of quotes.
@@ -372,6 +378,7 @@ pub fn run_sweep_pipeline_with(
         node_stats: out.node_stats,
         failures: out.failures,
         stalls: out.stalls,
+        telemetry: out.telemetry,
     })
 }
 

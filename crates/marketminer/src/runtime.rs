@@ -65,9 +65,15 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+use telemetry::metrics::AtomicHistogram;
+use telemetry::recorder::FlightKind;
+use telemetry::trace::{Arg, TrackId};
+use telemetry::{Probe, Telemetry, TelemetryLevel, TelemetryReport};
 
 use crate::graph::{Graph, GraphError, NodeId, NodeKind};
 use crate::messages::Message;
@@ -95,6 +101,12 @@ pub struct RuntimeConfig {
     pub workers: usize,
     /// Per-inbox soft capacity bound.
     pub capacity: usize,
+    /// How much the run measures. `Off` (the default when the
+    /// `MARKETMINER_TELEMETRY` environment variable is unset) keeps every
+    /// instrumentation site down to one predictable branch; `Counters`
+    /// adds lock-free counters and the flight recorder; `Full` adds
+    /// step-latency timing, spans and Chrome-trace capture.
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for RuntimeConfig {
@@ -102,12 +114,15 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             workers: default_workers(),
             capacity: DEFAULT_CHANNEL_CAPACITY,
+            telemetry: TelemetryLevel::from_env(),
         }
     }
 }
 
 impl RuntimeConfig {
-    fn resolved_workers(&self) -> usize {
+    /// The concrete pool size a run will use (resolves `workers == 0` to
+    /// `available_parallelism`).
+    pub fn resolved_workers(&self) -> usize {
         if self.workers == 0 {
             available_workers()
         } else {
@@ -140,6 +155,9 @@ fn default_workers() -> usize {
 pub struct Runtime {
     config: RuntimeConfig,
     supervision: SupervisionConfig,
+    /// Where a `Full` run writes its Chrome trace (falls back to the
+    /// `MARKETMINER_TRACE` environment variable when unset).
+    trace_path: Option<PathBuf>,
 }
 
 /// How a node's run ended.
@@ -185,6 +203,9 @@ pub struct RunOutput {
     pub failures: Vec<NodeFailure>,
     /// Nodes the watchdog severed, in `(node, at)` order.
     pub stalls: Vec<StallEvent>,
+    /// The run's merged telemetry report (`None` when the level was
+    /// [`TelemetryLevel::Off`]).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunOutput {
@@ -213,6 +234,32 @@ impl RunOutput {
                 "{:<40} {:>9} {:>10} {:>10} {:>8} {:?}\n",
                 s.name, s.messages_in, s.messages_out, s.messages_dropped, s.restarts, s.outcome
             ));
+        }
+        out
+    }
+
+    /// The full end-of-run report as one `String`: the throughput table,
+    /// the supervision ledgers, and — when telemetry was enabled — the
+    /// merged telemetry report (counters, histograms, flight recorder,
+    /// trace summary). Deterministic in structure: every listing is in
+    /// canonical order regardless of worker interleaving.
+    pub fn summary(&self) -> String {
+        let mut out = self.render_node_stats();
+        for f in &self.failures {
+            out.push_str(&format!(
+                "failure: {} (node {}) at sim {}: {}\n",
+                f.name, f.node, f.at, f.error
+            ));
+        }
+        for s in &self.stalls {
+            out.push_str(&format!(
+                "stall: {} (node {}) severed at sim {}\n",
+                s.name, s.node, s.at
+            ));
+        }
+        if let Some(report) = &self.telemetry {
+            out.push('\n');
+            out.push_str(&report.render());
         }
         out
     }
@@ -311,6 +358,116 @@ struct WorkerSlot {
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Pre-sized lock-free telemetry state the scheduler hot paths write
+/// into, folded into the registry once at the end of the run. Present
+/// only when the level is at least `Counters`, so the `Off` cost at every
+/// site is one `Option` branch on a field that never changes mid-run.
+struct RunTelemetry {
+    tel: Arc<Telemetry>,
+    /// Timing/span/trace capture is on (level `Full`).
+    full: bool,
+    /// Per-node `on_message`/`on_end` latency in nanoseconds (`Full`
+    /// only: it costs two clock reads per message).
+    step_latency: Vec<AtomicHistogram>,
+    /// Per-node inbox depth observed at each dequeue (depth includes the
+    /// popped message).
+    inbox_depth: Vec<AtomicHistogram>,
+    /// Per-node events consumed per scheduling turn (batch utilisation).
+    batch_events: Vec<AtomicHistogram>,
+    /// Run-queue depth left behind by every worker pop.
+    queue_depth: AtomicHistogram,
+    /// Per-edge count of scheduling attempts denied because that edge's
+    /// consumer inbox was full — the backpressure-park ledger. A producer
+    /// that stays parked is re-counted on every attempt, so the number
+    /// measures pressure, not unique parks.
+    edge_parks: Vec<AtomicU64>,
+    /// Turns that ended with the node still runnable (batch exhausted and
+    /// straight back to the queue).
+    requeues: AtomicU64,
+    /// Total worker pops (scheduling turns) across the pool.
+    turns: AtomicU64,
+    /// Edge list `(from, to)` aligned with `edge_parks`.
+    edges: Vec<(usize, usize)>,
+    /// `succ_edge_ids[u][k]` = edge id of `(u, succs[u][k])`.
+    succ_edge_ids: Vec<Vec<usize>>,
+    /// Cold-path probes, one per node: checkpoint/replay metrics and
+    /// flight events.
+    probes: Vec<Probe>,
+}
+
+impl RunTelemetry {
+    fn new(tel: Arc<Telemetry>, names: &[String], edges: &[(usize, usize)]) -> RunTelemetry {
+        let n = names.len();
+        let mut succ_edge_ids: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (e_id, &(from, _)) in edges.iter().enumerate() {
+            succ_edge_ids[from].push(e_id);
+        }
+        let full = tel.is_full();
+        if full {
+            // Name every node track up front so the trace enumerates the
+            // whole graph even if a node never gets a slice.
+            for (idx, name) in names.iter().enumerate() {
+                tel.tracer.name_track(TrackId::node(idx), name.clone());
+            }
+        }
+        let probes = names
+            .iter()
+            .enumerate()
+            .map(|(idx, name)| tel.probe(name.clone(), TrackId::node(idx)))
+            .collect();
+        RunTelemetry {
+            full,
+            step_latency: (0..n).map(|_| AtomicHistogram::default()).collect(),
+            inbox_depth: (0..n).map(|_| AtomicHistogram::default()).collect(),
+            batch_events: (0..n).map(|_| AtomicHistogram::default()).collect(),
+            queue_depth: AtomicHistogram::default(),
+            edge_parks: (0..edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            requeues: AtomicU64::new(0),
+            turns: AtomicU64::new(0),
+            edges: edges.to_vec(),
+            succ_edge_ids,
+            probes,
+            tel,
+        }
+    }
+
+    /// Fold every hot-path array into the sharded registry (end of run,
+    /// single-threaded): per-node histograms under the node's label,
+    /// scheduler-wide series under `scheduler`, per-edge park counts as
+    /// `parks[from -> to]` counters.
+    fn fold(&self, names: &[String]) {
+        for (idx, name) in names.iter().enumerate() {
+            let b = self.tel.registry.bucket(name.clone());
+            b.merge_histogram("inbox.depth", &self.inbox_depth[idx].snapshot());
+            b.merge_histogram("batch.events", &self.batch_events[idx].snapshot());
+            b.merge_histogram("step.ns", &self.step_latency[idx].snapshot());
+        }
+        let s = self.tel.registry.bucket("scheduler");
+        s.merge_histogram("run_queue.depth", &self.queue_depth.snapshot());
+        s.count("turns", self.turns.load(Ordering::Relaxed));
+        s.count("requeues", self.requeues.load(Ordering::Relaxed));
+        for (e_id, &(from, to)) in self.edges.iter().enumerate() {
+            s.count(
+                format!("parks[{} -> {}]", names[from], names[to]),
+                self.edge_parks[e_id].load(Ordering::Relaxed),
+            );
+        }
+    }
+}
+
+/// Per-turn accounting a node hands back to [`run_node`], which turns it
+/// into the batch-utilisation histogram and (at `Full`) the node-track
+/// trace slice.
+#[derive(Default)]
+struct TurnStats {
+    /// Messages consumed this turn.
+    events: u64,
+    /// Simulated-time coordinate of the first message (its interval).
+    first_sim: Option<u64>,
+    /// The end-of-stream flush ran this turn.
+    ended: bool,
+}
+
 /// Everything a run shares between workers, sources, the watchdog and
 /// the main thread.
 struct Exec {
@@ -341,6 +498,8 @@ struct Exec {
     stats: Mutex<Vec<Option<NodeStats>>>,
     start: Instant,
     workers: Mutex<Vec<WorkerSlot>>,
+    /// `Some` when the telemetry level is at least `Counters`.
+    rt: Option<RunTelemetry>,
 }
 
 impl Exec {
@@ -378,14 +537,26 @@ impl Exec {
     /// could make a node runnable funnels through here, under the state
     /// lock, so there are no lost wakeups.
     fn try_schedule(&self, st: &mut SchedState, idx: usize) {
-        if self.schedulable[idx]
-            && st.status[idx] == Status::Idle
-            && self.has_input(st, idx)
-            && self.outputs_clear(st, idx)
-        {
-            st.status[idx] = Status::Queued;
-            st.run_queue.push_back(idx);
-            self.work_cv.notify_one();
+        if self.schedulable[idx] && st.status[idx] == Status::Idle && self.has_input(st, idx) {
+            if self.outputs_clear(st, idx) {
+                st.status[idx] = Status::Queued;
+                st.run_queue.push_back(idx);
+                self.work_cv.notify_one();
+            } else {
+                self.note_parks(st, idx);
+            }
+        }
+    }
+
+    /// Telemetry: the node had input but a full downstream inbox denied
+    /// the schedule — bump the park counter of every full edge.
+    fn note_parks(&self, st: &SchedState, idx: usize) {
+        if let Some(rt) = &self.rt {
+            for (k, &t) in self.succs[idx].iter().enumerate() {
+                if st.status[t] != Status::Done && st.inbox[t].len() >= self.capacity {
+                    rt.edge_parks[rt.succ_edge_ids[idx][k]].fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -537,6 +708,10 @@ fn deliver(
 /// (no checkpoint, restore refused, or the replay itself panicked) and
 /// the node must fail.
 fn restore_and_replay(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
+    let t0 = match &exec.rt {
+        Some(rt) if rt.full => Some(Instant::now()),
+        _ => None,
+    };
     let Some(state) = body.checkpoint.take() else {
         return false;
     };
@@ -546,10 +721,21 @@ fn restore_and_replay(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
     // restore() consumed the checkpoint; immediately re-snapshot the same
     // state so a later panic can recover again.
     body.checkpoint = body.component.snapshot();
+    let replayed = body.log.len() as u64;
     for k in 0..body.log.len() {
         let (msg, emissions) = body.log[k].clone();
         if deliver(&mut *body.component, Event::Msg(msg), emissions, exec, idx).is_err() {
             return false;
+        }
+    }
+    if let Some(rt) = &exec.rt {
+        let probe = &rt.probes[idx];
+        probe.count("replayed.msgs", replayed);
+        probe.flight(FlightKind::Replay, Some(body.processed), || {
+            format!("restored checkpoint, replayed {replayed} logged messages")
+        });
+        if let Some(t) = t0 {
+            probe.observe("restore.us", t.elapsed().as_micros() as u64);
         }
     }
     true
@@ -655,7 +841,7 @@ fn finish_component(exec: &Exec, idx: usize, body: &mut CompBody, outcome: NodeO
 /// gated on downstream capacity, under full supervision. Returns true if
 /// the node was severed mid-step (the worker must abandon it without an
 /// epilogue).
-fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
+fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody, turn: &mut TurnStats) -> bool {
     let h = &exec.health[idx];
     for _ in 0..BATCH {
         let event = {
@@ -666,6 +852,9 @@ fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
             if !exec.outputs_clear(&st, idx) {
                 None
             } else if let Some(m) = st.inbox[idx].pop_front() {
+                if let Some(rt) = &exec.rt {
+                    rt.inbox_depth[idx].observe(st.inbox[idx].len() as u64 + 1);
+                }
                 if st.inbox[idx].len() + 1 == exec.capacity {
                     exec.wake_producers(&mut st, idx);
                 }
@@ -684,8 +873,26 @@ fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
             body.processed += 1;
             h.received.fetch_add(1, Ordering::Relaxed);
         }
+        if exec.rt.is_some() {
+            match &event {
+                Event::Msg(m) => {
+                    turn.events += 1;
+                    if turn.first_sim.is_none() {
+                        turn.first_sim = m.interval();
+                    }
+                }
+                Event::End => turn.ended = true,
+            }
+        }
         h.busy_since_ms.store(exec.now_ms(), Ordering::Relaxed);
+        let step_t = match &exec.rt {
+            Some(rt) if rt.full => Some(Instant::now()),
+            _ => None,
+        };
         let outcome = deliver_supervised(exec, idx, body, event);
+        if let (Some(t), Some(rt)) = (step_t, &exec.rt) {
+            rt.step_latency[idx].observe(t.elapsed().as_nanos() as u64);
+        }
         h.busy_since_ms.store(0, Ordering::Relaxed);
         if h.severed() {
             // The watchdog already injected our Eofs and retired us;
@@ -699,7 +906,24 @@ fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
                     return false;
                 }
                 if body.restartable && body.processed.is_multiple_of(exec.snapshot_every) {
+                    let cp_t = match &exec.rt {
+                        Some(rt) if rt.full => Some(Instant::now()),
+                        _ => None,
+                    };
                     if let Some(state) = body.component.snapshot() {
+                        if let Some(rt) = &exec.rt {
+                            let probe = &rt.probes[idx];
+                            let bytes = state.approx_bytes() as u64;
+                            let logged = body.log.len();
+                            probe.count("checkpoints", 1);
+                            probe.observe("checkpoint.bytes", bytes);
+                            if let Some(t) = cp_t {
+                                probe.observe("checkpoint.us", t.elapsed().as_micros() as u64);
+                            }
+                            probe.flight(FlightKind::Checkpoint, Some(body.processed), || {
+                                format!("~{bytes} B snapshot, {logged} log entries cleared")
+                            });
+                        }
                         body.checkpoint = Some(state);
                         body.log.clear();
                     }
@@ -728,7 +952,13 @@ fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
             st.status[idx] = Status::Queued;
             st.run_queue.push_back(idx);
             exec.work_cv.notify_one();
+            if let Some(rt) = &exec.rt {
+                rt.requeues.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
+            if exec.has_input(&st, idx) {
+                exec.note_parks(&st, idx);
+            }
             st.status[idx] = Status::Idle;
         }
     }
@@ -737,7 +967,7 @@ fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody) -> bool {
 
 /// One scheduling turn of a sink node: drain the inbox into the result
 /// buffer; on end-of-stream, publish results and stats and retire.
-fn run_sink_node(exec: &Exec, idx: usize, msgs: &mut Vec<Message>) {
+fn run_sink_node(exec: &Exec, idx: usize, msgs: &mut Vec<Message>, turn: &mut TurnStats) {
     for _ in 0..BATCH {
         let event = {
             let mut st = exec.state.lock().expect("scheduler state");
@@ -745,12 +975,16 @@ fn run_sink_node(exec: &Exec, idx: usize, msgs: &mut Vec<Message>) {
                 return;
             }
             if let Some(m) = st.inbox[idx].pop_front() {
+                if let Some(rt) = &exec.rt {
+                    rt.inbox_depth[idx].observe(st.inbox[idx].len() as u64 + 1);
+                }
                 if st.inbox[idx].len() + 1 == exec.capacity {
                     exec.wake_producers(&mut st, idx);
                 }
                 Some(m)
             } else if st.eofs_seen[idx] >= exec.in_degree[idx] {
                 let count = msgs.len() as u64;
+                turn.ended = true;
                 drop(st);
                 exec.results
                     .lock()
@@ -775,7 +1009,15 @@ fn run_sink_node(exec: &Exec, idx: usize, msgs: &mut Vec<Message>) {
             }
         };
         match event {
-            Some(m) => msgs.push(m),
+            Some(m) => {
+                if exec.rt.is_some() {
+                    turn.events += 1;
+                    if turn.first_sim.is_none() {
+                        turn.first_sim = m.interval();
+                    }
+                }
+                msgs.push(m);
+            }
             None => break,
         }
     }
@@ -793,60 +1035,127 @@ fn run_sink_node(exec: &Exec, idx: usize, msgs: &mut Vec<Message>) {
 
 fn run_node(exec: &Exec, idx: usize) -> bool {
     let mut body = exec.bodies[idx].lock().expect("node body");
-    match &mut *body {
-        NodeBody::Component(cb) => run_component_node(exec, idx, cb),
+    let mut turn = TurnStats::default();
+    let t0 = match &exec.rt {
+        Some(rt) if rt.full => Some(rt.tel.now_us()),
+        _ => None,
+    };
+    let severed = match &mut *body {
+        NodeBody::Component(cb) => run_component_node(exec, idx, cb, &mut turn),
         NodeBody::Sink { msgs } => {
-            run_sink_node(exec, idx, msgs);
+            run_sink_node(exec, idx, msgs, &mut turn);
             false
         }
         NodeBody::Source => false, // sources are never pool-scheduled
+    };
+    if let Some(rt) = &exec.rt {
+        if turn.events > 0 || turn.ended {
+            rt.batch_events[idx].observe(turn.events);
+            if let Some(t0) = t0 {
+                let dur = rt.tel.now_us().saturating_sub(t0);
+                let mut args = vec![("events", Arg::U(turn.events))];
+                if let Some(sim) = turn.first_sim {
+                    args.push(("sim", Arg::U(sim)));
+                }
+                rt.tel
+                    .tracer
+                    .complete(TrackId::node(idx), "turn", t0, dur, args);
+            }
+        }
     }
+    severed
 }
 
-fn worker_loop(exec: Arc<Exec>, current: Arc<AtomicUsize>, abandoned: Arc<AtomicBool>) {
-    loop {
+fn worker_loop(exec: Arc<Exec>, wid: usize, current: Arc<AtomicUsize>, abandoned: Arc<AtomicBool>) {
+    // Worker-occupancy accounting: turns and (at Full) busy wall-clock,
+    // flushed into this worker's shard when the loop exits so the hot
+    // path never touches the registry.
+    let probe = exec.rt.as_ref().map(|rt| {
+        if rt.full {
+            rt.tel
+                .tracer
+                .name_track(TrackId::worker(wid), format!("worker-{wid}"));
+        }
+        rt.tel.probe(format!("worker-{wid}"), TrackId::worker(wid))
+    });
+    let mut turns = 0u64;
+    let mut busy_us = 0u64;
+    'pool: loop {
         // A replacement was spawned for us after a presumed wedge we in
         // fact survived; bow out so the pool keeps its size.
         if abandoned.load(Ordering::Acquire) {
-            return;
+            break 'pool;
         }
         let idx = {
             let mut st = exec.state.lock().expect("scheduler state");
             loop {
                 if let Some(i) = st.run_queue.pop_front() {
                     st.status[i] = Status::Running;
+                    if let Some(rt) = &exec.rt {
+                        rt.queue_depth.observe(st.run_queue.len() as u64);
+                        rt.turns.fetch_add(1, Ordering::Relaxed);
+                    }
                     break i;
                 }
                 if st.shutdown {
-                    return;
+                    break 'pool;
                 }
                 st = exec.work_cv.wait(st).expect("work condvar");
             }
         };
+        turns += 1;
         current.store(idx, Ordering::Release);
+        let t0 = match &exec.rt {
+            Some(rt) if rt.full => Some(rt.tel.now_us()),
+            _ => None,
+        };
         let _severed = run_node(&exec, idx);
+        if let (Some(t0), Some(rt)) = (t0, &exec.rt) {
+            let dur = rt.tel.now_us().saturating_sub(t0);
+            busy_us += dur;
+            // Occupancy slice on the worker's own track, labelled with
+            // the node it ran.
+            rt.tel.tracer.complete(
+                TrackId::worker(wid),
+                exec.names[idx].clone(),
+                t0,
+                dur,
+                vec![],
+            );
+        }
         current.store(usize::MAX, Ordering::Release);
+    }
+    if let Some(p) = &probe {
+        p.count("turns", turns);
+        if p.is_full() {
+            p.count("busy.us", busy_us);
+        }
     }
 }
 
 fn spawn_worker(exec: &Arc<Exec>) {
     let current = Arc::new(AtomicUsize::new(usize::MAX));
     let abandoned = Arc::new(AtomicBool::new(false));
+    let mut ws = exec.workers.lock().expect("worker registry");
+    // Slot index doubles as the worker id (watchdog replacements get
+    // fresh ids, so every trace track maps to one OS thread).
+    let wid = ws.len();
     let e = Arc::clone(exec);
     let (c, a) = (Arc::clone(&current), Arc::clone(&abandoned));
-    let handle = std::thread::spawn(move || worker_loop(e, c, a));
-    exec.workers
-        .lock()
-        .expect("worker registry")
-        .push(WorkerSlot {
-            current,
-            abandoned,
-            handle: Some(handle),
-        });
+    let handle = std::thread::spawn(move || worker_loop(e, wid, c, a));
+    ws.push(WorkerSlot {
+        current,
+        abandoned,
+        handle: Some(handle),
+    });
 }
 
 fn run_source(exec: Arc<Exec>, idx: usize, mut source: Box<dyn Source>) {
     let h = &exec.health[idx];
+    let t0 = match &exec.rt {
+        Some(rt) if rt.full => Some(rt.tel.now_us()),
+        _ => None,
+    };
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut emit = |msg: Message| {
             exec.blocking_fan_out(idx, msg);
@@ -882,6 +1191,22 @@ fn run_source(exec: Arc<Exec>, idx: usize, mut source: Box<dyn Source>) {
             },
         },
     );
+    if let Some(rt) = &exec.rt {
+        let emitted = h.sent.load(Ordering::Relaxed);
+        rt.probes[idx].count("emitted", emitted);
+        if let Some(t0) = t0 {
+            // One slice covering the source's whole stream on its node
+            // track (sources run to completion on a dedicated thread).
+            let dur = rt.tel.now_us().saturating_sub(t0);
+            rt.tel.tracer.complete(
+                TrackId::node(idx),
+                "run",
+                t0,
+                dur,
+                vec![("events", Arg::U(emitted))],
+            );
+        }
+    }
     let mut st = exec.state.lock().expect("scheduler state");
     for k in 0..exec.succs[idx].len() {
         let t = exec.succs[idx][k];
@@ -970,7 +1295,7 @@ impl Runtime {
                 capacity,
                 ..RuntimeConfig::default()
             },
-            supervision: SupervisionConfig::default(),
+            ..Runtime::default()
         }
     }
 
@@ -981,16 +1306,16 @@ impl Runtime {
                 workers,
                 ..RuntimeConfig::default()
             },
-            supervision: SupervisionConfig::default(),
+            ..Runtime::default()
         }
     }
 
-    /// Full control over pool size and capacity.
+    /// Full control over pool size, capacity and telemetry level.
     pub fn with_config(config: RuntimeConfig) -> Self {
         assert!(config.capacity > 0, "channel capacity must be positive");
         Runtime {
             config,
-            supervision: SupervisionConfig::default(),
+            ..Runtime::default()
         }
     }
 
@@ -1001,31 +1326,58 @@ impl Runtime {
         self
     }
 
+    /// Set the telemetry level, overriding the `MARKETMINER_TELEMETRY`
+    /// environment default.
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.config.telemetry = level;
+        self
+    }
+
+    /// Write the Chrome trace of a `Full` run to `path` (overrides the
+    /// `MARKETMINER_TRACE` environment variable). The file is
+    /// Perfetto-loadable: one track per worker, one per node.
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
     /// Validate and execute the graph to completion on the worker pool.
     pub fn run(&self, graph: Graph) -> Result<RunOutput, GraphError> {
         graph.validate()?;
         let n = graph.nodes.len();
         let names: Vec<String> = graph.nodes.iter().map(|e| e.name.clone()).collect();
+        let edges: Vec<(usize, usize)> = graph.edges.clone();
         let mut in_degree = vec![0usize; n];
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for &(from, to) in &graph.edges {
+        for &(from, to) in &edges {
             in_degree[to] += 1;
             succs[from].push(to);
             preds[to].push(from);
         }
+
+        let level = self.config.telemetry;
+        let rt = level
+            .enabled()
+            .then(|| RunTelemetry::new(Telemetry::new(level), &names, &edges));
 
         let mut schedulable = vec![true; n];
         let mut bodies: Vec<Mutex<NodeBody>> = Vec::with_capacity(n);
         let mut sources: Vec<(usize, Box<dyn Source>)> = Vec::new();
         for (idx, entry) in graph.nodes.into_iter().enumerate() {
             match entry.kind {
-                NodeKind::Source(s) => {
+                NodeKind::Source(mut s) => {
+                    if let Some(rt) = &rt {
+                        s.attach_telemetry(rt.probes[idx].clone());
+                    }
                     schedulable[idx] = false;
                     sources.push((idx, s));
                     bodies.push(Mutex::new(NodeBody::Source));
                 }
-                NodeKind::Component(c) => {
+                NodeKind::Component(mut c) => {
+                    if let Some(rt) = &rt {
+                        c.attach_telemetry(rt.probes[idx].clone());
+                    }
                     let restart_allowed =
                         self.supervision.policy_for(idx) != crate::supervisor::RestartPolicy::Never;
                     let checkpoint = if restart_allowed { c.snapshot() } else { None };
@@ -1040,6 +1392,12 @@ impl Runtime {
                 }
                 NodeKind::Sink => bodies.push(Mutex::new(NodeBody::Sink { msgs: Vec::new() })),
             }
+        }
+
+        let mut supervisor =
+            Supervisor::new((0..n).map(|i| self.supervision.policy_for(i)).collect());
+        if let Some(rt) = &rt {
+            supervisor = supervisor.with_telemetry(Arc::clone(&rt.tel), names.clone());
         }
 
         let exec = Arc::new(Exec {
@@ -1063,13 +1421,14 @@ impl Runtime {
             names,
             bodies,
             health: (0..n).map(|_| NodeHealth::new()).collect(),
-            supervisor: Supervisor::new((0..n).map(|i| self.supervision.policy_for(i)).collect()),
+            supervisor,
             run_done: AtomicBool::new(false),
             panic_slot: Mutex::new(None),
             results: Mutex::new(Vec::new()),
             stats: Mutex::new((0..n).map(|_| None).collect()),
             start: Instant::now(),
             workers: Mutex::new(Vec::new()),
+            rt,
         });
 
         let pool = self.config.resolved_workers().max(1);
@@ -1129,6 +1488,26 @@ impl Runtime {
         let (failures, stalls) = exec.supervisor.take_ledgers();
         output.failures = failures;
         output.stalls = stalls;
+
+        output.telemetry = exec.rt.as_ref().map(|rt| {
+            rt.fold(&exec.names);
+            let mut report = rt.tel.finish();
+            if rt.full {
+                let path = self
+                    .trace_path
+                    .clone()
+                    .or_else(|| telemetry::trace_path_from_env().map(PathBuf::from));
+                if let Some(path) = path {
+                    match std::fs::write(&path, rt.tel.tracer.export()) {
+                        Ok(()) => report.trace_path = Some(path.display().to_string()),
+                        Err(e) => {
+                            eprintln!("telemetry: failed to write trace {}: {e}", path.display())
+                        }
+                    }
+                }
+            }
+            report
+        });
 
         if self.supervision.failure_mode == FailureMode::AbortRun {
             let payload = exec.panic_slot.lock().expect("panic slot").take();
@@ -1286,6 +1665,7 @@ mod tests {
         let mut out = Runtime::with_config(RuntimeConfig {
             workers: 1,
             capacity: 4,
+            telemetry: TelemetryLevel::Off,
         })
         .run(g)
         .unwrap();
@@ -1309,6 +1689,7 @@ mod tests {
         let mut out = Runtime::with_config(RuntimeConfig {
             workers: 2,
             capacity: 8,
+            telemetry: TelemetryLevel::Off,
         })
         .run(g)
         .unwrap();

@@ -12,8 +12,11 @@
 //! restart, panics that exhausted their budget, and nodes declared wedged.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+use telemetry::recorder::FlightKind;
+use telemetry::Telemetry;
 
 use crate::graph::NodeId;
 
@@ -197,12 +200,22 @@ struct RestartState {
 
 /// The shared supervisor: answers panics with directives and keeps the
 /// run's failure/stall ledger.
-#[derive(Debug)]
 pub struct Supervisor {
     policies: Vec<RestartPolicy>,
     states: Vec<Mutex<RestartState>>,
     failures: Mutex<Vec<NodeFailure>>,
     stalls: Mutex<Vec<StallEvent>>,
+    /// Flight-recorder hook: every supervision decision (panic, final
+    /// failure, watchdog sever) is also a structured lifecycle event.
+    telemetry: Option<(Arc<Telemetry>, Vec<String>)>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("policies", &self.policies)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Supervisor {
@@ -216,12 +229,39 @@ impl Supervisor {
                 .collect(),
             failures: Mutex::new(Vec::new()),
             stalls: Mutex::new(Vec::new()),
+            telemetry: None,
         }
+    }
+
+    /// Attach the run's telemetry hub and node names so supervision
+    /// decisions land in the flight recorder.
+    pub(crate) fn with_telemetry(mut self, tel: Arc<Telemetry>, names: Vec<String>) -> Self {
+        self.telemetry = Some((tel, names));
+        self
+    }
+
+    fn node_label(&self, node: usize) -> String {
+        self.telemetry
+            .as_ref()
+            .and_then(|(_, names)| names.get(node).cloned())
+            .unwrap_or_else(|| format!("node-{node}"))
     }
 
     /// Decide what a panicked node does next. `processed` is the node's
     /// simulated clock: how many messages it has consumed so far.
     pub fn on_panic(&self, node: usize, processed: u64) -> Directive {
+        let directive = self.decide(node, processed);
+        if let Some((tel, _)) = &self.telemetry {
+            let (kind, verdict) = match directive {
+                Directive::Restart => (FlightKind::Restart, "restart granted"),
+                Directive::Fail => (FlightKind::Panic, "budget exhausted: fail"),
+            };
+            tel.flight(kind, self.node_label(node), Some(processed), verdict);
+        }
+        directive
+    }
+
+    fn decide(&self, node: usize, processed: u64) -> Directive {
         let mut st = self.states[node].lock().expect("supervisor state");
         match self.policies[node] {
             RestartPolicy::Never => Directive::Fail,
@@ -264,11 +304,30 @@ impl Supervisor {
 
     /// Record a node that failed for good.
     pub fn record_failure(&self, failure: NodeFailure) {
+        if let Some((tel, _)) = &self.telemetry {
+            tel.flight(
+                FlightKind::Failure,
+                failure.name.clone(),
+                Some(failure.at),
+                format!(
+                    "failed after {} restarts: {}",
+                    failure.restarts, failure.error
+                ),
+            );
+        }
         self.failures.lock().expect("failure ledger").push(failure);
     }
 
     /// Record a node the watchdog declared wedged.
     pub fn record_stall(&self, stall: StallEvent) {
+        if let Some((tel, _)) = &self.telemetry {
+            tel.flight(
+                FlightKind::Sever,
+                stall.name.clone(),
+                Some(stall.at),
+                "watchdog severed a wedged node",
+            );
+        }
         self.stalls.lock().expect("stall ledger").push(stall);
     }
 

@@ -11,13 +11,14 @@ use marketminer::components::{
 };
 use marketminer::{
     Component, Fig1Config, Graph, Message, NodeOutcome, RestartPolicy, Runtime, SupervisionConfig,
-    WatchdogConfig,
+    TelemetryLevel, WatchdogConfig,
 };
 use pairtrade_core::exec::ExecutionConfig;
 use pairtrade_core::params::StrategyParams;
 use stats::correlation::CorrType;
 use taq::dataset::DayData;
 use taq::generator::{MarketConfig, MarketGenerator};
+use telemetry::recorder::FlightKind;
 use timeseries::clean::CleanConfig;
 
 fn fast_params() -> StrategyParams {
@@ -203,6 +204,106 @@ fn wedged_corr_engine_is_severed_and_the_day_completes() {
         .iter()
         .any(|m| matches!(m, Message::Trades(_)));
     assert!(trades_reported, "strategy host must still close the day");
+}
+
+/// The kill-test with the flight recorder on: recovery must be
+/// bit-identical to the uninstrumented killed run, and the black box must
+/// have recorded the whole incident — the injected fault, the restart
+/// grant, at least one checkpoint, and the restore/replay.
+#[test]
+fn killed_run_at_full_telemetry_records_the_recovery() {
+    let (day, n) = small_day(31);
+    let (g, _, corr_sink, order_sink) = fig1_with_corr_tap(day, n, CorrFault::PanicAt(300));
+    let supervision = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 2 }, 32);
+    let mut base = Runtime::new().supervised(supervision).run(g).unwrap();
+    assert!(base.is_clean());
+    let base_corr = corr_fingerprint(&base.take_sink(corr_sink));
+    let base_orders = base.take_sink(order_sink).len();
+
+    let (day, n) = small_day(31);
+    let (g, corr_id, corr_sink, order_sink) = fig1_with_corr_tap(day, n, CorrFault::PanicAt(300));
+    let supervision = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 2 }, 32);
+    let mut out = Runtime::new()
+        .supervised(supervision)
+        .with_telemetry(TelemetryLevel::Full)
+        .run(g)
+        .unwrap();
+    assert!(out.is_clean(), "failures: {:?}", out.failures);
+    assert_eq!(out.node_stats[corr_id.index()].restarts, 1);
+
+    // Instrumented recovery is the same recovery.
+    assert_eq!(base_corr, corr_fingerprint(&out.take_sink(corr_sink)));
+    assert_eq!(base_orders, out.take_sink(order_sink).len());
+
+    let report = out.telemetry.as_ref().expect("report at Full");
+    let corr_label = &out.node_stats[corr_id.index()].name;
+    let kinds_for_corr: Vec<FlightKind> = report
+        .flight
+        .iter()
+        .filter(|e| e.label == *corr_label)
+        .map(|e| e.kind)
+        .collect();
+    assert!(
+        kinds_for_corr.contains(&FlightKind::Fault),
+        "injector fault missing from the flight recorder: {kinds_for_corr:?}"
+    );
+    assert!(
+        kinds_for_corr.contains(&FlightKind::Restart),
+        "restart grant missing: {kinds_for_corr:?}"
+    );
+    assert!(
+        kinds_for_corr.contains(&FlightKind::Checkpoint),
+        "no checkpoint recorded: {kinds_for_corr:?}"
+    );
+    assert!(
+        kinds_for_corr.contains(&FlightKind::Replay),
+        "restore/replay missing: {kinds_for_corr:?}"
+    );
+    // The incident reads in causal order: fault before restart before
+    // replay (seq is the recorder's total order).
+    let first = |k: FlightKind| {
+        report
+            .flight
+            .iter()
+            .find(|e| e.label == *corr_label && e.kind == k)
+            .map(|e| e.seq)
+            .unwrap()
+    };
+    assert!(first(FlightKind::Fault) < first(FlightKind::Restart));
+    assert!(first(FlightKind::Restart) < first(FlightKind::Replay));
+    // Restart/replay timings landed in the metrics.
+    assert!(report.metrics.counter(corr_label, "checkpoints") > 0);
+    assert!(report.metrics.counter(corr_label, "replayed.msgs") <= 32);
+}
+
+/// A wedged node at `Counters` level shows up in the flight recorder as a
+/// sever, and the degraded run still completes.
+#[test]
+fn wedged_run_records_the_sever_in_the_flight_recorder() {
+    let (day, n) = small_day(31);
+    let (g, corr_id, _, _) = fig1_with_corr_tap(day, n, CorrFault::WedgeAt(100));
+    let supervision =
+        SupervisionConfig::new(RestartPolicy::Never, 64).with_watchdog(WatchdogConfig {
+            quiet: std::time::Duration::from_millis(300),
+            poll: std::time::Duration::from_millis(20),
+        });
+    let out = Runtime::new()
+        .supervised(supervision)
+        .with_telemetry(TelemetryLevel::Counters)
+        .run(g)
+        .unwrap();
+    assert_eq!(out.stalls.len(), 1);
+    let report = out.telemetry.as_ref().expect("report at Counters");
+    let corr_label = &out.node_stats[corr_id.index()].name;
+    assert!(
+        report
+            .flight
+            .iter()
+            .any(|e| e.kind == FlightKind::Sever && e.label == *corr_label),
+        "sever missing from the flight recorder"
+    );
+    // Counters level never opens the trace buffer.
+    assert_eq!(report.trace_events, 0);
 }
 
 /// Checkpoint cadence sanity: a panic landing right after a snapshot

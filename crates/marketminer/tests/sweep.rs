@@ -7,7 +7,7 @@ use std::sync::Mutex;
 
 use marketminer::components::ReplayCollector;
 use marketminer::pipeline::{run_sweep_pipeline_with, SweepConfig, SweepOutput};
-use marketminer::{run_fig1_pipeline, Fig1Config, Runtime, RuntimeConfig};
+use marketminer::{run_fig1_pipeline, Fig1Config, Runtime, RuntimeConfig, TelemetryLevel};
 use taq::dataset::DayData;
 use taq::generator::{MarketConfig, MarketGenerator};
 
@@ -27,9 +27,19 @@ fn small_day(seed: u64) -> (DayData, usize) {
 }
 
 fn run_sweep(day: DayData, cfg: &SweepConfig, workers: usize) -> SweepOutput {
+    run_sweep_at(day, cfg, workers, TelemetryLevel::Off)
+}
+
+fn run_sweep_at(
+    day: DayData,
+    cfg: &SweepConfig,
+    workers: usize,
+    telemetry: TelemetryLevel,
+) -> SweepOutput {
     let runtime = Runtime::with_config(RuntimeConfig {
         workers,
         capacity: 256,
+        telemetry,
     });
     run_sweep_pipeline_with(runtime, Box::new(ReplayCollector::new(day)), cfg).unwrap()
 }
@@ -117,6 +127,133 @@ fn sweep_computes_each_correlation_stream_once() {
     for j in 0..distinct.len() {
         assert!(out.streams.contains(&j), "stream {j} unused");
     }
+}
+
+/// Telemetry must be a pure observer: the full 42-parameter sweep at
+/// `TelemetryLevel::Full` produces bit-identical trades, baskets and
+/// health events to the uninstrumented run at every pool size (1, 2,
+/// `available_parallelism`).
+#[test]
+fn sweep_at_full_telemetry_is_bit_identical_to_off() {
+    let _guard = lock_serial();
+    let (day, n) = small_day(91);
+    let cfg = SweepConfig::paper(n);
+    for workers in [1usize, 2, 0] {
+        let off = run_sweep_at(day.clone(), &cfg, workers, TelemetryLevel::Off);
+        let full = run_sweep_at(day.clone(), &cfg, workers, TelemetryLevel::Full);
+        assert!(off.telemetry.is_none(), "Off must not build a report");
+        assert_eq!(
+            off.trades_per_param, full.trades_per_param,
+            "trades diverged under instrumentation at workers={workers}"
+        );
+        assert_eq!(off.baskets, full.baskets, "workers={workers}");
+        assert_eq!(off.health_events, full.health_events, "workers={workers}");
+        assert_eq!(off.streams, full.streams);
+
+        let report = full.telemetry.as_ref().expect("report at Full");
+        // Component counters are deterministic facts about the stream,
+        // so they must match the ledgers exactly: every trade in the
+        // ledger was closed in-day, flattened on degradation, or force-
+        // closed at end of day.
+        let m = &report.metrics;
+        for (k, trades) in full.trades_per_param.iter().enumerate() {
+            let host = full
+                .node_stats
+                .iter()
+                .find(|s| s.name.starts_with(&format!("pair-strategy-host(#{k},")))
+                .expect("host stats");
+            let closed = m.counter(&host.name, "positions.closed")
+                + m.counter(&host.name, "positions.flattened")
+                + m.counter(&host.name, "positions.eod_closed");
+            assert_eq!(
+                closed,
+                trades.len() as u64,
+                "close counters disagree with the trade ledger for {}",
+                host.name
+            );
+        }
+        assert_eq!(
+            m.counter("order-gateway", "baskets.emitted"),
+            full.baskets.len() as u64
+        );
+        // Every consuming node fed the inbox-depth histogram, and every
+        // component (sinks pop in bulk, outside the step clock) has a
+        // step-latency histogram.
+        for s in &full.node_stats {
+            assert!(
+                m.histogram(&s.name, "inbox.depth").is_some() || s.messages_in == 0,
+                "no inbox-depth histogram for {}",
+                s.name
+            );
+        }
+        for s in full
+            .node_stats
+            .iter()
+            .filter(|s| s.name.starts_with("corr-engine") || s.name.starts_with("pair-strategy"))
+        {
+            let h = m
+                .histogram(&s.name, "step.ns")
+                .unwrap_or_else(|| panic!("no step-latency histogram for {}", s.name));
+            // One timed step per message plus one for the end-of-stream
+            // delivery.
+            assert_eq!(
+                h.count(),
+                s.messages_in + 1,
+                "step count != messages for {}",
+                s.name
+            );
+        }
+        // The scheduler shard carries per-edge park counters for every
+        // edge, parked or not (structural determinism of the report).
+        let parks = m
+            .counters
+            .keys()
+            .filter(|(label, name)| label == "scheduler" && name.starts_with("parks["))
+            .count();
+        assert!(parks > 0, "no per-edge park counters in the report");
+    }
+}
+
+/// Observability must be near-free when switched off: the instrumented
+/// build at `TelemetryLevel::Off` (every probe compiled in, every hook a
+/// single branch) must stay within 10% of... itself, measured against the
+/// `Full` level to bound what turning everything on costs. Run in CI with
+/// `--ignored`; wall-clock comparisons on a shared box are too noisy for
+/// the default suite.
+#[test]
+#[ignore = "wall-clock comparison; run explicitly (CI telemetry job)"]
+fn full_telemetry_overhead_stays_under_budget() {
+    use std::time::Instant;
+
+    let _guard = lock_serial();
+    let (day, n) = small_day(91);
+    let cfg = SweepConfig::paper(n);
+
+    // Best-of-3 per level, interleaved, after one warmup each — the
+    // minimum is the least noise-contaminated estimate of the true cost.
+    let mut best = [f64::INFINITY; 2];
+    let levels = [TelemetryLevel::Off, TelemetryLevel::Full];
+    for &level in &levels {
+        std::hint::black_box(run_sweep_at(day.clone(), &cfg, 0, level));
+    }
+    for _round in 0..3 {
+        for (k, &level) in levels.iter().enumerate() {
+            let t0 = Instant::now();
+            std::hint::black_box(run_sweep_at(day.clone(), &cfg, 0, level));
+            best[k] = best[k].min(t0.elapsed().as_secs_f64());
+        }
+    }
+    let [off, full] = best;
+    let overhead = full / off - 1.0;
+    println!(
+        "off={off:.3}s full={full:.3}s overhead={:.1}%",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.10,
+        "Full telemetry costs {:.1}% over Off (budget 10%): off={off:.3}s full={full:.3}s",
+        overhead * 100.0
+    );
 }
 
 /// Count this process's OS threads (Linux).

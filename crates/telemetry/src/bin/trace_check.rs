@@ -1,0 +1,117 @@
+//! CI validator for exported Chrome traces: parses the JSON, checks the
+//! trace_event structure, and asserts that every named node track carries
+//! at least one real (non-metadata) event.
+//!
+//! Usage: `trace_check <trace.json> [--min-per-node N]`
+//! Exits non-zero with a diagnostic when the trace is malformed or a
+//! node track is silent.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use telemetry::json::{self, Json};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [--min-per-node N]");
+        return ExitCode::from(2);
+    };
+    let mut min_per_node = 1u64;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--min-per-node" => {
+                min_per_node = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--min-per-node needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(events) = doc.get("traceEvents") else {
+        eprintln!("FAIL: no traceEvents array");
+        return ExitCode::FAILURE;
+    };
+
+    // thread_name metadata declares the expected tracks; count real
+    // events per (pid, tid).
+    let mut node_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
+    let mut worker_tracks = 0usize;
+    let mut counts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for e in events.items() {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        let pid = e.get("pid").and_then(Json::as_u64).unwrap_or(0);
+        let tid = e.get("tid").and_then(Json::as_u64).unwrap_or(0);
+        if ph == "M" {
+            if e.get("name").and_then(Json::as_str) == Some("thread_name") {
+                let name = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                if pid == 2 {
+                    node_names.insert((pid, tid), name);
+                } else if pid == 1 {
+                    worker_tracks += 1;
+                }
+            }
+            continue;
+        }
+        // Real events must carry a timestamp.
+        if e.get("ts").and_then(Json::as_f64).is_none() {
+            eprintln!("FAIL: event without ts: {}", e.render());
+            return ExitCode::FAILURE;
+        }
+        *counts.entry((pid, tid)).or_insert(0) += 1;
+        total += 1;
+    }
+
+    if node_names.is_empty() {
+        eprintln!("FAIL: no node tracks (pid 2 thread_name metadata) found");
+        return ExitCode::FAILURE;
+    }
+    let mut silent = Vec::new();
+    for (track, name) in &node_names {
+        let n = counts.get(track).copied().unwrap_or(0);
+        if n < min_per_node {
+            silent.push(format!("{name} (tid {}): {n} events", track.1));
+        }
+    }
+    if !silent.is_empty() {
+        eprintln!(
+            "FAIL: {} of {} node tracks below {min_per_node} event(s):",
+            silent.len(),
+            node_names.len()
+        );
+        for s in &silent {
+            eprintln!("  {s}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "OK: {path}: {total} events, {} node tracks (all >= {min_per_node}), {worker_tracks} worker tracks",
+        node_names.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,395 @@
+//! The metrics registry: counters, peak gauges and log-bucketed
+//! histograms, accumulated in per-worker/per-node shards ([`Bucket`]s)
+//! and merged into one canonically ordered [`MetricsSnapshot`] at the end
+//! of a run.
+//!
+//! Every merge operation is associative and commutative — counters add,
+//! gauges take the maximum, histograms add per power-of-two bucket — so
+//! the merged snapshot is independent of shard order and of how samples
+//! were distributed across shards. That is what makes the end-of-run
+//! report deterministic in *structure* under any worker interleaving (the
+//! sampled values themselves reflect real scheduling, of course).
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Metric name: `&'static` for instrumentation sites, owned for labels
+/// synthesised at runtime (per-edge counters).
+pub type Name = Cow<'static, str>;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value 0,
+/// bucket `k >= 1` holds values in `[2^(k-1), 2^k)`, covering all of u64.
+pub const HISTO_BUCKETS: usize = 65;
+
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of a bucket (its reported representative value).
+pub fn bucket_floor(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// A log2-bucketed histogram of u64 samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTO_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTO_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram in (associative, commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the lower bound of the bucket the `q`-quantile
+    /// sample falls in. Deterministic given the bucket contents; accurate
+    /// to within a factor of 2 (the bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_floor(k).max(self.min()).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Raw bucket counts (for property tests).
+    pub fn buckets(&self) -> &[u64; HISTO_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// A lock-free histogram for hot paths: power-of-two buckets of
+/// `AtomicU64`, folded into a plain [`Histogram`] at end of run. Sized
+/// and pre-allocated once (e.g. one per node), so the record path is a
+/// handful of relaxed atomic RMWs with no allocation or locking.
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Record one sample (relaxed ordering: totals are read only after
+    /// all workers have joined).
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a plain histogram.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram {
+            buckets: std::array::from_fn(|k| self.buckets[k].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        };
+        if h.count == 0 {
+            h.min = u64::MAX;
+        }
+        h
+    }
+}
+
+#[derive(Default)]
+struct BucketData {
+    counters: BTreeMap<Name, u64>,
+    gauges: BTreeMap<Name, u64>,
+    histograms: BTreeMap<Name, Histogram>,
+}
+
+/// One shard of the registry, owned by a probe (typically one per node or
+/// per worker). All writes go through a shard-local mutex that is
+/// effectively uncontended: exactly one worker executes a given node at a
+/// time, so the lock is there for the snapshot/restore clone path, not
+/// for throughput.
+pub struct Bucket {
+    label: String,
+    data: Mutex<BucketData>,
+}
+
+impl Bucket {
+    /// Add to a counter.
+    pub fn count(&self, name: impl Into<Name>, n: u64) {
+        let mut d = self.data.lock().expect("metrics bucket");
+        *d.counters.entry(name.into()).or_insert(0) += n;
+    }
+
+    /// Record a peak gauge (merge takes the maximum, so the merged value
+    /// is order-independent: the run's high-water mark).
+    pub fn gauge_max(&self, name: impl Into<Name>, value: u64) {
+        let mut d = self.data.lock().expect("metrics bucket");
+        let g = d.gauges.entry(name.into()).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&self, name: impl Into<Name>, value: u64) {
+        let mut d = self.data.lock().expect("metrics bucket");
+        d.histograms.entry(name.into()).or_default().observe(value);
+    }
+
+    /// Fold a pre-aggregated histogram in — the end-of-run merge path for
+    /// hot-path [`AtomicHistogram`] snapshots. Empty histograms are
+    /// skipped so they leave no entry in the report.
+    pub fn merge_histogram(&self, name: impl Into<Name>, h: &Histogram) {
+        if h.count() == 0 {
+            return;
+        }
+        let mut d = self.data.lock().expect("metrics bucket");
+        d.histograms.entry(name.into()).or_default().merge(h);
+    }
+
+    /// The shard's label (node or worker name).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// The sharded registry: hands out [`Bucket`]s and merges them all into a
+/// canonical snapshot at the end of a run.
+#[derive(Default)]
+pub struct Registry {
+    buckets: Mutex<Vec<Arc<Bucket>>>,
+}
+
+impl Registry {
+    /// Create (and register) a new shard with the given label. Multiple
+    /// shards may share a label; they merge at snapshot time.
+    pub fn bucket(&self, label: impl Into<String>) -> Arc<Bucket> {
+        let b = Arc::new(Bucket {
+            label: label.into(),
+            data: Mutex::new(BucketData::default()),
+        });
+        self.buckets.lock().expect("registry").push(Arc::clone(&b));
+        b
+    }
+
+    /// Merge every shard into one canonically ordered snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let buckets = self.buckets.lock().expect("registry");
+        let mut snap = MetricsSnapshot::default();
+        for b in buckets.iter() {
+            let d = b.data.lock().expect("metrics bucket");
+            for (name, &v) in &d.counters {
+                *snap
+                    .counters
+                    .entry((b.label.clone(), name.to_string()))
+                    .or_insert(0) += v;
+            }
+            for (name, &v) in &d.gauges {
+                let g = snap
+                    .gauges
+                    .entry((b.label.clone(), name.to_string()))
+                    .or_insert(0);
+                *g = (*g).max(v);
+            }
+            for (name, h) in &d.histograms {
+                snap.histograms
+                    .entry((b.label.clone(), name.to_string()))
+                    .or_default()
+                    .merge(h);
+            }
+        }
+        snap
+    }
+}
+
+/// The merged, canonically ordered (by `(label, name)`) view of every
+/// shard — what the text reporter renders.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters keyed by `(label, name)`.
+    pub counters: BTreeMap<(String, String), u64>,
+    /// Peak gauges keyed by `(label, name)`.
+    pub gauges: BTreeMap<(String, String), u64>,
+    /// Histograms keyed by `(label, name)`.
+    pub histograms: BTreeMap<(String, String), Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter lookup.
+    pub fn counter(&self, label: &str, name: &str) -> u64 {
+        self.counters
+            .get(&(label.to_string(), name.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Histogram lookup.
+    pub fn histogram(&self, label: &str, name: &str) -> Option<&Histogram> {
+        self.histograms.get(&(label.to_string(), name.to_string()))
+    }
+
+    /// Sum a counter across all labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((_, n), _)| n == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_power_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_floor(2), 2);
+        assert_eq!(bucket_floor(64), 1 << 63);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!(h.quantile(0.5) <= 100);
+        assert!(h.quantile(1.0) <= 1000);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain() {
+        let a = AtomicHistogram::default();
+        let mut h = Histogram::default();
+        for v in [0u64, 7, 7, 512, 81, 3] {
+            a.observe(v);
+            h.observe(v);
+        }
+        assert_eq!(a.snapshot(), h);
+    }
+
+    #[test]
+    fn registry_merges_shards_canonically() {
+        let r = Registry::default();
+        let b1 = r.bucket("node-a");
+        let b2 = r.bucket("node-a");
+        let b3 = r.bucket("node-b");
+        b1.count("msgs", 3);
+        b2.count("msgs", 4);
+        b3.count("msgs", 5);
+        b1.gauge_max("depth", 9);
+        b2.gauge_max("depth", 2);
+        b1.observe("lat", 10);
+        b2.observe("lat", 20);
+        let s = r.snapshot();
+        assert_eq!(s.counter("node-a", "msgs"), 7);
+        assert_eq!(s.counter("node-b", "msgs"), 5);
+        assert_eq!(s.counter_total("msgs"), 12);
+        assert_eq!(s.gauges[&("node-a".to_string(), "depth".to_string())], 9);
+        assert_eq!(s.histogram("node-a", "lat").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! The end-of-run plain-text report: merged metrics plus the flight
+//! recorder, rendered in canonical `(label, name)` order so two runs of
+//! the same graph produce structurally identical reports regardless of
+//! worker interleaving.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::recorder::FlightEvent;
+use crate::TelemetryLevel;
+
+/// Everything a run measured, in merged/canonical form. Attached to
+/// `RunOutput` by the runtime; render with [`TelemetryReport::render`].
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryReport {
+    /// Level the run was instrumented at.
+    pub level: TelemetryLevel,
+    /// Merged metrics across all shards.
+    pub metrics: MetricsSnapshot,
+    /// Flight-recorder events in recording order.
+    pub flight: Vec<FlightEvent>,
+    /// Flight events evicted by the ring bound.
+    pub flight_dropped: u64,
+    /// Trace events captured (0 unless `Full` with tracing).
+    pub trace_events: u64,
+    /// Trace events dropped by the tracer cap.
+    pub trace_dropped: u64,
+    /// Where the Chrome trace was written, if anywhere.
+    pub trace_path: Option<String>,
+}
+
+impl TelemetryReport {
+    /// Render the report as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry (level: {}) ==", self.level.as_str());
+
+        if !self.metrics.counters.is_empty() {
+            let _ = writeln!(out, "\n-- counters --");
+            let width = self
+                .metrics
+                .counters
+                .keys()
+                .map(|(l, n)| l.len() + n.len() + 1)
+                .max()
+                .unwrap_or(0);
+            for ((label, name), v) in &self.metrics.counters {
+                let key = format!("{label}/{name}");
+                let _ = writeln!(out, "{key:<width$} {v:>12}");
+            }
+        }
+
+        if !self.metrics.gauges.is_empty() {
+            let _ = writeln!(out, "\n-- gauges (peak) --");
+            for ((label, name), v) in &self.metrics.gauges {
+                let _ = writeln!(out, "{label}/{name} {v}");
+            }
+        }
+
+        if !self.metrics.histograms.is_empty() {
+            let _ = writeln!(out, "\n-- histograms --");
+            let width = self
+                .metrics
+                .histograms
+                .keys()
+                .map(|(l, n)| l.len() + n.len() + 1)
+                .max()
+                .unwrap_or(0)
+                .max(9);
+            let _ = writeln!(
+                out,
+                "{:<width$} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "mean", "p50", "p90", "p99", "max"
+            );
+            for ((label, name), h) in &self.metrics.histograms {
+                let key = format!("{label}/{name}");
+                let _ = writeln!(
+                    out,
+                    "{key:<width$} {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.quantile(0.9),
+                    h.quantile(0.99),
+                    h.max()
+                );
+            }
+        }
+
+        if !self.flight.is_empty() || self.flight_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\n-- flight recorder ({} events{}) --",
+                self.flight.len(),
+                if self.flight_dropped > 0 {
+                    format!(", {} dropped", self.flight_dropped)
+                } else {
+                    String::new()
+                }
+            );
+            for e in &self.flight {
+                let sim = e.sim.map(|s| format!(" sim={s}")).unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "#{:<5} +{:>9}us{sim} [{:<10}] {}: {}",
+                    e.seq,
+                    e.wall_us,
+                    e.kind.as_str(),
+                    e.label,
+                    e.detail
+                );
+            }
+        }
+
+        if self.trace_events > 0 || self.trace_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\n-- trace: {} events captured, {} dropped{} --",
+                self.trace_events,
+                self.trace_dropped,
+                self.trace_path
+                    .as_deref()
+                    .map(|p| format!(", written to {p}"))
+                    .unwrap_or_default()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::recorder::{FlightKind, FlightRecorder};
+
+    #[test]
+    fn render_is_canonical_and_complete() {
+        let r = Registry::default();
+        let b = r.bucket("ohlc-bars");
+        b.count("bars.emitted", 780);
+        b.observe("step_latency_ns", 1500);
+        let fr = FlightRecorder::new(16);
+        fr.record(
+            FlightKind::Restart,
+            "corr-engine",
+            1234,
+            Some(17),
+            "replayed 4",
+        );
+        let rep = TelemetryReport {
+            level: TelemetryLevel::Full,
+            metrics: r.snapshot(),
+            flight: fr.drain(),
+            flight_dropped: 0,
+            trace_events: 3,
+            trace_dropped: 0,
+            trace_path: None,
+        };
+        let text = rep.render();
+        assert!(text.contains("level: full"));
+        assert!(text.contains("ohlc-bars/bars.emitted"));
+        assert!(text.contains("step_latency_ns"));
+        assert!(text.contains("[restart"));
+        assert!(text.contains("sim=17"));
+        assert!(text.contains("3 events captured"));
+    }
+}

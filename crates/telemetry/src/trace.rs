@@ -1,0 +1,312 @@
+//! Chrome `trace_event`-format export: the run becomes a Perfetto /
+//! `about://tracing`-loadable JSON document with one track per worker
+//! (pid 1) and one track per DAG node (pid 2).
+//!
+//! Emitted phases: `X` (complete slices with `ts`/`dur` in µs), `i`
+//! (instants), `C` (counter series, e.g. run-queue depth), plus `M`
+//! metadata naming every process and thread track. Slice `args` carry the
+//! second time axis — the simulated trading interval — so a wall-clock
+//! slice can be attributed to a point in simulated time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// A trace track: Chrome's (pid, tid) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrackId {
+    /// Process row in the viewer.
+    pub pid: u32,
+    /// Thread row within the process.
+    pub tid: u64,
+}
+
+impl TrackId {
+    /// The per-worker process row.
+    pub fn worker(index: usize) -> TrackId {
+        TrackId {
+            pid: 1,
+            tid: index as u64,
+        }
+    }
+
+    /// The per-node process row.
+    pub fn node(index: usize) -> TrackId {
+        TrackId {
+            pid: 2,
+            tid: index as u64,
+        }
+    }
+}
+
+/// One slice/instant/counter argument value.
+#[derive(Clone, Debug)]
+pub enum Arg {
+    /// Unsigned integer.
+    U(u64),
+    /// Float.
+    F(f64),
+    /// String.
+    S(String),
+}
+
+impl Arg {
+    fn to_json(&self) -> Json {
+        match self {
+            Arg::U(v) => Json::Num(*v as f64),
+            Arg::F(v) => Json::Num(*v),
+            Arg::S(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+enum Phase {
+    Complete { dur_us: u64 },
+    Instant,
+    Counter { value: u64 },
+}
+
+struct TraceEvent {
+    phase: Phase,
+    track: TrackId,
+    ts_us: u64,
+    name: String,
+    args: Vec<(&'static str, Arg)>,
+}
+
+/// The bounded trace-event collector. Appends are a short uncontended
+/// mutex hold (workers emit at *turn* granularity — once per up-to-128
+/// messages — not per message); the cap bounds memory and JSON size on
+/// pathological runs, with the overflow counted and reported.
+pub struct Tracer {
+    cap: usize,
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+    /// Track-name metadata, emitted for every track up front so the
+    /// exporter (and CI's trace check) can enumerate expected tracks even
+    /// if a node never ran.
+    names: Mutex<Vec<(TrackId, String)>>,
+}
+
+impl Tracer {
+    /// Tracer holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Tracer {
+            cap: cap.max(1),
+            events: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            names: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Name a track (thread_name metadata).
+    pub fn name_track(&self, track: TrackId, name: impl Into<String>) {
+        self.names
+            .lock()
+            .expect("trace names")
+            .push((track, name.into()));
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let mut events = self.events.lock().expect("trace events");
+        if events.len() >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(ev);
+    }
+
+    /// A complete slice (`ph: "X"`).
+    pub fn complete(
+        &self,
+        track: TrackId,
+        name: impl Into<String>,
+        ts_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.push(TraceEvent {
+            phase: Phase::Complete { dur_us },
+            track,
+            ts_us,
+            name: name.into(),
+            args,
+        });
+    }
+
+    /// An instant event (`ph: "i"`).
+    pub fn instant(
+        &self,
+        track: TrackId,
+        name: impl Into<String>,
+        ts_us: u64,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.push(TraceEvent {
+            phase: Phase::Instant,
+            track,
+            ts_us,
+            name: name.into(),
+            args,
+        });
+    }
+
+    /// A counter sample (`ph: "C"`).
+    pub fn counter(&self, track: TrackId, name: impl Into<String>, ts_us: u64, value: u64) {
+        self.push(TraceEvent {
+            phase: Phase::Counter { value },
+            track,
+            ts_us,
+            name: name.into(),
+            args: Vec::new(),
+        });
+    }
+
+    /// Events captured (excluding dropped).
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace events").len()
+    }
+
+    /// True when no events were captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped by the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Render the whole capture as a Chrome trace_event JSON document.
+    /// Events are sorted by `(ts, track)` so the output is stable for a
+    /// given set of captured events.
+    pub fn export(&self) -> String {
+        let mut out: Vec<Json> = Vec::new();
+        // Process-name metadata for the two fixed process rows.
+        for (pid, pname) in [(1u32, "workers"), (2, "nodes")] {
+            out.push(Json::Obj(vec![
+                ("ph".into(), Json::Str("M".into())),
+                ("pid".into(), Json::Num(pid as f64)),
+                ("tid".into(), Json::Num(0.0)),
+                ("name".into(), Json::Str("process_name".into())),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("name".into(), Json::Str(pname.into()))]),
+                ),
+            ]));
+        }
+        {
+            let mut names = self.names.lock().expect("trace names").clone();
+            names.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            for (track, name) in names {
+                out.push(Json::Obj(vec![
+                    ("ph".into(), Json::Str("M".into())),
+                    ("pid".into(), Json::Num(track.pid as f64)),
+                    ("tid".into(), Json::Num(track.tid as f64)),
+                    ("name".into(), Json::Str("thread_name".into())),
+                    (
+                        "args".into(),
+                        Json::Obj(vec![("name".into(), Json::Str(name))]),
+                    ),
+                ]));
+            }
+        }
+        let events = self.events.lock().expect("trace events");
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        order.sort_by_key(|&k| (events[k].ts_us, events[k].track, k));
+        for &k in &order {
+            let ev = &events[k];
+            let mut fields: Vec<(String, Json)> = vec![
+                (
+                    "ph".into(),
+                    Json::Str(
+                        match ev.phase {
+                            Phase::Complete { .. } => "X",
+                            Phase::Instant => "i",
+                            Phase::Counter { .. } => "C",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("pid".into(), Json::Num(ev.track.pid as f64)),
+                ("tid".into(), Json::Num(ev.track.tid as f64)),
+                ("ts".into(), Json::Num(ev.ts_us as f64)),
+                ("name".into(), Json::Str(ev.name.clone())),
+            ];
+            match &ev.phase {
+                Phase::Complete { dur_us } => {
+                    fields.push(("dur".into(), Json::Num(*dur_us as f64)));
+                }
+                Phase::Instant => {
+                    fields.push(("s".into(), Json::Str("t".into())));
+                }
+                Phase::Counter { value } => {
+                    fields.push((
+                        "args".into(),
+                        Json::Obj(vec![("value".into(), Json::Num(*value as f64))]),
+                    ));
+                }
+            }
+            if !ev.args.is_empty() {
+                let args: Vec<(String, Json)> = ev
+                    .args
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_json()))
+                    .collect();
+                fields.push(("args".into(), Json::Obj(args)));
+            }
+            out.push(Json::Obj(fields));
+        }
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(out)),
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn export_round_trips_and_carries_tracks() {
+        let t = Tracer::new(100);
+        t.name_track(TrackId::worker(0), "worker-0");
+        t.name_track(TrackId::node(3), "corr-engine");
+        t.complete(
+            TrackId::worker(0),
+            "corr-engine",
+            10,
+            25,
+            vec![("events", Arg::U(128)), ("interval", Arg::U(7))],
+        );
+        t.instant(TrackId::node(3), "restart", 40, vec![]);
+        t.counter(TrackId::worker(0), "run_queue_depth", 50, 4);
+        let doc = json::parse(&t.export()).unwrap();
+        let events = doc.get("traceEvents").unwrap().items();
+        // 2 process_name + 2 thread_name + 3 events.
+        assert_eq!(events.len(), 7);
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(slice.get("dur").unwrap().as_u64(), Some(25));
+        assert_eq!(
+            slice.get("args").unwrap().get("interval").unwrap().as_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let t = Tracer::new(2);
+        for k in 0..5 {
+            t.instant(TrackId::node(0), "e", k, vec![]);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the merge semantics the deterministic report rests
+//! on — sharded counter/gauge/histogram merges must be associative and
+//! order-independent — plus a Chrome-trace round-trip through the JSON
+//! parser.
+
+use proptest::prelude::*;
+
+use telemetry::json::{self, Json};
+use telemetry::metrics::{Histogram, Registry};
+use telemetry::trace::{Arg, Tracer, TrackId};
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000_000, 0..64)
+}
+
+fn histogram_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) and a ⊔ b == b ⊔ a for histograms.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in samples(),
+        ys in samples(),
+        zs in samples(),
+    ) {
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associativity");
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+    }
+
+    /// Splitting a sample stream across any number of shards in any
+    /// interleaving yields the same merged histogram as one shard.
+    #[test]
+    fn sharded_histogram_is_order_independent(
+        values in samples(),
+        shard_of in proptest::collection::vec(0usize..4, 0..64),
+    ) {
+        let single = histogram_of(&values);
+        let mut shards = vec![Histogram::default(); 4];
+        for (k, &v) in values.iter().enumerate() {
+            let s = shard_of.get(k).copied().unwrap_or(0);
+            shards[s].observe(v);
+        }
+        // Merge shards in reverse order for good measure.
+        let mut merged = Histogram::default();
+        for s in shards.iter().rev() {
+            merged.merge(s);
+        }
+        prop_assert_eq!(&merged, &single);
+    }
+
+    /// Registry snapshots are independent of which shard got which
+    /// sample: counters sum, gauges take the max, histograms merge.
+    #[test]
+    fn registry_snapshot_is_shard_assignment_independent(
+        counts in proptest::collection::vec(1u64..1000, 1..32),
+        shard_of in proptest::collection::vec(0usize..3, 1..32),
+    ) {
+        let split = Registry::default();
+        let shards: Vec<_> = (0..3).map(|_| split.bucket("node")).collect();
+        let lumped = Registry::default();
+        let one = lumped.bucket("node");
+        for (k, &c) in counts.iter().enumerate() {
+            let s = shard_of.get(k).copied().unwrap_or(0);
+            shards[s].count("n", c);
+            shards[s].gauge_max("peak", c);
+            shards[s].observe("h", c);
+            one.count("n", c);
+            one.gauge_max("peak", c);
+            one.observe("h", c);
+        }
+        prop_assert_eq!(split.snapshot(), lumped.snapshot());
+    }
+
+    /// Whatever mix of events the tracer captured, the export parses
+    /// back as JSON and preserves every event with its track and
+    /// timestamps. Track names exercise the escaper (quotes, backslashes,
+    /// control characters).
+    #[test]
+    fn chrome_trace_export_round_trips(
+        kinds in proptest::collection::vec(0u64..3, 0..40),
+        tids in proptest::collection::vec(0u64..16, 40..41),
+        tss in proptest::collection::vec(0u64..1_000_000, 40..41),
+        durs in proptest::collection::vec(0u64..10_000, 40..41),
+        name_picks in proptest::collection::vec(0usize..4, 1..4),
+    ) {
+        const ODD_NAMES: [&str; 4] = ["plain", "qu\"ote", "back\\slash", "tab\there"];
+        let names: Vec<String> = name_picks
+            .iter()
+            .map(|&p| ODD_NAMES[p].to_string())
+            .collect();
+        let t = Tracer::new(10_000);
+        for (k, name) in names.iter().enumerate() {
+            t.name_track(TrackId::node(k), name.clone());
+        }
+        let mut slices = 0u64;
+        let events: Vec<(u64, u64, u64, u64)> = kinds
+            .iter()
+            .enumerate()
+            .map(|(k, &kind)| (kind, tids[k], tss[k], durs[k]))
+            .collect();
+        for &(kind, tid, ts, dur) in &events {
+            let track = TrackId::node(tid as usize);
+            match kind {
+                0 => {
+                    t.complete(track, "turn", ts, dur, vec![("sim", Arg::U(dur))]);
+                    slices += 1;
+                }
+                1 => t.instant(track, "mark", ts, vec![]),
+                _ => t.counter(track, "depth", ts, dur),
+            }
+        }
+        let doc = json::parse(&t.export()).unwrap();
+        let items = doc.get("traceEvents").unwrap().items();
+        // 2 process_name + names.len() thread_name + events.
+        prop_assert_eq!(items.len(), 2 + names.len() + events.len());
+        let mut seen_slices = 0u64;
+        for e in items {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            prop_assert!(matches!(ph, "M" | "X" | "i" | "C"));
+            if ph == "X" {
+                prop_assert!(e.get("dur").and_then(Json::as_u64).is_some());
+                prop_assert_eq!(
+                    e.get("args").unwrap().get("sim").and_then(Json::as_u64).is_some(),
+                    true
+                );
+                seen_slices += 1;
+            }
+            if ph != "M" {
+                prop_assert!(e.get("ts").and_then(Json::as_f64).is_some());
+            }
+        }
+        prop_assert_eq!(seen_slices, slices);
+    }
+}

@@ -9,6 +9,9 @@
 //! ```sh
 //! cargo run --release --example multi_strategy
 //! # pin the pool: MARKETMINER_WORKERS=2 cargo run --release --example multi_strategy
+//! # observe it:   MARKETMINER_TELEMETRY=full MARKETMINER_TRACE=sweep.json \
+//! #               cargo run --release --example multi_strategy
+//! # then open sweep.json in https://ui.perfetto.dev
 //! ```
 
 use marketminer::components::risk::RiskLimits;
@@ -76,5 +79,12 @@ fn main() {
             wins,
             pnl
         );
+    }
+
+    if let Some(report) = &out.telemetry {
+        println!("\n{}", report.render());
+        if let Some(path) = &report.trace_path {
+            println!("trace written to {path} — open it in https://ui.perfetto.dev");
+        }
     }
 }
