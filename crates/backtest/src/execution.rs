@@ -177,6 +177,7 @@ mod tests {
             price,
             pair: (1, 0),
             needs_confirmation: false,
+            cause: marketminer::messages::Cause::none(),
         }
     }
 
@@ -184,6 +185,7 @@ mod tests {
         vec![Arc::new(Basket {
             interval: 100,
             orders,
+            cause: marketminer::messages::Cause::none(),
         })]
     }
 

@@ -98,8 +98,13 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"workers\": {workers},\n  \"resolved_workers\": {resolved_workers},\n  \"telemetry_level\": \"{telemetry_level}\",\n  \"measured_at_epoch_secs\": {measured_at_epoch_secs},\n  \"wall_clock_secs\": {wall_clock_secs:.3},\n  \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n  \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n  \"speedup\": {speedup:.4}\n}}\n"
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream_sweep.json");
-    match std::fs::write(path, &json) {
+    // `STREAM_SWEEP_OUT` redirects the result file — CI writes a fresh
+    // measurement somewhere disposable and diffs it against the committed
+    // baseline with `bench_compare` instead of clobbering it.
+    let path = std::env::var("STREAM_SWEEP_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream_sweep.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => println!("could not write {path}: {e}\n{json}"),
     }

@@ -1,0 +1,126 @@
+//! Bench-regression gate: diff a fresh `BENCH_stream_sweep.json` against
+//! the committed baseline and fail when either measured metric regressed
+//! beyond the tolerance.
+//!
+//! Usage:
+//!   bench_compare <fresh.json> [--baseline <path>] [--tolerance-pct <N>]
+//!
+//! Defaults: baseline = `BENCH_stream_sweep.json` at the workspace root,
+//! tolerance = 15 (%). Exit codes: 0 = within tolerance, 1 = regression,
+//! 2 = usage error or incomparable workloads (different stock count,
+//! parameter grid, or seed — a diff between those would be meaningless,
+//! so it is refused rather than reported).
+//!
+//! To update the baseline after an intentional performance change, rerun
+//! the bench without `STREAM_SWEEP_OUT` (it rewrites the workspace-root
+//! file in place) and commit the diff; see README "Bench-regression
+//! gate".
+
+use std::process::ExitCode;
+
+use telemetry::json::{self, Json};
+
+/// The two gated metrics (seconds per simulated day; lower is better).
+const METRICS: [&str; 2] = [
+    "single_param_graphs_secs_per_day",
+    "shared_stream_sweep_secs_per_day",
+];
+
+/// Workload fields that must match for the two runs to be comparable.
+const WORKLOAD_KEYS: [&str; 4] = ["n_stocks", "quotes", "param_sets", "seed"];
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path} is not valid JSON: {e}"))
+}
+
+fn num(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field `{key}`"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let mut fresh_path = None;
+    let mut baseline_path = "BENCH_stream_sweep.json".to_string();
+    let mut tolerance_pct = 15.0f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_path = args.next().ok_or("--baseline needs a path")?;
+            }
+            "--tolerance-pct" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or("--tolerance-pct needs a non-negative number")?;
+            }
+            a if fresh_path.is_none() && !a.starts_with('-') => {
+                fresh_path = Some(a.to_string());
+            }
+            a => return Err(format!("unknown argument {a}")),
+        }
+    }
+    let fresh_path = fresh_path
+        .ok_or("usage: bench_compare <fresh.json> [--baseline <path>] [--tolerance-pct <N>]")?;
+
+    let fresh = load(&fresh_path)?;
+    let baseline = load(&baseline_path)?;
+
+    // Refuse to compare different workloads.
+    for key in WORKLOAD_KEYS {
+        let get = |doc: &Json| {
+            doc.get("workload")
+                .and_then(|w| w.get(key))
+                .and_then(Json::as_u64)
+        };
+        let (f, b) = (get(&fresh), get(&baseline));
+        if f != b {
+            return Err(format!(
+                "workloads are not comparable: `{key}` is {f:?} fresh vs {b:?} baseline"
+            ));
+        }
+    }
+
+    println!("comparing {fresh_path} against {baseline_path} (tolerance {tolerance_pct}%)");
+    let mut regressed = false;
+    for metric in METRICS {
+        let f = num(&fresh, metric)?;
+        let b = num(&baseline, metric)?;
+        if b <= 0.0 {
+            return Err(format!("baseline `{metric}` is not positive ({b})"));
+        }
+        let delta_pct = (f - b) / b * 100.0;
+        let verdict = if delta_pct > tolerance_pct {
+            regressed = true;
+            "REGRESSION"
+        } else if delta_pct < -tolerance_pct {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("  {metric}: {b:.3} s -> {f:.3} s ({delta_pct:+.1}%)  {verdict}");
+    }
+    if regressed {
+        println!(
+            "FAIL: at least one metric regressed beyond {tolerance_pct}% — if intentional, \
+             rerun the bench to refresh {baseline_path} and commit it"
+        );
+    } else {
+        println!("OK: within tolerance");
+    }
+    Ok(!regressed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -23,7 +23,7 @@ use telemetry::recorder::FlightKind;
 use telemetry::Probe;
 use timeseries::clean::{CleanConfig, TcpFilter};
 
-use crate::messages::{BarSet, DegradeReason, HealthEvent, HealthStatus, Message};
+use crate::messages::{BarSet, Cause, DegradeReason, EventId, HealthEvent, HealthStatus, Message};
 use crate::node::{Component, Emit, NodeState};
 
 /// Feed-health detection thresholds, in intervals of simulated time.
@@ -67,6 +67,12 @@ pub struct BarAccumulatorNode {
     quiet: Vec<usize>,
     /// Last published status per symbol.
     status: Vec<HealthStatus>,
+    /// Provenance: id of the first quote folded into the open interval
+    /// (reset at each close) and of the newest quote seen on the tape
+    /// (never reset — a quiet carry interval's bar is derived from the
+    /// quote whose price it forward-fills).
+    first_qid: EventId,
+    last_qid: EventId,
     /// Quotes for already-closed intervals (out-of-order arrivals),
     /// dropped rather than smeared into the wrong bar.
     late_quotes: u64,
@@ -90,6 +96,8 @@ impl BarAccumulatorNode {
             seen_tick: vec![false; n_stocks],
             quiet: vec![0; n_stocks],
             status: vec![HealthStatus::Healthy; n_stocks],
+            first_qid: EventId::NONE,
+            last_qid: EventId::NONE,
             late_quotes: 0,
             dropped: 0,
             name: format!("ohlc-bars(ds={dt_seconds}s)"),
@@ -110,10 +118,17 @@ impl BarAccumulatorNode {
 
     fn emit_bar_set(&mut self, interval: usize, out: &mut Emit<'_>) {
         self.probe.count("bars.emitted", 1);
+        let parents = if self.first_qid == self.last_qid {
+            vec![self.last_qid]
+        } else {
+            vec![self.first_qid, self.last_qid]
+        };
+        self.first_qid = EventId::NONE;
         out(Message::Bars(Arc::new(BarSet {
             interval,
             closes: self.closes.clone(),
             ticks: std::mem::replace(&mut self.ticks, vec![0; self.n_stocks]),
+            cause: Cause::derived(parents),
         })));
     }
 
@@ -165,6 +180,7 @@ impl BarAccumulatorNode {
                     interval: effective,
                     symbol: s,
                     status: next,
+                    cause: Cause::derived([self.last_qid]),
                 })));
             }
         }
@@ -188,7 +204,7 @@ impl Component for BarAccumulatorNode {
     }
 
     fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
-        let Message::Quote(q) = msg else {
+        let Message::Quote(q, qcause) = msg else {
             self.dropped += 1; // bar accumulators only eat quotes
             return;
         };
@@ -212,6 +228,12 @@ impl Component for BarAccumulatorNode {
                 return;
             }
             _ => {}
+        }
+        if qcause.id.is_set() {
+            if !self.first_qid.is_set() {
+                self.first_qid = qcause.id;
+            }
+            self.last_qid = qcause.id;
         }
         let stock = q.symbol.index();
         if stock < self.n_stocks {
@@ -256,14 +278,17 @@ mod tests {
     use taq::time::Timestamp;
 
     fn quote(sec: u32, sym: u16, bid: u32, ask: u32) -> Message {
-        Message::Quote(Quote {
-            ts: Timestamp::new(0, sec * 1000),
-            symbol: Symbol(sym),
-            bid_cents: bid,
-            ask_cents: ask,
-            bid_size: 1,
-            ask_size: 1,
-        })
+        Message::Quote(
+            Quote {
+                ts: Timestamp::new(0, sec * 1000),
+                symbol: Symbol(sym),
+                bid_cents: bid,
+                ask_cents: ask,
+                bid_size: 1,
+                ask_size: 1,
+            },
+            Cause::none(),
+        )
     }
 
     fn collect(node: &mut BarAccumulatorNode, msgs: Vec<Message>) -> Vec<Arc<BarSet>> {
@@ -375,6 +400,7 @@ mod tests {
             Message::Trades(Arc::new(crate::messages::TradeReport {
                 param_set: 0,
                 trades: vec![],
+                cause: Cause::none(),
             })),
             &mut |_| {},
         );

@@ -10,7 +10,7 @@ use taq::dataset::DayData;
 use telemetry::recorder::FlightKind;
 use telemetry::Probe;
 
-use crate::messages::Message;
+use crate::messages::{Cause, Message};
 use crate::node::{Emit, Source};
 
 /// Replays a day's quote tape into the DAG.
@@ -40,7 +40,7 @@ impl Source for ReplayCollector {
         let day = self.day.take().expect("collector runs once");
         self.probe.count("quotes.replayed", day.len() as u64);
         for &q in day.quotes() {
-            out(Message::Quote(q));
+            out(Message::Quote(q, Cause::none()));
         }
     }
 
@@ -80,7 +80,7 @@ impl Source for FileCollector {
         let day = taq::io::read_binary_file(&self.path, self.n_symbols)
             .unwrap_or_else(|e| panic!("file collector: {}: {e}", self.path.display()));
         for &q in day.quotes() {
-            out(Message::Quote(q));
+            out(Message::Quote(q, Cause::none()));
         }
     }
 }
@@ -138,7 +138,7 @@ impl Source for FaultedCollector {
         });
         *self.log.lock().expect("fault log poisoned") = Some(log);
         for q in quotes {
-            out(Message::Quote(q));
+            out(Message::Quote(q, Cause::none()));
         }
     }
 
@@ -166,7 +166,7 @@ impl Source for QuoteVecSource {
 
     fn run(&mut self, out: &mut Emit<'_>) {
         for &q in &self.quotes {
-            out(Message::Quote(q));
+            out(Message::Quote(q, Cause::none()));
         }
     }
 }
@@ -190,7 +190,7 @@ mod tests {
         let mut collector = FileCollector::new(&path, 2);
         let mut count = 0;
         collector.run(&mut |m| {
-            if matches!(m, Message::Quote(_)) {
+            if matches!(m, Message::Quote(..)) {
                 count += 1;
             }
         });
@@ -217,7 +217,7 @@ mod tests {
         assert!(log.lock().unwrap().is_none(), "no log before the run");
         let mut count = 0;
         collector.run(&mut |m| {
-            if let Message::Quote(q) = m {
+            if let Message::Quote(q, _) = m {
                 assert_ne!(q.symbol.index(), 0, "symbol 0 is in outage all day");
                 count += 1;
             }
@@ -239,7 +239,7 @@ mod tests {
         let mut count = 0;
         let mut last_ts = None;
         collector.run(&mut |m| {
-            if let Message::Quote(q) = m {
+            if let Message::Quote(q, _) = m {
                 if let Some(prev) = last_ts {
                     assert!(q.ts >= prev, "tape order violated");
                 }

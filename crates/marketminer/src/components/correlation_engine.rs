@@ -15,7 +15,7 @@ use stats::sliding_matrix::OnlineCorrMatrix;
 use telemetry::Probe;
 use timeseries::window::SlidingWindow;
 
-use crate::messages::{CorrSnapshot, Message};
+use crate::messages::{Cause, CorrSnapshot, Message};
 use crate::node::{Component, Emit, NodeState};
 
 /// How the node maintains pair state.
@@ -190,6 +190,7 @@ impl Component for CorrelationEngineNode {
             interval: rs.interval,
             stream: self.stream,
             matrix,
+            cause: Cause::derived([rs.cause.id]),
         })));
     }
 
@@ -223,7 +224,11 @@ mod tests {
     ) -> Vec<Arc<CorrSnapshot>> {
         let mut got = Vec::new();
         node.on_message(
-            Message::Returns(Arc::new(ReturnSet { interval, returns })),
+            Message::Returns(Arc::new(ReturnSet {
+                interval,
+                returns,
+                cause: Cause::none(),
+            })),
             &mut |m| {
                 if let Message::Corr(c) = m {
                     got.push(c);
@@ -295,6 +300,7 @@ mod tests {
                 interval: 4,
                 symbol: 1,
                 status: HealthStatus::Degraded(DegradeReason::Outage),
+                cause: Cause::none(),
             })),
             &mut |_| {},
         );
@@ -310,6 +316,7 @@ mod tests {
                 interval: 5,
                 symbol: 1,
                 status: HealthStatus::Healthy,
+                cause: Cause::none(),
             })),
             &mut |_| {},
         );

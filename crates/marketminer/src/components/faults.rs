@@ -153,6 +153,7 @@ mod tests {
         Message::Trades(Arc::new(crate::messages::TradeReport {
             param_set: 0,
             trades: vec![],
+            cause: crate::messages::Cause::none(),
         }))
     }
 

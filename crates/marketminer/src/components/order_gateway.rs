@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use telemetry::Probe;
 
-use crate::messages::{Basket, Message, OrderRequest};
+use crate::messages::{Basket, Cause, Message, OrderRequest};
 use crate::node::{Component, Emit, NodeState};
 
 #[derive(Clone)]
@@ -110,9 +110,12 @@ impl OrderGatewayNode {
                     self.baskets_emitted += 1;
                     self.probe.count("baskets.emitted", 1);
                     self.probe.observe("basket.orders", pending.len() as u64);
+                    let orders = std::mem::take(pending);
+                    let cause = Cause::derived(orders.iter().map(|o| o.cause.id));
                     out(Message::Basket(Arc::new(Basket {
                         interval,
-                        orders: std::mem::take(pending),
+                        orders,
+                        cause,
                     })));
                 }
             }
@@ -173,7 +176,12 @@ impl Component for OrderGatewayNode {
                     self.baskets_emitted += 1;
                     self.probe.count("baskets.emitted", 1);
                     self.probe.observe("basket.orders", orders.len() as u64);
-                    out(Message::Basket(Arc::new(Basket { interval, orders })));
+                    let cause = Cause::derived(orders.iter().map(|o| o.cause.id));
+                    out(Message::Basket(Arc::new(Basket {
+                        interval,
+                        orders,
+                        cause,
+                    })));
                 }
             }
         }
@@ -211,6 +219,7 @@ mod tests {
             price: 10.0,
             pair: (1, 0),
             needs_confirmation: confirm,
+            cause: Cause::none(),
         }))
     }
 

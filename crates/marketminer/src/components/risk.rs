@@ -234,7 +234,7 @@ impl Component for RiskManagerNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::messages::TradeReport;
+    use crate::messages::{Cause, TradeReport};
     use std::sync::Arc;
 
     fn order_at(
@@ -255,6 +255,7 @@ mod tests {
             price,
             pair,
             needs_confirmation: false,
+            cause: Cause::none(),
         }))
     }
 
@@ -378,6 +379,7 @@ mod tests {
                 interval: 5,
                 symbol: 1,
                 status: HealthStatus::Degraded(DegradeReason::Quarantine),
+                cause: Cause::none(),
             })),
             &mut |m| {
                 if matches!(m, Message::Health(_)) {
@@ -405,6 +407,7 @@ mod tests {
                 interval: 9,
                 symbol: 1,
                 status: HealthStatus::Healthy,
+                cause: Cause::none(),
             })),
             &mut |_| {},
         );
@@ -427,6 +430,7 @@ mod tests {
                 interval: 5,
                 symbol: 1,
                 status: HealthStatus::Degraded(DegradeReason::Outage),
+                cause: Cause::none(),
             })),
             &mut |_| {},
         );
@@ -452,6 +456,7 @@ mod tests {
             interval: 7,
             symbol: 2,
             status: HealthStatus::Degraded(DegradeReason::Halt),
+            cause: Cause::none(),
         });
         let mut forwarded = 0;
         for _ in 0..3 {
@@ -472,6 +477,7 @@ mod tests {
             Message::Trades(Arc::new(TradeReport {
                 param_set: 0,
                 trades: vec![],
+                cause: Cause::none(),
             })),
             &mut |m| kinds.push(m.kind()),
         );

@@ -18,7 +18,9 @@ use pairtrade_core::trade::{ExitReason, Trade};
 use stats::matrix::SymMatrix;
 use telemetry::Probe;
 
-use crate::messages::{CorrSnapshot, Message, OrderRequest, OrderSide, TradeReport};
+use crate::messages::{
+    Cause, CorrSnapshot, EventId, Message, OrderRequest, OrderSide, TradeReport,
+};
 use crate::node::{Component, Emit, NodeState};
 
 /// The market-wide strategy host.
@@ -60,6 +62,13 @@ pub struct StrategyHostNode {
     /// Symbols currently marked degraded: positions touching them are
     /// flattened on transition and no pair touching them may open.
     degraded: Vec<bool>,
+    /// Provenance: ids of the newest bar set and corr snapshot
+    /// processed. Both are deterministic at their use sites — bars arrive
+    /// in stream order, and snapshots are processed in stream order via
+    /// `pending_corr` — so orders and the EOD report carry
+    /// scheduling-independent parents.
+    last_bar_id: EventId,
+    last_corr_id: EventId,
     /// Messages neither consumed nor forwarded.
     dropped: u64,
     needs_confirmation: bool,
@@ -91,6 +100,8 @@ impl StrategyHostNode {
             pending_corr: VecDeque::new(),
             pending_health: VecDeque::new(),
             degraded: vec![false; n_stocks],
+            last_bar_id: EventId::NONE,
+            last_corr_id: EventId::NONE,
             dropped: 0,
             needs_confirmation,
             name: format!("pair-strategy-host({})", params.label()),
@@ -138,6 +149,7 @@ impl StrategyHostNode {
         position: &PairPosition,
         interval: usize,
         pair: (usize, usize),
+        parent: EventId,
     ) -> [OrderRequest; 2] {
         let mk = |stock: usize, side: OrderSide, shares: u32, price: f64| OrderRequest {
             interval,
@@ -148,6 +160,7 @@ impl StrategyHostNode {
             price,
             pair,
             needs_confirmation: self.needs_confirmation,
+            cause: Cause::derived([parent]),
         };
         [
             mk(
@@ -165,7 +178,7 @@ impl StrategyHostNode {
         ]
     }
 
-    fn orders_for_close(&self, trade: &Trade) -> [OrderRequest; 2] {
+    fn orders_for_close(&self, trade: &Trade, parent: EventId) -> [OrderRequest; 2] {
         let p = &trade.position;
         let mk = |stock: usize, side: OrderSide, shares: u32| OrderRequest {
             interval: trade.exit_interval,
@@ -176,6 +189,7 @@ impl StrategyHostNode {
             price: self.price_at(stock, trade.exit_interval),
             pair: trade.pair,
             needs_confirmation: self.needs_confirmation,
+            cause: Cause::derived([parent]),
         };
         [
             mk(p.long.stock, OrderSide::Sell, p.long.shares),
@@ -192,6 +206,9 @@ impl Component for StrategyHostNode {
     fn on_message(&mut self, msg: Message, out: &mut Emit<'_>) {
         match msg {
             Message::Bars(bars) => {
+                if bars.cause.id.is_set() {
+                    self.last_bar_id = bars.cause.id;
+                }
                 self.record_bars(bars.interval, &bars.closes);
                 self.bars_through = Some(match self.bars_through {
                     Some(t) => t.max(bars.interval),
@@ -237,7 +254,7 @@ impl Component for StrategyHostNode {
             let seen = self.trades_seen[rank];
             let trades = strategy.finish_day();
             for t in &trades[seen.min(trades.len())..] {
-                closing_orders.extend(self.orders_for_close(t));
+                closing_orders.extend(self.orders_for_close(t, self.last_corr_id));
                 eod_closed += 1;
             }
             all_trades.extend(trades);
@@ -249,6 +266,7 @@ impl Component for StrategyHostNode {
         out(Message::Trades(Arc::new(TradeReport {
             param_set: self.param_set,
             trades: all_trades,
+            cause: Cause::derived([self.last_corr_id, self.last_bar_id]),
         })));
     }
 
@@ -280,7 +298,7 @@ impl StrategyHostNode {
                 let was = self.degraded[h.symbol];
                 self.degraded[h.symbol] = now;
                 if now && !was {
-                    self.flatten_touching(h.symbol, out);
+                    self.flatten_touching(h.symbol, h.cause.id, out);
                 }
             }
             out(Message::Health(h)); // ride on to risk management
@@ -289,7 +307,7 @@ impl StrategyHostNode {
 
     /// A symbol just went degraded: flatten every open position touching
     /// it at the last seen prices and emit the closing legs.
-    fn flatten_touching(&mut self, symbol: usize, out: &mut Emit<'_>) {
+    fn flatten_touching(&mut self, symbol: usize, parent: EventId, out: &mut Emit<'_>) {
         let mut closed: Vec<Trade> = Vec::new();
         for (rank, strategy) in self.strategies.iter_mut().enumerate() {
             let (i, j) = strategy.pair();
@@ -302,7 +320,7 @@ impl StrategyHostNode {
         }
         self.probe.count("positions.flattened", closed.len() as u64);
         for trade in closed {
-            for order in self.orders_for_close(&trade) {
+            for order in self.orders_for_close(&trade, parent) {
                 out(Message::Order(Arc::new(order)));
             }
         }
@@ -310,6 +328,9 @@ impl StrategyHostNode {
 
     fn process_corr(&mut self, snap: &CorrSnapshot, out: &mut Emit<'_>) {
         let s = snap.interval;
+        if snap.cause.id.is_set() {
+            self.last_corr_id = snap.cause.id;
+        }
         self.apply_health_through(s, out);
         // Collected inside the &mut strategies loop, turned into
         // orders (which need &self) afterwards.
@@ -394,12 +415,12 @@ impl StrategyHostNode {
             } else {
                 (position.short.stock, position.long.stock)
             };
-            for order in self.orders_for_open(&position, s, pair) {
+            for order in self.orders_for_open(&position, s, pair, snap.cause.id) {
                 out(Message::Order(Arc::new(order)));
             }
         }
         for trade in closed {
-            for order in self.orders_for_close(&trade) {
+            for order in self.orders_for_close(&trade, snap.cause.id) {
                 out(Message::Order(Arc::new(order)));
             }
         }
@@ -434,6 +455,7 @@ mod tests {
             interval,
             closes,
             ticks: vec![1; n],
+            cause: Cause::none(),
         }))
     }
 
@@ -444,6 +466,7 @@ mod tests {
             interval,
             stream: 0,
             matrix: m,
+            cause: Cause::none(),
         }))
     }
 
@@ -527,6 +550,7 @@ mod tests {
             interval: start + 2,
             symbol: 1,
             status: HealthStatus::Degraded(DegradeReason::Outage),
+            cause: Cause::none(),
         })));
         assert_eq!(forwarded_health, 0, "held until its effective interval");
         assert_eq!(orders.len(), 2, "no flatten before the interval");
@@ -610,6 +634,7 @@ mod tests {
                     interval: s,
                     stream: 0,
                     matrix: m,
+                    cause: Cause::none(),
                 })),
                 &mut sink,
             );

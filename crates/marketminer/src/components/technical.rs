@@ -12,7 +12,7 @@ use std::sync::Arc;
 use stats::online::Ewma;
 use telemetry::Probe;
 
-use crate::messages::{Message, ReturnSet};
+use crate::messages::{Cause, Message, ReturnSet};
 use crate::node::{Component, Emit, NodeState};
 
 /// Streaming returns + indicators for the whole universe.
@@ -84,6 +84,7 @@ impl Component for TechnicalAnalysisNode {
             out(Message::Returns(Arc::new(ReturnSet {
                 interval: bars.interval,
                 returns,
+                cause: Cause::derived([bars.cause.id]),
             })));
         }
         self.prev_closes = Some(bars.closes.clone());
@@ -117,6 +118,7 @@ mod tests {
             interval,
             closes,
             ticks: vec![1; n],
+            cause: Cause::none(),
         }))
     }
 
@@ -165,6 +167,7 @@ mod tests {
                 interval: 3,
                 symbol: 1,
                 status: HealthStatus::Healthy,
+                cause: Cause::none(),
             })),
             &mut |m| kinds.push(m.kind()),
         );
@@ -173,6 +176,7 @@ mod tests {
             Message::Trades(Arc::new(crate::messages::TradeReport {
                 param_set: 0,
                 trades: vec![],
+                cause: Cause::none(),
             })),
             &mut |_| {},
         );

@@ -57,6 +57,10 @@ pub enum GraphError {
     Unreachable(String),
     /// The graph has no source.
     NoSource,
+    /// A telemetry environment override failed to parse (see
+    /// [`telemetry::Caps::from_env`]). Surfaced at run start instead of
+    /// silently falling back to defaults.
+    Config(telemetry::ConfigError),
 }
 
 impl std::fmt::Display for GraphError {
@@ -69,6 +73,7 @@ impl std::fmt::Display for GraphError {
             GraphError::Cycle(n) => write!(f, "cycle through node {n}"),
             GraphError::Unreachable(n) => write!(f, "node {n} has no inbound edges"),
             GraphError::NoSource => write!(f, "graph has no source node"),
+            GraphError::Config(e) => write!(f, "telemetry configuration: {e}"),
         }
     }
 }

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use pairtrade_core::trade::Trade;
 use stats::matrix::SymMatrix;
 use taq::quote::Quote;
+pub use telemetry::lineage::{Cause, EventId};
 
 /// One interval's closing prices for the whole universe.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +21,8 @@ pub struct BarSet {
     pub closes: Vec<f64>,
     /// Ticks aggregated per stock this interval.
     pub ticks: Vec<u32>,
+    /// Causal provenance (stamped by the runtime at `Full`).
+    pub cause: Cause,
 }
 
 /// One interval's log returns for the whole universe.
@@ -30,6 +33,8 @@ pub struct ReturnSet {
     pub interval: usize,
     /// Log return per stock.
     pub returns: Vec<f64>,
+    /// Causal provenance (stamped by the runtime at `Full`).
+    pub cause: Cause,
 }
 
 /// A correlation-matrix snapshot.
@@ -44,6 +49,8 @@ pub struct CorrSnapshot {
     pub stream: usize,
     /// The all-pairs correlation matrix.
     pub matrix: SymMatrix,
+    /// Causal provenance (stamped by the runtime at `Full`).
+    pub cause: Cause,
 }
 
 /// Side of an order.
@@ -77,6 +84,8 @@ pub struct OrderRequest {
     /// True when this order requires human confirmation before release —
     /// Figure 1 shows both confirmed and unconfirmed order paths.
     pub needs_confirmation: bool,
+    /// Causal provenance (stamped by the runtime at `Full`).
+    pub cause: Cause,
 }
 
 /// An aggregated basket of orders for one interval — "aggregating the
@@ -88,6 +97,8 @@ pub struct Basket {
     pub interval: usize,
     /// The orders, in emission order.
     pub orders: Vec<OrderRequest>,
+    /// Causal provenance (stamped by the runtime at `Full`).
+    pub cause: Cause,
 }
 
 /// The end-of-day trade report of one strategy host, tagged with the
@@ -98,6 +109,8 @@ pub struct TradeReport {
     pub param_set: usize,
     /// The day's completed trades, in strategy order.
     pub trades: Vec<Trade>,
+    /// Causal provenance (stamped by the runtime at `Full`).
+    pub cause: Cause,
 }
 
 impl std::ops::Deref for TradeReport {
@@ -142,6 +155,8 @@ pub struct HealthEvent {
     pub symbol: usize,
     /// The new status.
     pub status: HealthStatus,
+    /// Causal provenance (stamped by the runtime at `Full`).
+    pub cause: Cause,
 }
 
 impl HealthEvent {
@@ -154,8 +169,10 @@ impl HealthEvent {
 /// Messages on DAG edges.
 #[derive(Debug, Clone)]
 pub enum Message {
-    /// A raw quote from a collector.
-    Quote(Quote),
+    /// A raw quote from a collector, with its causal context alongside
+    /// (quotes are `Copy` payloads from `taq` — the provenance rides the
+    /// message instead).
+    Quote(Quote, Cause),
     /// A completed interval of bars.
     Bars(Arc<BarSet>),
     /// A completed interval of returns.
@@ -189,14 +206,48 @@ impl Message {
             Message::Order(o) => Some(o.interval as u64),
             Message::Basket(b) => Some(b.interval as u64),
             Message::Health(h) => Some(h.interval as u64),
-            Message::Quote(_) | Message::Trades(_) | Message::Eof => None,
+            Message::Quote(..) | Message::Trades(_) | Message::Eof => None,
+        }
+    }
+
+    /// The message's causal context, if it carries one (everything but
+    /// the runtime-internal `Eof`).
+    pub fn cause(&self) -> Option<&Cause> {
+        match self {
+            Message::Quote(_, c) => Some(c),
+            Message::Bars(b) => Some(&b.cause),
+            Message::Returns(r) => Some(&r.cause),
+            Message::Corr(c) => Some(&c.cause),
+            Message::Order(o) => Some(&o.cause),
+            Message::Basket(b) => Some(&b.cause),
+            Message::Trades(t) => Some(&t.cause),
+            Message::Health(h) => Some(&h.cause),
+            Message::Eof => None,
+        }
+    }
+
+    /// Mutable causal context, for the runtime's stamping path. Arc'd
+    /// payloads go through `Arc::make_mut`: the payload is cloned only
+    /// when the Arc is shared (a forwarded copy getting its own identity
+    /// is exactly the provenance semantics we want).
+    pub fn cause_mut(&mut self) -> Option<&mut Cause> {
+        match self {
+            Message::Quote(_, c) => Some(c),
+            Message::Bars(b) => Some(&mut Arc::make_mut(b).cause),
+            Message::Returns(r) => Some(&mut Arc::make_mut(r).cause),
+            Message::Corr(c) => Some(&mut Arc::make_mut(c).cause),
+            Message::Order(o) => Some(&mut Arc::make_mut(o).cause),
+            Message::Basket(b) => Some(&mut Arc::make_mut(b).cause),
+            Message::Trades(t) => Some(&mut Arc::make_mut(t).cause),
+            Message::Health(h) => Some(&mut Arc::make_mut(h).cause),
+            Message::Eof => None,
         }
     }
 
     /// Short tag for debugging and sink filtering.
     pub fn kind(&self) -> &'static str {
         match self {
-            Message::Quote(_) => "quote",
+            Message::Quote(..) => "quote",
             Message::Bars(_) => "bars",
             Message::Returns(_) => "returns",
             Message::Corr(_) => "corr",
@@ -219,6 +270,7 @@ mod tests {
             interval: 0,
             closes: vec![],
             ticks: vec![],
+            cause: Cause::none(),
         });
         let msgs = [Message::Bars(b.clone()), Message::Bars(b)];
         assert_eq!(msgs[0].kind(), "bars");
@@ -230,6 +282,7 @@ mod tests {
             interval: 3,
             closes: vec![1.0; 10_000],
             ticks: vec![0; 10_000],
+            cause: Cause::none(),
         });
         let m1 = Message::Bars(Arc::clone(&big));
         let _m2 = m1.clone();

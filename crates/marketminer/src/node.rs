@@ -154,6 +154,7 @@ mod tests {
             interval: 1,
             closes: vec![1.0],
             ticks: vec![2],
+            cause: crate::messages::Cause::none(),
         }));
         p.on_message(msg, &mut |m| seen.push(m.kind()));
         assert_eq!(seen, vec!["bars"]);

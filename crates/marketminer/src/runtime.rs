@@ -70,6 +70,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use telemetry::lineage::{EventId, LineageEvent};
 use telemetry::metrics::AtomicHistogram;
 use telemetry::recorder::FlightKind;
 use telemetry::trace::{Arg, TrackId};
@@ -158,6 +159,9 @@ pub struct Runtime {
     /// Where a `Full` run writes its Chrome trace (falls back to the
     /// `MARKETMINER_TRACE` environment variable when unset).
     trace_path: Option<PathBuf>,
+    /// Where a `Full` run writes its lineage export (falls back to the
+    /// `MARKETMINER_LINEAGE` environment variable when unset).
+    lineage_path: Option<PathBuf>,
 }
 
 /// How a node's run ended.
@@ -390,6 +394,15 @@ struct RunTelemetry {
     edges: Vec<(usize, usize)>,
     /// `succ_edge_ids[u][k]` = edge id of `(u, succs[u][k])`.
     succ_edge_ids: Vec<Vec<usize>>,
+    /// Per-node next provenance sequence number: the position of the next
+    /// *created* message in the node's output stream (`Full` only).
+    /// Advances only on non-suppressed, non-severed emissions whose cause
+    /// is still unset, which is what makes event ids bit-identical across
+    /// worker counts and across checkpoint/replay — replayed emissions
+    /// are suppressed before they can reach the stamp.
+    next_out: Vec<AtomicU64>,
+    /// Per-consumer-node hop latency (producer stamp → delivery), µs.
+    hop_us: Vec<AtomicHistogram>,
     /// Cold-path probes, one per node: checkpoint/replay metrics and
     /// flight events.
     probes: Vec<Probe>,
@@ -426,9 +439,70 @@ impl RunTelemetry {
             turns: AtomicU64::new(0),
             edges: edges.to_vec(),
             succ_edge_ids,
+            next_out: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            hop_us: (0..n).map(|_| AtomicHistogram::default()).collect(),
             probes,
             tel,
         }
+    }
+
+    /// Stamp a newly *created* message (unset cause) with the node's next
+    /// `(node, seq)` identity and record its lineage event. Forwarded
+    /// messages — risk pass-throughs, health ride-alongs — arrive with
+    /// their cause already set and keep their creator's identity: the
+    /// lineage ring tracks data items, the trace's flow events track hops.
+    /// Called only at `Full`, under the emitting node's body lock (or on
+    /// the source's dedicated thread), so `next_out[idx]` is
+    /// single-writer.
+    fn stamp(&self, idx: usize, msg: &mut Message) {
+        match msg.cause() {
+            Some(c) if !c.id.is_set() => {}
+            _ => return,
+        }
+        let kind = msg.kind();
+        let interval = msg.interval();
+        let seq = self.next_out[idx].fetch_add(1, Ordering::Relaxed);
+        let wall = self.tel.now_us();
+        let cause = msg.cause_mut().expect("cause presence checked above");
+        cause.id = EventId::new(idx, seq);
+        cause.wall_us = wall;
+        self.tel.lineage.record(LineageEvent {
+            id: cause.id,
+            kind,
+            interval,
+            wall_us: wall,
+            parents: cause.parents.clone(),
+        });
+    }
+
+    /// Record delivery of a message at consumer `idx`: the hop latency
+    /// into `hop.us`, plus a Chrome flow event binding the producer's
+    /// stamp to this delivery. Quotes get neither and orders get no flow
+    /// arrow — the two per-tick/per-pair firehoses would flood the
+    /// bounded tracer (a 10-stock day produces >1M order-flow halves,
+    /// evicting every later span) and drown the Perfetto view; their
+    /// provenance still lives in the lineage ring, and order hop latency
+    /// still lands in the histogram.
+    fn note_delivery(&self, idx: usize, msg: &Message) {
+        if matches!(msg, Message::Quote(..)) {
+            return;
+        }
+        let Some(c) = msg.cause() else { return };
+        if !c.id.is_set() {
+            return;
+        }
+        let now = self.tel.now_us();
+        self.hop_us[idx].observe(now.saturating_sub(c.wall_us));
+        if matches!(msg, Message::Order(..)) {
+            return;
+        }
+        self.tel.tracer.flow(
+            msg.kind(),
+            TrackId::node(c.id.node()),
+            c.wall_us,
+            TrackId::node(idx),
+            now,
+        );
     }
 
     /// Fold every hot-path array into the sharded registry (end of run,
@@ -441,6 +515,7 @@ impl RunTelemetry {
             b.merge_histogram("inbox.depth", &self.inbox_depth[idx].snapshot());
             b.merge_histogram("batch.events", &self.batch_events[idx].snapshot());
             b.merge_histogram("step.ns", &self.step_latency[idx].snapshot());
+            b.merge_histogram("hop.us", &self.hop_us[idx].snapshot());
         }
         let s = self.tel.registry.bucket("scheduler");
         s.merge_histogram("run_queue.depth", &self.queue_depth.snapshot());
@@ -675,7 +750,7 @@ fn deliver(
     let h = &exec.health[idx];
     let emitted = Cell::new(0u64);
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut emit = |msg: Message| {
+        let mut emit = |mut msg: Message| {
             let k = emitted.get();
             emitted.set(k + 1);
             if k < skip {
@@ -685,6 +760,14 @@ fn deliver(
             h.busy_since_ms.store(exec.now_ms(), Ordering::Relaxed);
             if h.severed() {
                 return;
+            }
+            // Provenance stamp: only emissions that actually escape reach
+            // this point, so replayed (suppressed) messages never consume
+            // a sequence number — ids are exactly-once across restarts.
+            if let Some(rt) = &exec.rt {
+                if rt.full {
+                    rt.stamp(idx, &mut msg);
+                }
             }
             {
                 let mut st = exec.state.lock().expect("scheduler state");
@@ -873,12 +956,15 @@ fn run_component_node(exec: &Exec, idx: usize, body: &mut CompBody, turn: &mut T
             body.processed += 1;
             h.received.fetch_add(1, Ordering::Relaxed);
         }
-        if exec.rt.is_some() {
+        if let Some(rt) = &exec.rt {
             match &event {
                 Event::Msg(m) => {
                     turn.events += 1;
                     if turn.first_sim.is_none() {
                         turn.first_sim = m.interval();
+                    }
+                    if rt.full {
+                        rt.note_delivery(idx, m);
                     }
                 }
                 Event::End => turn.ended = true,
@@ -1010,10 +1096,13 @@ fn run_sink_node(exec: &Exec, idx: usize, msgs: &mut Vec<Message>, turn: &mut Tu
         };
         match event {
             Some(m) => {
-                if exec.rt.is_some() {
+                if let Some(rt) = &exec.rt {
                     turn.events += 1;
                     if turn.first_sim.is_none() {
                         turn.first_sim = m.interval();
+                    }
+                    if rt.full {
+                        rt.note_delivery(idx, &m);
                     }
                 }
                 msgs.push(m);
@@ -1157,7 +1246,12 @@ fn run_source(exec: Arc<Exec>, idx: usize, mut source: Box<dyn Source>) {
         _ => None,
     };
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut emit = |msg: Message| {
+        let mut emit = |mut msg: Message| {
+            if let Some(rt) = &exec.rt {
+                if rt.full {
+                    rt.stamp(idx, &mut msg);
+                }
+            }
             exec.blocking_fan_out(idx, msg);
             h.sent.fetch_add(1, Ordering::Relaxed);
         };
@@ -1341,6 +1435,15 @@ impl Runtime {
         self
     }
 
+    /// Write the lineage export of a `Full` run to `path` (overrides the
+    /// `MARKETMINER_LINEAGE` environment variable). The file is the JSON
+    /// document `explain_trade` consumes: every created message's event
+    /// id, kind, interval, wall-clock stamp and parent ids.
+    pub fn with_lineage_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.lineage_path = Some(path.into());
+        self
+    }
+
     /// Validate and execute the graph to completion on the worker pool.
     pub fn run(&self, graph: Graph) -> Result<RunOutput, GraphError> {
         graph.validate()?;
@@ -1356,10 +1459,13 @@ impl Runtime {
             preds[to].push(from);
         }
 
+        // Ring bounds come from the environment; a malformed override is
+        // a configuration error, not a silent fallback to defaults.
+        let caps = telemetry::Caps::from_env().map_err(GraphError::Config)?;
         let level = self.config.telemetry;
         let rt = level
             .enabled()
-            .then(|| RunTelemetry::new(Telemetry::new(level), &names, &edges));
+            .then(|| RunTelemetry::new(Telemetry::build(level, caps), &names, &edges));
 
         let mut schedulable = vec![true; n];
         let mut bodies: Vec<Mutex<NodeBody>> = Vec::with_capacity(n);
@@ -1505,6 +1611,23 @@ impl Runtime {
                         }
                     }
                 }
+                let lineage_path = self
+                    .lineage_path
+                    .clone()
+                    .or_else(|| telemetry::lineage_path_from_env().map(PathBuf::from));
+                if let Some(path) = lineage_path {
+                    let json = telemetry::lineage::export(
+                        &report.lineage,
+                        report.lineage_dropped,
+                        &exec.names,
+                    );
+                    match std::fs::write(&path, json) {
+                        Ok(()) => report.lineage_path = Some(path.display().to_string()),
+                        Err(e) => {
+                            eprintln!("telemetry: failed to write lineage {}: {e}", path.display())
+                        }
+                    }
+                }
             }
             report
         });
@@ -1524,7 +1647,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    use crate::messages::{BarSet, Message, TradeReport};
+    use crate::messages::{BarSet, Cause, Message, TradeReport};
     use crate::node::{self, Component, Emit, Passthrough, Source};
     use crate::supervisor::{RestartPolicy, WatchdogConfig};
 
@@ -1543,6 +1666,7 @@ mod tests {
                     interval: k,
                     closes: vec![k as f64],
                     ticks: vec![1],
+                    cause: Cause::none(),
                 })));
             }
         }
@@ -1562,6 +1686,7 @@ mod tests {
                     interval: b.interval,
                     closes: b.closes.iter().map(|c| c * 2.0).collect(),
                     ticks: b.ticks.clone(),
+                    cause: Cause::none(),
                 })));
             }
         }
@@ -1572,6 +1697,7 @@ mod tests {
                 interval: usize::MAX,
                 closes: vec![],
                 ticks: vec![],
+                cause: Cause::none(),
             })));
         }
     }
@@ -1793,6 +1919,7 @@ mod tests {
                     interval: b.interval,
                     closes: b.closes.iter().map(|c| c * 2.0).collect(),
                     ticks: b.ticks.clone(),
+                    cause: Cause::none(),
                 })));
             }
         }
@@ -1976,10 +2103,12 @@ mod tests {
                     interval: k,
                     closes: vec![1.0],
                     ticks: vec![1],
+                    cause: Cause::none(),
                 })));
                 out(Message::Trades(Arc::new(TradeReport {
                     param_set: 0,
                     trades: Vec::new(),
+                    cause: Cause::none(),
                 })));
             }
         }

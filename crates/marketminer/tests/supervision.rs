@@ -306,6 +306,64 @@ fn wedged_run_records_the_sever_in_the_flight_recorder() {
     assert_eq!(report.trace_events, 0);
 }
 
+/// Exactly-once lineage under the kill-test: the provenance event set
+/// after a mid-day panic + checkpoint/restart must be identical to a
+/// never-killed run's — ids unique (replayed emissions must not mint
+/// duplicates) and every (id, kind, interval, parents) coordinate equal.
+#[test]
+fn killed_run_lineage_matches_never_killed_run_exactly_once() {
+    use std::collections::HashSet;
+
+    fn canon(out: &marketminer::RunOutput) -> Vec<(u64, &'static str, Option<u64>, Vec<u64>)> {
+        let report = out.telemetry.as_ref().expect("report at Full");
+        assert_eq!(report.lineage_dropped, 0, "lineage ring overflowed");
+        report
+            .lineage
+            .iter()
+            .map(|e| {
+                (
+                    e.id.0,
+                    e.kind,
+                    e.interval,
+                    e.parents.iter().map(|p| p.0).collect(),
+                )
+            })
+            .collect()
+    }
+
+    let (day, n) = small_day(31);
+    let (g, _, _, _) = fig1_with_corr_tap(day, n, CorrFault::None);
+    let base = Runtime::new()
+        .with_telemetry(TelemetryLevel::Full)
+        .run(g)
+        .unwrap();
+    let base_lineage = canon(&base);
+    assert!(!base_lineage.is_empty());
+
+    let (day, n) = small_day(31);
+    let (g, corr_id, _, _) = fig1_with_corr_tap(day, n, CorrFault::PanicAt(300));
+    let supervision = SupervisionConfig::new(RestartPolicy::Limited { max_restarts: 2 }, 32);
+    let out = Runtime::new()
+        .supervised(supervision)
+        .with_telemetry(TelemetryLevel::Full)
+        .run(g)
+        .unwrap();
+    assert!(out.is_clean(), "failures: {:?}", out.failures);
+    assert_eq!(out.node_stats[corr_id.index()].restarts, 1);
+
+    let killed_lineage = canon(&out);
+    let ids: HashSet<u64> = killed_lineage.iter().map(|e| e.0).collect();
+    assert_eq!(
+        ids.len(),
+        killed_lineage.len(),
+        "replay minted duplicate lineage ids"
+    );
+    assert_eq!(
+        base_lineage, killed_lineage,
+        "provenance diverged between killed and never-killed runs"
+    );
+}
+
 /// Checkpoint cadence sanity: a panic landing right after a snapshot
 /// boundary still replays correctly (regression guard for off-by-one in
 /// the replay-log window).

@@ -214,6 +214,102 @@ fn sweep_at_full_telemetry_is_bit_identical_to_off() {
     }
 }
 
+/// A lineage event with the wall-clock stamp stripped: the deterministic
+/// coordinates (id, kind, interval, parent ids) that must be bit-identical
+/// across pool sizes and across kill/restart.
+type LineageKey = (u64, &'static str, Option<u64>, Vec<u64>);
+
+fn canon_lineage(out: &SweepOutput) -> Vec<LineageKey> {
+    let report = out.telemetry.as_ref().expect("report at Full");
+    assert_eq!(report.lineage_dropped, 0, "lineage ring overflowed");
+    report
+        .lineage
+        .iter()
+        .map(|e| {
+            (
+                e.id.0,
+                e.kind,
+                e.interval,
+                e.parents.iter().map(|p| p.0).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Tentpole acceptance: at `Full` the 42-parameter sweep's provenance is
+/// complete — every basket traces back through at least one correlation
+/// snapshot to at least one quote, no event references a parent missing
+/// from the ring, ids are unique, nothing was dropped — and the entire
+/// event set is bit-identical across pool sizes 1, 2 and
+/// `available_parallelism`.
+#[test]
+fn sweep_lineage_is_complete_and_identical_across_worker_counts() {
+    use std::collections::{HashMap, HashSet, VecDeque};
+
+    let _guard = lock_serial();
+    let (day, n) = small_day(91);
+    let cfg = SweepConfig::paper(n);
+
+    let base = run_sweep_at(day.clone(), &cfg, 1, TelemetryLevel::Full);
+    let base_lineage = canon_lineage(&base);
+    assert!(!base_lineage.is_empty(), "Full run recorded no lineage");
+
+    // Unique ids, zero orphan edges.
+    let ids: HashSet<u64> = base_lineage.iter().map(|e| e.0).collect();
+    assert_eq!(ids.len(), base_lineage.len(), "duplicate event ids");
+    for (id, kind, _, parents) in &base_lineage {
+        for p in parents {
+            assert!(
+                ids.contains(p),
+                "event {id:#x} ({kind}) references unrecorded parent {p:#x}"
+            );
+        }
+    }
+
+    // Every basket walks back through >=1 corr snapshot to >=1 quote.
+    let report = base.telemetry.as_ref().expect("report at Full");
+    let events: HashMap<u64, &telemetry::lineage::LineageEvent> =
+        report.lineage.iter().map(|e| (e.id.0, e)).collect();
+    assert!(
+        !base.baskets.is_empty(),
+        "completeness is vacuous: no baskets"
+    );
+    for basket in &base.baskets {
+        assert!(basket.cause.id.is_set(), "basket missing provenance stamp");
+        let (mut saw_corr, mut saw_quote) = (false, false);
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut queue = VecDeque::from([basket.cause.id.0]);
+        while let Some(id) = queue.pop_front() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let e = events[&id];
+            match e.kind {
+                "corr" => saw_corr = true,
+                "quote" => saw_quote = true,
+                _ => {}
+            }
+            queue.extend(e.parents.iter().map(|p| p.0));
+        }
+        assert!(saw_corr, "basket @{} has no corr ancestor", basket.interval);
+        assert!(
+            saw_quote,
+            "basket @{} has no quote ancestor",
+            basket.interval
+        );
+    }
+
+    // Bit-identical provenance at every pool size.
+    for workers in [2usize, 0] {
+        let other = run_sweep_at(day.clone(), &cfg, workers, TelemetryLevel::Full);
+        assert_eq!(
+            base_lineage,
+            canon_lineage(&other),
+            "lineage diverged at workers={workers}"
+        );
+    }
+}
+
 /// Observability must be near-free when switched off: the instrumented
 /// build at `TelemetryLevel::Off` (every probe compiled in, every hook a
 /// single branch) must stay within 10% of... itself, measured against the

@@ -1,10 +1,12 @@
 //! CI validator for exported Chrome traces: parses the JSON, checks the
-//! trace_event structure, and asserts that every named node track carries
-//! at least one real (non-metadata) event.
+//! trace_event structure, asserts that every named node track carries
+//! at least one real (non-metadata) event, and validates flow binds —
+//! every `ph:"s"` must have exactly one matching `ph:"f"` under a unique
+//! id, with no dangling half anywhere.
 //!
 //! Usage: `trace_check <trace.json> [--min-per-node N]`
-//! Exits non-zero with a diagnostic when the trace is malformed or a
-//! node track is silent.
+//! Exits non-zero with a diagnostic when the trace is malformed, a node
+//! track is silent, or the flow events do not pair up.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -58,6 +60,9 @@ fn main() -> ExitCode {
     let mut worker_tracks = 0usize;
     let mut counts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
     let mut total = 0u64;
+    // Flow-bind pairing: per flow id, how many starts ("s") and finishes
+    // ("f") were seen. A well-formed trace has exactly one of each.
+    let mut flows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
     for e in events.items() {
         let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
         let pid = e.get("pid").and_then(Json::as_u64).unwrap_or(0);
@@ -83,8 +88,51 @@ fn main() -> ExitCode {
             eprintln!("FAIL: event without ts: {}", e.render());
             return ExitCode::FAILURE;
         }
+        if ph == "s" || ph == "f" {
+            let Some(id) = e.get("id").and_then(Json::as_u64) else {
+                eprintln!("FAIL: flow event without id: {}", e.render());
+                return ExitCode::FAILURE;
+            };
+            let slot = flows.entry(id).or_insert((0, 0));
+            if ph == "s" {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
         *counts.entry((pid, tid)).or_insert(0) += 1;
         total += 1;
+    }
+
+    // Every flow id must bind exactly one start to exactly one finish.
+    let mut dangling_s = 0u64;
+    let mut dangling_f = 0u64;
+    let mut dup_ids = 0u64;
+    for (id, &(s, f)) in &flows {
+        if s > 1 || f > 1 {
+            dup_ids += 1;
+            if dup_ids <= 5 {
+                eprintln!("  flow id {id}: {s} start(s), {f} finish(es)");
+            }
+        } else if s == 0 {
+            dangling_f += 1;
+            if dangling_f <= 5 {
+                eprintln!("  flow id {id}: finish without a start");
+            }
+        } else if f == 0 {
+            dangling_s += 1;
+            if dangling_s <= 5 {
+                eprintln!("  flow id {id}: start without a finish");
+            }
+        }
+    }
+    if dangling_s + dangling_f + dup_ids > 0 {
+        eprintln!(
+            "FAIL: flow validation: {dangling_s} dangling start(s), {dangling_f} dangling \
+             finish(es), {dup_ids} duplicated id(s) across {} flows",
+            flows.len()
+        );
+        return ExitCode::FAILURE;
     }
 
     if node_names.is_empty() {
@@ -110,8 +158,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "OK: {path}: {total} events, {} node tracks (all >= {min_per_node}), {worker_tracks} worker tracks",
-        node_names.len()
+        "OK: {path}: {total} events, {} node tracks (all >= {min_per_node}), {worker_tracks} \
+         worker tracks, {} flow binds (all paired)",
+        node_names.len(),
+        flows.len()
     );
     ExitCode::SUCCESS
 }

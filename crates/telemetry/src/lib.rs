@@ -24,6 +24,7 @@
 //! `Full` adds timing, spans and the trace.
 
 pub mod json;
+pub mod lineage;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
@@ -32,6 +33,7 @@ pub mod trace;
 use std::sync::Arc;
 use std::time::Instant;
 
+use lineage::LineageRing;
 use metrics::{Bucket, Name, Registry};
 use recorder::{FlightKind, FlightRecorder};
 use trace::{Arg, Tracer, TrackId};
@@ -45,6 +47,88 @@ pub const TELEMETRY_ENV: &str = "MARKETMINER_TELEMETRY";
 /// Environment variable naming the Chrome-trace output path (implies
 /// nothing about level: the trace is only written at `Full`).
 pub const TRACE_ENV: &str = "MARKETMINER_TRACE";
+
+/// Environment variable naming the lineage-export output path (like the
+/// trace, only written at `Full`).
+pub const LINEAGE_ENV: &str = "MARKETMINER_LINEAGE";
+
+/// Environment variable overriding the flight-recorder bound.
+pub const RECORDER_CAP_ENV: &str = "MARKETMINER_RECORDER_CAP";
+
+/// Environment variable overriding the lineage-ring bound.
+pub const LINEAGE_CAP_ENV: &str = "MARKETMINER_LINEAGE_CAP";
+
+/// A telemetry configuration error. Unlike a missing variable (which
+/// falls back to a default), a *malformed* value is a hard error: a run
+/// that silently ignored `MARKETMINER_LINEAGE_CAP=1e6` would drop
+/// lineage without the operator ever learning why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// An environment variable was set to a value that does not parse.
+    InvalidEnv {
+        /// The variable's name.
+        var: &'static str,
+        /// The rejected value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidEnv { var, value } => {
+                write!(f, "{var}={value:?} is not a positive integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Ring/collector bounds for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Caps {
+    /// Flight-recorder bound.
+    pub flight: usize,
+    /// Chrome-trace collector bound.
+    pub trace: usize,
+    /// Lineage-ring bound.
+    pub lineage: usize,
+}
+
+impl Default for Caps {
+    fn default() -> Self {
+        Caps {
+            flight: DEFAULT_FLIGHT_CAP,
+            trace: DEFAULT_TRACE_CAP,
+            lineage: lineage::DEFAULT_LINEAGE_CAP,
+        }
+    }
+}
+
+impl Caps {
+    /// Bounds from the environment: unset variables keep their defaults,
+    /// set-but-malformed values are a [`ConfigError`].
+    pub fn from_env() -> Result<Caps, ConfigError> {
+        Ok(Caps {
+            flight: cap_from_env(RECORDER_CAP_ENV, DEFAULT_FLIGHT_CAP)?,
+            trace: DEFAULT_TRACE_CAP,
+            lineage: cap_from_env(LINEAGE_CAP_ENV, lineage::DEFAULT_LINEAGE_CAP)?,
+        })
+    }
+}
+
+fn cap_from_env(var: &'static str, default: usize) -> Result<usize, ConfigError> {
+    match std::env::var(var) {
+        Err(_) => Ok(default),
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or(ConfigError::InvalidEnv { var, value: raw }),
+    }
+}
 
 /// How much a run measures.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
@@ -107,6 +191,15 @@ pub fn trace_path_from_env() -> Option<String> {
         .filter(|s| !s.is_empty())
 }
 
+/// Lineage output path from the `MARKETMINER_LINEAGE` environment
+/// variable.
+pub fn lineage_path_from_env() -> Option<String> {
+    std::env::var(LINEAGE_ENV)
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+}
+
 /// The per-run telemetry hub: one shared instance per `Runtime::run`,
 /// handed to probes, the supervisor and the exporters.
 pub struct Telemetry {
@@ -118,6 +211,8 @@ pub struct Telemetry {
     pub recorder: FlightRecorder,
     /// The Chrome-trace collector.
     pub tracer: Tracer,
+    /// The causal-lineage ring.
+    pub lineage: LineageRing,
 }
 
 /// Default flight-recorder bound.
@@ -130,17 +225,31 @@ pub const DEFAULT_TRACE_CAP: usize = 400_000;
 impl Telemetry {
     /// New hub at the given level with default bounds.
     pub fn new(level: TelemetryLevel) -> Arc<Telemetry> {
-        Telemetry::with_caps(level, DEFAULT_FLIGHT_CAP, DEFAULT_TRACE_CAP)
+        Telemetry::build(level, Caps::default())
     }
 
-    /// New hub with explicit flight-recorder and tracer bounds.
+    /// New hub with explicit flight-recorder and tracer bounds (lineage
+    /// keeps its default).
     pub fn with_caps(level: TelemetryLevel, flight_cap: usize, trace_cap: usize) -> Arc<Telemetry> {
+        Telemetry::build(
+            level,
+            Caps {
+                flight: flight_cap,
+                trace: trace_cap,
+                ..Caps::default()
+            },
+        )
+    }
+
+    /// New hub with every bound explicit.
+    pub fn build(level: TelemetryLevel, caps: Caps) -> Arc<Telemetry> {
         Arc::new(Telemetry {
             level,
             start: Instant::now(),
             registry: Registry::default(),
-            recorder: FlightRecorder::new(flight_cap),
-            tracer: Tracer::new(trace_cap),
+            recorder: FlightRecorder::new(caps.flight),
+            tracer: Tracer::new(caps.trace),
+            lineage: LineageRing::new(caps.lineage),
         })
     }
 
@@ -201,6 +310,9 @@ impl Telemetry {
             trace_events: self.tracer.len() as u64,
             trace_dropped: self.tracer.dropped(),
             trace_path: None,
+            lineage: self.lineage.drain(),
+            lineage_dropped: self.lineage.dropped(),
+            lineage_path: None,
         }
     }
 }

@@ -5,6 +5,7 @@
 
 use std::fmt::Write as _;
 
+use crate::lineage::LineageEvent;
 use crate::metrics::MetricsSnapshot;
 use crate::recorder::FlightEvent;
 use crate::TelemetryLevel;
@@ -27,6 +28,12 @@ pub struct TelemetryReport {
     pub trace_dropped: u64,
     /// Where the Chrome trace was written, if anywhere.
     pub trace_path: Option<String>,
+    /// Lineage events in canonical id order (empty below `Full`).
+    pub lineage: Vec<LineageEvent>,
+    /// Lineage events evicted by the ring bound.
+    pub lineage_dropped: u64,
+    /// Where the lineage export was written, if anywhere.
+    pub lineage_path: Option<String>,
 }
 
 impl TelemetryReport {
@@ -69,18 +76,19 @@ impl TelemetryReport {
                 .max(9);
             let _ = writeln!(
                 out,
-                "{:<width$} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
-                "histogram", "count", "mean", "p50", "p90", "p99", "max"
+                "{:<width$} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "mean", "p50", "p90", "p95", "p99", "max"
             );
             for ((label, name), h) in &self.metrics.histograms {
                 let key = format!("{label}/{name}");
                 let _ = writeln!(
                     out,
-                    "{key:<width$} {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12}",
+                    "{key:<width$} {:>10} {:>12.1} {:>12} {:>12} {:>12} {:>12} {:>12}",
                     h.count(),
                     h.mean(),
                     h.quantile(0.5),
                     h.quantile(0.9),
+                    h.quantile(0.95),
                     h.quantile(0.99),
                     h.max()
                 );
@@ -110,6 +118,32 @@ impl TelemetryReport {
                     e.detail
                 );
             }
+        }
+
+        if !self.lineage.is_empty() || self.lineage_dropped > 0 {
+            let mut by_kind: std::collections::BTreeMap<&str, u64> =
+                std::collections::BTreeMap::new();
+            let mut edges = 0u64;
+            for e in &self.lineage {
+                *by_kind.entry(e.kind).or_default() += 1;
+                edges += e.parents.len() as u64;
+            }
+            let kinds = by_kind
+                .iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                out,
+                "\n-- lineage: {} events, {} edges, {} dropped{} ({kinds}) --",
+                self.lineage.len(),
+                edges,
+                self.lineage_dropped,
+                self.lineage_path
+                    .as_deref()
+                    .map(|p| format!(", written to {p}"))
+                    .unwrap_or_default()
+            );
         }
 
         if self.trace_events > 0 || self.trace_dropped > 0 {
@@ -156,6 +190,15 @@ mod tests {
             trace_events: 3,
             trace_dropped: 0,
             trace_path: None,
+            lineage: vec![crate::lineage::LineageEvent {
+                id: crate::lineage::EventId::new(0, 0),
+                kind: "bars",
+                interval: Some(1),
+                wall_us: 10,
+                parents: vec![crate::lineage::EventId::new(1, 4)],
+            }],
+            lineage_dropped: 2,
+            lineage_path: None,
         };
         let text = rep.render();
         assert!(text.contains("level: full"));
@@ -164,5 +207,10 @@ mod tests {
         assert!(text.contains("[restart"));
         assert!(text.contains("sim=17"));
         assert!(text.contains("3 events captured"));
+        assert!(text.contains("p95"), "histogram table reports p95");
+        assert!(
+            text.contains("lineage: 1 events, 1 edges, 2 dropped (bars=1)"),
+            "{text}"
+        );
     }
 }

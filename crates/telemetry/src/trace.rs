@@ -65,6 +65,8 @@ enum Phase {
     Complete { dur_us: u64 },
     Instant,
     Counter { value: u64 },
+    FlowStart { id: u64 },
+    FlowFinish { id: u64 },
 }
 
 struct TraceEvent {
@@ -83,6 +85,9 @@ pub struct Tracer {
     cap: usize,
     events: Mutex<Vec<TraceEvent>>,
     dropped: AtomicU64,
+    /// Flow-bind id allocator: every `flow()` call gets a fresh id, so
+    /// each `"s"` event has exactly one matching `"f"`.
+    next_flow: AtomicU64,
     /// Track-name metadata, emitted for every track up front so the
     /// exporter (and CI's trace check) can enumerate expected tracks even
     /// if a node never ran.
@@ -96,6 +101,7 @@ impl Tracer {
             cap: cap.max(1),
             events: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
+            next_flow: AtomicU64::new(0),
             names: Mutex::new(Vec::new()),
         }
     }
@@ -149,6 +155,43 @@ impl Tracer {
             ts_us,
             name: name.into(),
             args,
+        });
+    }
+
+    /// A cross-track flow bind: `ph: "s"` on the producer's track at the
+    /// emission time, `ph: "f"` (binding point `"e"`) on the consumer's
+    /// track at the delivery time, sharing a fresh unique id. Both events
+    /// are appended atomically — the cap can never strand a dangling
+    /// `"s"` without its `"f"`.
+    pub fn flow(
+        &self,
+        name: impl Into<String>,
+        from: TrackId,
+        from_ts_us: u64,
+        to: TrackId,
+        to_ts_us: u64,
+    ) {
+        let id = self.next_flow.fetch_add(1, Ordering::Relaxed) + 1;
+        let name = name.into();
+        let mut events = self.events.lock().expect("trace events");
+        if events.len() + 2 > self.cap {
+            self.dropped.fetch_add(2, Ordering::Relaxed);
+            return;
+        }
+        events.push(TraceEvent {
+            phase: Phase::FlowStart { id },
+            track: from,
+            ts_us: from_ts_us,
+            name: name.clone(),
+            args: Vec::new(),
+        });
+        events.push(TraceEvent {
+            phase: Phase::FlowFinish { id },
+            track: to,
+            // Chrome requires the finish at or after the start.
+            ts_us: to_ts_us.max(from_ts_us),
+            name,
+            args: Vec::new(),
         });
     }
 
@@ -225,6 +268,8 @@ impl Tracer {
                             Phase::Complete { .. } => "X",
                             Phase::Instant => "i",
                             Phase::Counter { .. } => "C",
+                            Phase::FlowStart { .. } => "s",
+                            Phase::FlowFinish { .. } => "f",
                         }
                         .into(),
                     ),
@@ -246,6 +291,15 @@ impl Tracer {
                         "args".into(),
                         Json::Obj(vec![("value".into(), Json::Num(*value as f64))]),
                     ));
+                }
+                Phase::FlowStart { id } => {
+                    fields.push(("cat".into(), Json::Str("lineage".into())));
+                    fields.push(("id".into(), Json::Num(*id as f64)));
+                }
+                Phase::FlowFinish { id } => {
+                    fields.push(("cat".into(), Json::Str("lineage".into())));
+                    fields.push(("id".into(), Json::Num(*id as f64)));
+                    fields.push(("bp".into(), Json::Str("e".into())));
                 }
             }
             if !ev.args.is_empty() {
@@ -298,6 +352,54 @@ mod tests {
             slice.get("args").unwrap().get("interval").unwrap().as_u64(),
             Some(7)
         );
+    }
+
+    #[test]
+    fn flow_binds_are_paired_with_unique_ids() {
+        let t = Tracer::new(100);
+        t.flow("bars", TrackId::node(1), 10, TrackId::node(2), 25);
+        t.flow("corr", TrackId::node(2), 30, TrackId::node(3), 20);
+        let doc = json::parse(&t.export()).unwrap();
+        let events = doc.get("traceEvents").unwrap().items();
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .collect();
+        let finishes: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .collect();
+        assert_eq!(starts.len(), 2);
+        assert_eq!(finishes.len(), 2);
+        let mut ids: Vec<u64> = starts
+            .iter()
+            .map(|e| e.get("id").unwrap().as_u64().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 2, "flow ids are unique");
+        for f in &finishes {
+            assert_eq!(f.get("bp").and_then(Json::as_str), Some("e"));
+            let id = f.get("id").unwrap().as_u64().unwrap();
+            let s = starts
+                .iter()
+                .find(|s| s.get("id").unwrap().as_u64() == Some(id))
+                .expect("matching start");
+            assert_eq!(s.get("name"), f.get("name"), "bound names match");
+            assert!(
+                s.get("ts").unwrap().as_u64() <= f.get("ts").unwrap().as_u64(),
+                "finish at or after start"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_cap_never_strands_a_dangling_start() {
+        let t = Tracer::new(3);
+        t.flow("a", TrackId::node(0), 0, TrackId::node(1), 1); // fits
+        t.flow("b", TrackId::node(0), 2, TrackId::node(1), 3); // would strand
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 2, "both halves of the second flow dropped");
     }
 
     #[test]

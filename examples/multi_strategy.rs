@@ -10,8 +10,10 @@
 //! cargo run --release --example multi_strategy
 //! # pin the pool: MARKETMINER_WORKERS=2 cargo run --release --example multi_strategy
 //! # observe it:   MARKETMINER_TELEMETRY=full MARKETMINER_TRACE=sweep.json \
+//! #               MARKETMINER_LINEAGE=lineage.json \
 //! #               cargo run --release --example multi_strategy
-//! # then open sweep.json in https://ui.perfetto.dev
+//! # then open sweep.json in https://ui.perfetto.dev, and explain a trade:
+//! # cargo run -p telemetry --bin explain_trade -- lineage.json
 //! ```
 
 use marketminer::components::risk::RiskLimits;
@@ -85,6 +87,12 @@ fn main() {
         println!("\n{}", report.render());
         if let Some(path) = &report.trace_path {
             println!("trace written to {path} — open it in https://ui.perfetto.dev");
+        }
+        if let Some(path) = &report.lineage_path {
+            println!(
+                "lineage written to {path} — explain a trade with: \
+                 cargo run -p telemetry --bin explain_trade -- {path}"
+            );
         }
     }
 }
