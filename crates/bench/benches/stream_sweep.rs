@@ -10,14 +10,25 @@
 //! redundancy factor of the correlation work (42/9), shrinking toward the
 //! non-correlation floor as other stages grow.
 //!
-//! Writes the measured numbers to `BENCH_stream_sweep.json` at the
+//! Both sides are measured once per requested worker count
+//! (`STREAM_SWEEP_WORKERS`, default `1,max` — a comma-separated list of
+//! pool sizes where `max` means `available_parallelism`), so the saved
+//! baseline covers the serial floor AND the fully-parallel configuration.
+//! A single flat number hid an entire class of regressions: a change that
+//! serialised the graph looked fine when the baseline itself was measured
+//! at workers=1.
+//!
+//! Writes the per-worker measurements to `BENCH_stream_sweep.json` at the
 //! workspace root (override iterations with `STREAM_SWEEP_ITERS`).
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use marketminer::pipeline::{run_fig1_pipeline, run_sweep_pipeline, Fig1Config, SweepConfig};
-use marketminer::RuntimeConfig;
+use marketminer::components::ReplayCollector;
+use marketminer::pipeline::{
+    run_fig1_pipeline_with, run_sweep_pipeline_with, Fig1Config, SweepConfig,
+};
+use marketminer::{Runtime, RuntimeConfig};
 use taq::dataset::DayData;
 use taq::generator::{MarketConfig, MarketGenerator};
 
@@ -50,6 +61,16 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(2);
+    // Worker-count specs to measure. Each spec is either a pool size or
+    // `max` (resolve `available_parallelism` at run time). Keeping the
+    // *spec* — not the resolved count — as the row key lets bench_compare
+    // match a baseline measured on different hardware like-for-like.
+    let specs: Vec<String> = std::env::var("STREAM_SWEEP_WORKERS")
+        .unwrap_or_else(|_| "1,max".to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
 
     let bench_start = Instant::now();
     let day = make_day();
@@ -62,41 +83,75 @@ fn main() {
         "n={N_STOCKS}, quotes={quotes}, params={n_params}, distinct corr streams={n_streams}, iters={iters}"
     );
 
-    let singles_secs = time_secs(iters, || {
-        let mut total = 0usize;
-        for p in &cfg.params {
-            let single = run_fig1_pipeline(day.clone(), &Fig1Config::new(N_STOCKS, *p)).unwrap();
-            total += single.trades.len();
+    let telemetry_level = RuntimeConfig::default().telemetry.as_str().to_string();
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let workers: usize = if spec == "max" {
+            0
+        } else {
+            spec.parse()
+                .unwrap_or_else(|_| panic!("bad STREAM_SWEEP_WORKERS entry {spec:?}"))
+        };
+        let make_runtime = || {
+            Runtime::with_config(RuntimeConfig {
+                workers,
+                ..RuntimeConfig::default()
+            })
+        };
+        let resolved_workers = RuntimeConfig {
+            workers,
+            ..RuntimeConfig::default()
         }
-        black_box(total);
-    });
-    println!("42 single-param graphs: {singles_secs:>10.3} s/day");
+        .resolved_workers();
+        println!("-- workers={spec} (resolved: {resolved_workers}) --");
 
-    let sweep_secs = time_secs(iters, || {
-        let out = run_sweep_pipeline(day.clone(), &cfg).unwrap();
-        black_box(out.trades_per_param.len());
-    });
-    println!("shared-stream sweep:    {sweep_secs:>10.3} s/day");
-    let speedup = singles_secs / sweep_secs;
-    println!(
-        "speedup:                {speedup:>10.2}x (corr redundancy bound: {:.2}x)",
-        n_params as f64 / n_streams as f64
-    );
+        let run_start = Instant::now();
+        let singles_secs = time_secs(iters, || {
+            let mut total = 0usize;
+            for p in &cfg.params {
+                let single = run_fig1_pipeline_with(
+                    make_runtime(),
+                    Box::new(ReplayCollector::new(day.clone())),
+                    &Fig1Config::new(N_STOCKS, *p),
+                )
+                .unwrap();
+                total += single.trades.len();
+            }
+            black_box(total);
+        });
+        println!("42 single-param graphs: {singles_secs:>10.3} s/day");
 
-    // Environment metadata: the pool size the runs actually used (after
-    // MARKETMINER_WORKERS / available_parallelism resolution), the
-    // telemetry level inherited from MARKETMINER_TELEMETRY, and when the
-    // measurement was taken — so saved baselines are comparable.
-    let runtime_cfg = RuntimeConfig::default();
-    let workers = std::thread::available_parallelism().map_or(0, |n| n.get());
-    let resolved_workers = runtime_cfg.resolved_workers();
-    let telemetry_level = runtime_cfg.telemetry.as_str();
+        let sweep_secs = time_secs(iters, || {
+            let out = run_sweep_pipeline_with(
+                make_runtime(),
+                Box::new(ReplayCollector::new(day.clone())),
+                &cfg,
+            )
+            .unwrap();
+            black_box(out.trades_per_param.len());
+        });
+        println!("shared-stream sweep:    {sweep_secs:>10.3} s/day");
+        let speedup = singles_secs / sweep_secs;
+        println!(
+            "speedup:                {speedup:>10.2}x (corr redundancy bound: {:.2}x)",
+            n_params as f64 / n_streams as f64
+        );
+        let wall_clock_secs = run_start.elapsed().as_secs_f64();
+        rows.push(format!(
+            "    {{\n      \"workers\": \"{spec}\",\n      \"resolved_workers\": {resolved_workers},\n      \"wall_clock_secs\": {wall_clock_secs:.3},\n      \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n      \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n      \"speedup\": {speedup:.4}\n    }}"
+        ));
+    }
+
+    // Environment metadata: telemetry inherited from MARKETMINER_TELEMETRY
+    // and when the measurement was taken, so saved baselines are
+    // comparable. One row per worker spec.
     let measured_at_epoch_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    let wall_clock_secs = bench_start.elapsed().as_secs_f64();
+    let total_wall_clock_secs = bench_start.elapsed().as_secs_f64();
     let json = format!(
-        "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"workers\": {workers},\n  \"resolved_workers\": {resolved_workers},\n  \"telemetry_level\": \"{telemetry_level}\",\n  \"measured_at_epoch_secs\": {measured_at_epoch_secs},\n  \"wall_clock_secs\": {wall_clock_secs:.3},\n  \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n  \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n  \"speedup\": {speedup:.4}\n}}\n"
+        "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"telemetry_level\": \"{telemetry_level}\",\n  \"measured_at_epoch_secs\": {measured_at_epoch_secs},\n  \"total_wall_clock_secs\": {total_wall_clock_secs:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
     );
     // `STREAM_SWEEP_OUT` redirects the result file — CI writes a fresh
     // measurement somewhere disposable and diffs it against the committed

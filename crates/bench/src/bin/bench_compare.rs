@@ -4,12 +4,21 @@
 //!
 //! Usage:
 //!   bench_compare <fresh.json> [--baseline <path>] [--tolerance-pct <N>]
+//!                 [--workers <spec>]
+//!
+//! Both files carry a `runs` array with one row per worker-count spec
+//! (`"1"`, `"max"`, ...). Rows are matched **by spec**, never by position:
+//! a fresh workers=max measurement is only ever compared against the
+//! baseline's workers=max row. A fresh row with no matching baseline row
+//! is refused (exit 2) — silently skipping it is how the old single-row
+//! format let multi-worker regressions through. `--workers` restricts the
+//! gate to one spec (the CI matrix runs one leg per spec).
 //!
 //! Defaults: baseline = `BENCH_stream_sweep.json` at the workspace root,
 //! tolerance = 15 (%). Exit codes: 0 = within tolerance, 1 = regression,
-//! 2 = usage error or incomparable workloads (different stock count,
-//! parameter grid, or seed — a diff between those would be meaningless,
-//! so it is refused rather than reported).
+//! 2 = usage error or incomparable runs (different stock count, parameter
+//! grid, seed, or a worker spec missing from the baseline — a diff between
+//! those would be meaningless, so it is refused rather than reported).
 //!
 //! To update the baseline after an intentional performance change, rerun
 //! the bench without `STREAM_SWEEP_OUT` (it rewrites the workspace-root
@@ -40,11 +49,30 @@ fn num(doc: &Json, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing numeric field `{key}`"))
 }
 
+/// The per-worker rows of a result file, as `(spec, row)` pairs.
+fn runs(doc: &Json, path: &str) -> Result<Vec<(String, Json)>, String> {
+    let rows = doc
+        .get("runs")
+        .map(Json::items)
+        .filter(|rows| !rows.is_empty())
+        .ok_or_else(|| format!("{path} has no `runs` array (pre-per-worker format?)"))?;
+    rows.iter()
+        .map(|row| {
+            let spec = row
+                .get("workers")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: run row missing string `workers` spec"))?;
+            Ok((spec.to_string(), row.clone()))
+        })
+        .collect()
+}
+
 fn run() -> Result<bool, String> {
     let mut args = std::env::args().skip(1);
     let mut fresh_path = None;
     let mut baseline_path = "BENCH_stream_sweep.json".to_string();
     let mut tolerance_pct = 15.0f64;
+    let mut only_workers: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => {
@@ -57,14 +85,19 @@ fn run() -> Result<bool, String> {
                     .filter(|t: &f64| t.is_finite() && *t >= 0.0)
                     .ok_or("--tolerance-pct needs a non-negative number")?;
             }
+            "--workers" => {
+                only_workers = Some(args.next().ok_or("--workers needs a spec (e.g. 1, max)")?);
+            }
             a if fresh_path.is_none() && !a.starts_with('-') => {
                 fresh_path = Some(a.to_string());
             }
             a => return Err(format!("unknown argument {a}")),
         }
     }
-    let fresh_path = fresh_path
-        .ok_or("usage: bench_compare <fresh.json> [--baseline <path>] [--tolerance-pct <N>]")?;
+    let fresh_path = fresh_path.ok_or(
+        "usage: bench_compare <fresh.json> [--baseline <path>] [--tolerance-pct <N>] \
+         [--workers <spec>]",
+    )?;
 
     let fresh = load(&fresh_path)?;
     let baseline = load(&baseline_path)?;
@@ -84,24 +117,59 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    let fresh_runs = runs(&fresh, &fresh_path)?;
+    let baseline_runs = runs(&baseline, &baseline_path)?;
+    let gated: Vec<&(String, Json)> = match &only_workers {
+        Some(spec) => {
+            let picked: Vec<_> = fresh_runs.iter().filter(|(s, _)| s == spec).collect();
+            if picked.is_empty() {
+                return Err(format!(
+                    "fresh file has no run for --workers {spec} (has: {})",
+                    fresh_runs
+                        .iter()
+                        .map(|(s, _)| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            picked
+        }
+        None => fresh_runs.iter().collect(),
+    };
+
     println!("comparing {fresh_path} against {baseline_path} (tolerance {tolerance_pct}%)");
     let mut regressed = false;
-    for metric in METRICS {
-        let f = num(&fresh, metric)?;
-        let b = num(&baseline, metric)?;
-        if b <= 0.0 {
-            return Err(format!("baseline `{metric}` is not positive ({b})"));
+    for (spec, fresh_row) in gated {
+        // Like-for-like only: match the baseline row by worker spec.
+        let base_row = baseline_runs
+            .iter()
+            .find(|(s, _)| s == spec)
+            .map(|(_, row)| row)
+            .ok_or_else(|| {
+                format!(
+                    "baseline {baseline_path} has no workers={spec} row — refusing to compare \
+                     across worker counts; regenerate the baseline with \
+                     STREAM_SWEEP_WORKERS including {spec}"
+                )
+            })?;
+        println!("workers={spec}:");
+        for metric in METRICS {
+            let f = num(fresh_row, metric)?;
+            let b = num(base_row, metric)?;
+            if b <= 0.0 {
+                return Err(format!("baseline `{metric}` is not positive ({b})"));
+            }
+            let delta_pct = (f - b) / b * 100.0;
+            let verdict = if delta_pct > tolerance_pct {
+                regressed = true;
+                "REGRESSION"
+            } else if delta_pct < -tolerance_pct {
+                "improved"
+            } else {
+                "ok"
+            };
+            println!("  {metric}: {b:.3} s -> {f:.3} s ({delta_pct:+.1}%)  {verdict}");
         }
-        let delta_pct = (f - b) / b * 100.0;
-        let verdict = if delta_pct > tolerance_pct {
-            regressed = true;
-            "REGRESSION"
-        } else if delta_pct < -tolerance_pct {
-            "improved"
-        } else {
-            "ok"
-        };
-        println!("  {metric}: {b:.3} s -> {f:.3} s ({delta_pct:+.1}%)  {verdict}");
     }
     if regressed {
         println!(

@@ -10,6 +10,8 @@
 use std::sync::Arc;
 
 use stats::correlation::CorrType;
+use stats::maronna::MaronnaSeed;
+use stats::matrix::SymMatrix;
 use stats::parallel::ParallelCorrEngine;
 use stats::sliding_matrix::OnlineCorrMatrix;
 use telemetry::Probe;
@@ -17,6 +19,15 @@ use timeseries::window::SlidingWindow;
 
 use crate::messages::{Cause, CorrSnapshot, Message};
 use crate::node::{Component, Emit, NodeState};
+
+/// How many released snapshot allocations the node retains for reuse.
+///
+/// A snapshot's `Arc` travels to downstream consumers; once they all drop
+/// it the allocation (a ~15 KB packed matrix at n = 61) is recycled for a
+/// later interval instead of hitting the allocator again. Four covers the
+/// longest in-flight chain in the sweep graph (fan-in, strategy host,
+/// flight recorder) with slack.
+const POOL_DEPTH: usize = 4;
 
 /// How the node maintains pair state.
 #[derive(Clone)]
@@ -31,7 +42,21 @@ enum EngineKind {
         /// Scratch buffers reused across intervals to avoid re-allocating
         /// `n * M` floats per snapshot.
         scratch: Vec<Vec<f64>>,
+        /// Per-pair warm-start state for the robust measures: the previous
+        /// interval's converged Maronna `(location, scatter)` in canonical
+        /// pair-rank order. Empty for measures with no iterative fit.
+        seeds: Vec<Option<MaronnaSeed>>,
     },
+}
+
+/// Seed slots for a windowed engine: one per pair for the iterative robust
+/// measures, none otherwise.
+fn robust_seed_slots(ctype: CorrType, n_stocks: usize) -> Vec<Option<MaronnaSeed>> {
+    if matches!(ctype, CorrType::Maronna | CorrType::Combined) {
+        vec![None; n_stocks * (n_stocks - 1) / 2]
+    } else {
+        Vec::new()
+    }
 }
 
 /// Streaming all-pairs correlation node.
@@ -53,6 +78,10 @@ pub struct CorrelationEngineNode {
     degraded: Vec<bool>,
     /// Messages neither consumed nor forwarded.
     dropped: u64,
+    /// Retired snapshot `Arc`s kept for allocation reuse: an entry whose
+    /// strong count has dropped back to 1 has been released by every
+    /// downstream consumer and can be overwritten in place.
+    pool: Vec<Arc<CorrSnapshot>>,
     name: String,
     probe: Probe,
 }
@@ -73,6 +102,7 @@ impl CorrelationEngineNode {
                 engine: ParallelCorrEngine::new(ctype),
                 windows: (0..n_stocks).map(|_| SlidingWindow::new(m)).collect(),
                 scratch: (0..n_stocks).map(|_| Vec::with_capacity(m)).collect(),
+                seeds: robust_seed_slots(ctype, n_stocks),
             }
         };
         CorrelationEngineNode {
@@ -83,6 +113,7 @@ impl CorrelationEngineNode {
             kind,
             degraded: vec![false; n_stocks],
             dropped: 0,
+            pool: Vec::new(),
             name: format!("corr-engine({ctype}, M={m})"),
             probe: Probe::off(),
         }
@@ -105,6 +136,7 @@ impl CorrelationEngineNode {
                     engine: ParallelCorrEngine::new(CorrType::Pearson).with_psd_repair(),
                     windows: (0..n).map(|_| SlidingWindow::new(self.m)).collect(),
                     scratch: (0..n).map(|_| Vec::with_capacity(self.m)).collect(),
+                    seeds: Vec::new(),
                 };
             }
             EngineKind::Windowed { ref mut engine, .. } => {
@@ -157,41 +189,66 @@ impl Component for CorrelationEngineNode {
         }
         self.since_last = 0;
         let _span = self.probe.span("corr.snapshot", Some(rs.interval as u64));
-        let mut matrix = match &mut self.kind {
-            EngineKind::Online(online) => online.matrix(),
+        // Recycle a retired snapshot allocation if every downstream
+        // consumer has released one; otherwise pay for a fresh one.
+        let mut snap = match self.pool.iter().position(|s| Arc::strong_count(s) == 1) {
+            Some(i) => {
+                self.probe.count("snapshot_pool.reused", 1);
+                self.pool.swap_remove(i)
+            }
+            None => {
+                self.probe.count("snapshot_pool.allocated", 1);
+                Arc::new(CorrSnapshot {
+                    interval: 0,
+                    stream: 0,
+                    matrix: SymMatrix::identity(0),
+                    cause: Cause::none(),
+                })
+            }
+        };
+        let body = Arc::get_mut(&mut snap).expect("recycled snapshot is unshared");
+        body.interval = rs.interval;
+        body.stream = self.stream;
+        body.cause = Cause::derived([rs.cause.id]);
+        match &mut self.kind {
+            EngineKind::Online(online) => online.matrix_into(&mut body.matrix),
             EngineKind::Windowed {
                 engine,
                 windows,
                 scratch,
+                seeds,
             } => {
                 for (buf, w) in scratch.iter_mut().zip(windows.iter()) {
                     buf.clear();
                     buf.extend(w.iter());
                 }
                 let views: Vec<&[f64]> = scratch.iter().map(|b| b.as_slice()).collect();
-                engine.matrix(&views)
+                if seeds.is_empty() {
+                    body.matrix = engine.matrix(&views);
+                } else {
+                    engine.matrix_robust_warm_into(&views, seeds, &mut body.matrix);
+                }
             }
-        };
+        }
         // Degraded symbols: a window polluted by an outage or a reject
         // storm is not a correlation estimate. Mask the whole row/column
         // to 0.0 so no downstream signal can fire on it.
         if self.degraded.iter().any(|&d| d) {
-            let n = matrix.n();
+            let n = body.matrix.n();
             for i in 1..n {
                 for j in 0..i {
                     if self.degraded[i] || self.degraded[j] {
-                        matrix.set(i, j, 0.0);
+                        body.matrix.set(i, j, 0.0);
                     }
                 }
             }
         }
         self.probe.count("snapshots.emitted", 1);
-        out(Message::Corr(Arc::new(CorrSnapshot {
-            interval: rs.interval,
-            stream: self.stream,
-            matrix,
-            cause: Cause::derived([rs.cause.id]),
-        })));
+        if self.pool.len() >= POOL_DEPTH {
+            self.pool.remove(0);
+        }
+        self.pool.push(snap.clone());
+        out(Message::Corr(snap));
     }
 
     fn snapshot(&self) -> Option<NodeState> {
@@ -337,6 +394,83 @@ mod tests {
         feed(&mut a, 99, vec![1.0, -1.0]);
         assert!(a.restore(snap));
         for k in 6..10 {
+            let sa = feed(&mut a, k, vec![ret(0, k), ret(1, k)]);
+            let sb = feed(&mut b, k, vec![ret(0, k), ret(1, k)]);
+            assert_eq!(sa.len(), sb.len());
+            for (x, y) in sa.iter().zip(&sb) {
+                assert_eq!(x.matrix.get(1, 0).to_bits(), y.matrix.get(1, 0).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn warm_maronna_agrees_with_cold_per_pair() {
+        let m = 10;
+        let mut node = CorrelationEngineNode::new(3, m, 1, CorrType::Maronna);
+        let mut series: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let mut last = None;
+        for k in 0..25 {
+            let rs: Vec<f64> = (0..3).map(|i| ret(i, k)).collect();
+            for (s, &v) in series.iter_mut().zip(&rs) {
+                s.push(v);
+            }
+            for snap in feed(&mut node, k, rs) {
+                last = Some((k, snap));
+            }
+        }
+        let (k, snap) = last.unwrap();
+        let windows: Vec<&[f64]> = series.iter().map(|s| &s[k + 1 - m..=k]).collect();
+        let cold = ParallelCorrEngine::new(CorrType::Maronna).matrix_per_pair_seq(&windows);
+        for (a, b) in snap.matrix.packed().iter().zip(cold.packed()) {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "warm streaming vs cold per-pair: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn released_snapshots_are_recycled() {
+        let mut node = CorrelationEngineNode::new(3, 4, 1, CorrType::Pearson);
+        for k in 0..4 {
+            feed(&mut node, k, vec![ret(0, k), ret(1, k), ret(2, k)]);
+        }
+        let first = feed(&mut node, 4, vec![ret(0, 4), ret(1, 4), ret(2, 4)]);
+        let ptr = Arc::as_ptr(&first[0]);
+        // Consumer still holds the snapshot: the next emission must not
+        // alias it.
+        let held = feed(&mut node, 5, vec![ret(0, 5), ret(1, 5), ret(2, 5)]);
+        assert_ne!(
+            Arc::as_ptr(&held[0]),
+            ptr,
+            "live snapshot must not be reused"
+        );
+        // Release everything; the following emission recycles an allocation.
+        drop(first);
+        drop(held);
+        let next = feed(&mut node, 6, vec![ret(0, 6), ret(1, 6), ret(2, 6)]);
+        assert_eq!(
+            Arc::as_ptr(&next[0]),
+            ptr,
+            "released snapshot allocation should be recycled"
+        );
+        assert_eq!(next[0].interval, 6, "recycled body fully overwritten");
+    }
+
+    #[test]
+    fn maronna_snapshot_restore_resumes_identically() {
+        // The warm-start seeds are engine state; checkpoint/restore must
+        // carry them so a resumed node replays bit-for-bit.
+        let mut a = CorrelationEngineNode::new(2, 5, 1, CorrType::Maronna);
+        let mut b = CorrelationEngineNode::new(2, 5, 1, CorrType::Maronna);
+        for k in 0..8 {
+            feed(&mut a, k, vec![ret(0, k), ret(1, k)]);
+            feed(&mut b, k, vec![ret(0, k), ret(1, k)]);
+        }
+        let snap = a.snapshot().unwrap();
+        feed(&mut a, 99, vec![1.0, -1.0]);
+        assert!(a.restore(snap));
+        for k in 8..12 {
             let sa = feed(&mut a, k, vec![ret(0, k), ret(1, k)]);
             let sb = feed(&mut b, k, vec![ret(0, k), ret(1, k)]);
             assert_eq!(sa.len(), sb.len());

@@ -71,6 +71,30 @@ fn sweep_output_is_identical_across_worker_counts() {
     }
 }
 
+/// Flipping the stats SIMD dispatch to its scalar fallback must not move a
+/// single trade at any worker count: the AVX2 kernels are built to execute
+/// the same IEEE operations in the same order as the scalar code, so the
+/// sweep is bit-identical with SIMD on and off at workers 1, 2, and max.
+#[test]
+fn sweep_trades_bit_identical_simd_on_and_off_across_workers() {
+    use stats::simd::{self, Backend};
+    let _guard = lock_serial();
+    let (day, n) = small_day(91);
+    let cfg = SweepConfig::paper(n);
+    for workers in [1usize, 2, 0] {
+        simd::force_backend(Some(Backend::Scalar));
+        let scalar = run_sweep(day.clone(), &cfg, workers);
+        simd::force_backend(None);
+        let auto = run_sweep(day.clone(), &cfg, workers);
+        assert_eq!(
+            scalar.trades_per_param, auto.trades_per_param,
+            "trades diverged between scalar and dispatched kernels at workers={workers}"
+        );
+        assert_eq!(scalar.baskets, auto.baskets, "workers={workers}");
+        assert_eq!(scalar.streams, auto.streams, "workers={workers}");
+    }
+}
+
 /// Per-parameter-set trades from the shared-stream graph must be
 /// bit-identical to 42 independent single-parameter Figure-1 runs over
 /// the same `DayData`.

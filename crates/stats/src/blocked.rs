@@ -19,6 +19,7 @@ use rayon::prelude::*;
 use crate::correlation::clamp_corr;
 use crate::matrix::SymMatrix;
 use crate::pearson::standardize_into;
+use crate::simd;
 
 /// Rows per block. Two blocks of standardized windows (`2 × 32 × M × 8`
 /// bytes ≈ 50 KiB at the paper's M=100) sit comfortably in L2 while the
@@ -30,25 +31,13 @@ fn tri(k: usize) -> usize {
     k * (k + 1) / 2
 }
 
-/// Fused dot product with four independent accumulators (keeps the FPU
-/// pipeline full; the split changes summation order deterministically,
-/// identically on every call).
+/// Fused dot product with four independent accumulator lanes, dispatched
+/// to AVX2 where available ([`crate::simd::dot`]). The lane split changes
+/// summation order deterministically and identically on every call and on
+/// every backend, so SIMD-on and scalar-fallback matrices are bit-equal.
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    let quads = a.len() / 4;
-    let mut acc = [0.0f64; 4];
-    for q in 0..quads {
-        let k = 4 * q;
-        acc[0] += a[k] * b[k];
-        acc[1] += a[k + 1] * b[k + 1];
-        acc[2] += a[k + 2] * b[k + 2];
-        acc[3] += a[k + 3] * b[k + 3];
-    }
-    let mut tail = 0.0;
-    for k in 4 * quads..a.len() {
-        tail += a[k] * b[k];
-    }
-    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+    simd::dot(a, b)
 }
 
 /// All-pairs Pearson matrix of the given windows via the blocked kernel,

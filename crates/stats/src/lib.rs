@@ -31,6 +31,8 @@
 //! * [`psd`] — positive semi-definiteness checking and eigenvalue-clipping
 //!   repair for matrices assembled from independent pairwise estimates (the
 //!   Approach-2 caveat in the paper).
+//! * [`simd`] — runtime-dispatched 4-wide f64 primitives (AVX2 with a
+//!   bit-identical scalar fallback) behind the hot correlation kernels.
 //! * [`sliding_matrix`] — an O(1)-per-step online all-pairs Pearson matrix
 //!   (the "online fashion" of the paper's Section II).
 //! * [`inference`] — Welch's t-test and the Mann–Whitney U test, the
@@ -51,6 +53,7 @@ pub mod parallel;
 pub mod pearson;
 pub mod psd;
 pub mod quadrant;
+pub mod simd;
 pub mod sliding_matrix;
 pub mod spearman;
 

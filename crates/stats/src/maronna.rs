@@ -28,6 +28,7 @@
 //! the reason the engine parallelises over pairs.
 
 use crate::correlation::{clamp_corr, CorrelationMeasure};
+use crate::simd;
 
 /// chi-square(2 df) 0.95 quantile — the conventional Huber cut-off for
 /// bivariate Mahalanobis distances.
@@ -73,7 +74,18 @@ pub struct MaronnaFit {
     pub converged: bool,
 }
 
-fn median_of(mut v: Vec<f64>) -> f64 {
+/// The "no evidence" fit shared by every degenerate-input early exit.
+fn degenerate_fit(mx: f64, my: f64) -> MaronnaFit {
+    MaronnaFit {
+        location: (mx, my),
+        scatter: (0.0, 0.0, 0.0),
+        correlation: 0.0,
+        iterations: 0,
+        converged: false,
+    }
+}
+
+pub(crate) fn median_of(mut v: Vec<f64>) -> f64 {
     let n = v.len();
     debug_assert!(n > 0);
     let mid = n / 2;
@@ -93,10 +105,28 @@ fn mad(values: &[f64], center: f64) -> f64 {
     median_of(devs) / 0.674_489_750_196_081_7
 }
 
+/// One margin's robust summary `(median, normalised MAD)` — the
+/// per-series half of the Maronna initialisation.
+///
+/// An all-pairs sweep recomputes these `n - 1` times per stock when every
+/// pair derives them independently; computing them once per stock and
+/// passing them to [`MaronnaEstimator::fit_with_stats`] (and
+/// [`crate::quadrant::quadrant_with_medians`]) is bitwise-identical
+/// because the same selection code runs on the same slice.
+pub fn robust_margin_stats(x: &[f64]) -> (f64, f64) {
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let med = median_of(x.to_vec());
+    (med, mad(x, med))
+}
+
 impl MaronnaEstimator {
-    /// Huber weight on a squared Mahalanobis distance.
+    /// Huber weight on a squared Mahalanobis distance — the reference
+    /// definition the lane-structured pass kernels in [`crate::simd`]
+    /// replicate bit-for-bit.
     #[inline]
-    fn weight(&self, d: f64) -> f64 {
+    pub fn weight(&self, d: f64) -> f64 {
         if d <= self.cutoff {
             1.0
         } else {
@@ -129,26 +159,36 @@ impl MaronnaEstimator {
     /// Panics if `x.len() != y.len()`.
     pub fn fit_with_init(&self, x: &[f64], y: &[f64], init: Option<MaronnaSeed>) -> MaronnaFit {
         assert_eq!(x.len(), y.len(), "maronna: length mismatch");
-        let n = x.len();
-        let degenerate = |mx: f64, my: f64| MaronnaFit {
-            location: (mx, my),
-            scatter: (0.0, 0.0, 0.0),
-            correlation: 0.0,
-            iterations: 0,
-            converged: false,
-        };
-        if n < 2 {
-            return degenerate(0.0, 0.0);
+        if x.len() < 2 {
+            return degenerate_fit(0.0, 0.0);
         }
+        self.fit_with_stats(x, y, robust_margin_stats(x), robust_margin_stats(y), init)
+    }
 
-        let med_x = median_of(x.to_vec());
-        let med_y = median_of(y.to_vec());
-        let sx = mad(x, med_x);
-        let sy = mad(y, med_y);
+    /// [`MaronnaEstimator::fit_with_init`] with the per-margin
+    /// `(median, normalised MAD)` supplied by the caller — the all-pairs
+    /// entry point, where [`robust_margin_stats`] is computed once per
+    /// stock per interval instead of once per pair.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()`.
+    pub fn fit_with_stats(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        (med_x, sx): (f64, f64),
+        (med_y, sy): (f64, f64),
+        init: Option<MaronnaSeed>,
+    ) -> MaronnaFit {
+        assert_eq!(x.len(), y.len(), "maronna: length mismatch");
+        let n = x.len();
+        if n < 2 {
+            return degenerate_fit(0.0, 0.0);
+        }
         if sx <= 0.0 || sy <= 0.0 {
             // More than half the observations are identical in one margin;
             // there is no robust notion of co-movement to estimate.
-            return degenerate(med_x, med_y);
+            return degenerate_fit(med_x, med_y);
         }
         // Warm start when the seed scatter is usable; otherwise the
         // classical median/MAD initialisation.
@@ -171,43 +211,22 @@ impl MaronnaEstimator {
             if det <= 1e-300 || !det.is_finite() {
                 break;
             }
-            let (i11, i12, i22) = (s22 / det, -s12 / det, s11 / det);
+            let inv = (s22 / det, -s12 / det, s11 / det);
 
-            // Weighted location update.
-            let mut wsum = 0.0;
-            let mut wx = 0.0;
-            let mut wy = 0.0;
-            for k in 0..n {
-                let dx = x[k] - mx;
-                let dy = y[k] - my;
-                let d = i11 * dx * dx + 2.0 * i12 * dx * dy + i22 * dy * dy;
-                let w = self.weight(d.max(0.0));
-                wsum += w;
-                wx += w * x[k];
-                wy += w * y[k];
-            }
+            // Weighted location update, then weighted scatter about the
+            // new location (distances re-use the current scatter inverse,
+            // as in the classical IRLS scheme). Both passes run on the
+            // 4-lane SIMD kernels; the scalar fallback shares their lane
+            // structure, so results don't depend on the backend.
+            let (wsum, wx, wy) = simd::maronna_location_pass(x, y, mx, my, inv, self.cutoff);
             if wsum <= 0.0 {
                 break;
             }
             let new_mx = wx / wsum;
             let new_my = wy / wsum;
 
-            // Weighted scatter about the new location (distances re-use the
-            // current scatter inverse, as in the classical IRLS scheme).
-            let mut t11 = 0.0;
-            let mut t12 = 0.0;
-            let mut t22 = 0.0;
-            for k in 0..n {
-                let dx0 = x[k] - mx;
-                let dy0 = y[k] - my;
-                let d = i11 * dx0 * dx0 + 2.0 * i12 * dx0 * dy0 + i22 * dy0 * dy0;
-                let w = self.weight(d.max(0.0));
-                let dx = x[k] - new_mx;
-                let dy = y[k] - new_my;
-                t11 += w * dx * dx;
-                t12 += w * dx * dy;
-                t22 += w * dy * dy;
-            }
+            let (mut t11, mut t12, mut t22) =
+                simd::maronna_scatter_pass(x, y, mx, my, new_mx, new_my, inv, self.cutoff);
             t11 /= nf;
             t12 /= nf;
             t22 /= nf;

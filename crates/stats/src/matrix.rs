@@ -102,6 +102,15 @@ impl SymMatrix {
         self.data[Self::idx(i, j)] = v;
     }
 
+    /// Reset to the identity in place, reusing the packed allocation —
+    /// the seed state for engines that recycle snapshot buffers.
+    pub fn reset_identity(&mut self) {
+        self.data.fill(0.0);
+        for i in 0..self.n {
+            self.data[Self::idx(i, i)] = 1.0;
+        }
+    }
+
     /// Raw packed data (row-major lower triangle).
     #[inline]
     pub fn packed(&self) -> &[f64] {

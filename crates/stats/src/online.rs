@@ -65,19 +65,51 @@ impl Welford {
     }
 }
 
+/// Kahan-compensated accumulation: adds `v` into `sum`, folding the rounding
+/// error into `comp` so long add/subtract chains do not drift.
+#[inline]
+pub(crate) fn kadd(sum: &mut f64, comp: &mut f64, v: f64) {
+    let y = v - *comp;
+    let t = *sum + y;
+    *comp = (t - *sum) - y;
+    *sum = t;
+}
+
 /// Rolling mean/variance over a fixed-size window, with O(1) push.
 ///
 /// Used by the TCP-like data-cleaning filter of the paper ("eliminate prices
 /// that are more than a few standard deviations from their corresponding
-/// moving average and deviation"). Sums are kept in compensated form and
-/// periodically refreshed to bound floating-point drift over a full day.
+/// moving average and deviation").
+///
+/// This accumulator sees raw *price levels* (not log returns), so the
+/// classic `E[x²] - E[x]²` identity on raw sums is catastrophically
+/// cancellation-prone: at a price level of `1e8` the squared sums sit near
+/// `1e16`, where one ulp is `2.0` — larger than any realistic intraday
+/// variance. Three defences are layered here:
+///
+/// 1. **Anchor shift** — sums are kept over `x - anchor`, where the anchor
+///    is the first observed value (re-pinned at every refresh). Mean and
+///    variance are shift-invariant, and shifted values are at noise scale,
+///    not price scale.
+/// 2. **Kahan compensation** — the shifted sums are accumulated with
+///    compensated addition, so the add/subtract eviction churn over ~10^6
+///    pushes cannot drift them.
+/// 3. **Periodic refresh** — sums are rebuilt from the stored window every
+///    65 536 pushes, bounding any residual error.
+///
+/// The variance is clamped at zero: a constant window must never report a
+/// tiny negative variance (whose square root would be NaN downstream).
 #[derive(Debug, Clone)]
 pub struct RollingMoments {
     window: Vec<f64>,
     head: usize,
     len: usize,
+    /// First-seen value; all sums are over `x - anchor`.
+    anchor: f64,
     sum: f64,
+    sum_c: f64,
     sum_sq: f64,
+    sum_sq_c: f64,
     pushes_since_refresh: usize,
 }
 
@@ -92,8 +124,11 @@ impl RollingMoments {
             window: vec![0.0; capacity],
             head: 0,
             len: 0,
+            anchor: 0.0,
             sum: 0.0,
+            sum_c: 0.0,
             sum_sq: 0.0,
+            sum_sq_c: 0.0,
             pushes_since_refresh: 0,
         }
     }
@@ -121,11 +156,15 @@ impl RollingMoments {
     /// Push an observation, evicting the oldest when full. Returns the
     /// evicted value if any.
     pub fn push(&mut self, x: f64) -> Option<f64> {
+        if self.len == 0 {
+            self.anchor = x;
+        }
         let cap = self.window.len();
         let evicted = if self.len == cap {
             let old = self.window[self.head];
-            self.sum -= old;
-            self.sum_sq -= old * old;
+            let d = old - self.anchor;
+            kadd(&mut self.sum, &mut self.sum_c, -d);
+            kadd(&mut self.sum_sq, &mut self.sum_sq_c, -(d * d));
             Some(old)
         } else {
             self.len += 1;
@@ -133,11 +172,12 @@ impl RollingMoments {
         };
         self.window[self.head] = x;
         self.head = (self.head + 1) % cap;
-        self.sum += x;
-        self.sum_sq += x * x;
+        let d = x - self.anchor;
+        kadd(&mut self.sum, &mut self.sum_c, d);
+        kadd(&mut self.sum_sq, &mut self.sum_sq_c, d * d);
 
-        // Refresh the running sums from scratch occasionally; subtraction
-        // cancellation over ~10^6 pushes can otherwise drift the variance.
+        // Rebuild the running sums from scratch occasionally; this also
+        // re-pins the anchor in case prices have drifted far from it.
         self.pushes_since_refresh += 1;
         if self.pushes_since_refresh >= 65_536 {
             self.refresh();
@@ -147,14 +187,19 @@ impl RollingMoments {
 
     fn refresh(&mut self) {
         self.pushes_since_refresh = 0;
-        let mut s = 0.0;
-        let mut s2 = 0.0;
+        let anchor = self.iter_raw().next().copied().unwrap_or(0.0);
+        self.anchor = anchor;
+        let (mut s, mut sc) = (0.0, 0.0);
+        let (mut s2, mut s2c) = (0.0, 0.0);
         for &v in self.iter_raw() {
-            s += v;
-            s2 += v * v;
+            let d = v - self.anchor;
+            kadd(&mut s, &mut sc, d);
+            kadd(&mut s2, &mut s2c, d * d);
         }
         self.sum = s;
+        self.sum_c = sc;
         self.sum_sq = s2;
+        self.sum_sq_c = s2c;
     }
 
     fn iter_raw(&self) -> impl Iterator<Item = &f64> {
@@ -168,11 +213,14 @@ impl RollingMoments {
         if self.len == 0 {
             0.0
         } else {
-            self.sum / self.len as f64
+            self.anchor + self.sum / self.len as f64
         }
     }
 
     /// Current population variance, clamped at 0 against rounding.
+    ///
+    /// The variance of the anchor-shifted values equals the variance of the
+    /// raw values, but is computed at noise scale rather than price scale.
     pub fn variance(&self) -> f64 {
         if self.len == 0 {
             return 0.0;
@@ -282,6 +330,39 @@ mod tests {
         let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 100.0;
         assert!((r.mean() - mean).abs() < 1e-6);
         assert!((r.variance() - var).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rolling_survives_extreme_price_levels() {
+        // Regression for catastrophic cancellation: at a 1e8 price level the
+        // raw squared sums sit near 1e16, where one ulp is 2.0 — far larger
+        // than the ~0.08 variance of the noise. The old raw-sum formulation
+        // returned garbage (often exactly 0.0) here; the anchor-shifted,
+        // Kahan-compensated sums must stay at full precision.
+        let mut r = RollingMoments::new(128);
+        let noise = |i: u64| ((i * 37) % 101) as f64 * 0.01 - 0.5;
+        for i in 0..10_000u64 {
+            r.push(1e8 + noise(i));
+        }
+        let tail: Vec<f64> = (10_000 - 128..10_000u64).map(|i| 1e8 + noise(i)).collect();
+        let mean = tail.iter().sum::<f64>() / 128.0;
+        let var = tail.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 128.0;
+        assert!(var > 0.05, "sanity: noise variance is macroscopic");
+        assert!((r.mean() - mean).abs() < 1e-6, "{} vs {}", r.mean(), mean);
+        assert!(
+            (r.variance() - var).abs() / var < 1e-9,
+            "{} vs {}",
+            r.variance(),
+            var
+        );
+        // A constant stream at the same level must clamp to exactly zero,
+        // never a tiny negative (whose sqrt is NaN downstream).
+        let mut c = RollingMoments::new(64);
+        for _ in 0..1_000 {
+            c.push(1e8 + 0.123);
+        }
+        assert_eq!(c.variance(), 0.0);
+        assert_eq!(c.std_dev(), 0.0);
     }
 
     #[test]

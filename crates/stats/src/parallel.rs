@@ -28,10 +28,10 @@ use rayon::prelude::*;
 
 use crate::combined::CombinedEstimator;
 use crate::correlation::CorrType;
-use crate::maronna::MaronnaEstimator;
+use crate::maronna::{robust_margin_stats, MaronnaEstimator, MaronnaSeed};
 use crate::matrix::SymMatrix;
 use crate::psd;
-use crate::quadrant::quadrant;
+use crate::quadrant::{quadrant, quadrant_with_medians};
 
 /// Compute one pair's full sliding-window correlation series into `out`:
 /// `out[k]` is the correlation of `x[k..k+m]` with `y[k..k+m]`.
@@ -266,6 +266,112 @@ impl ParallelCorrEngine {
         m
     }
 
+    /// Streaming all-pairs robust matrix with per-pair warm starts: the
+    /// interval-over-interval entry point for Maronna and Combined
+    /// engines.
+    ///
+    /// Two amortisations over [`Self::matrix_per_pair`]:
+    ///
+    /// * each stock's `(median, MAD)` is derived **once** and shared by
+    ///   its `n - 1` pairs (bitwise-identical to every pair re-deriving
+    ///   them — same selection code, same slice);
+    /// * each pair's previous converged `(location, scatter)` seeds the
+    ///   next interval's iteration (`seeds[rank]`, canonical pair-rank
+    ///   order), cutting the IRLS from ~10–20 iterations to ~2–3. The
+    ///   fixed point is the same M-estimating equation, so warm sweeps
+    ///   agree with cold fits to within the convergence tolerance — this
+    ///   is a documented-tolerance path, not a bit-identity one.
+    ///
+    /// Per-pair work is sharded across the pool; pairs are independent, so
+    /// output is deterministic at any thread count.
+    ///
+    /// # Panics
+    /// Panics if the engine's `ctype` is not `Maronna` or `Combined`, if
+    /// windows have unequal lengths, or if `seeds.len()` is not
+    /// `n(n-1)/2`.
+    pub fn matrix_robust_warm(
+        &self,
+        windows: &[&[f64]],
+        seeds: &mut [Option<MaronnaSeed>],
+    ) -> SymMatrix {
+        let mut out = SymMatrix::identity(windows.len());
+        self.matrix_robust_warm_into(windows, seeds, &mut out);
+        out
+    }
+
+    /// [`Self::matrix_robust_warm`] into a caller-provided buffer, fully
+    /// overwriting it — lets the streaming engine recycle snapshot
+    /// allocations.
+    pub fn matrix_robust_warm_into(
+        &self,
+        windows: &[&[f64]],
+        seeds: &mut [Option<MaronnaSeed>],
+        out: &mut SymMatrix,
+    ) {
+        assert!(
+            matches!(self.ctype, CorrType::Maronna | CorrType::Combined),
+            "warm path is for robust measures; {} has no seed state",
+            self.ctype
+        );
+        let n = windows.len();
+        if n > 1 {
+            let len0 = windows[0].len();
+            assert!(
+                windows.iter().all(|w| w.len() == len0),
+                "all stock windows must have equal length"
+            );
+        }
+        let n_pairs = n * (n - 1) / 2;
+        assert_eq!(seeds.len(), n_pairs, "one seed slot per pair rank");
+
+        // Per-stock robust stats, once per interval.
+        let stats: Vec<(f64, f64)> = windows.iter().map(|w| robust_margin_stats(w)).collect();
+
+        let ctype = self.ctype;
+        let mut work: Vec<(f64, Option<MaronnaSeed>)> = seeds.iter().map(|s| (0.0, *s)).collect();
+        work.par_iter_mut().enumerate().for_each(|(rank, cell)| {
+            let (i, j) = SymMatrix::pair_from_rank(rank);
+            let (x, y) = (windows[i], windows[j]);
+            match ctype {
+                CorrType::Maronna => {
+                    let fit = MaronnaEstimator::default()
+                        .fit_with_stats(x, y, stats[i], stats[j], cell.1);
+                    cell.1 = fit.converged.then_some((fit.location, fit.scatter));
+                    cell.0 = fit.correlation;
+                }
+                CorrType::Combined => {
+                    let est = CombinedEstimator::default();
+                    let q = quadrant_with_medians(x, y, stats[i].0, stats[j].0);
+                    if q.abs() >= est.screen_threshold {
+                        let fit = est.maronna.fit_with_stats(x, y, stats[i], stats[j], cell.1);
+                        cell.1 = fit.converged.then_some((fit.location, fit.scatter));
+                        cell.0 = fit.correlation;
+                    } else {
+                        // Screened out: keep the seed for the next interval
+                        // the pair crosses the threshold, as `pair_series`
+                        // does.
+                        cell.0 = q;
+                    }
+                }
+                _ => unreachable!("asserted robust ctype"),
+            }
+        });
+
+        if out.n() == n {
+            out.reset_identity();
+        } else {
+            *out = SymMatrix::identity(n);
+        }
+        for (rank, (v, seed)) in work.into_iter().enumerate() {
+            let (i, j) = SymMatrix::pair_from_rank(rank);
+            out.set(i, j, v);
+            seeds[rank] = seed;
+        }
+        if self.repair_psd {
+            psd::repair_correlation(out, psd::RepairConfig::default());
+        }
+    }
+
     fn matrix_impl(&self, windows: &[&[f64]], parallel: bool) -> SymMatrix {
         let n = windows.len();
         if n > 1 {
@@ -415,6 +521,69 @@ mod tests {
             assert!(m.has_unit_diagonal(1e-12), "{ctype}");
             assert!(m.entries_in_range(1e-12), "{ctype}");
         }
+    }
+
+    #[test]
+    fn warm_robust_matrix_agrees_with_cold_per_pair() {
+        let series = synthetic_series(9, 100);
+        let windows: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        let n_pairs = windows.len() * (windows.len() - 1) / 2;
+        for ctype in [CorrType::Maronna, CorrType::Combined] {
+            let eng = ParallelCorrEngine::new(ctype);
+            let cold = eng.matrix_per_pair_seq(&windows);
+            let mut seeds = vec![None; n_pairs];
+            // First warm sweep starts cold: must match the per-pair path to
+            // within the IRLS convergence tolerance.
+            let first = eng.matrix_robust_warm(&windows, &mut seeds);
+            for (a, b) in first.packed().iter().zip(cold.packed()) {
+                assert!((a - b).abs() < 1e-6, "{ctype}: {a} vs {b}");
+            }
+            // Second sweep on the same window is seeded by the first fit's
+            // fixed point; it must stay at that fixed point.
+            let second = eng.matrix_robust_warm(&windows, &mut seeds);
+            for (a, b) in second.packed().iter().zip(cold.packed()) {
+                assert!((a - b).abs() < 1e-5, "{ctype} warm: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_robust_matrix_deterministic_across_thread_counts() {
+        let series = synthetic_series(8, 90);
+        let windows: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        let n_pairs = windows.len() * (windows.len() - 1) / 2;
+        for ctype in [CorrType::Maronna, CorrType::Combined] {
+            let eng = ParallelCorrEngine::new(ctype);
+            let mut seeds_par = vec![None; n_pairs];
+            let par = eng.matrix_robust_warm(&windows, &mut seeds_par);
+            let mut seeds_seq = vec![None; n_pairs];
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("single-thread pool");
+            let seq = pool.install(|| eng.matrix_robust_warm(&windows, &mut seeds_seq));
+            assert_eq!(par.packed(), seq.packed(), "{ctype}");
+            for (a, b) in seeds_par.iter().zip(&seeds_seq) {
+                assert_eq!(a, b, "{ctype} seeds");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_robust_matrix_into_reuses_buffer() {
+        let series = synthetic_series(6, 60);
+        let windows: Vec<&[f64]> = series.iter().map(|s| s.as_slice()).collect();
+        let n_pairs = windows.len() * (windows.len() - 1) / 2;
+        let eng = ParallelCorrEngine::new(CorrType::Maronna);
+        let mut seeds = vec![None; n_pairs];
+        let fresh = eng.matrix_robust_warm(&windows, &mut seeds.clone());
+        // Pre-soil the buffer: every entry must be overwritten.
+        let mut out = SymMatrix::from_packed(
+            windows.len(),
+            vec![42.0; windows.len() * (windows.len() + 1) / 2],
+        );
+        eng.matrix_robust_warm_into(&windows, &mut seeds, &mut out);
+        assert_eq!(out.packed(), fresh.packed());
     }
 
     #[test]

@@ -234,8 +234,17 @@ impl CorrelationMeasure for PearsonEstimator {
 /// Sliding-window Pearson over a fixed window of `M` paired observations.
 ///
 /// `push` is O(1); `correlation()` reads the current window estimate.
-/// Running sums are refreshed from the retained window periodically to bound
-/// cancellation drift across a full trading day.
+///
+/// Unlike the all-pairs kernels (which see log returns, already centred
+/// near zero), this estimator may be fed raw price levels, where the
+/// `Σx² - (Σx)²/n` identity cancels catastrophically: at a 1e8 level the
+/// squared sums live near 1e16, one ulp of which is 2.0. All five running
+/// sums are therefore kept over *anchor-shifted* values (`x - ax`,
+/// `y - ay`, anchors pinned at the first observation and re-pinned at every
+/// refresh) — covariance and variances are shift-invariant, so the
+/// correlation is unchanged while the arithmetic happens at noise scale.
+/// Sums are additionally refreshed from the retained window every
+/// [`REFRESH_EVERY`] pushes to bound eviction-churn drift.
 #[derive(Debug, Clone)]
 pub struct SlidingPearson {
     m: usize,
@@ -243,6 +252,9 @@ pub struct SlidingPearson {
     ys: Vec<f64>,
     head: usize,
     len: usize,
+    /// Anchors; all sums are over `(x - ax, y - ay)`.
+    ax: f64,
+    ay: f64,
     sum_x: f64,
     sum_y: f64,
     sum_xx: f64,
@@ -264,6 +276,8 @@ impl SlidingPearson {
             ys: vec![0.0; m],
             head: 0,
             len: 0,
+            ax: 0.0,
+            ay: 0.0,
             sum_x: 0.0,
             sum_y: 0.0,
             sum_xx: 0.0,
@@ -295,9 +309,13 @@ impl SlidingPearson {
 
     /// Push a paired observation, evicting the oldest when full.
     pub fn push(&mut self, x: f64, y: f64) {
+        if self.len == 0 {
+            self.ax = x;
+            self.ay = y;
+        }
         if self.len == self.m {
-            let ox = self.xs[self.head];
-            let oy = self.ys[self.head];
+            let ox = self.xs[self.head] - self.ax;
+            let oy = self.ys[self.head] - self.ay;
             self.sum_x -= ox;
             self.sum_y -= oy;
             self.sum_xx -= ox * ox;
@@ -309,11 +327,13 @@ impl SlidingPearson {
         self.xs[self.head] = x;
         self.ys[self.head] = y;
         self.head = (self.head + 1) % self.m;
-        self.sum_x += x;
-        self.sum_y += y;
-        self.sum_xx += x * x;
-        self.sum_yy += y * y;
-        self.sum_xy += x * y;
+        let dx = x - self.ax;
+        let dy = y - self.ay;
+        self.sum_x += dx;
+        self.sum_y += dy;
+        self.sum_xx += dx * dx;
+        self.sum_yy += dy * dy;
+        self.sum_xy += dx * dy;
 
         self.pushes_since_refresh += 1;
         if self.pushes_since_refresh >= REFRESH_EVERY {
@@ -323,11 +343,17 @@ impl SlidingPearson {
 
     fn refresh(&mut self) {
         self.pushes_since_refresh = 0;
-        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
         let start = (self.head + self.m - self.len) % self.m;
+        // Re-pin the anchors to the oldest retained observation so the
+        // shifted values stay at noise scale even if prices drift.
+        if self.len > 0 {
+            self.ax = self.xs[start];
+            self.ay = self.ys[start];
+        }
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
         for k in 0..self.len {
             let i = (start + k) % self.m;
-            let (x, y) = (self.xs[i], self.ys[i]);
+            let (x, y) = (self.xs[i] - self.ax, self.ys[i] - self.ay);
             sx += x;
             sy += y;
             sxx += x * x;
@@ -445,6 +471,38 @@ mod tests {
         assert!(
             (sl.correlation() - want).abs() < 1e-6,
             "drifted: {} vs {}",
+            sl.correlation(),
+            want
+        );
+    }
+
+    #[test]
+    fn sliding_survives_extreme_price_levels() {
+        // Regression for catastrophic cancellation: pre-anchor-shift, raw
+        // sums at a 1e8 price level put Σx² near 1e16 (one ulp = 2.0) and
+        // the correlation collapsed to garbage or exactly 0. With the sums
+        // anchored at the first observation the arithmetic happens at the
+        // scale of the noise.
+        let m = 40;
+        let mut sl = SlidingPearson::new(m);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..5_000usize {
+            let nx = ((i * 29 % 83) as f64) * 0.01;
+            let ny = ((i * 31 % 89) as f64) * 0.01 + 2.0 * nx;
+            xs.push(1e8 + nx);
+            ys.push(2e8 + ny);
+            sl.push(1e8 + nx, 2e8 + ny);
+        }
+        let k = xs.len() - 1;
+        let want = pearson(&xs[k + 1 - m..=k], &ys[k + 1 - m..=k]);
+        assert!(
+            want.abs() > 0.1,
+            "sanity: the designed correlation is macroscopic ({want})"
+        );
+        assert!(
+            (sl.correlation() - want).abs() < 1e-9,
+            "cancelled: {} vs {}",
             sl.correlation(),
             want
         );

@@ -47,14 +47,32 @@ fn median_select(values: &mut [f64]) -> f64 {
 /// Panics if `x.len() != y.len()`.
 pub fn quadrant(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "quadrant: length mismatch");
-    let n = x.len();
-    if n < 2 {
+    if x.len() < 2 {
         return 0.0;
     }
     let mut xc = x.to_vec();
     let mut yc = y.to_vec();
     let med_x = median_select(&mut xc);
     let med_y = median_select(&mut yc);
+    quadrant_with_medians(x, y, med_x, med_y)
+}
+
+/// [`quadrant`] with the two medians supplied by the caller.
+///
+/// An all-pairs sweep that lets every pair re-derive both medians does
+/// `2(n-1)` selections (and two window copies) per stock per interval;
+/// computing each stock's median once and passing it here is
+/// bitwise-identical, since the same selection code runs on the same
+/// slice either way.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn quadrant_with_medians(x: &[f64], y: &[f64], med_x: f64, med_y: f64) -> f64 {
+    assert_eq!(x.len(), y.len(), "quadrant: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
     // `f64::signum` maps +0.0 to 1.0; points sitting exactly on a median
     // must contribute nothing, so use a true three-valued sign.
     #[inline]

@@ -25,6 +25,7 @@ use rayon::prelude::*;
 
 use crate::correlation::clamp_corr;
 use crate::matrix::SymMatrix;
+use crate::simd;
 
 /// Below this pair count the rank-1 update runs serially: fanning a few
 /// thousand multiply-adds across threads costs more than the flops.
@@ -122,38 +123,45 @@ impl OnlineCorrMatrix {
             self.sum[i] += v;
             self.sumsq[i] += v * v;
         }
-        // The rank-1 cross-product update, parallel over pair chunks only
-        // when the matrix is big enough for the fan-out to pay off.
+        // The rank-1 cross-product update: row `i` of the packed strict
+        // lower triangle is contiguous over `j`, so each row is one SIMD
+        // sweep (`crate::simd::rank1_sub_add`) — subtract the evicted
+        // outer-product row, add the entering one, elementwise in the same
+        // order as the historical scalar loop, so the cube equivalence
+        // stays bit-exact. Parallel over pair chunks only when the matrix
+        // is big enough for the fan-out to pay off; the update is
+        // elementwise, so the chunking never changes any entry.
         let old = full.then_some(self.evicted.as_slice());
+        let row_update = |row: &mut [f64], i: usize, j0: usize| {
+            let hi = j0 + row.len();
+            if let Some(old) = old {
+                simd::rank1_sub_add(row, old[i], &old[j0..hi], returns[i], &returns[j0..hi]);
+            } else {
+                simd::rank1_add(row, returns[i], &returns[j0..hi]);
+            }
+        };
         if self.cross.len() >= PAR_PAIR_THRESHOLD {
             let chunk = self.cross.len().div_ceil(64).max(1);
             self.cross
                 .par_chunks_mut(chunk)
                 .enumerate()
                 .for_each(|(c, slab)| {
-                    let (mut i, mut j) = SymMatrix::pair_from_rank(c * chunk);
-                    for v in slab.iter_mut() {
-                        if let Some(old) = old {
-                            *v -= old[i] * old[j];
-                        }
-                        *v += returns[i] * returns[j];
-                        j += 1;
-                        if j == i {
-                            i += 1;
-                            j = 0;
-                        }
+                    let mut rank = c * chunk;
+                    let mut off = 0;
+                    while off < slab.len() {
+                        let (i, j) = SymMatrix::pair_from_rank(rank);
+                        let seg = (i - j).min(slab.len() - off);
+                        row_update(&mut slab[off..off + seg], i, j);
+                        rank += seg;
+                        off += seg;
                     }
                 });
         } else {
             let mut rank = 0;
             for i in 1..n {
-                for j in 0..i {
-                    if let Some(old) = old {
-                        self.cross[rank] -= old[i] * old[j];
-                    }
-                    self.cross[rank] += returns[i] * returns[j];
-                    rank += 1;
-                }
+                let (row, _) = self.cross[rank..].split_at_mut(i);
+                row_update(row, i, 0);
+                rank += i;
             }
         }
         self.ring[self.head * n..(self.head + 1) * n].copy_from_slice(returns);
@@ -183,10 +191,9 @@ impl OnlineCorrMatrix {
             }
             let mut rank = 0;
             for i in 1..n {
-                for j in 0..i {
-                    self.cross[rank] += vec[i] * vec[j];
-                    rank += 1;
-                }
+                let (row, _) = self.cross[rank..].split_at_mut(i);
+                simd::rank1_add(row, vec[i], &vec[..i]);
+                rank += i;
             }
         }
     }
@@ -219,8 +226,22 @@ impl OnlineCorrMatrix {
     /// of the window length.
     pub fn matrix(&self) -> SymMatrix {
         let mut out = SymMatrix::identity(self.n);
+        self.matrix_into(&mut out);
+        out
+    }
+
+    /// [`Self::matrix`] into a caller-provided buffer, fully overwriting
+    /// it (and resizing it when the dimension differs). This is what lets
+    /// the streaming engine recycle snapshot allocations instead of
+    /// producing a fresh `n(n+1)/2` buffer every interval.
+    pub fn matrix_into(&self, out: &mut SymMatrix) {
+        if out.n() == self.n {
+            out.reset_identity();
+        } else {
+            *out = SymMatrix::identity(self.n);
+        }
         if self.len < 2 {
-            return out;
+            return;
         }
         let inv_len = 1.0 / self.len as f64;
         let isv: Vec<f64> = (0..self.n).map(|i| self.inv_sqrt_var(i, inv_len)).collect();
@@ -232,7 +253,6 @@ impl OnlineCorrMatrix {
                 rank += 1;
             }
         }
-        out
     }
 }
 

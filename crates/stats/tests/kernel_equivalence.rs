@@ -10,11 +10,37 @@
 //! * the rank-1-update streaming matrix ([`stats::OnlineCorrMatrix`]).
 #![allow(clippy::needless_range_loop)] // index-driven loops mirror the math
 
+use std::sync::Mutex;
+
 use proptest::prelude::*;
 
 use stats::correlation::CorrType;
 use stats::pearson::pearson;
+use stats::simd::{self, Backend};
 use stats::{OnlineCorrMatrix, ParallelCorrEngine};
+
+/// The dispatch override is process-global; serialize tests that pin it so
+/// a concurrent test cannot observe a half-switched backend. (Switching is
+/// *correct* at any time — the backends are bit-identical — but these are
+/// exactly the tests that prove that, so they must not assume it.)
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_backend<T>(b: Backend, f: impl FnOnce() -> T) -> T {
+    let _guard = BACKEND_LOCK.lock().unwrap();
+    simd::force_backend(Some(b));
+    let out = f();
+    simd::force_backend(None);
+    out
+}
+
+/// Compare two packed matrices bit-for-bit (`to_bits` also pins NaN
+/// payloads, which plain `==` would wave through asymmetrically).
+fn assert_bits_equal(a: &stats::SymMatrix, b: &stats::SymMatrix, what: &str) {
+    assert_eq!(a.n(), b.n(), "{what}: dimension");
+    for (x, y) in a.packed().iter().zip(b.packed()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+    }
+}
 
 /// Assemble a randomized panel (`n` stocks × `m + extra` intervals of
 /// log-return-scale values) from a flat pool of sampled returns.
@@ -26,8 +52,93 @@ fn panel(n: usize, m: usize, extra: usize, pool: &[f64]) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// SIMD-on vs scalar-fallback bit identity for every kernel the dispatch
+/// layer accelerates, at every lane remainder `m % 4`, on panels that
+/// include a constant series (degenerate variance) and — for the Pearson
+/// kernels, whose arithmetic tolerates them — a NaN-gapped series.
+#[test]
+fn simd_and_scalar_kernels_bit_identical_at_every_lane_remainder() {
+    if simd::backend() != Backend::Avx2 {
+        eprintln!("AVX2 unavailable at runtime; dispatch test degenerates to scalar-vs-scalar");
+    }
+    let noise = |i: usize, t: usize| 0.01 * (((t * 13 + i * 29 + 7) % 97) as f64) - 0.45;
+    for rem in 0..4usize {
+        let m = 8 + rem;
+        let n = 7;
+        let total = m + 6;
+        // Clean panel: one constant series, the rest pseudo-random.
+        let clean: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..total)
+                    .map(|t| if i == 0 { 0.0123 } else { noise(i, t) })
+                    .collect()
+            })
+            .collect();
+        // NaN-gapped panel: series 1 has periodic gaps. Robust estimators
+        // reject NaN at the median selection, so this panel only exercises
+        // the Pearson kernels.
+        let mut gapped = clean.clone();
+        for (t, v) in gapped[1].iter_mut().enumerate() {
+            if t % 5 == 2 {
+                *v = f64::NAN;
+            }
+        }
+
+        for ctype in [CorrType::Pearson, CorrType::Maronna, CorrType::Combined] {
+            let windows: Vec<&[f64]> = clean.iter().map(|s| &s[..m]).collect();
+            let eng = ParallelCorrEngine::new(ctype);
+            let scalar = with_backend(Backend::Scalar, || eng.matrix(&windows));
+            let vector = with_backend(simd::backend(), || eng.matrix(&windows));
+            assert_bits_equal(&scalar, &vector, &format!("{ctype} matrix, m={m}"));
+        }
+
+        for panel in [&clean, &gapped] {
+            let windows: Vec<&[f64]> = panel.iter().map(|s| &s[..m]).collect();
+            let eng = ParallelCorrEngine::new(CorrType::Pearson);
+            let scalar = with_backend(Backend::Scalar, || eng.matrix(&windows));
+            let vector = with_backend(simd::backend(), || eng.matrix(&windows));
+            assert_bits_equal(&scalar, &vector, &format!("blocked Pearson, m={m}"));
+
+            // Streaming rank-1 engine: every warm snapshot must match.
+            let stream = |_b| {
+                let mut online = OnlineCorrMatrix::new(n, m);
+                let mut snaps = Vec::new();
+                for s in 0..total {
+                    let vec: Vec<f64> = (0..n).map(|i| panel[i][s]).collect();
+                    online.push(&vec);
+                    if online.is_warm() {
+                        snaps.push(online.matrix());
+                    }
+                }
+                snaps
+            };
+            let scalar = with_backend(Backend::Scalar, || stream(Backend::Scalar));
+            let vector = with_backend(simd::backend(), || stream(simd::backend()));
+            assert_eq!(scalar.len(), vector.len());
+            for (a, b) in scalar.iter().zip(&vector) {
+                assert_bits_equal(a, b, &format!("online matrix, m={m}"));
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simd_and_scalar_blocked_matrices_bit_identical_on_random_panels(
+        n in 2usize..10, m in 3usize..12, extra in 0usize..20,
+        pool in proptest::collection::vec(-0.1f64..0.1, 320..321),
+    ) {
+        let series = panel(n, m, extra, &pool);
+        let windows: Vec<&[f64]> = series.iter().map(|s| &s[..m]).collect();
+        for ctype in [CorrType::Pearson, CorrType::Maronna, CorrType::Combined] {
+            let eng = ParallelCorrEngine::new(ctype);
+            let scalar = with_backend(Backend::Scalar, || eng.matrix(&windows));
+            let vector = with_backend(simd::backend(), || eng.matrix(&windows));
+            prop_assert_eq!(scalar.packed(), vector.packed(), "{} m={}", ctype, m);
+        }
+    }
 
     #[test]
     fn blocked_matrix_agrees_with_naive_per_pair(
