@@ -1,6 +1,6 @@
 //! The message-passing (MPI-style) realisation of the market-wide
 //! backtest — the decomposition MarketMiner's middleware would run across
-//! cluster nodes, executed here on the `mpisim` substrate.
+//! cluster nodes, executed here on the `marketminer::shard` SPMD substrate.
 //!
 //! Work decomposition follows Chilson et al.: the `n(n-1)/2` pairs are
 //! block-partitioned across ranks; each rank computes its pairs'
@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use mpisim::World;
+use marketminer::shard::World;
 use pairtrade_core::engine::run_pair_day;
 use pairtrade_core::exec::ExecutionConfig;
 use pairtrade_core::params::StrategyParams;

@@ -65,6 +65,24 @@ impl Default for ExecutionConfig {
     }
 }
 
+impl wire::Codec for ExecutionConfig {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.stop_loss.encode(w);
+        self.corr_reversion_exit.encode(w);
+        self.cost_per_share.encode(w);
+        self.slippage_bps.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(ExecutionConfig {
+            stop_loss: Option::<f64>::decode(r)?,
+            corr_reversion_exit: bool::decode(r)?,
+            cost_per_share: f64::decode(r)?,
+            slippage_bps: f64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

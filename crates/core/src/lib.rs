@@ -28,6 +28,7 @@
 //! correlation approach competes against).
 
 pub mod baseline;
+pub mod ckpt;
 pub mod engine;
 pub mod exec;
 pub mod params;

@@ -104,6 +104,28 @@ impl DivergenceDetector {
     }
 }
 
+impl wire::Codec for DivergenceDetector {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.min_avg_corr.encode(w);
+        self.divergence.encode(w);
+        self.corr_window.encode(w);
+        self.drop_window.encode(w);
+        self.last_avg.encode(w);
+        self.last_corr.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(DivergenceDetector {
+            min_avg_corr: f64::decode(r)?,
+            divergence: f64::decode(r)?,
+            corr_window: SlidingWindow::decode(r)?,
+            drop_window: SlidingWindow::decode(r)?,
+            last_avg: f64::decode(r)?,
+            last_corr: f64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

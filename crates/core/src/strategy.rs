@@ -238,6 +238,51 @@ impl PairStrategy {
     }
 }
 
+impl wire::Codec for OpenState {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.position.encode(w);
+        self.rule.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(OpenState {
+            position: PairPosition::decode(r)?,
+            rule: RetracementRule::decode(r)?,
+        })
+    }
+}
+
+// The full mid-day state machine: every field travels verbatim so a
+// restored strategy continues bit-exactly (the spread tracker's running
+// sum and the detector's windows are eviction-history dependent).
+impl wire::Codec for PairStrategy {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.pair.encode(w);
+        self.params.encode(w);
+        self.exec.encode(w);
+        self.detector.encode(w);
+        self.spread.encode(w);
+        self.open.encode(w);
+        self.trades.encode(w);
+        self.last_prices.encode(w);
+        self.intervals.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(PairStrategy {
+            pair: <(usize, usize)>::decode(r)?,
+            params: StrategyParams::decode(r)?,
+            exec: ExecutionConfig::decode(r)?,
+            detector: DivergenceDetector::decode(r)?,
+            spread: SpreadTracker::decode(r)?,
+            open: Option::<OpenState>::decode(r)?,
+            trades: Vec::<Trade>::decode(r)?,
+            last_prices: Option::<(usize, f64, f64)>::decode(r)?,
+            intervals: usize::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,6 +63,58 @@ impl Trade {
     }
 }
 
+impl wire::Codec for ExitReason {
+    fn encode(&self, w: &mut wire::Writer) {
+        let tag: u8 = match self {
+            ExitReason::Retracement => 0,
+            ExitReason::MaxHolding => 1,
+            ExitReason::EndOfDay => 2,
+            ExitReason::StopLoss => 3,
+            ExitReason::CorrReversion => 4,
+            ExitReason::Degraded => 5,
+        };
+        wire::Codec::encode(&tag, w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(match <u8 as wire::Codec>::decode(r)? {
+            0 => ExitReason::Retracement,
+            1 => ExitReason::MaxHolding,
+            2 => ExitReason::EndOfDay,
+            3 => ExitReason::StopLoss,
+            4 => ExitReason::CorrReversion,
+            5 => ExitReason::Degraded,
+            _ => return Err(wire::WireError::Invalid("exit reason tag")),
+        })
+    }
+}
+
+impl wire::Codec for Trade {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.pair.encode(w);
+        self.entry_interval.encode(w);
+        self.exit_interval.encode(w);
+        self.reason.encode(w);
+        self.pnl.encode(w);
+        self.gross.encode(w);
+        self.ret.encode(w);
+        self.position.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(Trade {
+            pair: <(usize, usize)>::decode(r)?,
+            entry_interval: usize::decode(r)?,
+            exit_interval: usize::decode(r)?,
+            reason: ExitReason::decode(r)?,
+            pnl: f64::decode(r)?,
+            gross: f64::decode(r)?,
+            ret: f64::decode(r)?,
+            position: crate::position::PairPosition::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,21 @@
+//! The shard worker process: one rank of a multi-process sweep.
+//!
+//! Spawned by [`marketminer::shard::ShardRunner`]; not meant to be run by
+//! hand. Reads the job spec and quote tape from the checkpoint directory,
+//! restores its newest durable checkpoint, and streams results to the
+//! supervisor over the Unix-domain control socket.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match marketminer::shard::worker::WorkerArgs::parse(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("shard_worker: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = marketminer::shard::run_worker(args) {
+        eprintln!("shard_worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -261,6 +261,60 @@ impl Component for BarAccumulatorNode {
         crate::node::restore_into(self, state)
     }
 
+    fn encode_state(&self) -> Option<Vec<u8>> {
+        use wire::Codec;
+        let mut w = wire::Writer::new();
+        self.filters.encode(&mut w);
+        self.closes.encode(&mut w);
+        self.ticks.encode(&mut w);
+        self.current_interval.encode(&mut w);
+        self.seen_tick.encode(&mut w);
+        self.quiet.encode(&mut w);
+        self.status.encode(&mut w);
+        self.first_qid.0.encode(&mut w);
+        self.last_qid.0.encode(&mut w);
+        self.late_quotes.encode(&mut w);
+        self.dropped.encode(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> bool {
+        use wire::{Codec, WireError};
+        fn go(node: &mut BarAccumulatorNode, bytes: &[u8]) -> Result<(), WireError> {
+            let r = &mut wire::Reader::new(bytes);
+            let filters = Vec::<TcpFilter>::decode(r)?;
+            let closes = Vec::<f64>::decode(r)?;
+            let ticks = Vec::<u32>::decode(r)?;
+            let current_interval = Option::<usize>::decode(r)?;
+            let seen_tick = Vec::<bool>::decode(r)?;
+            let quiet = Vec::<usize>::decode(r)?;
+            let status = Vec::<HealthStatus>::decode(r)?;
+            let first_qid = EventId(u64::decode(r)?);
+            let last_qid = EventId(u64::decode(r)?);
+            let late_quotes = u64::decode(r)?;
+            let dropped = u64::decode(r)?;
+            if !r.is_empty() {
+                return Err(WireError::Invalid("trailing bytes"));
+            }
+            if filters.len() != node.n_stocks || closes.len() != node.n_stocks {
+                return Err(WireError::Invalid("universe size mismatch"));
+            }
+            node.filters = filters;
+            node.closes = closes;
+            node.ticks = ticks;
+            node.current_interval = current_interval;
+            node.seen_tick = seen_tick;
+            node.quiet = quiet;
+            node.status = status;
+            node.first_qid = first_qid;
+            node.last_qid = last_qid;
+            node.late_quotes = late_quotes;
+            node.dropped = dropped;
+            Ok(())
+        }
+        go(self, bytes).is_ok()
+    }
+
     fn messages_dropped(&self) -> u64 {
         self.dropped
     }

@@ -259,6 +259,71 @@ impl Component for CorrelationEngineNode {
         crate::node::restore_into(self, state)
     }
 
+    fn encode_state(&self) -> Option<Vec<u8>> {
+        use wire::Codec;
+        let mut w = wire::Writer::new();
+        self.since_last.encode(&mut w);
+        self.degraded.encode(&mut w);
+        self.dropped.encode(&mut w);
+        // The `pool` and `scratch` buffers are allocation caches — their
+        // contents never reach an emitted snapshot — so only the
+        // value-bearing engine state crosses the process boundary.
+        match &self.kind {
+            EngineKind::Online(m) => {
+                0u8.encode(&mut w);
+                m.encode(&mut w);
+            }
+            EngineKind::Windowed { windows, seeds, .. } => {
+                1u8.encode(&mut w);
+                windows.encode(&mut w);
+                seeds.encode(&mut w);
+            }
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> bool {
+        use wire::{Codec, WireError};
+        fn go(node: &mut CorrelationEngineNode, bytes: &[u8]) -> Result<(), WireError> {
+            let r = &mut wire::Reader::new(bytes);
+            let since_last = usize::decode(r)?;
+            let degraded = Vec::<bool>::decode(r)?;
+            let dropped = u64::decode(r)?;
+            enum Decoded {
+                Online(OnlineCorrMatrix),
+                Windowed(Vec<SlidingWindow<f64>>, Vec<Option<MaronnaSeed>>),
+            }
+            let decoded = match (u8::decode(r)?, &node.kind) {
+                (0, EngineKind::Online(_)) => Decoded::Online(OnlineCorrMatrix::decode(r)?),
+                (1, EngineKind::Windowed { windows, seeds, .. }) => {
+                    let new_windows = Vec::<SlidingWindow<f64>>::decode(r)?;
+                    let new_seeds = Vec::<Option<MaronnaSeed>>::decode(r)?;
+                    if new_windows.len() != windows.len() || new_seeds.len() != seeds.len() {
+                        return Err(WireError::Invalid("engine shape mismatch"));
+                    }
+                    Decoded::Windowed(new_windows, new_seeds)
+                }
+                _ => return Err(WireError::Invalid("engine kind mismatch")),
+            };
+            if !r.is_empty() {
+                return Err(WireError::Invalid("trailing bytes"));
+            }
+            match (decoded, &mut node.kind) {
+                (Decoded::Online(m), EngineKind::Online(slot)) => *slot = m,
+                (Decoded::Windowed(w, s), EngineKind::Windowed { windows, seeds, .. }) => {
+                    *windows = w;
+                    *seeds = s;
+                }
+                _ => unreachable!("kind checked above"),
+            }
+            node.since_last = since_last;
+            node.degraded = degraded;
+            node.dropped = dropped;
+            Ok(())
+        }
+        go(self, bytes).is_ok()
+    }
+
     fn messages_dropped(&self) -> u64 {
         self.dropped
     }

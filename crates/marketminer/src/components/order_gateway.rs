@@ -54,7 +54,7 @@ pub struct OrderGatewayNode {
 /// Canonical intra-basket order: `(param_set, pair, stock, side, shares,
 /// price-bits)`. A total order over every field that distinguishes two
 /// orders, so sorting is deterministic and independent of arrival order.
-fn canonical_key(o: &OrderRequest) -> (usize, (usize, usize), usize, u8, u32, u64) {
+pub(crate) fn canonical_key(o: &OrderRequest) -> (usize, (usize, usize), usize, u8, u32, u64) {
     let side = match o.side {
         crate::messages::OrderSide::Buy => 0u8,
         crate::messages::OrderSide::Sell => 1u8,
@@ -193,6 +193,56 @@ impl Component for OrderGatewayNode {
 
     fn restore(&mut self, state: NodeState) -> bool {
         crate::node::restore_into(self, state)
+    }
+
+    fn encode_state(&self) -> Option<Vec<u8>> {
+        use wire::Codec;
+        let mut w = wire::Writer::new();
+        match &self.mode {
+            Mode::Streaming {
+                current_interval,
+                pending,
+            } => {
+                0u8.encode(&mut w);
+                current_interval.encode(&mut w);
+                pending.encode(&mut w);
+            }
+            Mode::Bucketed { buckets } => {
+                1u8.encode(&mut w);
+                let flat: Vec<(usize, Vec<OrderRequest>)> =
+                    buckets.iter().map(|(k, v)| (*k, v.clone())).collect();
+                flat.encode(&mut w);
+            }
+        }
+        self.baskets_emitted.encode(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> bool {
+        use wire::{Codec, WireError};
+        fn go(node: &mut OrderGatewayNode, bytes: &[u8]) -> Result<(), WireError> {
+            let r = &mut wire::Reader::new(bytes);
+            let mode = match (u8::decode(r)?, &node.mode) {
+                (0, Mode::Streaming { .. }) => Mode::Streaming {
+                    current_interval: Option::<usize>::decode(r)?,
+                    pending: Vec::<OrderRequest>::decode(r)?,
+                },
+                (1, Mode::Bucketed { .. }) => Mode::Bucketed {
+                    buckets: Vec::<(usize, Vec<OrderRequest>)>::decode(r)?
+                        .into_iter()
+                        .collect(),
+                },
+                _ => return Err(WireError::Invalid("gateway mode mismatch")),
+            };
+            let baskets_emitted = u64::decode(r)?;
+            if !r.is_empty() {
+                return Err(WireError::Invalid("trailing bytes"));
+            }
+            node.mode = mode;
+            node.baskets_emitted = baskets_emitted;
+            Ok(())
+        }
+        go(self, bytes).is_ok()
     }
 
     fn attach_telemetry(&mut self, probe: Probe) {

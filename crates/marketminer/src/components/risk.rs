@@ -226,6 +226,71 @@ impl Component for RiskManagerNode {
         crate::node::restore_into(self, state)
     }
 
+    fn encode_state(&self) -> Option<Vec<u8>> {
+        use wire::Codec;
+        let mut w = wire::Writer::new();
+        // Hash containers encode in sorted order so identical logical
+        // state always serializes to identical bytes.
+        let mut books: Vec<(usize, Vec<(usize, usize)>)> = self
+            .books
+            .iter()
+            .map(|(k, set)| {
+                let mut pairs: Vec<(usize, usize)> = set.iter().copied().collect();
+                pairs.sort_unstable();
+                (*k, pairs)
+            })
+            .collect();
+        books.sort_unstable_by_key(|(k, _)| *k);
+        books.encode(&mut w);
+        let mut timeline: Vec<(usize, Vec<(usize, bool)>)> = self
+            .health
+            .transitions
+            .iter()
+            .map(|(k, line)| (*k, line.clone()))
+            .collect();
+        timeline.sort_unstable_by_key(|(k, _)| *k);
+        timeline.encode(&mut w);
+        let mut forwarded: Vec<(usize, usize)> = self.forwarded_health.iter().copied().collect();
+        forwarded.sort_unstable();
+        forwarded.encode(&mut w);
+        self.stats.passed.encode(&mut w);
+        self.stats.rejected_size.encode(&mut w);
+        self.stats.rejected_book_full.encode(&mut w);
+        self.stats.rejected_degraded.encode(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> bool {
+        use wire::{Codec, WireError};
+        fn go(node: &mut RiskManagerNode, bytes: &[u8]) -> Result<(), WireError> {
+            let r = &mut wire::Reader::new(bytes);
+            let books = Vec::<(usize, Vec<(usize, usize)>)>::decode(r)?;
+            let timeline = Vec::<(usize, Vec<(usize, bool)>)>::decode(r)?;
+            let forwarded = Vec::<(usize, usize)>::decode(r)?;
+            let passed = u64::decode(r)?;
+            let rejected_size = u64::decode(r)?;
+            let rejected_book_full = u64::decode(r)?;
+            let rejected_degraded = u64::decode(r)?;
+            if !r.is_empty() {
+                return Err(WireError::Invalid("trailing bytes"));
+            }
+            node.books = books
+                .into_iter()
+                .map(|(k, pairs)| (k, pairs.into_iter().collect()))
+                .collect();
+            node.health.transitions = timeline.into_iter().collect();
+            node.forwarded_health = forwarded.into_iter().collect();
+            node.stats = RiskStats {
+                passed,
+                rejected_size,
+                rejected_book_full,
+                rejected_degraded,
+            };
+            Ok(())
+        }
+        go(self, bytes).is_ok()
+    }
+
     fn attach_telemetry(&mut self, probe: Probe) {
         self.probe = probe;
     }

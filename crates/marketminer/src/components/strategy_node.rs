@@ -278,6 +278,82 @@ impl Component for StrategyHostNode {
         crate::node::restore_into(self, state)
     }
 
+    fn encode_state(&self) -> Option<Vec<u8>> {
+        use wire::Codec;
+        let mut w = wire::Writer::new();
+        self.strategies.encode(&mut w);
+        self.was_open.encode(&mut w);
+        self.trades_seen.encode(&mut w);
+        self.history.encode(&mut w);
+        self.bars_through.encode(&mut w);
+        // Pending queues hold `Arc`s purely for cheap fan-in; the payloads
+        // themselves cross the process boundary by value.
+        (self.pending_corr.len() as u64).encode(&mut w);
+        for snap in &self.pending_corr {
+            (**snap).encode(&mut w);
+        }
+        (self.pending_health.len() as u64).encode(&mut w);
+        for ev in &self.pending_health {
+            (**ev).encode(&mut w);
+        }
+        self.degraded.encode(&mut w);
+        self.last_bar_id.0.encode(&mut w);
+        self.last_corr_id.0.encode(&mut w);
+        self.dropped.encode(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> bool {
+        use wire::{Codec, WireError};
+        fn go(node: &mut StrategyHostNode, bytes: &[u8]) -> Result<(), WireError> {
+            let r = &mut wire::Reader::new(bytes);
+            let strategies = Vec::<PairStrategy>::decode(r)?;
+            let was_open = Vec::<bool>::decode(r)?;
+            let trades_seen = Vec::<usize>::decode(r)?;
+            let history = Vec::<Vec<f64>>::decode(r)?;
+            let bars_through = Option::<usize>::decode(r)?;
+            let n_corr = u64::decode(r)? as usize;
+            if n_corr > r.remaining() {
+                return Err(WireError::Invalid("pending_corr longer than input"));
+            }
+            let mut pending_corr = VecDeque::with_capacity(n_corr);
+            for _ in 0..n_corr {
+                pending_corr.push_back(Arc::new(CorrSnapshot::decode(r)?));
+            }
+            let n_health = u64::decode(r)? as usize;
+            if n_health > r.remaining() {
+                return Err(WireError::Invalid("pending_health longer than input"));
+            }
+            let mut pending_health = VecDeque::with_capacity(n_health);
+            for _ in 0..n_health {
+                pending_health.push_back(Arc::new(crate::messages::HealthEvent::decode(r)?));
+            }
+            let degraded = Vec::<bool>::decode(r)?;
+            let last_bar_id = EventId(u64::decode(r)?);
+            let last_corr_id = EventId(u64::decode(r)?);
+            let dropped = u64::decode(r)?;
+            if !r.is_empty() {
+                return Err(WireError::Invalid("trailing bytes"));
+            }
+            if strategies.len() != node.strategies.len() || degraded.len() != node.n_stocks {
+                return Err(WireError::Invalid("universe size mismatch"));
+            }
+            node.strategies = strategies;
+            node.was_open = was_open;
+            node.trades_seen = trades_seen;
+            node.history = history;
+            node.bars_through = bars_through;
+            node.pending_corr = pending_corr;
+            node.pending_health = pending_health;
+            node.degraded = degraded;
+            node.last_bar_id = last_bar_id;
+            node.last_corr_id = last_corr_id;
+            node.dropped = dropped;
+            Ok(())
+        }
+        go(self, bytes).is_ok()
+    }
+
     fn messages_dropped(&self) -> u64 {
         self.dropped
     }

@@ -98,6 +98,36 @@ impl Component for TechnicalAnalysisNode {
         crate::node::restore_into(self, state)
     }
 
+    fn encode_state(&self) -> Option<Vec<u8>> {
+        use wire::Codec;
+        let mut w = wire::Writer::new();
+        self.prev_closes.encode(&mut w);
+        self.var_ewma.encode(&mut w);
+        self.dropped.encode(&mut w);
+        Some(w.into_bytes())
+    }
+
+    fn decode_state(&mut self, bytes: &[u8]) -> bool {
+        use wire::{Codec, WireError};
+        fn go(node: &mut TechnicalAnalysisNode, bytes: &[u8]) -> Result<(), WireError> {
+            let r = &mut wire::Reader::new(bytes);
+            let prev_closes = Option::<Vec<f64>>::decode(r)?;
+            let var_ewma = Vec::<Ewma>::decode(r)?;
+            let dropped = u64::decode(r)?;
+            if !r.is_empty() {
+                return Err(WireError::Invalid("trailing bytes"));
+            }
+            if var_ewma.len() != node.var_ewma.len() {
+                return Err(WireError::Invalid("universe size mismatch"));
+            }
+            node.prev_closes = prev_closes;
+            node.var_ewma = var_ewma;
+            node.dropped = dropped;
+            Ok(())
+        }
+        go(self, bytes).is_ok()
+    }
+
     fn messages_dropped(&self) -> u64 {
         self.dropped
     }

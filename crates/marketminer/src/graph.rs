@@ -61,6 +61,9 @@ pub enum GraphError {
     /// [`telemetry::Caps::from_env`]). Surfaced at run start instead of
     /// silently falling back to defaults.
     Config(telemetry::ConfigError),
+    /// A multi-process run failed at the OS boundary (socket bind,
+    /// process spawn, checkpoint-directory IO).
+    Io(String),
 }
 
 impl std::fmt::Display for GraphError {
@@ -74,6 +77,7 @@ impl std::fmt::Display for GraphError {
             GraphError::Unreachable(n) => write!(f, "node {n} has no inbound edges"),
             GraphError::NoSource => write!(f, "graph has no source node"),
             GraphError::Config(e) => write!(f, "telemetry configuration: {e}"),
+            GraphError::Io(e) => write!(f, "shard runner io: {e}"),
         }
     }
 }

@@ -6,8 +6,9 @@
 //!
 //! This crate is that platform: a DAG of components connected by bounded
 //! inboxes, executed by a fixed-size pool of cooperatively scheduled
-//! workers (the shared-memory realisation of MPI ranks — see the `mpisim`
-//! crate for the messaging substrate itself). The OS thread count is set
+//! workers (the shared-memory realisation of MPI ranks — see [`shard`]
+//! for the MPI-flavoured messaging substrate itself). The OS thread count
+//! is set
 //! by [`runtime::RuntimeConfig::workers`], independent of graph size, so
 //! the full 42-parameter sweep graph runs on a handful of threads. The
 //! analytics components are the paper's Figure 1:
@@ -41,6 +42,10 @@
 //!   manager and the order gateway.
 //! * [`pipeline`] — a prebuilt, runnable instance of Figure 1, and the
 //!   shared-stream parameter-sweep graph ([`pipeline::SweepConfig`]).
+//! * [`shard`] — MPI-flavoured typed messaging ([`shard::World`] /
+//!   [`shard::Comm`]) plus the durable multi-process shard runner:
+//!   worker processes over Unix-domain sockets, epoch checkpoints,
+//!   heartbeat supervision and kill -9 recovery.
 
 pub mod components;
 pub mod graph;
@@ -48,6 +53,7 @@ pub mod messages;
 pub mod node;
 pub mod pipeline;
 pub mod runtime;
+pub mod shard;
 pub mod supervisor;
 
 pub use components::{FaultedCollector, HealthPolicy, PanicInjector, WedgeInjector};

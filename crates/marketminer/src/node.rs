@@ -85,6 +85,27 @@ pub trait Component: Send {
         false
     }
 
+    /// Durable-checkpoint support: serialize the component's *mutable*
+    /// state (not its construction-time configuration) to bytes a future
+    /// process can restore from. Unlike [`Component::snapshot`], which
+    /// captures an in-memory `Any` for same-process restart, this is the
+    /// cross-process contract used by the shard workers' epoch
+    /// checkpoints. `None` (the default) marks the component as having no
+    /// durable state; a graph containing a stateful component without it
+    /// cannot be process-checkpointed.
+    fn encode_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state produced by [`Component::encode_state`] on an
+    /// *identically configured* component (same constructor arguments —
+    /// the worker rebuilds its graph from config before restoring).
+    /// Returns false (the default, and on malformed bytes) to abort the
+    /// recovery, leaving the component unchanged.
+    fn decode_state(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
+
     /// Messages this component received but did not understand (neither
     /// consumed nor forwarded). Surfaced in
     /// [`crate::runtime::NodeStats::messages_dropped`].

@@ -280,20 +280,36 @@ pub fn run_sweep_pipeline(day: DayData, cfg: &SweepConfig) -> Result<SweepOutput
     run_sweep_pipeline_with(Runtime::new(), Box::new(ReplayCollector::new(day)), cfg)
 }
 
-/// Build and run the sweep DAG with an explicit runtime (worker count,
-/// supervision) and quote source.
+/// The built sweep DAG (the full grid, or one shard's slice of it),
+/// plus the node ids its driver needs.
+pub(crate) struct SweepGraphParts {
+    /// The validated-by-construction graph, ready for
+    /// `Runtime::run`/`Runtime::session`.
+    pub graph: Graph,
+    /// The single order sink.
+    pub sink: crate::graph::NodeId,
+    /// Stream id consumed by each *included* parameter set
+    /// (index-aligned with `included`).
+    pub streams: Vec<usize>,
+}
+
+/// Build the shared-stream sweep DAG over the parameter sets named by
+/// `included` (global indices into `cfg.params`). Strategy hosts keep
+/// their *global* `param_set` tags, so a shard's slice attributes trades
+/// exactly as the full graph would; stream ids are assigned in order of
+/// first appearance among the included sets.
 ///
 /// # Panics
-/// Panics if the parameter list is empty or mixes `Δs` values.
-pub fn run_sweep_pipeline_with(
-    runtime: Runtime,
+/// Panics if `included` is empty or the selected sets mix `Δs` values.
+pub(crate) fn build_sweep_graph(
     source: Box<dyn Source>,
     cfg: &SweepConfig,
-) -> Result<SweepOutput, GraphError> {
-    assert!(!cfg.params.is_empty(), "need at least one parameter set");
-    let dt = cfg.params[0].dt_seconds;
+    included: &[usize],
+) -> SweepGraphParts {
+    assert!(!included.is_empty(), "need at least one parameter set");
+    let dt = cfg.params[included[0]].dt_seconds;
     assert!(
-        cfg.params.iter().all(|p| p.dt_seconds == dt),
+        included.iter().all(|&k| cfg.params[k].dt_seconds == dt),
         "all parameter sets must share Δs (one bar accumulator)"
     );
 
@@ -313,10 +329,11 @@ pub fn run_sweep_pipeline_with(
     // distinct stream is computed exactly once.
     let mut engines: Vec<((stats::correlation::CorrType, usize), crate::graph::NodeId)> =
         Vec::new();
-    let mut streams = Vec::with_capacity(cfg.params.len());
-    for p in &cfg.params {
+    let mut streams = Vec::with_capacity(included.len());
+    for &k in included {
+        let p = &cfg.params[k];
         let key = (p.ctype, p.corr_window);
-        let j = match engines.iter().position(|(k, _)| *k == key) {
+        let j = match engines.iter().position(|(key2, _)| *key2 == key) {
             Some(j) => j,
             None => {
                 let node = g.add_component(Box::new(
@@ -344,18 +361,45 @@ pub fn run_sweep_pipeline_with(
     g.connect(risk, gateway);
     g.connect(gateway, sink);
 
-    // One strategy host per parameter set, tagged for attribution.
-    for (k, p) in cfg.params.iter().enumerate() {
+    // One strategy host per included parameter set, tagged with its
+    // global index for attribution.
+    for (slot, &k) in included.iter().enumerate() {
+        let p = &cfg.params[k];
         let host = g.add_component(Box::new(
             StrategyHostNode::new(cfg.n_stocks, *p, cfg.exec, cfg.needs_confirmation)
                 .with_param_set(k),
         ));
         g.connect(bars, host); // prices (and health)
-        g.connect(engines[streams[k]].1, host); // signals
+        g.connect(engines[streams[slot]].1, host); // signals
         g.connect(host, risk);
     }
 
-    let mut out = runtime.run(g)?;
+    SweepGraphParts {
+        graph: g,
+        sink,
+        streams,
+    }
+}
+
+/// Build and run the sweep DAG with an explicit runtime (worker count,
+/// supervision) and quote source.
+///
+/// # Panics
+/// Panics if the parameter list is empty or mixes `Δs` values.
+pub fn run_sweep_pipeline_with(
+    runtime: Runtime,
+    source: Box<dyn Source>,
+    cfg: &SweepConfig,
+) -> Result<SweepOutput, GraphError> {
+    assert!(!cfg.params.is_empty(), "need at least one parameter set");
+    let all: Vec<usize> = (0..cfg.params.len()).collect();
+    let SweepGraphParts {
+        graph,
+        sink,
+        streams,
+    } = build_sweep_graph(source, cfg, &all);
+
+    let mut out = runtime.run(graph)?;
     let mut trades_per_param = vec![Vec::new(); cfg.params.len()];
     let mut baskets = Vec::new();
     let mut health_events = Vec::new();

@@ -162,6 +162,9 @@ pub struct Runtime {
     /// Where a `Full` run writes its lineage export (falls back to the
     /// `MARKETMINER_LINEAGE` environment variable when unset).
     lineage_path: Option<PathBuf>,
+    /// Offset added to local node indices when minting event ids (shard
+    /// workers pass `rank * NODE_ID_STRIDE`; see [`RunTelemetry`]).
+    node_base: usize,
 }
 
 /// How a node's run ended.
@@ -406,10 +409,20 @@ struct RunTelemetry {
     /// Cold-path probes, one per node: checkpoint/replay metrics and
     /// flight events.
     probes: Vec<Probe>,
+    /// Offset added to the local node index when minting [`EventId`]s.
+    /// A shard worker sets this to `rank * NODE_ID_STRIDE` so event ids
+    /// minted by different worker processes occupy disjoint ranges and
+    /// merge into one fleet-wide lineage without collisions.
+    node_base: usize,
 }
 
 impl RunTelemetry {
-    fn new(tel: Arc<Telemetry>, names: &[String], edges: &[(usize, usize)]) -> RunTelemetry {
+    fn new(
+        tel: Arc<Telemetry>,
+        names: &[String],
+        edges: &[(usize, usize)],
+        node_base: usize,
+    ) -> RunTelemetry {
         let n = names.len();
         let mut succ_edge_ids: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (e_id, &(from, _)) in edges.iter().enumerate() {
@@ -442,6 +455,7 @@ impl RunTelemetry {
             next_out: (0..n).map(|_| AtomicU64::new(0)).collect(),
             hop_us: (0..n).map(|_| AtomicHistogram::default()).collect(),
             probes,
+            node_base,
             tel,
         }
     }
@@ -464,7 +478,7 @@ impl RunTelemetry {
         let seq = self.next_out[idx].fetch_add(1, Ordering::Relaxed);
         let wall = self.tel.now_us();
         let cause = msg.cause_mut().expect("cause presence checked above");
-        cause.id = EventId::new(idx, seq);
+        cause.id = EventId::new(self.node_base + idx, seq);
         cause.wall_us = wall;
         self.tel.lineage.record(LineageEvent {
             id: cause.id,
@@ -1444,8 +1458,52 @@ impl Runtime {
         self
     }
 
+    /// Offset event-id node indices by `base` (shard workers pass
+    /// `rank * NODE_ID_STRIDE` so every process mints ids from a
+    /// disjoint range and the fleet's lineage merges without collisions).
+    pub fn with_node_base(mut self, base: usize) -> Self {
+        self.node_base = base;
+        self
+    }
+
     /// Validate and execute the graph to completion on the worker pool.
     pub fn run(&self, graph: Graph) -> Result<RunOutput, GraphError> {
+        let (exec, sources, watchdog_handle) = self.prepare(graph)?;
+        let source_handles: Vec<_> = sources
+            .into_iter()
+            .map(|(idx, s)| {
+                let e = Arc::clone(&exec);
+                std::thread::spawn(move || run_source(e, idx, s))
+            })
+            .collect();
+
+        // Wait for the graph to drain (every node Done).
+        {
+            let mut st = exec.state.lock().expect("scheduler state");
+            while !st.shutdown {
+                st = exec.done_cv.wait(st).expect("done condvar");
+            }
+        }
+        join_run_threads(&exec, watchdog_handle, source_handles);
+        Ok(self.assemble_output(&exec))
+    }
+
+    /// Build the executor for a graph, spawn the worker pool and watchdog
+    /// — but *not* the source threads. `run` spawns them immediately;
+    /// [`Runtime::session`] instead hands the source indices to the
+    /// caller, which feeds the graph externally.
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &self,
+        graph: Graph,
+    ) -> Result<
+        (
+            Arc<Exec>,
+            Vec<(usize, Box<dyn Source>)>,
+            Option<std::thread::JoinHandle<()>>,
+        ),
+        GraphError,
+    > {
         graph.validate()?;
         let n = graph.nodes.len();
         let names: Vec<String> = graph.nodes.iter().map(|e| e.name.clone()).collect();
@@ -1463,9 +1521,14 @@ impl Runtime {
         // a configuration error, not a silent fallback to defaults.
         let caps = telemetry::Caps::from_env().map_err(GraphError::Config)?;
         let level = self.config.telemetry;
-        let rt = level
-            .enabled()
-            .then(|| RunTelemetry::new(Telemetry::build(level, caps), &names, &edges));
+        let rt = level.enabled().then(|| {
+            RunTelemetry::new(
+                Telemetry::build(level, caps),
+                &names,
+                &edges,
+                self.node_base,
+            )
+        });
 
         let mut schedulable = vec![true; n];
         let mut bodies: Vec<Mutex<NodeBody>> = Vec::with_capacity(n);
@@ -1546,41 +1609,12 @@ impl Runtime {
             let quiet_ms = cfg.quiet.as_millis() as u64;
             std::thread::spawn(move || run_watchdog(e, quiet_ms, cfg.poll))
         });
-        let source_handles: Vec<_> = sources
-            .into_iter()
-            .map(|(idx, s)| {
-                let e = Arc::clone(&exec);
-                std::thread::spawn(move || run_source(e, idx, s))
-            })
-            .collect();
+        Ok((exec, sources, watchdog_handle))
+    }
 
-        // Wait for the graph to drain (every node Done).
-        {
-            let mut st = exec.state.lock().expect("scheduler state");
-            while !st.shutdown {
-                st = exec.done_cv.wait(st).expect("done condvar");
-            }
-        }
-        exec.run_done.store(true, Ordering::Release);
-        exec.work_cv.notify_all();
-        exec.cap_cv.notify_all();
-        if let Some(handle) = watchdog_handle {
-            let _ = handle.join();
-        }
-        for handle in source_handles {
-            let _ = handle.join();
-        }
-        let slots = std::mem::take(&mut *exec.workers.lock().expect("worker registry"));
-        for mut w in slots {
-            // Abandoned workers are wedged inside user code forever;
-            // joining them would hang the run.
-            if !w.abandoned.load(Ordering::Acquire) {
-                if let Some(handle) = w.handle.take() {
-                    let _ = handle.join();
-                }
-            }
-        }
-
+    /// Assemble the [`RunOutput`] after the graph has drained and every
+    /// run thread has been joined.
+    fn assemble_output(&self, exec: &Arc<Exec>) -> RunOutput {
         let mut output = RunOutput {
             node_stats: std::mem::take(&mut *exec.stats.lock().expect("stats slots"))
                 .into_iter()
@@ -1638,7 +1672,311 @@ impl Runtime {
                 std::panic::resume_unwind(payload);
             }
         }
-        Ok(output)
+        output
+    }
+
+    /// Open the graph as an externally driven session: the worker pool
+    /// and watchdog spawn as for [`Runtime::run`], but the graph's
+    /// sources are *not* started — the caller feeds messages through the
+    /// source node ids with [`RunSession::feed`], interleaving
+    /// [`RunSession::quiesce`] / [`RunSession::capture`] to take
+    /// epoch-consistent durable checkpoints, and ends the stream with
+    /// [`RunSession::finish`]. This is the engine under the shard worker
+    /// processes (see [`crate::shard`]).
+    pub fn session(self, graph: Graph) -> Result<RunSession, GraphError> {
+        let (exec, sources, watchdog) = self.prepare(graph)?;
+        // The boxed sources are dropped: in a session the tape is fed by
+        // the caller, which owns replay positioning (checkpoint skip-
+        // ahead) that a free-running source thread could not provide.
+        let source_idxs = sources.iter().map(|(idx, _)| *idx).collect();
+        Ok(RunSession {
+            runtime: self,
+            exec,
+            source_idxs,
+            watchdog,
+            finished: false,
+        })
+    }
+}
+
+/// Wait-free bookkeeping after shutdown: stop the watchdog, join sources
+/// and non-abandoned pool workers.
+fn join_run_threads(
+    exec: &Arc<Exec>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+    sources: Vec<std::thread::JoinHandle<()>>,
+) {
+    exec.run_done.store(true, Ordering::Release);
+    exec.work_cv.notify_all();
+    exec.cap_cv.notify_all();
+    if let Some(handle) = watchdog {
+        let _ = handle.join();
+    }
+    for handle in sources {
+        let _ = handle.join();
+    }
+    let slots = std::mem::take(&mut *exec.workers.lock().expect("worker registry"));
+    for mut w in slots {
+        // Abandoned workers are wedged inside user code forever;
+        // joining them would hang the run.
+        if !w.abandoned.load(Ordering::Acquire) {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Per-node durable state captured at a quiescent point: the component's
+/// own encoded bytes plus the scheduler-side counters that make replayed
+/// emissions resume with bit-identical event ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCkpt {
+    /// [`Component::encode_state`] output (`None` for sources, sinks and
+    /// stateless components).
+    pub state: Option<Vec<u8>>,
+    /// Messages consumed so far (`CompBody::processed` — simulated time).
+    pub processed: u64,
+    /// Messages received (health counter; feeds `NodeStats`).
+    pub received: u64,
+    /// Messages emitted (health counter; feeds `NodeStats`).
+    pub sent: u64,
+    /// Next provenance sequence number: restoring it is what keeps event
+    /// ids exactly-once across process restarts.
+    pub next_out: u64,
+}
+
+impl wire::Codec for NodeCkpt {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.state.encode(w);
+        self.processed.encode(w);
+        self.received.encode(w);
+        self.sent.encode(w);
+        self.next_out.encode(w);
+    }
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(NodeCkpt {
+            state: Option::decode(r)?,
+            processed: u64::decode(r)?,
+            received: u64::decode(r)?,
+            sent: u64::decode(r)?,
+            next_out: u64::decode(r)?,
+        })
+    }
+}
+
+/// A whole graph's durable state at one quiescent cut, in node-id order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionCkpt {
+    /// One entry per graph node, dense, in node-id order.
+    pub nodes: Vec<NodeCkpt>,
+}
+
+impl wire::Codec for SessionCkpt {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.nodes.encode(w);
+    }
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(SessionCkpt {
+            nodes: Vec::decode(r)?,
+        })
+    }
+}
+
+/// An externally driven run: the caller is the source.
+///
+/// Obtained from [`Runtime::session`]. The intended cycle is
+///
+/// ```text
+/// loop {
+///     feed(...epoch's quotes...);
+///     quiesce();
+///     drain_sink(..) / drain_lineage();   // ship results downstream
+///     capture() -> durable checkpoint     // then persist
+/// }
+/// finish() -> RunOutput                   // end-of-day flush
+/// ```
+///
+/// [`RunSession::quiesce`] blocks until the graph has fully absorbed
+/// everything fed so far (all inboxes empty, no node scheduled or
+/// running). Because nodes only act on delivered messages, the quiescent
+/// state is a deterministic function of the fed prefix — independent of
+/// worker count and scheduling — which is what makes a capture/restore
+/// cycle bit-exact.
+pub struct RunSession {
+    runtime: Runtime,
+    exec: Arc<Exec>,
+    source_idxs: Vec<usize>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+    finished: bool,
+}
+
+impl RunSession {
+    /// Node ids of the graph's sources, in graph order.
+    pub fn source_ids(&self) -> Vec<NodeId> {
+        self.source_idxs.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    /// Node names in node-id order (the supervisor registers these,
+    /// prefixed per shard, so fleet-wide lineage resolves to names).
+    pub fn node_names(&self) -> Vec<String> {
+        self.exec.names.clone()
+    }
+
+    /// Feed one message into the graph as source `src`, blocking while
+    /// downstream inboxes are at capacity. Stamps provenance exactly as
+    /// a source thread would.
+    pub fn feed(&self, src: NodeId, mut msg: Message) {
+        let idx = src.index();
+        if let Some(rt) = &self.exec.rt {
+            if rt.full {
+                rt.stamp(idx, &mut msg);
+            }
+        }
+        self.exec.blocking_fan_out(idx, msg);
+        self.exec.health[idx].sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Block until the graph has fully absorbed everything fed so far:
+    /// run queue empty, every inbox empty, every node `Idle` or `Done`.
+    pub fn quiesce(&self) {
+        loop {
+            {
+                let st = self.exec.state.lock().expect("scheduler state");
+                let quiet = st.run_queue.is_empty()
+                    && st.inbox.iter().all(|q| q.is_empty())
+                    && st
+                        .status
+                        .iter()
+                        .all(|&s| s == Status::Idle || s == Status::Done);
+                if quiet {
+                    return;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    }
+
+    /// Capture every node's durable state. Call only at quiescence, with
+    /// all sinks drained — a sink still holding messages is an error
+    /// (they would silently vanish from the checkpoint).
+    pub fn capture(&self) -> Result<SessionCkpt, &'static str> {
+        let mut nodes = Vec::with_capacity(self.exec.names.len());
+        for idx in 0..self.exec.names.len() {
+            let body = self.exec.bodies[idx].lock().expect("node body");
+            let (state, processed) = match &*body {
+                NodeBody::Source => (None, 0),
+                NodeBody::Component(cb) => (cb.component.encode_state(), cb.processed),
+                NodeBody::Sink { msgs } => {
+                    if !msgs.is_empty() {
+                        return Err("sink not drained before capture");
+                    }
+                    (None, 0)
+                }
+            };
+            let h = &self.exec.health[idx];
+            nodes.push(NodeCkpt {
+                state,
+                processed,
+                received: h.received.load(Ordering::Relaxed),
+                sent: h.sent.load(Ordering::Relaxed),
+                next_out: self
+                    .exec
+                    .rt
+                    .as_ref()
+                    .map(|rt| rt.next_out[idx].load(Ordering::Relaxed))
+                    .unwrap_or(0),
+            });
+        }
+        Ok(SessionCkpt { nodes })
+    }
+
+    /// Restore a capture into this (freshly built, identically
+    /// configured) session. Call before feeding anything.
+    pub fn restore(&self, ckpt: &SessionCkpt) -> Result<(), &'static str> {
+        if ckpt.nodes.len() != self.exec.names.len() {
+            return Err("checkpoint node count does not match graph");
+        }
+        for (idx, node) in ckpt.nodes.iter().enumerate() {
+            let mut body = self.exec.bodies[idx].lock().expect("node body");
+            if let NodeBody::Component(cb) = &mut *body {
+                if let Some(bytes) = &node.state {
+                    if !cb.component.decode_state(bytes) {
+                        return Err("component refused its checkpoint state");
+                    }
+                }
+                cb.processed = node.processed;
+            }
+            let h = &self.exec.health[idx];
+            h.received.store(node.received, Ordering::Relaxed);
+            h.sent.store(node.sent, Ordering::Relaxed);
+            if let Some(rt) = &self.exec.rt {
+                rt.next_out[idx].store(node.next_out, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Take the messages a sink has collected since the last drain (or
+    /// session start). Call at quiescence for a deterministic cut.
+    pub fn drain_sink(&self, sink: NodeId) -> Vec<Message> {
+        let mut body = self.exec.bodies[sink.index()].lock().expect("node body");
+        match &mut *body {
+            NodeBody::Sink { msgs } => std::mem::take(msgs),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Drain lineage events recorded since the last drain, in canonical
+    /// id order. Empty below `TelemetryLevel::Full`.
+    pub fn drain_lineage(&self) -> Vec<LineageEvent> {
+        self.exec
+            .rt
+            .as_ref()
+            .map(|rt| rt.tel.lineage.drain())
+            .unwrap_or_default()
+    }
+
+    /// End the stream: propagate EOF from every source, wait for the
+    /// graph to drain, and assemble the run output (the end-of-day flush
+    /// — trade reports, bucketed baskets — lands in the sinks here, and
+    /// any lineage recorded after the last drain rides out in
+    /// `RunOutput::telemetry`).
+    pub fn finish(mut self) -> RunOutput {
+        {
+            let mut st = self.exec.state.lock().expect("scheduler state");
+            for k in 0..self.source_idxs.len() {
+                let idx = self.source_idxs[k];
+                for j in 0..self.exec.succs[idx].len() {
+                    let t = self.exec.succs[idx][j];
+                    self.exec.push_eof(&mut st, t);
+                }
+                self.exec.mark_done(&mut st, idx);
+            }
+            while !st.shutdown {
+                st = self.exec.done_cv.wait(st).expect("done condvar");
+            }
+        }
+        join_run_threads(&self.exec, self.watchdog.take(), Vec::new());
+        self.finished = true;
+        self.runtime.assemble_output(&self.exec)
+    }
+}
+
+impl Drop for RunSession {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        // An abandoned session still owns a live worker pool; shut the
+        // graph down so the process can exit cleanly.
+        {
+            let mut st = self.exec.state.lock().expect("scheduler state");
+            st.shutdown = true;
+            self.exec.work_cv.notify_all();
+            self.exec.done_cv.notify_all();
+        }
+        join_run_threads(&self.exec, self.watchdog.take(), Vec::new());
     }
 }
 

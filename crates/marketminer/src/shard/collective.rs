@@ -5,7 +5,7 @@
 //! [`COLLECTIVE_BASE`], namespaced by a per-rank sequence number so that
 //! back-to-back collectives never cross-match.
 
-use crate::comm::{Comm, Tag};
+use super::comm::{Comm, Source, Tag};
 
 /// Base of the reserved collective tag space. User tags must stay below.
 pub const COLLECTIVE_BASE: Tag = 1 << 48;
@@ -25,7 +25,7 @@ impl Comm {
         if self.rank() == root {
             for _ in 1..self.size() {
                 let (_src, ()) = self
-                    .recv_from::<()>(crate::comm::Source::Any, tag)
+                    .recv_from::<()>(Source::Any, tag)
                     .expect("barrier arrival");
             }
             for dst in 1..self.size() {
@@ -67,7 +67,7 @@ impl Comm {
             out[root] = Some(value);
             for _ in 1..self.size() {
                 let (src, v) = self
-                    .recv_from::<T>(crate::comm::Source::Any, tag)
+                    .recv_from::<T>(Source::Any, tag)
                     .expect("gather contribution");
                 out[src] = Some(v);
             }
@@ -131,7 +131,7 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::world::World;
+    use super::super::world::World;
 
     #[test]
     fn broadcast_reaches_all() {

@@ -1,5 +1,9 @@
 //! Point-to-point communication: tagged, typed send/recv with MPI matching
 //! semantics.
+//!
+//! Folded in from the former `mpisim` crate: the multi-process shard runner
+//! is the production user of these semantics, so the types now live next to
+//! it instead of in a stand-alone crate.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -8,8 +12,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
-/// Message tag. User tags should stay below `COLLECTIVE_BASE` (see `crate::collective`); the
-/// collectives reserve the space above it.
+/// Message tag. User tags should stay below `COLLECTIVE_BASE` (see
+/// [`super::collective`]); the collectives reserve the space above it.
 pub type Tag = u64;
 
 /// Source selector for receives.
@@ -233,8 +237,8 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
+    use super::super::world::World;
     use super::*;
-    use crate::world::World;
 
     #[test]
     fn ping_pong() {

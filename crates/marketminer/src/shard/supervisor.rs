@@ -1,0 +1,672 @@
+//! The multi-process shard supervisor: spawn, watch, respawn, merge.
+//!
+//! [`ShardRunner`] shards the sweep's parameter universe across worker
+//! processes (parameter set `k` runs on rank `k % shards`, keeping its
+//! global index), connects them over a Unix-domain control socket, and
+//! supervises the fleet:
+//!
+//! * **Liveness** — every worker heartbeats on a period; a rank whose
+//!   beacon goes stale past the timeout is declared wedged and killed. A
+//!   dead socket (the `kill -9` case) surfaces immediately as a reader
+//!   error. Both land in the same respawn path.
+//! * **Exactly-once results** — result frames are seq-numbered
+//!   (`seq == epoch`); the supervisor accepts exactly `next_expected`
+//!   per rank and drops duplicates. A respawned worker restores its
+//!   newest valid durable checkpoint and is told (`--resume-seq`) to
+//!   suppress everything already accepted; determinism makes any frame
+//!   it does regenerate byte-identical, so the suppression rule and the
+//!   dedup rule meet in the middle.
+//! * **Restart budget** — a rank that dies more than
+//!   [`super::ShardConfig::max_restarts`] times is masked *degraded*:
+//!   its parameter sets report no trades, its partial output is
+//!   dropped, and the sweep completes with an exit report instead of
+//!   hanging the run.
+//!
+//! The merged output is a deterministic function of the per-shard
+//! outputs, so a run with any schedule of worker kills is trade-for-trade
+//! bit-identical to an unkilled run at the same shard count.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pairtrade_core::trade::Trade;
+use taq::dataset::DayData;
+use telemetry::lineage::{EventId, LineageEvent};
+use telemetry::recorder::FlightKind;
+use telemetry::{Caps, Telemetry, TelemetryLevel, TelemetryReport};
+
+use super::frame::Frame;
+use super::transport::FramedConn;
+use super::worker::ShardJob;
+use super::{ShardConfig, CONTROL_SOCKET, JOB_FILE, NODE_STRIDE, SHARDS_ENV, TAPE_FILE};
+use crate::components::order_gateway::canonical_key;
+use crate::graph::GraphError;
+use crate::messages::{Basket, Cause, HealthEvent, Message, OrderRequest};
+use crate::pipeline::SweepConfig;
+
+/// How one rank ended the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardExitReport {
+    /// The shard rank.
+    pub rank: usize,
+    /// Times the rank died and was respawned (or would have been).
+    pub restarts: u32,
+    /// The restart budget ran out; this rank's parameter sets are
+    /// masked from the merged output.
+    pub degraded: bool,
+    /// Result frames accepted from this rank (== its `next_expected`).
+    pub frames_accepted: u64,
+    /// Last epoch the rank reported complete.
+    pub last_epoch: u64,
+}
+
+/// Merged output of a sharded sweep run.
+#[derive(Debug)]
+pub struct ShardSweepOutput {
+    /// End-of-day trades per parameter set (index-aligned with
+    /// `SweepConfig::params`; empty for degraded-masked sets).
+    pub trades_per_param: Vec<Vec<Trade>>,
+    /// Baskets merged across shards: orders bucketed by interval,
+    /// canonically sorted — bit-identical however the fleet interleaved.
+    pub baskets: Vec<std::sync::Arc<Basket>>,
+    /// Health transitions in canonical `(interval, symbol)` order (every
+    /// shard computes the identical control plane; one copy is kept).
+    pub health_events: Vec<std::sync::Arc<HealthEvent>>,
+    /// Fleet-wide lineage in canonical id order, deduplicated across
+    /// respawns (shard `r` mints node ids from base `r * NODE_STRIDE`).
+    pub lineage: Vec<LineageEvent>,
+    /// Dense node-name table indexed by lineage node id
+    /// (`shard<r>/<name>` at `r * NODE_STRIDE + idx`; filler slots are
+    /// empty strings).
+    pub node_names: Vec<String>,
+    /// Per-rank exit reports, in rank order.
+    pub reports: Vec<ShardExitReport>,
+    /// Parameter sets masked because their shard exhausted its restart
+    /// budget.
+    pub degraded_params: Vec<usize>,
+    /// The supervisor's telemetry (checkpoint write costs, heartbeat
+    /// ages, restart/degrade incidents), `None` at `TelemetryLevel::Off`.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+impl ShardSweepOutput {
+    /// Render the merged lineage as an `explain_trade`-loadable JSON
+    /// document (same format as `Runtime::with_lineage_path`).
+    pub fn lineage_export(&self) -> String {
+        telemetry::lineage::export(&self.lineage, 0, &self.node_names)
+    }
+}
+
+/// Reader-thread → supervisor events.
+enum Event {
+    Hello {
+        rank: usize,
+        names: Vec<String>,
+        corrupt: Vec<String>,
+    },
+    Frame {
+        rank: usize,
+        frame: Frame,
+    },
+    Gone {
+        rank: usize,
+        why: String,
+    },
+}
+
+/// Supervisor-side state of one rank.
+struct ShardState {
+    child: Option<Child>,
+    connected: bool,
+    spawned_at: Instant,
+    last_heartbeat: Instant,
+    last_epoch: u64,
+    next_expected: u64,
+    restarts: u32,
+    done: bool,
+    degraded: bool,
+    /// Accepted sink messages, in acceptance order.
+    messages: Vec<Message>,
+    /// Accepted lineage, deduplicated by event id.
+    lineage: BTreeMap<EventId, LineageEvent>,
+    /// Pending chaos kill triggers (result seqs), ascending.
+    kills: Vec<u64>,
+}
+
+/// The multi-process shard runner.
+pub struct ShardRunner {
+    cfg: ShardConfig,
+    worker_exe: PathBuf,
+    level: TelemetryLevel,
+    chaos: Vec<(usize, u64)>,
+}
+
+fn cfg_err(value: String) -> GraphError {
+    GraphError::Config(telemetry::ConfigError::InvalidEnv {
+        var: SHARDS_ENV,
+        value,
+    })
+}
+
+fn io_err(e: impl std::fmt::Display) -> GraphError {
+    GraphError::Io(e.to_string())
+}
+
+impl ShardRunner {
+    /// A runner launching `worker_exe` (the `shard_worker` binary) per
+    /// shard.
+    pub fn new(cfg: ShardConfig, worker_exe: impl Into<PathBuf>) -> ShardRunner {
+        ShardRunner {
+            cfg,
+            worker_exe: worker_exe.into(),
+            level: TelemetryLevel::Counters,
+            chaos: Vec::new(),
+        }
+    }
+
+    /// Supervisor telemetry level (default `Counters`).
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Chaos schedule: `(rank, seq)` pairs — `kill -9` the rank's worker
+    /// right after its result frame `seq` (or a later one) is accepted.
+    /// Each entry fires once; list entries for the same rank in
+    /// ascending seq order to kill it repeatedly.
+    pub fn with_chaos(mut self, kills: Vec<(usize, u64)>) -> Self {
+        self.chaos = kills;
+        self
+    }
+
+    fn spawn_worker(&self, rank: usize, resume_seq: u64) -> io::Result<Child> {
+        Command::new(&self.worker_exe)
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--shards")
+            .arg(self.cfg.shards.to_string())
+            .arg("--socket")
+            .arg(self.cfg.ckpt_dir.join(CONTROL_SOCKET))
+            .arg("--ckpt-dir")
+            .arg(&self.cfg.ckpt_dir)
+            .arg("--resume-seq")
+            .arg(resume_seq.to_string())
+            .arg("--epoch-quotes")
+            .arg(self.cfg.epoch_quotes.to_string())
+            .arg("--heartbeat-ms")
+            .arg(self.cfg.heartbeat.as_millis().max(1).to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+    }
+
+    /// Run the sharded sweep to completion, surviving worker deaths.
+    ///
+    /// Configuration problems (zero shards, more shards than parameter
+    /// sets, zero-length epochs or timeouts) surface as
+    /// [`GraphError::Config`] before any process is spawned — never as a
+    /// silently adjusted default.
+    pub fn run(&self, day: &DayData, sweep: &SweepConfig) -> Result<ShardSweepOutput, GraphError> {
+        let cfg = &self.cfg;
+        if cfg.shards == 0 {
+            return Err(cfg_err("0 shards".into()));
+        }
+        if cfg.shards > sweep.params.len() {
+            return Err(cfg_err(format!(
+                "{} shards for {} parameter sets",
+                cfg.shards,
+                sweep.params.len()
+            )));
+        }
+        if cfg.epoch_quotes == 0 {
+            return Err(cfg_err("0 quotes per epoch".into()));
+        }
+        if cfg.heartbeat.is_zero() || cfg.heartbeat_timeout <= cfg.heartbeat {
+            return Err(cfg_err(format!(
+                "heartbeat {:?} incompatible with timeout {:?}",
+                cfg.heartbeat, cfg.heartbeat_timeout
+            )));
+        }
+        if cfg.backoff_base.is_zero() || cfg.backoff_max < cfg.backoff_base {
+            return Err(cfg_err(format!(
+                "backoff base {:?} / max {:?}",
+                cfg.backoff_base, cfg.backoff_max
+            )));
+        }
+        let caps = Caps::from_env().map_err(GraphError::Config)?;
+        let tel = Telemetry::build(self.level, caps);
+
+        // --- Stage the job directory -----------------------------------
+        std::fs::create_dir_all(&cfg.ckpt_dir).map_err(io_err)?;
+        for rank in 0..cfg.shards {
+            // A fresh run starts cold; checkpoints only bridge deaths
+            // *within* a run.
+            let _ = std::fs::remove_dir_all(cfg.ckpt_dir.join(format!("shard-{rank}")));
+        }
+        let job = ShardJob::from_sweep(sweep);
+        std::fs::write(cfg.ckpt_dir.join(JOB_FILE), wire::to_bytes(&job)).map_err(io_err)?;
+        taq::io::write_binary_file(day, &cfg.ckpt_dir.join(TAPE_FILE)).map_err(io_err)?;
+        let sock_path = cfg.ckpt_dir.join(CONTROL_SOCKET);
+        let _ = std::fs::remove_file(&sock_path);
+        let listener = UnixListener::bind(&sock_path).map_err(io_err)?;
+
+        // --- Accept + reader threads -----------------------------------
+        let (tx, rx) = mpsc::channel::<Event>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let read_timeout = cfg.heartbeat_timeout;
+            std::thread::spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let conn = FramedConn::new(stream);
+                        let _ = conn.set_read_timeout(Some(read_timeout));
+                        let mut conn = conn;
+                        let rank = match conn.recv() {
+                            Ok(Frame::Hello {
+                                rank,
+                                names,
+                                corrupt,
+                                ..
+                            }) => {
+                                if tx
+                                    .send(Event::Hello {
+                                        rank,
+                                        names,
+                                        corrupt,
+                                    })
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                                rank
+                            }
+                            // Not a worker (or a torn Hello): drop the
+                            // connection, supervision handles the rest.
+                            _ => return,
+                        };
+                        loop {
+                            match conn.recv() {
+                                Ok(frame) => {
+                                    if tx.send(Event::Frame { rank, frame }).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(e) => {
+                                    let _ = tx.send(Event::Gone {
+                                        rank,
+                                        why: e.kind().to_string(),
+                                    });
+                                    return;
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+        };
+
+        // --- Spawn the fleet -------------------------------------------
+        let now = Instant::now();
+        let mut states: Vec<ShardState> = (0..cfg.shards)
+            .map(|rank| {
+                let mut kills: Vec<u64> = self
+                    .chaos
+                    .iter()
+                    .filter(|(r, _)| *r == rank)
+                    .map(|(_, s)| *s)
+                    .collect();
+                kills.sort_unstable();
+                ShardState {
+                    child: None,
+                    connected: false,
+                    spawned_at: now,
+                    last_heartbeat: now,
+                    last_epoch: 0,
+                    next_expected: 0,
+                    restarts: 0,
+                    done: false,
+                    degraded: false,
+                    messages: Vec::new(),
+                    lineage: BTreeMap::new(),
+                    kills,
+                }
+            })
+            .collect();
+        let mut node_names: Vec<String> = Vec::new();
+        for (rank, state) in states.iter_mut().enumerate() {
+            let child = self.spawn_worker(rank, 0).map_err(io_err)?;
+            state.child = Some(child);
+            state.spawned_at = Instant::now();
+        }
+
+        // --- Supervision loop ------------------------------------------
+        let probe_label = |rank: usize| format!("shard{rank}");
+        let kill_child = |state: &mut ShardState| {
+            state.connected = false;
+            if let Some(mut child) = state.child.take() {
+                let _ = child.kill(); // SIGKILL on unix
+                let _ = child.wait();
+            }
+        };
+        // A death (kill, crash, wedge) either respawns the rank from its
+        // durable checkpoint or — budget exhausted — masks it degraded.
+        let handle_death = |states: &mut Vec<ShardState>, rank: usize, why: &str| {
+            let state = &mut states[rank];
+            if state.done || state.degraded {
+                return Ok(());
+            }
+            kill_child(state);
+            state.restarts += 1;
+            if state.restarts > cfg.max_restarts {
+                state.degraded = true;
+                let probe = tel.probe(probe_label(rank), telemetry::trace::TrackId::node(rank));
+                probe.count("shard.degraded", 1);
+                probe.flight(FlightKind::Failure, Some(state.last_epoch), || {
+                    format!(
+                        "shard.degraded: restart budget ({}) exhausted after {why}; \
+                         masking its parameter sets",
+                        cfg.max_restarts
+                    )
+                });
+                return Ok(());
+            }
+            let probe = tel.probe(probe_label(rank), telemetry::trace::TrackId::node(rank));
+            probe.count("shard.restarts", 1);
+            let restarts = state.restarts;
+            let resume = state.next_expected;
+            probe.flight(FlightKind::Restart, Some(state.last_epoch), || {
+                format!("shard.restarts: respawn #{restarts} after {why}, resume_seq={resume}")
+            });
+            let backoff = cfg
+                .backoff_base
+                .saturating_mul(1u32 << (state.restarts - 1).min(16))
+                .min(cfg.backoff_max);
+            std::thread::sleep(backoff);
+            let child = self.spawn_worker(rank, resume).map_err(io_err)?;
+            state.child = Some(child);
+            state.spawned_at = Instant::now();
+            state.last_heartbeat = Instant::now();
+            Ok::<(), GraphError>(())
+        };
+
+        while !states.iter().all(|s| s.done || s.degraded) {
+            match rx.recv_timeout(cfg.heartbeat) {
+                Ok(Event::Hello {
+                    rank,
+                    names,
+                    corrupt,
+                }) => {
+                    if rank >= states.len() {
+                        continue;
+                    }
+                    let base = rank * NODE_STRIDE;
+                    if node_names.len() < base + names.len() {
+                        node_names.resize(base + names.len(), String::new());
+                    }
+                    for (i, name) in names.iter().enumerate() {
+                        node_names[base + i] = format!("shard{rank}/{name}");
+                    }
+                    let probe = tel.probe(probe_label(rank), telemetry::trace::TrackId::node(rank));
+                    for reason in &corrupt {
+                        probe.count("ckpt.corrupt", 1);
+                        probe.flight(FlightKind::Corrupt, None, || {
+                            format!("recovery skipped {reason}")
+                        });
+                    }
+                    let state = &mut states[rank];
+                    state.connected = true;
+                    state.last_heartbeat = Instant::now();
+                }
+                Ok(Event::Frame { rank, frame }) => {
+                    if rank >= states.len() || states[rank].done || states[rank].degraded {
+                        continue;
+                    }
+                    let probe = tel.probe(probe_label(rank), telemetry::trace::TrackId::node(rank));
+                    match frame {
+                        Frame::Heartbeat { epoch, .. } => {
+                            let state = &mut states[rank];
+                            state.last_heartbeat = Instant::now();
+                            state.last_epoch = state.last_epoch.max(epoch);
+                        }
+                        Frame::Results {
+                            seq,
+                            epoch,
+                            messages,
+                            lineage,
+                        } => {
+                            let state = &mut states[rank];
+                            state.last_heartbeat = Instant::now();
+                            if seq < state.next_expected {
+                                // A respawned worker replaying an epoch the
+                                // previous incarnation already delivered:
+                                // determinism makes the frame identical, so
+                                // dropping it is the exactly-once rule.
+                                probe.count("frames.duplicate", 1);
+                                continue;
+                            }
+                            if seq > state.next_expected {
+                                // A gap is a protocol violation (frames are
+                                // FIFO per connection); treat the rank as
+                                // faulty rather than merge a hole.
+                                handle_death(&mut states, rank, "result-sequence gap")?;
+                                continue;
+                            }
+                            state.next_expected = seq + 1;
+                            state.last_epoch = state.last_epoch.max(epoch);
+                            state.messages.extend(messages);
+                            for ev in lineage {
+                                state.lineage.entry(ev.id).or_insert(ev);
+                            }
+                            probe.count("frames.accepted", 1);
+                            // Chaos: kill -9 after accepting the trigger seq.
+                            let fire = states[rank]
+                                .kills
+                                .first()
+                                .is_some_and(|&trigger| seq >= trigger);
+                            if fire {
+                                states[rank].kills.remove(0);
+                                handle_death(&mut states, rank, "chaos kill")?;
+                            }
+                        }
+                        Frame::CkptDone {
+                            epoch,
+                            bytes,
+                            write_us,
+                            fsyncs,
+                        } => {
+                            let state = &mut states[rank];
+                            state.last_heartbeat = Instant::now();
+                            state.last_epoch = state.last_epoch.max(epoch);
+                            probe.count("ckpt.saves", 1);
+                            probe.count("ckpt.bytes", bytes);
+                            probe.count("ckpt.fsyncs", fsyncs);
+                            probe.observe("ckpt.write_us", write_us);
+                        }
+                        Frame::Done { final_seq } => {
+                            let state = &mut states[rank];
+                            if final_seq != state.next_expected {
+                                handle_death(&mut states, rank, "done/accepted mismatch")?;
+                                continue;
+                            }
+                            state.done = true;
+                            if let Some(mut child) = state.child.take() {
+                                let _ = child.wait();
+                            }
+                        }
+                        Frame::Hello { .. } | Frame::Shutdown => {}
+                    }
+                }
+                Ok(Event::Gone { rank, why }) => {
+                    if rank >= states.len() {
+                        continue;
+                    }
+                    // Ignore echoes from connections we already tore down
+                    // (chaos/wedge kills flip `connected` first).
+                    if states[rank].connected {
+                        handle_death(&mut states, rank, &format!("socket loss ({why})"))?;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+
+            // Liveness sweep: stale heartbeats (wedged), silent exits
+            // (crashed before connecting), and the heartbeat-age gauge.
+            for rank in 0..states.len() {
+                if states[rank].done || states[rank].degraded {
+                    continue;
+                }
+                let age = states[rank].last_heartbeat.elapsed();
+                tel.probe(probe_label(rank), telemetry::trace::TrackId::node(rank))
+                    .gauge_max("heartbeat.age_us", age.as_micros() as u64);
+                if states[rank].connected && age > cfg.heartbeat_timeout {
+                    states[rank].connected = false;
+                    handle_death(&mut states, rank, "heartbeat timeout (wedged)")?;
+                    continue;
+                }
+                let silent_death = !states[rank].connected
+                    && states[rank]
+                        .child
+                        .as_mut()
+                        .and_then(|c| c.try_wait().ok())
+                        .flatten()
+                        .is_some();
+                let startup_stall = !states[rank].connected
+                    && states[rank].spawned_at.elapsed() > cfg.heartbeat_timeout;
+                if silent_death || startup_stall {
+                    handle_death(&mut states, rank, "exited before connecting")?;
+                }
+            }
+        }
+
+        // --- Teardown ---------------------------------------------------
+        stop.store(true, Ordering::Release);
+        // Wake the accept loop so its thread can observe `stop`.
+        let _ = UnixStream::connect(&sock_path);
+        let _ = accept_thread.join();
+        for state in &mut states {
+            kill_child(state);
+        }
+        let _ = std::fs::remove_file(&sock_path);
+
+        Ok(self.assemble(sweep, states, node_names, &tel))
+    }
+
+    /// Merge per-shard outputs into one deterministic sweep result.
+    fn assemble(
+        &self,
+        sweep: &SweepConfig,
+        states: Vec<ShardState>,
+        node_names: Vec<String>,
+        tel: &Telemetry,
+    ) -> ShardSweepOutput {
+        let mut trades_per_param: Vec<Vec<Trade>> = vec![Vec::new(); sweep.params.len()];
+        let mut buckets: BTreeMap<usize, Vec<OrderRequest>> = BTreeMap::new();
+        let mut health_events: Vec<std::sync::Arc<HealthEvent>> = Vec::new();
+        let mut health_from: Option<usize> = None;
+        let mut lineage: BTreeMap<EventId, LineageEvent> = BTreeMap::new();
+        let mut reports = Vec::with_capacity(states.len());
+        let mut degraded_params = Vec::new();
+
+        for (rank, state) in states.into_iter().enumerate() {
+            reports.push(ShardExitReport {
+                rank,
+                restarts: state.restarts,
+                degraded: state.degraded,
+                frames_accepted: state.next_expected,
+                last_epoch: state.last_epoch,
+            });
+            if state.degraded {
+                // Masking: a degraded shard's partial output is dropped
+                // wholesale so the merged result never mixes a half-day
+                // of one parameter set with a full day of another.
+                degraded_params
+                    .extend((0..sweep.params.len()).filter(|k| k % self.cfg.shards == rank));
+                continue;
+            }
+            for msg in state.messages {
+                match msg {
+                    Message::Trades(t) => {
+                        trades_per_param[t.param_set].extend(t.iter().copied());
+                    }
+                    Message::Basket(b) => {
+                        buckets
+                            .entry(b.interval)
+                            .or_default()
+                            .extend(b.orders.iter().cloned());
+                    }
+                    // Every shard runs the identical bar/health chain over
+                    // the full tape; keep the first completing rank's copy.
+                    Message::Health(h) if health_from.is_none() || health_from == Some(rank) => {
+                        health_from = Some(rank);
+                        health_events.push(h);
+                    }
+                    _ => {}
+                }
+            }
+            for (id, ev) in state.lineage {
+                lineage.entry(id).or_insert(ev);
+            }
+        }
+
+        let baskets = buckets
+            .into_iter()
+            .map(|(interval, mut orders)| {
+                orders.sort_by_key(canonical_key);
+                let cause = Cause::derived(orders.iter().map(|o| o.cause.id));
+                std::sync::Arc::new(Basket {
+                    interval,
+                    orders,
+                    cause,
+                })
+            })
+            .collect();
+        health_events.sort_by_key(|h| (h.interval, h.symbol));
+        degraded_params.sort_unstable();
+
+        ShardSweepOutput {
+            trades_per_param,
+            baskets,
+            health_events,
+            lineage: lineage.into_values().collect(),
+            node_names,
+            reports,
+            degraded_params,
+            telemetry: if self.level.enabled() {
+                Some(tel.finish())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Log recovered-checkpoint corruption the way the supervisor does when
+/// a worker's `Hello` reports skipped files — one `checkpoint.corrupt`
+/// flight incident per file. Exposed so durability tests can assert the
+/// incident path without a full fleet.
+pub fn note_corrupt(tel: &Arc<Telemetry>, rank: usize, corrupt: &[String]) {
+    let probe = tel.probe(
+        format!("shard{rank}"),
+        telemetry::trace::TrackId::node(rank),
+    );
+    for reason in corrupt {
+        probe.count("ckpt.corrupt", 1);
+        probe.flight(FlightKind::Corrupt, None, || {
+            format!("recovery skipped {reason}")
+        });
+    }
+}

@@ -1,0 +1,243 @@
+//! Length-prefixed framed transport over Unix-domain sockets.
+//!
+//! Each frame on the wire is `len: u32 LE | crc: u32 LE | payload`,
+//! where `crc` is the IEEE CRC-32 of the payload. A torn or corrupted
+//! frame fails the CRC (or the length guard) and surfaces as
+//! `io::ErrorKind::InvalidData` — the receiving end treats that exactly
+//! like a dead peer and lets supervision handle it, rather than
+//! attempting in-band resynchronisation.
+//!
+//! Connection establishment retries with bounded exponential backoff
+//! ([`connect_with_backoff`]): workers race the supervisor's `bind`, and
+//! respawned workers reconnect to a socket that may briefly still be
+//! serving the dead incarnation's accept queue.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use wire::crc32;
+
+use super::frame::Frame;
+
+/// Hard upper bound on a frame payload. The largest legitimate frame —
+/// one epoch's drained results for a 42-strategy shard — is tens of
+/// kilobytes; anything near this bound is corruption.
+const MAX_FRAME: u32 = 64 << 20;
+
+/// A framed, CRC-guarded connection speaking [`Frame`]s.
+pub struct FramedConn {
+    stream: UnixStream,
+}
+
+impl FramedConn {
+    /// Wrap an accepted or connected stream.
+    pub fn new(stream: UnixStream) -> FramedConn {
+        FramedConn { stream }
+    }
+
+    /// Bound how long a [`recv`](FramedConn::recv) may block. `None`
+    /// blocks forever. A timeout surfaces as
+    /// `io::ErrorKind::WouldBlock`/`TimedOut`.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(dur)
+    }
+
+    /// Clone the connection (both halves share the socket). Used to
+    /// split reading (dedicated thread) from writing.
+    pub fn try_clone(&self) -> io::Result<FramedConn> {
+        Ok(FramedConn {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Send one frame: length + CRC header, then the payload.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let payload = wire::to_bytes(frame);
+        let len = u32::try_from(payload.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "frame too large",
+            ));
+        }
+        let mut buf = Vec::with_capacity(8 + payload.len());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        self.stream.write_all(&buf)?;
+        self.stream.flush()
+    }
+
+    /// Receive one frame, verifying length bound and CRC. EOF at a frame
+    /// boundary is `io::ErrorKind::UnexpectedEof` (a cleanly closed
+    /// peer); corruption is `io::ErrorKind::InvalidData`.
+    pub fn recv(&mut self) -> io::Result<Frame> {
+        let mut header = [0u8; 8];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("sized"));
+        let want_crc = u32::from_le_bytes(header[4..].try_into().expect("sized"));
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame length exceeds bound",
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        if crc32(&payload) != want_crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame CRC mismatch",
+            ));
+        }
+        wire::from_bytes::<Frame>(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame decode failed"))
+    }
+}
+
+impl std::fmt::Debug for FramedConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FramedConn").finish_non_exhaustive()
+    }
+}
+
+/// Connect to `path`, retrying with bounded exponential backoff until
+/// `deadline` elapses. Backoff starts at `base` and doubles up to `max`.
+pub fn connect_with_backoff(
+    path: &Path,
+    base: Duration,
+    max: Duration,
+    deadline: Duration,
+) -> io::Result<FramedConn> {
+    let start = Instant::now();
+    let mut backoff = base;
+    loop {
+        match UnixStream::connect(path) {
+            Ok(stream) => return Ok(FramedConn::new(stream)),
+            Err(e) => {
+                if start.elapsed() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!(
+                            "connect to {} timed out after {:?}: {e}",
+                            path.display(),
+                            deadline
+                        ),
+                    ));
+                }
+                std::thread::sleep(backoff.min(max));
+                backoff = (backoff * 2).min(max);
+            }
+        }
+    }
+}
+
+// A frame codec sanity check lives in `frame.rs`; the tests here cover
+// the socket layer itself.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixListener;
+
+    fn sock_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mm-transport-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("s.sock")
+    }
+
+    #[test]
+    fn frames_cross_a_socket_intact() {
+        let path = sock_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).unwrap();
+        let sender = std::thread::spawn({
+            let path = path.clone();
+            move || {
+                let mut conn = connect_with_backoff(
+                    &path,
+                    Duration::from_millis(5),
+                    Duration::from_millis(50),
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+                conn.send(&Frame::Heartbeat { epoch: 3, seq: 8 }).unwrap();
+                conn.send(&Frame::Done { final_seq: 9 }).unwrap();
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = FramedConn::new(stream);
+        assert!(matches!(
+            conn.recv().unwrap(),
+            Frame::Heartbeat { epoch: 3, seq: 8 }
+        ));
+        assert!(matches!(conn.recv().unwrap(), Frame::Done { final_seq: 9 }));
+        // Peer hangs up: clean EOF.
+        sender.join().unwrap();
+        assert_eq!(
+            conn.recv().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let path = sock_path("crc");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).unwrap();
+        let sender = std::thread::spawn({
+            let path = path.clone();
+            move || {
+                let mut raw = UnixStream::connect(&path).unwrap();
+                let payload = wire::to_bytes(&Frame::Heartbeat { epoch: 1, seq: 1 });
+                let mut buf = Vec::new();
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+                let mut corrupted = payload.clone();
+                corrupted[0] ^= 0x40;
+                buf.extend_from_slice(&corrupted);
+                raw.write_all(&buf).unwrap();
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = FramedConn::new(stream);
+        assert_eq!(conn.recv().unwrap_err().kind(), io::ErrorKind::InvalidData);
+        sender.join().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_timeout_fires() {
+        let path = sock_path("timeout");
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).unwrap();
+        let _client = UnixStream::connect(&path).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let conn = FramedConn::new(stream);
+        conn.set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        let mut conn = conn;
+        let kind = conn.recv().unwrap_err().kind();
+        assert!(
+            kind == io::ErrorKind::WouldBlock || kind == io::ErrorKind::TimedOut,
+            "unexpected error kind: {kind:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn connect_backoff_gives_up_after_deadline() {
+        let path = sock_path("nobody").join("missing.sock");
+        let err = connect_with_backoff(
+            &path,
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+            Duration::from_millis(60),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,499 @@
+//! Byte codecs for the typed messages that cross process boundaries.
+//!
+//! In-process edges move `Arc`s; the shard transport moves bytes. These
+//! codecs serialise the [`Message`] vocabulary and lineage events with
+//! the hand-rolled [`wire`] format. Floats travel as raw IEEE-754 bits,
+//! so a payload round-trips *bit-exactly* — the chaos harness compares
+//! killed and unkilled runs with `to_bits` equality and any codec-level
+//! rounding would show up there.
+//!
+//! [`telemetry::lineage::Cause`] and [`LineageEvent`] are foreign types
+//! (the orphan rule forbids `impl wire::Codec` here), so they use
+//! standalone helper functions. A lineage event's `kind` is a
+//! `&'static str`; decoding interns the received string back to the
+//! known static tags.
+
+use std::sync::Arc;
+
+use taq::quote::Quote;
+use telemetry::lineage::{Cause, EventId, LineageEvent};
+use wire::{Codec, Reader, WireError, Writer};
+
+use crate::messages::{
+    BarSet, Basket, CorrSnapshot, DegradeReason, HealthEvent, HealthStatus, Message, OrderRequest,
+    OrderSide, ReturnSet, TradeReport,
+};
+
+/// Encode a [`Cause`].
+pub fn encode_cause(c: &Cause, w: &mut Writer) {
+    c.id.0.encode(w);
+    c.wall_us.encode(w);
+    let parents: Vec<u64> = c.parents.iter().map(|p| p.0).collect();
+    parents.encode(w);
+}
+
+/// Decode a [`Cause`].
+pub fn decode_cause(r: &mut Reader<'_>) -> Result<Cause, WireError> {
+    let id = EventId(u64::decode(r)?);
+    let wall_us = u64::decode(r)?;
+    let parents = Vec::<u64>::decode(r)?.into_iter().map(EventId).collect();
+    Ok(Cause {
+        id,
+        wall_us,
+        parents,
+    })
+}
+
+/// Intern a message-kind tag back to its `&'static str` identity.
+pub fn intern_kind(kind: &str) -> Result<&'static str, WireError> {
+    Ok(match kind {
+        "quote" => "quote",
+        "bars" => "bars",
+        "returns" => "returns",
+        "corr" => "corr",
+        "order" => "order",
+        "basket" => "basket",
+        "trades" => "trades",
+        "health" => "health",
+        "eof" => "eof",
+        _ => return Err(WireError::Invalid("unknown lineage kind")),
+    })
+}
+
+/// Encode a [`LineageEvent`].
+pub fn encode_lineage_event(e: &LineageEvent, w: &mut Writer) {
+    e.id.0.encode(w);
+    e.kind.to_string().encode(w);
+    e.interval.encode(w);
+    e.wall_us.encode(w);
+    let parents: Vec<u64> = e.parents.iter().map(|p| p.0).collect();
+    parents.encode(w);
+}
+
+/// Decode a [`LineageEvent`].
+pub fn decode_lineage_event(r: &mut Reader<'_>) -> Result<LineageEvent, WireError> {
+    let id = EventId(u64::decode(r)?);
+    let kind = intern_kind(&String::decode(r)?)?;
+    let interval = Option::<u64>::decode(r)?;
+    let wall_us = u64::decode(r)?;
+    let parents = Vec::<u64>::decode(r)?.into_iter().map(EventId).collect();
+    Ok(LineageEvent {
+        id,
+        kind,
+        interval,
+        wall_us,
+        parents,
+    })
+}
+
+impl Codec for BarSet {
+    fn encode(&self, w: &mut Writer) {
+        self.interval.encode(w);
+        self.closes.encode(w);
+        self.ticks.encode(w);
+        encode_cause(&self.cause, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BarSet {
+            interval: usize::decode(r)?,
+            closes: Vec::decode(r)?,
+            ticks: Vec::decode(r)?,
+            cause: decode_cause(r)?,
+        })
+    }
+}
+
+impl Codec for ReturnSet {
+    fn encode(&self, w: &mut Writer) {
+        self.interval.encode(w);
+        self.returns.encode(w);
+        encode_cause(&self.cause, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ReturnSet {
+            interval: usize::decode(r)?,
+            returns: Vec::decode(r)?,
+            cause: decode_cause(r)?,
+        })
+    }
+}
+
+impl Codec for CorrSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        self.interval.encode(w);
+        self.stream.encode(w);
+        self.matrix.encode(w);
+        encode_cause(&self.cause, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CorrSnapshot {
+            interval: usize::decode(r)?,
+            stream: usize::decode(r)?,
+            matrix: Codec::decode(r)?,
+            cause: decode_cause(r)?,
+        })
+    }
+}
+
+impl Codec for OrderSide {
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            OrderSide::Buy => 0,
+            OrderSide::Sell => 1,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => OrderSide::Buy,
+            1 => OrderSide::Sell,
+            _ => return Err(WireError::Invalid("order side tag")),
+        })
+    }
+}
+
+impl Codec for OrderRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.interval.encode(w);
+        self.param_set.encode(w);
+        self.stock.encode(w);
+        self.side.encode(w);
+        self.shares.encode(w);
+        self.price.encode(w);
+        self.pair.encode(w);
+        self.needs_confirmation.encode(w);
+        encode_cause(&self.cause, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(OrderRequest {
+            interval: usize::decode(r)?,
+            param_set: usize::decode(r)?,
+            stock: usize::decode(r)?,
+            side: OrderSide::decode(r)?,
+            shares: u32::decode(r)?,
+            price: f64::decode(r)?,
+            pair: <(usize, usize)>::decode(r)?,
+            needs_confirmation: bool::decode(r)?,
+            cause: decode_cause(r)?,
+        })
+    }
+}
+
+impl Codec for Basket {
+    fn encode(&self, w: &mut Writer) {
+        self.interval.encode(w);
+        self.orders.encode(w);
+        encode_cause(&self.cause, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Basket {
+            interval: usize::decode(r)?,
+            orders: Vec::decode(r)?,
+            cause: decode_cause(r)?,
+        })
+    }
+}
+
+impl Codec for TradeReport {
+    fn encode(&self, w: &mut Writer) {
+        self.param_set.encode(w);
+        self.trades.encode(w);
+        encode_cause(&self.cause, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TradeReport {
+            param_set: usize::decode(r)?,
+            trades: Vec::decode(r)?,
+            cause: decode_cause(r)?,
+        })
+    }
+}
+
+impl Codec for DegradeReason {
+    fn encode(&self, w: &mut Writer) {
+        let tag: u8 = match self {
+            DegradeReason::Outage => 0,
+            DegradeReason::Halt => 1,
+            DegradeReason::Quarantine => 2,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => DegradeReason::Outage,
+            1 => DegradeReason::Halt,
+            2 => DegradeReason::Quarantine,
+            _ => return Err(WireError::Invalid("degrade reason tag")),
+        })
+    }
+}
+
+impl Codec for HealthStatus {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HealthStatus::Healthy => 0u8.encode(w),
+            HealthStatus::Degraded(reason) => {
+                1u8.encode(w);
+                reason.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => HealthStatus::Healthy,
+            1 => HealthStatus::Degraded(DegradeReason::decode(r)?),
+            _ => return Err(WireError::Invalid("health status tag")),
+        })
+    }
+}
+
+impl Codec for HealthEvent {
+    fn encode(&self, w: &mut Writer) {
+        self.interval.encode(w);
+        self.symbol.encode(w);
+        self.status.encode(w);
+        encode_cause(&self.cause, w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(HealthEvent {
+            interval: usize::decode(r)?,
+            symbol: usize::decode(r)?,
+            status: HealthStatus::decode(r)?,
+            cause: decode_cause(r)?,
+        })
+    }
+}
+
+impl Codec for Message {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Message::Quote(q, c) => {
+                0u8.encode(w);
+                q.encode(w);
+                encode_cause(c, w);
+            }
+            Message::Bars(b) => {
+                1u8.encode(w);
+                b.as_ref().encode(w);
+            }
+            Message::Returns(x) => {
+                2u8.encode(w);
+                x.as_ref().encode(w);
+            }
+            Message::Corr(x) => {
+                3u8.encode(w);
+                x.as_ref().encode(w);
+            }
+            Message::Order(x) => {
+                4u8.encode(w);
+                x.as_ref().encode(w);
+            }
+            Message::Basket(x) => {
+                5u8.encode(w);
+                x.as_ref().encode(w);
+            }
+            Message::Trades(x) => {
+                6u8.encode(w);
+                x.as_ref().encode(w);
+            }
+            Message::Health(x) => {
+                7u8.encode(w);
+                x.as_ref().encode(w);
+            }
+            Message::Eof => 8u8.encode(w),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => {
+                let q = Quote::decode(r)?;
+                let c = decode_cause(r)?;
+                Message::Quote(q, c)
+            }
+            1 => Message::Bars(Arc::new(BarSet::decode(r)?)),
+            2 => Message::Returns(Arc::new(ReturnSet::decode(r)?)),
+            3 => Message::Corr(Arc::new(CorrSnapshot::decode(r)?)),
+            4 => Message::Order(Arc::new(OrderRequest::decode(r)?)),
+            5 => Message::Basket(Arc::new(Basket::decode(r)?)),
+            6 => Message::Trades(Arc::new(TradeReport::decode(r)?)),
+            7 => Message::Health(Arc::new(HealthEvent::decode(r)?)),
+            8 => Message::Eof,
+            _ => return Err(WireError::Invalid("message tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pairtrade_core::position::{Leg, PairPosition, Side};
+    use pairtrade_core::trade::{ExitReason, Trade};
+    use taq::symbol::Symbol;
+    use taq::time::Timestamp;
+
+    fn cause() -> Cause {
+        Cause {
+            id: EventId::new(3, 17),
+            wall_us: 123_456,
+            parents: vec![EventId::new(0, 4), EventId::new(1, 9)],
+        }
+    }
+
+    fn assert_cause_roundtrip(c: &Cause) {
+        let mut w = Writer::new();
+        encode_cause(c, &mut w);
+        let bytes = w.into_bytes();
+        let got = decode_cause(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.id, c.id);
+        assert_eq!(got.wall_us, c.wall_us);
+        assert_eq!(got.parents, c.parents);
+    }
+
+    #[test]
+    fn cause_carries_identity_through_bytes() {
+        assert_cause_roundtrip(&cause());
+        assert_cause_roundtrip(&Cause::none());
+    }
+
+    #[test]
+    fn every_message_variant_roundtrips() {
+        let trade = Trade {
+            pair: (5, 2),
+            entry_interval: 10,
+            exit_interval: 14,
+            reason: ExitReason::Retracement,
+            pnl: 1.25,
+            gross: 280.0,
+            ret: 1.25 / 280.0,
+            position: PairPosition {
+                long: Leg {
+                    stock: 2,
+                    side: Side::Long,
+                    shares: 5,
+                    entry_price: 30.0,
+                },
+                short: Leg {
+                    stock: 5,
+                    side: Side::Short,
+                    shares: 1,
+                    entry_price: 130.0,
+                },
+                entry_interval: 10,
+            },
+        };
+        let order = OrderRequest {
+            interval: 9,
+            param_set: 41,
+            stock: 5,
+            side: OrderSide::Sell,
+            shares: 3,
+            price: 130.25,
+            pair: (5, 2),
+            needs_confirmation: true,
+            cause: cause(),
+        };
+        let msgs = vec![
+            Message::Quote(
+                Quote {
+                    ts: Timestamp::new(0, 1_000),
+                    symbol: Symbol(7),
+                    bid_cents: 4_000,
+                    ask_cents: 4_002,
+                    bid_size: 3,
+                    ask_size: 2,
+                },
+                cause(),
+            ),
+            Message::Bars(Arc::new(BarSet {
+                interval: 4,
+                closes: vec![40.01, 129.99],
+                ticks: vec![12, 9],
+                cause: cause(),
+            })),
+            Message::Returns(Arc::new(ReturnSet {
+                interval: 5,
+                returns: vec![0.001, -0.002],
+                cause: cause(),
+            })),
+            Message::Corr(Arc::new(CorrSnapshot {
+                interval: 6,
+                stream: 2,
+                matrix: stats::matrix::SymMatrix::identity(3),
+                cause: cause(),
+            })),
+            Message::Order(Arc::new(order.clone())),
+            Message::Basket(Arc::new(Basket {
+                interval: 9,
+                orders: vec![order],
+                cause: cause(),
+            })),
+            Message::Trades(Arc::new(TradeReport {
+                param_set: 13,
+                trades: vec![trade],
+                cause: cause(),
+            })),
+            Message::Health(Arc::new(HealthEvent {
+                interval: 2,
+                symbol: 1,
+                status: HealthStatus::Degraded(DegradeReason::Quarantine),
+                cause: cause(),
+            })),
+            Message::Eof,
+        ];
+        for m in &msgs {
+            let bytes = wire::to_bytes(m);
+            let back: Message = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back.kind(), m.kind());
+            // Cause identity (excluded from PartialEq) must survive too.
+            match (m.cause(), back.cause()) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.parents, b.parents);
+                }
+                (None, None) => {}
+                _ => panic!("cause presence changed for {}", m.kind()),
+            }
+            // Payload equality via the PartialEq impls where available.
+            match (m, &back) {
+                (Message::Bars(a), Message::Bars(b)) => assert_eq!(a, b),
+                (Message::Trades(a), Message::Trades(b)) => assert_eq!(a, b),
+                (Message::Basket(a), Message::Basket(b)) => assert_eq!(a, b),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn lineage_events_intern_kinds() {
+        let ev = LineageEvent {
+            id: EventId::new(9, 3),
+            kind: "basket",
+            interval: Some(7),
+            wall_us: 42,
+            parents: vec![EventId::new(2, 1)],
+        };
+        let mut w = Writer::new();
+        encode_lineage_event(&ev, &mut w);
+        let bytes = w.into_bytes();
+        let got = decode_lineage_event(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, ev);
+        // The interned tag has the intern table's static identity, not a
+        // leaked copy of the received bytes.
+        assert!(std::ptr::eq(
+            got.kind.as_ptr(),
+            intern_kind("basket").unwrap().as_ptr()
+        ));
+        assert!(intern_kind("nonsense").is_err());
+    }
+}

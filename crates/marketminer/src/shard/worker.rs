@@ -1,0 +1,526 @@
+//! The shard worker process: one slice of the sweep universe, driven in
+//! durable epochs.
+//!
+//! A worker owns parameter sets `k` with `k % shards == rank` (global
+//! indices preserved, so trade attribution is fleet-wide). It rebuilds
+//! its slice of the shared-stream sweep graph from the job spec the
+//! supervisor wrote to disk, replays the shared quote tape in epochs of
+//! `epoch_quotes`, and at every epoch boundary:
+//!
+//! 1. quiesces the graph (the epoch cut is then a deterministic function
+//!    of the fed prefix — independent of worker threads and scheduling);
+//! 2. drains the sink and lineage ring into a seq-numbered
+//!    [`Frame::Results`] (`seq == epoch`), suppressed below `resume_seq`
+//!    after a respawn — determinism makes a replayed epoch regenerate
+//!    byte-identical frames, so suppression is exactly-once;
+//! 3. captures every node's durable state ([`SessionCkpt`]) and saves it
+//!    atomically ([`CheckpointStore`]), reporting the write cost in a
+//!    [`Frame::CkptDone`].
+//!
+//! The bulk of the sweep's output — end-of-day trade reports and the
+//! bucketed gateway's baskets — lands at [`RunSession::finish`], and
+//! rides out in one final `Results` frame (`seq == n_epochs`) before
+//! [`Frame::Done`]. A worker killed anywhere in this cycle restores the
+//! newest valid checkpoint on respawn and regenerates exactly the frames
+//! the supervisor has not yet accepted.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pairtrade_core::ckpt::CheckpointStore;
+use taq::dataset::DayData;
+use telemetry::TelemetryLevel;
+use wire::{Codec, Reader, WireError, Writer};
+
+use super::frame::Frame;
+use super::transport::{connect_with_backoff, FramedConn};
+use super::{JOB_FILE, NODE_STRIDE, TAPE_FILE};
+use crate::components::risk::RiskLimits;
+use crate::components::{HealthPolicy, ReplayCollector};
+use crate::messages::{Cause, Message};
+use crate::pipeline::{build_sweep_graph, SweepConfig, SweepGraphParts};
+use crate::runtime::{RunSession, Runtime, SessionCkpt};
+
+/// The serialized sweep job a worker process reconstructs its slice
+/// from — everything [`SweepConfig`] carries, in wire form. The quote
+/// tape travels separately (`tape.taq`, the `taq` binary day format).
+#[derive(Debug, Clone)]
+pub struct ShardJob {
+    /// Universe size.
+    pub n_stocks: usize,
+    /// The full parameter grid (every worker sees all of it; the slice
+    /// is derived from rank and shard count).
+    pub params: Vec<pairtrade_core::params::StrategyParams>,
+    /// Execution extensions.
+    pub exec: pairtrade_core::exec::ExecutionConfig,
+    /// Quote cleaning.
+    pub clean: timeseries::clean::CleanConfig,
+    /// Correlation snapshot stride.
+    pub corr_stride: usize,
+    /// Risk limits.
+    pub limits: RiskLimits,
+    /// Whether emitted orders require human confirmation.
+    pub needs_confirmation: bool,
+    /// Feed-health policy (`None` disables the control plane).
+    pub health: Option<HealthPolicy>,
+}
+
+impl ShardJob {
+    /// Capture a sweep configuration as a wire-serializable job.
+    pub fn from_sweep(cfg: &SweepConfig) -> ShardJob {
+        ShardJob {
+            n_stocks: cfg.n_stocks,
+            params: cfg.params.clone(),
+            exec: cfg.exec,
+            clean: cfg.clean,
+            corr_stride: cfg.corr_stride,
+            limits: cfg.limits,
+            needs_confirmation: cfg.needs_confirmation,
+            health: cfg.health,
+        }
+    }
+
+    /// Rebuild the sweep configuration this job captured.
+    pub fn to_sweep(&self) -> SweepConfig {
+        let mut cfg = SweepConfig::new(self.n_stocks, self.params.clone());
+        cfg.exec = self.exec;
+        cfg.clean = self.clean;
+        cfg.corr_stride = self.corr_stride;
+        cfg.limits = self.limits;
+        cfg.needs_confirmation = self.needs_confirmation;
+        cfg.health = self.health;
+        cfg
+    }
+}
+
+impl Codec for ShardJob {
+    fn encode(&self, w: &mut Writer) {
+        self.n_stocks.encode(w);
+        self.params.encode(w);
+        self.exec.encode(w);
+        self.clean.encode(w);
+        self.corr_stride.encode(w);
+        self.limits.max_shares_per_order.encode(w);
+        self.limits.max_order_notional.encode(w);
+        self.limits.max_open_pairs.encode(w);
+        self.needs_confirmation.encode(w);
+        match self.health {
+            None => false.encode(w),
+            Some(h) => {
+                true.encode(w);
+                h.outage_intervals.encode(w);
+                h.halt_intervals.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ShardJob {
+            n_stocks: usize::decode(r)?,
+            params: Vec::decode(r)?,
+            exec: pairtrade_core::exec::ExecutionConfig::decode(r)?,
+            clean: timeseries::clean::CleanConfig::decode(r)?,
+            corr_stride: usize::decode(r)?,
+            limits: RiskLimits {
+                max_shares_per_order: u32::decode(r)?,
+                max_order_notional: f64::decode(r)?,
+                max_open_pairs: usize::decode(r)?,
+            },
+            needs_confirmation: bool::decode(r)?,
+            health: if bool::decode(r)? {
+                Some(HealthPolicy {
+                    outage_intervals: usize::decode(r)?,
+                    halt_intervals: usize::decode(r)?,
+                })
+            } else {
+                None
+            },
+        })
+    }
+}
+
+/// The parameter-set indices shard `rank` owns: `k % shards == rank`.
+pub fn param_slice(n_params: usize, rank: usize, shards: usize) -> Vec<usize> {
+    (0..n_params).filter(|k| k % shards == rank).collect()
+}
+
+/// Command line of one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerArgs {
+    /// This worker's shard rank.
+    pub rank: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// The supervisor's control socket.
+    pub socket: PathBuf,
+    /// Checkpoint + job directory.
+    pub ckpt_dir: PathBuf,
+    /// First result sequence to actually transmit (everything below was
+    /// delivered by a previous incarnation of this rank).
+    pub resume_seq: u64,
+    /// Quotes fed per epoch.
+    pub epoch_quotes: usize,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+}
+
+impl WorkerArgs {
+    /// Parse `--flag value` pairs (the supervisor's spawn format).
+    pub fn parse(args: &[String]) -> Result<WorkerArgs, String> {
+        let mut rank = None;
+        let mut shards = None;
+        let mut socket = None;
+        let mut ckpt_dir = None;
+        let mut resume_seq = 0u64;
+        let mut epoch_quotes = None;
+        let mut heartbeat_ms = 200u64;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            let num = || {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("{flag}: not a number: {value}"))
+            };
+            match flag.as_str() {
+                "--rank" => rank = Some(num()? as usize),
+                "--shards" => shards = Some(num()? as usize),
+                "--socket" => socket = Some(PathBuf::from(value)),
+                "--ckpt-dir" => ckpt_dir = Some(PathBuf::from(value)),
+                "--resume-seq" => resume_seq = num()?,
+                "--epoch-quotes" => epoch_quotes = Some(num()? as usize),
+                "--heartbeat-ms" => heartbeat_ms = num()?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(WorkerArgs {
+            rank: rank.ok_or("--rank is required")?,
+            shards: shards.ok_or("--shards is required")?,
+            socket: socket.ok_or("--socket is required")?,
+            ckpt_dir: ckpt_dir.ok_or("--ckpt-dir is required")?,
+            resume_seq,
+            epoch_quotes: epoch_quotes.ok_or("--epoch-quotes is required")?,
+            heartbeat: Duration::from_millis(heartbeat_ms.max(1)),
+        })
+    }
+}
+
+/// Recover the newest valid session checkpoint from `store`. Corrupt
+/// files skipped on the way down are returned as human-readable
+/// descriptions (newest first) for the supervisor's `checkpoint.corrupt`
+/// flight incidents; a store with no valid checkpoint recovers to
+/// `None` (cold start).
+pub fn recover_session(store: &CheckpointStore) -> (Option<(u64, SessionCkpt)>, Vec<String>) {
+    match store.recover() {
+        Err(_) => (None, Vec::new()),
+        Ok(rec) => {
+            let mut corrupt: Vec<String> = rec
+                .corrupt
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{}: {}",
+                        c.path
+                            .file_name()
+                            .map(|n| n.to_string_lossy().into_owned())
+                            .unwrap_or_else(|| c.path.display().to_string()),
+                        c.reason
+                    )
+                })
+                .collect();
+            match wire::from_bytes::<SessionCkpt>(&rec.payload) {
+                Ok(ckpt) => (Some((rec.epoch, ckpt)), corrupt),
+                Err(_) => {
+                    // The file-level CRC passed but the payload does not
+                    // decode — treat like corruption and cold-start. (A
+                    // deeper scan could fall further back; a cold start
+                    // is always correct, just slower.)
+                    corrupt.push(format!(
+                        "ckpt-{:010}.bin: payload does not decode",
+                        rec.epoch
+                    ));
+                    (None, corrupt)
+                }
+            }
+        }
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Shared connection: the epoch loop and the heartbeat thread interleave
+/// whole frames under one lock.
+struct Uplink {
+    conn: Mutex<FramedConn>,
+}
+
+impl Uplink {
+    fn send(&self, frame: &Frame) -> io::Result<()> {
+        self.conn.lock().expect("uplink").send(frame)
+    }
+}
+
+/// Run one shard worker to completion: connect, recover, replay, stream
+/// epoch results, flush end-of-day, send [`Frame::Done`].
+///
+/// Any error (or `kill -9`) leaves the durable state consistent: the
+/// supervisor respawns the rank and the new incarnation resumes from the
+/// newest valid checkpoint.
+pub fn run_worker(args: WorkerArgs) -> io::Result<()> {
+    // --- Job + tape -----------------------------------------------------
+    let job_bytes = std::fs::read(args.ckpt_dir.join(JOB_FILE))?;
+    let job: ShardJob =
+        wire::from_bytes(&job_bytes).map_err(|e| bad_data(format!("job spec: {e:?}")))?;
+    let day: DayData = taq::io::read_binary_file(&args.ckpt_dir.join(TAPE_FILE), job.n_stocks)
+        .map_err(|e| bad_data(format!("quote tape: {e}")))?;
+    let sweep = job.to_sweep();
+    let included = param_slice(sweep.params.len(), args.rank, args.shards);
+    if included.is_empty() {
+        return Err(bad_data(format!(
+            "rank {} owns no parameter sets ({} sets / {} shards)",
+            args.rank,
+            sweep.params.len(),
+            args.shards
+        )));
+    }
+
+    // --- Durable state --------------------------------------------------
+    let store = CheckpointStore::open(args.ckpt_dir.join(format!("shard-{}", args.rank)))
+        .map_err(|e| bad_data(e.to_string()))?;
+    let (recovered, corrupt) = recover_session(&store);
+
+    // --- The graph slice ------------------------------------------------
+    // The source node exists for topology; a session feeds the tape
+    // through it from the outside, so the collector itself replays
+    // nothing.
+    let placeholder = DayData::new(day.day, Vec::new(), job.n_stocks, Vec::new());
+    let SweepGraphParts { graph, sink, .. } = build_sweep_graph(
+        Box::new(ReplayCollector::new(placeholder)),
+        &sweep,
+        &included,
+    );
+    let session: RunSession = Runtime::new()
+        .with_telemetry(TelemetryLevel::Full)
+        .with_node_base(args.rank * NODE_STRIDE)
+        .session(graph)
+        .map_err(|e| bad_data(e.to_string()))?;
+    let src = session.source_ids()[0];
+
+    let resume_epoch = match &recovered {
+        Some((epoch, ckpt)) => {
+            session.restore(ckpt).map_err(bad_data)?;
+            epoch + 1
+        }
+        None => 0,
+    };
+
+    // --- Control socket -------------------------------------------------
+    let conn = connect_with_backoff(
+        &args.socket,
+        Duration::from_millis(10),
+        Duration::from_millis(500),
+        Duration::from_secs(30),
+    )?;
+    let uplink = Arc::new(Uplink {
+        conn: Mutex::new(conn),
+    });
+    uplink.send(&Frame::Hello {
+        rank: args.rank,
+        shards: args.shards,
+        resume_seq: args.resume_seq,
+        names: session.node_names(),
+        corrupt,
+    })?;
+
+    // Liveness beacon: heartbeats flow even while an epoch is computing,
+    // so the supervisor can tell "slow" from "wedged".
+    let hb_epoch = Arc::new(AtomicU64::new(resume_epoch));
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_thread = {
+        let uplink = Arc::clone(&uplink);
+        let epoch = Arc::clone(&hb_epoch);
+        let stop = Arc::clone(&hb_stop);
+        let period = args.heartbeat;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                std::thread::sleep(period);
+                let e = epoch.load(Ordering::Acquire);
+                if uplink.send(&Frame::Heartbeat { epoch: e, seq: e }).is_err() {
+                    return; // supervisor gone; the main loop will error too
+                }
+            }
+        })
+    };
+
+    // --- Epoch loop -----------------------------------------------------
+    let run = || -> io::Result<()> {
+        let quotes = day.quotes();
+        let epoch_quotes = args.epoch_quotes.max(1);
+        let n_epochs = quotes.len().div_ceil(epoch_quotes) as u64;
+        for epoch in resume_epoch..n_epochs {
+            let lo = (epoch as usize) * epoch_quotes;
+            let hi = (lo + epoch_quotes).min(quotes.len());
+            for &q in &quotes[lo..hi] {
+                session.feed(src, Message::Quote(q, Cause::none()));
+            }
+            session.quiesce();
+            let messages = session.drain_sink(sink);
+            let lineage = session.drain_lineage();
+            if epoch >= args.resume_seq {
+                uplink.send(&Frame::Results {
+                    seq: epoch,
+                    epoch,
+                    messages,
+                    lineage,
+                })?;
+            }
+            // Deliver-then-save: a kill between the two replays the epoch
+            // and regenerates a byte-identical frame, which `resume_seq`
+            // suppresses — exactly-once either way.
+            let ckpt = session.capture().map_err(bad_data)?;
+            let payload = wire::to_bytes(&ckpt);
+            let report = store
+                .save(epoch, &payload)
+                .map_err(|e| bad_data(e.to_string()))?;
+            let _ = store.retain_last(4);
+            uplink.send(&Frame::CkptDone {
+                epoch,
+                bytes: report.bytes,
+                write_us: report.write_us,
+                fsyncs: report.fsyncs as u64,
+            })?;
+            hb_epoch.store(epoch + 1, Ordering::Release);
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        hb_stop.store(true, Ordering::Release);
+        let _ = hb_thread.join();
+        return Err(e);
+    }
+
+    // --- End-of-day flush -----------------------------------------------
+    let n_epochs = day.quotes().len().div_ceil(args.epoch_quotes.max(1)) as u64;
+    let mut out = session.finish();
+    if n_epochs >= args.resume_seq {
+        let messages = out.take_sink(sink);
+        let lineage = out
+            .telemetry
+            .as_ref()
+            .map(|t| t.lineage.clone())
+            .unwrap_or_default();
+        uplink.send(&Frame::Results {
+            seq: n_epochs,
+            epoch: n_epochs,
+            messages,
+            lineage,
+        })?;
+    }
+    uplink.send(&Frame::Done {
+        final_seq: n_epochs + 1,
+    })?;
+    hb_stop.store(true, Ordering::Release);
+    let _ = hb_thread.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_roundtrips_through_wire() {
+        let cfg = SweepConfig::paper(4);
+        let job = ShardJob::from_sweep(&cfg);
+        let bytes = wire::to_bytes(&job);
+        let back: ShardJob = wire::from_bytes(&bytes).unwrap();
+        let cfg2 = back.to_sweep();
+        assert_eq!(cfg2.params, cfg.params);
+        assert_eq!(cfg2.n_stocks, cfg.n_stocks);
+        assert_eq!(cfg2.limits.max_open_pairs, cfg.limits.max_open_pairs);
+        assert_eq!(cfg2.health, cfg.health);
+    }
+
+    #[test]
+    fn param_slices_partition_the_grid() {
+        let shards = 3;
+        let mut seen = [0u32; 42];
+        for r in 0..shards {
+            for k in param_slice(42, r, shards) {
+                seen[k] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every set on exactly one shard"
+        );
+    }
+
+    #[test]
+    fn worker_args_parse_and_reject() {
+        let args: Vec<String> = [
+            "--rank",
+            "2",
+            "--shards",
+            "3",
+            "--socket",
+            "/tmp/s.sock",
+            "--ckpt-dir",
+            "/tmp/ck",
+            "--resume-seq",
+            "5",
+            "--epoch-quotes",
+            "256",
+            "--heartbeat-ms",
+            "100",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let w = WorkerArgs::parse(&args).unwrap();
+        assert_eq!(w.rank, 2);
+        assert_eq!(w.shards, 3);
+        assert_eq!(w.resume_seq, 5);
+        assert_eq!(w.epoch_quotes, 256);
+        assert_eq!(w.heartbeat, Duration::from_millis(100));
+        assert!(WorkerArgs::parse(&["--rank".into()]).is_err());
+        assert!(WorkerArgs::parse(&["--bogus".into(), "1".into()]).is_err());
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("mm-worker-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let good = SessionCkpt {
+            nodes: vec![crate::runtime::NodeCkpt {
+                state: Some(vec![1, 2, 3]),
+                processed: 7,
+                received: 7,
+                sent: 2,
+                next_out: 2,
+            }],
+        };
+        store.save(0, &wire::to_bytes(&good)).unwrap();
+        store.save(1, &wire::to_bytes(&good)).unwrap();
+        // Bit-flip the newest file's payload.
+        let newest = store.dir().join("ckpt-0000000001.bin");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (rec, corrupt) = recover_session(&store);
+        let (epoch, ckpt) = rec.expect("falls back to epoch 0");
+        assert_eq!(epoch, 0);
+        assert_eq!(ckpt, good);
+        assert_eq!(corrupt.len(), 1);
+        assert!(corrupt[0].contains("crc mismatch"), "{corrupt:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::unbounded;
 
-use crate::comm::{Comm, Envelope};
+use super::comm::{Comm, Envelope};
 
 /// A fixed-size SPMD world.
 #[derive(Debug, Clone, Copy)]

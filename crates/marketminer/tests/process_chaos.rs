@@ -1,0 +1,346 @@
+//! Process-level chaos: `kill -9` real worker processes at randomized
+//! epochs and demand the merged sweep output is trade-for-trade
+//! bit-identical to an unkilled run — the durable-checkpoint +
+//! exactly-once-replay contract, end to end.
+//!
+//! The harness spawns the actual `shard_worker` binary (the one the
+//! supervisor ships), so every layer is exercised for real: the framed
+//! Unix-socket transport, the durable checkpoint store, heartbeats,
+//! respawn with `--resume-seq`, and degraded masking when the restart
+//! budget runs out.
+
+use std::path::PathBuf;
+
+use marketminer::components::ReplayCollector;
+use marketminer::pipeline::{run_sweep_pipeline_with, SweepConfig, SweepOutput};
+use marketminer::shard::supervisor::{note_corrupt, ShardSweepOutput};
+use marketminer::shard::{ShardConfig, ShardRunner};
+use marketminer::{Runtime, RuntimeConfig, TelemetryLevel};
+use pairtrade_core::ckpt::CheckpointStore;
+use taq::dataset::DayData;
+use taq::generator::{MarketConfig, MarketGenerator};
+
+const WORKER_EXE: &str = env!("CARGO_BIN_EXE_shard_worker");
+
+fn small_day(seed: u64) -> (DayData, usize) {
+    let mut cfg = MarketConfig::small(4, 1, seed);
+    cfg.micro.quote_rate_hz = 0.05;
+    (MarketGenerator::new(cfg).next_day().unwrap(), 4)
+}
+
+/// A test-speed shard config in a unique scratch directory: ~7 epochs
+/// per day, fast heartbeats, near-instant respawn backoff.
+fn test_config(tag: &str, day: &DayData, shards: usize) -> ShardConfig {
+    ShardConfig {
+        shards,
+        ckpt_dir: std::env::temp_dir().join(format!(
+            "mm-process-chaos-{tag}-{}-{shards}",
+            std::process::id()
+        )),
+        epoch_quotes: day.quotes().len().div_ceil(7).max(1),
+        heartbeat: std::time::Duration::from_millis(100),
+        // Debug-build workers load the tape and build a 50+-node graph
+        // before connecting; keep wedge detection well clear of that.
+        heartbeat_timeout: std::time::Duration::from_secs(20),
+        backoff_base: std::time::Duration::from_millis(10),
+        backoff_max: std::time::Duration::from_millis(50),
+        max_restarts: 5,
+    }
+}
+
+fn epochs_in(day: &DayData, cfg: &ShardConfig) -> u64 {
+    (day.quotes().len().div_ceil(cfg.epoch_quotes)) as u64
+}
+
+fn in_process_sweep(day: DayData, cfg: &SweepConfig) -> SweepOutput {
+    let runtime = Runtime::with_config(RuntimeConfig {
+        workers: 1,
+        capacity: 256,
+        telemetry: TelemetryLevel::Off,
+    });
+    run_sweep_pipeline_with(runtime, Box::new(ReplayCollector::new(day)), cfg).unwrap()
+}
+
+/// Lineage with the wall-clock stamp stripped: the deterministic
+/// coordinates that must survive `kill -9`.
+type LineageKey = (u64, &'static str, Option<u64>, Vec<u64>);
+
+fn canon_lineage(out: &ShardSweepOutput) -> Vec<LineageKey> {
+    out.lineage
+        .iter()
+        .map(|e| {
+            (
+                e.id.0,
+                e.kind,
+                e.interval,
+                e.parents.iter().map(|p| p.0).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random stream for kill schedules (splitmix64).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// An unkilled sharded run must merge to exactly the in-process sweep:
+/// same trades per parameter set, same canonically-ordered baskets, same
+/// health transitions — at 1 shard and at 3.
+#[test]
+fn sharded_run_matches_in_process_sweep() {
+    let (day, n) = small_day(91);
+    let sweep = SweepConfig::paper(n);
+    let base = in_process_sweep(day.clone(), &sweep);
+
+    for shards in [1usize, 3] {
+        let cfg = test_config("baseline", &day, shards);
+        let out = ShardRunner::new(cfg, WORKER_EXE).run(&day, &sweep).unwrap();
+        assert_eq!(
+            base.trades_per_param, out.trades_per_param,
+            "trades diverged at shards={shards}"
+        );
+        assert_eq!(base.baskets, out.baskets, "shards={shards}");
+        assert_eq!(base.health_events, out.health_events, "shards={shards}");
+        assert!(out.degraded_params.is_empty());
+        assert_eq!(out.reports.len(), shards);
+        for r in &out.reports {
+            assert!(!r.degraded, "rank {} degraded without chaos", r.rank);
+            assert_eq!(r.restarts, 0, "rank {} restarted without chaos", r.rank);
+        }
+    }
+}
+
+/// Tentpole acceptance: `kill -9` any worker at a randomized epoch (three
+/// seeds) and the completed run is bit-identical to the unkilled run —
+/// trades, baskets, health, and lineage (modulo wall-clock stamps) — at
+/// shard counts 1 and 3.
+#[test]
+fn kill9_at_random_epochs_is_bit_identical_to_unkilled() {
+    let (day, n) = small_day(91);
+    let sweep = SweepConfig::paper(n);
+
+    for shards in [1usize, 3] {
+        let cfg = test_config("unkilled", &day, shards);
+        let n_epochs = epochs_in(&day, &cfg);
+        assert!(n_epochs >= 4, "day too small to place interesting kills");
+        let clean = ShardRunner::new(cfg, WORKER_EXE).run(&day, &sweep).unwrap();
+        let clean_lineage = canon_lineage(&clean);
+        assert!(!clean_lineage.is_empty(), "workers recorded no lineage");
+
+        for seed in [11u64, 23, 47] {
+            let mut rng = seed;
+            // Two SIGKILLs per run: two distinct (rank, epoch) draws, the
+            // epoch anywhere in the run including the end-of-day flush.
+            let kills: Vec<(usize, u64)> = (0..2)
+                .map(|_| {
+                    (
+                        (mix(&mut rng) as usize) % shards,
+                        1 + mix(&mut rng) % n_epochs,
+                    )
+                })
+                .collect();
+            let cfg = test_config(&format!("kill-{seed}"), &day, shards);
+            let out = ShardRunner::new(cfg, WORKER_EXE)
+                .with_chaos(kills.clone())
+                .run(&day, &sweep)
+                .unwrap();
+            assert_eq!(
+                clean.trades_per_param, out.trades_per_param,
+                "trades diverged after kills {kills:?} at shards={shards}"
+            );
+            assert_eq!(
+                clean.baskets, out.baskets,
+                "baskets diverged after kills {kills:?} at shards={shards}"
+            );
+            assert_eq!(
+                clean.health_events, out.health_events,
+                "health diverged after kills {kills:?} at shards={shards}"
+            );
+            assert_eq!(
+                clean_lineage,
+                canon_lineage(&out),
+                "lineage diverged after kills {kills:?} at shards={shards}"
+            );
+            assert!(out.degraded_params.is_empty());
+            let total_restarts: u32 = out.reports.iter().map(|r| r.restarts).sum();
+            assert!(
+                total_restarts > 0,
+                "chaos plan {kills:?} killed nothing (shards={shards})"
+            );
+        }
+    }
+}
+
+/// Restart-budget exhaustion must not hang or poison the sweep: the
+/// repeatedly-killed shard's parameter sets are masked degraded, every
+/// other shard's output is still bit-identical to the in-process run, and
+/// the exit report says exactly what happened.
+#[test]
+fn restart_budget_exhaustion_degrades_shard_and_completes() {
+    let (day, n) = small_day(91);
+    let sweep = SweepConfig::paper(n);
+    let base = in_process_sweep(day.clone(), &sweep);
+
+    let shards = 3usize;
+    let victim = 1usize;
+    let mut cfg = test_config("budget", &day, shards);
+    cfg.max_restarts = 1;
+    // Three kills against a budget of one respawn: the second death
+    // exhausts it.
+    let kills = vec![(victim, 1u64), (victim, 2), (victim, 3)];
+    let out = ShardRunner::new(cfg, WORKER_EXE)
+        .with_chaos(kills)
+        .run(&day, &sweep)
+        .unwrap();
+
+    let expected_masked: Vec<usize> = (0..sweep.params.len())
+        .filter(|k| k % shards == victim)
+        .collect();
+    assert_eq!(out.degraded_params, expected_masked);
+    assert!(out.reports[victim].degraded);
+    assert!(out.reports[victim].restarts > 1);
+    for (k, trades) in out.trades_per_param.iter().enumerate() {
+        if k % shards == victim {
+            assert!(trades.is_empty(), "degraded param {k} leaked trades");
+        } else {
+            assert_eq!(
+                base.trades_per_param[k], *trades,
+                "healthy param {k} diverged while shard {victim} degraded"
+            );
+        }
+    }
+    // No masked parameter set's orders leak into the merged baskets.
+    for b in &out.baskets {
+        assert!(b.orders.iter().all(|o| o.param_set % shards != victim));
+    }
+    // The incident trail: restarts then a degrade, in the flight log.
+    let report = out.telemetry.as_ref().expect("supervisor telemetry");
+    let rendered = report.render();
+    assert!(rendered.contains("shard.degraded"), "{rendered}");
+    assert!(rendered.contains("restart budget"), "{rendered}");
+}
+
+/// Durable-store corruption: truncate one newer checkpoint and bit-flip
+/// another; recovery must fall back to the newest *valid* epoch, name
+/// both casualties, and the supervisor logs each as a
+/// `checkpoint.corrupt` flight incident.
+#[test]
+fn corrupt_checkpoints_fall_back_and_are_reported() {
+    let dir = std::env::temp_dir().join(format!("mm-ckpt-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir).unwrap();
+    for epoch in 0..3u64 {
+        store
+            .save(epoch, format!("payload-{epoch}").as_bytes())
+            .unwrap();
+    }
+    // Torn write: the newest file loses its tail.
+    let newest: PathBuf = dir.join("ckpt-0000000002.bin");
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() - 3]).unwrap();
+    // Bit rot: flip one payload bit in the middle one.
+    let middle: PathBuf = dir.join("ckpt-0000000001.bin");
+    let mut bytes = std::fs::read(&middle).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&middle, &bytes).unwrap();
+
+    let rec = store.recover().unwrap();
+    assert_eq!(rec.epoch, 0, "must fall back past both corrupt files");
+    assert_eq!(rec.payload, b"payload-0");
+    assert_eq!(rec.corrupt.len(), 2, "{:?}", rec.corrupt);
+    assert_eq!(rec.corrupt[0].epoch, 2, "newest casualty first");
+    assert_eq!(rec.corrupt[1].epoch, 1);
+
+    // The supervisor-side incident path: every skipped file becomes a
+    // `checkpoint.corrupt` flight event in the rendered report.
+    let tel = telemetry::Telemetry::build(TelemetryLevel::Full, telemetry::Caps::default());
+    let descriptions: Vec<String> = rec
+        .corrupt
+        .iter()
+        .map(|c| {
+            format!(
+                "{}: {}",
+                c.path.file_name().unwrap().to_string_lossy(),
+                c.reason
+            )
+        })
+        .collect();
+    note_corrupt(&tel, 0, &descriptions);
+    let rendered = tel.finish().render();
+    assert!(rendered.contains("checkpoint.corrupt"), "{rendered}");
+    assert!(rendered.contains("ckpt-0000000002.bin"), "{rendered}");
+    assert!(rendered.contains("ckpt-0000000001.bin"), "{rendered}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// After a mid-run `kill -9` and replay, the merged fleet lineage must
+/// still explain every basket: unique ids, no orphan parent references,
+/// every basket walks back to a correlation snapshot and a quote, and the
+/// `explain_trade` export resolves shard-qualified node names.
+#[test]
+fn lineage_explains_trades_across_shard_restart() {
+    use std::collections::{HashMap, HashSet, VecDeque};
+
+    let (day, n) = small_day(91);
+    let sweep = SweepConfig::paper(n);
+    let shards = 3usize;
+    let cfg = test_config("explain", &day, shards);
+    let n_epochs = epochs_in(&day, &cfg);
+    let out = ShardRunner::new(cfg, WORKER_EXE)
+        .with_chaos(vec![(0, 1), (2, n_epochs / 2)])
+        .run(&day, &sweep)
+        .unwrap();
+    assert!(out.reports.iter().map(|r| r.restarts).sum::<u32>() >= 2);
+
+    let events: HashMap<u64, &telemetry::lineage::LineageEvent> =
+        out.lineage.iter().map(|e| (e.id.0, e)).collect();
+    assert_eq!(events.len(), out.lineage.len(), "duplicate lineage ids");
+    assert!(!out.baskets.is_empty(), "vacuous: no baskets traded");
+    for basket in &out.baskets {
+        // Merged baskets derive their cause from member orders; walk from
+        // the orders (each stamped by its emitting shard).
+        for order in &basket.orders {
+            assert!(order.cause.id.is_set());
+            let (mut saw_corr, mut saw_quote) = (false, false);
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut queue = VecDeque::from([order.cause.id.0]);
+            while let Some(id) = queue.pop_front() {
+                if !seen.insert(id) {
+                    continue;
+                }
+                let e = events
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("orphan lineage id {id:#x} after restart"));
+                match e.kind {
+                    "corr" => saw_corr = true,
+                    "quote" => saw_quote = true,
+                    _ => {}
+                }
+                queue.extend(e.parents.iter().map(|p| p.0));
+            }
+            assert!(
+                saw_corr,
+                "order in basket @{} lost corr lineage",
+                basket.interval
+            );
+            assert!(
+                saw_quote,
+                "order in basket @{} lost quote lineage",
+                basket.interval
+            );
+        }
+    }
+
+    // The explain_trade input: shard-qualified node names resolve.
+    let json = out.lineage_export();
+    assert!(json.contains("shard0/"), "export lost shard-0 node names");
+    assert!(json.contains("shard2/"), "export lost shard-2 node names");
+    assert!(json.contains("\"basket\""), "export lost basket events");
+}

@@ -237,9 +237,39 @@ impl fmt::Debug for SymMatrix {
     }
 }
 
+impl wire::Codec for SymMatrix {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.n.encode(w);
+        self.data.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        let n = usize::decode(r)?;
+        let data = Vec::<f64>::decode(r)?;
+        if data.len() != tri(n) {
+            return Err(wire::WireError::Invalid("packed triangle length"));
+        }
+        Ok(SymMatrix { n, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wire::Codec;
+
+    #[test]
+    fn codec_roundtrips_and_validates() {
+        let mut m = SymMatrix::identity(5);
+        m.set(3, 1, -0.25);
+        let back: SymMatrix = wire::from_bytes(&wire::to_bytes(&m)).unwrap();
+        assert!(back == m);
+        // A dimension that disagrees with the payload is corruption.
+        let mut w = wire::Writer::new();
+        7usize.encode(&mut w);
+        vec![0.0f64; 3].encode(&mut w);
+        assert!(wire::from_bytes::<SymMatrix>(&w.buf).is_err());
+    }
 
     #[test]
     fn zeros_and_identity() {

@@ -275,6 +275,79 @@ impl Ewma {
     }
 }
 
+// Durable-checkpoint codecs. Every accumulator field is encoded verbatim
+// — including the Kahan compensators and the refresh countdown — because
+// rebuilding the sums by re-pushing the stored window would produce
+// different rounding than the original eviction history, breaking the
+// bit-identity guarantee of checkpoint recovery.
+impl wire::Codec for Welford {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.n.encode(w);
+        self.mean.encode(w);
+        self.m2.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(Welford {
+            n: u64::decode(r)?,
+            mean: f64::decode(r)?,
+            m2: f64::decode(r)?,
+        })
+    }
+}
+
+impl wire::Codec for RollingMoments {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.window.encode(w);
+        self.head.encode(w);
+        self.len.encode(w);
+        self.anchor.encode(w);
+        self.sum.encode(w);
+        self.sum_c.encode(w);
+        self.sum_sq.encode(w);
+        self.sum_sq_c.encode(w);
+        self.pushes_since_refresh.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        let window = Vec::<f64>::decode(r)?;
+        let head = usize::decode(r)?;
+        let len = usize::decode(r)?;
+        if window.is_empty() || head >= window.len() || len > window.len() {
+            return Err(wire::WireError::Invalid("rolling moments geometry"));
+        }
+        Ok(RollingMoments {
+            window,
+            head,
+            len,
+            anchor: f64::decode(r)?,
+            sum: f64::decode(r)?,
+            sum_c: f64::decode(r)?,
+            sum_sq: f64::decode(r)?,
+            sum_sq_c: f64::decode(r)?,
+            pushes_since_refresh: usize::decode(r)?,
+        })
+    }
+}
+
+impl wire::Codec for Ewma {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.alpha.encode(w);
+        self.value.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        let alpha = f64::decode(r)?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(wire::WireError::Invalid("ewma alpha"));
+        }
+        Ok(Ewma {
+            alpha,
+            value: Option::<f64>::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,5 +457,46 @@ mod tests {
     #[should_panic]
     fn rolling_zero_capacity_panics() {
         let _ = RollingMoments::new(0);
+    }
+
+    #[test]
+    fn codecs_roundtrip_mid_stream_state_bit_exactly() {
+        let mut w = Welford::new();
+        let mut r = RollingMoments::new(7);
+        let mut e = Ewma::new(0.3);
+        for i in 0..1_000u64 {
+            let x = 1e8 + ((i * 37) % 101) as f64 * 0.01;
+            w.push(x);
+            r.push(x);
+            e.push(x);
+        }
+        let w2: Welford = wire::from_bytes(&wire::to_bytes(&w)).unwrap();
+        let r2: RollingMoments = wire::from_bytes(&wire::to_bytes(&r)).unwrap();
+        let e2: Ewma = wire::from_bytes(&wire::to_bytes(&e)).unwrap();
+        // The decoded accumulators must continue the stream bit-for-bit.
+        let (mut a, mut b) = (w, w2);
+        let (mut c, mut d) = (r, r2);
+        let (mut f, mut g) = (e, e2);
+        for i in 0..200u64 {
+            let x = 1e8 + (i % 13) as f64 * 0.07;
+            a.push(x);
+            b.push(x);
+            c.push(x);
+            d.push(x);
+            assert_eq!(f.push(x).to_bits(), g.push(x).to_bits());
+        }
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+        assert_eq!(c.mean().to_bits(), d.mean().to_bits());
+        assert_eq!(c.variance().to_bits(), d.variance().to_bits());
+    }
+
+    #[test]
+    fn rolling_decode_rejects_bad_geometry() {
+        let r = RollingMoments::new(4);
+        let mut bytes = wire::to_bytes(&r);
+        // head is the second field (after the 4-element window vec:
+        // 8-byte len + 4*8 payload); corrupt it to an out-of-range value.
+        bytes[8 + 32] = 0xFF;
+        assert!(wire::from_bytes::<RollingMoments>(&bytes).is_err());
     }
 }

@@ -256,6 +256,61 @@ impl OnlineCorrMatrix {
     }
 }
 
+// Durable-checkpoint codec: every running sum is encoded verbatim (the
+// rank-1 update's rounding depends on the whole eviction history, so
+// re-pushing the retained ring would NOT reproduce these sums bit-exactly).
+// The `evicted` scratch buffer is per-push transient state and is simply
+// reallocated.
+impl wire::Codec for OnlineCorrMatrix {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.n.encode(w);
+        self.m.encode(w);
+        self.ring.encode(w);
+        self.head.encode(w);
+        self.len.encode(w);
+        self.sum.encode(w);
+        self.sumsq.encode(w);
+        self.cross.encode(w);
+        self.pushed.encode(w);
+        self.pushes_since_refresh.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        let n = usize::decode(r)?;
+        let m = usize::decode(r)?;
+        let ring = Vec::<f64>::decode(r)?;
+        let head = usize::decode(r)?;
+        let len = usize::decode(r)?;
+        let sum = Vec::<f64>::decode(r)?;
+        let sumsq = Vec::<f64>::decode(r)?;
+        let cross = Vec::<f64>::decode(r)?;
+        if n < 2
+            || m < 2
+            || ring.len() != n * m
+            || head >= m
+            || len > m
+            || sum.len() != n
+            || sumsq.len() != n
+            || cross.len() != n * (n - 1) / 2
+        {
+            return Err(wire::WireError::Invalid("online corr matrix geometry"));
+        }
+        Ok(OnlineCorrMatrix {
+            n,
+            m,
+            ring,
+            head,
+            len,
+            sum,
+            sumsq,
+            cross,
+            evicted: vec![0.0; n],
+            pushed: usize::decode(r)?,
+            pushes_since_refresh: usize::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // index-driven loops mirror the math
 mod tests {
@@ -265,6 +320,45 @@ mod tests {
 
     fn ret(i: usize, t: usize) -> f64 {
         ((t as f64) * 0.61).sin() * 0.4 + (((t * (i + 2) * 11) % 17) as f64 - 8.0) * 0.03
+    }
+
+    #[test]
+    fn codec_roundtrips_mid_stream_bit_exactly() {
+        let n = 4;
+        let m = 16;
+        let mut live = OnlineCorrMatrix::new(n, m);
+        for t in 0..37 {
+            let vec: Vec<f64> = (0..n).map(|i| ret(i, t) * 1e6).collect();
+            live.push(&vec);
+        }
+        let bytes = wire::to_bytes(&live);
+        let mut thawed: OnlineCorrMatrix = wire::from_bytes(&bytes).unwrap();
+        // Continuing both copies must stay bit-identical: the running sums
+        // were restored verbatim, not recomputed.
+        let mut a = SymMatrix::identity(n);
+        let mut b = SymMatrix::identity(n);
+        for t in 37..90 {
+            let vec: Vec<f64> = (0..n).map(|i| ret(i, t) * 1e6).collect();
+            live.push(&vec);
+            thawed.push(&vec);
+            live.matrix_into(&mut a);
+            thawed.matrix_into(&mut b);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(a.get(i, j).to_bits(), b.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_inconsistent_geometry() {
+        let live = OnlineCorrMatrix::new(3, 8);
+        let bytes = wire::to_bytes(&live);
+        // Corrupt `m` (second u64) so ring.len() != n * m.
+        let mut bad = bytes.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        assert!(wire::from_bytes::<OnlineCorrMatrix>(&bad).is_err());
     }
 
     #[test]

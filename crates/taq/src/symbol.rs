@@ -120,6 +120,16 @@ pub const LIQUID_61: [&str; 61] = [
     "PFE", "MRK", "JNJ",
 ];
 
+impl wire::Codec for Symbol {
+    fn encode(&self, w: &mut wire::Writer) {
+        wire::Codec::encode(&self.0, w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(Symbol(<u16 as wire::Codec>::decode(r)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

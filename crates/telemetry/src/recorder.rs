@@ -34,6 +34,9 @@ pub enum FlightKind {
     Fault,
     /// A coarse pipeline/backtest phase boundary.
     Phase,
+    /// A durable checkpoint file failed validation during recovery and
+    /// was skipped (`checkpoint.corrupt`).
+    Corrupt,
 }
 
 impl FlightKind {
@@ -50,6 +53,7 @@ impl FlightKind {
             FlightKind::Failure => "failure",
             FlightKind::Fault => "fault",
             FlightKind::Phase => "phase",
+            FlightKind::Corrupt => "checkpoint.corrupt",
         }
     }
 }

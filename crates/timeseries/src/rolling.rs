@@ -140,6 +140,63 @@ impl RollingRange {
     }
 }
 
+// Durable-checkpoint codecs. The monotonic deque and its sequence counter
+// are encoded verbatim: the deque's contents depend on the whole
+// observation history, not just the retained window, so reconstruction
+// from values alone is impossible.
+impl wire::Codec for RollingMax {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.window.encode(w);
+        self.deque.encode(w);
+        self.next_idx.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        let window = usize::decode(r)?;
+        let deque = std::collections::VecDeque::<(u64, f64)>::decode(r)?;
+        let next_idx = u64::decode(r)?;
+        if window == 0 || deque.len() > window || deque.iter().any(|&(i, _)| i >= next_idx) {
+            return Err(wire::WireError::Invalid("rolling max geometry"));
+        }
+        Ok(RollingMax {
+            window,
+            deque,
+            next_idx,
+        })
+    }
+}
+
+impl wire::Codec for RollingMin {
+    fn encode(&self, w: &mut wire::Writer) {
+        wire::Codec::encode(&self.inner, w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(RollingMin {
+            inner: wire::Codec::decode(r)?,
+        })
+    }
+}
+
+impl wire::Codec for RollingRange {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.min.encode(w);
+        self.max.encode(w);
+        self.window.encode(w);
+        // The running sum is eviction-history dependent; verbatim.
+        self.sum.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(RollingRange {
+            min: RollingMin::decode(r)?,
+            max: RollingMax::decode(r)?,
+            window: crate::window::SlidingWindow::decode(r)?,
+            sum: f64::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

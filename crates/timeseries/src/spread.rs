@@ -51,6 +51,20 @@ impl SpreadTracker {
     }
 }
 
+impl wire::Codec for SpreadTracker {
+    fn encode(&self, w: &mut wire::Writer) {
+        self.range.encode(w);
+        self.last.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(SpreadTracker {
+            range: wire::Codec::decode(r)?,
+            last: Option::<f64>::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

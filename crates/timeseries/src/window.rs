@@ -132,6 +132,30 @@ impl SlidingWindow<f64> {
     }
 }
 
+// Durable-checkpoint codec. The window is encoded as capacity plus its
+// *logical* contents (oldest → newest) and rebuilt by pushing: every
+// consumer observes the window through `iter()`-order, so the physical
+// ring layout does not affect downstream arithmetic.
+impl<T: Copy + wire::Codec> wire::Codec for SlidingWindow<T> {
+    fn encode(&self, w: &mut wire::Writer) {
+        wire::Codec::encode(&self.cap, w);
+        wire::Codec::encode(&self.to_vec(), w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        let cap = <usize as wire::Codec>::decode(r)?;
+        let items = <Vec<T> as wire::Codec>::decode(r)?;
+        if cap == 0 || items.len() > cap {
+            return Err(wire::WireError::Invalid("sliding window geometry"));
+        }
+        let mut win = SlidingWindow::new(cap);
+        for v in items {
+            win.push(v);
+        }
+        Ok(win)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

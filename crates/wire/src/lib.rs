@@ -1,0 +1,429 @@
+//! Binary codecs for durable checkpoints and the shard control socket.
+//!
+//! The workspace `serde` shim has no serializer, and checkpoint recovery
+//! demands *bit-exact* round-trips (a Kahan compensator re-derived from
+//! rounded values would diverge from the original stream), so the state
+//! types implement [`Codec`] by hand: little-endian fixed-width integers,
+//! `f64::to_bits` for floats, and `u64` length prefixes for collections.
+//! Decoding is defensive — every read is bounds-checked and collection
+//! lengths are validated against the remaining input, so a truncated or
+//! bit-flipped checkpoint surfaces as a [`WireError`], never a panic or
+//! an unbounded allocation.
+//!
+//! [`crc32`] is the IEEE polynomial used by the checkpoint store and the
+//! framed transport to detect torn writes and corrupted frames.
+
+use std::collections::VecDeque;
+
+/// Decoding failure: the input is shorter than the encoding claims, or a
+/// field holds a value outside its domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of input mid-field.
+    Eof,
+    /// A field decoded to an invalid value (bad tag, absurd length, ...).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Eof => write!(f, "unexpected end of input"),
+            WireError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    /// The accumulated encoding.
+    pub buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consume the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes verbatim (no length prefix).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u64` length prefix followed by the bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        (bytes.len() as u64).encode(self);
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// A bounds-checked cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Eof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Take a `u64`-length-prefixed byte run (see [`Writer::bytes`]).
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = u64::decode(self)? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Invalid("byte run longer than input"));
+        }
+        self.take(len)
+    }
+}
+
+/// A self-describing binary encoding: every implementation round-trips
+/// bit-exactly through `encode` → `decode`.
+pub trait Codec: Sized {
+    /// Append this value's encoding to the writer.
+    fn encode(&self, w: &mut Writer);
+    /// Parse one value, advancing the reader past it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encode a value into a fresh byte vector.
+pub fn to_bytes<T: Codec>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a value from a buffer, requiring the buffer to be fully
+/// consumed (trailing garbage is corruption, not padding).
+pub fn from_bytes<T: Codec>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(WireError::Invalid("trailing bytes after value"));
+    }
+    Ok(value)
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, w: &mut Writer) {
+                w.buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i64);
+
+impl Codec for usize {
+    fn encode(&self, w: &mut Writer) {
+        (*self as u64).encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| WireError::Invalid("usize overflow"))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool tag")),
+        }
+    }
+}
+
+impl Codec for f64 {
+    /// Bit-pattern round-trip: NaN payloads, signed zeros and every last
+    /// ulp survive, which the checkpoint bit-identity guarantee needs.
+    fn encode(&self, w: &mut Writer) {
+        self.to_bits().encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let bytes = r.bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("utf-8 string"))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.buf.push(0),
+            Some(v) => {
+                w.buf.push(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError::Invalid("option tag")),
+        }
+    }
+}
+
+// Every element consumes at least one byte, so a claimed length beyond
+// the remaining input is corruption — reject it *before* allocating, so
+// a flipped length byte cannot demand gigabytes.
+fn guarded_len(r: &Reader<'_>, len: usize) -> Result<usize, WireError> {
+    if len > r.remaining() {
+        Err(WireError::Invalid("collection longer than input"))
+    } else {
+        Ok(len)
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = usize::decode(r)?;
+        let len = guarded_len(r, len)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec> Codec for VecDeque<T> {
+    fn encode(&self, w: &mut Writer) {
+        self.len().encode(w);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = usize::decode(r)?;
+        let len = guarded_len(r, len)?;
+        let mut out = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            out.push_back(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+/// IEEE CRC32 (the polynomial Ethernet, gzip and PNG share), computed
+/// with a lazily built 256-entry table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value);
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("pair trading"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+            -1.2345678901234567e-300,
+        ] {
+            let bytes = to_bytes(&v);
+            let back: f64 = from_bytes(&bytes).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        // NaN payload survives too.
+        let nan = f64::from_bits(0x7FF8_0000_DEAD_BEEF);
+        let back: f64 = from_bytes(&to_bytes(&nan)).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn collections_and_compounds_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip(VecDeque::from([(-1i64, true), (7, false)]));
+        roundtrip(Some(vec![0.5f64, -0.5]));
+        roundtrip(Option::<u32>::None);
+        roundtrip(((1.0f64, 2.0f64), (3.0f64, 4.0f64, 5.0f64)));
+        roundtrip(vec![Some("a".to_string()), None]);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Vec<u64>>(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_before_allocation() {
+        // Claims 2^60 elements with 0 bytes of payload.
+        let mut w = Writer::new();
+        (1u64 << 60).encode(&mut w);
+        assert_eq!(
+            from_bytes::<Vec<u64>>(&w.buf),
+            Err(WireError::Invalid("collection longer than input"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert_eq!(
+            from_bytes::<bool>(&[2]),
+            Err(WireError::Invalid("bool tag"))
+        );
+        assert_eq!(
+            from_bytes::<Option<u8>>(&[9, 0]),
+            Err(WireError::Invalid("option tag"))
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn bit_flip_changes_crc() {
+        let data = b"checkpoint payload".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

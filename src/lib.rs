@@ -13,8 +13,9 @@
 //! * [`taq`] — the synthetic TAQ market-data substrate.
 //! * [`timeseries`] — BAM sampling, OHLC bars, log returns, cleaning
 //!   filters, rolling statistics.
-//! * [`mpisim`] — the MPI-flavoured message-passing substrate.
-//! * [`marketminer`] — the DAG stream-processing platform of Figure 1.
+//! * [`marketminer`] — the DAG stream-processing platform of Figure 1,
+//!   including the `shard` module's MPI-flavoured messaging types and the
+//!   multi-process shard runner.
 //! * [`pairtrade_core`] — the canonical pair-trading strategy (Table I,
 //!   Section III).
 //! * [`backtest`] — the three computational approaches, the evaluation
@@ -41,7 +42,6 @@
 
 pub use backtest;
 pub use marketminer;
-pub use mpisim;
 pub use pairtrade_core;
 pub use stats;
 pub use taq;
