@@ -171,6 +171,7 @@ mod tests {
         OrderRequest {
             interval: 100,
             param_set: 0,
+            strategy: pairtrade_core::spec::StrategyKind::Paper,
             stock,
             side,
             shares,

@@ -13,6 +13,9 @@
 //!   point.
 //! * [`jobfarm`] — a Sun-Grid-Engine-flavoured independent-job scheduler
 //!   (the paper's interim scaling workaround for Approach 2).
+//! * [`halving`] — successive halving over a heterogeneous strategy grid:
+//!   the outer optimisation loop that reuses the shared-stream sweep per
+//!   round and eliminates on the paper's three performance measures.
 //! * [`runner`] — the full experiment: universe × days × 42 parameter
 //!   sets, streaming one day of market data at a time.
 //! * [`aggregate`] — per-pair averaging over the 14 non-treatment levels
@@ -26,6 +29,7 @@ pub mod aggregate;
 pub mod approach;
 pub mod distributed;
 pub mod execution;
+pub mod halving;
 pub mod jobfarm;
 pub mod metrics;
 pub mod optimize;
@@ -36,4 +40,5 @@ pub mod scaling;
 
 pub use aggregate::{MeasureSamples, TreatmentSamples};
 pub use approach::Approach;
+pub use halving::{run_successive_halving, HalvingReport, HalvingSchedule};
 pub use runner::{Experiment, ExperimentConfig, ExperimentResults};

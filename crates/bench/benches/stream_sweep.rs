@@ -76,11 +76,14 @@ fn main() {
     let day = make_day();
     let quotes = day.len();
     let cfg = SweepConfig::paper(N_STOCKS);
-    let n_params = cfg.params.len();
+    let n_params = cfg.specs.len();
     let n_streams = cfg.distinct_streams().len();
+    // Which strategy families the grid hosts — baselines are only
+    // comparable against the same mix (bench_compare refuses otherwise).
+    let strategy_mix = cfg.strategy_mix();
     println!("\n== stream_sweep ==");
     println!(
-        "n={N_STOCKS}, quotes={quotes}, params={n_params}, distinct corr streams={n_streams}, iters={iters}"
+        "n={N_STOCKS}, quotes={quotes}, params={n_params}, mix={strategy_mix}, distinct corr streams={n_streams}, iters={iters}"
     );
 
     let telemetry_level = RuntimeConfig::default().telemetry.as_str().to_string();
@@ -108,7 +111,10 @@ fn main() {
         let run_start = Instant::now();
         let singles_secs = time_secs(iters, || {
             let mut total = 0usize;
-            for p in &cfg.params {
+            for spec in &cfg.specs {
+                let pairtrade_core::StrategySpec::Paper(p) = spec else {
+                    panic!("the singles side only exists for the paper family");
+                };
                 let single = run_fig1_pipeline_with(
                     make_runtime(),
                     Box::new(ReplayCollector::new(day.clone())),
@@ -150,7 +156,7 @@ fn main() {
         .map_or(0, |d| d.as_secs());
     let total_wall_clock_secs = bench_start.elapsed().as_secs_f64();
     let json = format!(
-        "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"telemetry_level\": \"{telemetry_level}\",\n  \"measured_at_epoch_secs\": {measured_at_epoch_secs},\n  \"total_wall_clock_secs\": {total_wall_clock_secs:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"stream_sweep\",\n  \"workload\": {{\n    \"n_stocks\": {N_STOCKS},\n    \"quotes\": {quotes},\n    \"param_sets\": {n_params},\n    \"strategy_mix\": \"{strategy_mix}\",\n    \"distinct_corr_streams\": {n_streams},\n    \"seed\": {SEED},\n    \"iters\": {iters}\n  }},\n  \"telemetry_level\": \"{telemetry_level}\",\n  \"measured_at_epoch_secs\": {measured_at_epoch_secs},\n  \"total_wall_clock_secs\": {total_wall_clock_secs:.3},\n  \"runs\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     // `STREAM_SWEEP_OUT` redirects the result file — CI writes a fresh

@@ -36,7 +36,9 @@ const METRICS: [&str; 2] = [
 ];
 
 /// Workload fields that must match for the two runs to be comparable.
-const WORKLOAD_KEYS: [&str; 4] = ["n_stocks", "quotes", "param_sets", "seed"];
+/// `strategy_mix` makes cross-mix diffs (a heterogeneous grid against the
+/// paper grid) a refusal, not a misleading number.
+const WORKLOAD_KEYS: [&str; 5] = ["n_stocks", "quotes", "param_sets", "seed", "strategy_mix"];
 
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -104,10 +106,11 @@ fn run() -> Result<bool, String> {
 
     // Refuse to compare different workloads.
     for key in WORKLOAD_KEYS {
+        // Workload values are numbers or strings; compare them verbatim.
         let get = |doc: &Json| {
             doc.get("workload")
                 .and_then(|w| w.get(key))
-                .and_then(Json::as_u64)
+                .map(Json::render)
         };
         let (f, b) = (get(&fresh), get(&baseline));
         if f != b {

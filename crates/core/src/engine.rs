@@ -9,6 +9,7 @@
 
 use crate::exec::ExecutionConfig;
 use crate::params::StrategyParams;
+use crate::spec::StrategySpec;
 use crate::strategy::{IntervalInput, PairStrategy};
 use crate::trade::Trade;
 
@@ -58,6 +59,54 @@ pub fn run_pair_day(
         });
     }
     strategy.finish_day()
+}
+
+/// Run one pair for one day under any [`StrategySpec`].
+///
+/// The spec-generic sibling of [`run_pair_day`]: same index bookkeeping,
+/// but the trailing-return window comes from the built strategy's
+/// declared [`needs`](Strategy::needs) (a window of 0 means the family
+/// ignores trailing returns and they are fed as 0.0).
+///
+/// # Panics
+/// Panics if price series lengths differ or the correlation series
+/// overruns the day.
+pub fn run_spec_day(
+    spec: &StrategySpec,
+    pair: (usize, usize),
+    exec: &ExecutionConfig,
+    prices_i: &[f64],
+    prices_j: &[f64],
+    corr: &[f64],
+    first_corr_interval: usize,
+) -> Vec<Trade> {
+    assert_eq!(prices_i.len(), prices_j.len(), "price grids must align");
+    let smax = prices_i.len();
+    assert!(
+        first_corr_interval + corr.len() <= smax,
+        "correlation series overruns the day"
+    );
+    let mut strategy = spec.build(pair, *exec);
+    let w = strategy.needs().w_return_window;
+    for (k, &c) in corr.iter().enumerate() {
+        let s = first_corr_interval + k;
+        let w_ret = |p: &[f64]| -> f64 {
+            if w > 0 && s >= w && p[s - w] > 0.0 && p[s] > 0.0 {
+                p[s] / p[s - w] - 1.0
+            } else {
+                0.0
+            }
+        };
+        strategy.on_interval(IntervalInput {
+            s,
+            price_i: prices_i[s],
+            price_j: prices_j[s],
+            corr: c,
+            w_return_i: w_ret(prices_i),
+            w_return_j: w_ret(prices_j),
+        });
+    }
+    strategy.finish()
 }
 
 #[cfg(test)]

@@ -21,26 +21,36 @@
 //! Module map: [`params`] (Table I and the 42-vector experiment grid),
 //! [`signal`] (divergence detection), [`position`] (share sizing and PnL),
 //! [`retracement`] (reversal levels), [`trade`] (trade records),
-//! [`strategy`] (the per-pair state machine), [`engine`] (day-level
-//! driver), [`exec`] (execution extensions the paper notes but defers:
-//! stop-loss, correlation-reversion exit, transaction costs), and
-//! [`baseline`] (the classical Gatev distance-method pairs strategy the
-//! correlation approach competes against).
+//! [`strategy`] (the [`Strategy`] trait and the paper's per-pair state
+//! machine), [`engine`] (day-level driver), [`exec`] (execution
+//! extensions the paper notes but defers: stop-loss,
+//! correlation-reversion exit, transaction costs), [`baseline`] (the
+//! classical Gatev distance-method pairs strategy the correlation
+//! approach competes against), and the pluggable strategy algebra:
+//! [`kalman`] (dynamic hedge-ratio z-score family), [`overlay`] (the
+//! stop/target/holding risk combinator), and [`spec`] (the heterogeneous
+//! [`StrategySpec`] that sweeps mix families through).
 
 pub mod baseline;
 pub mod ckpt;
 pub mod engine;
 pub mod exec;
+pub mod kalman;
+pub mod overlay;
 pub mod params;
 pub mod position;
 pub mod retracement;
 pub mod signal;
+pub mod spec;
 pub mod strategy;
 pub mod trade;
 
-pub use engine::run_pair_day;
+pub use engine::{run_pair_day, run_spec_day};
 pub use exec::ExecutionConfig;
+pub use kalman::{KalmanParams, KalmanStrategy};
+pub use overlay::{OverlayParams, OverlayStrategy};
 pub use params::StrategyParams;
 pub use signal::DivergenceDetector;
-pub use strategy::PairStrategy;
+pub use spec::{StrategyKind, StrategySpec, SPEC_WIRE_VERSION};
+pub use strategy::{InputNeeds, PairStrategy, Strategy};
 pub use trade::{ExitReason, Trade};

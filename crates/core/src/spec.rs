@@ -1,0 +1,295 @@
+//! Heterogeneous strategy specifications.
+//!
+//! [`StrategySpec`] is the closed algebra over the strategy families the
+//! runtime can host side by side in one sweep: the paper's divergence
+//! strategy, the Kalman dynamic-hedge family, and the risk-overlay
+//! combinator over either. A spec is pure configuration — validated at
+//! construction, serializable (checkpoints, shard jobs), and turned into
+//! a live [`Strategy`] per pair with [`StrategySpec::build`].
+//!
+//! The wire form is versioned: a leading [`SPEC_WIRE_VERSION`] byte
+//! guards checkpoint and shard-job compatibility, so adding a family is
+//! a tag bump, not a silent reinterpretation of old bytes.
+
+use serde::{Deserialize, Serialize};
+use stats::correlation::CorrType;
+
+use crate::exec::ExecutionConfig;
+use crate::kalman::{KalmanParams, KalmanStrategy};
+use crate::overlay::{OverlayParams, OverlayStrategy};
+use crate::params::{InvalidParams, StrategyParams};
+use crate::strategy::{InputNeeds, PairStrategy, Strategy};
+
+/// Version byte leading every encoded [`StrategySpec`].
+pub const SPEC_WIRE_VERSION: u8 = 1;
+
+/// Which family a spec (or a trade report) belongs to. The overlay is
+/// its own kind: reports and telemetry attribute an overlaid strategy's
+/// trades to the wrapper, which owns the risk behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// The paper's divergence/retracement strategy.
+    Paper,
+    /// Kalman-filtered dynamic hedge-ratio z-score strategy.
+    Kalman,
+    /// Risk overlay wrapped around an inner family.
+    Overlay,
+}
+
+impl StrategyKind {
+    /// Stable lower-case name for labels, reports and bench metadata.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StrategyKind::Paper => "paper",
+            StrategyKind::Kalman => "kalman",
+            StrategyKind::Overlay => "overlay",
+        }
+    }
+}
+
+impl wire::Codec for StrategyKind {
+    fn encode(&self, w: &mut wire::Writer) {
+        let tag: u8 = match self {
+            StrategyKind::Paper => 0,
+            StrategyKind::Kalman => 1,
+            StrategyKind::Overlay => 2,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        Ok(match u8::decode(r)? {
+            0 => StrategyKind::Paper,
+            1 => StrategyKind::Kalman,
+            2 => StrategyKind::Overlay,
+            _ => return Err(wire::WireError::Invalid("strategy kind tag")),
+        })
+    }
+}
+
+/// One fully-specified strategy configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrategySpec {
+    /// The paper strategy with its eleven knobs.
+    Paper(StrategyParams),
+    /// The Kalman dynamic hedge-ratio strategy.
+    Kalman(KalmanParams),
+    /// A risk overlay around an inner spec.
+    Overlay {
+        /// The wrapped family (entries and native exits).
+        inner: Box<StrategySpec>,
+        /// The overlay thresholds (additional exits).
+        overlay: OverlayParams,
+    },
+}
+
+impl StrategySpec {
+    /// The family tag (an overlay reports as [`StrategyKind::Overlay`]).
+    pub fn kind(&self) -> StrategyKind {
+        match self {
+            StrategySpec::Paper(_) => StrategyKind::Paper,
+            StrategySpec::Kalman(_) => StrategyKind::Kalman,
+            StrategySpec::Overlay { .. } => StrategyKind::Overlay,
+        }
+    }
+
+    /// Wrap this spec in a risk overlay.
+    pub fn with_overlay(self, overlay: OverlayParams) -> StrategySpec {
+        StrategySpec::Overlay {
+            inner: Box::new(self),
+            overlay,
+        }
+    }
+
+    /// Bar width in seconds — every spec in one sweep must agree.
+    pub fn dt_seconds(&self) -> u32 {
+        match self {
+            StrategySpec::Paper(p) => p.dt_seconds,
+            StrategySpec::Kalman(p) => p.dt_seconds,
+            StrategySpec::Overlay { inner, .. } => inner.dt_seconds(),
+        }
+    }
+
+    /// Which shared correlation stream this spec rides: estimator kind
+    /// and window. Overlays ride their inner spec's stream.
+    pub fn stream_key(&self) -> (CorrType, usize) {
+        match self {
+            StrategySpec::Paper(p) => (p.ctype, p.corr_window),
+            StrategySpec::Kalman(p) => (p.ctype, p.corr_window),
+            StrategySpec::Overlay { inner, .. } => inner.stream_key(),
+        }
+    }
+
+    /// Intervals in a trading session at this spec's bar width.
+    pub fn intervals_per_day(&self) -> usize {
+        match self {
+            StrategySpec::Paper(p) => p.intervals_per_day(),
+            StrategySpec::Kalman(p) => p.intervals_per_day(),
+            StrategySpec::Overlay { inner, .. } => inner.intervals_per_day(),
+        }
+    }
+
+    /// What per-interval inputs the built strategy consumes.
+    pub fn needs(&self) -> InputNeeds {
+        match self {
+            StrategySpec::Paper(p) => InputNeeds {
+                w_return_window: p.avg_window,
+            },
+            StrategySpec::Kalman(_) => InputNeeds { w_return_window: 0 },
+            StrategySpec::Overlay { inner, .. } => inner.needs(),
+        }
+    }
+
+    /// Validate recursively; overlay nesting is rejected (the algebra is
+    /// one overlay deep — stacking overlays re-checks the same position
+    /// twice per interval with ambiguous priority).
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        match self {
+            StrategySpec::Paper(p) => p.validate(),
+            StrategySpec::Kalman(p) => p.validate(),
+            StrategySpec::Overlay { inner, overlay } => {
+                if matches!(**inner, StrategySpec::Overlay { .. }) {
+                    return Err(InvalidParams(
+                        "overlay may not wrap another overlay".to_string(),
+                    ));
+                }
+                overlay.validate()?;
+                inner.validate()
+            }
+        }
+    }
+
+    /// Human-readable label, e.g. `overlay(sl5%-pt5%-hp30, Kalman/...)`.
+    pub fn label(&self) -> String {
+        match self {
+            StrategySpec::Paper(p) => p.label(),
+            StrategySpec::Kalman(p) => p.label(),
+            StrategySpec::Overlay { inner, overlay } => {
+                format!("overlay({}, {})", overlay.label(), inner.label())
+            }
+        }
+    }
+
+    /// Instantiate a live strategy for one pair.
+    pub fn build(&self, pair: (usize, usize), exec: ExecutionConfig) -> Box<dyn Strategy> {
+        match self {
+            StrategySpec::Paper(p) => Box::new(PairStrategy::new(pair, *p, exec)),
+            StrategySpec::Kalman(p) => Box::new(KalmanStrategy::new(pair, *p, exec)),
+            StrategySpec::Overlay { inner, overlay } => {
+                Box::new(OverlayStrategy::new(inner.build(pair, exec), *overlay))
+            }
+        }
+    }
+}
+
+impl wire::Codec for StrategySpec {
+    fn encode(&self, w: &mut wire::Writer) {
+        SPEC_WIRE_VERSION.encode(w);
+        match self {
+            StrategySpec::Paper(p) => {
+                0u8.encode(w);
+                p.encode(w);
+            }
+            StrategySpec::Kalman(p) => {
+                1u8.encode(w);
+                p.encode(w);
+            }
+            StrategySpec::Overlay { inner, overlay } => {
+                2u8.encode(w);
+                inner.encode(w);
+                overlay.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut wire::Reader<'_>) -> Result<Self, wire::WireError> {
+        if u8::decode(r)? != SPEC_WIRE_VERSION {
+            return Err(wire::WireError::Invalid("strategy spec wire version"));
+        }
+        let spec = match u8::decode(r)? {
+            0 => StrategySpec::Paper(StrategyParams::decode(r)?),
+            1 => StrategySpec::Kalman(KalmanParams::decode(r)?),
+            2 => StrategySpec::Overlay {
+                inner: Box::new(StrategySpec::decode(r)?),
+                overlay: OverlayParams::decode(r)?,
+            },
+            _ => return Err(wire::WireError::Invalid("strategy spec tag")),
+        };
+        spec.validate()
+            .map_err(|_| wire::WireError::Invalid("strategy spec contents"))?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> [StrategySpec; 3] {
+        [
+            StrategySpec::Paper(StrategyParams::paper_default()),
+            StrategySpec::Kalman(KalmanParams::jansen_default()),
+            StrategySpec::Paper(StrategyParams::paper_default())
+                .with_overlay(OverlayParams::conservative()),
+        ]
+    }
+
+    #[test]
+    fn kinds_and_labels_are_distinct() {
+        let [p, k, o] = specs();
+        assert_eq!(p.kind(), StrategyKind::Paper);
+        assert_eq!(k.kind(), StrategyKind::Kalman);
+        assert_eq!(o.kind(), StrategyKind::Overlay);
+        assert!(o.label().starts_with("overlay("));
+        assert_ne!(p.label(), k.label());
+    }
+
+    #[test]
+    fn all_families_validate_and_roundtrip() {
+        for spec in specs() {
+            spec.validate().unwrap();
+            let bytes = wire::to_bytes(&spec);
+            assert_eq!(bytes[0], SPEC_WIRE_VERSION);
+            let back: StrategySpec = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn nested_overlays_are_rejected() {
+        let [_, _, o] = specs();
+        let double = o.with_overlay(OverlayParams::conservative());
+        assert!(double.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_contents_fail_at_decode() {
+        let mut bad = KalmanParams::jansen_default();
+        bad.delta = 0.5; // still valid — corrupt below instead
+        let spec = StrategySpec::Kalman(bad);
+        let mut bytes = wire::to_bytes(&spec);
+        // Clobber the version byte: must be refused, not reinterpreted.
+        bytes[0] = SPEC_WIRE_VERSION + 1;
+        assert!(wire::from_bytes::<StrategySpec>(&bytes).is_err());
+    }
+
+    #[test]
+    fn overlay_needs_and_stream_follow_the_inner_spec() {
+        let [p, _, o] = specs();
+        assert_eq!(o.needs(), p.needs());
+        assert_eq!(o.stream_key(), p.stream_key());
+        assert_eq!(o.dt_seconds(), p.dt_seconds());
+        let k = StrategySpec::Kalman(KalmanParams::jansen_default());
+        assert_eq!(k.needs().w_return_window, 0);
+    }
+
+    #[test]
+    fn build_produces_matching_kinds() {
+        for spec in specs() {
+            let st = spec.build((1, 0), ExecutionConfig::paper());
+            assert_eq!(st.pair(), (1, 0));
+            assert!(!st.is_open());
+            assert_eq!(st.needs(), spec.needs());
+        }
+    }
+}

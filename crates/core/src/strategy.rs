@@ -49,6 +49,91 @@ pub struct IntervalInput {
     pub w_return_j: f64,
 }
 
+/// Per-interval data requirements a strategy declares to its host.
+///
+/// The host computes derived inputs (trailing returns) once per pair per
+/// interval; the declaration tells it *which* derivation this strategy
+/// family actually consumes, so a host never silently feeds a strategy
+/// inputs computed under another family's window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputNeeds {
+    /// Window (in intervals) for the trailing returns supplied as
+    /// `w_return_i` / `w_return_j`. `0` means the strategy ignores them
+    /// and the host may skip the computation entirely.
+    pub w_return_window: usize,
+}
+
+/// An interval-driven pair-trading strategy — the pluggable unit a
+/// strategy host runs one instance of per pair.
+///
+/// The contract every implementor (and every combinator) must keep:
+///
+/// * **Interval-driven** — [`Strategy::on_interval`] is called with
+///   strictly increasing `s`; at most one position action (open *or*
+///   close) may happen per interval.
+/// * **Trades are append-only** — [`Strategy::trades`] only ever grows,
+///   and a closed trade is never mutated. Hosts detect closes by length.
+/// * **Open position is observable** — while [`Strategy::is_open`],
+///   [`Strategy::open_position`] returns the live position so the host
+///   can emit entry/exit order legs without duplicating sizing logic.
+/// * **Checkpointable** — [`Strategy::encode_state`] /
+///   [`Strategy::decode_state`] round-trip the *entire* mutable state
+///   bit-exactly (floats travel as raw IEEE bits), so a restored
+///   strategy continues the day byte-identically. Static configuration
+///   travels in the [`crate::spec::StrategySpec`], not the state bytes.
+/// * **Every day ends flat** — [`Strategy::finish`] closes any dangling
+///   position at the last seen prices and returns the day's trades.
+pub trait Strategy: Send {
+    /// The pair being traded, canonical `(max, min)` order.
+    fn pair(&self) -> (usize, usize);
+
+    /// True while a position is open.
+    fn is_open(&self) -> bool;
+
+    /// The live position while open.
+    fn open_position(&self) -> Option<&PairPosition>;
+
+    /// Trades completed so far today (append-only).
+    fn trades(&self) -> &[Trade];
+
+    /// Derived inputs this strategy consumes.
+    fn needs(&self) -> InputNeeds;
+
+    /// Process one interval. Inputs must arrive in increasing `s` order.
+    fn on_interval(&mut self, input: IntervalInput);
+
+    /// Force-close any open position at the last seen prices with the
+    /// given reason. No-op while flat.
+    fn force_close(&mut self, reason: ExitReason);
+
+    /// Force-close any open position at interval `s` using the given
+    /// prices (the combinator hook: a risk overlay exits its inner
+    /// strategy at the prices of the interval that tripped the rule).
+    /// No-op while flat.
+    fn force_close_at(&mut self, s: usize, price_i: f64, price_j: f64, reason: ExitReason);
+
+    /// End the day: close any open position at the last seen prices
+    /// (`EndOfDay`) and drain the day's trades. The strategy is spent
+    /// afterwards — hosts call this exactly once.
+    fn finish(&mut self) -> Vec<Trade>;
+
+    /// Clone into a fresh box (hosts snapshot themselves by `Clone`).
+    fn clone_box(&self) -> Box<dyn Strategy>;
+
+    /// Serialize the full mutable state for a durable checkpoint.
+    fn encode_state(&self, w: &mut wire::Writer);
+
+    /// Restore state captured by [`Strategy::encode_state`]. The receiver
+    /// must have been built from the same spec for the same pair.
+    fn decode_state(&mut self, r: &mut wire::Reader<'_>) -> Result<(), wire::WireError>;
+}
+
+impl Clone for Box<dyn Strategy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct OpenState {
     position: PairPosition,
@@ -228,13 +313,69 @@ impl PairStrategy {
     /// ("we should reverse all positions at the end of the trading day").
     /// Returns all trades.
     pub fn finish_day(mut self) -> Vec<Trade> {
+        Strategy::finish(&mut self)
+    }
+}
+
+impl Strategy for PairStrategy {
+    fn pair(&self) -> (usize, usize) {
+        self.pair
+    }
+
+    fn is_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    fn open_position(&self) -> Option<&PairPosition> {
+        self.open.as_ref().map(|o| &o.position)
+    }
+
+    fn trades(&self) -> &[Trade] {
+        &self.trades
+    }
+
+    fn needs(&self) -> InputNeeds {
+        // The paper's entry rule compares W-interval trailing returns.
+        InputNeeds {
+            w_return_window: self.params.avg_window,
+        }
+    }
+
+    fn on_interval(&mut self, input: IntervalInput) {
+        PairStrategy::on_interval(self, input);
+    }
+
+    fn force_close(&mut self, reason: ExitReason) {
+        PairStrategy::force_close(self, reason);
+    }
+
+    fn force_close_at(&mut self, s: usize, price_i: f64, price_j: f64, reason: ExitReason) {
+        if self.open.is_some() {
+            self.close(s, price_i, price_j, reason);
+        }
+    }
+
+    fn finish(&mut self) -> Vec<Trade> {
         if self.open.is_some() {
             let (s, pi, pj) = self
                 .last_prices
                 .expect("an open position implies at least one interval");
             self.close(s, pi, pj, ExitReason::EndOfDay);
         }
-        self.trades
+        std::mem::take(&mut self.trades)
+    }
+
+    fn clone_box(&self) -> Box<dyn Strategy> {
+        Box::new(self.clone())
+    }
+
+    fn encode_state(&self, w: &mut wire::Writer) {
+        wire::Codec::encode(self, w);
+    }
+
+    fn decode_state(&mut self, r: &mut wire::Reader<'_>) -> Result<(), wire::WireError> {
+        *self = <PairStrategy as wire::Codec>::decode(r)?;
+        Ok(())
     }
 }
 

@@ -22,6 +22,30 @@ pub enum ExitReason {
     /// Extension: a leg's symbol was marked degraded (outage, halt, or
     /// quarantine) and the position was flattened defensively.
     Degraded,
+    /// Risk overlay: the wrapper's stop-loss threshold was breached.
+    OverlayStop,
+    /// Risk overlay: the wrapper's profit target was reached.
+    OverlayTarget,
+    /// Risk overlay: the wrapper's (tighter) maximum holding period
+    /// elapsed before the inner strategy's own exit fired.
+    OverlayHolding,
+}
+
+impl ExitReason {
+    /// Stable lower-case name for reports and lineage summaries.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExitReason::Retracement => "retracement",
+            ExitReason::MaxHolding => "max-holding",
+            ExitReason::EndOfDay => "end-of-day",
+            ExitReason::StopLoss => "stop-loss",
+            ExitReason::CorrReversion => "corr-reversion",
+            ExitReason::Degraded => "degraded",
+            ExitReason::OverlayStop => "overlay-stop",
+            ExitReason::OverlayTarget => "overlay-target",
+            ExitReason::OverlayHolding => "overlay-holding",
+        }
+    }
 }
 
 /// One completed round trip on a pair.
@@ -72,6 +96,9 @@ impl wire::Codec for ExitReason {
             ExitReason::StopLoss => 3,
             ExitReason::CorrReversion => 4,
             ExitReason::Degraded => 5,
+            ExitReason::OverlayStop => 6,
+            ExitReason::OverlayTarget => 7,
+            ExitReason::OverlayHolding => 8,
         };
         wire::Codec::encode(&tag, w);
     }
@@ -84,6 +111,9 @@ impl wire::Codec for ExitReason {
             3 => ExitReason::StopLoss,
             4 => ExitReason::CorrReversion,
             5 => ExitReason::Degraded,
+            6 => ExitReason::OverlayStop,
+            7 => ExitReason::OverlayTarget,
+            8 => ExitReason::OverlayHolding,
             _ => return Err(wire::WireError::Invalid("exit reason tag")),
         })
     }

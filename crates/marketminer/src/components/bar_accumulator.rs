@@ -453,6 +453,7 @@ mod tests {
         node.on_message(
             Message::Trades(Arc::new(crate::messages::TradeReport {
                 param_set: 0,
+                strategy: pairtrade_core::spec::StrategyKind::Paper,
                 trades: vec![],
                 cause: Cause::none(),
             })),

@@ -152,6 +152,7 @@ mod tests {
     fn msg() -> Message {
         Message::Trades(Arc::new(crate::messages::TradeReport {
             param_set: 0,
+            strategy: pairtrade_core::spec::StrategyKind::Paper,
             trades: vec![],
             cause: crate::messages::Cause::none(),
         }))

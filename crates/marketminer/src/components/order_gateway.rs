@@ -263,6 +263,7 @@ mod tests {
         Message::Order(Arc::new(OrderRequest {
             interval,
             param_set,
+            strategy: pairtrade_core::spec::StrategyKind::Paper,
             stock,
             side: OrderSide::Buy,
             shares: 1,

@@ -314,6 +314,7 @@ mod tests {
         Message::Order(Arc::new(OrderRequest {
             interval,
             param_set,
+            strategy: pairtrade_core::spec::StrategyKind::Paper,
             stock,
             side,
             shares,
@@ -541,6 +542,7 @@ mod tests {
         node.on_message(
             Message::Trades(Arc::new(TradeReport {
                 param_set: 0,
+                strategy: pairtrade_core::spec::StrategyKind::Paper,
                 trades: vec![],
                 cause: Cause::none(),
             })),

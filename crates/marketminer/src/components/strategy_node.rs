@@ -1,9 +1,10 @@
 //! The "Pair Trading Strategy" host node.
 //!
-//! Hosts one [`PairStrategy`] per
+//! Hosts one [`Strategy`] instance per
 //! pair (all `n(n-1)/2` of them — the brute-force market-wide search) under
-//! a single parameter vector. Subscribes to both the bar stream (prices)
-//! and the correlation stream (signals); emits two
+//! a single [`StrategySpec`] — any family of the strategy algebra (paper,
+//! Kalman, overlaid) plugs in behind the same node. Subscribes to both the
+//! bar stream (prices) and the correlation stream (signals); emits two
 //! [`OrderRequest`]s per position open and
 //! two per reversal, plus an end-of-day [`Message::Trades`] report.
 
@@ -13,7 +14,8 @@ use std::sync::Arc;
 use pairtrade_core::exec::ExecutionConfig;
 use pairtrade_core::params::StrategyParams;
 use pairtrade_core::position::PairPosition;
-use pairtrade_core::strategy::{IntervalInput, PairStrategy};
+use pairtrade_core::spec::{StrategyKind, StrategySpec};
+use pairtrade_core::strategy::{IntervalInput, Strategy};
 use pairtrade_core::trade::{ExitReason, Trade};
 use stats::matrix::SymMatrix;
 use telemetry::Probe;
@@ -23,16 +25,37 @@ use crate::messages::{
 };
 use crate::node::{Component, Emit, NodeState};
 
+/// Per-kind telemetry names (the probe wants `&'static str`).
+fn opened_counter(kind: StrategyKind) -> &'static str {
+    match kind {
+        StrategyKind::Paper => "positions.opened.paper",
+        StrategyKind::Kalman => "positions.opened.kalman",
+        StrategyKind::Overlay => "positions.opened.overlay",
+    }
+}
+
+fn closed_counter(kind: StrategyKind) -> &'static str {
+    match kind {
+        StrategyKind::Paper => "positions.closed.paper",
+        StrategyKind::Kalman => "positions.closed.kalman",
+        StrategyKind::Overlay => "positions.closed.overlay",
+    }
+}
+
 /// The market-wide strategy host.
 #[derive(Clone)]
 pub struct StrategyHostNode {
-    params: StrategyParams,
+    spec: StrategySpec,
+    kind: StrategyKind,
+    /// The trailing-return window the hosted family declares via
+    /// [`Strategy::needs`] (0 = family ignores trailing returns).
+    w_window: usize,
     n_stocks: usize,
     /// Parameter-set identity stamped on every order and on the EOD trade
     /// report, so the merged risk/gateway/sink stages of a sweep graph can
     /// attribute flow per strategy. Single-host pipelines leave it 0.
     param_set: usize,
-    strategies: Vec<PairStrategy>,
+    strategies: Vec<Box<dyn Strategy>>,
     was_open: Vec<bool>,
     trades_seen: Vec<usize>,
     /// Per-stock price history on the interval grid (forward-filled).
@@ -77,19 +100,36 @@ pub struct StrategyHostNode {
 }
 
 impl StrategyHostNode {
-    /// Host over all pairs of `n_stocks` under one parameter vector.
+    /// Host over all pairs of `n_stocks` under one paper parameter vector
+    /// (back-compat shorthand for [`StrategyHostNode::from_spec`]).
     pub fn new(
         n_stocks: usize,
         params: StrategyParams,
         exec: ExecutionConfig,
         needs_confirmation: bool,
     ) -> Self {
+        Self::from_spec(
+            n_stocks,
+            &StrategySpec::Paper(params),
+            exec,
+            needs_confirmation,
+        )
+    }
+
+    /// Host over all pairs of `n_stocks` under any [`StrategySpec`].
+    pub fn from_spec(
+        n_stocks: usize,
+        spec: &StrategySpec,
+        exec: ExecutionConfig,
+        needs_confirmation: bool,
+    ) -> Self {
         let n_pairs = n_stocks * (n_stocks - 1) / 2;
-        let strategies: Vec<PairStrategy> = (0..n_pairs)
-            .map(|rank| PairStrategy::new(SymMatrix::pair_from_rank(rank), params, exec))
+        let strategies: Vec<Box<dyn Strategy>> = (0..n_pairs)
+            .map(|rank| spec.build(SymMatrix::pair_from_rank(rank), exec))
             .collect();
         StrategyHostNode {
-            params,
+            kind: spec.kind(),
+            w_window: spec.needs().w_return_window,
             n_stocks,
             param_set: 0,
             was_open: vec![false; strategies.len()],
@@ -104,7 +144,8 @@ impl StrategyHostNode {
             last_corr_id: EventId::NONE,
             dropped: 0,
             needs_confirmation,
-            name: format!("pair-strategy-host({})", params.label()),
+            name: format!("pair-strategy-host({})", spec.label()),
+            spec: spec.clone(),
             probe: Probe::off(),
         }
     }
@@ -115,7 +156,7 @@ impl StrategyHostNode {
     /// distinguishable in stats tables.
     pub fn with_param_set(mut self, param_set: usize) -> Self {
         self.param_set = param_set;
-        self.name = format!("pair-strategy-host(#{param_set}, {})", self.params.label());
+        self.name = format!("pair-strategy-host(#{param_set}, {})", self.spec.label());
         self
     }
 
@@ -154,6 +195,7 @@ impl StrategyHostNode {
         let mk = |stock: usize, side: OrderSide, shares: u32, price: f64| OrderRequest {
             interval,
             param_set: self.param_set,
+            strategy: self.kind,
             stock,
             side,
             shares,
@@ -183,6 +225,7 @@ impl StrategyHostNode {
         let mk = |stock: usize, side: OrderSide, shares: u32| OrderRequest {
             interval: trade.exit_interval,
             param_set: self.param_set,
+            strategy: self.kind,
             stock,
             side,
             shares,
@@ -250,9 +293,10 @@ impl Component for StrategyHostNode {
         let mut all_trades: Vec<Trade> = Vec::new();
         let mut closing_orders: Vec<OrderRequest> = Vec::new();
         let mut eod_closed = 0u64;
-        for (rank, strategy) in std::mem::take(&mut self.strategies).into_iter().enumerate() {
+        let mut strategies = std::mem::take(&mut self.strategies);
+        for (rank, strategy) in strategies.iter_mut().enumerate() {
             let seen = self.trades_seen[rank];
-            let trades = strategy.finish_day();
+            let trades = strategy.finish();
             for t in &trades[seen.min(trades.len())..] {
                 closing_orders.extend(self.orders_for_close(t, self.last_corr_id));
                 eod_closed += 1;
@@ -265,6 +309,7 @@ impl Component for StrategyHostNode {
         }
         out(Message::Trades(Arc::new(TradeReport {
             param_set: self.param_set,
+            strategy: self.kind,
             trades: all_trades,
             cause: Cause::derived([self.last_corr_id, self.last_bar_id]),
         })));
@@ -281,7 +326,15 @@ impl Component for StrategyHostNode {
     fn encode_state(&self) -> Option<Vec<u8>> {
         use wire::Codec;
         let mut w = wire::Writer::new();
-        self.strategies.encode(&mut w);
+        // Trait objects can't derive a Vec codec: count, then each
+        // strategy's own (self-delimiting) state bytes. The spec itself is
+        // construction-time config and is NOT serialized — a restored node
+        // must already host the same spec, which the count check (and each
+        // family's own decoder) guards.
+        (self.strategies.len() as u64).encode(&mut w);
+        for strategy in &self.strategies {
+            strategy.encode_state(&mut w);
+        }
         self.was_open.encode(&mut w);
         self.trades_seen.encode(&mut w);
         self.history.encode(&mut w);
@@ -307,7 +360,16 @@ impl Component for StrategyHostNode {
         use wire::{Codec, WireError};
         fn go(node: &mut StrategyHostNode, bytes: &[u8]) -> Result<(), WireError> {
             let r = &mut wire::Reader::new(bytes);
-            let strategies = Vec::<PairStrategy>::decode(r)?;
+            let n_strategies = u64::decode(r)? as usize;
+            if n_strategies != node.strategies.len() {
+                return Err(WireError::Invalid("strategy count mismatch"));
+            }
+            // Decode into clones so a mid-stream error leaves the live
+            // strategies untouched (restore is all-or-nothing).
+            let mut strategies = node.strategies.clone();
+            for strategy in strategies.iter_mut() {
+                strategy.decode_state(r)?;
+            }
             let was_open = Vec::<bool>::decode(r)?;
             let trades_seen = Vec::<usize>::decode(r)?;
             let history = Vec::<Vec<f64>>::decode(r)?;
@@ -335,7 +397,7 @@ impl Component for StrategyHostNode {
             if !r.is_empty() {
                 return Err(WireError::Invalid("trailing bytes"));
             }
-            if strategies.len() != node.strategies.len() || degraded.len() != node.n_stocks {
+            if degraded.len() != node.n_stocks {
                 return Err(WireError::Invalid("universe size mismatch"));
             }
             node.strategies = strategies;
@@ -439,9 +501,9 @@ impl StrategyHostNode {
                     hist[s.min(hist.len() - 1)]
                 }
             };
-            let w = self.params.avg_window;
+            let w = self.w_window;
             let w_ret = |hist: &Vec<f64>| -> f64 {
-                if s < w || hist.is_empty() {
+                if w == 0 || s < w || hist.is_empty() {
                     return 0.0;
                 }
                 let now = hist[s.min(hist.len() - 1)];
@@ -466,16 +528,10 @@ impl StrategyHostNode {
             let now_open = strategy.is_open();
             let trades_now = strategy.trades().len();
             if now_open && !self.was_open[rank] {
-                // The strategy's open position is internal state;
-                // rebuild an identical one (same deterministic
-                // sizing rule on the same inputs) for order flow.
-                let over_i = input.w_return_i > input.w_return_j;
-                let (ls, lp, ss, sp) = if over_i {
-                    (j, price_j, i, price_i)
-                } else {
-                    (i, price_i, j, price_j)
-                };
-                opened.push(PairPosition::open(s, ls, lp, ss, sp));
+                // Each family chooses direction and sizing its own way;
+                // the freshly-opened position is the order flow's source
+                // of truth (`PairPosition` is `Copy`).
+                opened.push(*strategy.open_position().expect("open ⇒ position"));
             }
             if trades_now > self.trades_seen[rank] {
                 closed.extend(&strategy.trades()[self.trades_seen[rank]..]);
@@ -485,6 +541,10 @@ impl StrategyHostNode {
         }
         self.probe.count("positions.opened", opened.len() as u64);
         self.probe.count("positions.closed", closed.len() as u64);
+        self.probe
+            .count(opened_counter(self.kind), opened.len() as u64);
+        self.probe
+            .count(closed_counter(self.kind), closed.len() as u64);
         for position in opened {
             let pair = if position.long.stock > position.short.stock {
                 (position.long.stock, position.short.stock)

@@ -7,6 +7,7 @@
 
 use std::sync::Arc;
 
+use pairtrade_core::spec::StrategyKind;
 use pairtrade_core::trade::Trade;
 use stats::matrix::SymMatrix;
 use taq::quote::Quote;
@@ -71,6 +72,9 @@ pub struct OrderRequest {
     /// merged risk/gateway stages of a sweep graph keep per-strategy books
     /// and attribute orders; single-strategy pipelines leave it 0.
     pub param_set: usize,
+    /// Which strategy family generated the order — heterogeneous sweeps
+    /// mix families, and risk books and lineage reports tell them apart.
+    pub strategy: StrategyKind,
     /// Stock index.
     pub stock: usize,
     /// Buy or sell.
@@ -107,6 +111,8 @@ pub struct Basket {
 pub struct TradeReport {
     /// Index of the parameter set (strategy host) the trades belong to.
     pub param_set: usize,
+    /// Which strategy family produced the trades.
+    pub strategy: StrategyKind,
     /// The day's completed trades, in strategy order.
     pub trades: Vec<Trade>,
     /// Causal provenance (stamped by the runtime at `Full`).
@@ -245,6 +251,32 @@ impl Message {
     }
 
     /// Short tag for debugging and sink filtering.
+    /// Human-facing annotation for the lineage ring: which strategy
+    /// family produced an order, and — for trade reports — the exit
+    /// reasons booked (distinct, in trade order, so overlay exits like
+    /// `overlay-stop` are visible in `explain_trade`). Structural
+    /// messages carry none.
+    pub fn lineage_detail(&self) -> Option<String> {
+        match self {
+            Message::Order(o) => Some(o.strategy.as_str().to_string()),
+            Message::Trades(t) => {
+                let mut reasons: Vec<&'static str> = Vec::new();
+                for trade in &t.trades {
+                    let r = trade.reason.as_str();
+                    if !reasons.contains(&r) {
+                        reasons.push(r);
+                    }
+                }
+                Some(if reasons.is_empty() {
+                    format!("{}: no trades", t.strategy.as_str())
+                } else {
+                    format!("{}: {}", t.strategy.as_str(), reasons.join(", "))
+                })
+            }
+            _ => None,
+        }
+    }
+
     pub fn kind(&self) -> &'static str {
         match self {
             Message::Quote(..) => "quote",

@@ -9,7 +9,8 @@
 use std::sync::Arc;
 
 use pairtrade_core::exec::ExecutionConfig;
-use pairtrade_core::params::StrategyParams;
+use pairtrade_core::params::{InvalidParams, StrategyParams};
+use pairtrade_core::spec::StrategySpec;
 use pairtrade_core::trade::Trade;
 use taq::dataset::DayData;
 use timeseries::clean::CleanConfig;
@@ -171,20 +172,22 @@ pub fn run_fig1_pipeline_with(
 }
 
 /// Configuration for the shared-stream parameter-sweep pipeline: the full
-/// parameter grid runs as ONE graph on the pooled runtime. The quote
-/// stream is collected, barred and cleaned once; each distinct
-/// `(Ctype, M)` correlation cube is computed once by a stream-tagged
-/// engine and fanned out to every strategy host that consumes it; all
-/// hosts merge into one shared risk manager, one bucketed order gateway
-/// and one sink. This is the paper's "Approach 3" deployment: 42
-/// parameter sets share 9 correlation streams instead of running 42
-/// independent pipelines.
+/// grid of strategy specifications runs as ONE graph on the pooled
+/// runtime. The quote stream is collected, barred and cleaned once; each
+/// distinct `(Ctype, M)` correlation cube is computed once by a
+/// stream-tagged engine and fanned out to every strategy host that
+/// consumes it; all hosts merge into one shared risk manager, one
+/// bucketed order gateway and one sink. This is the paper's "Approach 3"
+/// deployment: 42 parameter sets share 9 correlation streams instead of
+/// running 42 independent pipelines — and since the host is generic over
+/// the [`StrategySpec`] algebra, one graph can mix paper, Kalman and
+/// overlaid families in the same sweep.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Universe size.
     pub n_stocks: usize,
-    /// One strategy host per parameter vector. All must share `Δs`.
-    pub params: Vec<StrategyParams>,
+    /// One strategy host per spec. All must share `Δs`.
+    pub specs: Vec<StrategySpec>,
     /// Execution extensions (shared).
     pub exec: ExecutionConfig,
     /// Quote cleaning.
@@ -201,7 +204,8 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// Defaults from a list of parameter vectors.
+    /// Defaults from a list of paper parameter vectors (each becomes a
+    /// [`StrategySpec::Paper`]).
     ///
     /// # Panics
     /// Panics if the list is empty or mixes `Δs` values (the sweep shares
@@ -213,9 +217,24 @@ impl SweepConfig {
             params.iter().all(|p| p.dt_seconds == dt),
             "all parameter sets must share Δs (one bar accumulator)"
         );
+        Self::raw(
+            n_stocks,
+            params.into_iter().map(StrategySpec::Paper).collect(),
+        )
+    }
+
+    /// Defaults from a heterogeneous list of strategy specs, validated:
+    /// non-empty, `Δs`-uniform, every spec internally consistent.
+    pub fn from_specs(n_stocks: usize, specs: Vec<StrategySpec>) -> Result<Self, InvalidParams> {
+        let cfg = Self::raw(n_stocks, specs);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn raw(n_stocks: usize, specs: Vec<StrategySpec>) -> Self {
         SweepConfig {
             n_stocks,
-            params,
+            specs,
             exec: ExecutionConfig::paper(),
             clean: CleanConfig::default(),
             corr_stride: 1,
@@ -236,16 +255,54 @@ impl SweepConfig {
         self
     }
 
+    /// Check the spec list: non-empty, one shared `Δs`, every spec's own
+    /// knobs consistent. Run starts call this and surface failures as
+    /// [`GraphError::Config`] — never silent defaults.
+    pub fn validate(&self) -> Result<(), InvalidParams> {
+        if self.specs.is_empty() {
+            return Err(InvalidParams("need at least one strategy spec".into()));
+        }
+        let dt = self.specs[0].dt_seconds();
+        for (k, spec) in self.specs.iter().enumerate() {
+            if spec.dt_seconds() != dt {
+                return Err(InvalidParams(format!(
+                    "spec #{k} has Δs={}s but the sweep shares Δs={dt}s \
+                     (one bar accumulator)",
+                    spec.dt_seconds()
+                )));
+            }
+            spec.validate()
+                .map_err(|e| InvalidParams(format!("spec #{k} ({}): {}", spec.label(), e.0)))?;
+        }
+        Ok(())
+    }
+
     /// The distinct `(Ctype, M)` correlation streams, in stream-id order.
     pub fn distinct_streams(&self) -> Vec<(stats::correlation::CorrType, usize)> {
         let mut keys = Vec::new();
-        for p in &self.params {
-            let key = (p.ctype, p.corr_window);
+        for spec in &self.specs {
+            let key = spec.stream_key();
             if !keys.contains(&key) {
                 keys.push(key);
             }
         }
         keys
+    }
+
+    /// Canonical description of the family composition, e.g.
+    /// `kalman:3+overlay:2+paper:42` — bench baselines carry this so
+    /// cross-mix comparisons can be refused.
+    pub fn strategy_mix(&self) -> String {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for spec in &self.specs {
+            *counts.entry(spec.kind().as_str()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(kind, n)| format!("{kind}:{n}"))
+            .collect::<Vec<_>>()
+            .join("+")
     }
 }
 
@@ -253,7 +310,7 @@ impl SweepConfig {
 #[derive(Debug)]
 pub struct SweepOutput {
     /// End-of-day trades per parameter set (index-aligned with
-    /// `SweepConfig::params`), attributed via `TradeReport::param_set`.
+    /// `SweepConfig::specs`), attributed via `TradeReport::param_set`.
     pub trades_per_param: Vec<Vec<Trade>>,
     /// Order baskets from the shared bucketed gateway, in interval order
     /// with canonically sorted rows.
@@ -263,7 +320,7 @@ pub struct SweepOutput {
     /// deterministic; the content is).
     pub health_events: Vec<Arc<HealthEvent>>,
     /// Stream id consumed by each parameter set (index-aligned with
-    /// `SweepConfig::params`) — which `(Ctype, M)` cube fed host `k`.
+    /// `SweepConfig::specs`) — which `(Ctype, M)` cube fed host `k`.
     pub streams: Vec<usize>,
     /// Per-node throughput accounting, in node-id order.
     pub node_stats: Vec<crate::runtime::NodeStats>,
@@ -293,24 +350,24 @@ pub(crate) struct SweepGraphParts {
     pub streams: Vec<usize>,
 }
 
-/// Build the shared-stream sweep DAG over the parameter sets named by
-/// `included` (global indices into `cfg.params`). Strategy hosts keep
+/// Build the shared-stream sweep DAG over the strategy specs named by
+/// `included` (global indices into `cfg.specs`). Strategy hosts keep
 /// their *global* `param_set` tags, so a shard's slice attributes trades
 /// exactly as the full graph would; stream ids are assigned in order of
 /// first appearance among the included sets.
 ///
 /// # Panics
-/// Panics if `included` is empty or the selected sets mix `Δs` values.
+/// Panics if `included` is empty or the selected specs mix `Δs` values.
 pub(crate) fn build_sweep_graph(
     source: Box<dyn Source>,
     cfg: &SweepConfig,
     included: &[usize],
 ) -> SweepGraphParts {
-    assert!(!included.is_empty(), "need at least one parameter set");
-    let dt = cfg.params[included[0]].dt_seconds;
+    assert!(!included.is_empty(), "need at least one strategy spec");
+    let dt = cfg.specs[included[0]].dt_seconds();
     assert!(
-        included.iter().all(|&k| cfg.params[k].dt_seconds == dt),
-        "all parameter sets must share Δs (one bar accumulator)"
+        included.iter().all(|&k| cfg.specs[k].dt_seconds() == dt),
+        "all strategy specs must share Δs (one bar accumulator)"
     );
 
     let mut g = Graph::new();
@@ -331,19 +388,14 @@ pub(crate) fn build_sweep_graph(
         Vec::new();
     let mut streams = Vec::with_capacity(included.len());
     for &k in included {
-        let p = &cfg.params[k];
-        let key = (p.ctype, p.corr_window);
+        let key = cfg.specs[k].stream_key();
         let j = match engines.iter().position(|(key2, _)| *key2 == key) {
             Some(j) => j,
             None => {
+                let (ctype, corr_window) = key;
                 let node = g.add_component(Box::new(
-                    CorrelationEngineNode::new(
-                        cfg.n_stocks,
-                        p.corr_window,
-                        cfg.corr_stride,
-                        p.ctype,
-                    )
-                    .with_stream(engines.len()),
+                    CorrelationEngineNode::new(cfg.n_stocks, corr_window, cfg.corr_stride, ctype)
+                        .with_stream(engines.len()),
                 ));
                 g.connect(technical, node);
                 engines.push((key, node));
@@ -361,13 +413,17 @@ pub(crate) fn build_sweep_graph(
     g.connect(risk, gateway);
     g.connect(gateway, sink);
 
-    // One strategy host per included parameter set, tagged with its
-    // global index for attribution.
+    // One strategy host per included spec, tagged with its global index
+    // for attribution.
     for (slot, &k) in included.iter().enumerate() {
-        let p = &cfg.params[k];
         let host = g.add_component(Box::new(
-            StrategyHostNode::new(cfg.n_stocks, *p, cfg.exec, cfg.needs_confirmation)
-                .with_param_set(k),
+            StrategyHostNode::from_spec(
+                cfg.n_stocks,
+                &cfg.specs[k],
+                cfg.exec,
+                cfg.needs_confirmation,
+            )
+            .with_param_set(k),
         ));
         g.connect(bars, host); // prices (and health)
         g.connect(engines[streams[slot]].1, host); // signals
@@ -384,15 +440,17 @@ pub(crate) fn build_sweep_graph(
 /// Build and run the sweep DAG with an explicit runtime (worker count,
 /// supervision) and quote source.
 ///
-/// # Panics
-/// Panics if the parameter list is empty or mixes `Δs` values.
+/// An invalid configuration (empty spec list, mixed `Δs`, or any spec
+/// whose own knobs fail validation) is a [`GraphError::Config`] at run
+/// start — never a silent default.
 pub fn run_sweep_pipeline_with(
     runtime: Runtime,
     source: Box<dyn Source>,
     cfg: &SweepConfig,
 ) -> Result<SweepOutput, GraphError> {
-    assert!(!cfg.params.is_empty(), "need at least one parameter set");
-    let all: Vec<usize> = (0..cfg.params.len()).collect();
+    cfg.validate()
+        .map_err(|e| GraphError::Config(telemetry::ConfigError::invalid("sweep config", e.0)))?;
+    let all: Vec<usize> = (0..cfg.specs.len()).collect();
     let SweepGraphParts {
         graph,
         sink,
@@ -400,7 +458,7 @@ pub fn run_sweep_pipeline_with(
     } = build_sweep_graph(source, cfg, &all);
 
     let mut out = runtime.run(graph)?;
-    let mut trades_per_param = vec![Vec::new(); cfg.params.len()];
+    let mut trades_per_param = vec![Vec::new(); cfg.specs.len()];
     let mut baskets = Vec::new();
     let mut health_events = Vec::new();
     for msg in out.take_sink(sink) {

@@ -475,6 +475,7 @@ impl RunTelemetry {
         }
         let kind = msg.kind();
         let interval = msg.interval();
+        let detail = msg.lineage_detail();
         let seq = self.next_out[idx].fetch_add(1, Ordering::Relaxed);
         let wall = self.tel.now_us();
         let cause = msg.cause_mut().expect("cause presence checked above");
@@ -486,6 +487,7 @@ impl RunTelemetry {
             interval,
             wall_us: wall,
             parents: cause.parents.clone(),
+            detail,
         });
     }
 
@@ -2445,6 +2447,7 @@ mod tests {
                 })));
                 out(Message::Trades(Arc::new(TradeReport {
                     param_set: 0,
+                    strategy: pairtrade_core::spec::StrategyKind::Paper,
                     trades: Vec::new(),
                     cause: Cause::none(),
                 })));

@@ -212,6 +212,7 @@ mod tests {
                     interval: None,
                     wall_us: 77,
                     parents: vec![EventId::new(1, 2)],
+                    detail: None,
                 }],
             },
             Frame::CkptDone {

@@ -218,11 +218,11 @@ impl ShardRunner {
         if cfg.shards == 0 {
             return Err(cfg_err("0 shards".into()));
         }
-        if cfg.shards > sweep.params.len() {
+        if cfg.shards > sweep.specs.len() {
             return Err(cfg_err(format!(
                 "{} shards for {} parameter sets",
                 cfg.shards,
-                sweep.params.len()
+                sweep.specs.len()
             )));
         }
         if cfg.epoch_quotes == 0 {
@@ -573,7 +573,7 @@ impl ShardRunner {
         node_names: Vec<String>,
         tel: &Telemetry,
     ) -> ShardSweepOutput {
-        let mut trades_per_param: Vec<Vec<Trade>> = vec![Vec::new(); sweep.params.len()];
+        let mut trades_per_param: Vec<Vec<Trade>> = vec![Vec::new(); sweep.specs.len()];
         let mut buckets: BTreeMap<usize, Vec<OrderRequest>> = BTreeMap::new();
         let mut health_events: Vec<std::sync::Arc<HealthEvent>> = Vec::new();
         let mut health_from: Option<usize> = None;
@@ -594,7 +594,7 @@ impl ShardRunner {
                 // wholesale so the merged result never mixes a half-day
                 // of one parameter set with a full day of another.
                 degraded_params
-                    .extend((0..sweep.params.len()).filter(|k| k % self.cfg.shards == rank));
+                    .extend((0..sweep.specs.len()).filter(|k| k % self.cfg.shards == rank));
                 continue;
             }
             for msg in state.messages {

@@ -68,6 +68,7 @@ pub fn encode_lineage_event(e: &LineageEvent, w: &mut Writer) {
     e.wall_us.encode(w);
     let parents: Vec<u64> = e.parents.iter().map(|p| p.0).collect();
     parents.encode(w);
+    e.detail.encode(w);
 }
 
 /// Decode a [`LineageEvent`].
@@ -77,12 +78,14 @@ pub fn decode_lineage_event(r: &mut Reader<'_>) -> Result<LineageEvent, WireErro
     let interval = Option::<u64>::decode(r)?;
     let wall_us = u64::decode(r)?;
     let parents = Vec::<u64>::decode(r)?.into_iter().map(EventId).collect();
+    let detail = Option::<String>::decode(r)?;
     Ok(LineageEvent {
         id,
         kind,
         interval,
         wall_us,
         parents,
+        detail,
     })
 }
 
@@ -160,6 +163,7 @@ impl Codec for OrderRequest {
     fn encode(&self, w: &mut Writer) {
         self.interval.encode(w);
         self.param_set.encode(w);
+        self.strategy.encode(w);
         self.stock.encode(w);
         self.side.encode(w);
         self.shares.encode(w);
@@ -173,6 +177,7 @@ impl Codec for OrderRequest {
         Ok(OrderRequest {
             interval: usize::decode(r)?,
             param_set: usize::decode(r)?,
+            strategy: Codec::decode(r)?,
             stock: usize::decode(r)?,
             side: OrderSide::decode(r)?,
             shares: u32::decode(r)?,
@@ -203,6 +208,7 @@ impl Codec for Basket {
 impl Codec for TradeReport {
     fn encode(&self, w: &mut Writer) {
         self.param_set.encode(w);
+        self.strategy.encode(w);
         self.trades.encode(w);
         encode_cause(&self.cause, w);
     }
@@ -210,6 +216,7 @@ impl Codec for TradeReport {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(TradeReport {
             param_set: usize::decode(r)?,
+            strategy: Codec::decode(r)?,
             trades: Vec::decode(r)?,
             cause: decode_cause(r)?,
         })
@@ -395,6 +402,7 @@ mod tests {
         let order = OrderRequest {
             interval: 9,
             param_set: 41,
+            strategy: pairtrade_core::spec::StrategyKind::Paper,
             stock: 5,
             side: OrderSide::Sell,
             shares: 3,
@@ -440,6 +448,7 @@ mod tests {
             })),
             Message::Trades(Arc::new(TradeReport {
                 param_set: 13,
+                strategy: pairtrade_core::spec::StrategyKind::Paper,
                 trades: vec![trade],
                 cause: cause(),
             })),
@@ -482,6 +491,7 @@ mod tests {
             interval: Some(7),
             wall_us: 42,
             parents: vec![EventId::new(2, 1)],
+            detail: Some("kalman: retracement, overlay-stop".into()),
         };
         let mut w = Writer::new();
         encode_lineage_event(&ev, &mut w);

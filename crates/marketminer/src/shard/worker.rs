@@ -51,9 +51,11 @@ use crate::runtime::{RunSession, Runtime, SessionCkpt};
 pub struct ShardJob {
     /// Universe size.
     pub n_stocks: usize,
-    /// The full parameter grid (every worker sees all of it; the slice
-    /// is derived from rank and shard count).
-    pub params: Vec<pairtrade_core::params::StrategyParams>,
+    /// The full (possibly heterogeneous) strategy grid — every worker
+    /// sees all of it; the slice is derived from rank and shard count.
+    /// Each spec travels in its versioned wire form and is re-validated
+    /// on decode.
+    pub specs: Vec<pairtrade_core::spec::StrategySpec>,
     /// Execution extensions.
     pub exec: pairtrade_core::exec::ExecutionConfig,
     /// Quote cleaning.
@@ -73,7 +75,7 @@ impl ShardJob {
     pub fn from_sweep(cfg: &SweepConfig) -> ShardJob {
         ShardJob {
             n_stocks: cfg.n_stocks,
-            params: cfg.params.clone(),
+            specs: cfg.specs.clone(),
             exec: cfg.exec,
             clean: cfg.clean,
             corr_stride: cfg.corr_stride,
@@ -83,23 +85,25 @@ impl ShardJob {
         }
     }
 
-    /// Rebuild the sweep configuration this job captured.
-    pub fn to_sweep(&self) -> SweepConfig {
-        let mut cfg = SweepConfig::new(self.n_stocks, self.params.clone());
+    /// Rebuild the sweep configuration this job captured. Fails if the
+    /// captured specs no longer validate as a sweep (e.g. a hand-edited
+    /// job file mixing `Δs`).
+    pub fn to_sweep(&self) -> Result<SweepConfig, pairtrade_core::params::InvalidParams> {
+        let mut cfg = SweepConfig::from_specs(self.n_stocks, self.specs.clone())?;
         cfg.exec = self.exec;
         cfg.clean = self.clean;
         cfg.corr_stride = self.corr_stride;
         cfg.limits = self.limits;
         cfg.needs_confirmation = self.needs_confirmation;
         cfg.health = self.health;
-        cfg
+        Ok(cfg)
     }
 }
 
 impl Codec for ShardJob {
     fn encode(&self, w: &mut Writer) {
         self.n_stocks.encode(w);
-        self.params.encode(w);
+        self.specs.encode(w);
         self.exec.encode(w);
         self.clean.encode(w);
         self.corr_stride.encode(w);
@@ -120,7 +124,7 @@ impl Codec for ShardJob {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(ShardJob {
             n_stocks: usize::decode(r)?,
-            params: Vec::decode(r)?,
+            specs: Vec::decode(r)?,
             exec: pairtrade_core::exec::ExecutionConfig::decode(r)?,
             clean: timeseries::clean::CleanConfig::decode(r)?,
             corr_stride: usize::decode(r)?,
@@ -278,13 +282,15 @@ pub fn run_worker(args: WorkerArgs) -> io::Result<()> {
         wire::from_bytes(&job_bytes).map_err(|e| bad_data(format!("job spec: {e:?}")))?;
     let day: DayData = taq::io::read_binary_file(&args.ckpt_dir.join(TAPE_FILE), job.n_stocks)
         .map_err(|e| bad_data(format!("quote tape: {e}")))?;
-    let sweep = job.to_sweep();
-    let included = param_slice(sweep.params.len(), args.rank, args.shards);
+    let sweep = job
+        .to_sweep()
+        .map_err(|e| bad_data(format!("job spec rejected: {}", e.0)))?;
+    let included = param_slice(sweep.specs.len(), args.rank, args.shards);
     if included.is_empty() {
         return Err(bad_data(format!(
             "rank {} owns no parameter sets ({} sets / {} shards)",
             args.rank,
-            sweep.params.len(),
+            sweep.specs.len(),
             args.shards
         )));
     }
@@ -439,8 +445,8 @@ mod tests {
         let job = ShardJob::from_sweep(&cfg);
         let bytes = wire::to_bytes(&job);
         let back: ShardJob = wire::from_bytes(&bytes).unwrap();
-        let cfg2 = back.to_sweep();
-        assert_eq!(cfg2.params, cfg.params);
+        let cfg2 = back.to_sweep().unwrap();
+        assert_eq!(cfg2.specs, cfg.specs);
         assert_eq!(cfg2.n_stocks, cfg.n_stocks);
         assert_eq!(cfg2.limits.max_open_pairs, cfg.limits.max_open_pairs);
         assert_eq!(cfg2.health, cfg.health);

@@ -176,6 +176,77 @@ fn kill9_at_random_epochs_is_bit_identical_to_unkilled() {
     }
 }
 
+/// Heterogeneous chaos: a mixed {paper, Kalman, overlay} shard job
+/// SIGKILLed mid-day must replay to bit-identical output — the Kalman
+/// filter state and the overlay's wrapped position both round-trip
+/// through the durable checkpoint exactly once.
+#[test]
+fn kill9_mid_day_is_bit_identical_for_mixed_strategies() {
+    use pairtrade_core::{KalmanParams, OverlayParams, StrategyParams, StrategySpec};
+
+    let (day, n) = small_day(91);
+    let paper = StrategyParams::paper_default();
+    let greedy = StrategyParams {
+        divergence: 0.0005,
+        ..paper
+    };
+    let kalman = KalmanParams::jansen_default();
+    let overlay = OverlayParams::conservative();
+    let specs = vec![
+        StrategySpec::Paper(paper),
+        StrategySpec::Paper(greedy),
+        StrategySpec::Kalman(kalman),
+        StrategySpec::Paper(greedy).with_overlay(overlay),
+        StrategySpec::Kalman(kalman).with_overlay(overlay),
+    ];
+    let sweep = SweepConfig::from_specs(n, specs).unwrap();
+    let base = in_process_sweep(day.clone(), &sweep);
+    let total: usize = base.trades_per_param.iter().map(Vec::len).sum();
+    assert!(total > 0, "vacuous: the mixed grid never traded");
+
+    for shards in [1usize, 2] {
+        let cfg = test_config("mixed-clean", &day, shards);
+        let n_epochs = epochs_in(&day, &cfg);
+        let clean = ShardRunner::new(cfg, WORKER_EXE).run(&day, &sweep).unwrap();
+        assert_eq!(
+            base.trades_per_param, clean.trades_per_param,
+            "mixed shard run diverged from in-process sweep (shards={shards})"
+        );
+
+        for seed in [5u64, 31] {
+            let mut rng = seed;
+            // Mid-day kills only: the strategies hold live state (open
+            // positions, Kalman covariance) at the cut.
+            let kills: Vec<(usize, u64)> = (0..2)
+                .map(|_| {
+                    (
+                        (mix(&mut rng) as usize) % shards,
+                        1 + mix(&mut rng) % (n_epochs - 1).max(1),
+                    )
+                })
+                .collect();
+            let cfg = test_config(&format!("mixed-kill-{seed}"), &day, shards);
+            let out = ShardRunner::new(cfg, WORKER_EXE)
+                .with_chaos(kills.clone())
+                .run(&day, &sweep)
+                .unwrap();
+            assert_eq!(
+                clean.trades_per_param, out.trades_per_param,
+                "mixed trades diverged after kills {kills:?} at shards={shards}"
+            );
+            assert_eq!(
+                clean.baskets, out.baskets,
+                "mixed baskets diverged after kills {kills:?} at shards={shards}"
+            );
+            assert!(out.degraded_params.is_empty());
+            assert!(
+                out.reports.iter().map(|r| r.restarts).sum::<u32>() > 0,
+                "chaos plan {kills:?} killed nothing (shards={shards})"
+            );
+        }
+    }
+}
+
 /// Restart-budget exhaustion must not hang or poison the sweep: the
 /// repeatedly-killed shard's parameter sets are masked degraded, every
 /// other shard's output is still bit-identical to the in-process run, and
@@ -198,7 +269,7 @@ fn restart_budget_exhaustion_degrades_shard_and_completes() {
         .run(&day, &sweep)
         .unwrap();
 
-    let expected_masked: Vec<usize> = (0..sweep.params.len())
+    let expected_masked: Vec<usize> = (0..sweep.specs.len())
         .filter(|k| k % shards == victim)
         .collect();
     assert_eq!(out.degraded_params, expected_masked);

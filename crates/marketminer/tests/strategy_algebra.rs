@@ -1,0 +1,154 @@
+//! Heterogeneous-sweep integration tests: a mixed {paper, Kalman,
+//! risk-overlay} grid in ONE shared-stream graph must be bit-identical
+//! across worker counts, each spec's trades must match its own
+//! single-spec run (families cannot perturb each other through the
+//! shared streams), and invalid specs must surface as
+//! `GraphError::Config` at run start — never as silent defaults.
+
+use marketminer::components::ReplayCollector;
+use marketminer::pipeline::{run_sweep_pipeline_with, SweepConfig, SweepOutput};
+use marketminer::{GraphError, Runtime, RuntimeConfig, TelemetryLevel};
+use pairtrade_core::{KalmanParams, OverlayParams, StrategyParams, StrategySpec};
+use taq::dataset::DayData;
+use taq::generator::{MarketConfig, MarketGenerator};
+
+fn small_day(seed: u64) -> (DayData, usize) {
+    let mut cfg = MarketConfig::small(4, 1, seed);
+    cfg.micro.quote_rate_hz = 0.05;
+    (MarketGenerator::new(cfg).next_day().unwrap(), 4)
+}
+
+/// A six-spec mixed grid: three paper variants, a bare Kalman, and
+/// overlays over both families. All share `Δs = 30`, so one bar
+/// accumulator feeds the lot.
+fn mixed_specs() -> Vec<StrategySpec> {
+    let paper = StrategyParams::paper_default();
+    let greedy = StrategyParams {
+        divergence: 0.0005,
+        ..paper
+    };
+    let kalman = KalmanParams::jansen_default();
+    let overlay = OverlayParams::conservative();
+    vec![
+        StrategySpec::Paper(paper),
+        StrategySpec::Paper(greedy),
+        StrategySpec::Paper(StrategyParams {
+            divergence: 0.001,
+            ..paper
+        }),
+        StrategySpec::Kalman(kalman),
+        StrategySpec::Paper(greedy).with_overlay(overlay),
+        StrategySpec::Kalman(kalman).with_overlay(overlay),
+    ]
+}
+
+fn mixed_config(n: usize) -> SweepConfig {
+    SweepConfig::from_specs(n, mixed_specs()).unwrap()
+}
+
+fn run_sweep(day: DayData, cfg: &SweepConfig, workers: usize) -> SweepOutput {
+    let runtime = Runtime::with_config(RuntimeConfig {
+        workers,
+        capacity: 256,
+        telemetry: TelemetryLevel::Off,
+    });
+    run_sweep_pipeline_with(runtime, Box::new(ReplayCollector::new(day)), cfg).unwrap()
+}
+
+/// The acceptance bar: the mixed sweep is bit-identical at workers 1, 2
+/// and `available_parallelism` (0), trades, baskets and streams alike.
+#[test]
+fn mixed_sweep_is_identical_across_worker_counts() {
+    let (day, n) = small_day(91);
+    let cfg = mixed_config(n);
+    assert_eq!(cfg.strategy_mix(), "kalman:1+overlay:2+paper:3");
+
+    let base = run_sweep(day.clone(), &cfg, 1);
+    let total: usize = base.trades_per_param.iter().map(Vec::len).sum();
+    assert!(total > 0, "vacuous: the mixed grid never traded");
+    for workers in [2usize, 0] {
+        let other = run_sweep(day.clone(), &cfg, workers);
+        assert_eq!(
+            base.trades_per_param, other.trades_per_param,
+            "mixed trades diverged at workers={workers}"
+        );
+        assert_eq!(base.baskets, other.baskets, "workers={workers}");
+        assert_eq!(base.streams, other.streams, "workers={workers}");
+    }
+
+    // The graph really hosts the mix: one host per spec, labelled by
+    // family.
+    let hosts: Vec<&str> = base
+        .node_stats
+        .iter()
+        .map(|s| s.name.as_str())
+        .filter(|s| s.starts_with("pair-strategy-host"))
+        .collect();
+    assert_eq!(hosts.len(), cfg.specs.len());
+    assert!(hosts.iter().any(|h| h.contains("Kalman")), "{hosts:?}");
+    assert!(hosts.iter().any(|h| h.contains("overlay")), "{hosts:?}");
+}
+
+/// Per-spec isolation: spec `k`'s trades in the mixed graph equal its
+/// trades in a graph hosting only spec `k`. Sharing bar/return/corr
+/// streams across families must not leak state between hosts.
+#[test]
+fn mixed_sweep_specs_match_their_single_spec_runs() {
+    let (day, n) = small_day(91);
+    let cfg = mixed_config(n);
+    let mixed = run_sweep(day.clone(), &cfg, 0);
+
+    for (k, spec) in cfg.specs.iter().enumerate() {
+        let solo_cfg = SweepConfig::from_specs(n, vec![spec.clone()]).unwrap();
+        let solo = run_sweep(day.clone(), &solo_cfg, 0);
+        assert_eq!(
+            mixed.trades_per_param[k],
+            solo.trades_per_param[0],
+            "spec {k} ({}) diverged between mixed and solo graphs",
+            spec.label()
+        );
+    }
+}
+
+/// Invalid knobs anywhere in the grid abort the run with
+/// `GraphError::Config` before any quote is fed — constructing the
+/// config via `from_specs` rejects them eagerly, and a hand-built config
+/// is still caught at run start.
+#[test]
+fn invalid_specs_surface_as_config_errors() {
+    let (day, n) = small_day(91);
+
+    let bad_kalman = StrategySpec::Kalman(KalmanParams {
+        delta: 0.0,
+        ..KalmanParams::jansen_default()
+    });
+    let bad_overlay =
+        StrategySpec::Paper(StrategyParams::paper_default()).with_overlay(OverlayParams {
+            stop_loss: -0.1,
+            ..OverlayParams::conservative()
+        });
+    for bad in [bad_kalman, bad_overlay] {
+        let label = bad.label();
+        // Eager rejection at construction.
+        assert!(
+            SweepConfig::from_specs(n, vec![bad.clone()]).is_err(),
+            "{label} accepted by from_specs"
+        );
+        // A config assembled around validation is still refused at run
+        // start, as a typed config error — not a panic, not a default.
+        let mut cfg = mixed_config(n);
+        cfg.specs.push(bad);
+        let runtime = Runtime::with_config(RuntimeConfig {
+            workers: 1,
+            capacity: 256,
+            telemetry: TelemetryLevel::Off,
+        });
+        let err =
+            run_sweep_pipeline_with(runtime, Box::new(ReplayCollector::new(day.clone())), &cfg)
+                .unwrap_err();
+        assert!(
+            matches!(err, GraphError::Config(_)),
+            "{label}: wrong error {err:?}"
+        );
+    }
+}

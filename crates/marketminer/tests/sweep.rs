@@ -103,11 +103,14 @@ fn sweep_trades_match_independent_single_param_runs() {
     let _guard = lock_serial();
     let (day, n) = small_day(91);
     let cfg = SweepConfig::paper(n);
-    assert_eq!(cfg.params.len(), 42, "the paper's full grid");
+    assert_eq!(cfg.specs.len(), 42, "the paper's full grid");
     let sweep = run_sweep(day.clone(), &cfg, 0);
 
     let mut total = 0usize;
-    for (k, p) in cfg.params.iter().enumerate() {
+    for (k, spec) in cfg.specs.iter().enumerate() {
+        let pairtrade_core::StrategySpec::Paper(p) = spec else {
+            panic!("paper grid must hold only paper specs");
+        };
         let single = run_fig1_pipeline(day.clone(), &Fig1Config::new(n, *p)).unwrap();
         assert_eq!(
             sweep.trades_per_param[k],

@@ -28,6 +28,9 @@ struct Ev {
     interval: Option<u64>,
     wall_us: u64,
     parents: Vec<EventId>,
+    /// Payload annotation: strategy kind for orders, strategy kind plus
+    /// exit reasons for trade reports.
+    detail: Option<String>,
 }
 
 /// The parsed export: events indexed by id, plus node names.
@@ -69,6 +72,7 @@ fn parse_lineage(doc: &Json) -> Result<Lineage, String> {
                     .unwrap_or("?")
                     .to_string(),
                 interval: e.get("interval").and_then(Json::as_u64),
+                detail: e.get("detail").and_then(Json::as_str).map(str::to_string),
                 wall_us: e.get("wall_us").and_then(Json::as_u64).unwrap_or(0),
                 parents: e
                     .get("parents")
@@ -130,6 +134,11 @@ fn render_tree(
         .interval
         .map(|i| format!("  interval={i}"))
         .unwrap_or_default();
+    let detail = ev
+        .detail
+        .as_ref()
+        .map(|d| format!("  <{d}>"))
+        .unwrap_or_default();
     let expanded = seen.insert(id);
     let back = if expanded || ev.parents.is_empty() {
         ""
@@ -138,7 +147,7 @@ fn render_tree(
     };
     let _ = writeln!(
         out,
-        "{prefix}{branch}{:<7} {:<10} @{:>10} µs  [{}]{iv}{back}",
+        "{prefix}{branch}{:<7} {:<10} @{:>10} µs  [{}]{iv}{detail}{back}",
         ev.kind,
         id.to_string(),
         ev.wall_us,
@@ -239,9 +248,15 @@ fn explain(out: &mut String, lin: &Lineage, id: EventId) -> bool {
         );
     }
     // Stage summary in causal (first-emission) order, not alphabetical.
-    let mut kinds: Vec<&str> = Vec::new();
+    // Annotated stages (orders, trade reports) carry their strategy kind
+    // and exit reasons inline.
+    let mut kinds: Vec<String> = Vec::new();
     for e in &chain {
-        let k = lin.events[e].kind.as_str();
+        let ev = &lin.events[e];
+        let k = match &ev.detail {
+            Some(d) => format!("{}<{}>", ev.kind, d),
+            None => ev.kind.clone(),
+        };
         if !kinds.contains(&k) {
             kinds.push(k);
         }
@@ -265,12 +280,16 @@ fn list(out: &mut String, lin: &Lineage) {
         if ev.kind == "trades" || ev.kind == "basket" {
             let _ = writeln!(
                 out,
-                "{:<10} {:<7} {:>10} {:>8}  {}",
+                "{:<10} {:<7} {:>10} {:>8}  {}{}",
                 ev.id.to_string(),
                 ev.kind,
                 ev.wall_us,
                 ev.parents.len(),
-                lin.node_name(ev.id)
+                lin.node_name(ev.id),
+                ev.detail
+                    .as_ref()
+                    .map(|d| format!("  <{d}>"))
+                    .unwrap_or_default()
             );
         }
     }

@@ -71,6 +71,25 @@ pub enum ConfigError {
         /// The rejected value.
         value: String,
     },
+    /// A run-level configuration object (strategy spec, sweep, schedule)
+    /// failed validation. Same philosophy as `InvalidEnv`: refusing to
+    /// start beats silently substituting a default.
+    Invalid {
+        /// What was being configured (e.g. `"strategy spec #3"`).
+        what: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl ConfigError {
+    /// Build an [`ConfigError::Invalid`] from anything displayable.
+    pub fn invalid(what: impl Into<String>, reason: impl std::fmt::Display) -> Self {
+        ConfigError::Invalid {
+            what: what.into(),
+            reason: reason.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for ConfigError {
@@ -78,6 +97,9 @@ impl std::fmt::Display for ConfigError {
         match self {
             ConfigError::InvalidEnv { var, value } => {
                 write!(f, "{var}={value:?} is not a positive integer")
+            }
+            ConfigError::Invalid { what, reason } => {
+                write!(f, "invalid {what}: {reason}")
             }
         }
     }

@@ -133,6 +133,10 @@ pub struct LineageEvent {
     pub wall_us: u64,
     /// Ids of the messages this one was derived from.
     pub parents: Vec<EventId>,
+    /// Payload-level annotation for human-facing renderers: the
+    /// originating strategy kind for orders, strategy kind plus exit
+    /// reasons for trade reports. `None` for structural messages.
+    pub detail: Option<String>,
 }
 
 /// Default lineage-ring bound: comfortably holds every emission of the
@@ -224,6 +228,9 @@ pub fn export(events: &[LineageEvent], dropped: u64, node_names: &[String]) -> S
         if let Some(iv) = e.interval {
             fields.push(("interval".into(), Json::Num(iv as f64)));
         }
+        if let Some(d) = &e.detail {
+            fields.push(("detail".into(), Json::Str(d.clone())));
+        }
         out.push(Json::Obj(fields));
     }
     Json::Obj(vec![
@@ -280,6 +287,7 @@ mod tests {
                 interval: Some(seq),
                 wall_us: seq,
                 parents: vec![],
+                detail: None,
             });
         }
         ring.record(LineageEvent {
@@ -288,6 +296,7 @@ mod tests {
             interval: None,
             wall_us: 9,
             parents: vec![EventId::new(0, 2)],
+            detail: None,
         });
         assert_eq!(ring.recorded(), 4);
         assert_eq!(ring.dropped(), 2, "node-0 shard holds one slot");
@@ -306,6 +315,7 @@ mod tests {
                 interval: None,
                 wall_us: 5,
                 parents: vec![],
+                detail: None,
             },
             LineageEvent {
                 id: EventId::new(1, 0),
@@ -313,6 +323,7 @@ mod tests {
                 interval: Some(3),
                 wall_us: 11,
                 parents: vec![EventId::new(0, 0)],
+                detail: Some("paper: retracement".into()),
             },
         ];
         let names = vec!["tape".to_string(), "ohlc-bars".to_string()];
@@ -323,6 +334,11 @@ mod tests {
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[1].get("kind").unwrap().as_str(), Some("bars"));
         assert_eq!(evs[1].get("interval").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            evs[1].get("detail").unwrap().as_str(),
+            Some("paper: retracement")
+        );
+        assert!(evs[0].get("detail").is_none());
         assert_eq!(
             evs[1].get("parents").unwrap().items()[0].as_u64(),
             Some(EventId::new(0, 0).0)

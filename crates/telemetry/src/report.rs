@@ -196,6 +196,7 @@ mod tests {
                 interval: Some(1),
                 wall_us: 10,
                 parents: vec![crate::lineage::EventId::new(1, 4)],
+                detail: None,
             }],
             lineage_dropped: 2,
             lineage_path: None,

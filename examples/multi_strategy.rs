@@ -39,19 +39,19 @@ fn main() {
     let runtime_cfg = RuntimeConfig::default();
     println!(
         "shared-stream sweep: {} strategies x {} pairs over {} quotes",
-        config.params.len(),
+        config.specs.len(),
         n_stocks * (n_stocks - 1) / 2,
         quotes
     );
     println!(
         "sharing: {} correlation engines serve {} strategy hosts",
         config.distinct_streams().len(),
-        config.params.len()
+        config.specs.len()
     );
     println!(
         "pool: {} worker threads for a {}-node graph\n",
         runtime_cfg.workers,
-        config.params.len() + config.distinct_streams().len() + 6
+        config.specs.len() + config.distinct_streams().len() + 6
     );
 
     let start = std::time::Instant::now();
@@ -71,12 +71,12 @@ fn main() {
         "{:<44} {:>7} {:>8} {:>9}",
         "strategy", "trades", "wins", "PnL ($)"
     );
-    for (p, trades) in config.params.iter().zip(&out.trades_per_param) {
+    for (spec, trades) in config.specs.iter().zip(&out.trades_per_param) {
         let wins = trades.iter().filter(|t| t.is_win()).count();
         let pnl: f64 = trades.iter().map(|t| t.pnl).sum();
         println!(
             "{:<44} {:>7} {:>8} {:>9.2}",
-            p.label(),
+            spec.label(),
             trades.len(),
             wins,
             pnl
