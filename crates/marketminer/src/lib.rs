@@ -49,6 +49,7 @@
 
 pub mod components;
 pub mod graph;
+pub mod live;
 pub mod messages;
 pub mod node;
 pub mod pipeline;
@@ -58,6 +59,7 @@ pub mod supervisor;
 
 pub use components::{FaultedCollector, HealthPolicy, PanicInjector, WedgeInjector};
 pub use graph::{Graph, GraphError, NodeId};
+pub use live::{LiveEpoch, LiveOutput, LiveSweepSession};
 pub use messages::{DegradeReason, HealthEvent, HealthStatus, Message, TradeReport};
 pub use node::{Component, NodeState, Source};
 pub use pipeline::{

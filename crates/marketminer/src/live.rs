@@ -1,0 +1,499 @@
+//! Dynamic graph reconfiguration: an epoch-driven sweep session whose
+//! strategy-host set can change while the runtime is live.
+//!
+//! [`LiveSweepSession`] wraps [`crate::runtime::RunSession`] around the
+//! shared-stream sweep graph and drives it in epochs, exactly like a
+//! shard worker — feed a quote slice, quiesce, drain the order sink, the
+//! analytics tap and the lineage ring. Between epochs the host set can be
+//! **reconfigured**: [`attach`](LiveSweepSession::attach) adds a new
+//! [`StrategySpec`] (and, if its `(Ctype, M)` stream is new, a new
+//! correlation engine), [`detach`](LiveSweepSession::detach) removes one
+//! (and any engine left without consumers).
+//!
+//! ## How reconfiguration preserves determinism
+//!
+//! The runtime's epoch-quiescent capture/restore cut is the mechanism.
+//! At an epoch boundary every inbox is empty and every node idle, so the
+//! graph's entire state is the per-node durable state
+//! ([`SessionCkpt`]) — a deterministic function of the fed quote prefix,
+//! independent of worker count. Reconfiguration then:
+//!
+//! 1. captures the quiescent session ([`RunSession::capture`]);
+//! 2. builds a **new** graph over the new host set (same builder as a
+//!    static graph — node topology is never surgically mutated);
+//! 3. opens a fresh session on it and restores state **by node name**:
+//!    node *indices* shift when hosts come and go, but every node's name
+//!    is unique and stable (`pair-strategy-host(#k, …)` carries the
+//!    global param-set index, `corr-engine(ctype, M=…)` the stream key),
+//!    so each surviving node gets back exactly the bytes it captured.
+//!
+//! A surviving node therefore re-enters the new graph with bit-identical
+//! state, counters and provenance sequence, and the shared front end
+//! (collector → bars → technical) feeds it bit-identical messages — so
+//! an untouched host's output is bit-identical to a static graph that
+//! never reconfigured (verified at workers 1/2/max in
+//! `serve/tests/serve.rs`). A *freshly attached* host (and a fresh
+//! engine for a new stream) starts cold at the cut and warms up from
+//! live data — the same semantics a restarted exchange feed would have.
+//!
+//! Provenance ids stay collision-free across cuts: an event id packs
+//! `(node index, per-node sequence)`, and on restore each node index
+//! resumes from the **maximum** of its name-matched sequence and the
+//! sequence any previous occupant of that index had reached.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pairtrade_core::spec::StrategySpec;
+use pairtrade_core::trade::Trade;
+use taq::quote::Quote;
+use telemetry::lineage::LineageEvent;
+use telemetry::TelemetryReport;
+
+use crate::components::ReplayCollector;
+use crate::graph::{GraphError, NodeId};
+use crate::messages::{Basket, Cause, CorrSnapshot, HealthEvent, Message};
+use crate::pipeline::{build_sweep_graph_tapped, SweepConfig, SweepGraphParts};
+use crate::runtime::{NodeCkpt, RunSession, Runtime, RuntimeConfig, SessionCkpt};
+use crate::supervisor::NodeFailure;
+
+/// What one fed epoch produced, drained at the quiescent cut.
+#[derive(Debug, Default)]
+pub struct LiveEpoch {
+    /// The epoch index (0-based count of `feed_epoch` calls).
+    pub epoch: u64,
+    /// Order-sink messages: baskets and health transitions as they flow,
+    /// end-of-day trade reports only at [`LiveSweepSession::finish`].
+    pub messages: Vec<Message>,
+    /// Correlation snapshots from the analytics tap, in stream order
+    /// within each interval (`Arc`-shared with what the hosts saw).
+    pub snapshots: Vec<Arc<CorrSnapshot>>,
+    /// Lineage drained since the previous cut (empty below
+    /// `TelemetryLevel::Full`).
+    pub lineage: Vec<LineageEvent>,
+}
+
+/// Everything a finished live session produced.
+#[derive(Debug)]
+pub struct LiveOutput {
+    /// End-of-day trades per global param-set index (slots never
+    /// attached, or detached before end of day, are empty).
+    pub trades_per_param: Vec<Vec<Trade>>,
+    /// Baskets from the final flush (per-epoch baskets were already
+    /// delivered through [`LiveEpoch::messages`]).
+    pub baskets: Vec<Arc<Basket>>,
+    /// Health transitions from the final flush, canonically ordered.
+    pub health_events: Vec<Arc<HealthEvent>>,
+    /// Lineage recorded after the last epoch drain.
+    pub lineage: Vec<LineageEvent>,
+    /// Node names of the final graph incarnation.
+    pub node_names: Vec<String>,
+    /// Nodes that panicked in the final incarnation.
+    pub failures: Vec<NodeFailure>,
+    /// The final incarnation's telemetry (`None` at `Off`).
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// An epoch-driven sweep session supporting live attach/detach of
+/// strategy hosts. See the module docs for the determinism argument.
+pub struct LiveSweepSession {
+    /// The sweep configuration; `specs` is the append-only global
+    /// param-set table (detached specs keep their slot so indices stay
+    /// stable fleet-wide).
+    cfg: SweepConfig,
+    /// Indices into `cfg.specs` currently attached, ascending.
+    active: Vec<usize>,
+    /// How to build each incarnation's runtime identically.
+    rt_config: RuntimeConfig,
+    session: Option<RunSession>,
+    src: NodeId,
+    sink: NodeId,
+    tap: NodeId,
+    /// Stream id consumed by each active slot (aligned with `active`).
+    streams: Vec<usize>,
+    epoch: u64,
+    /// Reconfigurations performed so far.
+    reconfigs: u64,
+}
+
+fn zero_ckpt() -> NodeCkpt {
+    NodeCkpt {
+        state: None,
+        processed: 0,
+        received: 0,
+        sent: 0,
+        next_out: 0,
+    }
+}
+
+impl LiveSweepSession {
+    /// Open a live session over `cfg` with every spec attached.
+    ///
+    /// The configuration is validated up front exactly like
+    /// [`crate::pipeline::run_sweep_pipeline_with`].
+    pub fn new(cfg: SweepConfig, rt_config: RuntimeConfig) -> Result<LiveSweepSession, GraphError> {
+        cfg.validate().map_err(|e| {
+            GraphError::Config(telemetry::ConfigError::invalid("sweep config", e.0))
+        })?;
+        let active: Vec<usize> = (0..cfg.specs.len()).collect();
+        // Placeholder ids; `open_session` overwrites them before use.
+        let unset = NodeId(usize::MAX);
+        let mut live = LiveSweepSession {
+            cfg,
+            active,
+            rt_config,
+            session: None,
+            src: unset,
+            sink: unset,
+            tap: unset,
+            streams: Vec::new(),
+            epoch: 0,
+            reconfigs: 0,
+        };
+        live.open_session(None)?;
+        Ok(live)
+    }
+
+    /// Build a fresh graph over the current `active` set, open a session
+    /// on it, and (when reconfiguring) restore `prior` state by name.
+    fn open_session(
+        &mut self,
+        prior: Option<(Vec<String>, SessionCkpt)>,
+    ) -> Result<(), GraphError> {
+        let placeholder = taq::dataset::DayData::new(0, Vec::new(), self.cfg.n_stocks, Vec::new());
+        let SweepGraphParts {
+            graph,
+            sink,
+            streams,
+            tap,
+        } = build_sweep_graph_tapped(
+            Box::new(ReplayCollector::new(placeholder)),
+            &self.cfg,
+            &self.active,
+            true,
+        );
+        let session = Runtime::with_config(self.rt_config).session(graph)?;
+        if let Some((old_names, ckpt)) = prior {
+            let by_name: HashMap<&str, &NodeCkpt> = old_names
+                .iter()
+                .map(String::as_str)
+                .zip(ckpt.nodes.iter())
+                .collect();
+            let new_names = session.node_names();
+            let nodes = new_names
+                .iter()
+                .enumerate()
+                .map(|(idx, name)| {
+                    let mut node = by_name
+                        .get(name.as_str())
+                        .map(|n| (*n).clone())
+                        .unwrap_or_else(zero_ckpt);
+                    // Never mint an event id a previous occupant of this
+                    // node index already used.
+                    if let Some(old) = ckpt.nodes.get(idx) {
+                        node.next_out = node.next_out.max(old.next_out);
+                    }
+                    node
+                })
+                .collect();
+            session
+                .restore(&SessionCkpt { nodes })
+                .map_err(|e| GraphError::Io(format!("live restore: {e}")))?;
+        }
+        self.src = session.source_ids()[0];
+        self.sink = sink;
+        self.tap = tap.expect("live graph always carries the analytics tap");
+        self.streams = streams;
+        self.session = Some(session);
+        Ok(())
+    }
+
+    /// The quiescent capture/rebuild/restore cut shared by attach and
+    /// detach. The session must be between epochs (it always is: `&mut
+    /// self` serialises callers against `feed_epoch`).
+    fn reconfigure(&mut self, active: Vec<usize>) -> Result<(), GraphError> {
+        let session = self.session.take().expect("live session open");
+        session.quiesce();
+        // `feed_epoch` drained the sinks at the last cut; anything that
+        // trickled in since (it cannot — nothing was fed) would fail
+        // capture loudly rather than vanish.
+        let ckpt = session
+            .capture()
+            .map_err(|e| GraphError::Io(format!("live capture: {e}")))?;
+        let old_names = session.node_names();
+        drop(session); // shuts the old incarnation's pool down
+        let prev_active = std::mem::replace(&mut self.active, active);
+        if let Err(e) = self.open_session(Some((old_names, ckpt))) {
+            self.active = prev_active;
+            return Err(e);
+        }
+        self.reconfigs += 1;
+        Ok(())
+    }
+
+    /// Attach a new strategy host (and, if needed, a new correlation
+    /// engine) without restarting the runtime. Returns the global
+    /// param-set index the host will attribute its trades to. The host
+    /// starts cold at this cut; every pre-existing host is untouched.
+    pub fn attach(&mut self, spec: StrategySpec) -> Result<usize, GraphError> {
+        let cfg_err =
+            |msg: String| GraphError::Config(telemetry::ConfigError::invalid("live attach", msg));
+        spec.validate().map_err(|e| cfg_err(e.0))?;
+        let dt = self.cfg.specs[self.active[0]].dt_seconds();
+        if spec.dt_seconds() != dt {
+            return Err(cfg_err(format!(
+                "attached spec has Δs={}s but the live sweep shares Δs={dt}s",
+                spec.dt_seconds()
+            )));
+        }
+        let param_set = self.cfg.specs.len();
+        self.cfg.specs.push(spec);
+        let mut active = self.active.clone();
+        active.push(param_set);
+        match self.reconfigure(active) {
+            Ok(()) => Ok(param_set),
+            Err(e) => {
+                self.cfg.specs.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Detach the host for global param-set `param_set`, and any
+    /// correlation engine left without consumers. Its open positions are
+    /// abandoned (no exit orders will ever be emitted for them) and its
+    /// end-of-day report will be empty; every remaining host is
+    /// untouched.
+    pub fn detach(&mut self, param_set: usize) -> Result<(), GraphError> {
+        let cfg_err =
+            |msg: String| GraphError::Config(telemetry::ConfigError::invalid("live detach", msg));
+        let Some(pos) = self.active.iter().position(|&k| k == param_set) else {
+            return Err(cfg_err(format!("param set {param_set} is not attached")));
+        };
+        if self.active.len() == 1 {
+            return Err(cfg_err("cannot detach the last strategy host".into()));
+        }
+        let mut active = self.active.clone();
+        active.remove(pos);
+        self.reconfigure(active)
+    }
+
+    /// Feed one epoch of quotes, quiesce, and drain the cut.
+    pub fn feed_epoch(&mut self, quotes: &[Quote]) -> LiveEpoch {
+        let session = self.session.as_ref().expect("live session open");
+        for &q in quotes {
+            session.feed(self.src, Message::Quote(q, Cause::none()));
+        }
+        session.quiesce();
+        let messages = session.drain_sink(self.sink);
+        let snapshots = session
+            .drain_sink(self.tap)
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::Corr(snap) => Some(snap),
+                _ => None,
+            })
+            .collect();
+        let lineage = session.drain_lineage();
+        let out = LiveEpoch {
+            epoch: self.epoch,
+            messages,
+            snapshots,
+            lineage,
+        };
+        self.epoch += 1;
+        out
+    }
+
+    /// Global indices of the currently attached param sets, ascending.
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// The global param-set table (attached and detached).
+    pub fn specs(&self) -> &[StrategySpec] {
+        &self.cfg.specs
+    }
+
+    /// The sweep configuration driving the current incarnation.
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
+    }
+
+    /// Stream key per live stream id: `streams()[j]` is the `(Ctype, M)`
+    /// tag correlation snapshots with `stream == j` carry right now
+    /// (stream ids are re-derived per incarnation).
+    pub fn stream_keys(&self) -> Vec<(stats::correlation::CorrType, usize)> {
+        let mut keys: Vec<(stats::correlation::CorrType, usize)> = Vec::new();
+        for (slot, &k) in self.active.iter().enumerate() {
+            let j = self.streams[slot];
+            if j >= keys.len() {
+                keys.resize(j + 1, self.cfg.specs[k].stream_key());
+            }
+            keys[j] = self.cfg.specs[k].stream_key();
+        }
+        keys
+    }
+
+    /// Node names of the current incarnation, in node-id order.
+    pub fn node_names(&self) -> Vec<String> {
+        self.session
+            .as_ref()
+            .expect("live session open")
+            .node_names()
+    }
+
+    /// Epochs fed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reconfigurations (attach + detach) performed so far.
+    pub fn reconfigs(&self) -> u64 {
+        self.reconfigs
+    }
+
+    /// End the day: propagate EOF, collect the final flush (end-of-day
+    /// trade reports, last baskets) and the final incarnation's
+    /// telemetry.
+    pub fn finish(mut self) -> LiveOutput {
+        let session = self.session.take().expect("live session open");
+        let node_names = session.node_names();
+        let mut out = session.finish();
+        let mut trades_per_param: Vec<Vec<Trade>> = vec![Vec::new(); self.cfg.specs.len()];
+        let mut baskets = Vec::new();
+        let mut health_events = Vec::new();
+        for msg in out.take_sink(self.sink) {
+            match msg {
+                Message::Trades(t) => trades_per_param[t.param_set].extend(t.iter().copied()),
+                Message::Basket(b) => baskets.push(b),
+                Message::Health(h) => health_events.push(h),
+                _ => {}
+            }
+        }
+        health_events.sort_by_key(|h| (h.interval, h.symbol));
+        let lineage = out
+            .telemetry
+            .as_ref()
+            .map(|t| t.lineage.clone())
+            .unwrap_or_default();
+        LiveOutput {
+            trades_per_param,
+            baskets,
+            health_events,
+            lineage,
+            node_names,
+            failures: std::mem::take(&mut out.failures),
+            telemetry: out.telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_sweep_pipeline;
+    use pairtrade_core::params::StrategyParams;
+    use stats::correlation::CorrType;
+    use taq::generator::{MarketConfig, MarketGenerator};
+    use telemetry::TelemetryLevel;
+
+    fn fast_params() -> StrategyParams {
+        StrategyParams {
+            dt_seconds: 30,
+            ctype: CorrType::Pearson,
+            corr_window: 20,
+            avg_window: 10,
+            div_window: 5,
+            divergence: 0.0005,
+            ..StrategyParams::paper_default()
+        }
+    }
+
+    fn small_day(seed: u64) -> (taq::dataset::DayData, usize) {
+        let mut cfg = MarketConfig::small(4, 1, seed);
+        cfg.micro.quote_rate_hz = 0.05;
+        (MarketGenerator::new(cfg).next_day().unwrap(), 4)
+    }
+
+    fn rt(workers: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            workers,
+            capacity: 256,
+            telemetry: TelemetryLevel::Off,
+        }
+    }
+
+    #[test]
+    fn live_epochs_match_static_run() {
+        let (day, n) = small_day(77);
+        let p1 = fast_params();
+        let p2 = StrategyParams {
+            divergence: 0.001,
+            ..p1
+        };
+        let cfg = SweepConfig::new(n, vec![p1, p2]);
+        let statics = run_sweep_pipeline(day.clone(), &cfg).unwrap();
+
+        let mut live = LiveSweepSession::new(cfg, rt(2)).unwrap();
+        let quotes = day.quotes();
+        let mut saw_snapshots = false;
+        for chunk in quotes.chunks(quotes.len().div_ceil(5).max(1)) {
+            let cut = live.feed_epoch(chunk);
+            saw_snapshots |= !cut.snapshots.is_empty();
+        }
+        let out = live.finish();
+        assert!(saw_snapshots, "the tap must observe correlation streams");
+        assert_eq!(out.trades_per_param, statics.trades_per_param);
+    }
+
+    #[test]
+    fn attach_and_detach_leave_survivors_bit_identical() {
+        let (day, n) = small_day(57);
+        let p1 = fast_params();
+        let p2 = StrategyParams {
+            divergence: 0.001,
+            ..p1
+        };
+        let p3 = StrategyParams {
+            ctype: CorrType::Quadrant,
+            ..p1
+        };
+        let static_cfg = SweepConfig::new(n, vec![p1, p2]);
+        let statics = run_sweep_pipeline(day.clone(), &static_cfg).unwrap();
+
+        let mut live = LiveSweepSession::new(static_cfg, rt(2)).unwrap();
+        let quotes = day.quotes();
+        let chunk = quotes.len().div_ceil(6).max(1);
+        let mut it = quotes.chunks(chunk);
+        live.feed_epoch(it.next().unwrap());
+        // Attach a third family mid-day (a brand-new Quadrant stream),
+        // run two epochs, detach it again.
+        let k3 = live.attach(StrategySpec::Paper(p3)).unwrap();
+        assert_eq!(k3, 2);
+        assert_eq!(live.active(), &[0, 1, 2]);
+        live.feed_epoch(it.next().unwrap());
+        live.feed_epoch(it.next().unwrap());
+        live.detach(k3).unwrap();
+        assert_eq!(live.active(), &[0, 1]);
+        for rest in it {
+            live.feed_epoch(rest);
+        }
+        assert_eq!(live.reconfigs(), 2);
+        let out = live.finish();
+        assert_eq!(out.trades_per_param[0], statics.trades_per_param[0]);
+        assert_eq!(out.trades_per_param[1], statics.trades_per_param[1]);
+        // The detached slot reports nothing at end of day.
+        assert!(out.trades_per_param[2].is_empty());
+    }
+
+    #[test]
+    fn detach_guards() {
+        let (day, n) = small_day(5);
+        let _ = day;
+        let cfg = SweepConfig::new(n, vec![fast_params()]);
+        let mut live = LiveSweepSession::new(cfg, rt(1)).unwrap();
+        assert!(live.detach(0).is_err(), "cannot detach the last host");
+        assert!(live.detach(7).is_err(), "unknown param set");
+    }
+}

@@ -348,6 +348,9 @@ pub(crate) struct SweepGraphParts {
     /// Stream id consumed by each *included* parameter set
     /// (index-aligned with `included`).
     pub streams: Vec<usize>,
+    /// The analytics tap sink (every correlation engine fans out here in
+    /// addition to its hosts), present only when requested.
+    pub tap: Option<crate::graph::NodeId>,
 }
 
 /// Build the shared-stream sweep DAG over the strategy specs named by
@@ -362,6 +365,21 @@ pub(crate) fn build_sweep_graph(
     source: Box<dyn Source>,
     cfg: &SweepConfig,
     included: &[usize],
+) -> SweepGraphParts {
+    build_sweep_graph_tapped(source, cfg, included, false)
+}
+
+/// [`build_sweep_graph`] with an optional analytics tap: an extra sink
+/// subscribed to every correlation engine, so an external driver (the
+/// serving layer) can observe the shared correlation streams. Messages
+/// are `Arc`-shared on fan-out, so tapping changes nothing about what
+/// the strategy hosts see — host outputs stay bit-identical with the
+/// tap on or off.
+pub(crate) fn build_sweep_graph_tapped(
+    source: Box<dyn Source>,
+    cfg: &SweepConfig,
+    included: &[usize],
+    tap: bool,
 ) -> SweepGraphParts {
     assert!(!included.is_empty(), "need at least one strategy spec");
     let dt = cfg.specs[included[0]].dt_seconds();
@@ -413,6 +431,19 @@ pub(crate) fn build_sweep_graph(
     g.connect(risk, gateway);
     g.connect(gateway, sink);
 
+    // The analytics tap observes every correlation stream without
+    // touching the strategy path (fan-out shares the same Arc'd
+    // snapshots the hosts receive).
+    let tap_sink = if tap {
+        let t = g.add_sink("analytics-tap");
+        for (_, node) in &engines {
+            g.connect(*node, t);
+        }
+        Some(t)
+    } else {
+        None
+    };
+
     // One strategy host per included spec, tagged with its global index
     // for attribution.
     for (slot, &k) in included.iter().enumerate() {
@@ -434,6 +465,7 @@ pub(crate) fn build_sweep_graph(
         graph: g,
         sink,
         streams,
+        tap: tap_sink,
     }
 }
 
@@ -455,6 +487,7 @@ pub fn run_sweep_pipeline_with(
         graph,
         sink,
         streams,
+        ..
     } = build_sweep_graph(source, cfg, &all);
 
     let mut out = runtime.run(graph)?;

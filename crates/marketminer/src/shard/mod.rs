@@ -31,7 +31,7 @@ pub mod world;
 pub use comm::{Comm, RecvError, Source, Tag};
 pub use frame::Frame;
 pub use supervisor::{ShardExitReport, ShardRunner};
-pub use transport::FramedConn;
+pub use transport::{connect_with_backoff, Endpoint, FramedConn, Listener};
 pub use worker::run_worker;
 pub use world::World;
 
@@ -73,6 +73,11 @@ pub const BACKOFF_MAX_ENV: &str = "MARKETMINER_BACKOFF_MAX_MS";
 /// `MARKETMINER_SHARD_RESTARTS`: respawns allowed per shard before its
 /// pairs are masked degraded.
 pub const RESTARTS_ENV: &str = "MARKETMINER_SHARD_RESTARTS";
+/// `MARKETMINER_SHARD_TCP`: when set to `host:port`, the supervisor
+/// binds its control socket on TCP instead of the Unix-domain socket in
+/// the checkpoint directory (port 0 lets the kernel choose; workers are
+/// spawned with the resolved address). Unset keeps UDS.
+pub const SHARD_TCP_ENV: &str = "MARKETMINER_SHARD_TCP";
 
 /// Configuration for a multi-process sharded sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +99,9 @@ pub struct ShardConfig {
     pub backoff_max: Duration,
     /// Respawns allowed per shard before it is masked degraded.
     pub max_restarts: u32,
+    /// Control-plane transport: `None` binds the Unix-domain socket in
+    /// `ckpt_dir`; `Some(host:port)` binds TCP for multi-host fleets.
+    pub tcp: Option<String>,
 }
 
 impl Default for ShardConfig {
@@ -107,6 +115,7 @@ impl Default for ShardConfig {
             backoff_base: Duration::from_millis(50),
             backoff_max: Duration::from_millis(2_000),
             max_restarts: 3,
+            tcp: None,
         }
     }
 }
@@ -159,7 +168,28 @@ impl ShardConfig {
                 d.backoff_max.as_millis() as usize,
             )? as u64),
             max_restarts: env_usize(RESTARTS_ENV, d.max_restarts as usize)? as u32,
+            tcp: match std::env::var(SHARD_TCP_ENV) {
+                Err(_) => None,
+                // `host:port` needs at least one colon; anything else is
+                // a hard error, not a silent fallback to UDS.
+                Ok(raw) if raw.contains(':') => Some(raw),
+                Ok(raw) => {
+                    return Err(ConfigError::InvalidEnv {
+                        var: SHARD_TCP_ENV,
+                        value: raw,
+                    });
+                }
+            },
         })
+    }
+
+    /// The control-plane endpoint this configuration names (before any
+    /// TCP port-0 resolution).
+    pub fn control_endpoint(&self) -> transport::Endpoint {
+        match &self.tcp {
+            Some(addr) => transport::Endpoint::Tcp(addr.clone()),
+            None => transport::Endpoint::Unix(self.ckpt_dir.join(CONTROL_SOCKET)),
+        }
     }
 }
 
@@ -201,5 +231,16 @@ mod tests {
         std::env::remove_var(CKPT_DIR_ENV);
         std::env::remove_var(HEARTBEAT_ENV);
         assert!(ShardConfig::from_env().is_ok());
+
+        std::env::set_var(SHARD_TCP_ENV, "127.0.0.1:0");
+        let c = ShardConfig::from_env().unwrap();
+        assert_eq!(c.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(
+            c.control_endpoint(),
+            transport::Endpoint::Tcp("127.0.0.1:0".into())
+        );
+        std::env::set_var(SHARD_TCP_ENV, "nocolon");
+        assert!(ShardConfig::from_env().is_err());
+        std::env::remove_var(SHARD_TCP_ENV);
     }
 }

@@ -28,7 +28,6 @@
 
 use std::collections::BTreeMap;
 use std::io;
-use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,9 +42,9 @@ use telemetry::recorder::FlightKind;
 use telemetry::{Caps, Telemetry, TelemetryLevel, TelemetryReport};
 
 use super::frame::Frame;
-use super::transport::FramedConn;
+use super::transport::{Endpoint, Listener};
 use super::worker::ShardJob;
-use super::{ShardConfig, CONTROL_SOCKET, JOB_FILE, NODE_STRIDE, SHARDS_ENV, TAPE_FILE};
+use super::{ShardConfig, JOB_FILE, NODE_STRIDE, SHARDS_ENV, TAPE_FILE};
 use crate::components::order_gateway::canonical_key;
 use crate::graph::GraphError;
 use crate::messages::{Basket, Cause, HealthEvent, Message, OrderRequest};
@@ -186,14 +185,14 @@ impl ShardRunner {
         self
     }
 
-    fn spawn_worker(&self, rank: usize, resume_seq: u64) -> io::Result<Child> {
+    fn spawn_worker(&self, rank: usize, resume_seq: u64, endpoint: &Endpoint) -> io::Result<Child> {
         Command::new(&self.worker_exe)
             .arg("--rank")
             .arg(rank.to_string())
             .arg("--shards")
             .arg(self.cfg.shards.to_string())
             .arg("--socket")
-            .arg(self.cfg.ckpt_dir.join(CONTROL_SOCKET))
+            .arg(endpoint.to_string())
             .arg("--ckpt-dir")
             .arg(&self.cfg.ckpt_dir)
             .arg("--resume-seq")
@@ -253,9 +252,15 @@ impl ShardRunner {
         let job = ShardJob::from_sweep(sweep);
         std::fs::write(cfg.ckpt_dir.join(JOB_FILE), wire::to_bytes(&job)).map_err(io_err)?;
         taq::io::write_binary_file(day, &cfg.ckpt_dir.join(TAPE_FILE)).map_err(io_err)?;
-        let sock_path = cfg.ckpt_dir.join(CONTROL_SOCKET);
-        let _ = std::fs::remove_file(&sock_path);
-        let listener = UnixListener::bind(&sock_path).map_err(io_err)?;
+        // Control plane: UDS in the checkpoint directory by default, TCP
+        // when configured (multi-host fleets); port 0 resolves here so
+        // workers are spawned with the real address.
+        let requested = cfg.control_endpoint();
+        if let Endpoint::Unix(path) = &requested {
+            let _ = std::fs::remove_file(path);
+        }
+        let listener = Listener::bind(&requested).map_err(io_err)?;
+        let endpoint = listener.local_endpoint(&requested);
 
         // --- Accept + reader threads -----------------------------------
         let (tx, rx) = mpsc::channel::<Event>();
@@ -265,13 +270,12 @@ impl ShardRunner {
             let stop = Arc::clone(&stop);
             let read_timeout = cfg.heartbeat_timeout;
             std::thread::spawn(move || {
-                while let Ok((stream, _)) = listener.accept() {
+                while let Ok(conn) = listener.accept() {
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
                     let tx = tx.clone();
                     std::thread::spawn(move || {
-                        let conn = FramedConn::new(stream);
                         let _ = conn.set_read_timeout(Some(read_timeout));
                         let mut conn = conn;
                         let rank = match conn.recv() {
@@ -347,7 +351,7 @@ impl ShardRunner {
             .collect();
         let mut node_names: Vec<String> = Vec::new();
         for (rank, state) in states.iter_mut().enumerate() {
-            let child = self.spawn_worker(rank, 0).map_err(io_err)?;
+            let child = self.spawn_worker(rank, 0, &endpoint).map_err(io_err)?;
             state.child = Some(child);
             state.spawned_at = Instant::now();
         }
@@ -363,6 +367,7 @@ impl ShardRunner {
         };
         // A death (kill, crash, wedge) either respawns the rank from its
         // durable checkpoint or — budget exhausted — masks it degraded.
+        let endpoint_ref = &endpoint;
         let handle_death = |states: &mut Vec<ShardState>, rank: usize, why: &str| {
             let state = &mut states[rank];
             if state.done || state.degraded {
@@ -395,7 +400,9 @@ impl ShardRunner {
                 .saturating_mul(1u32 << (state.restarts - 1).min(16))
                 .min(cfg.backoff_max);
             std::thread::sleep(backoff);
-            let child = self.spawn_worker(rank, resume).map_err(io_err)?;
+            let child = self
+                .spawn_worker(rank, resume, endpoint_ref)
+                .map_err(io_err)?;
             state.child = Some(child);
             state.spawned_at = Instant::now();
             state.last_heartbeat = Instant::now();
@@ -555,12 +562,14 @@ impl ShardRunner {
         // --- Teardown ---------------------------------------------------
         stop.store(true, Ordering::Release);
         // Wake the accept loop so its thread can observe `stop`.
-        let _ = UnixStream::connect(&sock_path);
+        let _ = endpoint.connect();
         let _ = accept_thread.join();
         for state in &mut states {
             kill_child(state);
         }
-        let _ = std::fs::remove_file(&sock_path);
+        if let Endpoint::Unix(path) = &endpoint {
+            let _ = std::fs::remove_file(path);
+        }
 
         Ok(self.assemble(sweep, states, node_names, &tel))
     }

@@ -36,7 +36,7 @@ use telemetry::TelemetryLevel;
 use wire::{Codec, Reader, WireError, Writer};
 
 use super::frame::Frame;
-use super::transport::{connect_with_backoff, FramedConn};
+use super::transport::{connect_with_backoff, Endpoint, FramedConn};
 use super::{JOB_FILE, NODE_STRIDE, TAPE_FILE};
 use crate::components::risk::RiskLimits;
 use crate::components::{HealthPolicy, ReplayCollector};
@@ -158,8 +158,8 @@ pub struct WorkerArgs {
     pub rank: usize,
     /// Total shard count.
     pub shards: usize,
-    /// The supervisor's control socket.
-    pub socket: PathBuf,
+    /// The supervisor's control endpoint (a UDS path, or `tcp:host:port`).
+    pub socket: Endpoint,
     /// Checkpoint + job directory.
     pub ckpt_dir: PathBuf,
     /// First result sequence to actually transmit (everything below was
@@ -192,7 +192,7 @@ impl WorkerArgs {
             match flag.as_str() {
                 "--rank" => rank = Some(num()? as usize),
                 "--shards" => shards = Some(num()? as usize),
-                "--socket" => socket = Some(PathBuf::from(value)),
+                "--socket" => socket = Some(Endpoint::parse(value)),
                 "--ckpt-dir" => ckpt_dir = Some(PathBuf::from(value)),
                 "--resume-seq" => resume_seq = num()?,
                 "--epoch-quotes" => epoch_quotes = Some(num()? as usize),
@@ -491,6 +491,7 @@ mod tests {
         let w = WorkerArgs::parse(&args).unwrap();
         assert_eq!(w.rank, 2);
         assert_eq!(w.shards, 3);
+        assert_eq!(w.socket, Endpoint::Unix(PathBuf::from("/tmp/s.sock")));
         assert_eq!(w.resume_seq, 5);
         assert_eq!(w.epoch_quotes, 256);
         assert_eq!(w.heartbeat, Duration::from_millis(100));

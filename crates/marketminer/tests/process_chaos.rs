@@ -45,6 +45,7 @@ fn test_config(tag: &str, day: &DayData, shards: usize) -> ShardConfig {
         backoff_base: std::time::Duration::from_millis(10),
         backoff_max: std::time::Duration::from_millis(50),
         max_restarts: 5,
+        tcp: None,
     }
 }
 

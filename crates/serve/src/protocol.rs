@@ -1,0 +1,535 @@
+//! The client↔server frame vocabulary.
+//!
+//! Both directions reuse the shard transport's framing (`len | crc32 |
+//! payload`, [`marketminer::shard::FramedConn`] is generic over the
+//! payload codec) with these two enums as payloads. Payload types that
+//! already cross the shard boundary — [`Message`], [`StrategySpec`] —
+//! reuse their existing [`wire::Codec`] impls, so a correlation snapshot
+//! is bit-identical on the serve wire and the shard wire.
+//!
+//! Versioning: [`Hello`](ClientFrame::Hello) leads with
+//! [`PROTOCOL_VERSION`]; a mismatch is refused at the door
+//! ([`ServerFrame::Denied`]) rather than misparsed mid-stream.
+
+use marketminer::messages::Message;
+use pairtrade_core::spec::StrategySpec;
+use stats::correlation::CorrType;
+use wire::{Codec, Reader, WireError, Writer};
+
+/// Version byte agreed in `Hello`; bump on any frame-layout change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// What a subscription delivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubscriptionSpec {
+    /// Correlation snapshots from one shared `(Ctype, M)` stream.
+    /// `top_k = Some(k)` conflates each snapshot to its `k`
+    /// highest-|ρ| pairs ([`ServerFrame::TopK`]); `None` delivers the
+    /// full matrix ([`ServerFrame::Event`] carrying `Message::Corr`).
+    Corr {
+        /// Correlation estimator of the wanted stream.
+        ctype: CorrType,
+        /// Correlation window `M` of the wanted stream.
+        window: usize,
+        /// Conflate to the k strongest pairs per snapshot.
+        top_k: Option<usize>,
+    },
+    /// Order baskets (signals/executions). `param_set = Some(k)`
+    /// restricts to baskets containing at least one order attributed to
+    /// global param set `k`; `None` delivers every basket.
+    Trades {
+        /// Global param-set filter.
+        param_set: Option<usize>,
+    },
+    /// Symbol health transitions (outage / halt / quarantine / recovery).
+    Health,
+}
+
+impl Codec for SubscriptionSpec {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SubscriptionSpec::Corr {
+                ctype,
+                window,
+                top_k,
+            } => {
+                0u8.encode(w);
+                ctype.encode(w);
+                window.encode(w);
+                top_k.encode(w);
+            }
+            SubscriptionSpec::Trades { param_set } => {
+                1u8.encode(w);
+                param_set.encode(w);
+            }
+            SubscriptionSpec::Health => 2u8.encode(w),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => SubscriptionSpec::Corr {
+                ctype: CorrType::decode(r)?,
+                window: usize::decode(r)?,
+                top_k: Option::<usize>::decode(r)?,
+            },
+            1 => SubscriptionSpec::Trades {
+                param_set: Option::<usize>::decode(r)?,
+            },
+            2 => SubscriptionSpec::Health,
+            _ => return Err(WireError::Invalid("subscription spec tag")),
+        })
+    }
+}
+
+/// Frames a client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Open a session. Must be the first frame on a connection.
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Shared-secret auth token.
+        token: String,
+        /// Free-form client name for telemetry labels.
+        client: String,
+    },
+    /// Open a feed subscription; answered by [`ServerFrame::Subscribed`].
+    Subscribe {
+        /// What to deliver.
+        spec: SubscriptionSpec,
+    },
+    /// Close a subscription by its server-assigned id.
+    Unsubscribe {
+        /// Id from [`ServerFrame::Subscribed`].
+        sub_id: u64,
+    },
+    /// Attach a new strategy host to the live graph at the next epoch
+    /// cut; answered by [`ServerFrame::Attached`].
+    Attach {
+        /// The strategy to host.
+        spec: StrategySpec,
+    },
+    /// Detach the host for a global param set at the next epoch cut.
+    Detach {
+        /// Global param-set index to detach.
+        param_set: usize,
+    },
+    /// Explain the causal provenance of an event. `id = 0` (the unset
+    /// sentinel) asks for the default target — the latest trade report,
+    /// else the latest basket.
+    Explain {
+        /// Packed event id (`telemetry::lineage::EventId`), or 0.
+        id: u64,
+    },
+    /// List explainable outcomes (trade reports and baskets) seen so far.
+    ListOutcomes,
+    /// Liveness signal; any frame refreshes the session's heartbeat, this
+    /// one does nothing else.
+    Heartbeat,
+    /// Orderly goodbye: the session is torn down immediately instead of
+    /// waiting for the reaper.
+    Bye,
+}
+
+impl Codec for ClientFrame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ClientFrame::Hello {
+                version,
+                token,
+                client,
+            } => {
+                0u8.encode(w);
+                version.encode(w);
+                token.encode(w);
+                client.encode(w);
+            }
+            ClientFrame::Subscribe { spec } => {
+                1u8.encode(w);
+                spec.encode(w);
+            }
+            ClientFrame::Unsubscribe { sub_id } => {
+                2u8.encode(w);
+                sub_id.encode(w);
+            }
+            ClientFrame::Attach { spec } => {
+                3u8.encode(w);
+                spec.encode(w);
+            }
+            ClientFrame::Detach { param_set } => {
+                4u8.encode(w);
+                param_set.encode(w);
+            }
+            ClientFrame::Explain { id } => {
+                5u8.encode(w);
+                id.encode(w);
+            }
+            ClientFrame::ListOutcomes => 6u8.encode(w),
+            ClientFrame::Heartbeat => 7u8.encode(w),
+            ClientFrame::Bye => 8u8.encode(w),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => ClientFrame::Hello {
+                version: u32::decode(r)?,
+                token: String::decode(r)?,
+                client: String::decode(r)?,
+            },
+            1 => ClientFrame::Subscribe {
+                spec: SubscriptionSpec::decode(r)?,
+            },
+            2 => ClientFrame::Unsubscribe {
+                sub_id: u64::decode(r)?,
+            },
+            3 => ClientFrame::Attach {
+                spec: StrategySpec::decode(r)?,
+            },
+            4 => ClientFrame::Detach {
+                param_set: usize::decode(r)?,
+            },
+            5 => ClientFrame::Explain {
+                id: u64::decode(r)?,
+            },
+            6 => ClientFrame::ListOutcomes,
+            7 => ClientFrame::Heartbeat,
+            8 => ClientFrame::Bye,
+            _ => return Err(WireError::Invalid("client frame tag")),
+        })
+    }
+}
+
+/// One conflated correlation pair: `(i, j, ρ)` with `i > j`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopPair {
+    /// Higher stock index of the pair.
+    pub i: u32,
+    /// Lower stock index of the pair.
+    pub j: u32,
+    /// The correlation estimate.
+    pub rho: f64,
+}
+
+impl Codec for TopPair {
+    fn encode(&self, w: &mut Writer) {
+        self.i.encode(w);
+        self.j.encode(w);
+        self.rho.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TopPair {
+            i: u32::decode(r)?,
+            j: u32::decode(r)?,
+            rho: f64::decode(r)?,
+        })
+    }
+}
+
+/// Frames the server sends. (No `PartialEq`: [`Message`] payloads are
+/// compared by their contents in tests via re-encoding, not `==`.)
+#[derive(Debug, Clone)]
+pub enum ServerFrame {
+    /// Session opened.
+    Welcome {
+        /// The session id (telemetry label `session{id}`).
+        session: u64,
+    },
+    /// Hello refused (bad token or version); the connection closes.
+    Denied {
+        /// Why.
+        reason: String,
+    },
+    /// Subscription opened.
+    Subscribed {
+        /// Id to use in `Unsubscribe`, echoed on every delivery.
+        sub_id: u64,
+    },
+    /// Subscription closed.
+    Unsubscribed {
+        /// The closed id.
+        sub_id: u64,
+    },
+    /// One full-fidelity feed delivery. `seq` counts deliveries on this
+    /// subscription from 0; `dropped_before` is how many deliveries the
+    /// egress ring evicted between the previous received frame and this
+    /// one, so a subscriber can always account for its own loss.
+    Event {
+        /// Subscription this belongs to.
+        sub_id: u64,
+        /// Per-subscription delivery sequence number.
+        seq: u64,
+        /// Ring evictions immediately before this delivery.
+        dropped_before: u64,
+        /// The payload (`Corr` / `Basket` / `Trades` / `Health`).
+        payload: Message,
+    },
+    /// One conflated correlation delivery (`top_k` subscriptions).
+    TopK {
+        /// Subscription this belongs to.
+        sub_id: u64,
+        /// Per-subscription delivery sequence number.
+        seq: u64,
+        /// Ring evictions immediately before this delivery.
+        dropped_before: u64,
+        /// The snapshot's trading interval.
+        interval: u64,
+        /// The k strongest pairs by |ρ|, strongest first.
+        pairs: Vec<TopPair>,
+    },
+    /// Attach accepted; the host is live from the current epoch cut.
+    Attached {
+        /// Global param-set index assigned to the new host.
+        param_set: u64,
+    },
+    /// Detach accepted.
+    Detached {
+        /// The detached global param-set index.
+        param_set: u64,
+    },
+    /// Answer to [`ClientFrame::Explain`]: the rendered provenance
+    /// (tree + waterfall + stage chain), or `found = false` with the
+    /// reason in `text`.
+    Explained {
+        /// Whether the event was in the lineage capture.
+        found: bool,
+        /// Rendered explanation or failure reason.
+        text: String,
+    },
+    /// Answer to [`ClientFrame::ListOutcomes`].
+    Outcomes {
+        /// Rendered outcome table.
+        text: String,
+    },
+    /// A request failed (unknown sub id, invalid attach, ...). The
+    /// session stays open.
+    Error {
+        /// Why.
+        reason: String,
+    },
+    /// The served day is over; final deliveries precede this frame and
+    /// the connection closes after it.
+    End,
+}
+
+impl Codec for ServerFrame {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ServerFrame::Welcome { session } => {
+                0u8.encode(w);
+                session.encode(w);
+            }
+            ServerFrame::Denied { reason } => {
+                1u8.encode(w);
+                reason.encode(w);
+            }
+            ServerFrame::Subscribed { sub_id } => {
+                2u8.encode(w);
+                sub_id.encode(w);
+            }
+            ServerFrame::Unsubscribed { sub_id } => {
+                3u8.encode(w);
+                sub_id.encode(w);
+            }
+            ServerFrame::Event {
+                sub_id,
+                seq,
+                dropped_before,
+                payload,
+            } => {
+                4u8.encode(w);
+                sub_id.encode(w);
+                seq.encode(w);
+                dropped_before.encode(w);
+                payload.encode(w);
+            }
+            ServerFrame::TopK {
+                sub_id,
+                seq,
+                dropped_before,
+                interval,
+                pairs,
+            } => {
+                5u8.encode(w);
+                sub_id.encode(w);
+                seq.encode(w);
+                dropped_before.encode(w);
+                interval.encode(w);
+                pairs.encode(w);
+            }
+            ServerFrame::Attached { param_set } => {
+                6u8.encode(w);
+                param_set.encode(w);
+            }
+            ServerFrame::Detached { param_set } => {
+                7u8.encode(w);
+                param_set.encode(w);
+            }
+            ServerFrame::Explained { found, text } => {
+                8u8.encode(w);
+                found.encode(w);
+                text.encode(w);
+            }
+            ServerFrame::Outcomes { text } => {
+                9u8.encode(w);
+                text.encode(w);
+            }
+            ServerFrame::Error { reason } => {
+                10u8.encode(w);
+                reason.encode(w);
+            }
+            ServerFrame::End => 11u8.encode(w),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            0 => ServerFrame::Welcome {
+                session: u64::decode(r)?,
+            },
+            1 => ServerFrame::Denied {
+                reason: String::decode(r)?,
+            },
+            2 => ServerFrame::Subscribed {
+                sub_id: u64::decode(r)?,
+            },
+            3 => ServerFrame::Unsubscribed {
+                sub_id: u64::decode(r)?,
+            },
+            4 => ServerFrame::Event {
+                sub_id: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                dropped_before: u64::decode(r)?,
+                payload: Message::decode(r)?,
+            },
+            5 => ServerFrame::TopK {
+                sub_id: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                dropped_before: u64::decode(r)?,
+                interval: u64::decode(r)?,
+                pairs: Vec::<TopPair>::decode(r)?,
+            },
+            6 => ServerFrame::Attached {
+                param_set: u64::decode(r)?,
+            },
+            7 => ServerFrame::Detached {
+                param_set: u64::decode(r)?,
+            },
+            8 => ServerFrame::Explained {
+                found: bool::decode(r)?,
+                text: String::decode(r)?,
+            },
+            9 => ServerFrame::Outcomes {
+                text: String::decode(r)?,
+            },
+            10 => ServerFrame::Error {
+                reason: String::decode(r)?,
+            },
+            11 => ServerFrame::End,
+            _ => return Err(WireError::Invalid("server frame tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pairtrade_core::params::StrategyParams;
+
+    #[test]
+    fn client_frames_round_trip() {
+        let frames = vec![
+            ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+                token: "sesame".into(),
+                client: "loadgen-3".into(),
+            },
+            ClientFrame::Subscribe {
+                spec: SubscriptionSpec::Corr {
+                    ctype: CorrType::Pearson,
+                    window: 120,
+                    top_k: Some(5),
+                },
+            },
+            ClientFrame::Subscribe {
+                spec: SubscriptionSpec::Trades { param_set: Some(7) },
+            },
+            ClientFrame::Subscribe {
+                spec: SubscriptionSpec::Health,
+            },
+            ClientFrame::Unsubscribe { sub_id: 12 },
+            ClientFrame::Attach {
+                spec: StrategySpec::Paper(StrategyParams::paper_default()),
+            },
+            ClientFrame::Detach { param_set: 41 },
+            ClientFrame::Explain { id: 0 },
+            ClientFrame::ListOutcomes,
+            ClientFrame::Heartbeat,
+            ClientFrame::Bye,
+        ];
+        for f in &frames {
+            let back: ClientFrame = wire::from_bytes(&wire::to_bytes(f)).unwrap();
+            assert_eq!(&back, f);
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = vec![
+            ServerFrame::Welcome { session: 3 },
+            ServerFrame::Denied {
+                reason: "bad token".into(),
+            },
+            ServerFrame::Subscribed { sub_id: 9 },
+            ServerFrame::Unsubscribed { sub_id: 9 },
+            ServerFrame::TopK {
+                sub_id: 9,
+                seq: 4,
+                dropped_before: 2,
+                interval: 77,
+                pairs: vec![
+                    TopPair {
+                        i: 3,
+                        j: 1,
+                        rho: 0.93,
+                    },
+                    TopPair {
+                        i: 2,
+                        j: 0,
+                        rho: -0.88,
+                    },
+                ],
+            },
+            ServerFrame::Attached { param_set: 42 },
+            ServerFrame::Detached { param_set: 42 },
+            ServerFrame::Explained {
+                found: true,
+                text: "== provenance ==".into(),
+            },
+            ServerFrame::Outcomes {
+                text: "id kind".into(),
+            },
+            ServerFrame::Error {
+                reason: "unknown sub".into(),
+            },
+            ServerFrame::End,
+        ];
+        for f in &frames {
+            let bytes = wire::to_bytes(f);
+            let back: ServerFrame = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(wire::to_bytes(&back), bytes, "re-encode is bit-identical");
+        }
+    }
+
+    #[test]
+    fn corrupt_tags_are_refused() {
+        let mut bytes = wire::to_bytes(&ClientFrame::Heartbeat);
+        bytes[0] = 200;
+        assert!(wire::from_bytes::<ClientFrame>(&bytes).is_err());
+        let mut bytes = wire::to_bytes(&ServerFrame::End);
+        bytes[0] = 200;
+        assert!(wire::from_bytes::<ServerFrame>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Bounded per-session egress rings with drop-oldest, counted loss.
+//!
+//! The publisher side (the epoch loop) **never blocks**: pushing into a
+//! full ring evicts the oldest feed item and counts the eviction, so a
+//! stalled subscriber converts into *its own* loss accounting instead of
+//! backpressure on the DAG. The consumer side (the per-session writer
+//! thread) blocks on a condvar with a timeout and learns, with each item,
+//! how many evictions happened immediately before it
+//! (`dropped_before`) — the drop policy is deterministic (always the
+//! oldest feed item) and always counted, never silent.
+//!
+//! Control replies (subscribe acks, explain answers, errors) ride a
+//! separate unbounded lane in the same ring that is never dropped and is
+//! always delivered before queued feed items: a slow consumer may lose
+//! ticks, never answers.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What `pop` yields.
+#[derive(Debug, PartialEq)]
+pub enum Popped<T> {
+    /// An item, with the number of feed evictions immediately before it.
+    Item {
+        /// The popped item.
+        item: T,
+        /// Feed evictions since the previously popped item.
+        dropped_before: u64,
+    },
+    /// The ring was closed and fully drained.
+    Closed,
+    /// Nothing arrived within the timeout; poll again.
+    TimedOut,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    /// Unbounded control lane, never dropped, drained first.
+    control: VecDeque<T>,
+    /// Bounded feed lane, drop-oldest.
+    feed: VecDeque<T>,
+    /// Evictions not yet attributed to a popped item.
+    pending_drops: u64,
+    dropped_total: u64,
+    pushed_total: u64,
+    closed: bool,
+}
+
+/// A bounded drop-oldest egress ring with an unbounded control lane.
+#[derive(Debug)]
+pub struct EgressRing<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+}
+
+impl<T> EgressRing<T> {
+    /// Ring holding at most `cap` queued feed items (`cap >= 1`).
+    pub fn new(cap: usize) -> EgressRing<T> {
+        EgressRing {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                control: VecDeque::new(),
+                feed: VecDeque::new(),
+                pending_drops: 0,
+                dropped_total: 0,
+                pushed_total: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queue a feed item. Never blocks; evicts (and counts) the oldest
+    /// queued feed item when full. Returns `true` if an eviction
+    /// happened. Pushes to a closed ring are discarded.
+    pub fn push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().expect("egress ring");
+        if inner.closed {
+            return false;
+        }
+        inner.pushed_total += 1;
+        let evicted = if inner.feed.len() == self.cap {
+            inner.feed.pop_front();
+            inner.pending_drops += 1;
+            inner.dropped_total += 1;
+            true
+        } else {
+            false
+        };
+        inner.feed.push_back(item);
+        self.cv.notify_one();
+        evicted
+    }
+
+    /// Queue a control item: unbounded, never dropped, delivered before
+    /// queued feed items.
+    pub fn push_control(&self, item: T) {
+        let mut inner = self.inner.lock().expect("egress ring");
+        if inner.closed {
+            return;
+        }
+        inner.control.push_back(item);
+        self.cv.notify_one();
+    }
+
+    /// Take the next item (control lane first), waiting up to `timeout`.
+    pub fn pop(&self, timeout: Duration) -> Popped<T> {
+        let mut inner = self.inner.lock().expect("egress ring");
+        loop {
+            if let Some(item) = inner.control.pop_front() {
+                return Popped::Item {
+                    item,
+                    dropped_before: 0,
+                };
+            }
+            if let Some(item) = inner.feed.pop_front() {
+                let dropped_before = std::mem::take(&mut inner.pending_drops);
+                return Popped::Item {
+                    item,
+                    dropped_before,
+                };
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let (guard, wait) = self
+                .cv
+                .wait_timeout(inner, timeout)
+                .expect("egress ring wait");
+            inner = guard;
+            if wait.timed_out() {
+                // One more non-blocking look (an item may have raced in),
+                // then report the timeout.
+                if inner.control.is_empty() && inner.feed.is_empty() {
+                    return if inner.closed {
+                        Popped::Closed
+                    } else {
+                        Popped::TimedOut
+                    };
+                }
+            }
+        }
+    }
+
+    /// Close the ring: queued items still drain, new pushes are
+    /// discarded, and `pop` reports [`Popped::Closed`] once empty.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("egress ring");
+        inner.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// True once [`close`](EgressRing::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("egress ring").closed
+    }
+
+    /// Currently queued feed items (for depth histograms).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("egress ring").feed.len()
+    }
+
+    /// Lifetime `(pushed, dropped)` feed counts.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("egress ring");
+        (inner.pushed_total, inner.dropped_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    fn drain(ring: &EgressRing<u64>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Popped::Item {
+            item,
+            dropped_before,
+        } = ring.pop(Duration::ZERO)
+        {
+            out.push((item, dropped_before));
+        }
+        out
+    }
+
+    #[test]
+    fn drop_oldest_is_counted_and_attributed() {
+        let ring = EgressRing::new(3);
+        for v in 0..5 {
+            ring.push(v);
+        }
+        // 0 and 1 evicted; 2 carries both drops.
+        assert_eq!(drain(&ring), vec![(2, 2), (3, 0), (4, 0)]);
+        assert_eq!(ring.stats(), (5, 2));
+        assert_eq!(ring.depth(), 0);
+    }
+
+    #[test]
+    fn control_lane_is_never_dropped_and_goes_first() {
+        let ring = EgressRing::new(1);
+        ring.push(10);
+        ring.push(11); // evicts 10
+        ring.push_control(99);
+        ring.push_control(98);
+        let mut got = Vec::new();
+        while let Popped::Item { item, .. } = ring.pop(Duration::ZERO) {
+            got.push(item);
+        }
+        assert_eq!(got, vec![99, 98, 11]);
+        assert_eq!(ring.stats(), (2, 1));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let ring = EgressRing::new(4);
+        ring.push(1);
+        ring.close();
+        ring.push(2); // discarded
+        ring.push_control(3); // discarded
+        assert!(matches!(
+            ring.pop(TICK),
+            Popped::Item {
+                item: 1,
+                dropped_before: 0
+            }
+        ));
+        assert_eq!(ring.pop(TICK), Popped::Closed);
+        assert!(ring.is_closed());
+    }
+
+    #[test]
+    fn pop_times_out_on_an_open_empty_ring() {
+        let ring: EgressRing<u64> = EgressRing::new(4);
+        assert_eq!(ring.pop(Duration::from_millis(1)), Popped::TimedOut);
+    }
+
+    #[test]
+    fn push_wakes_a_blocked_consumer() {
+        let ring = std::sync::Arc::new(EgressRing::new(4));
+        let r2 = std::sync::Arc::clone(&ring);
+        let waiter = std::thread::spawn(move || r2.pop(Duration::from_secs(5)));
+        std::thread::sleep(TICK);
+        ring.push(7);
+        match waiter.join().unwrap() {
+            Popped::Item { item, .. } => assert_eq!(item, 7),
+            other => panic!("expected item, got {other:?}"),
+        }
+    }
+}

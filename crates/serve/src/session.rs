@@ -1,0 +1,166 @@
+//! Session registry: one entry per authenticated client, each owning a
+//! bounded [`EgressRing`] of outbound [`ServerFrame`]s, plus the
+//! heartbeat reaper that tears down sessions whose client went silent.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::protocol::ServerFrame;
+use crate::ring::EgressRing;
+
+/// One authenticated client session.
+#[derive(Debug)]
+pub struct Session {
+    /// Registry-assigned id (the `session{id}` telemetry label).
+    pub id: u64,
+    /// Client-supplied name from `Hello`.
+    pub client: String,
+    /// Outbound frames; the per-session writer thread drains this.
+    pub ring: EgressRing<ServerFrame>,
+    /// Server-clock µs of the last frame received from this client.
+    last_seen_us: AtomicU64,
+}
+
+impl Session {
+    /// Refresh the heartbeat.
+    pub fn touch(&self, now_us: u64) {
+        self.last_seen_us.store(now_us, Ordering::Relaxed);
+    }
+
+    /// µs since the last frame from this client.
+    pub fn age_us(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.last_seen_us.load(Ordering::Relaxed))
+    }
+}
+
+/// The live session table.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    next: AtomicU64,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+}
+
+impl SessionRegistry {
+    /// Empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Open a session with an egress ring bounded at `ring_cap`.
+    pub fn open(&self, client: String, ring_cap: usize, now_us: u64) -> Arc<Session> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Session {
+            id,
+            client,
+            ring: EgressRing::new(ring_cap),
+            last_seen_us: AtomicU64::new(now_us),
+        });
+        self.sessions
+            .lock()
+            .expect("session table")
+            .insert(id, Arc::clone(&session));
+        session
+    }
+
+    /// Look a session up by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Session>> {
+        self.sessions
+            .lock()
+            .expect("session table")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Close a session: its ring stops accepting frames (the writer
+    /// drains what is queued, then sees `Closed`) and it leaves the
+    /// table. Returns the closed session, if it existed.
+    pub fn close(&self, id: u64) -> Option<Arc<Session>> {
+        let session = self.sessions.lock().expect("session table").remove(&id);
+        if let Some(s) = &session {
+            s.ring.close();
+        }
+        session
+    }
+
+    /// Close every session whose heartbeat is older than `ttl_us`,
+    /// returning the reaped sessions.
+    pub fn reap_stale(&self, now_us: u64, ttl_us: u64) -> Vec<Arc<Session>> {
+        let mut table = self.sessions.lock().expect("session table");
+        let stale: Vec<u64> = table
+            .values()
+            .filter(|s| s.age_us(now_us) > ttl_us)
+            .map(|s| s.id)
+            .collect();
+        let mut reaped = Vec::with_capacity(stale.len());
+        for id in stale {
+            if let Some(s) = table.remove(&id) {
+                s.ring.close();
+                reaped.push(s);
+            }
+        }
+        reaped
+    }
+
+    /// Snapshot of every live session.
+    pub fn all(&self) -> Vec<Arc<Session>> {
+        self.sessions
+            .lock()
+            .expect("session table")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session table").len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Close every session (end of day).
+    pub fn close_all(&self) {
+        let mut table = self.sessions.lock().expect("session table");
+        for s in table.values() {
+            s.ring.close();
+        }
+        table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_touch_and_reap() {
+        let reg = SessionRegistry::new();
+        let a = reg.open("a".into(), 8, 1_000);
+        let b = reg.open("b".into(), 8, 1_000);
+        assert_ne!(a.id, b.id);
+        assert_eq!(reg.len(), 2);
+        // `a` heartbeats at t=5ms, `b` stays silent.
+        a.touch(5_000);
+        let reaped = reg.reap_stale(6_000, 2_000);
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].id, b.id);
+        assert!(b.ring.is_closed(), "reaping closes the ring");
+        assert!(!a.ring.is_closed());
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get(b.id).is_none());
+    }
+
+    #[test]
+    fn close_all_empties_the_table() {
+        let reg = SessionRegistry::new();
+        let a = reg.open("a".into(), 8, 0);
+        reg.open("b".into(), 8, 0);
+        reg.close_all();
+        assert!(reg.is_empty());
+        assert!(a.ring.is_closed());
+    }
+}

@@ -5,6 +5,10 @@
 //! produced which orders and baskets — plus a latency waterfall with the
 //! per-hop wall-clock cost of every stage.
 //!
+//! All parsing and rendering lives in [`telemetry::explain`] (the serve
+//! API answers the same query over a socket); this binary is the
+//! file-reading, arg-parsing shell around it.
+//!
 //! Usage:
 //!   explain_trade <lineage.json>            # explain the last trade report
 //!   explain_trade <lineage.json> n20#41     # explain a specific event id
@@ -13,287 +17,10 @@
 //! Ids accept both the compact display form (`n<node>#<seq>`) and the
 //! raw packed u64 the JSON carries.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use telemetry::json::{self, Json};
-use telemetry::lineage::EventId;
-
-/// One parsed lineage event.
-struct Ev {
-    id: EventId,
-    kind: String,
-    interval: Option<u64>,
-    wall_us: u64,
-    parents: Vec<EventId>,
-    /// Payload annotation: strategy kind for orders, strategy kind plus
-    /// exit reasons for trade reports.
-    detail: Option<String>,
-}
-
-/// The parsed export: events indexed by id, plus node names.
-struct Lineage {
-    nodes: Vec<String>,
-    dropped: u64,
-    events: BTreeMap<EventId, Ev>,
-}
-
-impl Lineage {
-    fn node_name(&self, id: EventId) -> &str {
-        self.nodes.get(id.node()).map(String::as_str).unwrap_or("?")
-    }
-}
-
-fn parse_lineage(doc: &Json) -> Result<Lineage, String> {
-    let nodes = doc
-        .get("nodes")
-        .ok_or("no `nodes` array")?
-        .items()
-        .iter()
-        .map(|n| n.as_str().unwrap_or("?").to_string())
-        .collect();
-    let dropped = doc.get("dropped").and_then(Json::as_u64).unwrap_or(0);
-    let mut events = BTreeMap::new();
-    for e in doc.get("events").ok_or("no `events` array")?.items() {
-        let id = EventId(
-            e.get("id")
-                .and_then(Json::as_u64)
-                .ok_or("event without id")?,
-        );
-        events.insert(
-            id,
-            Ev {
-                id,
-                kind: e
-                    .get("kind")
-                    .and_then(Json::as_str)
-                    .unwrap_or("?")
-                    .to_string(),
-                interval: e.get("interval").and_then(Json::as_u64),
-                detail: e.get("detail").and_then(Json::as_str).map(str::to_string),
-                wall_us: e.get("wall_us").and_then(Json::as_u64).unwrap_or(0),
-                parents: e
-                    .get("parents")
-                    .map(|p| {
-                        p.items()
-                            .iter()
-                            .filter_map(Json::as_u64)
-                            .map(EventId)
-                            .collect()
-                    })
-                    .unwrap_or_default(),
-            },
-        );
-    }
-    Ok(Lineage {
-        nodes,
-        dropped,
-        events,
-    })
-}
-
-/// Parse `n<node>#<seq>` or a raw packed u64.
-fn parse_id(s: &str) -> Option<EventId> {
-    if let Some(rest) = s.strip_prefix('n') {
-        let (node, seq) = rest.split_once('#')?;
-        return Some(EventId::new(node.parse().ok()?, seq.parse().ok()?));
-    }
-    s.parse().ok().map(EventId)
-}
-
-/// Depth-first ancestor tree. Each event is expanded once; re-visits
-/// print a back-reference so shared ancestry (every order of a basket
-/// shares the corr snapshot) stays readable.
-fn render_tree(
-    out: &mut String,
-    lin: &Lineage,
-    id: EventId,
-    prefix: &str,
-    last: bool,
-    root: bool,
-    seen: &mut std::collections::BTreeSet<EventId>,
-) {
-    let (branch, cont) = if root {
-        ("", "")
-    } else if last {
-        ("└─ ", "   ")
-    } else {
-        ("├─ ", "│  ")
-    };
-    let Some(ev) = lin.events.get(&id) else {
-        let _ = writeln!(
-            out,
-            "{prefix}{branch}{id}  (not recorded{})",
-            dropped_hint(lin)
-        );
-        return;
-    };
-    let iv = ev
-        .interval
-        .map(|i| format!("  interval={i}"))
-        .unwrap_or_default();
-    let detail = ev
-        .detail
-        .as_ref()
-        .map(|d| format!("  <{d}>"))
-        .unwrap_or_default();
-    let expanded = seen.insert(id);
-    let back = if expanded || ev.parents.is_empty() {
-        ""
-    } else {
-        "  (ancestors shown above)"
-    };
-    let _ = writeln!(
-        out,
-        "{prefix}{branch}{:<7} {:<10} @{:>10} µs  [{}]{iv}{detail}{back}",
-        ev.kind,
-        id.to_string(),
-        ev.wall_us,
-        lin.node_name(id),
-    );
-    if !expanded {
-        return;
-    }
-    // Wide fan-ins (a bar batch derived from dozens of quote batches)
-    // get elided past the first few parents.
-    const MAX_CHILDREN: usize = 8;
-    let shown = ev.parents.len().min(MAX_CHILDREN);
-    for (k, &p) in ev.parents.iter().take(shown).enumerate() {
-        let is_last = k + 1 == ev.parents.len();
-        render_tree(
-            out,
-            lin,
-            p,
-            &format!("{prefix}{cont}"),
-            is_last,
-            false,
-            seen,
-        );
-    }
-    if ev.parents.len() > shown {
-        let _ = writeln!(
-            out,
-            "{prefix}{cont}└─ … (+{} more parents)",
-            ev.parents.len() - shown
-        );
-    }
-}
-
-fn dropped_hint(lin: &Lineage) -> String {
-    if lin.dropped > 0 {
-        format!("; ring dropped {} events", lin.dropped)
-    } else {
-        String::new()
-    }
-}
-
-/// Full ancestor closure of `id` (including itself), only recorded events.
-fn ancestors(lin: &Lineage, id: EventId) -> Vec<EventId> {
-    let mut seen = std::collections::BTreeSet::new();
-    let mut stack = vec![id];
-    while let Some(e) = stack.pop() {
-        if !seen.insert(e) {
-            continue;
-        }
-        if let Some(ev) = lin.events.get(&e) {
-            stack.extend(ev.parents.iter().copied());
-        }
-    }
-    seen.into_iter()
-        .filter(|e| lin.events.contains_key(e))
-        .collect()
-}
-
-fn explain(out: &mut String, lin: &Lineage, id: EventId) -> bool {
-    let Some(target) = lin.events.get(&id) else {
-        eprintln!("event {id} is not in this capture{}", dropped_hint(lin));
-        return false;
-    };
-    let _ = writeln!(out, "== provenance of {} {} ==\n", target.kind, id);
-    let mut seen = std::collections::BTreeSet::new();
-    render_tree(out, lin, id, "", true, true, &mut seen);
-
-    // Waterfall: every distinct ancestor ordered by emission time, with
-    // the hop latency from its latest-emitting recorded parent.
-    let mut chain = ancestors(lin, id);
-    chain.sort_by_key(|e| (lin.events[e].wall_us, e.0));
-    let t0 = chain.first().map(|e| lin.events[e].wall_us).unwrap_or(0);
-    let _ = writeln!(out, "\n== latency waterfall ({} events) ==\n", chain.len());
-    let _ = writeln!(
-        out,
-        "{:>12}  {:>10}  {:<7} {:<10} {:<24} interval",
-        "t (µs)", "hop (µs)", "kind", "id", "node"
-    );
-    for e in &chain {
-        let ev = &lin.events[e];
-        let hop = ev
-            .parents
-            .iter()
-            .filter_map(|p| lin.events.get(p))
-            .map(|p| p.wall_us)
-            .max()
-            .map(|pw| format!("{}", ev.wall_us.saturating_sub(pw)))
-            .unwrap_or_else(|| "-".into());
-        let _ = writeln!(
-            out,
-            "{:>12}  {:>10}  {:<7} {:<10} {:<24} {}",
-            ev.wall_us - t0,
-            hop,
-            ev.kind,
-            ev.id.to_string(),
-            lin.node_name(ev.id),
-            ev.interval.map(|i| i.to_string()).unwrap_or_default()
-        );
-    }
-    // Stage summary in causal (first-emission) order, not alphabetical.
-    // Annotated stages (orders, trade reports) carry their strategy kind
-    // and exit reasons inline.
-    let mut kinds: Vec<String> = Vec::new();
-    for e in &chain {
-        let ev = &lin.events[e];
-        let k = match &ev.detail {
-            Some(d) => format!("{}<{}>", ev.kind, d),
-            None => ev.kind.clone(),
-        };
-        if !kinds.contains(&k) {
-            kinds.push(k);
-        }
-    }
-    let _ = writeln!(
-        out,
-        "\nchain covers: {}  (end-to-end {} µs)",
-        kinds.join(" → "),
-        lin.events[chain.last().unwrap()].wall_us - t0
-    );
-    true
-}
-
-fn list(out: &mut String, lin: &Lineage) {
-    let _ = writeln!(
-        out,
-        "{:<10} {:<7} {:>10} {:>8}  node",
-        "id", "kind", "wall (µs)", "parents"
-    );
-    for ev in lin.events.values() {
-        if ev.kind == "trades" || ev.kind == "basket" {
-            let _ = writeln!(
-                out,
-                "{:<10} {:<7} {:>10} {:>8}  {}{}",
-                ev.id.to_string(),
-                ev.kind,
-                ev.wall_us,
-                ev.parents.len(),
-                lin.node_name(ev.id),
-                ev.detail
-                    .as_ref()
-                    .map(|d| format!("  <{d}>"))
-                    .unwrap_or_default()
-            );
-        }
-    }
-}
+use telemetry::explain::{parse_id, Lineage};
 
 fn main() -> ExitCode {
     let mut path = None;
@@ -327,14 +54,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let doc = match json::parse(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{path} is not valid JSON: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let lin = match parse_lineage(&doc) {
+    let lin = match Lineage::from_json_str(&text) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("{path} is not a lineage export: {e}");
@@ -350,32 +70,23 @@ fn main() -> ExitCode {
     }
     // Output is buffered and written once; a broken pipe (| head) is
     // ignored rather than a panic.
-    let mut out = String::new();
     if do_list {
-        list(&mut out, &lin);
-        let _ = std::io::stdout().write_all(out.as_bytes());
+        let _ = std::io::stdout().write_all(lin.render_list().as_bytes());
         return ExitCode::SUCCESS;
     }
-    // Default target: the last trade report of the run, else the last
-    // basket.
-    let target = target.or_else(|| {
-        ["trades", "basket"].iter().find_map(|k| {
-            lin.events
-                .values()
-                .rev()
-                .find(|e| e.kind == *k)
-                .map(|e| e.id)
-        })
-    });
-    let Some(target) = target else {
+    let Some(target) = target.or_else(|| lin.default_target()) else {
         eprintln!("no trade or basket events in {path} — was the run at TelemetryLevel::Full?");
         return ExitCode::FAILURE;
     };
-    let ok = explain(&mut out, &lin, target);
-    let _ = std::io::stdout().write_all(out.as_bytes());
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    let Some(explanation) = lin.explanation(target) else {
+        let hint = if lin.dropped > 0 {
+            format!("; ring dropped {} events", lin.dropped)
+        } else {
+            String::new()
+        };
+        eprintln!("event {target} is not in this capture{hint}");
+        return ExitCode::FAILURE;
+    };
+    let _ = std::io::stdout().write_all(explanation.render().as_bytes());
+    ExitCode::SUCCESS
 }

@@ -23,6 +23,7 @@
 //! atomic/sharded counter updates but never reads the clock on hot paths,
 //! `Full` adds timing, spans and the trace.
 
+pub mod explain;
 pub mod json;
 pub mod lineage;
 pub mod metrics;

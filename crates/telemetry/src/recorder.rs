@@ -37,6 +37,9 @@ pub enum FlightKind {
     /// A durable checkpoint file failed validation during recovery and
     /// was skipped (`checkpoint.corrupt`).
     Corrupt,
+    /// A bounded egress ring evicted its oldest entry for a slow
+    /// consumer (serving-layer backpressure isolation).
+    Drop,
 }
 
 impl FlightKind {
@@ -54,6 +57,7 @@ impl FlightKind {
             FlightKind::Fault => "fault",
             FlightKind::Phase => "phase",
             FlightKind::Corrupt => "checkpoint.corrupt",
+            FlightKind::Drop => "drop",
         }
     }
 }
