@@ -20,6 +20,12 @@
 //!
 //! Writes the per-worker measurements to `BENCH_stream_sweep.json` at the
 //! workspace root (override iterations with `STREAM_SWEEP_ITERS`).
+//!
+//! `STREAM_SWEEP_TELEMETRY` (off/counters/full) sets the instrumentation
+//! level for the measured runs and is recorded in every row — a `full`
+//! row quantifies the observability plane's overhead against the `off`
+//! row at the same worker spec, and `bench_compare` refuses to diff rows
+//! across levels.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -28,7 +34,7 @@ use marketminer::components::ReplayCollector;
 use marketminer::pipeline::{
     run_fig1_pipeline_with, run_sweep_pipeline_with, Fig1Config, SweepConfig,
 };
-use marketminer::{Runtime, RuntimeConfig};
+use marketminer::{Runtime, RuntimeConfig, TelemetryLevel};
 use taq::dataset::DayData;
 use taq::generator::{MarketConfig, MarketGenerator};
 
@@ -72,6 +78,16 @@ fn main() {
         .filter(|s| !s.is_empty())
         .collect();
 
+    // Instrumentation level for BOTH sides of the measurement
+    // (`STREAM_SWEEP_TELEMETRY` = off/counters/full, falling back to the
+    // `MARKETMINER_TELEMETRY` default). The level is part of each row's
+    // identity: a `full` measurement is a different workload from an
+    // `off` one (step timing + span capture on every node), so
+    // bench_compare only ever diffs rows at the same level.
+    let telemetry = std::env::var("STREAM_SWEEP_TELEMETRY")
+        .map(|v| TelemetryLevel::parse(&v))
+        .unwrap_or_else(|_| RuntimeConfig::default().telemetry);
+
     let bench_start = Instant::now();
     let day = make_day();
     let quotes = day.len();
@@ -86,7 +102,7 @@ fn main() {
         "n={N_STOCKS}, quotes={quotes}, params={n_params}, mix={strategy_mix}, distinct corr streams={n_streams}, iters={iters}"
     );
 
-    let telemetry_level = RuntimeConfig::default().telemetry.as_str().to_string();
+    let telemetry_level = telemetry.as_str().to_string();
     let mut rows = Vec::new();
     for spec in &specs {
         let workers: usize = if spec == "max" {
@@ -98,6 +114,7 @@ fn main() {
         let make_runtime = || {
             Runtime::with_config(RuntimeConfig {
                 workers,
+                telemetry,
                 ..RuntimeConfig::default()
             })
         };
@@ -106,7 +123,7 @@ fn main() {
             ..RuntimeConfig::default()
         }
         .resolved_workers();
-        println!("-- workers={spec} (resolved: {resolved_workers}) --");
+        println!("-- workers={spec} telemetry={telemetry_level} (resolved: {resolved_workers}) --");
 
         let run_start = Instant::now();
         let singles_secs = time_secs(iters, || {
@@ -144,7 +161,7 @@ fn main() {
         );
         let wall_clock_secs = run_start.elapsed().as_secs_f64();
         rows.push(format!(
-            "    {{\n      \"workers\": \"{spec}\",\n      \"resolved_workers\": {resolved_workers},\n      \"wall_clock_secs\": {wall_clock_secs:.3},\n      \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n      \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n      \"speedup\": {speedup:.4}\n    }}"
+            "    {{\n      \"workers\": \"{spec}\",\n      \"telemetry_level\": \"{telemetry_level}\",\n      \"resolved_workers\": {resolved_workers},\n      \"wall_clock_secs\": {wall_clock_secs:.3},\n      \"single_param_graphs_secs_per_day\": {singles_secs:.6},\n      \"shared_stream_sweep_secs_per_day\": {sweep_secs:.6},\n      \"speedup\": {speedup:.4}\n    }}"
         ));
     }
 

@@ -4,15 +4,21 @@
 //!
 //! Usage:
 //!   bench_compare <fresh.json> [--baseline <path>] [--tolerance-pct <N>]
-//!                 [--workers <spec>]
+//!                 [--workers <spec>] [--telemetry <level>]
 //!
-//! Both files carry a `runs` array with one row per worker-count spec
-//! (`"1"`, `"max"`, ...). Rows are matched **by spec**, never by position:
-//! a fresh workers=max measurement is only ever compared against the
-//! baseline's workers=max row. A fresh row with no matching baseline row
-//! is refused (exit 2) — silently skipping it is how the old single-row
-//! format let multi-worker regressions through. `--workers` restricts the
-//! gate to one spec (the CI matrix runs one leg per spec).
+//! Both files carry a `runs` array with one row per (worker spec,
+//! telemetry level) pair (`"1"`/`"max"` × `"off"`/`"counters"`/`"full"`).
+//! Rows are matched **by that key**, never by position: a fresh
+//! workers=max measurement is only ever compared against the baseline's
+//! workers=max row *at the same telemetry level* — a `full` run against
+//! an `off` baseline would report the instrumentation overhead as a
+//! regression (or launder a real regression as "expected overhead"), so
+//! cross-level diffs are refused outright (exit 2). A fresh row with no
+//! matching baseline row is refused for the same reason — silently
+//! skipping it is how the old single-row format let multi-worker
+//! regressions through. `--workers` / `--telemetry` restrict the gate to
+//! one spec / level (the CI matrix runs one leg per spec). Rows from
+//! files predating the level field are treated as `"off"`.
 //!
 //! Defaults: baseline = `BENCH_stream_sweep.json` at the workspace root,
 //! tolerance = 15 (%). Exit codes: 0 = within tolerance, 1 = regression,
@@ -51,20 +57,34 @@ fn num(doc: &Json, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing numeric field `{key}`"))
 }
 
-/// The per-worker rows of a result file, as `(spec, row)` pairs.
-fn runs(doc: &Json, path: &str) -> Result<Vec<(String, Json)>, String> {
+/// One result row keyed by `(workers spec, telemetry level)`.
+type KeyedRun = ((String, String), Json);
+
+/// The rows of a result file, as `((workers spec, telemetry level), row)`
+/// pairs. A row without its own `telemetry_level` inherits the file-level
+/// field; files predating telemetry entirely mean `off`.
+fn runs(doc: &Json, path: &str) -> Result<Vec<KeyedRun>, String> {
     let rows = doc
         .get("runs")
         .map(Json::items)
         .filter(|rows| !rows.is_empty())
         .ok_or_else(|| format!("{path} has no `runs` array (pre-per-worker format?)"))?;
+    let file_level = doc
+        .get("telemetry_level")
+        .and_then(Json::as_str)
+        .unwrap_or("off")
+        .to_string();
     rows.iter()
         .map(|row| {
             let spec = row
                 .get("workers")
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("{path}: run row missing string `workers` spec"))?;
-            Ok((spec.to_string(), row.clone()))
+            let level = row
+                .get("telemetry_level")
+                .and_then(Json::as_str)
+                .unwrap_or(&file_level);
+            Ok(((spec.to_string(), level.to_string()), row.clone()))
         })
         .collect()
 }
@@ -75,6 +95,7 @@ fn run() -> Result<bool, String> {
     let mut baseline_path = "BENCH_stream_sweep.json".to_string();
     let mut tolerance_pct = 15.0f64;
     let mut only_workers: Option<String> = None;
+    let mut only_telemetry: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => {
@@ -90,6 +111,12 @@ fn run() -> Result<bool, String> {
             "--workers" => {
                 only_workers = Some(args.next().ok_or("--workers needs a spec (e.g. 1, max)")?);
             }
+            "--telemetry" => {
+                only_telemetry = Some(
+                    args.next()
+                        .ok_or("--telemetry needs a level (off/counters/full)")?,
+                );
+            }
             a if fresh_path.is_none() && !a.starts_with('-') => {
                 fresh_path = Some(a.to_string());
             }
@@ -98,7 +125,7 @@ fn run() -> Result<bool, String> {
     }
     let fresh_path = fresh_path.ok_or(
         "usage: bench_compare <fresh.json> [--baseline <path>] [--tolerance-pct <N>] \
-         [--workers <spec>]",
+         [--workers <spec>] [--telemetry <level>]",
     )?;
 
     let fresh = load(&fresh_path)?;
@@ -122,40 +149,50 @@ fn run() -> Result<bool, String> {
 
     let fresh_runs = runs(&fresh, &fresh_path)?;
     let baseline_runs = runs(&baseline, &baseline_path)?;
-    let gated: Vec<&(String, Json)> = match &only_workers {
-        Some(spec) => {
-            let picked: Vec<_> = fresh_runs.iter().filter(|(s, _)| s == spec).collect();
-            if picked.is_empty() {
-                return Err(format!(
-                    "fresh file has no run for --workers {spec} (has: {})",
-                    fresh_runs
-                        .iter()
-                        .map(|(s, _)| s.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ));
-            }
-            picked
-        }
-        None => fresh_runs.iter().collect(),
+    let keys = |rows: &[KeyedRun]| {
+        rows.iter()
+            .map(|((s, l), _)| format!("{s}/{l}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
+    let gated: Vec<KeyedRun> = fresh_runs
+        .iter()
+        .filter(|((s, l), _)| {
+            only_workers.as_ref().is_none_or(|w| s == w)
+                && only_telemetry.as_ref().is_none_or(|t| l == t)
+        })
+        .cloned()
+        .collect();
+    if gated.is_empty() {
+        return Err(format!(
+            "fresh file has no run matching --workers {:?} --telemetry {:?} (has: {})",
+            only_workers,
+            only_telemetry,
+            keys(&fresh_runs)
+        ));
+    }
 
     println!("comparing {fresh_path} against {baseline_path} (tolerance {tolerance_pct}%)");
     let mut regressed = false;
-    for (spec, fresh_row) in gated {
-        // Like-for-like only: match the baseline row by worker spec.
+    for (key, fresh_row) in &gated {
+        let (spec, level) = key;
+        // Like-for-like only: match the baseline row by worker spec AND
+        // telemetry level — an off-vs-full diff measures instrumentation
+        // overhead, not a regression, so it is refused.
         let base_row = baseline_runs
             .iter()
-            .find(|(s, _)| s == spec)
+            .find(|(k, _)| k == key)
             .map(|(_, row)| row)
             .ok_or_else(|| {
                 format!(
-                    "baseline {baseline_path} has no workers={spec} row — refusing to compare \
-                     across worker counts; regenerate the baseline with \
-                     STREAM_SWEEP_WORKERS including {spec}"
+                    "baseline {baseline_path} has no workers={spec} telemetry={level} row — \
+                     refusing to compare across worker counts or telemetry levels (baseline \
+                     has: {}); regenerate the baseline with STREAM_SWEEP_WORKERS/\
+                     STREAM_SWEEP_TELEMETRY covering this row",
+                    keys(&baseline_runs)
                 )
             })?;
-        println!("workers={spec}:");
+        println!("workers={spec} telemetry={level}:");
         for metric in METRICS {
             let f = num(fresh_row, metric)?;
             let b = num(base_row, metric)?;

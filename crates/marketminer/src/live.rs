@@ -335,6 +335,13 @@ impl LiveSweepSession {
         keys
     }
 
+    /// The current incarnation's telemetry hub (`None` at
+    /// `TelemetryLevel::Off`) — the serving layer reads live registry
+    /// snapshots and lineage-ring drop counts through this handle.
+    pub fn telemetry(&self) -> Option<Arc<telemetry::Telemetry>> {
+        self.session.as_ref().and_then(|s| s.telemetry())
+    }
+
     /// Node names of the current incarnation, in node-id order.
     pub fn node_names(&self) -> Vec<String> {
         self.session

@@ -1825,6 +1825,14 @@ impl RunSession {
         self.exec.names.clone()
     }
 
+    /// The run's telemetry hub, when the level is enabled. The shard
+    /// worker drains per-epoch observability deltas (registry snapshot,
+    /// flight ring, trace records) through this handle; `None` at
+    /// `TelemetryLevel::Off`.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.exec.rt.as_ref().map(|rt| Arc::clone(&rt.tel))
+    }
+
     /// Feed one message into the graph as source `src`, blocking while
     /// downstream inboxes are at capacity. Stamps provenance exactly as
     /// a source thread would.

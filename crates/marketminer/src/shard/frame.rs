@@ -15,9 +15,15 @@
 //! boundary.
 
 use telemetry::lineage::LineageEvent;
+use telemetry::metrics::MetricsSnapshot;
+use telemetry::recorder::FlightEvent;
+use telemetry::trace::TraceRecord;
 use wire::{Codec, Reader, WireError, Writer};
 
-use super::wire_msg::{decode_lineage_event, encode_lineage_event};
+use super::wire_msg::{
+    decode_flight_event, decode_lineage_event, decode_metrics_snapshot, decode_trace_record,
+    encode_flight_event, encode_lineage_event, encode_metrics_snapshot, encode_trace_record,
+};
 use crate::messages::Message;
 
 /// One framed unit on a shard control socket.
@@ -80,6 +86,24 @@ pub enum Frame {
     /// Supervisor → worker: exit cleanly (used by graceful teardown;
     /// chaos tests prefer SIGKILL).
     Shutdown,
+    /// Worker → supervisor: one epoch's observability delta, keyed by the
+    /// same sequence space as [`Frame::Results`] (seq `e` covers epoch
+    /// `e`; the post-finish remainder travels at seq `n_epochs`). The
+    /// supervisor keeps the latest frame per `(rank, seq)` slot and folds
+    /// all slots at assemble time, so delivery is at-least-once on the
+    /// wire but accumulation is exactly-once — counter totals across any
+    /// kill/respawn schedule match the unkilled fleet bit-identically.
+    Telemetry {
+        /// Result-channel sequence this delta rides with.
+        seq: u64,
+        /// Registry delta since the previous frame (histograms carry
+        /// cumulative min/max — see `Histogram::delta_since`).
+        metrics: MetricsSnapshot,
+        /// Flight events drained this epoch.
+        flights: Vec<FlightEvent>,
+        /// Trace events drained this epoch (`Full` only, else empty).
+        trace: Vec<TraceRecord>,
+    },
 }
 
 impl Codec for Frame {
@@ -136,6 +160,24 @@ impl Codec for Frame {
                 final_seq.encode(w);
             }
             Frame::Shutdown => 5u8.encode(w),
+            Frame::Telemetry {
+                seq,
+                metrics,
+                flights,
+                trace,
+            } => {
+                6u8.encode(w);
+                seq.encode(w);
+                encode_metrics_snapshot(metrics, w);
+                flights.len().encode(w);
+                for ev in flights {
+                    encode_flight_event(ev, w);
+                }
+                trace.len().encode(w);
+                for rec in trace {
+                    encode_trace_record(rec, w);
+                }
+            }
         }
     }
 
@@ -181,6 +223,32 @@ impl Codec for Frame {
                 final_seq: u64::decode(r)?,
             },
             5 => Frame::Shutdown,
+            6 => {
+                let seq = u64::decode(r)?;
+                let metrics = decode_metrics_snapshot(r)?;
+                let n = usize::decode(r)?;
+                if n > r.remaining() {
+                    return Err(WireError::Invalid("flight list longer than input"));
+                }
+                let mut flights = Vec::with_capacity(n);
+                for _ in 0..n {
+                    flights.push(decode_flight_event(r)?);
+                }
+                let n = usize::decode(r)?;
+                if n > r.remaining() {
+                    return Err(WireError::Invalid("trace list longer than input"));
+                }
+                let mut trace = Vec::with_capacity(n);
+                for _ in 0..n {
+                    trace.push(decode_trace_record(r)?);
+                }
+                Frame::Telemetry {
+                    seq,
+                    metrics,
+                    flights,
+                    trace,
+                }
+            }
             _ => return Err(WireError::Invalid("frame tag")),
         })
     }
@@ -223,6 +291,32 @@ mod tests {
             },
             Frame::Done { final_seq: 12 },
             Frame::Shutdown,
+            {
+                let mut metrics = MetricsSnapshot::default();
+                metrics
+                    .counters
+                    .insert(("risk-gateway".into(), "orders.passed".into()), 9);
+                Frame::Telemetry {
+                    seq: 11,
+                    metrics,
+                    flights: vec![FlightEvent {
+                        seq: 0,
+                        wall_us: 5,
+                        sim: Some(3),
+                        label: "ckpt".into(),
+                        kind: telemetry::recorder::FlightKind::Checkpoint,
+                        detail: "4096 bytes".into(),
+                    }],
+                    trace: vec![TraceRecord {
+                        phase: telemetry::trace::RecordPhase::Instant,
+                        pid: 2,
+                        tid: 1,
+                        ts_us: 40,
+                        name: "restart".into(),
+                        args: vec![],
+                    }],
+                }
+            },
         ];
         for f in &frames {
             let bytes = wire::to_bytes(f);
@@ -253,6 +347,25 @@ mod tests {
                 ) => {
                     assert_eq!(a, b);
                     assert_eq!(al, bl);
+                }
+                (
+                    Frame::Telemetry {
+                        seq: a,
+                        metrics: am,
+                        flights: af,
+                        trace: at,
+                    },
+                    Frame::Telemetry {
+                        seq: b,
+                        metrics: bm,
+                        flights: bf,
+                        trace: bt,
+                    },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(am, bm);
+                    assert_eq!(af, bf);
+                    assert_eq!(at, bt);
                 }
                 (Frame::Heartbeat { .. }, Frame::Heartbeat { .. })
                 | (Frame::CkptDone { .. }, Frame::CkptDone { .. })

@@ -26,7 +26,7 @@
 //! outputs, so a run with any schedule of worker kills is trade-for-trade
 //! bit-identical to an unkilled run at the same shard count.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -38,7 +38,9 @@ use std::time::Instant;
 use pairtrade_core::trade::Trade;
 use taq::dataset::DayData;
 use telemetry::lineage::{EventId, LineageEvent};
-use telemetry::recorder::FlightKind;
+use telemetry::metrics::MetricsSnapshot;
+use telemetry::recorder::{FlightEvent, FlightKind};
+use telemetry::trace::{RecordPhase, TraceRecord};
 use telemetry::{Caps, Telemetry, TelemetryLevel, TelemetryReport};
 
 use super::frame::Frame;
@@ -90,9 +92,17 @@ pub struct ShardSweepOutput {
     /// Parameter sets masked because their shard exhausted its restart
     /// budget.
     pub degraded_params: Vec<usize>,
-    /// The supervisor's telemetry (checkpoint write costs, heartbeat
-    /// ages, restart/degrade incidents), `None` at `TelemetryLevel::Off`.
+    /// The fleet's merged telemetry, `None` at `TelemetryLevel::Off`:
+    /// the supervisor's own accounting (checkpoint write costs,
+    /// heartbeat ages, restart/degrade incidents) folded with every
+    /// worker's uplinked deltas — counters summed, gauges peaked,
+    /// histograms bucket-merged, flight events re-labelled
+    /// `shard<r>/<label>`. One canonical report for the whole fleet.
     pub telemetry: Option<TelemetryReport>,
+    /// Merged Chrome-trace JSON with one process lane per rank
+    /// (`shard<r>/workers` + `shard<r>/nodes` next to the supervisor's
+    /// own lanes), `Some` only at `TelemetryLevel::Full`.
+    pub trace_json: Option<String>,
 }
 
 impl ShardSweepOutput {
@@ -120,6 +130,14 @@ enum Event {
     },
 }
 
+/// One accepted observability delta — the latest [`Frame::Telemetry`]
+/// content received for a `(rank, seq)` slot.
+struct TelemetrySlot {
+    metrics: MetricsSnapshot,
+    flights: Vec<FlightEvent>,
+    trace: Vec<TraceRecord>,
+}
+
 /// Supervisor-side state of one rank.
 struct ShardState {
     child: Option<Child>,
@@ -135,6 +153,12 @@ struct ShardState {
     messages: Vec<Message>,
     /// Accepted lineage, deduplicated by event id.
     lineage: BTreeMap<EventId, LineageEvent>,
+    /// Observability deltas keyed by result sequence, latest frame per
+    /// slot winning. A respawned worker re-sends deterministic deltas
+    /// for the epochs it replays; the overwrite (never an append) is
+    /// what keeps fold-time accumulation exactly-once even though wire
+    /// delivery is at-least-once.
+    tel_slots: BTreeMap<u64, TelemetrySlot>,
     /// Pending chaos kill triggers (result seqs), ascending.
     kills: Vec<u64>,
 }
@@ -345,6 +369,7 @@ impl ShardRunner {
                     degraded: false,
                     messages: Vec::new(),
                     lineage: BTreeMap::new(),
+                    tel_slots: BTreeMap::new(),
                     kills,
                 }
             })
@@ -502,6 +527,24 @@ impl ShardRunner {
                             probe.count("ckpt.fsyncs", fsyncs);
                             probe.observe("ckpt.write_us", write_us);
                         }
+                        Frame::Telemetry {
+                            seq,
+                            metrics,
+                            flights,
+                            trace,
+                        } => {
+                            let state = &mut states[rank];
+                            state.last_heartbeat = Instant::now();
+                            probe.count("tel.frames", 1);
+                            state.tel_slots.insert(
+                                seq,
+                                TelemetrySlot {
+                                    metrics,
+                                    flights,
+                                    trace,
+                                },
+                            );
+                        }
                         Frame::Done { final_seq } => {
                             let state = &mut states[rank];
                             if final_seq != state.next_expected {
@@ -589,6 +632,11 @@ impl ShardRunner {
         let mut lineage: BTreeMap<EventId, LineageEvent> = BTreeMap::new();
         let mut reports = Vec::with_capacity(states.len());
         let mut degraded_params = Vec::new();
+        // Fleet observability fold: every accepted slot, in (rank, seq)
+        // order — a deterministic function of the slot contents, however
+        // frames arrived on the wire.
+        let mut fleet_metrics = MetricsSnapshot::default();
+        let mut fleet_flights: Vec<FlightEvent> = Vec::new();
 
         for (rank, state) in states.into_iter().enumerate() {
             reports.push(ShardExitReport {
@@ -629,6 +677,83 @@ impl ShardRunner {
             for (id, ev) in state.lineage {
                 lineage.entry(id).or_insert(ev);
             }
+            if self.level.enabled() {
+                if self.level.is_full() {
+                    // One pair of process lanes per rank in the merged
+                    // trace, mirroring the worker's own workers/nodes
+                    // split.
+                    tel.tracer
+                        .name_process(rank_pid(rank, 1), format!("shard{rank}/workers"));
+                    tel.tracer
+                        .name_process(rank_pid(rank, 2), format!("shard{rank}/nodes"));
+                }
+                // Node tracks the rank actually traced events on; named
+                // after the splice so silent tracks (e.g. the session-fed
+                // source, which never steps through the scheduler) don't
+                // get an empty row in the merged trace.
+                let mut traced_tids: std::collections::BTreeSet<u64> =
+                    std::collections::BTreeSet::new();
+                for slot in state.tel_slots.into_values() {
+                    fleet_metrics.merge(&slot.metrics);
+                    fleet_flights.extend(slot.flights.into_iter().map(|mut ev| {
+                        ev.label = format!("shard{rank}/{}", ev.label);
+                        ev
+                    }));
+                    if self.level.is_full() && !slot.trace.is_empty() {
+                        // Flow ids are minted per worker incarnation, so
+                        // two ranks (or two lives of one rank) can reuse
+                        // the same id. Remap every batch's ids through
+                        // fresh ones from the merged tracer; a flow's
+                        // start/finish pair is always emitted within one
+                        // drain batch, so a per-batch map suffices.
+                        let mut flow_ids: HashMap<u64, u64> = HashMap::new();
+                        let mut remap = |id: u64| {
+                            *flow_ids
+                                .entry(id)
+                                .or_insert_with(|| tel.tracer.alloc_flow_id())
+                        };
+                        let spliced: Vec<TraceRecord> = slot
+                            .trace
+                            .into_iter()
+                            .map(|mut rec| {
+                                if rec.pid == 2 {
+                                    traced_tids.insert(rec.tid);
+                                }
+                                rec.pid = rank_pid(rank, rec.pid);
+                                rec.phase = match rec.phase {
+                                    RecordPhase::FlowStart { id } => {
+                                        RecordPhase::FlowStart { id: remap(id) }
+                                    }
+                                    RecordPhase::FlowFinish { id } => {
+                                        RecordPhase::FlowFinish { id: remap(id) }
+                                    }
+                                    other => other,
+                                };
+                                rec
+                            })
+                            .collect();
+                        tel.tracer.splice_records(spliced);
+                    }
+                }
+                // Thread names for the rank's traced node tracks: a
+                // worker's trace tids are its local node indices, and the
+                // Hello name table (already `shard<r>/`-prefixed) lives
+                // at base `rank * NODE_STRIDE`.
+                let base = rank * NODE_STRIDE;
+                for tid in traced_tids {
+                    if let Some(name) = node_names.get(base + tid as usize) {
+                        if !name.is_empty() {
+                            tel.tracer.name_track(
+                                telemetry::trace::TrackId {
+                                    pid: rank_pid(rank, 2),
+                                    tid,
+                                },
+                                name.clone(),
+                            );
+                        }
+                    }
+                }
+            }
         }
 
         let baskets = buckets
@@ -655,12 +780,25 @@ impl ShardRunner {
             reports,
             degraded_params,
             telemetry: if self.level.enabled() {
-                Some(tel.finish())
+                let mut report = tel.finish();
+                report.metrics.merge(&fleet_metrics);
+                report.flight.extend(fleet_flights);
+                Some(report)
             } else {
                 None
             },
+            trace_json: self.level.is_full().then(|| tel.tracer.export()),
         }
     }
+}
+
+/// The merged trace's process id for one rank's lane: the worker tracer
+/// mints pid 1 (workers) and pid 2 (nodes); the merged trace keeps the
+/// supervisor's own lanes at 1/2 and parks rank `r` at `3 + 2r` /
+/// `4 + 2r`. Unknown pids (future lanes) shift by the same stride so
+/// they stay collision-free.
+fn rank_pid(rank: usize, worker_pid: u32) -> u32 {
+    2 + 2 * rank as u32 + worker_pid
 }
 
 /// Log recovered-checkpoint corruption the way the supervisor does when

@@ -17,6 +17,9 @@ use std::sync::Arc;
 
 use taq::quote::Quote;
 use telemetry::lineage::{Cause, EventId, LineageEvent};
+use telemetry::metrics::{Histogram, MetricsSnapshot};
+use telemetry::recorder::{FlightEvent, FlightKind};
+use telemetry::trace::{Arg as TraceArg, RecordPhase, TraceRecord};
 use wire::{Codec, Reader, WireError, Writer};
 
 use crate::messages::{
@@ -341,6 +344,222 @@ impl Codec for Message {
     }
 }
 
+// ---------------------------------------------------------------------
+// Telemetry payloads (foreign types again — standalone fns, shared by the
+// shard `Telemetry` frame and the serve protocol's metrics deliveries).
+// ---------------------------------------------------------------------
+
+/// Encode a [`Histogram`] sparsely (only the non-empty buckets travel).
+pub fn encode_histogram(h: &Histogram, w: &mut Writer) {
+    let (buckets, count, sum, raw_min, max) = h.to_parts();
+    buckets.len().encode(w);
+    for (k, n) in &buckets {
+        k.encode(w);
+        n.encode(w);
+    }
+    count.encode(w);
+    sum.encode(w);
+    raw_min.encode(w);
+    max.encode(w);
+}
+
+/// Decode a [`Histogram`].
+pub fn decode_histogram(r: &mut Reader<'_>) -> Result<Histogram, WireError> {
+    let n = usize::decode(r)?;
+    if n > r.remaining() {
+        return Err(WireError::Invalid("histogram bucket count"));
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push((u32::decode(r)?, u64::decode(r)?));
+    }
+    let count = u64::decode(r)?;
+    let sum = u64::decode(r)?;
+    let raw_min = u64::decode(r)?;
+    let max = u64::decode(r)?;
+    Ok(Histogram::from_parts(&buckets, count, sum, raw_min, max))
+}
+
+/// Encode a [`MetricsSnapshot`] (full or delta — the codec is the same).
+pub fn encode_metrics_snapshot(s: &MetricsSnapshot, w: &mut Writer) {
+    s.counters.len().encode(w);
+    for ((label, name), v) in &s.counters {
+        label.encode(w);
+        name.encode(w);
+        v.encode(w);
+    }
+    s.gauges.len().encode(w);
+    for ((label, name), v) in &s.gauges {
+        label.encode(w);
+        name.encode(w);
+        v.encode(w);
+    }
+    s.histograms.len().encode(w);
+    for ((label, name), h) in &s.histograms {
+        label.encode(w);
+        name.encode(w);
+        encode_histogram(h, w);
+    }
+}
+
+/// Decode a [`MetricsSnapshot`].
+pub fn decode_metrics_snapshot(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let mut s = MetricsSnapshot::default();
+    let n = usize::decode(r)?;
+    if n > r.remaining() {
+        return Err(WireError::Invalid("snapshot counter count"));
+    }
+    for _ in 0..n {
+        let key = (String::decode(r)?, String::decode(r)?);
+        s.counters.insert(key, u64::decode(r)?);
+    }
+    let n = usize::decode(r)?;
+    if n > r.remaining() {
+        return Err(WireError::Invalid("snapshot gauge count"));
+    }
+    for _ in 0..n {
+        let key = (String::decode(r)?, String::decode(r)?);
+        s.gauges.insert(key, u64::decode(r)?);
+    }
+    let n = usize::decode(r)?;
+    if n > r.remaining() {
+        return Err(WireError::Invalid("snapshot histogram count"));
+    }
+    for _ in 0..n {
+        let key = (String::decode(r)?, String::decode(r)?);
+        s.histograms.insert(key, decode_histogram(r)?);
+    }
+    Ok(s)
+}
+
+/// Encode a [`FlightEvent`]; the kind travels as its stable tag string.
+pub fn encode_flight_event(e: &FlightEvent, w: &mut Writer) {
+    e.seq.encode(w);
+    e.wall_us.encode(w);
+    e.sim.encode(w);
+    e.label.encode(w);
+    e.kind.as_str().to_string().encode(w);
+    e.detail.encode(w);
+}
+
+/// Decode a [`FlightEvent`].
+pub fn decode_flight_event(r: &mut Reader<'_>) -> Result<FlightEvent, WireError> {
+    let seq = u64::decode(r)?;
+    let wall_us = u64::decode(r)?;
+    let sim = Option::<u64>::decode(r)?;
+    let label = String::decode(r)?;
+    let kind =
+        FlightKind::parse(&String::decode(r)?).ok_or(WireError::Invalid("unknown flight kind"))?;
+    let detail = String::decode(r)?;
+    Ok(FlightEvent {
+        seq,
+        wall_us,
+        sim,
+        label,
+        kind,
+        detail,
+    })
+}
+
+/// Encode a trace [`Arg`].
+fn encode_trace_arg(a: &TraceArg, w: &mut Writer) {
+    match a {
+        TraceArg::U(v) => {
+            0u8.encode(w);
+            v.encode(w);
+        }
+        TraceArg::F(v) => {
+            1u8.encode(w);
+            v.encode(w);
+        }
+        TraceArg::S(s) => {
+            2u8.encode(w);
+            s.encode(w);
+        }
+    }
+}
+
+fn decode_trace_arg(r: &mut Reader<'_>) -> Result<TraceArg, WireError> {
+    Ok(match u8::decode(r)? {
+        0 => TraceArg::U(u64::decode(r)?),
+        1 => TraceArg::F(f64::decode(r)?),
+        2 => TraceArg::S(String::decode(r)?),
+        _ => return Err(WireError::Invalid("trace arg tag")),
+    })
+}
+
+/// Encode a [`TraceRecord`].
+pub fn encode_trace_record(rec: &TraceRecord, w: &mut Writer) {
+    match rec.phase {
+        RecordPhase::Complete { dur_us } => {
+            0u8.encode(w);
+            dur_us.encode(w);
+        }
+        RecordPhase::Instant => 1u8.encode(w),
+        RecordPhase::Counter { value } => {
+            2u8.encode(w);
+            value.encode(w);
+        }
+        RecordPhase::FlowStart { id } => {
+            3u8.encode(w);
+            id.encode(w);
+        }
+        RecordPhase::FlowFinish { id } => {
+            4u8.encode(w);
+            id.encode(w);
+        }
+    }
+    rec.pid.encode(w);
+    rec.tid.encode(w);
+    rec.ts_us.encode(w);
+    rec.name.encode(w);
+    rec.args.len().encode(w);
+    for (k, v) in &rec.args {
+        k.encode(w);
+        encode_trace_arg(v, w);
+    }
+}
+
+/// Decode a [`TraceRecord`].
+pub fn decode_trace_record(r: &mut Reader<'_>) -> Result<TraceRecord, WireError> {
+    let phase = match u8::decode(r)? {
+        0 => RecordPhase::Complete {
+            dur_us: u64::decode(r)?,
+        },
+        1 => RecordPhase::Instant,
+        2 => RecordPhase::Counter {
+            value: u64::decode(r)?,
+        },
+        3 => RecordPhase::FlowStart {
+            id: u64::decode(r)?,
+        },
+        4 => RecordPhase::FlowFinish {
+            id: u64::decode(r)?,
+        },
+        _ => return Err(WireError::Invalid("trace record phase tag")),
+    };
+    let pid = u32::decode(r)?;
+    let tid = u64::decode(r)?;
+    let ts_us = u64::decode(r)?;
+    let name = String::decode(r)?;
+    let n = usize::decode(r)?;
+    if n > r.remaining() {
+        return Err(WireError::Invalid("trace record arg count"));
+    }
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        args.push((String::decode(r)?, decode_trace_arg(r)?));
+    }
+    Ok(TraceRecord {
+        phase,
+        pid,
+        tid,
+        ts_us,
+        name,
+        args,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,5 +724,80 @@ mod tests {
             intern_kind("basket").unwrap().as_ptr()
         ));
         assert!(intern_kind("nonsense").is_err());
+    }
+
+    #[test]
+    fn metrics_snapshots_round_trip_bit_identically() {
+        let mut s = MetricsSnapshot::default();
+        s.counters
+            .insert(("risk-gateway".into(), "orders.passed".into()), 42);
+        s.counters.insert(("scheduler".into(), "turns".into()), 7);
+        s.gauges
+            .insert(("scheduler".into(), "run_queue.depth".into()), 5);
+        let mut h = Histogram::default();
+        for v in [0u64, 3, 900, u64::MAX] {
+            h.observe(v);
+        }
+        s.histograms
+            .insert(("ohlc-bars".into(), "step.ns".into()), h);
+        // An empty histogram (min sentinel) must survive too.
+        s.histograms
+            .insert(("idle".into(), "step.ns".into()), Histogram::default());
+        let mut w = Writer::new();
+        encode_metrics_snapshot(&s, &mut w);
+        let bytes = w.into_bytes();
+        let got = decode_metrics_snapshot(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, s);
+        // Re-encode is bit-identical (canonical BTreeMap order).
+        let mut w2 = Writer::new();
+        encode_metrics_snapshot(&got, &mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn flight_events_round_trip_every_kind() {
+        for (k, kind) in FlightKind::ALL.into_iter().enumerate() {
+            let ev = FlightEvent {
+                seq: k as u64,
+                wall_us: 1_000 + k as u64,
+                sim: (k % 2 == 0).then_some(k as u64 * 7),
+                label: format!("shard0/node-{k}"),
+                kind,
+                detail: "detail text".into(),
+            };
+            let mut w = Writer::new();
+            encode_flight_event(&ev, &mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(decode_flight_event(&mut Reader::new(&bytes)).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn trace_records_round_trip_every_phase() {
+        let phases = [
+            RecordPhase::Complete { dur_us: 25 },
+            RecordPhase::Instant,
+            RecordPhase::Counter { value: 9 },
+            RecordPhase::FlowStart { id: 77 },
+            RecordPhase::FlowFinish { id: 77 },
+        ];
+        for (k, phase) in phases.into_iter().enumerate() {
+            let rec = TraceRecord {
+                phase,
+                pid: 2,
+                tid: k as u64,
+                ts_us: 10 * k as u64,
+                name: "corr-engine".into(),
+                args: vec![
+                    ("sim".into(), TraceArg::U(42)),
+                    ("rho".into(), TraceArg::F(-0.25)),
+                    ("why".into(), TraceArg::S("drop".into())),
+                ],
+            };
+            let mut w = Writer::new();
+            encode_trace_record(&rec, &mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(decode_trace_record(&mut Reader::new(&bytes)).unwrap(), rec);
+        }
     }
 }

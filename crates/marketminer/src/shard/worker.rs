@@ -32,6 +32,7 @@ use std::time::Duration;
 
 use pairtrade_core::ckpt::CheckpointStore;
 use taq::dataset::DayData;
+use telemetry::metrics::MetricsSnapshot;
 use telemetry::TelemetryLevel;
 use wire::{Codec, Reader, WireError, Writer};
 
@@ -316,6 +317,13 @@ pub fn run_worker(args: WorkerArgs) -> io::Result<()> {
         .session(graph)
         .map_err(|e| bad_data(e.to_string()))?;
     let src = session.source_ids()[0];
+    // Observability uplink state: per-epoch registry deltas against the
+    // previous quiescent snapshot. The hub outlives `session.finish()`
+    // (it is an `Arc`), so the post-finish remainder — the folded hot
+    // arrays, most importantly every node's `step.ns` histogram — rides
+    // out in one final delta at seq `n_epochs`.
+    let tel_hub = session.telemetry();
+    let mut tel_prev = MetricsSnapshot::default();
 
     let resume_epoch = match &recovered {
         Some((epoch, ckpt)) => {
@@ -364,7 +372,7 @@ pub fn run_worker(args: WorkerArgs) -> io::Result<()> {
     };
 
     // --- Epoch loop -----------------------------------------------------
-    let run = || -> io::Result<()> {
+    let mut run = || -> io::Result<()> {
         let quotes = day.quotes();
         let epoch_quotes = args.epoch_quotes.max(1);
         let n_epochs = quotes.len().div_ceil(epoch_quotes) as u64;
@@ -375,6 +383,31 @@ pub fn run_worker(args: WorkerArgs) -> io::Result<()> {
                 session.feed(src, Message::Quote(q, Cause::none()));
             }
             session.quiesce();
+            // Telemetry delta for this epoch: always *computed* (so the
+            // previous-snapshot cursor and the drained rings stay aligned
+            // with epoch boundaries on a respawned incarnation replaying
+            // suppressed epochs), but only *sent* at or above
+            // `resume_seq` — the supervisor keeps the latest frame per
+            // `(rank, seq)` slot, so a re-sent delta overwrites rather
+            // than double-counts. Sent before `Results` so a kill between
+            // the two leaves `resume_seq` low enough to re-send both.
+            if let Some(tel) = &tel_hub {
+                let snap = tel.registry.snapshot();
+                let metrics = snap.delta_since(&tel_prev);
+                tel_prev = snap;
+                let flights = tel.recorder.drain();
+                let trace = tel.tracer.drain_records();
+                if epoch >= args.resume_seq
+                    && !(metrics.is_empty() && flights.is_empty() && trace.is_empty())
+                {
+                    uplink.send(&Frame::Telemetry {
+                        seq: epoch,
+                        metrics,
+                        flights,
+                        trace,
+                    })?;
+                }
+            }
             let messages = session.drain_sink(sink);
             let lineage = session.drain_lineage();
             if epoch >= args.resume_seq {
@@ -414,6 +447,28 @@ pub fn run_worker(args: WorkerArgs) -> io::Result<()> {
     let n_epochs = day.quotes().len().div_ceil(args.epoch_quotes.max(1)) as u64;
     let mut out = session.finish();
     if n_epochs >= args.resume_seq {
+        // Final observability delta: `finish()` folded the scheduler's
+        // hot arrays (per-node `step.ns` etc.) into the registry and
+        // drained the flight ring into the report, so this frame carries
+        // everything the per-epoch deltas could not see.
+        if let Some(tel) = &tel_hub {
+            let snap = tel.registry.snapshot();
+            let metrics = snap.delta_since(&tel_prev);
+            let flights = out
+                .telemetry
+                .as_ref()
+                .map(|t| t.flight.clone())
+                .unwrap_or_default();
+            let trace = tel.tracer.drain_records();
+            if !(metrics.is_empty() && flights.is_empty() && trace.is_empty()) {
+                uplink.send(&Frame::Telemetry {
+                    seq: n_epochs,
+                    metrics,
+                    flights,
+                    trace,
+                })?;
+            }
+        }
         let messages = out.take_sink(sink);
         let lineage = out
             .telemetry

@@ -352,6 +352,157 @@ fn corrupt_checkpoints_fall_back_and_are_reported() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The deterministic slice of a merged metrics registry: strategy and
+/// risk decision counters, which partition cleanly across shards (each
+/// parameter set runs on exactly one rank) and are pure functions of the
+/// tape — unlike timing histograms, scheduler turn counts, or the
+/// front-end counters every rank duplicates.
+fn canon_counters(
+    m: &telemetry::metrics::MetricsSnapshot,
+) -> std::collections::BTreeMap<(String, String), u64> {
+    const DECISIONS: &[&str] = &[
+        "positions.opened",
+        "positions.closed",
+        "positions.flattened",
+        "positions.eod_closed",
+        "orders.passed",
+        "orders.rejected_size",
+        "orders.rejected_book_full",
+        "orders.rejected_degraded",
+    ];
+    m.counters
+        .iter()
+        .filter(|((label, name), &v)| {
+            // Zero-valued counters are dropped: wire deltas elide them,
+            // a direct registry read keeps them, and both mean the same
+            // thing.
+            v > 0
+                && DECISIONS.contains(&name.as_str())
+                && (label.starts_with("pair-strategy-host") || label == "risk-manager")
+        })
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+fn in_process_full_sweep(day: DayData, cfg: &SweepConfig, workers: usize) -> SweepOutput {
+    let runtime = Runtime::with_config(RuntimeConfig {
+        workers,
+        capacity: 256,
+        telemetry: TelemetryLevel::Full,
+    });
+    run_sweep_pipeline_with(runtime, Box::new(ReplayCollector::new(day)), cfg).unwrap()
+}
+
+/// Tentpole acceptance: a 3-shard fleet merges to ONE telemetry report
+/// whose decision-counter totals are bit-identical to a single-process
+/// run — at in-process worker counts 1/2/max and fleet shard counts
+/// 1/2/3 — and ONE merged trace carrying a process lane per rank.
+#[test]
+fn fleet_telemetry_counters_sum_bit_identically_to_single_process() {
+    let (day, n) = small_day(91);
+    let sweep = SweepConfig::paper(n);
+
+    let base = canon_counters(
+        &in_process_full_sweep(day.clone(), &sweep, 1)
+            .telemetry
+            .expect("telemetry at Full")
+            .metrics,
+    );
+    assert!(
+        base.values().any(|&v| v > 0),
+        "vacuous: no decisions counted"
+    );
+    for workers in [2usize, 0] {
+        let out = in_process_full_sweep(day.clone(), &sweep, workers);
+        assert_eq!(
+            base,
+            canon_counters(&out.telemetry.unwrap().metrics),
+            "decision counters diverged at workers={workers}"
+        );
+    }
+
+    for shards in [1usize, 2, 3] {
+        let cfg = test_config(&format!("telmerge-{shards}"), &day, shards);
+        let out = ShardRunner::new(cfg, WORKER_EXE)
+            .with_telemetry(TelemetryLevel::Full)
+            .run(&day, &sweep)
+            .unwrap();
+        let report = out.telemetry.as_ref().expect("fleet telemetry at Full");
+        let fleet = canon_counters(&report.metrics);
+        assert_eq!(
+            base, fleet,
+            "fleet sum diverged from single-process at shards={shards}"
+        );
+        // Merged step accounting must cover every strategy host exactly
+        // once (slots fold exactly-once, not per-delivery).
+        let profile = telemetry::profile::Profile::from_snapshot(&report.metrics);
+        let hosts = profile
+            .nodes()
+            .iter()
+            .filter(|p| p.node.starts_with("pair-strategy-host"))
+            .count();
+        assert_eq!(hosts, sweep.specs.len(), "shards={shards}");
+        // ONE merged trace with a process lane pair per rank.
+        let trace = out.trace_json.as_ref().expect("merged trace at Full");
+        for rank in 0..shards {
+            assert!(
+                trace.contains(&format!("shard{rank}/workers"))
+                    && trace.contains(&format!("shard{rank}/nodes")),
+                "merged trace lost rank {rank}'s lanes at shards={shards}"
+            );
+        }
+    }
+}
+
+/// `kill -9` must not corrupt the merged observability plane: replayed
+/// epochs overwrite their telemetry slots with bit-identical deltas, so
+/// the killed fleet's decision counters equal the clean fleet's (and the
+/// single-process run's), and the merged trace still carries every
+/// rank's lanes.
+#[test]
+fn kill9_keeps_merged_telemetry_canonical() {
+    let (day, n) = small_day(91);
+    let sweep = SweepConfig::paper(n);
+    let shards = 3usize;
+
+    let clean_cfg = test_config("telkill-clean", &day, shards);
+    let n_epochs = epochs_in(&day, &clean_cfg);
+    let clean = ShardRunner::new(clean_cfg, WORKER_EXE)
+        .with_telemetry(TelemetryLevel::Full)
+        .run(&day, &sweep)
+        .unwrap();
+    let clean_canon = canon_counters(&clean.telemetry.as_ref().unwrap().metrics);
+    assert!(clean_canon.values().any(|&v| v > 0));
+
+    let killed_cfg = test_config("telkill", &day, shards);
+    let out = ShardRunner::new(killed_cfg, WORKER_EXE)
+        .with_telemetry(TelemetryLevel::Full)
+        .with_chaos(vec![(0, 1), (2, n_epochs / 2)])
+        .run(&day, &sweep)
+        .unwrap();
+    assert!(
+        out.reports.iter().map(|r| r.restarts).sum::<u32>() >= 2,
+        "chaos plan killed nothing"
+    );
+    let report = out.telemetry.as_ref().unwrap();
+    assert_eq!(
+        clean_canon,
+        canon_counters(&report.metrics),
+        "kill -9 corrupted the merged decision counters"
+    );
+    // The restart incidents surface in the merged flight log, attributed
+    // to the supervisor (worker flights would be shard-prefixed).
+    let rendered = report.render();
+    assert!(rendered.contains("shard.restarts"), "{rendered}");
+    let trace = out.trace_json.as_ref().expect("merged trace at Full");
+    for rank in 0..shards {
+        assert!(
+            trace.contains(&format!("shard{rank}/nodes")),
+            "kill -9 lost rank {rank}'s trace lane"
+        );
+    }
+}
+
 /// After a mid-run `kill -9` and replay, the merged fleet lineage must
 /// still explain every basket: unique ids, no orphan parent references,
 /// every basket walks back to a correlation snapshot and a quote, and the

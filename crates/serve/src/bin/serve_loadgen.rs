@@ -8,6 +8,13 @@
 //!   sessions deliberately unread — they demonstrate (and measure) the
 //!   drop-oldest egress policy without slowing anyone else down.
 //!
+//! * **`--scrape`**: connect to a running `serve_server`, fetch one
+//!   Prometheus-style text exposition (`GetMetrics`), validate that every
+//!   non-comment line parses as `series{labels} value`, and print it —
+//!   the CI scrape check, and a handy one-shot "what is the fleet doing"
+//!   probe. Connects are retried for a few seconds so the scraper can be
+//!   launched alongside the server.
+//!
 //! * **`--smoke`**: fully self-contained backpressure-isolation check for
 //!   CI. Starts an in-process server on a Unix socket, runs the serverless
 //!   sweep baseline over the same generated day, then serves it to
@@ -38,6 +45,7 @@ use telemetry::TelemetryLevel;
 
 struct Args {
     smoke: bool,
+    scrape: bool,
     connect: String,
     token: String,
     clients: usize,
@@ -57,6 +65,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
+        scrape: false,
         connect: "tcp:127.0.0.1:7450".into(),
         token: "open".into(),
         clients: 8,
@@ -76,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = || it.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--smoke" => args.smoke = true,
+            "--scrape" => args.scrape = true,
             "--connect" => args.connect = value()?,
             "--token" => args.token = value()?,
             "--clients" => {
@@ -273,6 +283,81 @@ fn client_mode(args: &Args) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// One non-comment exposition line must look like `series{labels} value`
+/// with a plain metric name and a parseable number — the contract every
+/// Prometheus-compatible scraper relies on.
+fn exposition_line_ok(line: &str) -> bool {
+    let Some(brace) = line.find('{') else {
+        return false;
+    };
+    let name = &line[..brace];
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return false;
+    }
+    let Some(rest) = line[brace..].strip_prefix('{') else {
+        return false;
+    };
+    let Some((_labels, value)) = rest.split_once("} ") else {
+        return false;
+    };
+    value.trim().parse::<f64>().is_ok()
+}
+
+fn scrape(args: &Args) -> ExitCode {
+    let endpoint = Endpoint::parse(&args.connect);
+    // The scraper is typically launched in the same breath as the server;
+    // retry the connect while it binds.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut client = loop {
+        match Client::connect(&endpoint, &args.token, "scraper") {
+            Ok(c) => break c,
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    eprintln!("scrape: connect failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                thread::sleep(Duration::from_millis(200));
+            }
+        }
+    };
+    let (epoch, text) = match client.get_metrics() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scrape: GetMetrics failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{text}");
+    let mut series = 0usize;
+    let mut types = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if comment.trim_start().starts_with("TYPE") {
+                types += 1;
+            }
+            continue;
+        }
+        if !exposition_line_ok(line) {
+            eprintln!("scrape: FAIL malformed exposition line: {line}");
+            return ExitCode::FAILURE;
+        }
+        series += 1;
+    }
+    if series == 0 || types == 0 {
+        eprintln!("scrape: FAIL empty exposition ({series} series, {types} # TYPE headers)");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("scrape: ok — epoch {epoch}, {series} series, {types} metric types");
+    ExitCode::SUCCESS
 }
 
 fn smoke(args: &Args) -> ExitCode {
@@ -474,6 +559,8 @@ fn main() -> ExitCode {
     };
     if args.smoke {
         smoke(&args)
+    } else if args.scrape {
+        scrape(&args)
     } else {
         client_mode(&args)
     }

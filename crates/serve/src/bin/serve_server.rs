@@ -137,7 +137,7 @@ fn main() -> ExitCode {
         epoch_quotes: args.epoch_quotes,
         start_subscriptions: args.wait_subs,
         start_wait: Duration::from_millis(args.wait_ms),
-        telemetry: TelemetryLevel::Counters,
+        telemetry: args.telemetry,
         ..ServerConfig::new(endpoint)
     };
     let server = match Server::bind(cfg) {

@@ -122,6 +122,17 @@ impl Client {
         })
     }
 
+    /// Fetch the Prometheus text exposition of the server's combined
+    /// metrics registry; resolves at the server's next epoch cut.
+    /// Returns `(epoch, exposition_text)`.
+    pub fn get_metrics(&mut self) -> io::Result<(u64, String)> {
+        self.send(&ClientFrame::GetMetrics)?;
+        self.wait_for(|f| match f {
+            ServerFrame::MetricsText { epoch, text } => Ok((epoch, text)),
+            other => Err(other),
+        })
+    }
+
     /// Ask for the outcome listing (trade reports and baskets so far).
     pub fn list_outcomes(&mut self) -> io::Result<String> {
         self.send(&ClientFrame::ListOutcomes)?;

@@ -12,8 +12,10 @@
 //! ([`ServerFrame::Denied`]) rather than misparsed mid-stream.
 
 use marketminer::messages::Message;
+use marketminer::shard::wire_msg::{decode_metrics_snapshot, encode_metrics_snapshot};
 use pairtrade_core::spec::StrategySpec;
 use stats::correlation::CorrType;
+use telemetry::metrics::MetricsSnapshot;
 use wire::{Codec, Reader, WireError, Writer};
 
 /// Version byte agreed in `Hello`; bump on any frame-layout change.
@@ -43,6 +45,16 @@ pub enum SubscriptionSpec {
     },
     /// Symbol health transitions (outage / halt / quarantine / recovery).
     Health,
+    /// Live metrics: a delta-encoded registry snapshot every `every`
+    /// epoch cuts ([`ServerFrame::Metrics`]), stamped with the simulated
+    /// time (the epoch index) rather than the wall clock. Folding the
+    /// deltas in order rebuilds the full registry; an evicted delta is
+    /// visible as `dropped_before` and recoverable via
+    /// [`ClientFrame::GetMetrics`].
+    Telemetry {
+        /// Deliver every this-many epoch cuts (0 is treated as 1).
+        every: u64,
+    },
 }
 
 impl Codec for SubscriptionSpec {
@@ -63,6 +75,10 @@ impl Codec for SubscriptionSpec {
                 param_set.encode(w);
             }
             SubscriptionSpec::Health => 2u8.encode(w),
+            SubscriptionSpec::Telemetry { every } => {
+                3u8.encode(w);
+                every.encode(w);
+            }
         }
     }
 
@@ -77,6 +93,9 @@ impl Codec for SubscriptionSpec {
                 param_set: Option::<usize>::decode(r)?,
             },
             2 => SubscriptionSpec::Health,
+            3 => SubscriptionSpec::Telemetry {
+                every: u64::decode(r)?,
+            },
             _ => return Err(WireError::Invalid("subscription spec tag")),
         })
     }
@@ -124,6 +143,10 @@ pub enum ClientFrame {
     },
     /// List explainable outcomes (trade reports and baskets) seen so far.
     ListOutcomes,
+    /// Fetch the current metrics registry as Prometheus text exposition
+    /// ([`ServerFrame::MetricsText`]) — the GET-style scrape a monitoring
+    /// stack issues, answered at the next epoch cut.
+    GetMetrics,
     /// Liveness signal; any frame refreshes the session's heartbeat, this
     /// one does nothing else.
     Heartbeat,
@@ -168,6 +191,7 @@ impl Codec for ClientFrame {
             ClientFrame::ListOutcomes => 6u8.encode(w),
             ClientFrame::Heartbeat => 7u8.encode(w),
             ClientFrame::Bye => 8u8.encode(w),
+            ClientFrame::GetMetrics => 9u8.encode(w),
         }
     }
 
@@ -196,6 +220,7 @@ impl Codec for ClientFrame {
             6 => ClientFrame::ListOutcomes,
             7 => ClientFrame::Heartbeat,
             8 => ClientFrame::Bye,
+            9 => ClientFrame::GetMetrics,
             _ => return Err(WireError::Invalid("client frame tag")),
         })
     }
@@ -309,6 +334,31 @@ pub enum ServerFrame {
         /// Why.
         reason: String,
     },
+    /// One live-metrics delivery ([`SubscriptionSpec::Telemetry`]): the
+    /// registry delta since this subscription's previous delivery
+    /// (counters as increments, gauges as current peaks, histograms
+    /// delta-bucketed with cumulative min/max — fold deltas in order to
+    /// rebuild the registry). The first delivery is the full snapshot.
+    Metrics {
+        /// Subscription this belongs to.
+        sub_id: u64,
+        /// Per-subscription delivery sequence number.
+        seq: u64,
+        /// Ring evictions immediately before this delivery.
+        dropped_before: u64,
+        /// Simulated-time stamp: the epoch cut the snapshot was taken at.
+        epoch: u64,
+        /// The registry delta.
+        delta: MetricsSnapshot,
+    },
+    /// Answer to [`ClientFrame::GetMetrics`]: the full current registry
+    /// in Prometheus text exposition format.
+    MetricsText {
+        /// Simulated-time stamp: the epoch cut the scrape was answered at.
+        epoch: u64,
+        /// `text/plain; version=0.0.4` exposition body.
+        text: String,
+    },
     /// The served day is over; final deliveries precede this frame and
     /// the connection closes after it.
     End,
@@ -381,6 +431,25 @@ impl Codec for ServerFrame {
                 reason.encode(w);
             }
             ServerFrame::End => 11u8.encode(w),
+            ServerFrame::Metrics {
+                sub_id,
+                seq,
+                dropped_before,
+                epoch,
+                delta,
+            } => {
+                12u8.encode(w);
+                sub_id.encode(w);
+                seq.encode(w);
+                dropped_before.encode(w);
+                epoch.encode(w);
+                encode_metrics_snapshot(delta, w);
+            }
+            ServerFrame::MetricsText { epoch, text } => {
+                13u8.encode(w);
+                epoch.encode(w);
+                text.encode(w);
+            }
         }
     }
 
@@ -428,6 +497,17 @@ impl Codec for ServerFrame {
                 reason: String::decode(r)?,
             },
             11 => ServerFrame::End,
+            12 => ServerFrame::Metrics {
+                sub_id: u64::decode(r)?,
+                seq: u64::decode(r)?,
+                dropped_before: u64::decode(r)?,
+                epoch: u64::decode(r)?,
+                delta: decode_metrics_snapshot(r)?,
+            },
+            13 => ServerFrame::MetricsText {
+                epoch: u64::decode(r)?,
+                text: String::decode(r)?,
+            },
             _ => return Err(WireError::Invalid("server frame tag")),
         })
     }
@@ -466,6 +546,10 @@ mod tests {
             ClientFrame::Detach { param_set: 41 },
             ClientFrame::Explain { id: 0 },
             ClientFrame::ListOutcomes,
+            ClientFrame::Subscribe {
+                spec: SubscriptionSpec::Telemetry { every: 4 },
+            },
+            ClientFrame::GetMetrics,
             ClientFrame::Heartbeat,
             ClientFrame::Bye,
         ];
@@ -515,6 +599,28 @@ mod tests {
                 reason: "unknown sub".into(),
             },
             ServerFrame::End,
+            {
+                let mut delta = MetricsSnapshot::default();
+                delta
+                    .counters
+                    .insert(("serve".into(), "egress.pushed".into()), 17);
+                let mut h = telemetry::metrics::Histogram::default();
+                h.observe(250);
+                delta
+                    .histograms
+                    .insert(("serve".into(), "epoch.us".into()), h);
+                ServerFrame::Metrics {
+                    sub_id: 2,
+                    seq: 5,
+                    dropped_before: 1,
+                    epoch: 9,
+                    delta,
+                }
+            },
+            ServerFrame::MetricsText {
+                epoch: 9,
+                text: "# TYPE mm_egress_pushed_total counter\n".into(),
+            },
         ];
         for f in &frames {
             let bytes = wire::to_bytes(f);

@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 use marketminer::live::LiveEpoch;
 use marketminer::messages::{CorrSnapshot, Message};
 use stats::correlation::CorrType;
+use telemetry::metrics::MetricsSnapshot;
 
 use crate::protocol::{ServerFrame, SubscriptionSpec, TopPair};
 use crate::session::Session;
@@ -31,6 +32,11 @@ struct Subscription {
     /// stamped on each frame; evicted deliveries keep their seq, so a
     /// subscriber sees loss as both `dropped_before` and seq gaps).
     seq: u64,
+    /// For [`SubscriptionSpec::Telemetry`]: the registry snapshot behind
+    /// the previous delivery, so each delivery is the delta since — a
+    /// fresh subscription's first delivery is the full registry (delta
+    /// against the empty snapshot).
+    tel_prev: MetricsSnapshot,
 }
 
 /// What one `publish` pushed.
@@ -64,6 +70,7 @@ impl Router {
             session: Arc::clone(session),
             spec,
             seq: 0,
+            tel_prev: MetricsSnapshot::default(),
         });
         sub_id
     }
@@ -166,7 +173,52 @@ impl Router {
                         }
                     }
                 }
+                // Metrics ride their own publish path (`publish_metrics`)
+                // so the registry is snapshotted once per cut, not per
+                // subscriber.
+                SubscriptionSpec::Telemetry { .. } => {}
             }
+        }
+        stats
+    }
+
+    /// True when at least one live-metrics subscription exists — lets the
+    /// epoch loop skip building a registry snapshot nobody wants.
+    pub fn wants_metrics(&self) -> bool {
+        self.subs
+            .lock()
+            .expect("sub table")
+            .iter()
+            .any(|s| matches!(s.spec, SubscriptionSpec::Telemetry { .. }))
+    }
+
+    /// Fan one epoch cut's registry snapshot out to every due
+    /// [`SubscriptionSpec::Telemetry`] subscription, delta-encoded per
+    /// subscriber. An empty delta is still delivered (the cadence is part
+    /// of the contract: one frame per due cut, simulated-time-stamped),
+    /// and an evicted delta surfaces as `dropped_before` like any other
+    /// feed frame — a stalled metrics subscriber only grows its own drop
+    /// count, never parks the DAG.
+    pub fn publish_metrics(&self, epoch: u64, snap: &MetricsSnapshot) -> PublishStats {
+        let mut stats = PublishStats::default();
+        let mut subs = self.subs.lock().expect("sub table");
+        for sub in subs.iter_mut() {
+            let SubscriptionSpec::Telemetry { every } = sub.spec else {
+                continue;
+            };
+            if !epoch.is_multiple_of(every.max(1)) {
+                continue;
+            }
+            let delta = snap.delta_since(&sub.tel_prev);
+            sub.tel_prev = snap.clone();
+            let frame = ServerFrame::Metrics {
+                sub_id: sub.sub_id,
+                seq: sub.seq,
+                dropped_before: 0,
+                epoch,
+                delta,
+            };
+            push(&mut stats, sub, frame);
         }
         stats
     }
@@ -406,6 +458,85 @@ mod tests {
         assert_eq!(drain(&all).len(), 3);
         let got = drain(&only1);
         assert_eq!(got.len(), 1, "only the basket containing param set 1");
+    }
+
+    #[test]
+    fn metrics_subscriptions_get_per_subscriber_deltas_on_cadence() {
+        let reg = SessionRegistry::new();
+        let router = Router::new();
+        let early = reg.open("early".into(), 16, 0);
+        router.subscribe(&early, SubscriptionSpec::Telemetry { every: 2 });
+        assert!(router.wants_metrics());
+
+        let mut snap = MetricsSnapshot::default();
+        snap.counters
+            .insert(("serve".into(), "egress.pushed".into()), 5);
+        router.publish_metrics(0, &snap); // due
+        router.publish_metrics(1, &snap); // off-cadence: nothing
+
+        // A late subscriber's first delivery is the full registry.
+        let late = reg.open("late".into(), 16, 0);
+        router.subscribe(&late, SubscriptionSpec::Telemetry { every: 1 });
+        snap.counters
+            .insert(("serve".into(), "egress.pushed".into()), 9);
+        router.publish_metrics(2, &snap); // due for both
+
+        let got = drain(&early);
+        assert_eq!(got.len(), 2);
+        let mut rebuilt = MetricsSnapshot::default();
+        for (frame, (want_epoch, want_delta)) in got.iter().zip([(0u64, 5u64), (2, 4)]) {
+            match frame {
+                ServerFrame::Metrics { epoch, delta, .. } => {
+                    assert_eq!(*epoch, want_epoch);
+                    assert_eq!(delta.counter("serve", "egress.pushed"), want_delta);
+                    rebuilt.merge(delta);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(
+            rebuilt, snap,
+            "folding the deltas in order rebuilds the registry"
+        );
+        let got = drain(&late);
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            ServerFrame::Metrics { delta, .. } => {
+                assert_eq!(
+                    delta.counter("serve", "egress.pushed"),
+                    9,
+                    "first delivery carries the full registry"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_metrics_subscriber_accrues_attributed_drops() {
+        let reg = SessionRegistry::new();
+        let router = Router::new();
+        let stalled = reg.open("stalled".into(), 2, 0);
+        router.subscribe(&stalled, SubscriptionSpec::Telemetry { every: 1 });
+        let mut snap = MetricsSnapshot::default();
+        for epoch in 0..6 {
+            snap.counters
+                .insert(("serve".into(), "egress.pushed".into()), epoch + 1);
+            router.publish_metrics(epoch, &snap);
+        }
+        let (pushed, dropped) = stalled.ring.stats();
+        assert_eq!(pushed, 6);
+        assert_eq!(dropped, 4, "cap 2, 6 pushed — loss stays on this ring");
+        match stalled.ring.pop(Duration::ZERO) {
+            Popped::Item {
+                item: ServerFrame::Metrics { seq, .. },
+                dropped_before,
+            } => {
+                assert_eq!(dropped_before, 4);
+                assert_eq!(seq, 4, "seq gap agrees with the drop count");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ use pairtrade_core::spec::StrategySpec;
 use taq::dataset::DayData;
 use telemetry::explain::Lineage;
 use telemetry::lineage::{Cause, EventId};
+use telemetry::metrics::MetricsSnapshot;
 use telemetry::recorder::FlightKind;
 use telemetry::trace::TrackId;
 use telemetry::{Caps, Telemetry, TelemetryLevel, TelemetryReport};
@@ -129,6 +130,7 @@ enum Request {
     Detach { session_id: u64, param_set: usize },
     Explain { session_id: u64, id: u64 },
     ListOutcomes { session_id: u64 },
+    GetMetrics { session_id: u64 },
 }
 
 /// State shared by every thread.
@@ -269,7 +271,7 @@ impl Server {
                 }
                 shared.account(&session);
             }
-            handle_requests(&rx, &shared, &mut live, &mut lineage);
+            handle_requests(&rx, &shared, &mut live, &mut lineage, reaped, epoch);
             if self.cfg.heartbeat_ttl_us > 0 {
                 for session in shared
                     .registry
@@ -286,9 +288,18 @@ impl Server {
                     );
                 }
             }
+            if shared.router.wants_metrics() {
+                let snap = metrics_snapshot(&shared, &live, reaped);
+                let stats = shared.router.publish_metrics(epoch, &snap);
+                published += stats.published;
+                evictions += stats.evictions;
+                probe.count("egress.pushed", stats.published);
+                probe.count("egress.dropped", stats.evictions);
+            }
         }
         // One last look at queued requests before the day closes.
-        handle_requests(&rx, &shared, &mut live, &mut lineage);
+        let last_epoch = live.epochs();
+        handle_requests(&rx, &shared, &mut live, &mut lineage, reaped, last_epoch);
 
         let epochs = live.epochs();
         let specs: Vec<StrategySpec> = live.specs().to_vec();
@@ -371,6 +382,8 @@ fn handle_requests(
     shared: &Shared,
     live: &mut LiveSweepSession,
     lineage: &mut Lineage,
+    reaped: u64,
+    epoch: u64,
 ) {
     while let Ok(req) = rx.try_recv() {
         match req {
@@ -434,8 +447,53 @@ fn handle_requests(
                     },
                 );
             }
+            Request::GetMetrics { session_id } => {
+                let snap = metrics_snapshot(shared, live, reaped);
+                reply_control(
+                    shared,
+                    session_id,
+                    ServerFrame::MetricsText {
+                        epoch,
+                        text: snap.render_prometheus(),
+                    },
+                );
+            }
         }
     }
+}
+
+/// One combined registry view for the exposition and the live-metrics
+/// feed: the serving layer's own counters, the DAG incarnation's
+/// registry, per-session egress-ring accounting (pushed + attributed
+/// drops, dead sessions included via the ledger), the lineage-ring drop
+/// count, and the reaper total.
+fn metrics_snapshot(shared: &Shared, live: &LiveSweepSession, reaped: u64) -> MetricsSnapshot {
+    let mut snap = shared.tel.registry.snapshot();
+    if let Some(dag) = live.telemetry() {
+        snap.merge(&dag.registry.snapshot());
+        snap.counters.insert(
+            ("lineage".into(), "ring.dropped".into()),
+            dag.lineage.dropped(),
+        );
+    }
+    for s in shared.ledger.lock().expect("ledger").values() {
+        let label = format!("session{}", s.id);
+        snap.counters
+            .insert((label.clone(), "ring.pushed".into()), s.pushed);
+        snap.counters
+            .insert((label, "ring.dropped".into()), s.dropped);
+    }
+    for session in shared.registry.all() {
+        let (pushed, dropped) = session.ring.stats();
+        let label = format!("session{}", session.id);
+        snap.counters
+            .insert((label.clone(), "ring.pushed".into()), pushed);
+        snap.counters
+            .insert((label, "ring.dropped".into()), dropped);
+    }
+    snap.counters
+        .insert(("serve".into(), "sessions.reaped".into()), reaped);
+    snap
 }
 
 /// Push a control reply to a session if it is still alive.
@@ -565,6 +623,11 @@ fn reader_loop(mut conn: FramedConn, shared: Arc<Shared>, tx: mpsc::Sender<Reque
                     session_id: session.id,
                 });
             }
+            ClientFrame::GetMetrics => {
+                let _ = tx.send(Request::GetMetrics {
+                    session_id: session.id,
+                });
+            }
             ClientFrame::Heartbeat => {}
             ClientFrame::Bye => break,
         }
@@ -599,7 +662,9 @@ fn writer_loop(mut conn: FramedConn, session: Arc<Session>, shared: Arc<Shared>)
 /// Write the ring-attributed drop count into a delivery frame.
 fn stamp(frame: &mut ServerFrame, dropped: u64) {
     match frame {
-        ServerFrame::Event { dropped_before, .. } | ServerFrame::TopK { dropped_before, .. } => {
+        ServerFrame::Event { dropped_before, .. }
+        | ServerFrame::TopK { dropped_before, .. }
+        | ServerFrame::Metrics { dropped_before, .. } => {
             *dropped_before = dropped;
         }
         _ => {}

@@ -351,6 +351,124 @@ fn tcp_end_to_end_protocol() {
     assert_eq!(report.reaped, 0);
 }
 
+/// The observability plane over the socket: a live metrics subscription
+/// delivers delta-encoded registry snapshots on its cadence (folding the
+/// deltas rebuilds the registry), and `GetMetrics` answers with a
+/// well-formed Prometheus text exposition — both without parking the
+/// DAG.
+#[test]
+fn live_metrics_subscription_and_prometheus_scrape() {
+    let day = small_day(19);
+    let sweep = SweepConfig::new(4, vec![fast_params()]);
+    let cfg = ServerConfig {
+        heartbeat_ttl_us: 0,
+        epoch_quotes: 400,
+        start_subscriptions: 1,
+        start_wait: Duration::from_secs(30),
+        telemetry: TelemetryLevel::Counters,
+        ..ServerConfig::new(Endpoint::parse("tcp:127.0.0.1:0"))
+    };
+    let server = Server::bind(cfg).unwrap();
+    let endpoint = server.endpoint().clone();
+    let rt_counters = RuntimeConfig {
+        telemetry: TelemetryLevel::Counters, // the DAG registry feeds the plane
+        ..rt(2)
+    };
+    let handle = thread::spawn(move || server.serve_day(day, sweep, rt_counters));
+
+    let mut c = Client::connect(&endpoint, "open", "metrics").unwrap();
+    let sub = c
+        .subscribe(SubscriptionSpec::Telemetry { every: 2 })
+        .unwrap();
+    // Queue the scrape immediately: it resolves at the first epoch cut.
+    c.send(&serve::ClientFrame::GetMetrics).unwrap();
+
+    let mut folded = telemetry::metrics::MetricsSnapshot::default();
+    let mut deliveries = 0u64;
+    let mut last_epoch = None;
+    let mut scrape: Option<(u64, String)> = None;
+    loop {
+        match c.next_frame() {
+            Ok(ServerFrame::Metrics {
+                sub_id,
+                epoch,
+                delta,
+                dropped_before,
+                ..
+            }) if sub_id == sub => {
+                assert_eq!(dropped_before, 0, "healthy subscriber must not drop");
+                assert_eq!(epoch % 2, 0, "cadence is every second epoch");
+                assert!(
+                    last_epoch.is_none_or(|prev| epoch > prev),
+                    "epochs must be strictly increasing"
+                );
+                last_epoch = Some(epoch);
+                folded.merge(&delta);
+                deliveries += 1;
+            }
+            Ok(ServerFrame::MetricsText { epoch: _, text }) => {
+                scrape = Some((0, text));
+            }
+            Ok(ServerFrame::End) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    assert!(deliveries > 2, "got {deliveries} metrics deliveries");
+
+    // Folding the deltas rebuilds a live registry: the serving layer's
+    // own counters, per-session ring accounting, and the DAG's counters
+    // all land under their labels.
+    let count = |label: &str, name: &str| {
+        folded
+            .counters
+            .get(&(label.to_string(), name.to_string()))
+            .copied()
+    };
+    assert!(
+        count("serve", "egress.pushed").unwrap_or(0) > 0,
+        "{folded:?}"
+    );
+    // Nobody was reaped, so the counter stays 0 — zero-valued counters
+    // are elided from deltas, never delivered as nonzero.
+    assert_eq!(count("serve", "sessions.reaped").unwrap_or(0), 0);
+    assert!(
+        folded
+            .counters
+            .iter()
+            .any(|((label, name), &v)| label.starts_with("session")
+                && name == "ring.pushed"
+                && v > 0),
+        "per-session ring accounting missing"
+    );
+    assert!(
+        folded
+            .counters
+            .keys()
+            .any(|(label, name)| label.starts_with("ohlc-bars") && name == "bars.emitted"),
+        "DAG registry missing from the folded feed"
+    );
+
+    // The scrape is well-formed Prometheus text: typed families, the
+    // serve counter present, every non-comment line `name{...} value`.
+    let (_, text) = scrape.expect("GetMetrics never answered");
+    assert!(
+        text.contains("# TYPE mm_egress_pushed_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("mm_egress_pushed_total{node=\"serve\"}"));
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (series, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(
+            series.contains("{node=\"") && series.ends_with('}'),
+            "malformed series {series}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "malformed value {value}");
+    }
+
+    let report = handle.join().unwrap().unwrap();
+    assert!(report.epochs > 0);
+}
+
 /// Bad token and bad protocol version are refused at the door.
 #[test]
 fn hello_rejects_bad_token_and_version() {

@@ -4,11 +4,19 @@
 //! every `ph:"s"` must have exactly one matching `ph:"f"` under a unique
 //! id, with no dangling half anywhere.
 //!
-//! Usage: `trace_check <trace.json> [--min-per-node N]`
+//! Works on single-process traces (the fixed `workers`/`nodes` lanes at
+//! pid 1/2) and on fleet-merged traces, where the supervisor splices
+//! each rank's records under its own pid pair named
+//! `shard<r>/workers` / `shard<r>/nodes`. Lanes are classified by
+//! `process_name` metadata, not by hard-coded pids; `--expect-ranks N`
+//! additionally asserts that exactly N shard lane pairs are present,
+//! each on its own distinct pid pair.
+//!
+//! Usage: `trace_check <trace.json> [--min-per-node N] [--expect-ranks N]`
 //! Exits non-zero with a diagnostic when the trace is malformed, a node
-//! track is silent, or the flow events do not pair up.
+//! track is silent, a shard lane is missing, or flow events do not pair.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use telemetry::json::{self, Json};
@@ -16,18 +24,21 @@ use telemetry::json::{self, Json};
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: trace_check <trace.json> [--min-per-node N]");
+        eprintln!("usage: trace_check <trace.json> [--min-per-node N] [--expect-ranks N]");
         return ExitCode::from(2);
     };
     let mut min_per_node = 1u64;
+    let mut expect_ranks: Option<usize> = None;
     while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{flag} needs an integer");
+                std::process::exit(2);
+            })
+        };
         match flag.as_str() {
-            "--min-per-node" => {
-                min_per_node = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--min-per-node needs an integer");
-                    std::process::exit(2);
-                });
-            }
+            "--min-per-node" => min_per_node = value("--min-per-node"),
+            "--expect-ranks" => expect_ranks = Some(value("--expect-ranks") as usize),
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::from(2);
@@ -54,6 +65,37 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    // First pass over metadata: process_name classifies each pid lane as
+    // a workers lane or a nodes lane (local or `shard<r>/…`); pids 1/2
+    // remain the fallback for traces without process metadata.
+    let mut proc_names: BTreeMap<u64, String> = BTreeMap::new();
+    for e in events.items() {
+        if e.get("ph").and_then(Json::as_str) == Some("M")
+            && e.get("name").and_then(Json::as_str) == Some("process_name")
+        {
+            let pid = e.get("pid").and_then(Json::as_u64).unwrap_or(0);
+            let name = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            if let Some(prev) = proc_names.get(&pid) {
+                eprintln!("FAIL: pid {pid} named twice ({prev:?} and {name:?})");
+                return ExitCode::FAILURE;
+            }
+            proc_names.insert(pid, name);
+        }
+    }
+    let is_nodes_lane = |pid: u64| match proc_names.get(&pid) {
+        Some(n) => n == "nodes" || n.ends_with("/nodes"),
+        None => pid == 2,
+    };
+    let is_workers_lane = |pid: u64| match proc_names.get(&pid) {
+        Some(n) => n == "workers" || n.ends_with("/workers"),
+        None => pid == 1,
+    };
+
     // thread_name metadata declares the expected tracks; count real
     // events per (pid, tid).
     let mut node_names: BTreeMap<(u64, u64), String> = BTreeMap::new();
@@ -61,7 +103,9 @@ fn main() -> ExitCode {
     let mut counts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
     let mut total = 0u64;
     // Flow-bind pairing: per flow id, how many starts ("s") and finishes
-    // ("f") were seen. A well-formed trace has exactly one of each.
+    // ("f") were seen. A well-formed trace has exactly one of each —
+    // duplicated ids after a fleet merge mean the supervisor failed to
+    // remap a rank's flow ids into its own namespace.
     let mut flows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
     for e in events.items() {
         let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
@@ -75,9 +119,9 @@ fn main() -> ExitCode {
                     .and_then(Json::as_str)
                     .unwrap_or("?")
                     .to_string();
-                if pid == 2 {
+                if is_nodes_lane(pid) {
                     node_names.insert((pid, tid), name);
-                } else if pid == 1 {
+                } else if is_workers_lane(pid) {
                     worker_tracks += 1;
                 }
             }
@@ -135,15 +179,52 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Fleet lanes: with --expect-ranks N, every rank 0..N must have
+    // named shard<r>/workers and shard<r>/nodes lanes, each pair on its
+    // own pids (distinct from every other rank and from the local 1/2),
+    // and each shard nodes lane must carry at least one real event.
+    let mut shard_lanes = 0usize;
+    if let Some(n_ranks) = expect_ranks {
+        let mut seen_pids: BTreeSet<u64> = BTreeSet::new();
+        for rank in 0..n_ranks {
+            for kind in ["workers", "nodes"] {
+                let want = format!("shard{rank}/{kind}");
+                let Some((&pid, _)) = proc_names.iter().find(|(_, n)| **n == want) else {
+                    eprintln!("FAIL: missing process lane {want:?}");
+                    return ExitCode::FAILURE;
+                };
+                if pid <= 2 || !seen_pids.insert(pid) {
+                    eprintln!("FAIL: lane {want:?} on pid {pid} collides with another lane");
+                    return ExitCode::FAILURE;
+                }
+                if kind == "nodes" {
+                    let events_on_lane: u64 = counts
+                        .iter()
+                        .filter(|((p, _), _)| *p == pid)
+                        .map(|(_, c)| c)
+                        .sum();
+                    if events_on_lane == 0 {
+                        eprintln!("FAIL: lane {want:?} (pid {pid}) carries no events");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                shard_lanes += 1;
+            }
+        }
+    }
+
     if node_names.is_empty() {
-        eprintln!("FAIL: no node tracks (pid 2 thread_name metadata) found");
+        eprintln!("FAIL: no node tracks (nodes-lane thread_name metadata) found");
         return ExitCode::FAILURE;
     }
     let mut silent = Vec::new();
     for (track, name) in &node_names {
         let n = counts.get(track).copied().unwrap_or(0);
         if n < min_per_node {
-            silent.push(format!("{name} (tid {}): {n} events", track.1));
+            silent.push(format!(
+                "{name} (pid {} tid {}): {n} events",
+                track.0, track.1
+            ));
         }
     }
     if !silent.is_empty() {
@@ -159,7 +240,7 @@ fn main() -> ExitCode {
     }
     println!(
         "OK: {path}: {total} events, {} node tracks (all >= {min_per_node}), {worker_tracks} \
-         worker tracks, {} flow binds (all paired)",
+         worker tracks, {shard_lanes} shard lanes, {} flow binds (all paired)",
         node_names.len(),
         flows.len()
     );

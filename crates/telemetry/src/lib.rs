@@ -16,6 +16,9 @@
 //! * [`trace`] — Chrome `trace_event` JSON export (Perfetto-loadable),
 //!   one track per worker and one per node; [`json`] is the hand-rolled
 //!   emitter/parser (the workspace `serde` shim has no serializer).
+//! * [`profile`] — per-node self-time attribution derived from the
+//!   scheduler's `step.ns` accounting, exported as a ranked table and
+//!   `flamegraph.pl`-compatible folded stacks.
 //!
 //! Instrumentation is gated by [`TelemetryLevel`]: `Off` costs one
 //! predictable branch per site (every probe call starts with an `Option`
@@ -27,6 +30,7 @@ pub mod explain;
 pub mod json;
 pub mod lineage;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod trace;

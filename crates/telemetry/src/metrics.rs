@@ -138,6 +138,66 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64; HISTO_BUCKETS] {
         &self.buckets
     }
+
+    /// Decompose into wire-friendly parts: the non-empty buckets as
+    /// `(index, count)` pairs, plus `(count, sum, raw_min, max)`.
+    /// `raw_min` is the internal sentinel (`u64::MAX` when empty), so
+    /// `from_parts` reconstructs the histogram bit-identically.
+    pub fn to_parts(&self) -> (Vec<(u32, u64)>, u64, u64, u64, u64) {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(k, &n)| (k as u32, n))
+            .collect();
+        (buckets, self.count, self.sum, self.min, self.max)
+    }
+
+    /// Rebuild from [`to_parts`](Histogram::to_parts) output. Bucket
+    /// indices past [`HISTO_BUCKETS`] are ignored (a corrupt frame fails
+    /// its CRC long before this, but stay total anyway).
+    pub fn from_parts(
+        buckets: &[(u32, u64)],
+        count: u64,
+        sum: u64,
+        raw_min: u64,
+        max: u64,
+    ) -> Histogram {
+        let mut h = Histogram {
+            buckets: [0; HISTO_BUCKETS],
+            count,
+            sum,
+            min: raw_min,
+            max,
+        };
+        for &(k, n) in buckets {
+            if let Some(b) = h.buckets.get_mut(k as usize) {
+                *b = n;
+            }
+        }
+        h
+    }
+
+    /// The per-epoch delta against an earlier snapshot of the same
+    /// histogram: buckets, count and sum subtract (the earlier snapshot
+    /// is a prefix of this one, so the subtraction is exact), while min
+    /// and max are carried *cumulatively* — [`merge`](Histogram::merge)
+    /// takes min/max anyway, so folding a stream of deltas reproduces
+    /// the cumulative histogram bit-identically.
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        let mut d = Histogram {
+            buckets: [0; HISTO_BUCKETS],
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            min: self.min,
+            max: self.max,
+        };
+        for (k, b) in d.buckets.iter_mut().enumerate() {
+            *b = self.buckets[k].saturating_sub(prev.buckets[k]);
+        }
+        d
+    }
 }
 
 /// A lock-free histogram for hot paths: power-of-two buckets of
@@ -329,6 +389,146 @@ impl MetricsSnapshot {
             .map(|(_, v)| v)
             .sum()
     }
+
+    /// True when no metric of any kind is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another snapshot in with the same semantics as the registry
+    /// merge: counters add, gauges take the maximum, histograms
+    /// bucket-merge. Associative and commutative, so a fleet of shard
+    /// snapshots merges to the same totals in any arrival order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (key, &v) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += v;
+        }
+        for (key, &v) in &other.gauges {
+            let g = self.gauges.entry(key.clone()).or_insert(0);
+            *g = (*g).max(v);
+        }
+        for (key, h) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The delta against an earlier snapshot of the same registry:
+    /// counters subtract, histograms subtract per bucket (min/max carried
+    /// cumulatively, see [`Histogram::delta_since`]), gauges carry their
+    /// current high-water mark. Unchanged entries are omitted, so an idle
+    /// epoch encodes to (almost) nothing. `prev.merge(&delta)` rebuilds
+    /// this snapshot bit-identically.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut d = MetricsSnapshot::default();
+        for (key, &v) in &self.counters {
+            let before = prev.counters.get(key).copied().unwrap_or(0);
+            if v != before {
+                d.counters.insert(key.clone(), v - before);
+            }
+        }
+        for (key, &v) in &self.gauges {
+            if prev.gauges.get(key) != Some(&v) {
+                d.gauges.insert(key.clone(), v);
+            }
+        }
+        for (key, h) in &self.histograms {
+            match prev.histograms.get(key) {
+                Some(before) if before == h => {}
+                Some(before) => {
+                    d.histograms.insert(key.clone(), h.delta_since(before));
+                }
+                None => {
+                    d.histograms.insert(key.clone(), h.clone());
+                }
+            }
+        }
+        d
+    }
+
+    /// Zero-dependency Prometheus-style text exposition. Metric names
+    /// are sanitised (`[a-zA-Z0-9_]`, prefixed `mm_`), the shard label
+    /// becomes a `node="..."` label, counters get the `_total` suffix,
+    /// and histograms expose cumulative `_bucket{le=...}` series over the
+    /// power-of-two buckets plus `_count` / `_sum`. Output order is the
+    /// canonical snapshot order, so two identical snapshots render
+    /// byte-identically.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitise(name: &str) -> String {
+            let mut s: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            if s.starts_with(|c: char| c.is_ascii_digit()) {
+                s.insert(0, '_');
+            }
+            s
+        }
+        fn escape(label: &str) -> String {
+            label.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        // Regroup by metric name: one # TYPE header per family, then the
+        // per-node samples in canonical label order.
+        let mut counters: BTreeMap<String, Vec<(&str, u64)>> = BTreeMap::new();
+        for ((label, name), &v) in &self.counters {
+            counters.entry(sanitise(name)).or_default().push((label, v));
+        }
+        let mut gauges: BTreeMap<String, Vec<(&str, u64)>> = BTreeMap::new();
+        for ((label, name), &v) in &self.gauges {
+            gauges.entry(sanitise(name)).or_default().push((label, v));
+        }
+        let mut histograms: BTreeMap<String, Vec<(&str, &Histogram)>> = BTreeMap::new();
+        for ((label, name), h) in &self.histograms {
+            histograms
+                .entry(sanitise(name))
+                .or_default()
+                .push((label, h));
+        }
+        let mut out = String::new();
+        for (name, samples) in &counters {
+            out.push_str(&format!("# TYPE mm_{name}_total counter\n"));
+            for (label, v) in samples {
+                out.push_str(&format!(
+                    "mm_{name}_total{{node=\"{}\"}} {v}\n",
+                    escape(label)
+                ));
+            }
+        }
+        for (name, samples) in &gauges {
+            out.push_str(&format!("# TYPE mm_{name} gauge\n"));
+            for (label, v) in samples {
+                out.push_str(&format!("mm_{name}{{node=\"{}\"}} {v}\n", escape(label)));
+            }
+        }
+        for (name, samples) in &histograms {
+            out.push_str(&format!("# TYPE mm_{name} histogram\n"));
+            for (label, h) in samples {
+                let node = escape(label);
+                let mut cum = 0u64;
+                for (k, &n) in h.buckets().iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    // The bucket holding [2^(k-1), 2^k) is cumulative at
+                    // le = 2^k - 1 (the largest value it can contain).
+                    let le = if k == 0 { 0 } else { (1u128 << k) - 1 };
+                    out.push_str(&format!(
+                        "mm_{name}_bucket{{node=\"{node}\",le=\"{le}\"}} {cum}\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "mm_{name}_bucket{{node=\"{node}\",le=\"+Inf\"}} {}\n",
+                    h.count()
+                ));
+                out.push_str(&format!(
+                    "mm_{name}_count{{node=\"{node}\"}} {}\n",
+                    h.count()
+                ));
+                out.push_str(&format!("mm_{name}_sum{{node=\"{node}\"}} {}\n", h.sum()));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +570,97 @@ mod tests {
             h.observe(v);
         }
         assert_eq!(a.snapshot(), h);
+    }
+
+    #[test]
+    fn histogram_parts_round_trip() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 7, 7, 512, u64::MAX] {
+            h.observe(v);
+        }
+        let (buckets, count, sum, raw_min, max) = h.to_parts();
+        assert_eq!(Histogram::from_parts(&buckets, count, sum, raw_min, max), h);
+        // The empty histogram round-trips too (raw min sentinel intact).
+        let e = Histogram::default();
+        let (buckets, count, sum, raw_min, max) = e.to_parts();
+        assert!(buckets.is_empty());
+        assert_eq!(raw_min, u64::MAX);
+        assert_eq!(Histogram::from_parts(&buckets, count, sum, raw_min, max), e);
+    }
+
+    #[test]
+    fn histogram_deltas_refold_bit_identically() {
+        let mut cum = Histogram::default();
+        let mut folded = Histogram::default();
+        let mut prev = Histogram::default();
+        for chunk in [vec![3u64, 9], vec![], vec![1, 1024, 2]] {
+            for v in chunk {
+                cum.observe(v);
+            }
+            let delta = cum.delta_since(&prev);
+            folded.merge(&delta);
+            prev = cum.clone();
+        }
+        assert_eq!(folded, cum);
+    }
+
+    #[test]
+    fn snapshot_deltas_refold_and_merge_commutes() {
+        let mk = |msgs: u64, lat: &[u64]| {
+            let mut s = MetricsSnapshot::default();
+            s.counters.insert(("a".into(), "msgs".into()), msgs);
+            s.gauges.insert(("a".into(), "depth".into()), msgs + 1);
+            let mut h = Histogram::default();
+            for &v in lat {
+                h.observe(v);
+            }
+            s.histograms.insert(("a".into(), "lat".into()), h);
+            s
+        };
+        let early = mk(3, &[10]);
+        let late = mk(9, &[10, 20, 40]);
+        let delta = late.delta_since(&early);
+        assert_eq!(delta.counter("a", "msgs"), 6);
+        let mut refolded = early.clone();
+        refolded.merge(&delta);
+        assert_eq!(refolded, late);
+        // Idle delta is empty.
+        assert!(late.delta_since(&late).is_empty());
+        // Merge is commutative on disjoint-and-overlapping snapshots.
+        let mut ab = early.clone();
+        ab.merge(&late);
+        let mut ba = late.clone();
+        ba.merge(&early);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut s = MetricsSnapshot::default();
+        s.counters
+            .insert(("risk-gateway".into(), "orders.passed".into()), 42);
+        s.gauges.insert(("scheduler".into(), "depth".into()), 7);
+        let mut h = Histogram::default();
+        h.observe(3);
+        h.observe(300);
+        s.histograms
+            .insert(("ohlc-bars".into(), "step.ns".into()), h);
+        let text = s.render_prometheus();
+        assert!(text.contains("# TYPE mm_orders_passed_total counter\n"));
+        assert!(text.contains("mm_orders_passed_total{node=\"risk-gateway\"} 42\n"));
+        assert!(text.contains("mm_depth{node=\"scheduler\"} 7\n"));
+        assert!(text.contains("mm_step_ns_bucket{node=\"ohlc-bars\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("mm_step_ns_count{node=\"ohlc-bars\"} 2\n"));
+        assert!(text.contains("mm_step_ns_sum{node=\"ohlc-bars\"} 303\n"));
+        // Every sample line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(series.starts_with("mm_"), "prefixed: {line}");
+            assert!(series.contains("{node=\""), "labelled: {line}");
+            assert!(value.parse::<f64>().is_ok(), "numeric value: {line}");
+        }
+        // Determinism: identical snapshot renders byte-identically.
+        assert_eq!(text, s.clone().render_prometheus());
     }
 
     #[test]

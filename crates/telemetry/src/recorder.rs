@@ -60,6 +60,27 @@ impl FlightKind {
             FlightKind::Drop => "drop",
         }
     }
+
+    /// Every kind, in declaration order — the wire codec's tag table.
+    pub const ALL: [FlightKind; 12] = [
+        FlightKind::Panic,
+        FlightKind::Restart,
+        FlightKind::Checkpoint,
+        FlightKind::Replay,
+        FlightKind::Sever,
+        FlightKind::Quarantine,
+        FlightKind::Health,
+        FlightKind::Failure,
+        FlightKind::Fault,
+        FlightKind::Phase,
+        FlightKind::Corrupt,
+        FlightKind::Drop,
+    ];
+
+    /// Inverse of [`as_str`](FlightKind::as_str), for wire decode.
+    pub fn parse(tag: &str) -> Option<FlightKind> {
+        FlightKind::ALL.into_iter().find(|k| k.as_str() == tag)
+    }
 }
 
 /// One recorded lifecycle event, carrying both time axes: wall-clock

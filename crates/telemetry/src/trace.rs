@@ -8,6 +8,7 @@
 //! second time axis — the simulated trading interval — so a wall-clock
 //! slice can be attributed to a point in simulated time.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -41,7 +42,7 @@ impl TrackId {
 }
 
 /// One slice/instant/counter argument value.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Arg {
     /// Unsigned integer.
     U(u64),
@@ -61,20 +62,61 @@ impl Arg {
     }
 }
 
-enum Phase {
-    Complete { dur_us: u64 },
+/// Event phase, mirrored publicly so captured events can cross a process
+/// boundary as [`TraceRecord`]s and be spliced into another tracer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordPhase {
+    /// A complete slice (`ph: "X"`).
+    Complete {
+        /// Slice duration in µs.
+        dur_us: u64,
+    },
+    /// An instant (`ph: "i"`).
     Instant,
-    Counter { value: u64 },
-    FlowStart { id: u64 },
-    FlowFinish { id: u64 },
+    /// A counter sample (`ph: "C"`).
+    Counter {
+        /// The sampled value.
+        value: u64,
+    },
+    /// A flow-bind start (`ph: "s"`).
+    FlowStart {
+        /// Flow id shared with the matching finish.
+        id: u64,
+    },
+    /// A flow-bind finish (`ph: "f"`, binding point `"e"`).
+    FlowFinish {
+        /// Flow id shared with the matching start.
+        id: u64,
+    },
 }
+
+/// An owned, wire-shippable trace event: what a shard worker drains and
+/// the supervisor splices (with its pids and flow ids remapped onto the
+/// merged namespace) into the fleet-wide tracer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// The event phase and its phase-specific payload.
+    pub phase: RecordPhase,
+    /// Process row.
+    pub pid: u32,
+    /// Thread row within the process.
+    pub tid: u64,
+    /// Timestamp in µs on the capturing process's clock.
+    pub ts_us: u64,
+    /// Event name.
+    pub name: String,
+    /// Slice arguments.
+    pub args: Vec<(String, Arg)>,
+}
+
+type Phase = RecordPhase;
 
 struct TraceEvent {
     phase: Phase,
     track: TrackId,
     ts_us: u64,
     name: String,
-    args: Vec<(&'static str, Arg)>,
+    args: Vec<(Cow<'static, str>, Arg)>,
 }
 
 /// The bounded trace-event collector. Appends are a short uncontended
@@ -92,6 +134,9 @@ pub struct Tracer {
     /// exporter (and CI's trace check) can enumerate expected tracks even
     /// if a node never ran.
     names: Mutex<Vec<(TrackId, String)>>,
+    /// Process-name metadata beyond the two fixed local rows — one lane
+    /// per spliced shard rank in a merged fleet trace.
+    procs: Mutex<Vec<(u32, String)>>,
 }
 
 impl Tracer {
@@ -103,6 +148,7 @@ impl Tracer {
             dropped: AtomicU64::new(0),
             next_flow: AtomicU64::new(0),
             names: Mutex::new(Vec::new()),
+            procs: Mutex::new(Vec::new()),
         }
     }
 
@@ -112,6 +158,23 @@ impl Tracer {
             .lock()
             .expect("trace names")
             .push((track, name.into()));
+    }
+
+    /// Name an additional process lane (process_name metadata). Pids 1
+    /// and 2 are the fixed local `workers` / `nodes` lanes; a fleet
+    /// supervisor names one extra pair per shard rank.
+    pub fn name_process(&self, pid: u32, name: impl Into<String>) {
+        self.procs
+            .lock()
+            .expect("trace procs")
+            .push((pid, name.into()));
+    }
+
+    /// Allocate a fresh flow id from this tracer's allocator — used when
+    /// splicing records whose original ids came from another process's
+    /// allocator and must be remapped into this trace's id space.
+    pub fn alloc_flow_id(&self) -> u64 {
+        self.next_flow.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn push(&self, ev: TraceEvent) {
@@ -137,7 +200,10 @@ impl Tracer {
             track,
             ts_us,
             name: name.into(),
-            args,
+            args: args
+                .into_iter()
+                .map(|(k, v)| (Cow::Borrowed(k), v))
+                .collect(),
         });
     }
 
@@ -154,7 +220,10 @@ impl Tracer {
             track,
             ts_us,
             name: name.into(),
-            args,
+            args: args
+                .into_iter()
+                .map(|(k, v)| (Cow::Borrowed(k), v))
+                .collect(),
         });
     }
 
@@ -221,13 +290,66 @@ impl Tracer {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Drain every captured event as owned [`TraceRecord`]s, in capture
+    /// order (flow start/finish pairs stay adjacent, so a drained batch
+    /// never splits a bind). The capacity freed by the drain is reusable,
+    /// which is what lets a shard worker ship its trace incrementally at
+    /// epoch granularity without ever hitting the cap.
+    pub fn drain_records(&self) -> Vec<TraceRecord> {
+        let events = std::mem::take(&mut *self.events.lock().expect("trace events"));
+        events
+            .into_iter()
+            .map(|ev| TraceRecord {
+                phase: ev.phase,
+                pid: ev.track.pid,
+                tid: ev.track.tid,
+                ts_us: ev.ts_us,
+                name: ev.name,
+                args: ev
+                    .args
+                    .into_iter()
+                    .map(|(k, v)| (k.into_owned(), v))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Splice foreign records into this tracer (the fleet-merge path).
+    /// The caller is responsible for having remapped pids and flow ids
+    /// onto this trace's namespace first; records land verbatim, subject
+    /// to the cap like any local event.
+    pub fn splice_records(&self, records: Vec<TraceRecord>) {
+        for rec in records {
+            self.push(TraceEvent {
+                phase: rec.phase,
+                track: TrackId {
+                    pid: rec.pid,
+                    tid: rec.tid,
+                },
+                ts_us: rec.ts_us,
+                name: rec.name,
+                args: rec
+                    .args
+                    .into_iter()
+                    .map(|(k, v)| (Cow::Owned(k), v))
+                    .collect(),
+            });
+        }
+    }
+
     /// Render the whole capture as a Chrome trace_event JSON document.
     /// Events are sorted by `(ts, track)` so the output is stable for a
     /// given set of captured events.
     pub fn export(&self) -> String {
         let mut out: Vec<Json> = Vec::new();
-        // Process-name metadata for the two fixed process rows.
-        for (pid, pname) in [(1u32, "workers"), (2, "nodes")] {
+        // Process-name metadata: the two fixed local rows plus any lanes
+        // registered via `name_process` (merged fleet traces), in pid
+        // order with the first registration winning a duplicate pid.
+        let mut procs: Vec<(u32, String)> = vec![(1u32, "workers".into()), (2, "nodes".into())];
+        procs.extend(self.procs.lock().expect("trace procs").iter().cloned());
+        procs.sort_by_key(|p| p.0);
+        procs.dedup_by_key(|p| p.0);
+        for (pid, pname) in procs {
             out.push(Json::Obj(vec![
                 ("ph".into(), Json::Str("M".into())),
                 ("pid".into(), Json::Num(pid as f64)),
@@ -235,7 +357,7 @@ impl Tracer {
                 ("name".into(), Json::Str("process_name".into())),
                 (
                     "args".into(),
-                    Json::Obj(vec![("name".into(), Json::Str(pname.into()))]),
+                    Json::Obj(vec![("name".into(), Json::Str(pname))]),
                 ),
             ]));
         }
@@ -400,6 +522,73 @@ mod tests {
         t.flow("b", TrackId::node(0), 2, TrackId::node(1), 3); // would strand
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 2, "both halves of the second flow dropped");
+    }
+
+    #[test]
+    fn drain_and_splice_round_trip_with_process_lanes() {
+        let shard = Tracer::new(100);
+        shard.complete(
+            TrackId::node(3),
+            "corr-engine",
+            10,
+            25,
+            vec![("interval", Arg::U(7))],
+        );
+        shard.flow("bars", TrackId::node(1), 10, TrackId::node(2), 25);
+        let mut records = shard.drain_records();
+        assert_eq!(records.len(), 3);
+        assert!(shard.is_empty(), "drain empties the capture");
+
+        let merged = Tracer::new(100);
+        // Remap onto the merged namespace: rank-0 lanes, fresh flow ids.
+        let mut remap = std::collections::HashMap::new();
+        for rec in &mut records {
+            rec.pid += 2;
+            if let RecordPhase::FlowStart { id } | RecordPhase::FlowFinish { id } = &mut rec.phase {
+                let fresh = *remap.entry(*id).or_insert_with(|| merged.alloc_flow_id());
+                *id = fresh;
+            }
+        }
+        merged.name_process(3, "shard0/workers");
+        merged.name_process(4, "shard0/nodes");
+        merged.splice_records(records);
+        let doc = json::parse(&merged.export()).unwrap();
+        let events = doc.get("traceEvents").unwrap().items();
+        let lanes: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(
+            lanes,
+            vec!["workers", "nodes", "shard0/workers", "shard0/nodes"]
+        );
+        let slice = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(slice.get("pid").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            slice.get("args").unwrap().get("interval").unwrap().as_u64(),
+            Some(7),
+            "owned args survive the splice"
+        );
+        let s = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .unwrap();
+        let f = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .unwrap();
+        assert_eq!(s.get("id"), f.get("id"), "flow pair survives the remap");
     }
 
     #[test]
